@@ -1,0 +1,72 @@
+// Command gentraj generates a random-waypoint workload (the paper's
+// Section 5 population) and writes it as a MOD store file:
+//
+//	gentraj -n 2000 -r 0.5 -o fleet.mod          # binary store
+//	gentraj -n 100 -format json -o fleet.json    # JSON store
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/mod"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 1000, "number of moving objects")
+		r        = flag.Float64("r", 0.5, "uncertainty radius (miles)")
+		pdfKind  = flag.String("pdf", "uniform", "location pdf: uniform | bounded-gaussian | epanechnikov")
+		sigma    = flag.Float64("sigma", 0.25, "sigma for bounded-gaussian")
+		segments = flag.Int("segments", 6, "linear segments per trajectory (velocity changes + 1)")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+		format   = flag.String("format", "binary", "output format: binary | json")
+		out      = flag.String("o", "workload.mod", "output file")
+	)
+	flag.Parse()
+
+	spec := mod.PDFSpec{Kind: mod.PDFKind(*pdfKind), R: *r}
+	if spec.Kind == mod.PDFBoundedGaussian {
+		spec.Sigma = *sigma
+	}
+	store, err := mod.NewStore(spec)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := workload.DefaultConfig(*seed)
+	if *segments < 1 {
+		fatal(fmt.Errorf("segments must be >= 1"))
+	}
+	cfg.VelocityChanges = *segments - 1
+	trs, err := workload.Generate(cfg, *n)
+	if err != nil {
+		fatal(err)
+	}
+	if err := store.InsertAll(trs); err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	switch *format {
+	case "binary":
+		err = store.SaveBinary(f)
+	case "json":
+		err = store.SaveJSON(f)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d trajectories (r=%g, pdf=%s) to %s\n", *n, *r, *pdfKind, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gentraj:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// Command modserver serves a MOD store over TCP with the line-delimited
+// JSON protocol of internal/modserver:
+//
+//	modserver -store fleet.mod -addr :7700
+//	modserver -r 0.5 -addr 127.0.0.1:7700      # start empty
+//
+// Clients insert trajectories and pose UQL statements; see
+// internal/modserver for the protocol and a Go client.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"repro/internal/mod"
+	"repro/internal/modserver"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7700", "listen address")
+		storePath = flag.String("store", "", "optional store file to preload (binary format)")
+		r         = flag.Float64("r", 0.5, "uncertainty radius when starting empty")
+	)
+	flag.Parse()
+
+	var (
+		store *mod.Store
+		err   error
+	)
+	if *storePath != "" {
+		f, ferr := os.Open(*storePath)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		store, err = mod.LoadBinary(f)
+		f.Close()
+	} else {
+		store, err = mod.NewUniformStore(*r)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("modserver: %d trajectories, listening on %s\n", store.Len(), l.Addr())
+	srv := modserver.NewServer(store)
+	if err := srv.Serve(l); err != nil && err != modserver.ErrServerClosed {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "modserver:", err)
+	os.Exit(1)
+}

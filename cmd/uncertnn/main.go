@@ -1,0 +1,130 @@
+// Command uncertnn runs continuous probabilistic NN queries against a MOD
+// store file, either as a one-shot UQL statement or as an interactive
+// REPL, and can print a query's IPAC-NN tree:
+//
+//	uncertnn -store fleet.mod -uql 'SELECT T FROM MOD WHERE EXISTS Time IN [0, 60] AND ProbabilityNN(T, 1, Time) > 0'
+//	uncertnn -store fleet.mod -tree -q 1 -tb 0 -te 60 -levels 3
+//	uncertnn -store fleet.mod              # REPL: one UQL statement per line
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mod"
+	"repro/internal/uql"
+)
+
+func main() {
+	var (
+		storePath = flag.String("store", "", "path to a store file written by gentraj")
+		format    = flag.String("format", "binary", "store format: binary | json")
+		uqlStmt   = flag.String("uql", "", "one-shot UQL statement (omit for a REPL)")
+		tree      = flag.Bool("tree", false, "print the IPAC-NN tree for -q over [-tb, -te]")
+		qOID      = flag.Int64("q", 1, "query trajectory OID for -tree")
+		tb        = flag.Float64("tb", 0, "window start for -tree")
+		te        = flag.Float64("te", 60, "window end for -tree")
+		levels    = flag.Int("levels", 3, "max tree levels for -tree (0 = unbounded)")
+		desc      = flag.Bool("descriptors", false, "compute probability descriptors for -tree")
+		asJSON    = flag.Bool("json", false, "emit the -tree answer as JSON instead of text")
+	)
+	flag.Parse()
+	if *storePath == "" {
+		fatal(fmt.Errorf("missing -store"))
+	}
+	f, err := os.Open(*storePath)
+	if err != nil {
+		fatal(err)
+	}
+	var store *mod.Store
+	switch *format {
+	case "binary":
+		store, err = mod.LoadBinary(f)
+	case "json":
+		store, err = mod.LoadJSON(f)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded %d trajectories (r=%g, pdf=%s)\n", store.Len(), store.Radius(), store.Spec().Kind)
+
+	if *tree {
+		printTree(store, *qOID, *tb, *te, *levels, *desc, *asJSON)
+		return
+	}
+	if *uqlStmt != "" {
+		res, err := uql.Run(*uqlStmt, store)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res)
+		return
+	}
+	repl(store)
+}
+
+func printTree(store *mod.Store, qOID int64, tb, te float64, levels int, desc, asJSON bool) {
+	q, err := store.Get(qOID)
+	if err != nil {
+		fatal(err)
+	}
+	tree, err := core.Build(store.All(), q, tb, te, store.Radius(), store.PDF(),
+		core.Config{MaxLevels: levels, Descriptors: desc})
+	if err != nil {
+		fatal(err)
+	}
+	if asJSON {
+		if err := tree.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("IPAC-NN tree for TrQ=%d over [%g, %g]: %d nodes, depth %d, %d pruned of %d objects\n",
+		qOID, tb, te, tree.NodeCount(), tree.Depth(), len(tree.PrunedOIDs), store.Len()-1)
+	tree.Walk(func(n *core.Node) {
+		indent := strings.Repeat("  ", n.Level-1)
+		line := fmt.Sprintf("%sTr%-6d [%7.3f, %7.3f] level %d", indent, n.ID, n.T0, n.T1, n.Level)
+		if n.Descriptor != nil {
+			line += fmt.Sprintf("  P∈[%.3f, %.3f]", n.Descriptor.MinProb, n.Descriptor.MaxProb)
+		}
+		fmt.Println(line)
+	})
+}
+
+func repl(store *mod.Store) {
+	fmt.Println("uncertnn REPL — one UQL statement per line (quit/exit to leave)")
+	fmt.Println(`example: SELECT T FROM MOD WHERE EXISTS Time IN [0, 60] AND ProbabilityNN(T, 1, Time) > 0`)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("uql> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return
+		}
+		res, err := uql.Run(line, store)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		fmt.Println(res)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uncertnn:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,325 @@
+package repro_test
+
+// End-to-end integration tests spanning the whole pipeline: workload →
+// MOD store (+persistence, +index) → IPAC-NN tree → query variants → UQL
+// → TCP server, with Monte Carlo cross-validation of the probabilistic
+// answers. These are the "does the system hang together" tests; per-module
+// behaviour is covered in each package.
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"net"
+	"testing"
+
+	"repro"
+	"repro/internal/envelope"
+	"repro/internal/geom"
+	"repro/internal/mod"
+	"repro/internal/modserver"
+	"repro/internal/sindex"
+	"repro/internal/trajectory"
+	"repro/internal/uncertain"
+	"repro/internal/updf"
+)
+
+// TestPipelineWorkloadToAnswers drives the full stack on one deterministic
+// workload and cross-checks every layer against every other.
+func TestPipelineWorkloadToAnswers(t *testing.T) {
+	const (
+		n    = 80
+		r    = 0.5
+		seed = 4242
+	)
+	store, err := repro.NewUniformStore(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs, err := repro.GenerateWorkload(repro.DefaultWorkload(seed), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.InsertAll(trs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Persistence round trip must preserve answers bit-for-bit.
+	var buf bytes.Buffer
+	if err := store.SaveBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	store2, err := mod.LoadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q, err := store.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := repro.BuildIPACNN(store.All(), q, 0, 60, r, nil, repro.TreeConfig{MaxLevels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := store2.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree2, err := repro.BuildIPACNN(store2.All(), q2, 0, 60, r, nil, repro.TreeConfig{MaxLevels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NodeCount() != tree2.NodeCount() || len(tree.KeptOIDs) != len(tree2.KeptOIDs) {
+		t.Fatalf("persistence changed the tree: %d/%d nodes, %d/%d kept",
+			tree.NodeCount(), tree2.NodeCount(), len(tree.KeptOIDs), len(tree2.KeptOIDs))
+	}
+
+	// The R-tree index finds every tree participant near the query's path.
+	idx := store.BuildIndex(0)
+	qBox := q.BoundingBox().Expand(10) // generous corridor
+	found := map[int64]bool{}
+	for _, id := range idx.SearchRange(qBox, 0, 60) {
+		found[id] = true
+	}
+	for _, id := range tree.KeptOIDs {
+		// Every unpruned object comes within 4r+eps of the query sometime,
+		// so it must intersect a 10-mile corridor around the query's box.
+		if !found[id] {
+			t.Errorf("kept oid %d missed by index corridor", id)
+		}
+	}
+
+	// Tree answers vs processor answers vs envelope.
+	proc, err := repro.NewQueryProcessor(store.All(), q, 0, 60, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range []float64{0.5, 15, 30, 45, 59.5} {
+		best := tree.AnswerAt(tm)
+		// The envelope's answer is the true nearest expected location.
+		bestDist := math.Inf(1)
+		var bestOID int64
+		for _, tr := range trs {
+			if tr.OID == q.OID {
+				continue
+			}
+			if d := tr.At(tm).Dist(q.At(tm)); d < bestDist {
+				bestDist = d
+				bestOID = tr.OID
+			}
+		}
+		if best != bestOID {
+			t.Errorf("t=%g: tree answer %d, oracle %d", tm, best, bestOID)
+		}
+		// Fixed-time possible set contains the answer.
+		inSet := false
+		for _, id := range proc.PossibleNNAt(tm) {
+			if id == best {
+				inSet = true
+			}
+		}
+		if !inSet {
+			t.Errorf("t=%g: answer %d missing from possible set", tm, best)
+		}
+	}
+
+	// Instantaneous probabilities at t=30: Theorem-1 ranking vs Monte
+	// Carlo with the exact uniform-convolution pdf.
+	rng := rand.New(rand.NewSource(1))
+	qPos := q.At(30)
+	var cands []uncertain.Candidate
+	for _, tr := range trs {
+		if tr.OID == q.OID {
+			continue
+		}
+		cands = append(cands, uncertain.Candidate{ID: tr.OID, Dist: tr.At(30).Dist(qPos)})
+	}
+	conv := updf.NewUniformConv(r, r)
+	probs := uncertain.NNProbabilities(conv, uncertain.Prune(conv, cands), 512)
+	mc, err := uncertain.MonteCarloNN(conv, uncertain.Prune(conv, cands), 100000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, p := range probs {
+		if math.Abs(mc[id]-p) > 0.02 {
+			t.Errorf("id %d: MC %.4f vs analytic %.4f", id, mc[id], p)
+		}
+	}
+	// The tree's t=30 answer has the top probability.
+	top := tree.AnswerAt(30)
+	for id, p := range probs {
+		if id != top && p > probs[top]+1e-9 {
+			t.Errorf("oid %d has probability %.4f above answer %d's %.4f", id, p, top, probs[top])
+		}
+	}
+}
+
+// TestPipelineOverTCP: the same answers through the network layer.
+func TestPipelineOverTCP(t *testing.T) {
+	store, err := repro.NewUniformStore(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs, err := repro.GenerateWorkload(repro.DefaultWorkload(5), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.InsertAll(trs); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := modserver.NewServer(store)
+	go srv.Serve(l)
+	defer srv.Close()
+
+	c, err := modserver.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const stmt = "SELECT T FROM MOD WHERE EXISTS Time IN [0, 60] AND ProbabilityNN(T, 1, Time) > 0"
+	remote, err := c.UQL(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := repro.RunUQL(stmt, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remote.OIDs) != len(local.OIDs) {
+		t.Fatalf("remote %v vs local %v", remote.OIDs, local.OIDs)
+	}
+	for i := range local.OIDs {
+		if remote.OIDs[i] != local.OIDs[i] {
+			t.Fatalf("divergence at %d", i)
+		}
+	}
+}
+
+// TestSimplificationPreservesAnswers: simplifying trajectories within a
+// tolerance well below the uncertainty radius must not change the
+// possible-NN sets.
+func TestSimplificationPreservesAnswers(t *testing.T) {
+	const r = 1.0
+	trs, err := repro.GenerateWorkload(repro.DefaultWorkload(9), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resample to many vertices then simplify aggressively (but well under
+	// the 4r zone scale).
+	simplified := make([]*trajectory.Trajectory, len(trs))
+	for i, tr := range trs {
+		dense, err := trajectory.Resample(tr, 61)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simplified[i] = trajectory.Simplify(dense, 1e-6)
+		if dev := trajectory.SyncDeviation(dense, simplified[i]); dev > 1e-6 {
+			t.Fatalf("oid %d: deviation %g", tr.OID, dev)
+		}
+	}
+	p1, err := repro.NewQueryProcessor(trs, trs[0], 0, 60, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := repro.NewQueryProcessor(simplified, simplified[0], 0, 60, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := p1.UQ31(), p2.UQ31()
+	if len(a) != len(b) {
+		t.Fatalf("UQ31 changed: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("UQ31 divergence at %d", i)
+		}
+	}
+}
+
+// TestTPRAgainstTrajectories: the TPR index over single-segment motion
+// returns the same instantaneous kNN as direct trajectory evaluation.
+func TestTPRAgainstTrajectories(t *testing.T) {
+	trs, err := repro.GenerateWorkload(repro.SingleSegmentWorkload(33), 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make([]sindex.MovingEntry, len(trs))
+	for i, tr := range trs {
+		entries[i] = sindex.MovingEntry{
+			ID: tr.OID,
+			P:  tr.At(0),
+			V:  tr.VelocityAt(0),
+			T0: 0, T1: 60,
+		}
+	}
+	tpr := sindex.NewTPRTree(entries, 0, 8)
+	rng := rand.New(rand.NewSource(2))
+	for q := 0; q < 15; q++ {
+		tm := rng.Float64() * 60
+		p := geom.Point{X: rng.Float64() * 40, Y: rng.Float64() * 40}
+		got := tpr.KNNAt(p, tm, 3)
+		// Oracle via trajectories.
+		type dv struct {
+			id int64
+			d  float64
+		}
+		best := []dv{}
+		for _, tr := range trs {
+			best = append(best, dv{tr.OID, tr.At(tm).Dist(p)})
+		}
+		for i := 0; i < 3; i++ {
+			for j := i + 1; j < len(best); j++ {
+				if best[j].d < best[i].d {
+					best[i], best[j] = best[j], best[i]
+				}
+			}
+			if math.Abs(got[i].Dist-best[i].d) > 1e-9 {
+				t.Fatalf("q=%d rank %d: %g vs %g", q, i, got[i].Dist, best[i].d)
+			}
+		}
+	}
+}
+
+// TestGuaranteedVsThresholdConsistency: an object guaranteed to be the NN
+// over an interval must have P^NN = 1 there.
+func TestGuaranteedVsThresholdConsistency(t *testing.T) {
+	// Construct a scene with a clear guarantee: near object at distance 2,
+	// far object at 20, r = 0.5 (guarantee needs 2 + 2 <= 20 - ... holds).
+	mk := func(oid int64, x float64) *trajectory.Trajectory {
+		tr, err := trajectory.New(oid, []trajectory.Vertex{
+			{X: x, Y: 0, T: 0}, {X: x, Y: 0, T: 60},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	trs := []*trajectory.Trajectory{mk(100, 0), mk(1, 2), mk(2, 20)}
+	proc, err := repro.NewQueryProcessor(trs, trs[0], 0, 60, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := proc.GuaranteedNNIntervals(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 1 || g[0].T0 > 1e-9 || g[0].T1 < 60-1e-9 {
+		t.Fatalf("guarantee = %v", g)
+	}
+	_, probs, err := proc.ProbabilitySeries(1, repro.ThresholdConfig{TimeSamples: 5, Grid: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range probs {
+		if math.Abs(p-1) > 1e-6 {
+			t.Errorf("sample %d: P = %g, want 1", i, p)
+		}
+	}
+	_ = envelope.TimeInterval{} // keep import grouping stable
+}

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig11SmallRun(t *testing.T) {
+	rows, err := Fig11([]int{50, 100}, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.DCTime <= 0 {
+			t.Errorf("N=%d: nonpositive dc time", r.N)
+		}
+		if r.Skipped || r.NaiveT <= 0 {
+			t.Errorf("N=%d: naive should have run", r.N)
+		}
+	}
+	// Naive cap honored.
+	rows, err = Fig11([]int{50, 100}, 60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows[1].Skipped || rows[0].Skipped {
+		t.Errorf("cap not honored: %+v", rows)
+	}
+	txt := FormatFig11(rows)
+	if !strings.Contains(txt, "skipped") || !strings.Contains(txt, "divide&conquer") {
+		t.Errorf("format: %s", txt)
+	}
+	csv := CSVFig11(rows)
+	if !strings.HasPrefix(csv, "n,dc_ns") || len(strings.Split(strings.TrimSpace(csv), "\n")) != 3 {
+		t.Errorf("csv: %s", csv)
+	}
+}
+
+func TestFig12SmallRun(t *testing.T) {
+	rows, err := Fig12([]int{60}, 60, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.OurExistential <= 0 || r.OurQuant <= 0 || r.NaiveExist <= 0 || r.NaiveQuant <= 0 {
+		t.Errorf("row = %+v", r)
+	}
+	// The envelope-based approach must beat the naive per-query sweep.
+	if r.OurExistential >= r.NaiveExist {
+		t.Errorf("envelope (%v) not faster than naive (%v)", r.OurExistential, r.NaiveExist)
+	}
+	txt := FormatFig12(rows)
+	if !strings.Contains(txt, "our-exist") {
+		t.Errorf("format: %s", txt)
+	}
+	if !strings.HasPrefix(CSVFig12(rows), "n,our_exist_ns") {
+		t.Error("csv header")
+	}
+	// Naive skip branch.
+	rows, err = Fig12([]int{60}, 10, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows[0].Skipped {
+		t.Error("naive should be skipped")
+	}
+}
+
+func TestFig13SmallRun(t *testing.T) {
+	rows, err := Fig13([]float64{0.1, 0.5, 2}, []int{100}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Fraction requiring integration grows with the radius and stays in
+	// (0, 1].
+	prev := 0.0
+	for _, r := range rows {
+		if r.FracRequired <= 0 || r.FracRequired > 1 {
+			t.Errorf("r=%g: frac = %g", r.R, r.FracRequired)
+		}
+		if r.FracRequired < prev-1e-12 {
+			t.Errorf("fraction not nondecreasing at r=%g", r.R)
+		}
+		prev = r.FracRequired
+	}
+	if !strings.Contains(FormatFig13(rows), "frac-integration-required") {
+		t.Error("format header")
+	}
+	if !strings.HasPrefix(CSVFig13(rows), "radius,n,frac_required") {
+		t.Error("csv header")
+	}
+}
+
+// TestFig13PaperShape reproduces the headline numbers of the paper's
+// Figure 13 at N=2000: with r = 0.5 mi over 90% of objects are pruned
+// (fraction required <= ~0.1), with r = 1 mi about 85% are pruned
+// (fraction ~0.15). We allow generous slack — the workload RNG differs —
+// but the ordering and ballpark must hold.
+func TestFig13PaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := Fig13([]float64{0.5, 1.0}, []int{2000}, 2009)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atHalf, atOne := rows[0].FracRequired, rows[1].FracRequired
+	if atHalf > 0.2 {
+		t.Errorf("r=0.5: fraction required %.3f, paper reports <= ~0.1", atHalf)
+	}
+	if atOne > 0.3 {
+		t.Errorf("r=1.0: fraction required %.3f, paper reports ~0.15", atOne)
+	}
+	if atHalf >= atOne {
+		t.Errorf("pruning should weaken with radius: %.3f vs %.3f", atHalf, atOne)
+	}
+}
+
+func TestE4ClusteredPruning(t *testing.T) {
+	rows, err := E4ClusteredPruning([]float64{0.5}, 300, 3, 1.5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Workload != "uniform" || rows[1].Workload != "clustered" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// Clustering around the query keeps more candidates.
+	if rows[1].FracRequired <= rows[0].FracRequired {
+		t.Errorf("clustered %g should exceed uniform %g",
+			rows[1].FracRequired, rows[0].FracRequired)
+	}
+	if !strings.Contains(FormatE4(rows), "workload") {
+		t.Error("format header")
+	}
+	if !strings.HasPrefix(CSVE4(rows), "workload,radius") {
+		t.Error("csv header")
+	}
+	// Error propagation from a bad base config is covered through the
+	// workload package; here ensure negative n errors.
+	if _, err := E4ClusteredPruning([]float64{0.5}, -1, 3, 1.5, 11); err == nil {
+		t.Error("negative n accepted")
+	}
+}

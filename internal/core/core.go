@@ -1,0 +1,351 @@
+// Package core implements the paper's primary contribution: the IPAC-NN
+// tree (Interval-based Probabilistic Answer to a Continuous NN query,
+// Section 1 and Algorithm 3 of Section 3.2).
+//
+// The tree's root carries the query parameters (query trajectory and time
+// window). Level-1 nodes are the intervals of the lower envelope of the
+// difference-trajectory distance functions: at any instant, the envelope's
+// defining trajectory has the highest probability of being the query's
+// nearest neighbor (Theorem 1). Each node's children partition its time
+// interval with the trajectories ranked next — the level-L envelope with
+// the ancestor chain excluded — and recursion stops when no candidate with
+// non-zero probability of being the nearest neighbor remains (a trajectory
+// has non-zero probability at time t only while its distance function is
+// within 4r of the lower envelope, the pruning zone of Section 3.2).
+//
+// Each node can carry a probability descriptor D_i: min/max and a sampled
+// time series of P^NN values computed through the Section 3.1 convolution
+// reduction. Removing the root yields the DAG whose geometric dual is the
+// family of ranked envelopes (Theorem 2).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/envelope"
+	"repro/internal/numeric"
+	"repro/internal/trajectory"
+	"repro/internal/uncertain"
+	"repro/internal/updf"
+)
+
+// Package errors.
+var (
+	ErrQueryNotFound = errors.New("core: query trajectory not in collection")
+	ErrNoObjects     = errors.New("core: no candidate objects besides the query")
+	ErrBadRadius     = errors.New("core: uncertainty radius must be positive")
+)
+
+// Config tunes tree construction.
+type Config struct {
+	// MaxLevels caps the tree depth (levels below the root). 0 means
+	// unbounded: recursion ends when candidates are exhausted or leave the
+	// pruning zone.
+	MaxLevels int
+	// Descriptors enables per-node probability descriptors.
+	Descriptors bool
+	// DescriptorSamples is the number of probability samples per node
+	// interval (default 5 when Descriptors is set).
+	DescriptorSamples int
+	// Grid is the integration grid for Eq. 5 when computing descriptors
+	// (default uncertain.DefaultGrid).
+	Grid int
+}
+
+// ProbSample is one descriptor sample: the probability that the node's
+// trajectory is the nearest neighbor of the query at time T.
+type ProbSample struct {
+	T    float64
+	Prob float64
+}
+
+// Descriptor summarizes the probability behaviour of a node's trajectory
+// over the node's interval (the paper's D_i attribute).
+type Descriptor struct {
+	MinProb, MaxProb float64
+	Samples          []ProbSample
+}
+
+// Node is one IPAC-NN tree node: trajectory ID, time interval of relevance,
+// optional descriptor, and children covering disjoint sub-intervals.
+type Node struct {
+	ID         int64
+	T0, T1     float64
+	Level      int
+	Descriptor *Descriptor
+	Children   []*Node
+}
+
+// Tree is the IPAC-NN tree for one continuous probabilistic NN query.
+type Tree struct {
+	QueryOID int64
+	Tb, Te   float64
+	R        float64
+	// Roots are the level-1 nodes (children of the conceptual root, which
+	// carries only the query parameters above).
+	Roots []*Node
+	// PrunedOIDs lists the objects eliminated by the 4r pruning zone.
+	PrunedOIDs []int64
+	// KeptOIDs lists the objects that participate in the answer.
+	KeptOIDs []int64
+
+	env1 *envelope.Envelope
+	fns  []*envelope.DistanceFunc
+	zone map[int64][]envelope.TimeInterval
+}
+
+// Build runs Algorithm 3: construct the lower envelope (level 1), prune
+// the objects that can never have non-zero NN probability, then refine
+// each level's intervals recursively. The trajectory set trs must contain
+// q (matched by OID); all trajectories must cover [tb, te]; r is the
+// shared uncertainty radius; pdf is the shared location pdf (nil selects
+// the uniform disk, making the convolved difference pdf the exact
+// uniform◦uniform form).
+func Build(trs []*trajectory.Trajectory, q *trajectory.Trajectory, tb, te, r float64, pdf updf.RadialPDF, cfg Config) (*Tree, error) {
+	if r <= 0 {
+		return nil, ErrBadRadius
+	}
+	found := false
+	for _, tr := range trs {
+		if tr.OID == q.OID {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, ErrQueryNotFound
+	}
+	if len(trs) < 2 {
+		return nil, ErrNoObjects
+	}
+	fns, err := envelope.BuildDistanceFuncs(trs, q, tb, te)
+	if err != nil {
+		return nil, err
+	}
+	env1, err := envelope.LowerEnvelope(fns, tb, te)
+	if err != nil {
+		return nil, err
+	}
+	width := 4 * r
+	kept, pruned := envelope.Prune(fns, env1, width)
+
+	t := &Tree{
+		QueryOID: q.OID, Tb: tb, Te: te, R: r,
+		env1: env1, fns: fns,
+		zone: make(map[int64][]envelope.TimeInterval, len(kept)),
+	}
+	for _, f := range pruned {
+		t.PrunedOIDs = append(t.PrunedOIDs, f.ID)
+	}
+	for _, f := range kept {
+		t.KeptOIDs = append(t.KeptOIDs, f.ID)
+		t.zone[f.ID] = envelope.BelowIntervals(f, env1, width)
+	}
+
+	if pdf == nil {
+		pdf = updf.NewUniformDisk(r)
+	}
+	var desc *descriptorEngine
+	if cfg.Descriptors {
+		conv, err := updf.ConvolvePair(pdf, pdf, 0)
+		if err != nil {
+			return nil, fmt.Errorf("core: convolving pdfs: %w", err)
+		}
+		samples := cfg.DescriptorSamples
+		if samples <= 0 {
+			samples = 5
+		}
+		grid := cfg.Grid
+		if grid <= 0 {
+			grid = uncertain.DefaultGrid
+		}
+		desc = &descriptorEngine{conv: conv, kept: kept, samples: samples, grid: grid}
+	}
+
+	// Level 1: the envelope's intervals.
+	for _, iv := range env1.Intervals {
+		node := &Node{ID: iv.ID, T0: iv.T0, T1: iv.T1, Level: 1}
+		if desc != nil {
+			node.Descriptor = desc.describe(node.ID, node.T0, node.T1)
+		}
+		t.Roots = append(t.Roots, node)
+	}
+	// Refine recursively.
+	for _, root := range t.Roots {
+		t.buildChildren(root, map[int64]bool{root.ID: true}, kept, cfg, desc)
+	}
+	return t, nil
+}
+
+// buildChildren populates node's children: the lower envelope of the kept
+// functions minus the ancestor chain, restricted to the node's interval,
+// filtered to sub-intervals where the defining trajectory still has
+// non-zero NN probability (its zone intervals overlap).
+func (t *Tree) buildChildren(node *Node, excluded map[int64]bool, kept []*envelope.DistanceFunc, cfg Config, desc *descriptorEngine) {
+	if cfg.MaxLevels > 0 && node.Level >= cfg.MaxLevels {
+		return
+	}
+	var cands []*envelope.DistanceFunc
+	for _, f := range kept {
+		if !excluded[f.ID] && t.overlapsZone(f.ID, node.T0, node.T1) {
+			cands = append(cands, f)
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	env, err := envelope.LowerEnvelope(cands, node.T0, node.T1)
+	if err != nil {
+		return
+	}
+	for _, iv := range env.Intervals {
+		if !t.overlapsZone(iv.ID, iv.T0, iv.T1) {
+			continue
+		}
+		child := &Node{ID: iv.ID, T0: iv.T0, T1: iv.T1, Level: node.Level + 1}
+		if desc != nil {
+			child.Descriptor = desc.describe(child.ID, child.T0, child.T1)
+		}
+		node.Children = append(node.Children, child)
+		childExcluded := make(map[int64]bool, len(excluded)+1)
+		for id := range excluded {
+			childExcluded[id] = true
+		}
+		childExcluded[iv.ID] = true
+		t.buildChildren(child, childExcluded, kept, cfg, desc)
+	}
+}
+
+// overlapsZone reports whether the object's non-zero-probability time set
+// intersects [t0, t1] with positive measure.
+func (t *Tree) overlapsZone(id int64, t0, t1 float64) bool {
+	for _, iv := range t.zone[id] {
+		if math.Min(iv.T1, t1)-math.Max(iv.T0, t0) > envelope.TimeEps {
+			return true
+		}
+	}
+	return false
+}
+
+// descriptorEngine computes probability descriptors through the Section 3.1
+// reduction: a crisp query at the origin against objects carrying the
+// convolved pdf at their difference-trajectory distances.
+type descriptorEngine struct {
+	conv    updf.RadialPDF
+	kept    []*envelope.DistanceFunc
+	samples int
+	grid    int
+}
+
+func (d *descriptorEngine) describe(id int64, t0, t1 float64) *Descriptor {
+	ts := numeric.Linspace(t0, t1, d.samples)
+	out := &Descriptor{MinProb: math.Inf(1), MaxProb: math.Inf(-1)}
+	cands := make([]uncertain.Candidate, len(d.kept))
+	for _, tm := range ts {
+		for i, f := range d.kept {
+			cands[i] = uncertain.Candidate{ID: f.ID, Dist: f.Value(tm)}
+		}
+		probs := uncertain.NNProbabilities(d.conv, cands, d.grid)
+		p := probs[id]
+		out.Samples = append(out.Samples, ProbSample{T: tm, Prob: p})
+		out.MinProb = math.Min(out.MinProb, p)
+		out.MaxProb = math.Max(out.MaxProb, p)
+	}
+	return out
+}
+
+// Walk visits every node depth-first in time order within each level.
+func (t *Tree) Walk(visit func(*Node)) {
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		visit(n)
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	for _, r := range t.Roots {
+		rec(r)
+	}
+}
+
+// NodeCount returns the number of nodes below the root — the tree's
+// combinatorial complexity, bounded by O(⌈N/K⌉²) per Theorem 2.
+func (t *Tree) NodeCount() int {
+	n := 0
+	t.Walk(func(*Node) { n++ })
+	return n
+}
+
+// Depth returns the maximum level present.
+func (t *Tree) Depth() int {
+	d := 0
+	t.Walk(func(n *Node) {
+		if n.Level > d {
+			d = n.Level
+		}
+	})
+	return d
+}
+
+// NodesAtLevel returns the nodes at the given level (1-based), in time
+// order within each parent.
+func (t *Tree) NodesAtLevel(level int) []*Node {
+	var out []*Node
+	t.Walk(func(n *Node) {
+		if n.Level == level {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
+// Envelope returns the level-1 lower envelope (the geometric dual's first
+// layer).
+func (t *Tree) Envelope() *envelope.Envelope { return t.env1 }
+
+// DistanceFuncs returns all difference distance functions (including
+// pruned ones).
+func (t *Tree) DistanceFuncs() []*envelope.DistanceFunc { return t.fns }
+
+// ZoneIntervals returns the time intervals during which the object has
+// non-zero probability of being the query's nearest neighbor (empty for
+// pruned objects).
+func (t *Tree) ZoneIntervals(oid int64) []envelope.TimeInterval { return t.zone[oid] }
+
+// AnswerAt returns the highest-probability nearest neighbor at time tm
+// (the level-1 envelope's trajectory), mirroring the time-parameterized
+// answer A_nn of Section 1.
+func (t *Tree) AnswerAt(tm float64) int64 { return t.env1.IDAt(tm) }
+
+// RankedAt returns up to k trajectory IDs in descending NN-probability
+// order at time tm, read off the distance ranking (Theorem 1), restricted
+// to objects with non-zero probability somewhere in the window.
+func (t *Tree) RankedAt(tm float64, k int) []int64 {
+	type dv struct {
+		id int64
+		v  float64
+	}
+	var ds []dv
+	for _, f := range t.fns {
+		if len(t.zone[f.ID]) == 0 {
+			continue
+		}
+		ds = append(ds, dv{f.ID, f.Value(tm)})
+	}
+	// Insertion sort by distance (candidate counts after pruning are small).
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j].v < ds[j-1].v; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+	if k > len(ds) {
+		k = len(ds)
+	}
+	out := make([]int64, k)
+	for i := 0; i < k; i++ {
+		out[i] = ds[i].id
+	}
+	return out
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/envelope"
+	"repro/internal/numeric"
+	"repro/internal/trajectory"
+	"repro/internal/workload"
+)
+
+func still(t *testing.T, oid int64, x, y float64) *trajectory.Trajectory {
+	t.Helper()
+	tr, err := trajectory.New(oid, []trajectory.Vertex{
+		{X: x, Y: y, T: 0}, {X: x, Y: y, T: 60},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// layout: query at origin; objects at increasing distances. With r = 0.5
+// the zone width is 2, so object at distance 2 (gap 0) defines level 1,
+// object at 3.5 (gap 1.5 <= 2) is level 2, object at 9 (gap 7) is pruned.
+func staticSet(t *testing.T) ([]*trajectory.Trajectory, *trajectory.Trajectory) {
+	t.Helper()
+	q := still(t, 100, 0, 0)
+	return []*trajectory.Trajectory{
+		q,
+		still(t, 1, 2, 0),
+		still(t, 2, 3.5, 0),
+		still(t, 3, 9, 0),
+	}, q
+}
+
+func TestBuildErrors(t *testing.T) {
+	trs, q := staticSet(t)
+	if _, err := Build(trs, q, 0, 60, 0, nil, Config{}); !errors.Is(err, ErrBadRadius) {
+		t.Errorf("bad radius: %v", err)
+	}
+	other := still(t, 999, 1, 1)
+	if _, err := Build(trs, other, 0, 60, 0.5, nil, Config{}); !errors.Is(err, ErrQueryNotFound) {
+		t.Errorf("missing query: %v", err)
+	}
+	if _, err := Build([]*trajectory.Trajectory{q}, q, 0, 60, 0.5, nil, Config{}); !errors.Is(err, ErrNoObjects) {
+		t.Errorf("no objects: %v", err)
+	}
+}
+
+func TestBuildStaticTree(t *testing.T) {
+	trs, q := staticSet(t)
+	tree, err := Build(trs, q, 0, 60, 0.5, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Level 1: single interval, object 1.
+	if len(tree.Roots) != 1 || tree.Roots[0].ID != 1 {
+		t.Fatalf("roots = %+v", tree.Roots)
+	}
+	if tree.Roots[0].T0 != 0 || tree.Roots[0].T1 != 60 || tree.Roots[0].Level != 1 {
+		t.Errorf("root node = %+v", tree.Roots[0])
+	}
+	// Object 3 pruned, objects 1 and 2 kept.
+	if len(tree.PrunedOIDs) != 1 || tree.PrunedOIDs[0] != 3 {
+		t.Errorf("pruned = %v", tree.PrunedOIDs)
+	}
+	if len(tree.KeptOIDs) != 2 {
+		t.Errorf("kept = %v", tree.KeptOIDs)
+	}
+	// Level 2: object 2 under object 1.
+	kids := tree.Roots[0].Children
+	if len(kids) != 1 || kids[0].ID != 2 || kids[0].Level != 2 {
+		t.Fatalf("children = %+v", kids)
+	}
+	// No level 3 (object 3 pruned).
+	if len(kids[0].Children) != 0 {
+		t.Errorf("level 3 = %+v", kids[0].Children)
+	}
+	if tree.Depth() != 2 || tree.NodeCount() != 2 {
+		t.Errorf("depth=%d count=%d", tree.Depth(), tree.NodeCount())
+	}
+	if got := tree.AnswerAt(30); got != 1 {
+		t.Errorf("AnswerAt = %d", got)
+	}
+	if got := tree.RankedAt(30, 5); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("RankedAt = %v", got)
+	}
+	if z := tree.ZoneIntervals(3); len(z) != 0 {
+		t.Errorf("pruned zone = %v", z)
+	}
+	if z := tree.ZoneIntervals(1); len(z) != 1 || z[0].T0 != 0 || z[0].T1 != 60 {
+		t.Errorf("level-1 zone = %v", z)
+	}
+}
+
+func TestMaxLevelsCap(t *testing.T) {
+	trs, q := staticSet(t)
+	tree, err := Build(trs, q, 0, 60, 0.5, nil, Config{MaxLevels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 1 {
+		t.Errorf("depth = %d", tree.Depth())
+	}
+	if len(tree.Roots[0].Children) != 0 {
+		t.Error("children built beyond cap")
+	}
+}
+
+func TestDescriptors(t *testing.T) {
+	trs, q := staticSet(t)
+	tree, err := Build(trs, q, 0, 60, 0.5, nil, Config{Descriptors: true, DescriptorSamples: 3, Grid: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tree.Roots[0]
+	if root.Descriptor == nil || len(root.Descriptor.Samples) != 3 {
+		t.Fatalf("descriptor = %+v", root.Descriptor)
+	}
+	d := root.Descriptor
+	if d.MinProb > d.MaxProb || d.MinProb < 0 || d.MaxProb > 1 {
+		t.Errorf("bounds = [%g, %g]", d.MinProb, d.MaxProb)
+	}
+	// Object 1 (distance 2) vs object 2 (distance 3.5) with convolved
+	// support 1: rings [1,3] and [2.5,4.5] overlap, so level-1 probability
+	// is below 1 but must dominate level-2's.
+	d2 := root.Children[0].Descriptor
+	if d2 == nil {
+		t.Fatal("level-2 descriptor missing")
+	}
+	if !(d.MinProb > d2.MaxProb) {
+		t.Errorf("level-1 prob %g should dominate level-2 %g", d.MinProb, d2.MaxProb)
+	}
+	// Static geometry: probabilities constant across samples.
+	for _, s := range d.Samples {
+		if math.Abs(s.Prob-d.Samples[0].Prob) > 1e-9 {
+			t.Errorf("non-constant probability: %+v", d.Samples)
+		}
+	}
+	// Probabilities sum to <= 1 across levels.
+	if d.Samples[0].Prob+d2.Samples[0].Prob > 1+1e-6 {
+		t.Errorf("sum = %g", d.Samples[0].Prob+d2.Samples[0].Prob)
+	}
+}
+
+// TestTreeOnWorkload exercises a moving workload end to end and checks the
+// structural invariants the paper states.
+func TestTreeOnWorkload(t *testing.T) {
+	trs, err := workload.Generate(workload.DefaultConfig(2025), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := trs[0]
+	r := 0.5
+	tree, err := Build(trs, q, 0, 60, r, nil, Config{MaxLevels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.KeptOIDs)+len(tree.PrunedOIDs) != len(trs)-1 {
+		t.Fatalf("kept %d + pruned %d != %d", len(tree.KeptOIDs), len(tree.PrunedOIDs), len(trs)-1)
+	}
+	// Level-1 nodes tile [0, 60] and match the envelope's minimum.
+	var lvl1 []*Node
+	tree.Walk(func(n *Node) {
+		if n.Level == 1 {
+			lvl1 = append(lvl1, n)
+		}
+	})
+	if lvl1[0].T0 != 0 || lvl1[len(lvl1)-1].T1 != 60 {
+		t.Fatalf("level-1 does not tile window")
+	}
+	for i := 1; i < len(lvl1); i++ {
+		if math.Abs(lvl1[i].T0-lvl1[i-1].T1) > 1e-9 {
+			t.Fatalf("level-1 gap at %d", i)
+		}
+	}
+	// At sampled times, the level-1 node is the true nearest difference
+	// function; children are farther than their parents.
+	fnsByID := map[int64]*envelope.DistanceFunc{}
+	for _, f := range tree.DistanceFuncs() {
+		fnsByID[f.ID] = f
+	}
+	tree.Walk(func(n *Node) {
+		for _, c := range n.Children {
+			for _, tm := range numeric.Linspace(c.T0, c.T1, 5) {
+				if fnsByID[c.ID].Value(tm) < fnsByID[n.ID].Value(tm)-1e-6 {
+					t.Errorf("child %d below parent %d at t=%g", c.ID, n.ID, tm)
+				}
+			}
+		}
+	})
+	// Every node's trajectory enters the pruning zone within its interval.
+	tree.Walk(func(n *Node) {
+		f := fnsByID[n.ID]
+		ok := false
+		for _, tm := range numeric.Linspace(n.T0, n.T1, 33) {
+			if f.Value(tm) <= tree.Envelope().ValueAt(tm)+4*r+1e-6 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("node %d (level %d, [%g, %g]) never enters zone", n.ID, n.Level, n.T0, n.T1)
+		}
+	})
+	// Depth respects the cap.
+	if tree.Depth() > 3 {
+		t.Errorf("depth = %d", tree.Depth())
+	}
+	// NodesAtLevel consistency.
+	total := 0
+	for l := 1; l <= tree.Depth(); l++ {
+		total += len(tree.NodesAtLevel(l))
+	}
+	if total != tree.NodeCount() {
+		t.Errorf("level sums %d != count %d", total, tree.NodeCount())
+	}
+}
+
+// TestRankedAtMatchesDistances: RankedAt must order by distance at tm.
+func TestRankedAtMatchesDistances(t *testing.T) {
+	trs, err := workload.Generate(workload.SingleSegmentConfig(31), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := trs[0]
+	tree, err := Build(trs, q, 0, 60, 1, nil, Config{MaxLevels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range []float64{0, 17.3, 42, 60} {
+		ids := tree.RankedAt(tm, 10)
+		prev := -1.0
+		for _, id := range ids {
+			var f *envelope.DistanceFunc
+			for _, g := range tree.DistanceFuncs() {
+				if g.ID == id {
+					f = g
+					break
+				}
+			}
+			v := f.Value(tm)
+			if v < prev-1e-9 {
+				t.Fatalf("t=%g: ranking not by distance", tm)
+			}
+			prev = v
+		}
+	}
+}
+
+// TestPrunedNeverOnTree: pruned OIDs must not appear in any node.
+func TestPrunedNeverOnTree(t *testing.T) {
+	trs, err := workload.Generate(workload.DefaultConfig(99), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Build(trs, trs[0], 0, 60, 0.25, nil, Config{MaxLevels: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned := map[int64]bool{}
+	for _, id := range tree.PrunedOIDs {
+		pruned[id] = true
+	}
+	tree.Walk(func(n *Node) {
+		if pruned[n.ID] {
+			t.Errorf("pruned oid %d on tree (level %d)", n.ID, n.Level)
+		}
+	})
+}

@@ -1,0 +1,397 @@
+package envelope
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/numeric"
+)
+
+// Interval is one maximal piece of an envelope: on [T0, T1] the function
+// with the given ID defines the envelope.
+type Interval struct {
+	ID     int64
+	T0, T1 float64
+}
+
+// Envelope is a ranked lower envelope: a contiguous list of intervals over
+// [T0, T1] plus the distance functions needed to evaluate it. The interval
+// boundaries interior to the window are the paper's critical time points.
+type Envelope struct {
+	Intervals []Interval
+	T0, T1    float64
+	fns       map[int64]*DistanceFunc
+}
+
+// newEnvelope wraps an interval list with its function table.
+func newEnvelope(ivs []Interval, fns map[int64]*DistanceFunc, t0, t1 float64) *Envelope {
+	return &Envelope{Intervals: ivs, fns: fns, T0: t0, T1: t1}
+}
+
+// Size returns the combinatorial complexity of the envelope (number of
+// maximal intervals). For N single-segment hyperbolae it is bounded by the
+// Davenport-Schinzel bound λ₂(N) = 2N − 1.
+func (e *Envelope) Size() int { return len(e.Intervals) }
+
+// CriticalTimes returns the interior critical time points.
+func (e *Envelope) CriticalTimes() []float64 {
+	var out []float64
+	for i := 0; i+1 < len(e.Intervals); i++ {
+		out = append(out, e.Intervals[i].T1)
+	}
+	return out
+}
+
+// At returns the envelope's interval index active at time t.
+func (e *Envelope) at(t float64) int {
+	n := len(e.Intervals)
+	i := sort.Search(n, func(k int) bool { return e.Intervals[k].T1 >= t })
+	if i == n {
+		i = n - 1
+	}
+	return i
+}
+
+// ValueAt evaluates the envelope at time t (clamped to the window).
+func (e *Envelope) ValueAt(t float64) float64 {
+	iv := e.Intervals[e.at(t)]
+	return e.fns[iv.ID].Value(t)
+}
+
+// IDAt returns the ID of the function defining the envelope at time t.
+func (e *Envelope) IDAt(t float64) int64 { return e.Intervals[e.at(t)].ID }
+
+// Func returns the distance function with the given ID, or nil.
+func (e *Envelope) Func(id int64) *DistanceFunc { return e.fns[id] }
+
+// IDs returns the distinct function IDs appearing on the envelope, in
+// order of first appearance.
+func (e *Envelope) IDs() []int64 {
+	seen := make(map[int64]bool)
+	var out []int64
+	for _, iv := range e.Intervals {
+		if !seen[iv.ID] {
+			seen[iv.ID] = true
+			out = append(out, iv.ID)
+		}
+	}
+	return out
+}
+
+// concatMerge appends interval iv to dst with the paper's ⊎ semantics:
+// when the last interval of dst is defined by the same function, the two
+// intervals fuse and the shared critical point is absorbed (Example 5).
+func concatMerge(dst []Interval, iv Interval) []Interval {
+	if iv.T1-iv.T0 <= TimeEps {
+		return dst
+	}
+	if n := len(dst); n > 0 && dst[n-1].ID == iv.ID && math.Abs(dst[n-1].T1-iv.T0) <= TimeEps {
+		dst[n-1].T1 = iv.T1
+		return dst
+	}
+	return append(dst, iv)
+}
+
+// Env2 computes the lower envelope of two distance functions over [lo, hi]
+// (the paper's Env2 primitive): their crossings inside the window are the
+// new critical time points, and between consecutive critical points the
+// smaller function (sampled at the midpoint) defines the envelope. For
+// single-piece inputs this is O(1).
+func Env2(f, g *DistanceFunc, lo, hi float64) []Interval {
+	if hi-lo <= TimeEps {
+		return nil
+	}
+	cuts := []float64{lo}
+	cuts = append(cuts, Intersections(f, g, lo, hi)...)
+	cuts = append(cuts, hi)
+	var out []Interval
+	for i := 1; i < len(cuts); i++ {
+		t0, t1 := cuts[i-1], cuts[i]
+		if t1-t0 <= TimeEps {
+			continue
+		}
+		mid := 0.5 * (t0 + t1)
+		id := f.ID
+		if g.ValueSq(mid) < f.ValueSq(mid) {
+			id = g.ID
+		}
+		out = concatMerge(out, Interval{ID: id, T0: t0, T1: t1})
+	}
+	return out
+}
+
+// MergeLE merges two lower envelopes over the same window into their
+// combined lower envelope — the paper's Algorithm 2. The sweep walks the
+// union of the two envelopes' critical time points, maintaining the current
+// lower and upper sweep bounds, invokes Env2 on the pair of functions
+// active on each elementary interval, and ⊎-concatenates the results.
+func MergeLE(a, b []Interval, fns map[int64]*DistanceFunc) []Interval {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	var out []Interval
+	k, p := 0, 0
+	for k < len(a) && p < len(b) {
+		ia, ib := a[k], b[p]
+		tcl := math.Max(ia.T0, ib.T0) // current lower bound
+		tcu := math.Min(ia.T1, ib.T1) // current upper bound
+		if tcu-tcl > TimeEps {
+			for _, iv := range Env2(fns[ia.ID], fns[ib.ID], tcl, tcu) {
+				out = concatMerge(out, iv)
+			}
+		}
+		switch {
+		case ia.T1 < ib.T1-TimeEps:
+			k++
+		case ib.T1 < ia.T1-TimeEps:
+			p++
+		default:
+			k++
+			p++
+		}
+	}
+	return out
+}
+
+// LowerEnvelope constructs the lower envelope of the distance functions
+// over [tb, te] by divide and conquer (the paper's Algorithm 1, LE_Alg):
+// split the set, recurse, and MergeLE the halves — O(N log N) for
+// single-segment trajectories by the Davenport-Schinzel bound.
+func LowerEnvelope(fns []*DistanceFunc, tb, te float64) (*Envelope, error) {
+	if len(fns) == 0 {
+		return nil, ErrNoFunctions
+	}
+	if te-tb <= TimeEps {
+		return nil, ErrEmptyWindow
+	}
+	table := make(map[int64]*DistanceFunc, len(fns))
+	for _, f := range fns {
+		table[f.ID] = f
+	}
+	ivs := leAlg(fns, tb, te, table)
+	return newEnvelope(ivs, table, tb, te), nil
+}
+
+func leAlg(fns []*DistanceFunc, tb, te float64, table map[int64]*DistanceFunc) []Interval {
+	if len(fns) == 1 {
+		return []Interval{{ID: fns[0].ID, T0: tb, T1: te}}
+	}
+	c := len(fns) / 2
+	left := leAlg(fns[:c], tb, te, table)
+	right := leAlg(fns[c:], tb, te, table)
+	return MergeLE(left, right, table)
+}
+
+// NaiveLowerEnvelope is the baseline of the paper's Figure 11: find the
+// intersections of all O(N²) pairs of distance functions, sort them in
+// time, and sweep, switching the envelope function whenever the current
+// envelope curve is crossed from below. O(N² log N).
+func NaiveLowerEnvelope(fns []*DistanceFunc, tb, te float64) (*Envelope, error) {
+	if len(fns) == 0 {
+		return nil, ErrNoFunctions
+	}
+	if te-tb <= TimeEps {
+		return nil, ErrEmptyWindow
+	}
+	table := make(map[int64]*DistanceFunc, len(fns))
+	for _, f := range fns {
+		table[f.ID] = f
+	}
+	type event struct {
+		t    float64
+		i, j int32
+	}
+	var events []event
+	for i := 0; i < len(fns); i++ {
+		for j := i + 1; j < len(fns); j++ {
+			for _, t := range Intersections(fns[i], fns[j], tb, te) {
+				events = append(events, event{t: t, i: int32(i), j: int32(j)})
+			}
+		}
+	}
+	sort.Slice(events, func(a, b int) bool { return events[a].t < events[b].t })
+
+	// Initial envelope function at tb.
+	cur := 0
+	probe := tb + math.Min((te-tb)*1e-7, TimeEps*10)
+	best := fns[0].ValueSq(probe)
+	for i := 1; i < len(fns); i++ {
+		if v := fns[i].ValueSq(probe); v < best {
+			best = v
+			cur = i
+		}
+	}
+	var ivs []Interval
+	start := tb
+	for _, ev := range events {
+		if int(ev.i) != cur && int(ev.j) != cur {
+			continue // the envelope only changes at crossings involving it
+		}
+		other := int(ev.i)
+		if other == cur {
+			other = int(ev.j)
+		}
+		// Just after the crossing, does the other curve go below?
+		after := math.Min(te, ev.t+math.Max(TimeEps*10, (te-tb)*1e-9))
+		if fns[other].ValueSq(after) < fns[cur].ValueSq(after) {
+			if ev.t-start > TimeEps {
+				ivs = concatMerge(ivs, Interval{ID: fns[cur].ID, T0: start, T1: ev.t})
+				start = ev.t
+			}
+			cur = other
+		}
+	}
+	ivs = concatMerge(ivs, Interval{ID: fns[cur].ID, T0: start, T1: te})
+	return newEnvelope(ivs, table, tb, te), nil
+}
+
+// MinGap returns the minimum over the window of f(t) − e(t): how close f
+// comes to the envelope. Negative values mean f dips below e somewhere.
+// Each elementary interval (union of f's and e's breakpoints) holds a
+// smooth difference of two hyperbolae; the minimum is located by sampling
+// followed by golden-section refinement (tolerance TimeEps).
+func MinGap(f *DistanceFunc, e *Envelope) float64 {
+	cuts := mergeCuts(f.Breakpoints(), e.breakTimes(), e.T0, e.T1)
+	best := math.Inf(1)
+	for i := 1; i < len(cuts); i++ {
+		t0, t1 := cuts[i-1], cuts[i]
+		if t1-t0 <= TimeEps {
+			continue
+		}
+		iv := e.Intervals[e.at(0.5*(t0+t1))]
+		g := e.fns[iv.ID]
+		diff := func(t float64) float64 { return f.Value(t) - g.Value(t) }
+		// Bracket by sampling, then refine.
+		const samples = 8
+		bt, bv := t0, diff(t0)
+		for s := 1; s <= samples; s++ {
+			t := t0 + (t1-t0)*float64(s)/samples
+			if v := diff(t); v < bv {
+				bv = v
+				bt = t
+			}
+		}
+		lo := math.Max(t0, bt-(t1-t0)/samples)
+		hi := math.Min(t1, bt+(t1-t0)/samples)
+		if _, v := numeric.MinimizeGolden(diff, lo, hi, TimeEps); v < bv {
+			bv = v
+		}
+		if bv < best {
+			best = bv
+		}
+	}
+	return best
+}
+
+// breakTimes returns the envelope's interval boundaries.
+func (e *Envelope) breakTimes() []float64 {
+	out := make([]float64, 0, len(e.Intervals)+1)
+	out = append(out, e.Intervals[0].T0)
+	for _, iv := range e.Intervals {
+		out = append(out, iv.T1)
+	}
+	return out
+}
+
+func mergeCuts(a, b []float64, lo, hi float64) []float64 {
+	all := make([]float64, 0, len(a)+len(b)+2)
+	all = append(all, lo, hi)
+	for _, t := range a {
+		if t > lo && t < hi {
+			all = append(all, t)
+		}
+	}
+	for _, t := range b {
+		if t > lo && t < hi {
+			all = append(all, t)
+		}
+	}
+	sort.Float64s(all)
+	return dedupTimes(all)
+}
+
+// Prune partitions the functions into those that intersect the pruning
+// zone [envelope, envelope + width] somewhere in the window (kept) and
+// those that never do (pruned). Per Section 3.2, with uncertainty radius r
+// the width is 4r: an object whose distance function stays more than 4r
+// above the lower envelope can never have non-zero probability of being
+// the nearest neighbor.
+func Prune(fns []*DistanceFunc, e *Envelope, width float64) (kept, pruned []*DistanceFunc) {
+	for _, f := range fns {
+		if MinGap(f, e) <= width {
+			kept = append(kept, f)
+		} else {
+			pruned = append(pruned, f)
+		}
+	}
+	return kept, pruned
+}
+
+// TimeInterval is a closed interval of time.
+type TimeInterval struct {
+	T0, T1 float64
+}
+
+// Length returns the interval's duration.
+func (iv TimeInterval) Length() float64 { return iv.T1 - iv.T0 }
+
+// TotalLength sums the durations of a set of disjoint intervals.
+func TotalLength(ivs []TimeInterval) float64 {
+	var s float64
+	for _, iv := range ivs {
+		s += iv.Length()
+	}
+	return s
+}
+
+// BelowIntervals returns the maximal time intervals within the envelope's
+// window during which f(t) <= e(t) + delta — the membership test of the
+// pruning zone that underlies the UQ query variants (delta = 4r for
+// Level 1 semantics). Boundaries are refined with Brent's method to
+// TimeEps.
+func BelowIntervals(f *DistanceFunc, e *Envelope, delta float64) []TimeInterval {
+	cuts := mergeCuts(f.Breakpoints(), e.breakTimes(), e.T0, e.T1)
+	g := func(t float64) float64 { return f.Value(t) - e.ValueAt(t) - delta }
+	// Collect sign-change boundaries by dense sampling per elementary
+	// interval (the difference has at most a few roots per interval since
+	// both sides are hyperbola pieces), refined by bisection.
+	const samples = 16
+	var roots []float64
+	for i := 1; i < len(cuts); i++ {
+		t0, t1 := cuts[i-1], cuts[i]
+		if t1-t0 <= TimeEps {
+			continue
+		}
+		prevT := t0
+		prevV := g(t0)
+		for s := 1; s <= samples; s++ {
+			t := t0 + (t1-t0)*float64(s)/samples
+			v := g(t)
+			if (prevV < 0) != (v < 0) {
+				if r, err := numeric.FindRoot(g, prevT, t, TimeEps); err == nil {
+					roots = append(roots, r)
+				}
+			}
+			prevT, prevV = t, v
+		}
+	}
+	cutsAll := mergeCuts(roots, nil, e.T0, e.T1)
+	var out []TimeInterval
+	for i := 1; i < len(cutsAll); i++ {
+		t0, t1 := cutsAll[i-1], cutsAll[i]
+		if t1-t0 <= TimeEps {
+			continue
+		}
+		if g(0.5*(t0+t1)) <= 0 {
+			if n := len(out); n > 0 && math.Abs(out[n-1].T1-t0) <= TimeEps {
+				out[n-1].T1 = t1
+			} else {
+				out = append(out, TimeInterval{T0: t0, T1: t1})
+			}
+		}
+	}
+	return out
+}

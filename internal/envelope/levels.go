@@ -1,0 +1,84 @@
+package envelope
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KLevelEnvelopes returns the first k ranked lower envelopes of the
+// distance functions over [tb, te]: result[j-1] is the pointwise j-th
+// smallest function (the "j-th-lower-envelope" of the paper's Figure 10,
+// the geometric dual of the IPAC-NN tree's level-j nodes).
+//
+// Level j is built by overlaying the breakpoints of levels 1..j-1, and on
+// each elementary interval computing the lower envelope of the functions
+// that do not define any shallower level there (the interval-wise exclusion
+// of Algorithm 3). If fewer than j functions exist somewhere, level j is
+// absent there; when no functions remain at all, fewer than k envelopes are
+// returned.
+func KLevelEnvelopes(fns []*DistanceFunc, tb, te float64, k int) ([]*Envelope, error) {
+	if len(fns) == 0 {
+		return nil, ErrNoFunctions
+	}
+	if te-tb <= TimeEps {
+		return nil, ErrEmptyWindow
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("envelope: k must be >= 1, got %d", k)
+	}
+	table := make(map[int64]*DistanceFunc, len(fns))
+	for _, f := range fns {
+		table[f.ID] = f
+	}
+	var out []*Envelope
+	first, err := LowerEnvelope(fns, tb, te)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, first)
+	for j := 2; j <= k && j <= len(fns); j++ {
+		// Overlay breakpoints of all shallower levels.
+		var cutSet []float64
+		cutSet = append(cutSet, tb, te)
+		for _, e := range out {
+			for _, iv := range e.Intervals {
+				if iv.T1 > tb && iv.T1 < te {
+					cutSet = append(cutSet, iv.T1)
+				}
+			}
+		}
+		sort.Float64s(cutSet)
+		cutSet = dedupTimes(cutSet)
+
+		var ivs []Interval
+		for i := 1; i < len(cutSet); i++ {
+			t0, t1 := cutSet[i-1], cutSet[i]
+			if t1-t0 <= TimeEps {
+				continue
+			}
+			mid := 0.5 * (t0 + t1)
+			excluded := make(map[int64]bool, j-1)
+			for _, e := range out {
+				excluded[e.IDAt(mid)] = true
+			}
+			var remaining []*DistanceFunc
+			for _, f := range fns {
+				if !excluded[f.ID] {
+					remaining = append(remaining, f)
+				}
+			}
+			if len(remaining) == 0 {
+				continue
+			}
+			sub := leAlg(remaining, t0, t1, table)
+			for _, iv := range sub {
+				ivs = concatMerge(ivs, iv)
+			}
+		}
+		if len(ivs) == 0 {
+			break
+		}
+		out = append(out, newEnvelope(ivs, table, tb, te))
+	}
+	return out, nil
+}

@@ -1,0 +1,106 @@
+package envelope
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+// kthOracle returns the j-th smallest (1-based) function value at time t.
+func kthOracle(fns []*DistanceFunc, t float64, j int) float64 {
+	vals := make([]float64, len(fns))
+	for i, f := range fns {
+		vals[i] = f.Value(t)
+	}
+	sort.Float64s(vals)
+	return vals[j-1]
+}
+
+func TestKLevelEnvelopesMatchOracle(t *testing.T) {
+	for _, segs := range []bool{false, true} {
+		fns := buildRandomFuncs(t, 21, 25, segs)
+		const k = 4
+		levels, err := KLevelEnvelopes(fns, 0, 60, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(levels) != k {
+			t.Fatalf("got %d levels", len(levels))
+		}
+		for j := 1; j <= k; j++ {
+			env := levels[j-1]
+			for _, tm := range numeric.Linspace(0.01, 59.99, 499) {
+				want := kthOracle(fns, tm, j)
+				got := env.ValueAt(tm)
+				if math.Abs(got-want) > 1e-6 {
+					t.Fatalf("segs=%v level %d t=%g: env=%g oracle=%g", segs, j, tm, got, want)
+				}
+			}
+		}
+		// Levels are pointwise nondecreasing in j.
+		for _, tm := range numeric.Linspace(0.01, 59.99, 199) {
+			prev := -1.0
+			for j := range levels {
+				v := levels[j].ValueAt(tm)
+				if v < prev-1e-9 {
+					t.Fatalf("levels not sorted at t=%g level %d", tm, j+1)
+				}
+				prev = v
+			}
+		}
+	}
+}
+
+func TestKLevelEnvelopesSmallSets(t *testing.T) {
+	fns := buildRandomFuncs(t, 3, 2, false)
+	// k larger than the number of functions: capped at len(fns).
+	levels, err := KLevelEnvelopes(fns, 0, 60, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 2 {
+		t.Fatalf("levels = %d, want 2", len(levels))
+	}
+	// Level 2 should be the max of the two functions everywhere.
+	for _, tm := range numeric.Linspace(0.01, 59.99, 99) {
+		want := math.Max(fns[0].Value(tm), fns[1].Value(tm))
+		if got := levels[1].ValueAt(tm); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("t=%g: %g vs %g", tm, got, want)
+		}
+	}
+}
+
+func TestKLevelEnvelopesErrors(t *testing.T) {
+	fns := buildRandomFuncs(t, 4, 3, false)
+	if _, err := KLevelEnvelopes(nil, 0, 60, 2); err == nil {
+		t.Error("nil fns accepted")
+	}
+	if _, err := KLevelEnvelopes(fns, 5, 5, 2); err == nil {
+		t.Error("empty window accepted")
+	}
+	if _, err := KLevelEnvelopes(fns, 0, 60, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestKLevelFirstEqualsLowerEnvelope(t *testing.T) {
+	fns := buildRandomFuncs(t, 8, 30, true)
+	levels, err := KLevelEnvelopes(fns, 0, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	le, err := LowerEnvelope(fns, 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 1 || levels[0].Size() != le.Size() {
+		t.Fatalf("level1 size %d vs %d", levels[0].Size(), le.Size())
+	}
+	for i := range le.Intervals {
+		if levels[0].Intervals[i] != le.Intervals[i] {
+			t.Fatalf("interval %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,402 @@
+// Package mod implements the Moving Objects Database substrate (the MOD of
+// the paper's Section 1): a concurrent in-memory store of uncertain
+// trajectories sharing one uncertainty radius and one location pdf (the
+// paper assumes r and pdf are common to the set), with
+//
+//   - insert/get/delete/update operations,
+//   - a shortest-travel-time trip constructor (the server-side trajectory
+//     building of Section 2.1: users submit waypoints, the server returns a
+//     full trajectory),
+//   - spatio-temporal index construction over trajectory segments, and
+//   - binary and JSON persistence with failure-injection-friendly error
+//     reporting.
+package mod
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/sindex"
+	"repro/internal/trajectory"
+	"repro/internal/updf"
+)
+
+// Store errors.
+var (
+	ErrDuplicateOID = errors.New("mod: duplicate object ID")
+	ErrNotFound     = errors.New("mod: object not found")
+	ErrBadHeader    = errors.New("mod: bad or truncated store header")
+	ErrBadPDFSpec   = errors.New("mod: unknown pdf kind")
+	ErrNoWaypoints  = errors.New("mod: trip needs at least two waypoints")
+	ErrBadSpeed     = errors.New("mod: trip speed must be positive")
+)
+
+// magic identifies the binary store format ("UTMOD1").
+var magic = [6]byte{'U', 'T', 'M', 'O', 'D', '1'}
+
+// PDFKind enumerates the serializable location-pdf families.
+type PDFKind string
+
+// Supported pdf kinds.
+const (
+	PDFUniform         PDFKind = "uniform"
+	PDFBoundedGaussian PDFKind = "bounded-gaussian"
+	PDFEpanechnikov    PDFKind = "epanechnikov"
+)
+
+// PDFSpec is a serializable description of a location pdf. R is the
+// uncertainty radius (support); Sigma applies to the bounded Gaussian.
+type PDFSpec struct {
+	Kind  PDFKind `json:"kind"`
+	R     float64 `json:"r"`
+	Sigma float64 `json:"sigma,omitempty"`
+}
+
+// ToPDF materializes the spec.
+func (s PDFSpec) ToPDF() (updf.RadialPDF, error) {
+	if s.R <= 0 {
+		return nil, fmt.Errorf("%w: nonpositive radius %g", ErrBadPDFSpec, s.R)
+	}
+	switch s.Kind {
+	case PDFUniform:
+		return updf.NewUniformDisk(s.R), nil
+	case PDFBoundedGaussian:
+		if s.Sigma <= 0 {
+			return nil, fmt.Errorf("%w: bounded-gaussian needs sigma > 0", ErrBadPDFSpec)
+		}
+		return updf.NewBoundedGaussian(s.R, s.Sigma), nil
+	case PDFEpanechnikov:
+		return updf.NewEpanechnikov(s.R), nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrBadPDFSpec, s.Kind)
+	}
+}
+
+// Store is a concurrent MOD holding the trajectory set and the shared
+// uncertainty model. All methods are safe for concurrent use.
+type Store struct {
+	mu    sync.RWMutex
+	trajs map[int64]*trajectory.Trajectory
+	spec  PDFSpec
+	pdf   updf.RadialPDF
+}
+
+// NewStore creates a store whose trajectories share the uncertainty model
+// described by spec.
+func NewStore(spec PDFSpec) (*Store, error) {
+	p, err := spec.ToPDF()
+	if err != nil {
+		return nil, err
+	}
+	return &Store{trajs: make(map[int64]*trajectory.Trajectory), spec: spec, pdf: p}, nil
+}
+
+// NewUniformStore is shorthand for the paper's default model: uniform pdf
+// with uncertainty radius r.
+func NewUniformStore(r float64) (*Store, error) {
+	return NewStore(PDFSpec{Kind: PDFUniform, R: r})
+}
+
+// Spec returns the store's uncertainty model description.
+func (s *Store) Spec() PDFSpec { return s.spec }
+
+// PDF returns the shared location pdf.
+func (s *Store) PDF() updf.RadialPDF { return s.pdf }
+
+// Radius returns the shared uncertainty radius.
+func (s *Store) Radius() float64 { return s.spec.R }
+
+// Insert adds a trajectory. The OID must be unused and the trajectory
+// valid.
+func (s *Store) Insert(tr *trajectory.Trajectory) error {
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.trajs[tr.OID]; ok {
+		return fmt.Errorf("%w: %d", ErrDuplicateOID, tr.OID)
+	}
+	s.trajs[tr.OID] = tr
+	return nil
+}
+
+// InsertAll inserts a batch, stopping at the first error.
+func (s *Store) InsertAll(trs []*trajectory.Trajectory) error {
+	for _, tr := range trs {
+		if err := s.Insert(tr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get returns the trajectory with the given OID.
+func (s *Store) Get(oid int64) (*trajectory.Trajectory, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tr, ok := s.trajs[oid]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNotFound, oid)
+	}
+	return tr, nil
+}
+
+// GetUncertain returns the trajectory wrapped with the store's shared
+// uncertainty model.
+func (s *Store) GetUncertain(oid int64) (*trajectory.Uncertain, error) {
+	tr, err := s.Get(oid)
+	if err != nil {
+		return nil, err
+	}
+	return trajectory.NewUncertain(*tr, s.spec.R, s.pdf)
+}
+
+// Delete removes a trajectory.
+func (s *Store) Delete(oid int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.trajs[oid]; !ok {
+		return fmt.Errorf("%w: %d", ErrNotFound, oid)
+	}
+	delete(s.trajs, oid)
+	return nil
+}
+
+// Update replaces an existing trajectory (same OID).
+func (s *Store) Update(tr *trajectory.Trajectory) error {
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.trajs[tr.OID]; !ok {
+		return fmt.Errorf("%w: %d", ErrNotFound, tr.OID)
+	}
+	s.trajs[tr.OID] = tr
+	return nil
+}
+
+// Len returns the number of stored trajectories.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.trajs)
+}
+
+// OIDs returns the sorted object IDs.
+func (s *Store) OIDs() []int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int64, 0, len(s.trajs))
+	for oid := range s.trajs {
+		out = append(out, oid)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// All returns a snapshot slice of the trajectories, sorted by OID.
+func (s *Store) All() []*trajectory.Trajectory {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*trajectory.Trajectory, 0, len(s.trajs))
+	for _, tr := range s.trajs {
+		out = append(out, tr)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].OID < out[b].OID })
+	return out
+}
+
+// TimeSpan returns the union of all trajectory spans. ok is false for an
+// empty store.
+func (s *Store) TimeSpan() (tb, te float64, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.trajs) == 0 {
+		return 0, 0, false
+	}
+	tb, te = math.Inf(1), math.Inf(-1)
+	for _, tr := range s.trajs {
+		b, e := tr.TimeSpan()
+		tb = math.Min(tb, b)
+		te = math.Max(te, e)
+	}
+	return tb, te, true
+}
+
+// BuildIndex constructs an STR R-tree over all trajectory segments,
+// expanding each segment's box by the uncertainty radius so range answers
+// are conservative with respect to possible (not just expected) locations.
+func (s *Store) BuildIndex(fanout int) *sindex.RTree {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var entries []sindex.Entry
+	for _, tr := range s.trajs {
+		for i := 0; i < tr.NumSegments(); i++ {
+			seg, t0, t1 := tr.Segment(i)
+			box := geom.AABBOf(seg.A, seg.B).Expand(s.spec.R)
+			entries = append(entries, sindex.Entry{ID: tr.OID, Box: box, T0: t0, T1: t1})
+		}
+	}
+	return sindex.NewRTree(entries, fanout)
+}
+
+// PlanTrip builds the server-side shortest-travel-time trajectory of
+// Section 2.1: constant cruise speed (distance units per time unit)
+// through the waypoints, starting at startT. OID must be unused when the
+// trip is inserted; PlanTrip itself does not insert.
+func PlanTrip(oid int64, waypoints []geom.Point, startT, speed float64) (*trajectory.Trajectory, error) {
+	if len(waypoints) < 2 {
+		return nil, ErrNoWaypoints
+	}
+	if speed <= 0 {
+		return nil, ErrBadSpeed
+	}
+	verts := make([]trajectory.Vertex, 0, len(waypoints))
+	t := startT
+	verts = append(verts, trajectory.Vertex{X: waypoints[0].X, Y: waypoints[0].Y, T: t})
+	for i := 1; i < len(waypoints); i++ {
+		d := waypoints[i].Dist(waypoints[i-1])
+		if d == 0 {
+			continue // skip repeated waypoints; zero-length segments are invalid
+		}
+		t += d / speed
+		verts = append(verts, trajectory.Vertex{X: waypoints[i].X, Y: waypoints[i].Y, T: t})
+	}
+	return trajectory.New(oid, verts)
+}
+
+// --- persistence ---
+
+// storeJSON is the JSON representation of a store.
+type storeJSON struct {
+	Spec  PDFSpec    `json:"spec"`
+	Trajs []trajJSON `json:"trajectories"`
+}
+
+type trajJSON struct {
+	OID   int64        `json:"oid"`
+	Verts [][3]float64 `json:"verts"`
+}
+
+// SaveJSON writes the store as a single JSON document.
+func (s *Store) SaveJSON(w io.Writer) error {
+	s.mu.RLock()
+	doc := storeJSON{Spec: s.spec}
+	for _, tr := range s.All() {
+		tj := trajJSON{OID: tr.OID, Verts: make([][3]float64, len(tr.Verts))}
+		for i, v := range tr.Verts {
+			tj.Verts[i] = [3]float64{v.X, v.Y, v.T}
+		}
+		doc.Trajs = append(doc.Trajs, tj)
+	}
+	s.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// LoadJSON reads a store previously written with SaveJSON.
+func LoadJSON(r io.Reader) (*Store, error) {
+	var doc storeJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("mod: decoding JSON store: %w", err)
+	}
+	st, err := NewStore(doc.Spec)
+	if err != nil {
+		return nil, err
+	}
+	for _, tj := range doc.Trajs {
+		verts := make([]trajectory.Vertex, len(tj.Verts))
+		for i, v := range tj.Verts {
+			verts[i] = trajectory.Vertex{X: v[0], Y: v[1], T: v[2]}
+		}
+		tr, err := trajectory.New(tj.OID, verts)
+		if err != nil {
+			return nil, fmt.Errorf("mod: trajectory %d: %w", tj.OID, err)
+		}
+		if err := st.Insert(tr); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// SaveBinary writes the compact binary format: magic, pdf spec, count,
+// then each trajectory via trajectory.WriteBinary.
+func (s *Store) SaveBinary(w io.Writer) error {
+	s.mu.RLock()
+	trs := s.All()
+	spec := s.spec
+	s.mu.RUnlock()
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	kind := []byte(spec.Kind)
+	if err := binary.Write(w, binary.LittleEndian, uint8(len(kind))); err != nil {
+		return err
+	}
+	if _, err := w.Write(kind); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, [2]float64{spec.R, spec.Sigma}); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(trs))); err != nil {
+		return err
+	}
+	for _, tr := range trs {
+		if err := tr.WriteBinary(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadBinary reads a store previously written with SaveBinary.
+func LoadBinary(r io.Reader) (*Store, error) {
+	var m [6]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHeader, err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadHeader, m)
+	}
+	var kl uint8
+	if err := binary.Read(r, binary.LittleEndian, &kl); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHeader, err)
+	}
+	kind := make([]byte, kl)
+	if _, err := io.ReadFull(r, kind); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHeader, err)
+	}
+	var rs [2]float64
+	if err := binary.Read(r, binary.LittleEndian, &rs); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHeader, err)
+	}
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHeader, err)
+	}
+	st, err := NewStore(PDFSpec{Kind: PDFKind(kind), R: rs[0], Sigma: rs[1]})
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < count; i++ {
+		tr, err := trajectory.ReadBinary(r)
+		if err != nil {
+			return nil, fmt.Errorf("mod: trajectory %d/%d: %w", i+1, count, err)
+		}
+		if err := st.Insert(tr); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}

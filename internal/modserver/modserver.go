@@ -1,0 +1,358 @@
+// Package modserver exposes a mod.Store over TCP with a line-delimited
+// JSON protocol, plus a matching client. It is the network substrate of
+// the MOD (Section 1 of the paper: users submit trips to the server and
+// pose continuous probabilistic NN queries against it).
+//
+// Protocol: one JSON object per line in each direction.
+//
+//	request  := {"op": "...", ...}
+//	response := {"ok": bool, "error": string?, ...}
+//
+// Operations:
+//
+//	{"op":"ping"}                                  → {"ok":true}
+//	{"op":"count"}                                 → {"ok":true,"count":N}
+//	{"op":"spec"}                                  → {"ok":true,"spec":{...}}
+//	{"op":"insert","oid":1,"verts":[[x,y,t],...]}  → {"ok":true}
+//	{"op":"get","oid":1}                           → {"ok":true,"oid":1,"verts":[...]}
+//	{"op":"delete","oid":1}                        → {"ok":true}
+//	{"op":"uql","query":"SELECT ..."}              → {"ok":true,"bool":b} or {"ok":true,"oids":[...]}
+//	{"op":"trip","oid":9,"waypoints":[[x,y],...],
+//	 "start":0,"speed":0.5}                        → {"ok":true,"oid":9,"verts":[...]} (plans and inserts)
+package modserver
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/mod"
+	"repro/internal/trajectory"
+	"repro/internal/uql"
+)
+
+// MaxLine bounds a single protocol line (1 MiB) to keep rogue clients from
+// exhausting memory.
+const MaxLine = 1 << 20
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("modserver: server closed")
+
+// Request is the wire format of a client request.
+type Request struct {
+	Op        string       `json:"op"`
+	OID       int64        `json:"oid,omitempty"`
+	Verts     [][3]float64 `json:"verts,omitempty"`
+	Query     string       `json:"query,omitempty"`
+	Waypoints [][2]float64 `json:"waypoints,omitempty"`
+	Start     float64      `json:"start,omitempty"`
+	Speed     float64      `json:"speed,omitempty"`
+}
+
+// Response is the wire format of a server reply.
+type Response struct {
+	OK    bool         `json:"ok"`
+	Error string       `json:"error,omitempty"`
+	Count int          `json:"count,omitempty"`
+	Spec  *mod.PDFSpec `json:"spec,omitempty"`
+	OID   int64        `json:"oid,omitempty"`
+	Verts [][3]float64 `json:"verts,omitempty"`
+	Bool  *bool        `json:"bool,omitempty"`
+	OIDs  []int64      `json:"oids,omitempty"`
+}
+
+// Server serves a store over a listener.
+type Server struct {
+	store *mod.Store
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+}
+
+// NewServer wraps a store.
+func NewServer(store *mod.Store) *Server {
+	return &Server{store: store, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on l until Close. It always returns a non-nil
+// error (ErrServerClosed after a clean shutdown).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops accepting and tears down live connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), MaxLine)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		resp := Response{OK: true}
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp = Response{Error: fmt.Sprintf("bad request: %v", err)}
+		} else {
+			resp = s.dispatch(req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req Request) Response {
+	fail := func(err error) Response { return Response{Error: err.Error()} }
+	switch req.Op {
+	case "ping":
+		return Response{OK: true}
+	case "count":
+		return Response{OK: true, Count: s.store.Len()}
+	case "spec":
+		spec := s.store.Spec()
+		return Response{OK: true, Spec: &spec}
+	case "insert":
+		verts := make([]trajectory.Vertex, len(req.Verts))
+		for i, v := range req.Verts {
+			verts[i] = trajectory.Vertex{X: v[0], Y: v[1], T: v[2]}
+		}
+		tr, err := trajectory.New(req.OID, verts)
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.store.Insert(tr); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+	case "get":
+		tr, err := s.store.Get(req.OID)
+		if err != nil {
+			return fail(err)
+		}
+		out := make([][3]float64, len(tr.Verts))
+		for i, v := range tr.Verts {
+			out[i] = [3]float64{v.X, v.Y, v.T}
+		}
+		return Response{OK: true, OID: tr.OID, Verts: out}
+	case "delete":
+		if err := s.store.Delete(req.OID); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+	case "trip":
+		wps := make([]geom.Point, len(req.Waypoints))
+		for i, w := range req.Waypoints {
+			wps[i] = geom.Point{X: w[0], Y: w[1]}
+		}
+		tr, err := mod.PlanTrip(req.OID, wps, req.Start, req.Speed)
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.store.Insert(tr); err != nil {
+			return fail(err)
+		}
+		out := make([][3]float64, len(tr.Verts))
+		for i, v := range tr.Verts {
+			out[i] = [3]float64{v.X, v.Y, v.T}
+		}
+		return Response{OK: true, OID: tr.OID, Verts: out}
+	case "uql":
+		res, err := uql.Run(req.Query, s.store)
+		if err != nil {
+			return fail(err)
+		}
+		if res.IsBool {
+			b := res.Bool
+			return Response{OK: true, Bool: &b}
+		}
+		oids := res.OIDs
+		if oids == nil {
+			oids = []int64{}
+		}
+		return Response{OK: true, OIDs: oids}
+	default:
+		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// Client is a synchronous protocol client. Not safe for concurrent use;
+// open one client per goroutine.
+type Client struct {
+	conn net.Conn
+	sc   *bufio.Scanner
+	enc  *json.Encoder
+}
+
+// Dial connects to a server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (useful with net.Pipe in
+// tests).
+func NewClient(conn net.Conn) *Client {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), MaxLine)
+	return &Client{conn: conn, sc: sc, enc: json.NewEncoder(conn)}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req Request) (Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, err
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return Response{}, err
+		}
+		return Response{}, errors.New("modserver: connection closed")
+	}
+	var resp Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return Response{}, err
+	}
+	if !resp.OK {
+		return resp, errors.New(resp.Error)
+	}
+	return resp, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(Request{Op: "ping"})
+	return err
+}
+
+// Count returns the number of stored trajectories.
+func (c *Client) Count() (int, error) {
+	resp, err := c.roundTrip(Request{Op: "count"})
+	return resp.Count, err
+}
+
+// Spec returns the server's uncertainty model.
+func (c *Client) Spec() (mod.PDFSpec, error) {
+	resp, err := c.roundTrip(Request{Op: "spec"})
+	if err != nil {
+		return mod.PDFSpec{}, err
+	}
+	return *resp.Spec, nil
+}
+
+// Insert uploads a trajectory.
+func (c *Client) Insert(tr *trajectory.Trajectory) error {
+	verts := make([][3]float64, len(tr.Verts))
+	for i, v := range tr.Verts {
+		verts[i] = [3]float64{v.X, v.Y, v.T}
+	}
+	_, err := c.roundTrip(Request{Op: "insert", OID: tr.OID, Verts: verts})
+	return err
+}
+
+// Get downloads a trajectory.
+func (c *Client) Get(oid int64) (*trajectory.Trajectory, error) {
+	resp, err := c.roundTrip(Request{Op: "get", OID: oid})
+	if err != nil {
+		return nil, err
+	}
+	verts := make([]trajectory.Vertex, len(resp.Verts))
+	for i, v := range resp.Verts {
+		verts[i] = trajectory.Vertex{X: v[0], Y: v[1], T: v[2]}
+	}
+	return trajectory.New(resp.OID, verts)
+}
+
+// Delete removes a trajectory.
+func (c *Client) Delete(oid int64) error {
+	_, err := c.roundTrip(Request{Op: "delete", OID: oid})
+	return err
+}
+
+// PlanTrip asks the server to plan a constant-speed trip through the
+// waypoints starting at startT (the Section 2.1 server-side construction)
+// and insert it; the planned trajectory is returned.
+func (c *Client) PlanTrip(oid int64, waypoints []geom.Point, startT, speed float64) (*trajectory.Trajectory, error) {
+	wps := make([][2]float64, len(waypoints))
+	for i, w := range waypoints {
+		wps[i] = [2]float64{w.X, w.Y}
+	}
+	resp, err := c.roundTrip(Request{Op: "trip", OID: oid, Waypoints: wps, Start: startT, Speed: speed})
+	if err != nil {
+		return nil, err
+	}
+	verts := make([]trajectory.Vertex, len(resp.Verts))
+	for i, v := range resp.Verts {
+		verts[i] = trajectory.Vertex{X: v[0], Y: v[1], T: v[2]}
+	}
+	return trajectory.New(resp.OID, verts)
+}
+
+// UQL runs a UQL statement remotely.
+func (c *Client) UQL(query string) (uql.Result, error) {
+	resp, err := c.roundTrip(Request{Op: "uql", Query: query})
+	if err != nil {
+		return uql.Result{}, err
+	}
+	if resp.Bool != nil {
+		return uql.Result{IsBool: true, Bool: *resp.Bool}, nil
+	}
+	return uql.Result{OIDs: resp.OIDs}, nil
+}

@@ -1,0 +1,112 @@
+package queries
+
+import (
+	"sort"
+
+	"repro/internal/envelope"
+	"repro/internal/trajectory"
+)
+
+// This file implements two of the paper's Section 7 future-work variants:
+// all-pairs continuous probabilistic NN (every object's possible-NN set)
+// and reverse continuous probabilistic NN (for which objects can the
+// target be the nearest neighbor).
+
+// AllPairsPossibleNN computes, for every trajectory q in trs, the set of
+// objects with non-zero probability of being q's nearest neighbor at some
+// time in [tb, te] (UQ31 with each object as the query in turn). The
+// result maps query OID to the sorted possible-NN OIDs. Total cost is
+// O(N · N log N): one envelope preprocessing per query object.
+func AllPairsPossibleNN(trs []*trajectory.Trajectory, tb, te, r float64) (map[int64][]int64, error) {
+	out := make(map[int64][]int64, len(trs))
+	for _, q := range trs {
+		p, err := NewProcessor(trs, q, tb, te, r)
+		if err != nil {
+			return nil, err
+		}
+		out[q.OID] = p.UQ31()
+	}
+	return out, nil
+}
+
+// ReversePossibleNN returns the objects q (other than the target) for
+// which the target has non-zero probability of being q's nearest neighbor
+// at some time in [tb, te] — the reverse continuous probabilistic NN
+// query. Sorted by OID.
+func ReversePossibleNN(trs []*trajectory.Trajectory, target *trajectory.Trajectory, tb, te, r float64) ([]int64, error) {
+	var out []int64
+	for _, q := range trs {
+		if q.OID == target.OID {
+			continue
+		}
+		p, err := NewProcessor(trs, q, tb, te, r)
+		if err != nil {
+			return nil, err
+		}
+		ok, err := p.UQ11(target.OID)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, q.OID)
+		}
+	}
+	sortIDs(out)
+	return out, nil
+}
+
+// ReversePossibleNNIntervals additionally reports, per reverse witness q,
+// the time intervals during which the target can be q's nearest neighbor.
+func ReversePossibleNNIntervals(trs []*trajectory.Trajectory, target *trajectory.Trajectory, tb, te, r float64) (map[int64][]envelope.TimeInterval, error) {
+	out := make(map[int64][]envelope.TimeInterval)
+	for _, q := range trs {
+		if q.OID == target.OID {
+			continue
+		}
+		p, err := NewProcessor(trs, q, tb, te, r)
+		if err != nil {
+			return nil, err
+		}
+		ivs, err := p.PossibleNNIntervals(target.OID)
+		if err != nil {
+			return nil, err
+		}
+		if len(ivs) > 0 {
+			out[q.OID] = ivs
+		}
+	}
+	return out, nil
+}
+
+// MutualPossibleNNPairs returns the unordered pairs (a, b) such that each
+// has non-zero probability of being the other's nearest neighbor at some
+// time — candidates for "probably mutually closest" relationships.
+// Pairs are returned with a < b, sorted lexicographically.
+func MutualPossibleNNPairs(trs []*trajectory.Trajectory, tb, te, r float64) ([][2]int64, error) {
+	all, err := AllPairsPossibleNN(trs, tb, te, r)
+	if err != nil {
+		return nil, err
+	}
+	inSet := func(ids []int64, want int64) bool {
+		i := sort.Search(len(ids), func(k int) bool { return ids[k] >= want })
+		return i < len(ids) && ids[i] == want
+	}
+	var out [][2]int64
+	for _, a := range trs {
+		for _, b := range trs {
+			if a.OID >= b.OID {
+				continue
+			}
+			if inSet(all[a.OID], b.OID) && inSet(all[b.OID], a.OID) {
+				out = append(out, [2]int64{a.OID, b.OID})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out, nil
+}

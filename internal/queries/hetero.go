@@ -1,0 +1,192 @@
+package queries
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/envelope"
+	"repro/internal/numeric"
+	"repro/internal/trajectory"
+)
+
+// This file implements the paper's last Section 7 future-work item:
+// different uncertainty radii per object ("circles with different radii").
+//
+// With per-object radii r_i and query radius r_q, object i has non-zero
+// probability of being the query's nearest neighbor at time t iff its
+// closest possible distance does not exceed some object's farthest
+// possible distance:
+//
+//	d_i(t) − (r_i + r_q)  <=  min_j ( d_j(t) + r_j + r_q ).
+//
+// With all radii equal to r this reduces exactly to the homogeneous 4r
+// pruning zone: d_i(t) <= LE(t) + 4r. The shifted curves d_j(t) + c_j are
+// no longer hyperbolae, so membership boundaries are located numerically
+// (dense sampling + Brent refinement per elementary interval), trading
+// the closed-form root solving of the homogeneous case for generality.
+
+// HeteroProcessor answers possible-NN questions under per-object
+// uncertainty radii.
+type HeteroProcessor struct {
+	QueryOID int64
+	Tb, Te   float64
+
+	fns   []*envelope.DistanceFunc
+	byID  map[int64]*envelope.DistanceFunc
+	shift map[int64]float64 // c_i = r_i + r_q
+	cuts  []float64         // union of all piece breakpoints
+}
+
+// NewHeteroProcessor prepares the distance functions for query trajectory
+// q over [tb, te]. radii maps every object OID (including q's) to its
+// uncertainty radius; missing or nonpositive entries are an error.
+func NewHeteroProcessor(trs []*trajectory.Trajectory, q *trajectory.Trajectory, tb, te float64, radii map[int64]float64) (*HeteroProcessor, error) {
+	rq, ok := radii[q.OID]
+	if !ok || rq <= 0 {
+		return nil, fmt.Errorf("queries: missing or nonpositive radius for query %d", q.OID)
+	}
+	fns, err := envelope.BuildDistanceFuncs(trs, q, tb, te)
+	if err != nil {
+		return nil, err
+	}
+	if len(fns) == 0 {
+		return nil, envelope.ErrNoFunctions
+	}
+	p := &HeteroProcessor{
+		QueryOID: q.OID, Tb: tb, Te: te,
+		fns:   fns,
+		byID:  make(map[int64]*envelope.DistanceFunc, len(fns)),
+		shift: make(map[int64]float64, len(fns)),
+	}
+	cutSet := map[float64]bool{tb: true, te: true}
+	for _, f := range fns {
+		ri, ok := radii[f.ID]
+		if !ok || ri <= 0 {
+			return nil, fmt.Errorf("queries: missing or nonpositive radius for object %d", f.ID)
+		}
+		p.byID[f.ID] = f
+		p.shift[f.ID] = ri + rq
+		for _, t := range f.Breakpoints() {
+			if t > tb && t < te {
+				cutSet[t] = true
+			}
+		}
+	}
+	for t := range cutSet {
+		p.cuts = append(p.cuts, t)
+	}
+	sort.Float64s(p.cuts)
+	return p, nil
+}
+
+// upperMin evaluates min_j (d_j(t) + c_j): the smallest farthest-possible
+// distance at time t.
+func (p *HeteroProcessor) upperMin(t float64) float64 {
+	best := math.Inf(1)
+	for _, f := range p.fns {
+		if v := f.Value(t) + p.shift[f.ID]; v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// margin is the zone-membership function for an object: non-positive
+// while the object can be the NN.
+func (p *HeteroProcessor) margin(oid int64, t float64) float64 {
+	f := p.byID[oid]
+	return f.Value(t) - p.shift[oid] - p.upperMin(t)
+}
+
+// PossibleNNIntervals returns the maximal time intervals during which the
+// object has non-zero probability of being the query's nearest neighbor
+// under heterogeneous radii.
+func (p *HeteroProcessor) PossibleNNIntervals(oid int64) ([]envelope.TimeInterval, error) {
+	if _, ok := p.byID[oid]; !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownOID, oid)
+	}
+	g := func(t float64) float64 { return p.margin(oid, t) }
+	const samples = 24
+	var roots []float64
+	for i := 1; i < len(p.cuts); i++ {
+		t0, t1 := p.cuts[i-1], p.cuts[i]
+		if t1-t0 <= envelope.TimeEps {
+			continue
+		}
+		prevT, prevV := t0, g(t0)
+		for s := 1; s <= samples; s++ {
+			t := t0 + (t1-t0)*float64(s)/samples
+			v := g(t)
+			if (prevV < 0) != (v < 0) {
+				if r, err := numeric.FindRoot(g, prevT, t, envelope.TimeEps); err == nil {
+					roots = append(roots, r)
+				}
+			}
+			prevT, prevV = t, v
+		}
+	}
+	bounds := append([]float64{p.Tb, p.Te}, roots...)
+	sort.Float64s(bounds)
+	var out []envelope.TimeInterval
+	for i := 1; i < len(bounds); i++ {
+		t0, t1 := bounds[i-1], bounds[i]
+		if t1-t0 <= envelope.TimeEps {
+			continue
+		}
+		if g(0.5*(t0+t1)) <= 0 {
+			if n := len(out); n > 0 && math.Abs(out[n-1].T1-t0) <= envelope.TimeEps {
+				out[n-1].T1 = t1
+			} else {
+				out = append(out, envelope.TimeInterval{T0: t0, T1: t1})
+			}
+		}
+	}
+	return out, nil
+}
+
+// UQ11 is the heterogeneous existential query.
+func (p *HeteroProcessor) UQ11(oid int64) (bool, error) {
+	ivs, err := p.PossibleNNIntervals(oid)
+	if err != nil {
+		return false, err
+	}
+	return len(ivs) > 0, nil
+}
+
+// UQ12 is the heterogeneous universal query.
+func (p *HeteroProcessor) UQ12(oid int64) (bool, error) {
+	ivs, err := p.PossibleNNIntervals(oid)
+	if err != nil {
+		return false, err
+	}
+	return coversWindow(ivs, p.Tb, p.Te), nil
+}
+
+// UQ13 is the heterogeneous fraction-of-time query.
+func (p *HeteroProcessor) UQ13(oid int64, x float64) (bool, error) {
+	if x < 0 || x > 1 {
+		return false, ErrBadFrac
+	}
+	ivs, err := p.PossibleNNIntervals(oid)
+	if err != nil {
+		return false, err
+	}
+	return envelope.TotalLength(ivs) >= x*(p.Te-p.Tb)-envelope.TimeEps, nil
+}
+
+// UQ31 retrieves all objects with a non-empty possible-NN time set.
+func (p *HeteroProcessor) UQ31() ([]int64, error) {
+	var out []int64
+	for _, f := range p.fns {
+		ivs, err := p.PossibleNNIntervals(f.ID)
+		if err != nil {
+			return nil, err
+		}
+		if len(ivs) > 0 {
+			out = append(out, f.ID)
+		}
+	}
+	sortIDs(out)
+	return out, nil
+}

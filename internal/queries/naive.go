@@ -1,0 +1,83 @@
+package queries
+
+import (
+	"repro/internal/envelope"
+	"repro/internal/trajectory"
+)
+
+// NaiveProcessor answers the same queries as Processor without the
+// divide-and-conquer envelope preprocessing: every call rebuilds the
+// envelope with the O(N² log N) all-pairwise-intersections sweep the
+// paper's Figure 12 baseline uses ("the naive approach, which checks all
+// pairwise intersection times of the distance functions"). It exists to
+// reproduce that comparison; production code should use Processor.
+type NaiveProcessor struct {
+	QueryOID int64
+	Tb, Te   float64
+	R        float64
+
+	fns  []*envelope.DistanceFunc
+	byID map[int64]*envelope.DistanceFunc
+}
+
+// NewNaiveProcessor prepares the distance functions (but, unlike
+// NewProcessor, performs no envelope preprocessing).
+func NewNaiveProcessor(trs []*trajectory.Trajectory, q *trajectory.Trajectory, tb, te, r float64) (*NaiveProcessor, error) {
+	fns, err := envelope.BuildDistanceFuncs(trs, q, tb, te)
+	if err != nil {
+		return nil, err
+	}
+	if len(fns) == 0 {
+		return nil, envelope.ErrNoFunctions
+	}
+	byID := make(map[int64]*envelope.DistanceFunc, len(fns))
+	for _, f := range fns {
+		byID[f.ID] = f
+	}
+	return &NaiveProcessor{QueryOID: q.OID, Tb: tb, Te: te, R: r, fns: fns, byID: byID}, nil
+}
+
+// naiveIntervals recomputes the envelope naively and intersects the zone.
+func (p *NaiveProcessor) naiveIntervals(oid int64) ([]envelope.TimeInterval, error) {
+	f, ok := p.byID[oid]
+	if !ok {
+		return nil, ErrUnknownOID
+	}
+	env, err := envelope.NaiveLowerEnvelope(p.fns, p.Tb, p.Te)
+	if err != nil {
+		return nil, err
+	}
+	return envelope.BelowIntervals(f, env, 4*p.R), nil
+}
+
+// UQ11 is the naive existential query (Figure 12's "Naive Approach,
+// Existential").
+func (p *NaiveProcessor) UQ11(oid int64) (bool, error) {
+	ivs, err := p.naiveIntervals(oid)
+	if err != nil {
+		return false, err
+	}
+	return len(ivs) > 0, nil
+}
+
+// UQ13 is the naive quantitative query (Figure 12's "Naive Approach,
+// Quantitative").
+func (p *NaiveProcessor) UQ13(oid int64, x float64) (bool, error) {
+	if x < 0 || x > 1 {
+		return false, ErrBadFrac
+	}
+	ivs, err := p.naiveIntervals(oid)
+	if err != nil {
+		return false, err
+	}
+	return envelope.TotalLength(ivs) >= x*(p.Te-p.Tb)-envelope.TimeEps, nil
+}
+
+// UQ12 is the naive universal query.
+func (p *NaiveProcessor) UQ12(oid int64) (bool, error) {
+	ivs, err := p.naiveIntervals(oid)
+	if err != nil {
+		return false, err
+	}
+	return coversWindow(ivs, p.Tb, p.Te), nil
+}

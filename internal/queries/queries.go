@@ -1,0 +1,393 @@
+// Package queries implements the four categories of continuous
+// probabilistic NN-query variants of the paper's Section 4, processed over
+// the lower-envelope machinery (and, for the ranked variants, over the
+// k-level envelopes that form the IPAC-NN tree's geometric dual), together
+// with the naive baselines the paper's Figure 12 compares against.
+//
+// Semantics (with uncertainty radius r and zone width 4r):
+//
+//   - An object has non-zero probability of being the NN of the query at
+//     time t iff its difference-distance function is within 4r of the
+//     Level-1 lower envelope at t.
+//   - It has non-zero probability of being a k-th highest-probability NN at
+//     t iff it is within 4r of the Level-k envelope at t (levels are
+//     pointwise nondecreasing, so "some level i <= k" reduces to level k).
+//
+// Category 1 (UQ11/UQ12/UQ13) asks ∃t / ∀t / ≥X%-of-time about a single
+// object; Category 2 (UQ21/UQ22/UQ23) adds the rank parameter k;
+// Categories 3 and 4 quantify over the whole MOD. Fixed-time variants
+// evaluate the same predicates at one instant.
+package queries
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/envelope"
+	"repro/internal/trajectory"
+)
+
+// Package errors.
+var (
+	ErrUnknownOID = errors.New("queries: unknown object ID")
+	ErrBadFrac    = errors.New("queries: fraction must be in [0, 1]")
+	ErrBadRank    = errors.New("queries: rank k must be >= 1")
+)
+
+// Processor answers the UQ query variants for one query trajectory and
+// window. Construction performs the O(N log N) envelope preprocessing; each
+// Category 1/2 query then costs O(N) / O(kN) per the paper's Claims 1-2.
+type Processor struct {
+	QueryOID int64
+	Tb, Te   float64
+	R        float64
+
+	fns    []*envelope.DistanceFunc
+	byID   map[int64]*envelope.DistanceFunc
+	env1   *envelope.Envelope
+	levels []*envelope.Envelope // levels[0] == env1, grown on demand
+}
+
+// NewProcessor builds the envelope preprocessing for the query trajectory
+// q over [tb, te] with shared uncertainty radius r.
+func NewProcessor(trs []*trajectory.Trajectory, q *trajectory.Trajectory, tb, te, r float64) (*Processor, error) {
+	if r <= 0 {
+		return nil, fmt.Errorf("queries: nonpositive radius %g", r)
+	}
+	fns, err := envelope.BuildDistanceFuncs(trs, q, tb, te)
+	if err != nil {
+		return nil, err
+	}
+	if len(fns) == 0 {
+		return nil, envelope.ErrNoFunctions
+	}
+	env1, err := envelope.LowerEnvelope(fns, tb, te)
+	if err != nil {
+		return nil, err
+	}
+	byID := make(map[int64]*envelope.DistanceFunc, len(fns))
+	for _, f := range fns {
+		byID[f.ID] = f
+	}
+	return &Processor{
+		QueryOID: q.OID, Tb: tb, Te: te, R: r,
+		fns: fns, byID: byID, env1: env1,
+		levels: []*envelope.Envelope{env1},
+	}, nil
+}
+
+// Envelope returns the Level-1 lower envelope.
+func (p *Processor) Envelope() *envelope.Envelope { return p.env1 }
+
+// width returns the pruning-zone width 4r.
+func (p *Processor) width() float64 { return 4 * p.R }
+
+// level returns the k-th envelope, building levels lazily.
+func (p *Processor) level(k int) (*envelope.Envelope, error) {
+	if k < 1 {
+		return nil, ErrBadRank
+	}
+	if k <= len(p.levels) {
+		return p.levels[k-1], nil
+	}
+	lv, err := envelope.KLevelEnvelopes(p.fns, p.Tb, p.Te, k)
+	if err != nil {
+		return nil, err
+	}
+	p.levels = lv
+	if k > len(lv) {
+		// Fewer functions than k: the deepest available level is the
+		// correct bound (an object within 4r of it can be ranked <= k).
+		return lv[len(lv)-1], nil
+	}
+	return lv[k-1], nil
+}
+
+func (p *Processor) fn(oid int64) (*envelope.DistanceFunc, error) {
+	f, ok := p.byID[oid]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownOID, oid)
+	}
+	return f, nil
+}
+
+// PossibleNNIntervals returns the maximal time intervals during which the
+// object has non-zero probability of being the query's nearest neighbor —
+// the membership intervals of the 4r pruning zone.
+func (p *Processor) PossibleNNIntervals(oid int64) ([]envelope.TimeInterval, error) {
+	f, err := p.fn(oid)
+	if err != nil {
+		return nil, err
+	}
+	return envelope.BelowIntervals(f, p.env1, p.width()), nil
+}
+
+// PossibleRankKIntervals is the ranked analogue against the Level-k
+// envelope.
+func (p *Processor) PossibleRankKIntervals(oid int64, k int) ([]envelope.TimeInterval, error) {
+	f, err := p.fn(oid)
+	if err != nil {
+		return nil, err
+	}
+	env, err := p.level(k)
+	if err != nil {
+		return nil, err
+	}
+	return envelope.BelowIntervals(f, env, p.width()), nil
+}
+
+// --- Category 1: single-trajectory predicates ---
+
+// UQ11 reports whether the object has non-zero probability of being a NN
+// to the query at some time during the window (∃t).
+func (p *Processor) UQ11(oid int64) (bool, error) {
+	ivs, err := p.PossibleNNIntervals(oid)
+	if err != nil {
+		return false, err
+	}
+	return len(ivs) > 0, nil
+}
+
+// UQ12 reports whether the object has non-zero probability of being a NN
+// throughout the entire window (∀t).
+func (p *Processor) UQ12(oid int64) (bool, error) {
+	ivs, err := p.PossibleNNIntervals(oid)
+	if err != nil {
+		return false, err
+	}
+	return coversWindow(ivs, p.Tb, p.Te), nil
+}
+
+// UQ13 reports whether the object has non-zero probability of being a NN
+// for at least fraction x of the window (the paper's X% of [tb, te]).
+func (p *Processor) UQ13(oid int64, x float64) (bool, error) {
+	if x < 0 || x > 1 {
+		return false, ErrBadFrac
+	}
+	ivs, err := p.PossibleNNIntervals(oid)
+	if err != nil {
+		return false, err
+	}
+	return envelope.TotalLength(ivs) >= x*(p.Te-p.Tb)-envelope.TimeEps, nil
+}
+
+// --- Category 2: ranked single-trajectory predicates ---
+
+// UQ21 reports whether the object can be a k-th highest-probability NN at
+// some time (∃t, rank <= k).
+func (p *Processor) UQ21(oid int64, k int) (bool, error) {
+	ivs, err := p.PossibleRankKIntervals(oid, k)
+	if err != nil {
+		return false, err
+	}
+	return len(ivs) > 0, nil
+}
+
+// UQ22 reports whether the object can be a k-th highest-probability NN
+// throughout the window (∀t, rank <= k).
+func (p *Processor) UQ22(oid int64, k int) (bool, error) {
+	ivs, err := p.PossibleRankKIntervals(oid, k)
+	if err != nil {
+		return false, err
+	}
+	return coversWindow(ivs, p.Tb, p.Te), nil
+}
+
+// UQ23 reports whether the object can be a k-th highest-probability NN at
+// least fraction x of the window.
+func (p *Processor) UQ23(oid int64, k int, x float64) (bool, error) {
+	if x < 0 || x > 1 {
+		return false, ErrBadFrac
+	}
+	ivs, err := p.PossibleRankKIntervals(oid, k)
+	if err != nil {
+		return false, err
+	}
+	return envelope.TotalLength(ivs) >= x*(p.Te-p.Tb)-envelope.TimeEps, nil
+}
+
+// --- Category 3: whole-MOD retrieval ---
+
+// UQ31 retrieves all objects with non-zero probability of being a NN at
+// some time during the window (equivalently: the unpruned survivors, the
+// trajectories appearing in the IPAC-NN tree).
+func (p *Processor) UQ31() []int64 {
+	var out []int64
+	for _, f := range p.fns {
+		if ivs := envelope.BelowIntervals(f, p.env1, p.width()); len(ivs) > 0 {
+			out = append(out, f.ID)
+		}
+	}
+	sortIDs(out)
+	return out
+}
+
+// UQ32 retrieves all objects with non-zero probability throughout the
+// entire window.
+func (p *Processor) UQ32() []int64 {
+	var out []int64
+	for _, f := range p.fns {
+		if coversWindow(envelope.BelowIntervals(f, p.env1, p.width()), p.Tb, p.Te) {
+			out = append(out, f.ID)
+		}
+	}
+	sortIDs(out)
+	return out
+}
+
+// UQ33 retrieves all objects with non-zero probability at least fraction x
+// of the window.
+func (p *Processor) UQ33(x float64) ([]int64, error) {
+	if x < 0 || x > 1 {
+		return nil, ErrBadFrac
+	}
+	var out []int64
+	need := x*(p.Te-p.Tb) - envelope.TimeEps
+	for _, f := range p.fns {
+		if envelope.TotalLength(envelope.BelowIntervals(f, p.env1, p.width())) >= need {
+			out = append(out, f.ID)
+		}
+	}
+	sortIDs(out)
+	return out, nil
+}
+
+// --- Category 4: ranked whole-MOD retrieval ---
+
+// UQ41 retrieves all objects that can be a k-th highest-probability NN at
+// some time.
+func (p *Processor) UQ41(k int) ([]int64, error) {
+	env, err := p.level(k)
+	if err != nil {
+		return nil, err
+	}
+	var out []int64
+	for _, f := range p.fns {
+		if ivs := envelope.BelowIntervals(f, env, p.width()); len(ivs) > 0 {
+			out = append(out, f.ID)
+		}
+	}
+	sortIDs(out)
+	return out, nil
+}
+
+// UQ42 retrieves all objects that can be a k-th highest-probability NN
+// throughout the window.
+func (p *Processor) UQ42(k int) ([]int64, error) {
+	env, err := p.level(k)
+	if err != nil {
+		return nil, err
+	}
+	var out []int64
+	for _, f := range p.fns {
+		if coversWindow(envelope.BelowIntervals(f, env, p.width()), p.Tb, p.Te) {
+			out = append(out, f.ID)
+		}
+	}
+	sortIDs(out)
+	return out, nil
+}
+
+// UQ43 retrieves all objects that can be a k-th highest-probability NN at
+// least fraction x of the window.
+func (p *Processor) UQ43(k int, x float64) ([]int64, error) {
+	if x < 0 || x > 1 {
+		return nil, ErrBadFrac
+	}
+	env, err := p.level(k)
+	if err != nil {
+		return nil, err
+	}
+	var out []int64
+	need := x*(p.Te-p.Tb) - envelope.TimeEps
+	for _, f := range p.fns {
+		if envelope.TotalLength(envelope.BelowIntervals(f, env, p.width())) >= need {
+			out = append(out, f.ID)
+		}
+	}
+	sortIDs(out)
+	return out, nil
+}
+
+// --- fixed-time (t = tf) variants ---
+
+// IsPossibleNNAt reports whether the object has non-zero probability of
+// being the NN at the instant tf.
+func (p *Processor) IsPossibleNNAt(oid int64, tf float64) (bool, error) {
+	f, err := p.fn(oid)
+	if err != nil {
+		return false, err
+	}
+	return f.Value(tf) <= p.env1.ValueAt(tf)+p.width()+envelope.TimeEps, nil
+}
+
+// PossibleNNAt retrieves all objects with non-zero probability of being
+// the NN at the instant tf.
+func (p *Processor) PossibleNNAt(tf float64) []int64 {
+	min := p.env1.ValueAt(tf)
+	var out []int64
+	for _, f := range p.fns {
+		if f.Value(tf) <= min+p.width()+envelope.TimeEps {
+			out = append(out, f.ID)
+		}
+	}
+	sortIDs(out)
+	return out
+}
+
+// GuaranteedNNIntervals returns the maximal intervals during which the
+// object is *certainly* the query's nearest neighbor: its farthest
+// possible distance stays below every other object's nearest possible
+// distance (the certain counterpart of PossibleNNIntervals; cf. the
+// upper-envelope approach of the paper's related work [12]).
+func (p *Processor) GuaranteedNNIntervals(oid int64) ([]envelope.TimeInterval, error) {
+	if _, err := p.fn(oid); err != nil {
+		return nil, err
+	}
+	return envelope.GuaranteedNNIntervals(p.fns, oid, p.env1, p.R), nil
+}
+
+// IsPossibleRankKAt reports whether the object has non-zero probability of
+// being a k-th highest-probability NN at the instant tf.
+func (p *Processor) IsPossibleRankKAt(oid int64, tf float64, k int) (bool, error) {
+	f, err := p.fn(oid)
+	if err != nil {
+		return false, err
+	}
+	env, err := p.level(k)
+	if err != nil {
+		return false, err
+	}
+	return f.Value(tf) <= env.ValueAt(tf)+p.width()+envelope.TimeEps, nil
+}
+
+// PossibleRankKAt retrieves all objects with non-zero probability of being
+// a k-th highest-probability NN at the instant tf.
+func (p *Processor) PossibleRankKAt(tf float64, k int) ([]int64, error) {
+	env, err := p.level(k)
+	if err != nil {
+		return nil, err
+	}
+	bound := env.ValueAt(tf) + p.width() + envelope.TimeEps
+	var out []int64
+	for _, f := range p.fns {
+		if f.Value(tf) <= bound {
+			out = append(out, f.ID)
+		}
+	}
+	sortIDs(out)
+	return out, nil
+}
+
+// --- helpers ---
+
+func coversWindow(ivs []envelope.TimeInterval, tb, te float64) bool {
+	return len(ivs) == 1 &&
+		ivs[0].T0 <= tb+envelope.TimeEps &&
+		ivs[0].T1 >= te-envelope.TimeEps
+}
+
+func sortIDs(ids []int64) {
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+}

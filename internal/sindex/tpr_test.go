@@ -1,0 +1,159 @@
+package sindex
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func randMoving(rng *rand.Rand, n int) []MovingEntry {
+	es := make([]MovingEntry, n)
+	for i := range es {
+		es[i] = MovingEntry{
+			ID: int64(i),
+			P:  geom.Point{X: rng.Float64() * 40, Y: rng.Float64() * 40},
+			V:  geom.Vec{X: (rng.Float64() - 0.5) * 2, Y: (rng.Float64() - 0.5) * 2},
+			T0: 0,
+			T1: 60,
+		}
+	}
+	return es
+}
+
+func TestMovingEntryAt(t *testing.T) {
+	e := MovingEntry{ID: 1, P: geom.Point{X: 0, Y: 0}, V: geom.Vec{X: 1, Y: 2}, T0: 10, T1: 20}
+	if got := e.At(10); got != (geom.Point{X: 0, Y: 0}) {
+		t.Errorf("At(T0) = %v", got)
+	}
+	if got := e.At(15); got != (geom.Point{X: 5, Y: 10}) {
+		t.Errorf("At(15) = %v", got)
+	}
+	// Clamped outside validity.
+	if got := e.At(0); got != (geom.Point{X: 0, Y: 0}) {
+		t.Errorf("At before = %v", got)
+	}
+	if got := e.At(99); got != (geom.Point{X: 10, Y: 20}) {
+		t.Errorf("At after = %v", got)
+	}
+}
+
+func TestTPREmpty(t *testing.T) {
+	tr := NewTPRTree(nil, 0, 0)
+	if tr.Len() != 0 {
+		t.Errorf("len = %d", tr.Len())
+	}
+	if got := tr.SearchAt(geom.AABB{MaxX: 1, MaxY: 1}, 5); got != nil {
+		t.Errorf("search = %v", got)
+	}
+	if got := tr.KNNAt(geom.Point{}, 5, 3); got != nil {
+		t.Errorf("knn = %v", got)
+	}
+}
+
+func TestTPRSearchMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 10, 200, 1500} {
+		es := randMoving(rng, n)
+		tr := NewTPRTree(es, 0, 8)
+		if tr.Len() != n {
+			t.Fatalf("len = %d", tr.Len())
+		}
+		for q := 0; q < 20; q++ {
+			tq := rng.Float64() * 60
+			x, y := rng.Float64()*40, rng.Float64()*40
+			box := geom.AABB{MinX: x, MinY: y, MaxX: x + 10, MaxY: y + 10}
+			got := tr.SearchAt(box, tq)
+			var want []int64
+			for _, e := range es {
+				if tq >= e.T0 && tq <= e.T1 && box.ContainsPoint(e.At(tq)) {
+					want = append(want, e.ID)
+				}
+			}
+			sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+			if len(got) != len(want) {
+				t.Fatalf("n=%d q=%d: %d vs %d ids", n, q, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d q=%d: mismatch at %d", n, q, i)
+				}
+			}
+		}
+	}
+}
+
+func TestTPRKNNMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	es := randMoving(rng, 600)
+	tr := NewTPRTree(es, 0, 8)
+	for q := 0; q < 25; q++ {
+		tq := rng.Float64() * 60
+		p := geom.Point{X: rng.Float64() * 40, Y: rng.Float64() * 40}
+		k := 1 + rng.Intn(8)
+		got := tr.KNNAt(p, tq, k)
+		type dv struct {
+			id int64
+			d  float64
+		}
+		var all []dv
+		for _, e := range es {
+			all = append(all, dv{e.ID, e.At(tq).Dist(p)})
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a].d < all[b].d })
+		if len(got) != k {
+			t.Fatalf("q=%d: got %d results", q, len(got))
+		}
+		for i := range got {
+			if math.Abs(got[i].Dist-all[i].d) > 1e-9 {
+				t.Fatalf("q=%d result %d: %g vs %g", q, i, got[i].Dist, all[i].d)
+			}
+		}
+	}
+}
+
+// TestTPRQueryBeforeReference: boxes must stay conservative for query
+// times before the bulk-load reference time.
+func TestTPRQueryBeforeReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	es := randMoving(rng, 300)
+	tr := NewTPRTree(es, 30, 8) // reference in the middle of the horizon
+	for _, tq := range []float64{0, 10, 30, 45, 60} {
+		got := tr.SearchAt(geom.AABB{MinX: -100, MinY: -100, MaxX: 100, MaxY: 100}, tq)
+		if len(got) != 300 {
+			t.Fatalf("tq=%g: found %d of 300", tq, len(got))
+		}
+		p := geom.Point{X: 20, Y: 20}
+		knn := tr.KNNAt(p, tq, 5)
+		// Oracle nearest.
+		best := math.Inf(1)
+		for _, e := range es {
+			if d := e.At(tq).Dist(p); d < best {
+				best = d
+			}
+		}
+		if math.Abs(knn[0].Dist-best) > 1e-9 {
+			t.Fatalf("tq=%g: knn[0] = %g, oracle %g", tq, knn[0].Dist, best)
+		}
+	}
+}
+
+func TestTPRValidityWindows(t *testing.T) {
+	es := []MovingEntry{
+		{ID: 1, P: geom.Point{X: 0, Y: 0}, V: geom.Vec{}, T0: 0, T1: 10},
+		{ID: 2, P: geom.Point{X: 1, Y: 1}, V: geom.Vec{}, T0: 20, T1: 30},
+	}
+	tr := NewTPRTree(es, 0, 4)
+	box := geom.AABB{MinX: -5, MinY: -5, MaxX: 5, MaxY: 5}
+	if got := tr.SearchAt(box, 5); len(got) != 1 || got[0] != 1 {
+		t.Errorf("t=5: %v", got)
+	}
+	if got := tr.SearchAt(box, 25); len(got) != 1 || got[0] != 2 {
+		t.Errorf("t=25: %v", got)
+	}
+	if got := tr.SearchAt(box, 15); got != nil {
+		t.Errorf("t=15 (gap): %v", got)
+	}
+}

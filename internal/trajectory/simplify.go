@@ -1,0 +1,123 @@
+package trajectory
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Simplify reduces the vertex count of a trajectory with the
+// time-synchronized variant of Douglas-Peucker (TD-TR): a vertex may be
+// dropped only if the object's *time-interpolated* position on the
+// simplified segment stays within epsilon of the original position at that
+// vertex's timestamp. Unlike purely spatial simplification this preserves
+// the motion's kinematics, which is what the distance-function machinery
+// consumes.
+//
+// The result is a new trajectory (the input is not modified) whose
+// synchronized Euclidean deviation from the original is at most epsilon.
+// epsilon <= 0 returns a copy.
+func Simplify(tr *Trajectory, epsilon float64) *Trajectory {
+	out := &Trajectory{OID: tr.OID}
+	if epsilon <= 0 || len(tr.Verts) <= 2 {
+		out.Verts = append([]Vertex(nil), tr.Verts...)
+		return out
+	}
+	keep := make([]bool, len(tr.Verts))
+	keep[0] = true
+	keep[len(tr.Verts)-1] = true
+	simplifyRange(tr.Verts, 0, len(tr.Verts)-1, epsilon, keep)
+	for i, k := range keep {
+		if k {
+			out.Verts = append(out.Verts, tr.Verts[i])
+		}
+	}
+	return out
+}
+
+// simplifyRange marks the vertex of maximal synchronized deviation between
+// the anchors lo and hi and recurses while the deviation exceeds epsilon.
+func simplifyRange(verts []Vertex, lo, hi int, epsilon float64, keep []bool) {
+	if hi-lo < 2 {
+		return
+	}
+	a, b := verts[lo], verts[hi]
+	dt := b.T - a.T
+	worst := -1
+	worstD := epsilon
+	for i := lo + 1; i < hi; i++ {
+		v := verts[i]
+		u := (v.T - a.T) / dt
+		sync := geom.Point{X: a.X + u*(b.X-a.X), Y: a.Y + u*(b.Y-a.Y)}
+		if d := sync.Dist(v.Point()); d > worstD {
+			worstD = d
+			worst = i
+		}
+	}
+	if worst < 0 {
+		return
+	}
+	keep[worst] = true
+	simplifyRange(verts, lo, worst, epsilon, keep)
+	simplifyRange(verts, worst, hi, epsilon, keep)
+}
+
+// SyncDeviation returns the maximum synchronized Euclidean deviation of
+// the simplified trajectory s from the original tr, evaluated at the
+// original's vertex timestamps. It is the quantity Simplify bounds by
+// epsilon.
+func SyncDeviation(tr, s *Trajectory) float64 {
+	var worst float64
+	for _, v := range tr.Verts {
+		if d := s.At(v.T).Dist(v.Point()); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Resample returns a copy of the trajectory re-sampled at n evenly spaced
+// timestamps across its span (n >= 2), interpolating positions linearly.
+// Useful to normalize workloads with heterogeneous vertex counts before
+// comparison.
+func Resample(tr *Trajectory, n int) (*Trajectory, error) {
+	if n < 2 {
+		return nil, ErrTooFewVertices
+	}
+	tb, te := tr.TimeSpan()
+	verts := make([]Vertex, n)
+	for i := 0; i < n; i++ {
+		t := tb + (te-tb)*float64(i)/float64(n-1)
+		// Guard the last step against float drift so times stay strictly
+		// increasing and hit te exactly.
+		if i == n-1 {
+			t = te
+		}
+		p := tr.At(t)
+		verts[i] = Vertex{X: p.X, Y: p.Y, T: t}
+	}
+	return New(tr.OID, verts)
+}
+
+// PathDeviation returns the maximum over a dense time grid of the distance
+// between two trajectories' positions — a symmetric comparison utility for
+// tests and tooling (m sample points; m < 2 defaults to 256).
+func PathDeviation(a, b *Trajectory, m int) float64 {
+	if m < 2 {
+		m = 256
+	}
+	atb, ate := a.TimeSpan()
+	btb, bte := b.TimeSpan()
+	tb, te := math.Max(atb, btb), math.Min(ate, bte)
+	if te <= tb {
+		return math.Inf(1)
+	}
+	var worst float64
+	for i := 0; i < m; i++ {
+		t := tb + (te-tb)*float64(i)/float64(m-1)
+		if d := a.At(t).Dist(b.At(t)); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

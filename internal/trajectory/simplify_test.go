@@ -1,0 +1,168 @@
+package trajectory
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func zigzag(t *testing.T, n int, amp float64) *Trajectory {
+	t.Helper()
+	verts := make([]Vertex, n)
+	for i := range verts {
+		y := 0.0
+		if i%2 == 1 {
+			y = amp
+		}
+		verts[i] = Vertex{X: float64(i), Y: y, T: float64(i)}
+	}
+	tr, err := New(1, verts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSimplifyCollinear(t *testing.T) {
+	// Perfectly linear motion collapses to the two endpoints.
+	verts := make([]Vertex, 10)
+	for i := range verts {
+		verts[i] = Vertex{X: float64(i) * 2, Y: float64(i) * 3, T: float64(i)}
+	}
+	tr, err := New(1, verts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Simplify(tr, 1e-9)
+	if len(s.Verts) != 2 {
+		t.Fatalf("collinear simplified to %d vertices", len(s.Verts))
+	}
+	if s.Verts[0] != verts[0] || s.Verts[1] != verts[9] {
+		t.Error("endpoints not preserved")
+	}
+}
+
+func TestSimplifyKeepsLargeFeatures(t *testing.T) {
+	tr := zigzag(t, 11, 5)
+	// Epsilon below the amplitude keeps every zigzag vertex.
+	s := Simplify(tr, 1)
+	if len(s.Verts) != 11 {
+		t.Fatalf("eps=1 kept %d of 11", len(s.Verts))
+	}
+	// Epsilon above flattens to the endpoints.
+	s = Simplify(tr, 10)
+	if len(s.Verts) != 2 {
+		t.Fatalf("eps=10 kept %d", len(s.Verts))
+	}
+}
+
+func TestSimplifyEdgeCases(t *testing.T) {
+	tr := zigzag(t, 5, 1)
+	// Nonpositive epsilon: copy.
+	s := Simplify(tr, 0)
+	if len(s.Verts) != 5 {
+		t.Fatalf("eps=0 kept %d", len(s.Verts))
+	}
+	// Input unchanged, deep copy.
+	s.Verts[0].X = 999
+	if tr.Verts[0].X == 999 {
+		t.Error("Simplify aliased input vertices")
+	}
+	// Two-vertex input unchanged.
+	two, err := New(2, []Vertex{{0, 0, 0}, {1, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Simplify(two, 5); len(got.Verts) != 2 {
+		t.Fatalf("two-vertex simplify = %d", len(got.Verts))
+	}
+}
+
+// Property: the synchronized deviation of the simplification never exceeds
+// epsilon, and the simplification is a valid trajectory whose vertex set
+// is a subset of the original.
+func TestSimplifyDeviationBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		verts := make([]Vertex, n)
+		tm := 0.0
+		for i := range verts {
+			tm += 0.2 + rng.Float64()
+			verts[i] = Vertex{X: rng.Float64() * 40, Y: rng.Float64() * 40, T: tm}
+		}
+		tr, err := New(7, verts)
+		if err != nil {
+			return false
+		}
+		eps := 0.5 + 3*rng.Float64()
+		s := Simplify(tr, eps)
+		if err := s.Validate(); err != nil {
+			return false
+		}
+		if SyncDeviation(tr, s) > eps+1e-9 {
+			return false
+		}
+		// Vertex subset check.
+		j := 0
+		for _, v := range s.Verts {
+			for j < len(tr.Verts) && tr.Verts[j] != v {
+				j++
+			}
+			if j == len(tr.Verts) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(13))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResample(t *testing.T) {
+	tr := zigzag(t, 6, 2)
+	rs, err := Resample(tr, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Verts) != 21 {
+		t.Fatalf("resampled to %d", len(rs.Verts))
+	}
+	tb, te := rs.TimeSpan()
+	otb, ote := tr.TimeSpan()
+	if tb != otb || te != ote {
+		t.Errorf("span changed: [%g, %g]", tb, te)
+	}
+	// Positions match the original at resampled times.
+	for _, v := range rs.Verts {
+		if tr.At(v.T).Dist(v.Point()) > 1e-9 {
+			t.Fatalf("resample drift at t=%g", v.T)
+		}
+	}
+	if _, err := Resample(tr, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestPathDeviation(t *testing.T) {
+	a := zigzag(t, 6, 2)
+	b := Simplify(a, 10) // endpoints only
+	d := PathDeviation(a, b, 500)
+	if d <= 0 || d > 2.5 {
+		t.Errorf("deviation = %g", d)
+	}
+	if got := PathDeviation(a, a, 100); got != 0 {
+		t.Errorf("self deviation = %g", got)
+	}
+	// Disjoint spans.
+	c, err := New(3, []Vertex{{0, 0, 100}, {1, 1, 101}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := PathDeviation(a, c, 100); !math.IsInf(got, 1) {
+		t.Errorf("disjoint spans = %g", got)
+	}
+}

@@ -1,0 +1,155 @@
+package uncertain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/updf"
+)
+
+func TestKNNProbabilitiesBasics(t *testing.T) {
+	u := updf.NewUniformDisk(1)
+	cands := []Candidate{
+		{ID: 1, Dist: 2.0},
+		{ID: 2, Dist: 2.4},
+		{ID: 3, Dist: 3.0},
+		{ID: 4, Dist: 9.0},
+	}
+	// k=0 and empty inputs.
+	if got := KNNProbabilities(u, cands, 0, 256); got[1] != 0 {
+		t.Errorf("k=0: %v", got)
+	}
+	if got := KNNProbabilities(u, nil, 2, 256); len(got) != 0 {
+		t.Errorf("empty: %v", got)
+	}
+	// k >= n: everything certain.
+	got := KNNProbabilities(u, cands, 4, 256)
+	for _, c := range cands {
+		if got[c.ID] != 1 {
+			t.Errorf("k=n: %v", got)
+		}
+	}
+	// k=1 equals NNProbabilities.
+	k1 := KNNProbabilities(u, cands, 1, 2048)
+	nn := NNProbabilities(u, cands, 2048)
+	for _, c := range cands {
+		if math.Abs(k1[c.ID]-nn[c.ID]) > 5e-3 {
+			t.Errorf("id %d: kNN(1)=%.4f NN=%.4f", c.ID, k1[c.ID], nn[c.ID])
+		}
+	}
+}
+
+func TestKNNProbabilitiesSumToK(t *testing.T) {
+	u := updf.NewUniformDisk(1)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 8; trial++ {
+		n := 4 + rng.Intn(6)
+		cands := make([]Candidate, n)
+		for i := range cands {
+			cands[i] = Candidate{ID: int64(i), Dist: 1.5 + 4*rng.Float64()}
+		}
+		for k := 1; k <= 3; k++ {
+			probs := KNNProbabilities(u, cands, k, 1024)
+			var sum float64
+			for _, v := range probs {
+				sum += v
+			}
+			if math.Abs(sum-float64(k)) > 0.02*float64(k) {
+				t.Errorf("trial %d k=%d: sum = %.4f", trial, k, sum)
+			}
+		}
+	}
+}
+
+func TestKNNProbabilitiesVsMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, p := range []updf.RadialPDF{
+		updf.NewUniformDisk(1),
+		updf.NewUniformConv(0.7, 0.7),
+	} {
+		cands := []Candidate{
+			{ID: 1, Dist: 2.0},
+			{ID: 2, Dist: 2.3},
+			{ID: 3, Dist: 2.9},
+			{ID: 4, Dist: 3.4},
+			{ID: 5, Dist: 7.0},
+		}
+		for _, k := range []int{1, 2, 3} {
+			want := KNNProbabilities(p, cands, k, 2048)
+			got, err := MonteCarloKNN(p, cands, k, 200000, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range cands {
+				if math.Abs(got[c.ID]-want[c.ID]) > 0.012 {
+					t.Errorf("%s k=%d id=%d: MC=%.4f analytic=%.4f",
+						p.Name(), k, c.ID, got[c.ID], want[c.ID])
+				}
+			}
+		}
+	}
+}
+
+// TestKNNMonotoneInK: membership probability grows with k.
+func TestKNNMonotoneInK(t *testing.T) {
+	u := updf.NewUniformDisk(1)
+	cands := []Candidate{
+		{ID: 1, Dist: 2.0}, {ID: 2, Dist: 2.5}, {ID: 3, Dist: 3.0}, {ID: 4, Dist: 3.5},
+	}
+	prev := map[int64]float64{}
+	for k := 1; k <= 4; k++ {
+		probs := KNNProbabilities(u, cands, k, 1024)
+		for id, v := range probs {
+			if v < prev[id]-1e-3 {
+				t.Errorf("k=%d id=%d: %.4f < %.4f", k, id, v, prev[id])
+			}
+		}
+		prev = probs
+	}
+}
+
+// TestKNNRankingMatchesDistance: for a shared rotationally symmetric pdf,
+// P^kNN is ordered by distance (the Theorem 1 flavor extends to top-k
+// membership).
+func TestKNNRankingMatchesDistance(t *testing.T) {
+	u := updf.NewUniformConv(0.5, 0.5)
+	cands := []Candidate{
+		{ID: 1, Dist: 2.0}, {ID: 2, Dist: 2.2}, {ID: 3, Dist: 2.4},
+		{ID: 4, Dist: 2.6}, {ID: 5, Dist: 2.8},
+	}
+	probs := KNNProbabilities(u, cands, 2, 1024)
+	for i := 1; i < len(cands); i++ {
+		if probs[cands[i].ID] > probs[cands[i-1].ID]+1e-6 {
+			t.Errorf("rank inversion at %d: %v", i, probs)
+		}
+	}
+}
+
+func TestMonteCarloKNNErrors(t *testing.T) {
+	tab, err := updf.NewTablePDF([]float64{0, 1}, []float64{1, 1}, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MonteCarloKNN(tab, []Candidate{{ID: 1, Dist: 1}}, 1, 10, rand.New(rand.NewSource(1))); err != ErrNoSampler {
+		t.Errorf("want ErrNoSampler, got %v", err)
+	}
+}
+
+func TestKNNDegenerate(t *testing.T) {
+	u := updf.NewUniformDisk(1)
+	// Two far-apart groups; with k=1 the whole nearer group shares the
+	// mass and the far one gets 0.
+	cands := []Candidate{
+		{ID: 1, Dist: 2}, {ID: 2, Dist: 2}, {ID: 3, Dist: 50},
+	}
+	probs := KNNProbabilities(u, cands, 1, 1024)
+	if math.Abs(probs[1]-0.5) > 0.02 || math.Abs(probs[2]-0.5) > 0.02 || probs[3] != 0 {
+		t.Errorf("probs = %v", probs)
+	}
+	// k=2: both near ones certain, far one zero.
+	probs = KNNProbabilities(u, cands, 2, 1024)
+	if probs[1] < 0.99 || probs[2] < 0.99 || probs[3] > 1e-9 {
+		t.Errorf("k=2 probs = %v", probs)
+	}
+}

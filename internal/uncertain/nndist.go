@@ -1,0 +1,77 @@
+package uncertain
+
+import (
+	"math"
+
+	"repro/internal/numeric"
+	"repro/internal/updf"
+)
+
+// NNDistanceCDF returns P(min_i D_i <= rd): the distribution function of
+// the distance from the crisp query at the origin to its nearest uncertain
+// neighbor. By independence,
+//
+//	P(min_i D_i <= rd) = 1 − Π_i (1 − P^WD_i(rd)),
+//
+// the complement product that appears inside Eq. 5. It is 0 below the
+// smallest R^min and 1 above the smallest R^max.
+func NNDistanceCDF(p updf.RadialPDF, cands []Candidate, rd float64) float64 {
+	if len(cands) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, c := range cands {
+		prod *= 1 - WithinDistanceProb(p, c.Dist, rd)
+		if prod == 0 {
+			return 1
+		}
+	}
+	return 1 - prod
+}
+
+// NNDistanceQuantile returns the q-quantile (q in (0, 1)) of the
+// nearest-neighbor distance distribution, located by bisection over the
+// integration ring. For q outside (0, 1) it returns the ring bounds.
+func NNDistanceQuantile(p updf.RadialPDF, cands []Candidate, q float64) float64 {
+	lo, hi := RingBounds(p, cands)
+	if len(cands) == 0 || math.IsInf(hi, 1) {
+		return math.Inf(1)
+	}
+	if q <= 0 {
+		return lo
+	}
+	if q >= 1 {
+		return hi
+	}
+	f := func(rd float64) float64 { return NNDistanceCDF(p, cands, rd) - q }
+	root, err := numeric.FindRoot(f, lo, hi, 1e-10)
+	if err != nil {
+		// The CDF is monotone from 0 to 1 on [lo, hi]; a bracket failure
+		// can only be a flat boundary — return the nearer bound.
+		if f(lo) >= 0 {
+			return lo
+		}
+		return hi
+	}
+	return root
+}
+
+// ExpectedNNDistance returns E[min_i D_i] via the survival-function
+// identity E[X] = ∫ (1 − F(x)) dx over the ring (plus the deterministic
+// offset below the ring).
+func ExpectedNNDistance(p updf.RadialPDF, cands []Candidate, grid int) float64 {
+	if len(cands) == 0 {
+		return math.Inf(1)
+	}
+	if grid <= 0 {
+		grid = DefaultGrid
+	}
+	lo, hi := RingBounds(p, cands)
+	edges := numeric.Linspace(lo, hi, grid+1)
+	var s float64
+	for i := 0; i < grid; i++ {
+		mid := 0.5 * (edges[i] + edges[i+1])
+		s += (1 - NNDistanceCDF(p, cands, mid)) * (edges[i+1] - edges[i])
+	}
+	return lo + s
+}

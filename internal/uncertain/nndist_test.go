@@ -1,0 +1,122 @@
+package uncertain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/numeric"
+	"repro/internal/updf"
+)
+
+func TestNNDistanceCDFBounds(t *testing.T) {
+	u := updf.NewUniformDisk(1)
+	cands := []Candidate{{ID: 1, Dist: 3}, {ID: 2, Dist: 4}}
+	lo, hi := RingBounds(u, cands) // [2, 4]
+	if got := NNDistanceCDF(u, cands, lo); got != 0 {
+		t.Errorf("CDF at ring bottom = %g", got)
+	}
+	if got := NNDistanceCDF(u, cands, hi); math.Abs(got-1) > 1e-9 {
+		t.Errorf("CDF at ring top = %g", got)
+	}
+	if got := NNDistanceCDF(u, nil, 1); got != 0 {
+		t.Errorf("empty cands = %g", got)
+	}
+	// Monotone.
+	prev := -1.0
+	for _, rd := range numeric.Linspace(lo, hi, 60) {
+		v := NNDistanceCDF(u, cands, rd)
+		if v < prev-1e-12 {
+			t.Fatalf("not monotone at %g", rd)
+		}
+		prev = v
+	}
+}
+
+func TestNNDistanceCDFVsMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	u := updf.NewUniformDisk(1)
+	cands := []Candidate{
+		{ID: 1, Dist: 2.5}, {ID: 2, Dist: 3.0}, {ID: 3, Dist: 3.2},
+	}
+	const trials = 200000
+	for _, rd := range []float64{1.8, 2.5, 3.0, 3.4} {
+		hits := 0
+		for i := 0; i < trials; i++ {
+			minD := math.Inf(1)
+			for _, c := range cands {
+				dx, dy := u.Sample(rng)
+				if d := math.Hypot(c.Dist+dx, dy); d < minD {
+					minD = d
+				}
+			}
+			if minD <= rd {
+				hits++
+			}
+		}
+		mc := float64(hits) / trials
+		an := NNDistanceCDF(u, cands, rd)
+		if math.Abs(mc-an) > 0.01 {
+			t.Errorf("rd=%g: MC=%.4f analytic=%.4f", rd, mc, an)
+		}
+	}
+}
+
+func TestNNDistanceQuantile(t *testing.T) {
+	u := updf.NewUniformDisk(1)
+	cands := []Candidate{{ID: 1, Dist: 3}, {ID: 2, Dist: 3.5}}
+	med := NNDistanceQuantile(u, cands, 0.5)
+	if got := NNDistanceCDF(u, cands, med); math.Abs(got-0.5) > 1e-6 {
+		t.Errorf("CDF(median) = %g", got)
+	}
+	// Quantiles are monotone in q.
+	prev := 0.0
+	for _, q := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		v := NNDistanceQuantile(u, cands, q)
+		if v < prev {
+			t.Fatalf("quantiles not monotone at q=%g", q)
+		}
+		prev = v
+	}
+	lo, hi := RingBounds(u, cands)
+	if got := NNDistanceQuantile(u, cands, 0); got != lo {
+		t.Errorf("q=0 → %g, want %g", got, lo)
+	}
+	if got := NNDistanceQuantile(u, cands, 1); got != hi {
+		t.Errorf("q=1 → %g, want %g", got, hi)
+	}
+	if got := NNDistanceQuantile(u, nil, 0.5); !math.IsInf(got, 1) {
+		t.Errorf("empty → %g", got)
+	}
+}
+
+func TestExpectedNNDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	u := updf.NewUniformDisk(1)
+	cands := []Candidate{{ID: 1, Dist: 2.5}, {ID: 2, Dist: 2.8}}
+	want := ExpectedNNDistance(u, cands, 2048)
+	const trials = 200000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		minD := math.Inf(1)
+		for _, c := range cands {
+			dx, dy := u.Sample(rng)
+			if d := math.Hypot(c.Dist+dx, dy); d < minD {
+				minD = d
+			}
+		}
+		sum += minD
+	}
+	mc := sum / trials
+	if math.Abs(mc-want) > 0.01 {
+		t.Errorf("E[NN dist]: MC=%.4f analytic=%.4f", mc, want)
+	}
+	if got := ExpectedNNDistance(u, nil, 0); !math.IsInf(got, 1) {
+		t.Errorf("empty → %g", got)
+	}
+	// Adding a closer candidate reduces the expectation.
+	closer := append([]Candidate{{ID: 9, Dist: 2.0}}, cands...)
+	if got := ExpectedNNDistance(u, closer, 2048); got >= want {
+		t.Errorf("closer candidate should reduce E: %g vs %g", got, want)
+	}
+}

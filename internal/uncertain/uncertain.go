@@ -1,0 +1,545 @@
+// Package uncertain implements the probabilistic machinery of the paper's
+// Section 2.2 and Section 3.1 for instantaneous nearest-neighbor queries
+// over uncertain objects:
+//
+//   - the within-distance probability P^WD (Eq. 3, with the uniform-pdf
+//     closed form of Eq. 4 expressed through the circle-intersection area),
+//   - its derivative pdf^WD,
+//   - the nearest-neighbor probability P^NN (Eq. 5) evaluated with the
+//     sorted-interval decomposition of Cheng et al. [4] over a bounded
+//     integration ring [R^min, R^max],
+//   - the exclusive/joint split of Eq. 6,
+//   - the reduction of the uncertain-query case to the crisp-query case via
+//     the convolution transformation (Section 3.1), and
+//   - Theorem 1's distance ranking, together with Monte Carlo estimators
+//     used as test oracles.
+//
+// Throughout, the query point is the origin of the working frame and each
+// candidate object is described by the distance of its (possibly convolved)
+// pdf center from that origin.
+package uncertain
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/numeric"
+	"repro/internal/updf"
+)
+
+// DefaultGrid is the number of integration cells used by the Eq. 5
+// evaluator when the caller passes grid <= 0.
+const DefaultGrid = 512
+
+// ErrNoSampler is returned by Monte Carlo estimators when the pdf cannot
+// sample.
+var ErrNoSampler = errors.New("uncertain: pdf does not implement updf.Sampler")
+
+// Candidate identifies an uncertain object by ID and by the distance of its
+// pdf center (expected location, after convolution when the query is
+// uncertain) from the query origin.
+type Candidate struct {
+	ID   int64
+	Dist float64
+}
+
+// WithinDistanceProb returns P^WD(rd): the probability that an object whose
+// location pdf is p, centered at distance d from the (crisp) query point,
+// lies within distance rd of the query point (Eq. 3).
+//
+// For a uniform disk pdf this equals the intersection area of the query
+// disk and the uncertainty disk divided by the uncertainty disk's area —
+// the closed form the paper states as Eq. 4. For every other rotationally
+// symmetric pdf the radial decomposition
+//
+//	P^WD(rd) = ∫₀^Support g(rho) · 2·theta(d, rho, rd) · rho  d rho
+//
+// is used, where theta is the chord half-angle of geom.ChordHalfAngle.
+func WithinDistanceProb(p updf.RadialPDF, d, rd float64) float64 {
+	if rd <= 0 {
+		return 0
+	}
+	sup := p.Support()
+	if d-sup >= rd {
+		return 0
+	}
+	if d+sup <= rd {
+		return 1
+	}
+	if u, ok := p.(updf.UniformDisk); ok {
+		lens := geom.LensArea(
+			geom.Disk{C: geom.Point{X: 0, Y: 0}, R: rd},
+			geom.Disk{C: geom.Point{X: d, Y: 0}, R: u.R},
+		)
+		return math.Min(1, lens/(math.Pi*u.R*u.R))
+	}
+	f := func(rho float64) float64 {
+		g := p.Density(rho)
+		if g == 0 {
+			return 0
+		}
+		return g * 2 * geom.ChordHalfAngle(d, rho, rd) * rho
+	}
+	// The integrand has kinks where the circle of radius rho first touches
+	// and last leaves the query disk: rho = |d − rd| and rho = d + rd.
+	breaks := []float64{0, sup}
+	for _, b := range []float64{math.Abs(d - rd), d + rd} {
+		if b > 0 && b < sup {
+			breaks = append(breaks, b)
+		}
+	}
+	sort.Float64s(breaks)
+	var total float64
+	for i := 1; i < len(breaks); i++ {
+		if breaks[i]-breaks[i-1] < 1e-15 {
+			continue
+		}
+		total += numeric.GaussLegendrePanels(f, breaks[i-1], breaks[i], 4)
+	}
+	if total < 0 {
+		return 0
+	}
+	if total > 1 {
+		return 1
+	}
+	return total
+}
+
+// WithinDistancePDF returns pdf^WD(rd), the derivative of the
+// within-distance CDF with respect to rd, computed by central differences.
+// It is non-zero only on the ring d−Support <= rd <= d+Support (the paper's
+// observation after Eq. 4).
+func WithinDistancePDF(p updf.RadialPDF, d, rd float64) float64 {
+	sup := p.Support()
+	if rd < d-sup || rd > d+sup {
+		return 0
+	}
+	h := math.Max(1e-6, 1e-6*(d+sup))
+	v := (WithinDistanceProb(p, d, rd+h) - WithinDistanceProb(p, d, rd-h)) / (2 * h)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// RingBounds returns the integration ring of observation I/III in
+// Section 2.2: lo is the smallest R^min over candidates, hi is the smallest
+// R^max (the distance to the farthest point of the closest disk). Any
+// candidate whose R^min exceeds hi has zero NN probability.
+func RingBounds(p updf.RadialPDF, cands []Candidate) (lo, hi float64) {
+	sup := p.Support()
+	lo, hi = math.Inf(1), math.Inf(1)
+	for _, c := range cands {
+		rmin := math.Max(0, c.Dist-sup)
+		rmax := c.Dist + sup
+		if rmin < lo {
+			lo = rmin
+		}
+		if rmax < hi {
+			hi = rmax
+		}
+	}
+	return lo, hi
+}
+
+// Prune removes candidates that can never be the nearest neighbor
+// (observation I: R^min_i > R^max of the closest disk). The returned slice
+// preserves input order; the input is not modified.
+func Prune(p updf.RadialPDF, cands []Candidate) []Candidate {
+	if len(cands) == 0 {
+		return nil
+	}
+	sup := p.Support()
+	_, hi := RingBounds(p, cands)
+	out := make([]Candidate, 0, len(cands))
+	for _, c := range cands {
+		if math.Max(0, c.Dist-sup) <= hi {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// NNProbabilities evaluates Eq. 5 for every candidate: the exclusive
+// probability that candidate j is the nearest neighbor of the crisp query
+// at the origin, all candidates sharing the location pdf p at their
+// respective center distances.
+//
+// The integral over R_d is discretized on a uniform grid of `grid` cells
+// spanning the ring [min R^min, min R^max] (grid <= 0 selects
+// DefaultGrid). Within each cell, P^NN_j accumulates
+// ΔP^WD_j · Π_{i≠j}(1 − P^WD_i) with the product maintained incrementally
+// — the grid analogue of the sorted-interval decomposition of [4]. Pruned
+// candidates (observation I) receive probability 0 without integration.
+//
+// The result maps candidate ID to probability. Because ties between
+// continuous distance variables have measure zero, the values sum to 1 up
+// to discretization error O(1/grid).
+func NNProbabilities(p updf.RadialPDF, cands []Candidate, grid int) map[int64]float64 {
+	out := make(map[int64]float64, len(cands))
+	if len(cands) == 0 {
+		return out
+	}
+	for _, c := range cands {
+		out[c.ID] = 0
+	}
+	if grid <= 0 {
+		grid = DefaultGrid
+	}
+	live := Prune(p, cands)
+	if len(live) == 1 {
+		out[live[0].ID] = 1
+		return out
+	}
+	lo, hi := RingBounds(p, cands)
+	if !(hi > lo) {
+		// Degenerate ring (e.g. all candidates at the same point with zero
+		// support): split the mass evenly among the closest candidates.
+		minD := math.Inf(1)
+		for _, c := range live {
+			if c.Dist < minD {
+				minD = c.Dist
+			}
+		}
+		var closest []int64
+		for _, c := range live {
+			if c.Dist == minD {
+				closest = append(closest, c.ID)
+			}
+		}
+		for _, id := range closest {
+			out[id] = 1 / float64(len(closest))
+		}
+		return out
+	}
+
+	n := len(live)
+	// CDF values at cell edges for each live candidate.
+	edges := numeric.Linspace(lo, hi, grid+1)
+	cdf := make([][]float64, n)
+	for i, c := range live {
+		col := make([]float64, len(edges))
+		for k, r := range edges {
+			col[k] = WithinDistanceProb(p, c.Dist, r)
+		}
+		cdf[i] = col
+	}
+	// Incremental product of (1 − P_i) across all live candidates at each
+	// edge, with zero-factor bookkeeping so the "divide out one factor"
+	// trick stays exact when some P_i reaches 1.
+	const zeroEps = 1e-14
+	prod := make([]float64, len(edges))
+	zeros := make([]int, len(edges))
+	for k := range edges {
+		pr := 1.0
+		z := 0
+		for i := 0; i < n; i++ {
+			f := 1 - cdf[i][k]
+			if f <= zeroEps {
+				z++
+				continue
+			}
+			pr *= f
+		}
+		prod[k] = pr
+		zeros[k] = z
+	}
+	exclProd := func(i, k int) float64 {
+		f := 1 - cdf[i][k]
+		if f <= zeroEps {
+			if zeros[k] == 1 {
+				return prod[k]
+			}
+			return 0
+		}
+		if zeros[k] > 0 {
+			return 0
+		}
+		return prod[k] / f
+	}
+	for i, c := range live {
+		var s float64
+		for k := 0; k < grid; k++ {
+			dP := cdf[i][k+1] - cdf[i][k]
+			if dP <= 0 {
+				continue
+			}
+			s += dP * 0.5 * (exclProd(i, k) + exclProd(i, k+1))
+		}
+		if s < 0 {
+			s = 0
+		}
+		if s > 1 {
+			s = 1
+		}
+		out[c.ID] = s
+	}
+	return out
+}
+
+// NNProbabilitiesNaive evaluates Eq. 5 without pruning and without bounding
+// the ring: it integrates every candidate over [0, max R^max]. It exists as
+// the ablation baseline quantifying the value of observations I and III.
+func NNProbabilitiesNaive(p updf.RadialPDF, cands []Candidate, grid int) map[int64]float64 {
+	out := make(map[int64]float64, len(cands))
+	if len(cands) == 0 {
+		return out
+	}
+	if grid <= 0 {
+		grid = DefaultGrid
+	}
+	sup := p.Support()
+	hi := 0.0
+	for _, c := range cands {
+		if c.Dist+sup > hi {
+			hi = c.Dist + sup
+		}
+	}
+	if hi == 0 {
+		for _, c := range cands {
+			out[c.ID] = 1 / float64(len(cands))
+		}
+		return out
+	}
+	edges := numeric.Linspace(0, hi, grid+1)
+	n := len(cands)
+	cdf := make([][]float64, n)
+	for i, c := range cands {
+		col := make([]float64, len(edges))
+		for k, r := range edges {
+			col[k] = WithinDistanceProb(p, c.Dist, r)
+		}
+		cdf[i] = col
+	}
+	for i, c := range cands {
+		var s float64
+		for k := 0; k < grid; k++ {
+			dP := cdf[i][k+1] - cdf[i][k]
+			if dP <= 0 {
+				continue
+			}
+			pr0, pr1 := 1.0, 1.0
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				pr0 *= 1 - cdf[j][k]
+				pr1 *= 1 - cdf[j][k+1]
+			}
+			s += dP * 0.5 * (pr0 + pr1)
+		}
+		out[c.ID] = math.Min(1, math.Max(0, s))
+	}
+	return out
+}
+
+// PairwiseJointDensity evaluates the first joint term of Eq. 6 for the pair
+// (i, j):
+//
+//	J_ij = ∫ pdf^WD_i(R) · pdf^WD_j(R) · Π_{k≠i,j}(1 − P^WD_k(R)) dR.
+//
+// For continuous distance distributions an exact tie has probability zero;
+// J_ij is the tie *density* the paper describes, and J_ij·δ approximates
+// the probability that both i and j are joint nearest neighbors within a
+// distance-resolution δ. It is exposed for the soundness-vs-completeness
+// analysis of Section 2.2 (observation IV) and for tests.
+func PairwiseJointDensity(p updf.RadialPDF, cands []Candidate, i, j int, grid int) float64 {
+	if grid <= 0 {
+		grid = DefaultGrid
+	}
+	lo, hi := RingBounds(p, cands)
+	if !(hi > lo) {
+		return 0
+	}
+	edges := numeric.Linspace(lo, hi, grid+1)
+	var s float64
+	for k := 0; k < grid; k++ {
+		mid := 0.5 * (edges[k] + edges[k+1])
+		h := edges[k+1] - edges[k]
+		di := WithinDistancePDF(p, cands[i].Dist, mid)
+		if di == 0 {
+			continue
+		}
+		dj := WithinDistancePDF(p, cands[j].Dist, mid)
+		if dj == 0 {
+			continue
+		}
+		pr := 1.0
+		for m := range cands {
+			if m == i || m == j {
+				continue
+			}
+			pr *= 1 - WithinDistanceProb(p, cands[m].Dist, mid)
+		}
+		s += di * dj * pr * h
+	}
+	return s
+}
+
+// RankByDistance returns the candidates sorted by ascending center
+// distance, which by Theorem 1 is exactly the descending order of their NN
+// probabilities when all share a rotationally symmetric pdf. Ties keep
+// input order (stable). The input is not modified.
+func RankByDistance(cands []Candidate) []Candidate {
+	out := append([]Candidate(nil), cands...)
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Dist < out[b].Dist })
+	return out
+}
+
+// UncertainQueryNN reduces the uncertain-querying-object case to the crisp
+// one (Section 3.1): the object and query pdfs are convolved (analytically
+// for uniforms, numerically otherwise — Property 2 guarantees the result is
+// again rotationally symmetric) and Eq. 5 is evaluated against the
+// convolved pdf at the centers' distances.
+//
+// The convolution gives the exact marginal distribution of each distance
+// |V_i − V_q|, but the distances share the query variable V_q and are
+// therefore not mutually independent, while Eq. 5 multiplies their
+// within-distance complements as if they were. The returned values are
+// consequently an independence approximation; the *ranking* they induce is
+// exact (Theorem 1). For exact values use ExactUncertainQueryNN, which
+// performs the quadruple integration the paper describes (and whose cost
+// the transformation is designed to avoid).
+func UncertainQueryNN(objPDF, qryPDF updf.RadialPDF, cands []Candidate, grid int) (map[int64]float64, error) {
+	conv, err := updf.ConvolvePair(objPDF, qryPDF, 0)
+	if err != nil {
+		return nil, err
+	}
+	return NNProbabilities(conv, cands, grid), nil
+}
+
+// PositionCandidate identifies an uncertain object by ID and by the 2D
+// expected location of its center, for evaluations that cannot collapse
+// geometry to a single distance.
+type PositionCandidate struct {
+	ID  int64
+	Pos geom.Point
+}
+
+// ExactUncertainQueryNN computes the exact NN probabilities when both the
+// query and the candidate objects are uncertain, by conditioning on the
+// query's location:
+//
+//	P^NN_i = ∫ pdf_q(q) · P^NN_i( {‖c_j − q‖}_j ) dq,
+//
+// the "uncountably-many additions" (quadruple integration) of Section 3.1.
+// The outer integral is a midpoint rule on a polar grid of posGrid radial ×
+// 2·posGrid angular nodes over the query pdf's support centered at qCenter;
+// the inner evaluation is NNProbabilities with `grid` cells. Cost is
+// O(posGrid² · N · grid) — the expense the convolution transformation
+// exists to avoid; exposed for oracles, descriptors and the A5 ablation.
+func ExactUncertainQueryNN(objPDF, qryPDF updf.RadialPDF, cands []PositionCandidate, qCenter geom.Point, grid, posGrid int) map[int64]float64 {
+	if posGrid <= 0 {
+		posGrid = 24
+	}
+	out := make(map[int64]float64, len(cands))
+	for _, c := range cands {
+		out[c.ID] = 0
+	}
+	if len(cands) == 0 {
+		return out
+	}
+	sup := qryPDF.Support()
+	nr, na := posGrid, 2*posGrid
+	dr := sup / float64(nr)
+	da := 2 * math.Pi / float64(na)
+	dist := make([]Candidate, len(cands))
+	var wTotal float64
+	for ir := 0; ir < nr; ir++ {
+		rho := (float64(ir) + 0.5) * dr
+		dens := qryPDF.Density(rho)
+		if dens == 0 {
+			continue
+		}
+		w := dens * rho * dr * da
+		for ia := 0; ia < na; ia++ {
+			phi := (float64(ia) + 0.5) * da
+			q := geom.Point{X: qCenter.X + rho*math.Cos(phi), Y: qCenter.Y + rho*math.Sin(phi)}
+			for i, c := range cands {
+				dist[i] = Candidate{ID: c.ID, Dist: c.Pos.Dist(q)}
+			}
+			probs := NNProbabilities(objPDF, dist, grid)
+			for id, v := range probs {
+				out[id] += w * v
+			}
+			wTotal += w
+		}
+	}
+	if wTotal > 0 {
+		for id := range out {
+			out[id] /= wTotal
+		}
+	}
+	return out
+}
+
+// MonteCarloNN estimates the NN probabilities empirically: each trial draws
+// a displacement for every candidate from p (which must implement
+// updf.Sampler), places it around the candidate's center at (Dist, 0), and
+// awards the trial to the candidate closest to the origin. It is the test
+// oracle for NNProbabilities and Theorem 1.
+func MonteCarloNN(p updf.RadialPDF, cands []Candidate, trials int, rng *rand.Rand) (map[int64]float64, error) {
+	s, ok := p.(updf.Sampler)
+	if !ok {
+		return nil, ErrNoSampler
+	}
+	wins := make(map[int64]int, len(cands))
+	for _, c := range cands {
+		wins[c.ID] = 0
+	}
+	for t := 0; t < trials; t++ {
+		best := int64(-1)
+		bestD := math.Inf(1)
+		for _, c := range cands {
+			dx, dy := s.Sample(rng)
+			d := math.Hypot(c.Dist+dx, dy)
+			if d < bestD {
+				bestD = d
+				best = c.ID
+			}
+		}
+		wins[best]++
+	}
+	out := make(map[int64]float64, len(cands))
+	for id, w := range wins {
+		out[id] = float64(w) / float64(trials)
+	}
+	return out, nil
+}
+
+// MonteCarloUncertainQueryNN is the two-sided oracle: both the query and
+// the candidates draw displacements; used to validate the convolution
+// reduction end to end.
+func MonteCarloUncertainQueryNN(objPDF, qryPDF updf.RadialPDF, cands []Candidate, trials int, rng *rand.Rand) (map[int64]float64, error) {
+	so, okO := objPDF.(updf.Sampler)
+	sq, okQ := qryPDF.(updf.Sampler)
+	if !okO || !okQ {
+		return nil, ErrNoSampler
+	}
+	wins := make(map[int64]int, len(cands))
+	for _, c := range cands {
+		wins[c.ID] = 0
+	}
+	for t := 0; t < trials; t++ {
+		qx, qy := sq.Sample(rng)
+		best := int64(-1)
+		bestD := math.Inf(1)
+		for _, c := range cands {
+			dx, dy := so.Sample(rng)
+			d := math.Hypot(c.Dist+dx-qx, dy-qy)
+			if d < bestD {
+				bestD = d
+				best = c.ID
+			}
+		}
+		wins[best]++
+	}
+	out := make(map[int64]float64, len(cands))
+	for id, w := range wins {
+		out[id] = float64(w) / float64(trials)
+	}
+	return out, nil
+}

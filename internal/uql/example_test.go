@@ -1,0 +1,53 @@
+package uql_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/mod"
+	"repro/internal/trajectory"
+	"repro/internal/uql"
+)
+
+// Example runs the paper's Section 4 query sketch against a three-object
+// MOD: the stationary object 1 sits within the uncertainty zone of the
+// query 100 throughout, object 2 never comes close.
+func Example() {
+	store, err := mod.NewUniformStore(0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	add := func(oid int64, x float64) {
+		tr, err := trajectory.New(oid, []trajectory.Vertex{
+			{X: x, Y: 0, T: 0}, {X: x, Y: 0, T: 60},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := store.Insert(tr); err != nil {
+			log.Fatal(err)
+		}
+	}
+	add(100, 0) // query
+	add(1, 2)   // possible NN (distance 2, zone top 2+4·0.5 = 4)
+	add(2, 30)  // never possible
+
+	res, err := uql.Run(
+		"SELECT T FROM MOD WHERE EXISTS Time IN [0, 60] AND ProbabilityNN(T, 100, Time) > 0",
+		store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("possible NNs:", res)
+
+	res, err = uql.Run(
+		"SELECT 2 FROM MOD WHERE FORALL Time IN [0, 60] AND ProbabilityNN(2, 100, Time) > 0",
+		store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("object 2 always possible:", res)
+	// Output:
+	// possible NNs: [1]
+	// object 2 always possible: false
+}

@@ -1,0 +1,94 @@
+// Package uql implements a small declarative query language for continuous
+// probabilistic NN queries over a MOD, concretizing the SQL sketch of the
+// paper's Section 4:
+//
+//	SELECT T FROM MOD
+//	WHERE EXISTS Time IN [t1, t2]
+//	AND ProbabilityNN(T, TrQ, Time) > 0
+//
+// Grammar (keywords case-insensitive; `T` selects all trajectories —
+// Categories 3/4 — while an integer OID selects one — Categories 1/2):
+//
+//	stmt  := SELECT sel FROM MOD WHERE quantified
+//	sel   := 'T' | INT
+//	quantified :=
+//	      EXISTS  Time IN '[' NUM ',' NUM ']' AND prob
+//	    | FORALL  Time IN '[' NUM ',' NUM ']' AND prob
+//	    | ATLEAST NUM '%' Time IN '[' NUM ',' NUM ']' AND prob
+//	    | AT Time '=' NUM WITHIN '[' NUM ',' NUM ']' AND prob
+//	prob  := ProbabilityNN  '(' sel ',' INT ',' Time ')' '>' '0'
+//	       | ProbabilityKNN '(' sel ',' INT ',' Time ',' INT ')' '>' '0'
+//
+// The second argument of ProbabilityNN/ProbabilityKNN is the query
+// trajectory's OID (the paper's TrQ); the last argument of ProbabilityKNN
+// is the rank k. The `sel` inside the probability predicate must match the
+// SELECT target.
+package uql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // single-rune punctuation: ( ) [ ] , % > =
+)
+
+type token struct {
+	kind tokKind
+	text string // identifiers uppercased; numbers/puncts verbatim
+	pos  int
+}
+
+// lex splits the input into tokens. It returns an error on any rune that
+// is not part of the grammar.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := rune(src[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '(' || c == ')' || c == '[' || c == ']' || c == ',' || c == '%' || c == '>' || c == '=':
+			toks = append(toks, token{kind: tokPunct, text: string(c), pos: i})
+			i++
+		case unicode.IsDigit(c) || c == '-' || c == '+' || c == '.':
+			j := i
+			if c == '-' || c == '+' {
+				j++
+			}
+			seenDigit := false
+			for j < len(src) && (unicode.IsDigit(rune(src[j])) || src[j] == '.' || src[j] == 'e' || src[j] == 'E' ||
+				((src[j] == '-' || src[j] == '+') && j > i && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				if unicode.IsDigit(rune(src[j])) {
+					seenDigit = true
+				}
+				j++
+			}
+			if !seenDigit {
+				return nil, fmt.Errorf("uql: bad number at offset %d", i)
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[i:j], pos: i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: strings.ToUpper(src[i:j]), pos: i})
+			i = j
+		default:
+			return nil, fmt.Errorf("uql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(src)})
+	return toks, nil
+}

@@ -1,0 +1,90 @@
+package uql
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomStmt generates a structurally valid random statement.
+func randomStmt(rng *rand.Rand) *Stmt {
+	st := &Stmt{}
+	st.AllObjects = rng.Intn(2) == 0
+	if !st.AllObjects {
+		st.TargetOID = int64(rng.Intn(1000))
+	}
+	st.QueryOID = int64(rng.Intn(1000))
+	// Window with one decimal digit so String's %g round-trips exactly.
+	st.Tb = math.Round(rng.Float64()*1000) / 10
+	st.Te = st.Tb + 0.1 + math.Round(rng.Float64()*1000)/10
+	switch rng.Intn(4) {
+	case 0:
+		st.Quant = QuantExists
+	case 1:
+		st.Quant = QuantForAll
+	case 2:
+		st.Quant = QuantAtLeast
+		st.Percent = float64(rng.Intn(101)) / 100
+	case 3:
+		st.Quant = QuantAt
+		st.FixedT = st.Tb + math.Round(rng.Float64()*(st.Te-st.Tb)*10)/10
+		if st.FixedT > st.Te {
+			st.FixedT = st.Te
+		}
+	}
+	switch rng.Intn(3) {
+	case 0: // plain possible-NN
+	case 1:
+		st.Rank = 1 + rng.Intn(5)
+	case 2:
+		if rng.Intn(2) == 0 {
+			st.Certain = true
+		} else {
+			st.Threshold = float64(1+rng.Intn(99)) / 100
+		}
+	}
+	return st
+}
+
+// TestStringParseRoundTripProperty: Parse(st.String()) reproduces the AST
+// for arbitrary valid statements.
+func TestStringParseRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := randomStmt(rng)
+		got, err := Parse(st.String())
+		if err != nil {
+			t.Logf("seed %d: %q failed to parse: %v", seed, st.String(), err)
+			return false
+		}
+		if !reflect.DeepEqual(got, st) {
+			t.Logf("seed %d:\n src  %q\n got  %+v\n want %+v", seed, st.String(), got, st)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(12345))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLexerNeverPanics: arbitrary byte strings must lex or error, never
+// panic, and Parse must contain the damage.
+func TestLexerNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %q: %v", s, r)
+			}
+		}()
+		Parse(s)
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(777))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

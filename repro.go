@@ -1,0 +1,218 @@
+// Package repro is the public API of this reproduction of Trajcevski,
+// Tamassia, Ding, Scheuermann and Cruz, "Continuous Probabilistic
+// Nearest-Neighbor Queries for Uncertain Trajectories" (EDBT 2009).
+//
+// The facade re-exports the stable surface of the internal packages so
+// downstream users never import repro/internal/...:
+//
+//   - trajectories and the MOD store (Section 2.1),
+//   - the IPAC-NN tree (Sections 1, 3.2 — the paper's core contribution),
+//   - the continuous query variants UQ11..UQ43 (Section 4),
+//   - the UQL query language (the SQL sketch of Section 4), and
+//   - the probabilistic machinery for instantaneous NN queries
+//     (Sections 2.2, 3.1).
+//
+// Quickstart:
+//
+//	store, _ := repro.NewUniformStore(0.5)                  // r = 0.5 mi
+//	trs, _ := repro.GenerateWorkload(repro.DefaultWorkload(42), 1000)
+//	_ = store.InsertAll(trs)
+//	q, _ := store.Get(1)
+//	tree, _ := repro.BuildIPACNN(store.All(), q, 0, 60, store.Radius(), nil, repro.TreeConfig{MaxLevels: 3})
+//	fmt.Println(tree.AnswerAt(30))                          // highest-probability NN at t=30
+//
+// See examples/ for runnable programs and EXPERIMENTS.md for the
+// benchmark harness regenerating the paper's figures.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/envelope"
+	"repro/internal/mod"
+	"repro/internal/queries"
+	"repro/internal/trajectory"
+	"repro/internal/uncertain"
+	"repro/internal/updf"
+	"repro/internal/uql"
+	"repro/internal/workload"
+)
+
+// --- trajectories and stores (Section 2.1) ---
+
+// Vertex is one (x, y, t) sample of a trajectory.
+type Vertex = trajectory.Vertex
+
+// Trajectory is a piecewise-linear motion plan with a unique object ID.
+type Trajectory = trajectory.Trajectory
+
+// UncertainTrajectory augments a trajectory with the uncertainty-disk
+// radius and location pdf.
+type UncertainTrajectory = trajectory.Uncertain
+
+// NewTrajectory constructs a validated trajectory.
+func NewTrajectory(oid int64, verts []Vertex) (*Trajectory, error) {
+	return trajectory.New(oid, verts)
+}
+
+// Store is a concurrent Moving Objects Database sharing one uncertainty
+// model across its trajectories.
+type Store = mod.Store
+
+// PDFSpec describes a serializable location pdf.
+type PDFSpec = mod.PDFSpec
+
+// PDF kinds for PDFSpec.
+const (
+	PDFUniform         = mod.PDFUniform
+	PDFBoundedGaussian = mod.PDFBoundedGaussian
+	PDFEpanechnikov    = mod.PDFEpanechnikov
+)
+
+// NewStore creates a MOD store with the given uncertainty model.
+func NewStore(spec PDFSpec) (*Store, error) { return mod.NewStore(spec) }
+
+// NewUniformStore creates a MOD store with the paper's default model:
+// uniform location pdf inside a disk of radius r.
+func NewUniformStore(r float64) (*Store, error) { return mod.NewUniformStore(r) }
+
+// --- workload (Section 5) ---
+
+// WorkloadConfig parameterizes the random-waypoint generator.
+type WorkloadConfig = workload.Config
+
+// DefaultWorkload returns the paper's evaluation setup (40×40 mi²,
+// 15-60 mph, 60 min, synchronous velocity changes).
+func DefaultWorkload(seed int64) WorkloadConfig { return workload.DefaultConfig(seed) }
+
+// SingleSegmentWorkload is DefaultWorkload without velocity changes.
+func SingleSegmentWorkload(seed int64) WorkloadConfig { return workload.SingleSegmentConfig(seed) }
+
+// GenerateWorkload produces n random-waypoint trajectories.
+func GenerateWorkload(c WorkloadConfig, n int) ([]*Trajectory, error) {
+	return workload.Generate(c, n)
+}
+
+// --- location pdfs and instantaneous probabilities (Sections 2.2, 3.1) ---
+
+// RadialPDF is a rotationally symmetric location pdf.
+type RadialPDF = updf.RadialPDF
+
+// UniformDiskPDF returns the paper's default uniform location pdf.
+func UniformDiskPDF(r float64) RadialPDF { return updf.NewUniformDisk(r) }
+
+// BoundedGaussianPDF returns a Gaussian truncated to radius r.
+func BoundedGaussianPDF(r, sigma float64) RadialPDF { return updf.NewBoundedGaussian(r, sigma) }
+
+// ConePDF returns the paper's Eq. 7 cone (base radius 2r when modelling
+// the convolution of two uniform disks of radius r).
+func ConePDF(baseRadius float64) RadialPDF { return updf.NewCone(baseRadius) }
+
+// Convolve returns the pdf of the difference of two independent locations
+// (analytic for uniforms, numeric otherwise) — the Section 3.1
+// transformation.
+func Convolve(a, b RadialPDF) (RadialPDF, error) { return updf.ConvolvePair(a, b, 0) }
+
+// Candidate pairs an object ID with its center distance from the query.
+type Candidate = uncertain.Candidate
+
+// NNProbabilities evaluates Eq. 5: the probability of each candidate being
+// the nearest neighbor of a crisp query at the origin.
+func NNProbabilities(p RadialPDF, cands []Candidate) map[int64]float64 {
+	return uncertain.NNProbabilities(p, cands, 0)
+}
+
+// UncertainQueryNN ranks candidates when the query itself is uncertain via
+// the convolution reduction (Theorem 1: the ranking is exact; see the
+// internal documentation for the value-approximation caveat).
+func UncertainQueryNN(objPDF, qryPDF RadialPDF, cands []Candidate) (map[int64]float64, error) {
+	return uncertain.UncertainQueryNN(objPDF, qryPDF, cands, 0)
+}
+
+// --- the IPAC-NN tree (Sections 1, 3.2) ---
+
+// TreeConfig tunes IPAC-NN construction.
+type TreeConfig = core.Config
+
+// IPACNNTree is the interval tree answering a continuous probabilistic NN
+// query.
+type IPACNNTree = core.Tree
+
+// TreeNode is one node of the IPAC-NN tree.
+type TreeNode = core.Node
+
+// BuildIPACNN runs Algorithm 3 for query trajectory q over [tb, te] with
+// shared uncertainty radius r and location pdf (nil = uniform).
+func BuildIPACNN(trs []*Trajectory, q *Trajectory, tb, te, r float64, pdf RadialPDF, cfg TreeConfig) (*IPACNNTree, error) {
+	return core.Build(trs, q, tb, te, r, pdf, cfg)
+}
+
+// --- continuous query variants (Section 4) ---
+
+// QueryProcessor answers the UQ11..UQ43 query variants after O(N log N)
+// envelope preprocessing.
+type QueryProcessor = queries.Processor
+
+// NewQueryProcessor builds the preprocessing for query trajectory q over
+// [tb, te] with uncertainty radius r.
+func NewQueryProcessor(trs []*Trajectory, q *Trajectory, tb, te, r float64) (*QueryProcessor, error) {
+	return queries.NewProcessor(trs, q, tb, te, r)
+}
+
+// TimeInterval is a closed time interval.
+type TimeInterval = envelope.TimeInterval
+
+// ThresholdConfig tunes the continuous threshold-NN queries (the paper's
+// Section 7 future-work item), available as methods on QueryProcessor:
+// ProbabilitySeries, AboveThresholdIntervals, ThresholdNN, ThresholdNNAll,
+// MaxProbability.
+type ThresholdConfig = queries.ThresholdConfig
+
+// HeteroQueryProcessor answers possible-NN questions when objects carry
+// different uncertainty radii (Section 7 future work).
+type HeteroQueryProcessor = queries.HeteroProcessor
+
+// NewHeteroQueryProcessor builds the heterogeneous-radii processor; radii
+// maps every OID (including the query's) to its uncertainty radius.
+func NewHeteroQueryProcessor(trs []*Trajectory, q *Trajectory, tb, te float64, radii map[int64]float64) (*HeteroQueryProcessor, error) {
+	return queries.NewHeteroProcessor(trs, q, tb, te, radii)
+}
+
+// AllPairsPossibleNN computes every object's possible-NN set over the
+// window (Section 7 future work: all-pairs continuous probabilistic NN).
+func AllPairsPossibleNN(trs []*Trajectory, tb, te, r float64) (map[int64][]int64, error) {
+	return queries.AllPairsPossibleNN(trs, tb, te, r)
+}
+
+// ReversePossibleNN returns the objects for which the target can be the
+// nearest neighbor (reverse continuous probabilistic NN, Section 7 future
+// work).
+func ReversePossibleNN(trs []*Trajectory, target *Trajectory, tb, te, r float64) ([]int64, error) {
+	return queries.ReversePossibleNN(trs, target, tb, te, r)
+}
+
+// KNNProbabilities generalizes Eq. 5 to top-k membership: the probability
+// of each candidate being among the k nearest to a crisp query at the
+// origin.
+func KNNProbabilities(p RadialPDF, cands []Candidate, k int) map[int64]float64 {
+	return uncertain.KNNProbabilities(p, cands, k, 0)
+}
+
+// --- UQL (Section 4's SQL sketch) ---
+
+// UQLResult is the outcome of a UQL statement.
+type UQLResult = uql.Result
+
+// RunUQL parses and evaluates a UQL statement against a store, e.g.
+//
+//	SELECT T FROM MOD WHERE EXISTS Time IN [0, 60] AND ProbabilityNN(T, 5, Time) > 0
+func RunUQL(query string, store *Store) (UQLResult, error) { return uql.Run(query, store) }
+
+// ClusteredWorkloadConfig parameterizes the hotspot workload generator
+// (extension experiment E4).
+type ClusteredWorkloadConfig = workload.ClusterConfig
+
+// GenerateClusteredWorkload produces n trajectories starting around random
+// hotspots instead of uniformly.
+func GenerateClusteredWorkload(c ClusteredWorkloadConfig, n int) ([]*Trajectory, error) {
+	return workload.GenerateClustered(c, n)
+}

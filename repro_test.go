@@ -1,0 +1,145 @@
+package repro_test
+
+import (
+	"sort"
+	"testing"
+
+	"repro"
+)
+
+func seededStore(t *testing.T, n int) *repro.Store {
+	t.Helper()
+	store, err := repro.NewUniformStore(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs, err := repro.GenerateWorkload(repro.DefaultWorkload(1234), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.InsertAll(trs); err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+// TestFacadeEndToEnd walks the whole public surface the README shows.
+func TestFacadeEndToEnd(t *testing.T) {
+	store := seededStore(t, 120)
+	q, err := store.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tree, err := repro.BuildIPACNN(store.All(), q, 0, 60, store.Radius(), nil,
+		repro.TreeConfig{MaxLevels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NodeCount() == 0 || tree.Depth() < 1 {
+		t.Fatalf("tree: %d nodes depth %d", tree.NodeCount(), tree.Depth())
+	}
+	if got := tree.AnswerAt(30); got == 0 || got == q.OID {
+		t.Fatalf("AnswerAt = %d", got)
+	}
+	ranked := tree.RankedAt(30, 3)
+	if len(ranked) == 0 || ranked[0] != tree.AnswerAt(30) {
+		t.Fatalf("RankedAt = %v vs AnswerAt = %d", ranked, tree.AnswerAt(30))
+	}
+
+	proc, err := repro.NewQueryProcessor(store.All(), q, 0, 60, store.Radius())
+	if err != nil {
+		t.Fatal(err)
+	}
+	uq31 := proc.UQ31()
+	res, err := repro.RunUQL(
+		"SELECT T FROM MOD WHERE EXISTS Time IN [0, 60] AND ProbabilityNN(T, 1, Time) > 0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OIDs) != len(uq31) {
+		t.Fatalf("UQL %d ids vs processor %d", len(res.OIDs), len(uq31))
+	}
+	for i := range uq31 {
+		if res.OIDs[i] != uq31[i] {
+			t.Fatalf("UQL/processor divergence at %d", i)
+		}
+	}
+	// The tree's kept set equals UQ31.
+	kept := append([]int64(nil), tree.KeptOIDs...)
+	sort.Slice(kept, func(a, b int) bool { return kept[a] < kept[b] })
+	if len(kept) != len(uq31) {
+		t.Fatalf("tree kept %d vs UQ31 %d", len(kept), len(uq31))
+	}
+	for i := range kept {
+		if kept[i] != uq31[i] {
+			t.Fatalf("kept/UQ31 divergence at %d: %d vs %d", i, kept[i], uq31[i])
+		}
+	}
+}
+
+func TestFacadeProbabilityHelpers(t *testing.T) {
+	u := repro.UniformDiskPDF(1)
+	conv, err := repro.Convolve(u, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conv.Support() != 2 {
+		t.Fatalf("convolved support = %g", conv.Support())
+	}
+	cands := []repro.Candidate{{ID: 1, Dist: 2}, {ID: 2, Dist: 3}, {ID: 3, Dist: 30}}
+	probs := repro.NNProbabilities(u, cands)
+	if !(probs[1] > probs[2] && probs[2] >= 0 && probs[3] == 0) {
+		t.Fatalf("probs = %v", probs)
+	}
+	up, err := repro.UncertainQueryNN(u, u, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(up[1] > up[2]) {
+		t.Fatalf("uncertain-query probs = %v", up)
+	}
+	// Other pdf constructors.
+	if g := repro.BoundedGaussianPDF(1, 0.4); g.Support() != 1 {
+		t.Fatal("gaussian support")
+	}
+	if c := repro.ConePDF(2); c.Support() != 2 {
+		t.Fatal("cone support")
+	}
+}
+
+func TestFacadeTrajectoryConstruction(t *testing.T) {
+	tr, err := repro.NewTrajectory(9, []repro.Vertex{{X: 0, Y: 0, T: 0}, {X: 1, Y: 1, T: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.OID != 9 {
+		t.Fatalf("oid = %d", tr.OID)
+	}
+	if _, err := repro.NewTrajectory(9, nil); err == nil {
+		t.Fatal("invalid trajectory accepted")
+	}
+	// Store with explicit spec.
+	st, err := repro.NewStore(repro.PDFSpec{Kind: repro.PDFBoundedGaussian, R: 1, Sigma: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Radius() != 1 {
+		t.Fatalf("radius = %g", st.Radius())
+	}
+	if _, err := repro.NewStore(repro.PDFSpec{Kind: "bogus", R: 1}); err == nil {
+		t.Fatal("bogus spec accepted")
+	}
+}
+
+func TestFacadeWorkloadConfigs(t *testing.T) {
+	single, err := repro.GenerateWorkload(repro.SingleSegmentWorkload(3), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range single {
+		if tr.NumSegments() != 1 {
+			t.Fatalf("segments = %d", tr.NumSegments())
+		}
+	}
+}
