@@ -1,0 +1,35 @@
+# CI and humans invoke the same targets: the ci.yml workflow is exactly
+# `make fmt vet build test race bench-smoke`.
+
+GO ?= go
+
+.PHONY: all build test race bench bench-smoke fmt vet clean
+
+all: fmt vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark run (minutes on a laptop).
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+# One-iteration smoke: every benchmark compiles and executes.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Fails (with the offending file list) when any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

@@ -4,6 +4,7 @@
 //	figures -fig 11                 # lower-envelope construction time
 //	figures -fig 12                 # UQ11/UQ13 query time
 //	figures -fig 13                 # pruning power vs uncertainty radius
+//	figures -fig par                # parallel batch engine vs serial loops
 //	figures -fig all -csv out/      # everything, with CSVs
 //
 // Flags tune the sweep sizes so the full paper range (N up to 12000) or a
@@ -29,6 +30,9 @@ func main() {
 		queries  = flag.Int("queries", 100, "random target selections per size for figure 12")
 		radii    = flag.String("r", "0.1,0.25,0.5,0.75,1,1.5,2,3,4,5", "comma-separated uncertainty radii (miles) for figure 13")
 		fig13Ns  = flag.String("fig13-n", "2000,10000", "population sizes for figure 13")
+		parNs    = flag.String("par-n", "1000,2000,4000", "population sizes for the parallel-batch experiment")
+		parK     = flag.Int("par-k", 3, "deepest rank in the parallel-batch experiment")
+		workers  = flag.Int("workers", 0, "worker count for the parallel-batch experiment (0 = one per CPU)")
 		seed     = flag.Int64("seed", 2009, "workload RNG seed")
 		csvDir   = flag.String("csv", "", "directory to write CSV series into (optional)")
 	)
@@ -61,11 +65,17 @@ func main() {
 		fmt.Printf("wrote %s\n", path)
 	}
 
+	sizesPar, err := parseInts(*parNs)
+	if err != nil {
+		fatal(err)
+	}
+
 	run11 := *fig == "11" || *fig == "all"
 	run12 := *fig == "12" || *fig == "all"
 	run13 := *fig == "13" || *fig == "all"
 	runE4 := *fig == "e4" || *fig == "all"
-	if !run11 && !run12 && !run13 && !runE4 {
+	runPar := *fig == "par" || *fig == "all"
+	if !run11 && !run12 && !run13 && !runE4 && !runPar {
 		fatal(fmt.Errorf("unknown -fig %q", *fig))
 	}
 
@@ -107,6 +117,16 @@ func main() {
 		}
 		fmt.Print(bench.FormatE4(rows))
 		writeCSV("e4.csv", bench.CSVE4(rows))
+		fmt.Println()
+	}
+	if runPar {
+		fmt.Println("== Parallel batch engine: UQ41/UQ43 batches, serial vs worker pool ==")
+		rows, err := bench.ParallelBatch(sizesPar, *parK, *workers, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(bench.FormatParallel(rows))
+		writeCSV("parallel.csv", bench.CSVParallel(rows))
 	}
 }
 

@@ -1,10 +1,16 @@
 // Command uncertnn runs continuous probabilistic NN queries against a MOD
-// store file, either as a one-shot UQL statement or as an interactive
-// REPL, and can print a query's IPAC-NN tree:
+// store file — as a one-shot UQL statement, a multi-statement batch
+// script, or an interactive REPL — and can print a query's IPAC-NN tree:
 //
 //	uncertnn -store fleet.mod -uql 'SELECT T FROM MOD WHERE EXISTS Time IN [0, 60] AND ProbabilityNN(T, 1, Time) > 0'
+//	uncertnn -store fleet.mod -script queries.uql   # one statement per line, # comments
 //	uncertnn -store fleet.mod -tree -q 1 -tb 0 -te 60 -levels 3
 //	uncertnn -store fleet.mod              # REPL: one UQL statement per line
+//
+// Scripts and the REPL evaluate through the concurrent batch engine:
+// statements sharing a query trajectory and window share one envelope
+// preprocessing, and whole-MOD statements fan per-object work across
+// -workers goroutines (default: one per CPU).
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/mod"
 	"repro/internal/uql"
 )
@@ -24,6 +31,8 @@ func main() {
 		storePath = flag.String("store", "", "path to a store file written by gentraj")
 		format    = flag.String("format", "binary", "store format: binary | json")
 		uqlStmt   = flag.String("uql", "", "one-shot UQL statement (omit for a REPL)")
+		script    = flag.String("script", "", "batch-run a UQL script file (one statement per line)")
+		workers   = flag.Int("workers", 0, "batch engine worker count (0 = one per CPU)")
 		tree      = flag.Bool("tree", false, "print the IPAC-NN tree for -q over [-tb, -te]")
 		qOID      = flag.Int64("q", 1, "query trajectory OID for -tree")
 		tb        = flag.Float64("tb", 0, "window start for -tree")
@@ -59,15 +68,50 @@ func main() {
 		printTree(store, *qOID, *tb, *te, *levels, *desc, *asJSON)
 		return
 	}
-	if *uqlStmt != "" {
-		res, err := uql.Run(*uqlStmt, store)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(res)
+	eng := engine.New(*workers)
+	if *script != "" {
+		runScript(store, eng, *script)
 		return
 	}
-	repl(store)
+	if *uqlStmt != "" {
+		item := uql.RunBatch([]string{*uqlStmt}, store, eng)[0]
+		if item.Err != nil {
+			fatal(item.Err)
+		}
+		fmt.Println(item.Result)
+		return
+	}
+	repl(store, eng)
+}
+
+// runScript batch-evaluates a UQL script: one statement per line, blank
+// lines and #-comments skipped. Statement failures are reported inline;
+// any failure makes the exit status nonzero.
+func runScript(store *mod.Store, eng *engine.Engine, path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var stmts []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		stmts = append(stmts, line)
+	}
+	failed := false
+	for i, item := range uql.RunBatch(stmts, store, eng) {
+		if item.Err != nil {
+			failed = true
+			fmt.Printf("[%d] error: %v\n", i+1, item.Err)
+			continue
+		}
+		fmt.Printf("[%d] %s\n", i+1, item.Result)
+	}
+	if failed {
+		os.Exit(1)
+	}
 }
 
 func printTree(store *mod.Store, qOID int64, tb, te float64, levels int, desc, asJSON bool) {
@@ -98,7 +142,7 @@ func printTree(store *mod.Store, qOID int64, tb, te float64, levels int, desc, a
 	})
 }
 
-func repl(store *mod.Store) {
+func repl(store *mod.Store, eng *engine.Engine) {
 	fmt.Println("uncertnn REPL — one UQL statement per line (quit/exit to leave)")
 	fmt.Println(`example: SELECT T FROM MOD WHERE EXISTS Time IN [0, 60] AND ProbabilityNN(T, 1, Time) > 0`)
 	sc := bufio.NewScanner(os.Stdin)
@@ -115,12 +159,14 @@ func repl(store *mod.Store) {
 		if line == "quit" || line == "exit" {
 			return
 		}
-		res, err := uql.Run(line, store)
-		if err != nil {
-			fmt.Println("error:", err)
+		// Evaluating through the engine lets repeated statements against
+		// the same query trajectory and window reuse the preprocessing.
+		item := uql.RunBatch([]string{line}, store, eng)[0]
+		if item.Err != nil {
+			fmt.Println("error:", item.Err)
 			continue
 		}
-		fmt.Println(res)
+		fmt.Println(item.Result)
 	}
 }
 

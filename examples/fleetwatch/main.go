@@ -70,16 +70,33 @@ func main() {
 		fmt.Printf("\nvans that can never be the closest backup: %v\n", tree.PrunedOIDs)
 	}
 
-	// Which vans could be closest at least a quarter of the shift? (UQ33)
-	proc, err := repro.NewQueryProcessor(store.All(), q, tb, te, store.Radius())
+	// Dispatch's dashboard refreshes several views of the same window at
+	// once — which vans could ever be closest (UQ31), which at least a
+	// quarter of the shift (UQ33), and which can rank top-2 throughout
+	// (UQ42). Run them as one batch through the engine: the envelope
+	// preprocessing is paid once and the per-van checks run in parallel.
+	eng := repro.NewEngine(0)
+	res, err := eng.ExecBatch(store, repro.BatchRequest{
+		QueryOID: q.OID, Tb: tb, Te: te,
+		Queries: []repro.BatchQuery{
+			{Kind: repro.KindUQ31},
+			{Kind: repro.KindUQ33, X: 0.25},
+			{Kind: repro.KindUQ42, K: 2},
+		},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	ids, err := proc.UQ33(0.25)
-	if err != nil {
-		log.Fatal(err)
+	for i, label := range []string{
+		"vans ever possibly-closest",
+		"vans possibly-closest >= 25% of the shift",
+		"vans possibly top-2 for the whole shift",
+	} {
+		if res.Items[i].Err != nil {
+			log.Fatal(res.Items[i].Err)
+		}
+		fmt.Printf("\n%s: %v\n", label, res.Items[i].OIDs)
 	}
-	fmt.Printf("\nvans possibly-closest >= 25%% of the shift: %v\n", ids)
 }
 
 // shortestSpan returns the earliest trip end so the query window is

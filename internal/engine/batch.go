@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/mod"
+	"repro/internal/queries"
+)
+
+// Kind names one of the continuous query variants of the paper's Section 4
+// (plus the fixed-time instant variants). Category 1/2 kinds answer a
+// boolean about Query.OID; Category 3/4 kinds retrieve an OID list.
+type Kind string
+
+// Supported query kinds.
+const (
+	// Category 1: single object vs the Level-1 envelope.
+	KindUQ11 Kind = "UQ11" // ∃t possible-NN
+	KindUQ12 Kind = "UQ12" // ∀t possible-NN
+	KindUQ13 Kind = "UQ13" // possible-NN ≥ X% of the window
+	// Category 2: single object vs the Level-k envelope.
+	KindUQ21 Kind = "UQ21"
+	KindUQ22 Kind = "UQ22"
+	KindUQ23 Kind = "UQ23"
+	// Category 3: whole-MOD retrieval vs the Level-1 envelope.
+	KindUQ31 Kind = "UQ31"
+	KindUQ32 Kind = "UQ32"
+	KindUQ33 Kind = "UQ33"
+	// Category 4: whole-MOD retrieval vs the Level-k envelope.
+	KindUQ41 Kind = "UQ41"
+	KindUQ42 Kind = "UQ42"
+	KindUQ43 Kind = "UQ43"
+	// Fixed-time instant variants.
+	KindNNAt      Kind = "NN@"      // single object possible-NN at T
+	KindRankAt    Kind = "RANK@"    // single object possible rank-k at T
+	KindAllNNAt   Kind = "ALLNN@"   // all possible-NN objects at T
+	KindAllRankAt Kind = "ALLRANK@" // all possible rank-k objects at T
+)
+
+// Query is one variant in a batch. Which fields matter depends on Kind:
+// OID for Categories 1/2 and the single-object instant kinds, K for the
+// ranked kinds, X for the ≥X% kinds, T for the instant kinds.
+type Query struct {
+	Kind Kind
+	OID  int64
+	K    int
+	X    float64
+	T    float64
+}
+
+// rank returns the query's effective envelope level.
+func (q Query) rank() int {
+	switch q.Kind {
+	case KindUQ21, KindUQ22, KindUQ23, KindUQ41, KindUQ42, KindUQ43, KindRankAt, KindAllRankAt:
+		return q.K
+	}
+	return 1
+}
+
+// BatchRequest is a batch of query variants sharing one query trajectory
+// and window — the unit over which the engine amortizes preprocessing.
+type BatchRequest struct {
+	QueryOID int64
+	Tb, Te   float64
+	Queries  []Query
+}
+
+// Item is the result of one query in a batch. Exactly one of Bool/OIDs is
+// meaningful, per IsBool; Err is per-query so one bad variant (unknown OID,
+// bad rank) does not poison its batch siblings.
+type Item struct {
+	IsBool bool
+	Bool   bool
+	OIDs   []int64
+	Err    error
+}
+
+// BatchResult holds one Item per requested query, in request order.
+type BatchResult struct {
+	Items []Item
+}
+
+// ExecBatch evaluates the batch against the store. The envelope
+// preprocessing is done (or memo-hit) once; the deepest rank needed by the
+// batch is built once; each whole-MOD query then fans its per-OID candidate
+// checks across the worker pool. Results are deterministic: OID lists come
+// back sorted ascending regardless of worker count or scheduling.
+func (e *Engine) ExecBatch(store *mod.Store, req BatchRequest) (BatchResult, error) {
+	if e == nil {
+		return BatchResult{}, ErrNoEngine
+	}
+	proc, err := e.Processor(store, req.QueryOID, req.Tb, req.Te)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	// One k-level construction for the deepest rank in the batch;
+	// construction failures resurface as per-query errors in exec.
+	maxK := 0
+	for _, q := range req.Queries {
+		if k := q.rank(); k > maxK {
+			maxK = k
+		}
+	}
+	if maxK > 1 {
+		_ = proc.EnsureLevels(maxK)
+	}
+	res := BatchResult{Items: make([]Item, len(req.Queries))}
+	for i, q := range req.Queries {
+		res.Items[i] = e.exec(proc, q)
+	}
+	return res, nil
+}
+
+// Exec evaluates a single query variant, sharing the memoized
+// preprocessing with any batch against the same key.
+func (e *Engine) Exec(store *mod.Store, qOID int64, tb, te float64, q Query) Item {
+	if e == nil {
+		return Item{Err: ErrNoEngine}
+	}
+	proc, err := e.Processor(store, qOID, tb, te)
+	if err != nil {
+		return Item{Err: err}
+	}
+	return e.exec(proc, q)
+}
+
+// exec dispatches one query against a ready processor. Whole-MOD kinds run
+// on the worker pool; single-object kinds are O(N) already and run inline.
+func (e *Engine) exec(p *queries.Processor, q Query) Item {
+	boolItem := func(b bool, err error) Item { return Item{IsBool: true, Bool: b, Err: err} }
+	listItem := func(ids []int64, err error) Item { return Item{OIDs: ids, Err: err} }
+	switch q.Kind {
+	case KindUQ11:
+		return boolItem(p.UQ11(q.OID))
+	case KindUQ12:
+		return boolItem(p.UQ12(q.OID))
+	case KindUQ13:
+		return boolItem(p.UQ13(q.OID, q.X))
+	case KindUQ21:
+		return boolItem(p.UQ21(q.OID, q.K))
+	case KindUQ22:
+		return boolItem(p.UQ22(q.OID, q.K))
+	case KindUQ23:
+		return boolItem(p.UQ23(q.OID, q.K, q.X))
+	case KindNNAt:
+		return boolItem(p.IsPossibleNNAt(q.OID, q.T))
+	case KindRankAt:
+		return boolItem(p.IsPossibleRankKAt(q.OID, q.T, q.K))
+	case KindUQ31:
+		return listItem(e.FilterOIDs(p.CandidateOIDs(), p.UQ11))
+	case KindUQ32:
+		return listItem(e.FilterOIDs(p.CandidateOIDs(), p.UQ12))
+	case KindUQ33:
+		if q.X < 0 || q.X > 1 {
+			return listItem(nil, queries.ErrBadFrac)
+		}
+		return listItem(e.FilterOIDs(p.CandidateOIDs(), func(oid int64) (bool, error) {
+			return p.UQ13(oid, q.X)
+		}))
+	case KindUQ41:
+		if err := p.EnsureLevels(q.K); err != nil {
+			return listItem(nil, err)
+		}
+		return listItem(e.FilterOIDs(p.CandidateOIDs(), func(oid int64) (bool, error) {
+			return p.UQ21(oid, q.K)
+		}))
+	case KindUQ42:
+		if err := p.EnsureLevels(q.K); err != nil {
+			return listItem(nil, err)
+		}
+		return listItem(e.FilterOIDs(p.CandidateOIDs(), func(oid int64) (bool, error) {
+			return p.UQ22(oid, q.K)
+		}))
+	case KindUQ43:
+		if q.X < 0 || q.X > 1 {
+			return listItem(nil, queries.ErrBadFrac)
+		}
+		if err := p.EnsureLevels(q.K); err != nil {
+			return listItem(nil, err)
+		}
+		return listItem(e.FilterOIDs(p.CandidateOIDs(), func(oid int64) (bool, error) {
+			return p.UQ23(oid, q.K, q.X)
+		}))
+	case KindAllNNAt:
+		return listItem(e.FilterOIDs(p.CandidateOIDs(), func(oid int64) (bool, error) {
+			return p.IsPossibleNNAt(oid, q.T)
+		}))
+	case KindAllRankAt:
+		if err := p.EnsureLevels(q.K); err != nil {
+			return listItem(nil, err)
+		}
+		return listItem(e.FilterOIDs(p.CandidateOIDs(), func(oid int64) (bool, error) {
+			return p.IsPossibleRankKAt(oid, q.T, q.K)
+		}))
+	default:
+		return Item{Err: fmt.Errorf("%w: %q", ErrBadKind, q.Kind)}
+	}
+}

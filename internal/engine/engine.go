@@ -1,0 +1,197 @@
+// Package engine is the concurrent batch query engine: it evaluates the
+// whole-MOD continuous query variants (UQ31..UQ43 of the paper's Section 4)
+// by fanning per-object candidate checks across a worker pool, and it
+// amortizes the O(N log N) envelope preprocessing across a batch of query
+// variants through a keyed processor memo.
+//
+// The two levers, in the terms of the paper:
+//
+//   - Parallelism. A Category 3/4 query is a filter over the MOD: for each
+//     object, test its difference-distance function against the (level-k)
+//     lower envelope's 4r pruning zone. The per-object kernels are pure
+//     (queries.Processor is safe for concurrent use), so the engine shards
+//     the candidate OID list into per-OID tasks, evaluates them on one
+//     worker per CPU, and reassembles results in deterministic OID order.
+//
+//   - Sharing. Every query variant against the same (store, TrQ, [tb, te])
+//     reuses one queries.Processor — and therefore one set of distance
+//     functions, one Level-1 envelope, and one lazily grown k-level stack —
+//     through a mutex-guarded memo keyed on the store's version counter, so
+//     a batch of N variants pays the envelope cost once.
+//
+// Entry points: Exec for one query, ExecBatch for a batch sharing a query
+// trajectory and window, Processor for the memoized preprocessing alone.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/mod"
+	"repro/internal/queries"
+)
+
+// Package errors.
+var (
+	ErrBadKind  = errors.New("engine: unknown query kind")
+	ErrNoEngine = errors.New("engine: nil engine")
+)
+
+// memoCap bounds the processor memo. Entries are evicted in insertion
+// order; 64 distinct (query, window) pairs comfortably covers a batch
+// workload while keeping worst-case memory bounded.
+const memoCap = 64
+
+// Engine executes batch queries against mod stores. The zero value is not
+// usable; construct with New. An Engine is safe for concurrent use and is
+// meant to be long-lived (one per server), since its value is the memo.
+type Engine struct {
+	workers int
+
+	mu    sync.Mutex
+	procs map[procKey]*procSlot
+	order []procKey // insertion order for eviction
+}
+
+// procKey identifies one memoized preprocessing: a store at a specific
+// version, a query trajectory, and a window. The version guard means a
+// store mutation (insert/update/delete) naturally invalidates the entry.
+type procKey struct {
+	store    *mod.Store
+	version  uint64
+	queryOID int64
+	tb, te   float64
+}
+
+// procSlot builds its processor at most once even under concurrent lookups.
+type procSlot struct {
+	once sync.Once
+	proc *queries.Processor
+	err  error
+}
+
+// New creates an engine with the given worker-pool size; workers <= 0 means
+// one worker per CPU.
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Engine{workers: workers, procs: make(map[procKey]*procSlot)}
+}
+
+// Workers returns the worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Processor returns the memoized queries.Processor for the query trajectory
+// qOID over [tb, te] against the store's current contents, building it on
+// first use. Concurrent callers with the same key share one build.
+func (e *Engine) Processor(store *mod.Store, qOID int64, tb, te float64) (*queries.Processor, error) {
+	key := procKey{store: store, version: store.Version(), queryOID: qOID, tb: tb, te: te}
+	e.mu.Lock()
+	slot, ok := e.procs[key]
+	if !ok {
+		slot = &procSlot{}
+		e.procs[key] = slot
+		e.order = append(e.order, key)
+		e.evictLocked()
+	}
+	e.mu.Unlock()
+	slot.once.Do(func() {
+		q, err := store.Get(qOID)
+		if err != nil {
+			slot.err = fmt.Errorf("engine: query trajectory: %w", err)
+			return
+		}
+		slot.proc, slot.err = queries.NewProcessor(store.All(), q, tb, te, store.Radius())
+	})
+	return slot.proc, slot.err
+}
+
+// evictLocked drops stale-version entries eagerly (a bumped store version
+// makes them unreachable, since Version only increases) and then enforces
+// memoCap oldest-first. Caller holds e.mu.
+func (e *Engine) evictLocked() {
+	kept := e.order[:0]
+	for _, key := range e.order {
+		if key.version != key.store.Version() {
+			delete(e.procs, key)
+			continue
+		}
+		kept = append(kept, key)
+	}
+	e.order = kept
+	for len(e.order) > memoCap {
+		delete(e.procs, e.order[0])
+		e.order = e.order[1:]
+	}
+}
+
+// MemoLen reports the number of live memo entries (for tests and metrics).
+func (e *Engine) MemoLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.procs)
+}
+
+// FilterOIDs evaluates pred for every OID on the worker pool and returns
+// the OIDs for which it holds, in the input (sorted) order — the
+// deterministic parallel counterpart of the serial UQ3x/UQ4x loops. The
+// first error wins; remaining tasks still drain but their results are
+// discarded.
+func (e *Engine) FilterOIDs(oids []int64, pred func(oid int64) (bool, error)) ([]int64, error) {
+	n := len(oids)
+	if n == 0 {
+		return nil, nil
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	keep := make([]bool, n)
+	errs := make([]error, workers)
+	if workers == 1 {
+		for i, oid := range oids {
+			ok, err := pred(oid)
+			if err != nil {
+				return nil, err
+			}
+			keep[i] = ok
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := range next {
+					ok, err := pred(oids[i])
+					if err != nil {
+						errs[w] = err
+						continue
+					}
+					keep[i] = ok
+				}
+			}(w)
+		}
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	var out []int64
+	for i, ok := range keep {
+		if ok {
+			out = append(out, oids[i])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,302 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/mod"
+	"repro/internal/queries"
+	"repro/internal/workload"
+)
+
+// newStore builds a seeded random-waypoint store of n trajectories with the
+// paper's default model (r = 0.5) and returns it with the first OID.
+func newStore(t testing.TB, n int, seed int64) (*mod.Store, int64) {
+	t.Helper()
+	trs, err := workload.Generate(workload.DefaultConfig(seed), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := mod.NewUniformStore(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.InsertAll(trs); err != nil {
+		t.Fatal(err)
+	}
+	return store, trs[0].OID
+}
+
+// batchKinds is the mixed workload used by the equivalence tests: every
+// whole-MOD variant plus fixed-time retrievals, at several ranks.
+func batchKinds() []Query {
+	return []Query{
+		{Kind: KindUQ31},
+		{Kind: KindUQ32},
+		{Kind: KindUQ33, X: 0.25},
+		{Kind: KindUQ41, K: 2},
+		{Kind: KindUQ41, K: 3},
+		{Kind: KindUQ42, K: 2},
+		{Kind: KindUQ43, K: 3, X: 0.25},
+		{Kind: KindAllNNAt, T: 30},
+		{Kind: KindAllRankAt, T: 30, K: 2},
+	}
+}
+
+// serialItems computes the same batch with the serial Processor loops.
+func serialItems(t *testing.T, store *mod.Store, qOID int64, qs []Query) []Item {
+	t.Helper()
+	q, err := store.Get(qOID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := queries.NewProcessor(store.All(), q, 0, 60, store.Radius())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]Item, len(qs))
+	for i, qq := range qs {
+		var (
+			ids []int64
+			err error
+		)
+		switch qq.Kind {
+		case KindUQ31:
+			ids = proc.UQ31()
+		case KindUQ32:
+			ids = proc.UQ32()
+		case KindUQ33:
+			ids, err = proc.UQ33(qq.X)
+		case KindUQ41:
+			ids, err = proc.UQ41(qq.K)
+		case KindUQ42:
+			ids, err = proc.UQ42(qq.K)
+		case KindUQ43:
+			ids, err = proc.UQ43(qq.K, qq.X)
+		case KindAllNNAt:
+			ids = proc.PossibleNNAt(qq.T)
+		case KindAllRankAt:
+			ids, err = proc.PossibleRankKAt(qq.T, qq.K)
+		default:
+			t.Fatalf("serialItems: unhandled kind %q", qq.Kind)
+		}
+		out[i] = Item{OIDs: ids, Err: err}
+	}
+	return out
+}
+
+func itemsEqual(a, b Item) bool {
+	if a.IsBool != b.IsBool || a.Bool != b.Bool || (a.Err == nil) != (b.Err == nil) {
+		return false
+	}
+	return fmt.Sprint(a.OIDs) == fmt.Sprint(b.OIDs)
+}
+
+// TestBatchMatchesSerial is the acceptance gate: on a seeded
+// 1000-trajectory workload, the parallel batch answers must be identical to
+// the serial Processor's, variant by variant.
+func TestBatchMatchesSerial(t *testing.T) {
+	n := 1000
+	if testing.Short() {
+		n = 200
+	}
+	store, qOID := newStore(t, n, 42)
+	qs := batchKinds()
+	want := serialItems(t, store, qOID, qs)
+
+	eng := New(0)
+	got, err := eng.ExecBatch(store, BatchRequest{QueryOID: qOID, Tb: 0, Te: 60, Queries: qs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Items) != len(want) {
+		t.Fatalf("got %d items, want %d", len(got.Items), len(want))
+	}
+	for i := range want {
+		if got.Items[i].Err != nil {
+			t.Fatalf("query %d (%s): %v", i, qs[i].Kind, got.Items[i].Err)
+		}
+		if !itemsEqual(got.Items[i], want[i]) {
+			t.Errorf("query %d (%s k=%d x=%g): parallel %v != serial %v",
+				i, qs[i].Kind, qs[i].K, qs[i].X, got.Items[i].OIDs, want[i].OIDs)
+		}
+	}
+}
+
+// TestWorkerCountInvariance is the property test: worker count (1, 2, 3,
+// NumCPU, more-than-OIDs) must never change any answer.
+func TestWorkerCountInvariance(t *testing.T) {
+	store, qOID := newStore(t, 120, 7)
+	qs := append(batchKinds(),
+		Query{Kind: KindUQ11, OID: qOID + 5},
+		Query{Kind: KindUQ13, OID: qOID + 5, X: 0.1},
+		Query{Kind: KindUQ21, OID: qOID + 9, K: 2},
+	)
+	counts := []int{1, 2, 3, runtime.NumCPU(), 1000}
+	var ref BatchResult
+	for i, w := range counts {
+		eng := New(w)
+		got, err := eng.ExecBatch(store, BatchRequest{QueryOID: qOID, Tb: 0, Te: 60, Queries: qs})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if i == 0 {
+			ref = got
+			continue
+		}
+		for j := range qs {
+			if !itemsEqual(got.Items[j], ref.Items[j]) {
+				t.Errorf("workers=%d query %d (%s): %+v != workers=1 %+v",
+					w, j, qs[j].Kind, got.Items[j], ref.Items[j])
+			}
+		}
+	}
+}
+
+// TestBoolKindsMatchProcessor checks the single-object kinds against the
+// Processor methods directly.
+func TestBoolKindsMatchProcessor(t *testing.T) {
+	store, qOID := newStore(t, 60, 3)
+	q, err := store.Get(qOID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := queries.NewProcessor(store.All(), q, 0, 60, store.Radius())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(2)
+	for _, oid := range proc.CandidateOIDs() {
+		wantB, err := proc.UQ11(oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := eng.Exec(store, qOID, 0, 60, Query{Kind: KindUQ11, OID: oid})
+		if got.Err != nil || !got.IsBool || got.Bool != wantB {
+			t.Fatalf("UQ11(%d): got %+v, want %v", oid, got, wantB)
+		}
+	}
+}
+
+// TestProcessorMemo checks reuse within a store version and invalidation
+// across mutations.
+func TestProcessorMemo(t *testing.T) {
+	store, qOID := newStore(t, 40, 11)
+	eng := New(2)
+	p1, err := eng.Processor(store, qOID, 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := eng.Processor(store, qOID, 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("same key did not reuse the memoized processor")
+	}
+	if eng.MemoLen() != 1 {
+		t.Fatalf("memo len = %d, want 1", eng.MemoLen())
+	}
+	// A different window is a different key.
+	if p3, err := eng.Processor(store, qOID, 0, 30); err != nil || p3 == p1 {
+		t.Fatalf("window change should build a new processor (err=%v)", err)
+	}
+	// A store mutation bumps the version and invalidates.
+	trs, err := workload.Generate(workload.DefaultConfig(99), 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Insert(trs[40]); err != nil {
+		t.Fatal(err)
+	}
+	p4, err := eng.Processor(store, qOID, 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4 == p1 {
+		t.Fatal("store mutation did not invalidate the memo")
+	}
+	if len(p4.CandidateOIDs()) != len(p1.CandidateOIDs())+1 {
+		t.Fatalf("rebuilt processor sees %d candidates, want %d",
+			len(p4.CandidateOIDs()), len(p1.CandidateOIDs())+1)
+	}
+}
+
+// TestConcurrentBatches hammers one engine from many goroutines (run under
+// -race). Batches share keys, so this also exercises the build-once slot.
+func TestConcurrentBatches(t *testing.T) {
+	store, qOID := newStore(t, 80, 21)
+	eng := New(runtime.NumCPU())
+	qs := batchKinds()
+	const goroutines = 8
+	var wg sync.WaitGroup
+	results := make([]BatchResult, goroutines)
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g], errs[g] = eng.ExecBatch(store, BatchRequest{
+				QueryOID: qOID, Tb: 0, Te: 60, Queries: qs,
+			})
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		for j := range qs {
+			if !itemsEqual(results[g].Items[j], results[0].Items[j]) {
+				t.Errorf("goroutine %d query %d (%s) diverged", g, j, qs[j].Kind)
+			}
+		}
+	}
+	if eng.MemoLen() != 1 {
+		t.Fatalf("memo len = %d, want 1 (all batches share a key)", eng.MemoLen())
+	}
+}
+
+// TestErrors covers the per-query and per-batch failure paths.
+func TestErrors(t *testing.T) {
+	store, qOID := newStore(t, 20, 5)
+	eng := New(2)
+	if _, err := eng.ExecBatch(store, BatchRequest{QueryOID: 99999, Tb: 0, Te: 60}); err == nil {
+		t.Error("unknown query OID should fail the batch")
+	}
+	res, err := eng.ExecBatch(store, BatchRequest{
+		QueryOID: qOID, Tb: 0, Te: 60,
+		Queries: []Query{
+			{Kind: "NOPE"},
+			{Kind: KindUQ33, X: 2},
+			{Kind: KindUQ43, K: 0, X: 0.5},
+			{Kind: KindUQ11, OID: 424242},
+			{Kind: KindUQ31},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res.Items[0].Err, ErrBadKind) {
+		t.Errorf("item 0: got %v, want ErrBadKind", res.Items[0].Err)
+	}
+	if !errors.Is(res.Items[1].Err, queries.ErrBadFrac) {
+		t.Errorf("item 1: got %v, want ErrBadFrac", res.Items[1].Err)
+	}
+	if !errors.Is(res.Items[2].Err, queries.ErrBadRank) {
+		t.Errorf("item 2: got %v, want ErrBadRank", res.Items[2].Err)
+	}
+	if !errors.Is(res.Items[3].Err, queries.ErrUnknownOID) {
+		t.Errorf("item 3: got %v, want ErrUnknownOID", res.Items[3].Err)
+	}
+	if res.Items[4].Err != nil {
+		t.Errorf("item 4: healthy sibling poisoned: %v", res.Items[4].Err)
+	}
+	var nilEng *Engine
+	if _, err := nilEng.ExecBatch(store, BatchRequest{QueryOID: qOID}); !errors.Is(err, ErrNoEngine) {
+		t.Errorf("nil engine: got %v, want ErrNoEngine", err)
+	}
+}

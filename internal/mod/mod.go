@@ -82,10 +82,11 @@ func (s PDFSpec) ToPDF() (updf.RadialPDF, error) {
 // Store is a concurrent MOD holding the trajectory set and the shared
 // uncertainty model. All methods are safe for concurrent use.
 type Store struct {
-	mu    sync.RWMutex
-	trajs map[int64]*trajectory.Trajectory
-	spec  PDFSpec
-	pdf   updf.RadialPDF
+	mu      sync.RWMutex
+	trajs   map[int64]*trajectory.Trajectory
+	spec    PDFSpec
+	pdf     updf.RadialPDF
+	version uint64 // bumped on every successful mutation
 }
 
 // NewStore creates a store whose trajectories share the uncertainty model
@@ -113,6 +114,15 @@ func (s *Store) PDF() updf.RadialPDF { return s.pdf }
 // Radius returns the shared uncertainty radius.
 func (s *Store) Radius() float64 { return s.spec.R }
 
+// Version returns a counter that increases on every successful Insert,
+// Update, or Delete. Caches keyed on the store (the batch query engine's
+// processor memo) use it to detect staleness without content hashing.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
 // Insert adds a trajectory. The OID must be unused and the trajectory
 // valid.
 func (s *Store) Insert(tr *trajectory.Trajectory) error {
@@ -125,6 +135,7 @@ func (s *Store) Insert(tr *trajectory.Trajectory) error {
 		return fmt.Errorf("%w: %d", ErrDuplicateOID, tr.OID)
 	}
 	s.trajs[tr.OID] = tr
+	s.version++
 	return nil
 }
 
@@ -167,6 +178,7 @@ func (s *Store) Delete(oid int64) error {
 		return fmt.Errorf("%w: %d", ErrNotFound, oid)
 	}
 	delete(s.trajs, oid)
+	s.version++
 	return nil
 }
 
@@ -181,6 +193,7 @@ func (s *Store) Update(tr *trajectory.Trajectory) error {
 		return fmt.Errorf("%w: %d", ErrNotFound, tr.OID)
 	}
 	s.trajs[tr.OID] = tr
+	s.version++
 	return nil
 }
 

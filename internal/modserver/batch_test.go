@@ -1,0 +1,69 @@
+package modserver
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/uql"
+)
+
+// TestBatchOverWire: the batch op must agree with per-statement uql ops,
+// report per-statement errors in place, and not kill the connection.
+func TestBatchOverWire(t *testing.T) {
+	store := seededStore(t, 25)
+	_, addr := startServer(t, store)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	script := []string{
+		"SELECT T FROM MOD WHERE EXISTS Time IN [0, 60] AND ProbabilityNN(T, 1, Time) > 0",
+		"SELECT T FROM MOD WHERE EXISTS Time IN [0, 60] AND ProbabilityKNN(T, 1, Time, 2) > 0",
+		"not uql at all",
+		"SELECT 2 FROM MOD WHERE FORALL Time IN [0, 60] AND ProbabilityNN(2, 1, Time) > 0",
+		"SELECT T FROM MOD WHERE FORALL Time IN [0, 60] AND ProbabilityNN(T, 1, Time) > 0",
+	}
+	items, err := c.Batch(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != len(script) {
+		t.Fatalf("got %d items, want %d", len(items), len(script))
+	}
+	for i, src := range script {
+		if i == 2 {
+			if items[i].Err == nil {
+				t.Error("bad statement did not report an error")
+			}
+			continue
+		}
+		if items[i].Err != nil {
+			t.Fatalf("item %d: %v", i, items[i].Err)
+		}
+		want, err := uql.Run(src, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := items[i].Result
+		// The wire canonicalizes an absent OID list to empty.
+		if !want.IsBool && want.OIDs == nil {
+			want.OIDs = []int64{}
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("%q:\n wire   %v\n direct %v", src, got, want)
+		}
+	}
+
+	// Connection still serves after a batch with a bad statement.
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	// An empty batch is fine.
+	items, err = c.Batch(nil)
+	if err != nil || len(items) != 0 {
+		t.Fatalf("empty batch: items=%v err=%v", items, err)
+	}
+}

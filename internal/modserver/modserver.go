@@ -17,8 +17,15 @@
 //	{"op":"get","oid":1}                           → {"ok":true,"oid":1,"verts":[...]}
 //	{"op":"delete","oid":1}                        → {"ok":true}
 //	{"op":"uql","query":"SELECT ..."}              → {"ok":true,"bool":b} or {"ok":true,"oids":[...]}
+//	{"op":"batch","queries":["SELECT ...", ...]}   → {"ok":true,"results":[{"ok":true,"bool":b}|{"ok":true,"oids":[...]}|{"error":"..."},...]}
 //	{"op":"trip","oid":9,"waypoints":[[x,y],...],
 //	 "start":0,"speed":0.5}                        → {"ok":true,"oid":9,"verts":[...]} (plans and inserts)
+//
+// The batch op evaluates a multi-statement UQL script through the
+// concurrent batch engine: statements sharing a query trajectory and
+// window share one envelope preprocessing, and whole-MOD statements fan
+// per-object work across a worker pool. Per-statement failures are
+// reported inside results; the batch itself still replies ok.
 package modserver
 
 import (
@@ -29,6 +36,7 @@ import (
 	"net"
 	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/mod"
 	"repro/internal/trajectory"
@@ -48,26 +56,38 @@ type Request struct {
 	OID       int64        `json:"oid,omitempty"`
 	Verts     [][3]float64 `json:"verts,omitempty"`
 	Query     string       `json:"query,omitempty"`
+	Queries   []string     `json:"queries,omitempty"`
 	Waypoints [][2]float64 `json:"waypoints,omitempty"`
 	Start     float64      `json:"start,omitempty"`
 	Speed     float64      `json:"speed,omitempty"`
 }
 
-// Response is the wire format of a server reply.
-type Response struct {
-	OK    bool         `json:"ok"`
-	Error string       `json:"error,omitempty"`
-	Count int          `json:"count,omitempty"`
-	Spec  *mod.PDFSpec `json:"spec,omitempty"`
-	OID   int64        `json:"oid,omitempty"`
-	Verts [][3]float64 `json:"verts,omitempty"`
-	Bool  *bool        `json:"bool,omitempty"`
-	OIDs  []int64      `json:"oids,omitempty"`
+// BatchEntry is one statement's outcome inside a batch response.
+type BatchEntry struct {
+	OK    bool    `json:"ok"`
+	Error string  `json:"error,omitempty"`
+	Bool  *bool   `json:"bool,omitempty"`
+	OIDs  []int64 `json:"oids,omitempty"`
 }
 
-// Server serves a store over a listener.
+// Response is the wire format of a server reply.
+type Response struct {
+	OK      bool         `json:"ok"`
+	Error   string       `json:"error,omitempty"`
+	Count   int          `json:"count,omitempty"`
+	Spec    *mod.PDFSpec `json:"spec,omitempty"`
+	OID     int64        `json:"oid,omitempty"`
+	Verts   [][3]float64 `json:"verts,omitempty"`
+	Bool    *bool        `json:"bool,omitempty"`
+	OIDs    []int64      `json:"oids,omitempty"`
+	Results []BatchEntry `json:"results,omitempty"`
+}
+
+// Server serves a store over a listener. Batch queries run through one
+// shared engine so concurrent clients benefit from the same processor memo.
 type Server struct {
-	store *mod.Store
+	store  *mod.Store
+	engine *engine.Engine
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -75,9 +95,14 @@ type Server struct {
 	closed   bool
 }
 
-// NewServer wraps a store.
+// NewServer wraps a store with a default engine (one worker per CPU).
 func NewServer(store *mod.Store) *Server {
-	return &Server{store: store, conns: make(map[net.Conn]struct{})}
+	return NewServerWithEngine(store, engine.New(0))
+}
+
+// NewServerWithEngine wraps a store with a caller-tuned engine.
+func NewServerWithEngine(store *mod.Store, eng *engine.Engine) *Server {
+	return &Server{store: store, engine: eng, conns: make(map[net.Conn]struct{})}
 }
 
 // Serve accepts connections on l until Close. It always returns a non-nil
@@ -210,10 +235,14 @@ func (s *Server) dispatch(req Request) Response {
 		}
 		return Response{OK: true, OID: tr.OID, Verts: out}
 	case "uql":
-		res, err := uql.Run(req.Query, s.store)
-		if err != nil {
-			return fail(err)
+		// Single statements also run through the engine so repeated
+		// queries against one (TrQ, window) reuse the memoized
+		// preprocessing.
+		item := uql.RunBatch([]string{req.Query}, s.store, s.engine)[0]
+		if item.Err != nil {
+			return fail(item.Err)
 		}
+		res := item.Result
 		if res.IsBool {
 			b := res.Bool
 			return Response{OK: true, Bool: &b}
@@ -223,6 +252,26 @@ func (s *Server) dispatch(req Request) Response {
 			oids = []int64{}
 		}
 		return Response{OK: true, OIDs: oids}
+	case "batch":
+		items := uql.RunBatch(req.Queries, s.store, s.engine)
+		entries := make([]BatchEntry, len(items))
+		for i, it := range items {
+			if it.Err != nil {
+				entries[i] = BatchEntry{Error: it.Err.Error()}
+				continue
+			}
+			e := BatchEntry{OK: true}
+			if it.Result.IsBool {
+				b := it.Result.Bool
+				e.Bool = &b
+			} else {
+				// omitempty drops empty OID lists from the wire; the
+				// client reads an absent key as an empty retrieval.
+				e.OIDs = it.Result.OIDs
+			}
+			entries[i] = e
+		}
+		return Response{OK: true, Results: entries}
 	default:
 		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
@@ -355,4 +404,30 @@ func (c *Client) UQL(query string) (uql.Result, error) {
 		return uql.Result{IsBool: true, Bool: *resp.Bool}, nil
 	}
 	return uql.Result{OIDs: resp.OIDs}, nil
+}
+
+// Batch runs a multi-statement UQL script remotely through the server's
+// batch engine. One item comes back per statement, in order; per-statement
+// failures are reported in the item's Err.
+func (c *Client) Batch(queries []string) ([]uql.BatchItem, error) {
+	resp, err := c.roundTrip(Request{Op: "batch", Queries: queries})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(queries) {
+		return nil, fmt.Errorf("modserver: batch returned %d results for %d queries",
+			len(resp.Results), len(queries))
+	}
+	out := make([]uql.BatchItem, len(resp.Results))
+	for i, e := range resp.Results {
+		switch {
+		case !e.OK:
+			out[i].Err = errors.New(e.Error)
+		case e.Bool != nil:
+			out[i].Result = uql.Result{IsBool: true, Bool: *e.Bool}
+		default:
+			out[i].Result = uql.Result{OIDs: e.OIDs}
+		}
+	}
+	return out, nil
 }

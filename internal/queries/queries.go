@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/envelope"
 	"repro/internal/trajectory"
@@ -38,14 +39,23 @@ var (
 // Processor answers the UQ query variants for one query trajectory and
 // window. Construction performs the O(N log N) envelope preprocessing; each
 // Category 1/2 query then costs O(N) / O(kN) per the paper's Claims 1-2.
+//
+// All methods are safe for concurrent use: the distance functions, the
+// Level-1 envelope, and the OID table are immutable after construction, and
+// the lazily grown k-level envelopes are guarded by a mutex. The per-OID
+// kernels (PossibleNNIntervals, PossibleRankKIntervals, the UQ predicates)
+// are pure, which is what lets the batch engine fan them across goroutines.
 type Processor struct {
 	QueryOID int64
 	Tb, Te   float64
 	R        float64
 
-	fns    []*envelope.DistanceFunc
-	byID   map[int64]*envelope.DistanceFunc
-	env1   *envelope.Envelope
+	fns  []*envelope.DistanceFunc
+	byID map[int64]*envelope.DistanceFunc
+	oids []int64 // candidate OIDs, sorted once at construction
+	env1 *envelope.Envelope
+
+	mu     sync.Mutex
 	levels []*envelope.Envelope // levels[0] == env1, grown on demand
 }
 
@@ -67,12 +77,15 @@ func NewProcessor(trs []*trajectory.Trajectory, q *trajectory.Trajectory, tb, te
 		return nil, err
 	}
 	byID := make(map[int64]*envelope.DistanceFunc, len(fns))
+	oids := make([]int64, 0, len(fns))
 	for _, f := range fns {
 		byID[f.ID] = f
+		oids = append(oids, f.ID)
 	}
+	sortIDs(oids)
 	return &Processor{
 		QueryOID: q.OID, Tb: tb, Te: te, R: r,
-		fns: fns, byID: byID, env1: env1,
+		fns: fns, byID: byID, oids: oids, env1: env1,
 		levels: []*envelope.Envelope{env1},
 	}, nil
 }
@@ -88,20 +101,40 @@ func (p *Processor) level(k int) (*envelope.Envelope, error) {
 	if k < 1 {
 		return nil, ErrBadRank
 	}
-	if k <= len(p.levels) {
-		return p.levels[k-1], nil
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if k > len(p.levels) && len(p.levels) < len(p.fns) {
+		lv, err := envelope.KLevelEnvelopes(p.fns, p.Tb, p.Te, k)
+		if err != nil {
+			return nil, err
+		}
+		p.levels = lv
 	}
-	lv, err := envelope.KLevelEnvelopes(p.fns, p.Tb, p.Te, k)
-	if err != nil {
-		return nil, err
-	}
-	p.levels = lv
-	if k > len(lv) {
+	if k > len(p.levels) {
 		// Fewer functions than k: the deepest available level is the
 		// correct bound (an object within 4r of it can be ranked <= k).
-		return lv[len(lv)-1], nil
+		return p.levels[len(p.levels)-1], nil
 	}
-	return lv[k-1], nil
+	return p.levels[k-1], nil
+}
+
+// EnsureLevels builds the k-level envelopes up front so that subsequent
+// concurrent rank-k queries only take the level lock briefly. Callers that
+// fan per-OID work across goroutines (the batch engine) call it once with
+// the largest rank in the batch.
+func (p *Processor) EnsureLevels(k int) error {
+	_, err := p.level(k)
+	return err
+}
+
+// CandidateOIDs returns the sorted OIDs of the non-query objects the
+// processor evaluates — the iteration domain of the whole-MOD Categories 3
+// and 4, exposed so external executors can shard it into per-OID tasks.
+// The list is sorted once at construction; callers get a copy.
+func (p *Processor) CandidateOIDs() []int64 {
+	out := make([]int64, len(p.oids))
+	copy(out, p.oids)
+	return out
 }
 
 func (p *Processor) fn(oid int64) (*envelope.DistanceFunc, error) {

@@ -1,0 +1,107 @@
+package uql
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/mod"
+)
+
+// BatchItem is one statement's outcome in a multi-statement script. Err is
+// per-statement so a bad line does not abort the rest of the script.
+type BatchItem struct {
+	Result Result
+	Err    error
+}
+
+// RunBatch parses and evaluates a multi-statement UQL script against the
+// store through the batch engine: statements sharing a query trajectory and
+// window share one memoized preprocessing, and whole-MOD statements
+// (Categories 3/4) fan their per-object candidate checks across the
+// engine's worker pool. A nil engine degrades to serial per-statement Run.
+func RunBatch(srcs []string, store *mod.Store, eng *engine.Engine) []BatchItem {
+	out := make([]BatchItem, len(srcs))
+	for i, src := range srcs {
+		if eng == nil {
+			out[i].Result, out[i].Err = Run(src, store)
+			continue
+		}
+		st, err := Parse(src)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		out[i] = evalWithEngine(st, store, eng)
+	}
+	return out
+}
+
+// evalWithEngine evaluates one parsed statement through the engine. The
+// possible-NN statements map onto engine query kinds (parallel for
+// whole-MOD retrieval); the threshold and certain predicates have no engine
+// kind yet, but still share the memoized processor.
+func evalWithEngine(st *Stmt, store *mod.Store, eng *engine.Engine) BatchItem {
+	fail := func(err error) BatchItem {
+		return BatchItem{Err: fmt.Errorf("%w: %v", ErrEval, err)}
+	}
+	if q, ok := stmtQuery(st); ok {
+		item := eng.Exec(store, st.QueryOID, st.Tb, st.Te, q)
+		if item.Err != nil {
+			return fail(item.Err)
+		}
+		if item.IsBool {
+			return BatchItem{Result: Result{IsBool: true, Bool: item.Bool}}
+		}
+		return BatchItem{Result: Result{OIDs: item.OIDs}}
+	}
+	proc, err := eng.Processor(store, st.QueryOID, st.Tb, st.Te)
+	if err != nil {
+		return fail(err)
+	}
+	res, err := EvalWithProcessor(st, proc)
+	if err != nil {
+		return BatchItem{Err: err}
+	}
+	return BatchItem{Result: res}
+}
+
+// stmtQuery translates a possible-NN statement into an engine query kind.
+// ok is false for the threshold (`> p`) and CertainNN predicates, which
+// evaluate through EvalWithProcessor instead.
+func stmtQuery(st *Stmt) (engine.Query, bool) {
+	if st.Certain || st.Threshold > 0 {
+		return engine.Query{}, false
+	}
+	q := engine.Query{OID: st.TargetOID, K: st.Rank, X: st.Percent, T: st.FixedT}
+	ranked := st.Rank > 0
+	switch {
+	case st.Quant == QuantAt && st.AllObjects && ranked:
+		q.Kind = engine.KindAllRankAt
+	case st.Quant == QuantAt && st.AllObjects:
+		q.Kind = engine.KindAllNNAt
+	case st.Quant == QuantAt && ranked:
+		q.Kind = engine.KindRankAt
+	case st.Quant == QuantAt:
+		q.Kind = engine.KindNNAt
+	case st.AllObjects && ranked:
+		q.Kind = map[Quantifier]engine.Kind{
+			QuantExists: engine.KindUQ41, QuantForAll: engine.KindUQ42, QuantAtLeast: engine.KindUQ43,
+		}[st.Quant]
+	case st.AllObjects:
+		q.Kind = map[Quantifier]engine.Kind{
+			QuantExists: engine.KindUQ31, QuantForAll: engine.KindUQ32, QuantAtLeast: engine.KindUQ33,
+		}[st.Quant]
+	case ranked:
+		q.Kind = map[Quantifier]engine.Kind{
+			QuantExists: engine.KindUQ21, QuantForAll: engine.KindUQ22, QuantAtLeast: engine.KindUQ23,
+		}[st.Quant]
+	default:
+		q.Kind = map[Quantifier]engine.Kind{
+			QuantExists: engine.KindUQ11, QuantForAll: engine.KindUQ12, QuantAtLeast: engine.KindUQ13,
+		}[st.Quant]
+	}
+	if q.Kind == "" {
+		return engine.Query{}, false
+	}
+	return q, true
+}

@@ -34,7 +34,8 @@ var ErrEval = errors.New("uql: evaluation error")
 // Eval evaluates a parsed statement against the store, using its shared
 // uncertainty radius. Each call builds a fresh queries.Processor for the
 // statement's query trajectory and window; callers issuing many statements
-// against the same (TrQ, window) should use the queries package directly.
+// against the same (TrQ, window) should use RunBatch (which shares
+// preprocessing through the batch engine) or the queries package directly.
 func Eval(st *Stmt, store *mod.Store) (Result, error) {
 	q, err := store.Get(st.QueryOID)
 	if err != nil {
@@ -44,6 +45,13 @@ func Eval(st *Stmt, store *mod.Store) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("%w: %v", ErrEval, err)
 	}
+	return EvalWithProcessor(st, proc)
+}
+
+// EvalWithProcessor evaluates a parsed statement against an already-built
+// processor for the statement's (TrQ, window). The processor must have been
+// constructed for st.QueryOID over [st.Tb, st.Te].
+func EvalWithProcessor(st *Stmt, proc *queries.Processor) (Result, error) {
 	if st.Certain {
 		return evalCertain(st, proc)
 	}

@@ -8,6 +8,8 @@
 //   - trajectories and the MOD store (Section 2.1),
 //   - the IPAC-NN tree (Sections 1, 3.2 — the paper's core contribution),
 //   - the continuous query variants UQ11..UQ43 (Section 4),
+//   - the concurrent batch query engine (worker-pool parallel evaluation
+//     of the whole-MOD variants with memoized envelope preprocessing),
 //   - the UQL query language (the SQL sketch of Section 4), and
 //   - the probabilistic machinery for instantaneous NN queries
 //     (Sections 2.2, 3.1).
@@ -21,12 +23,26 @@
 //	tree, _ := repro.BuildIPACNN(store.All(), q, 0, 60, store.Radius(), nil, repro.TreeConfig{MaxLevels: 3})
 //	fmt.Println(tree.AnswerAt(30))                          // highest-probability NN at t=30
 //
+// Batches of query variants against one (query trajectory, window) run
+// through the concurrent engine, which pays the envelope preprocessing
+// once and fans whole-MOD evaluation across a worker pool:
+//
+//	eng := repro.NewEngine(0)                               // one worker per CPU
+//	res, _ := eng.ExecBatch(store, repro.BatchRequest{
+//		QueryOID: 1, Tb: 0, Te: 60,
+//		Queries: []repro.BatchQuery{{Kind: repro.KindUQ31}, {Kind: repro.KindUQ41, K: 2}},
+//	})
+//
 // See examples/ for runnable programs and EXPERIMENTS.md for the
-// benchmark harness regenerating the paper's figures.
+// benchmark harness regenerating the paper's figures. CI
+// (.github/workflows/ci.yml) gates every push through the Makefile:
+// gofmt, go vet, build, the race-detector test suite, and a benchmark
+// smoke run.
 package repro
 
 import (
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/envelope"
 	"repro/internal/mod"
 	"repro/internal/queries"
@@ -197,6 +213,55 @@ func KNNProbabilities(p RadialPDF, cands []Candidate, k int) map[int64]float64 {
 	return uncertain.KNNProbabilities(p, cands, k, 0)
 }
 
+// --- concurrent batch query engine ---
+
+// Engine is the concurrent batch query engine: whole-MOD query variants
+// fan per-object candidate checks across a worker pool, and batches of
+// variants against the same (query trajectory, window) share one envelope
+// preprocessing through a keyed memo. Engines are safe for concurrent use
+// and meant to be long-lived (one per server).
+type Engine = engine.Engine
+
+// BatchRequest is a batch of query variants sharing one query trajectory
+// and window.
+type BatchRequest = engine.BatchRequest
+
+// BatchResult holds one item per requested query, in request order.
+type BatchResult = engine.BatchResult
+
+// BatchQuery is one variant in a batch.
+type BatchQuery = engine.Query
+
+// BatchAnswer is the result of one query in a batch.
+type BatchAnswer = engine.Item
+
+// QueryKind names a query variant for the batch engine.
+type QueryKind = engine.Kind
+
+// Batch query kinds (the paper's Section 4 variants plus fixed-time
+// instants).
+const (
+	KindUQ11      = engine.KindUQ11
+	KindUQ12      = engine.KindUQ12
+	KindUQ13      = engine.KindUQ13
+	KindUQ21      = engine.KindUQ21
+	KindUQ22      = engine.KindUQ22
+	KindUQ23      = engine.KindUQ23
+	KindUQ31      = engine.KindUQ31
+	KindUQ32      = engine.KindUQ32
+	KindUQ33      = engine.KindUQ33
+	KindUQ41      = engine.KindUQ41
+	KindUQ42      = engine.KindUQ42
+	KindUQ43      = engine.KindUQ43
+	KindNNAt      = engine.KindNNAt
+	KindRankAt    = engine.KindRankAt
+	KindAllNNAt   = engine.KindAllNNAt
+	KindAllRankAt = engine.KindAllRankAt
+)
+
+// NewEngine creates a batch engine; workers <= 0 means one per CPU.
+func NewEngine(workers int) *Engine { return engine.New(workers) }
+
 // --- UQL (Section 4's SQL sketch) ---
 
 // UQLResult is the outcome of a UQL statement.
@@ -206,6 +271,17 @@ type UQLResult = uql.Result
 //
 //	SELECT T FROM MOD WHERE EXISTS Time IN [0, 60] AND ProbabilityNN(T, 5, Time) > 0
 func RunUQL(query string, store *Store) (UQLResult, error) { return uql.Run(query, store) }
+
+// UQLBatchItem is one statement's outcome in a multi-statement script.
+type UQLBatchItem = uql.BatchItem
+
+// RunUQLBatch evaluates a multi-statement UQL script through the batch
+// engine: statements sharing a query trajectory and window share one
+// preprocessing, and whole-MOD statements evaluate in parallel. A nil
+// engine degrades to serial per-statement evaluation.
+func RunUQLBatch(queries []string, store *Store, eng *Engine) []UQLBatchItem {
+	return uql.RunBatch(queries, store, eng)
+}
 
 // ClusteredWorkloadConfig parameterizes the hotspot workload generator
 // (extension experiment E4).

@@ -143,3 +143,62 @@ func TestFacadeWorkloadConfigs(t *testing.T) {
 		}
 	}
 }
+
+// TestFacadeBatchEngine exercises the engine exports: a typed batch, the
+// UQL script form, and agreement with the serial processor.
+func TestFacadeBatchEngine(t *testing.T) {
+	store := seededStore(t, 80)
+	eng := repro.NewEngine(0)
+
+	res, err := eng.ExecBatch(store, repro.BatchRequest{
+		QueryOID: 1, Tb: 0, Te: 60,
+		Queries: []repro.BatchQuery{
+			{Kind: repro.KindUQ31},
+			{Kind: repro.KindUQ41, K: 2},
+			{Kind: repro.KindUQ13, OID: 2, X: 0.1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 3 {
+		t.Fatalf("items = %d", len(res.Items))
+	}
+	for i, it := range res.Items {
+		if it.Err != nil {
+			t.Fatalf("item %d: %v", i, it.Err)
+		}
+	}
+	q, err := store.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := repro.NewQueryProcessor(store.All(), q, 0, 60, store.Radius())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := proc.UQ31()
+	got := res.Items[0].OIDs
+	if len(got) != len(want) {
+		t.Fatalf("UQ31: engine %v != serial %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("UQ31: engine %v != serial %v", got, want)
+		}
+	}
+
+	items := repro.RunUQLBatch([]string{
+		"SELECT T FROM MOD WHERE EXISTS Time IN [0, 60] AND ProbabilityNN(T, 1, Time) > 0",
+		"SELECT 2 FROM MOD WHERE FORALL Time IN [0, 60] AND ProbabilityNN(2, 1, Time) > 0",
+	}, store, eng)
+	if len(items) != 2 {
+		t.Fatalf("uql items = %d", len(items))
+	}
+	if items[0].Err != nil || items[1].Err != nil {
+		t.Fatalf("uql errors: %v, %v", items[0].Err, items[1].Err)
+	}
+	if items[0].Result.IsBool || !items[1].Result.IsBool {
+		t.Fatalf("result shapes: %+v", items)
+	}
+}
