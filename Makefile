@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke fmt vet clean
+.PHONY: all build test race bench bench-smoke bench-prune fmt vet clean
 
 all: fmt vet build test
 
@@ -16,9 +16,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Full benchmark run (minutes on a laptop).
-bench:
+# Full benchmark run (minutes on a laptop), plus the pruning artifact.
+bench: bench-prune
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+# Index-accelerated pruning experiment: indexed vs full-scan UQ31 latency
+# and candidate-survivor counts, emitted as the BENCH_prune.json artifact
+# (uploaded by CI on every push).
+bench-prune:
+	$(GO) run ./cmd/figures -fig prune -prune-json BENCH_prune.json
 
 # One-iteration smoke: every benchmark compiles and executes.
 bench-smoke:

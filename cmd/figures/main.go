@@ -5,6 +5,7 @@
 //	figures -fig 12                 # UQ11/UQ13 query time
 //	figures -fig 13                 # pruning power vs uncertainty radius
 //	figures -fig par                # parallel batch engine vs serial loops
+//	figures -fig prune              # index-accelerated pruning vs full scan
 //	figures -fig all -csv out/      # everything, with CSVs
 //
 // Flags tune the sweep sizes so the full paper range (N up to 12000) or a
@@ -33,6 +34,9 @@ func main() {
 		parNs    = flag.String("par-n", "1000,2000,4000", "population sizes for the parallel-batch experiment")
 		parK     = flag.Int("par-k", 3, "deepest rank in the parallel-batch experiment")
 		workers  = flag.Int("workers", 0, "worker count for the parallel-batch experiment (0 = one per CPU)")
+		pruneNs  = flag.String("prune-n", "500,1000,2000,4000", "population sizes for the index-pruning experiment")
+		pruneRep = flag.Int("prune-reps", 3, "query trajectories averaged per size in the index-pruning experiment")
+		pruneOut = flag.String("prune-json", "", "path to write the BENCH_prune.json artifact (optional)")
 		seed     = flag.Int64("seed", 2009, "workload RNG seed")
 		csvDir   = flag.String("csv", "", "directory to write CSV series into (optional)")
 	)
@@ -70,12 +74,18 @@ func main() {
 		fatal(err)
 	}
 
+	sizesPrune, err := parseInts(*pruneNs)
+	if err != nil {
+		fatal(err)
+	}
+
 	run11 := *fig == "11" || *fig == "all"
 	run12 := *fig == "12" || *fig == "all"
 	run13 := *fig == "13" || *fig == "all"
 	runE4 := *fig == "e4" || *fig == "all"
 	runPar := *fig == "par" || *fig == "all"
-	if !run11 && !run12 && !run13 && !runE4 && !runPar {
+	runPrune := *fig == "prune" || *fig == "all"
+	if !run11 && !run12 && !run13 && !runE4 && !runPar && !runPrune {
 		fatal(fmt.Errorf("unknown -fig %q", *fig))
 	}
 
@@ -127,6 +137,39 @@ func main() {
 		}
 		fmt.Print(bench.FormatParallel(rows))
 		writeCSV("parallel.csv", bench.CSVParallel(rows))
+		fmt.Println()
+	}
+	if runPrune {
+		fmt.Println("== Index-accelerated pruning: UQ31 latency, indexed vs full scan ==")
+		const pruneRadius = 0.5 // the paper's default uncertainty radius
+		rows, err := bench.PruneSweep(sizesPrune, *pruneRep, pruneRadius, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(bench.FormatPrune(rows))
+		writeCSV("prune.csv", bench.CSVPrune(rows))
+		if *pruneOut != "" {
+			f, err := os.Create(*pruneOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := bench.WritePruneJSON(f, rows, pruneRadius, *pruneRep, *seed); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *pruneOut)
+		}
+		// The equal flag is a correctness gate, not just a column: a
+		// divergence between the indexed and full-scan answer sets must
+		// fail the run (and CI), after the evidence has been written.
+		for _, r := range rows {
+			if !r.Equal {
+				fatal(fmt.Errorf("index-pruned UQ31 diverged from full scan at N=%d", r.N))
+			}
+		}
 	}
 }
 

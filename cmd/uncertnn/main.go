@@ -9,8 +9,9 @@
 //
 // Scripts and the REPL evaluate through the concurrent batch engine:
 // statements sharing a query trajectory and window share one envelope
-// preprocessing, and whole-MOD statements fan per-object work across
-// -workers goroutines (default: one per CPU).
+// preprocessing, whole-MOD statements fan per-object work across -workers
+// goroutines (default: one per CPU), and the store's spatial index prunes
+// the candidate set before preprocessing unless -fullscan disables it.
 package main
 
 import (
@@ -33,6 +34,7 @@ func main() {
 		uqlStmt   = flag.String("uql", "", "one-shot UQL statement (omit for a REPL)")
 		script    = flag.String("script", "", "batch-run a UQL script file (one statement per line)")
 		workers   = flag.Int("workers", 0, "batch engine worker count (0 = one per CPU)")
+		fullScan  = flag.Bool("fullscan", false, "disable the spatial-index candidate pre-pass (full O(N) envelope preprocessing per query)")
 		tree      = flag.Bool("tree", false, "print the IPAC-NN tree for -q over [-tb, -te]")
 		qOID      = flag.Int64("q", 1, "query trajectory OID for -tree")
 		tb        = flag.Float64("tb", 0, "window start for -tree")
@@ -68,7 +70,7 @@ func main() {
 		printTree(store, *qOID, *tb, *te, *levels, *desc, *asJSON)
 		return
 	}
-	eng := engine.New(*workers)
+	eng := engine.NewWith(engine.Options{Workers: *workers, FullScan: *fullScan})
 	if *script != "" {
 		runScript(store, eng, *script)
 		return

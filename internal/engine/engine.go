@@ -30,6 +30,7 @@ import (
 	"sync"
 
 	"repro/internal/mod"
+	"repro/internal/prune"
 	"repro/internal/queries"
 )
 
@@ -48,7 +49,8 @@ const memoCap = 64
 // usable; construct with New. An Engine is safe for concurrent use and is
 // meant to be long-lived (one per server), since its value is the memo.
 type Engine struct {
-	workers int
+	workers  int
+	fullScan bool
 
 	mu    sync.Mutex
 	procs map[procKey]*procSlot
@@ -72,13 +74,31 @@ type procSlot struct {
 	err  error
 }
 
+// Options tunes engine construction.
+type Options struct {
+	// Workers is the worker-pool size; <= 0 means one worker per CPU.
+	Workers int
+	// FullScan disables the index-accelerated candidate pre-pass: every
+	// processor build pays the full O(N·m) envelope preprocessing. The
+	// default (false) consults the store's spatial index first and builds
+	// distance functions only for the surviving candidates — answers are
+	// identical either way; this switch exists for benchmarking and as an
+	// operational escape hatch.
+	FullScan bool
+}
+
 // New creates an engine with the given worker-pool size; workers <= 0 means
-// one worker per CPU.
+// one worker per CPU. The index-accelerated candidate pre-pass is on.
 func New(workers int) *Engine {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
+	return NewWith(Options{Workers: workers})
+}
+
+// NewWith creates an engine from explicit options.
+func NewWith(o Options) *Engine {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
 	}
-	return &Engine{workers: workers, procs: make(map[procKey]*procSlot)}
+	return &Engine{workers: o.Workers, fullScan: o.FullScan, procs: make(map[procKey]*procSlot)}
 }
 
 // Workers returns the worker-pool size.
@@ -86,7 +106,9 @@ func (e *Engine) Workers() int { return e.workers }
 
 // Processor returns the memoized queries.Processor for the query trajectory
 // qOID over [tb, te] against the store's current contents, building it on
-// first use. Concurrent callers with the same key share one build.
+// first use. Concurrent callers with the same key share one build — and,
+// since the memo key includes the store version, they also share one pruned
+// candidate set per (store-version, query, window).
 func (e *Engine) Processor(store *mod.Store, qOID int64, tb, te float64) (*queries.Processor, error) {
 	key := procKey{store: store, version: store.Version(), queryOID: qOID, tb: tb, te: te}
 	e.mu.Lock()
@@ -104,7 +126,11 @@ func (e *Engine) Processor(store *mod.Store, qOID int64, tb, te float64) (*queri
 			slot.err = fmt.Errorf("engine: query trajectory: %w", err)
 			return
 		}
-		slot.proc, slot.err = queries.NewProcessor(store.All(), q, tb, te, store.Radius())
+		if e.fullScan {
+			slot.proc, slot.err = queries.NewProcessor(store.All(), q, tb, te, store.Radius())
+		} else {
+			slot.proc, slot.err = prune.ForQuery(store, q, tb, te)
+		}
 	})
 	return slot.proc, slot.err
 }

@@ -95,13 +95,8 @@ type DistanceFunc struct {
 // each elementary interval the relative motion is linear, yielding one
 // hyperbolic piece (Section 3.2's construction).
 func NewDistanceFunc(id int64, a, b *trajectory.Trajectory, tb, te float64) (*DistanceFunc, error) {
-	if te-tb <= TimeEps {
-		return nil, ErrEmptyWindow
-	}
-	ab, ae := a.TimeSpan()
-	bb, be := b.TimeSpan()
-	if tb < ab-TimeEps || te > ae+TimeEps || tb < bb-TimeEps || te > be+TimeEps {
-		return nil, fmt.Errorf("%w: [%g, %g] vs a=[%g, %g] b=[%g, %g]", ErrBadWindow, tb, te, ab, ae, bb, be)
+	if err := CheckWindow(a, b, tb, te); err != nil {
+		return nil, err
 	}
 	cuts := append(a.VertexTimesWithin(tb, te), b.VertexTimesWithin(tb, te)...)
 	cuts = append(cuts, tb, te)
@@ -125,6 +120,23 @@ func NewDistanceFunc(id int64, a, b *trajectory.Trajectory, tb, te float64) (*Di
 		return nil, ErrEmptyWindow
 	}
 	return f, nil
+}
+
+// CheckWindow validates the window preconditions of NewDistanceFunc for the
+// pair (a, b): a window of positive measure covered by both trajectories.
+// It returns exactly the error NewDistanceFunc would, which lets candidate
+// pre-passes that skip function construction for pruned objects still fail
+// identically to a full BuildDistanceFuncs run.
+func CheckWindow(a, b *trajectory.Trajectory, tb, te float64) error {
+	if te-tb <= TimeEps {
+		return ErrEmptyWindow
+	}
+	ab, ae := a.TimeSpan()
+	bb, be := b.TimeSpan()
+	if tb < ab-TimeEps || te > ae+TimeEps || tb < bb-TimeEps || te > be+TimeEps {
+		return fmt.Errorf("%w: [%g, %g] vs a=[%g, %g] b=[%g, %g]", ErrBadWindow, tb, te, ab, ae, bb, be)
+	}
+	return nil
 }
 
 // BuildDistanceFuncs constructs the difference distance functions of every

@@ -1,8 +1,11 @@
 package envelope
 
 import (
+	"cmp"
 	"math"
+	"slices"
 	"sort"
+	"sync"
 
 	"repro/internal/numeric"
 )
@@ -212,7 +215,7 @@ func NaiveLowerEnvelope(fns []*DistanceFunc, tb, te float64) (*Envelope, error) 
 			}
 		}
 	}
-	sort.Slice(events, func(a, b int) bool { return events[a].t < events[b].t })
+	slices.SortFunc(events, func(a, b event) int { return cmp.Compare(a.t, b.t) })
 
 	// Initial envelope function at tb.
 	cur := 0
@@ -347,45 +350,170 @@ func TotalLength(ivs []TimeInterval) float64 {
 	return s
 }
 
+// scanScratch holds the reusable buffers of one BelowIntervals sweep. The
+// whole-MOD query variants run this scan once per candidate (fanned across
+// goroutines by the batch engine), so the buffers are recycled through a
+// pool instead of reallocated per call.
+type scanScratch struct {
+	cuts  []float64
+	roots []float64
+}
+
+var scanPool = sync.Pool{New: func() any { return new(scanScratch) }}
+
+// pieceCursor walks a distance function's pieces for a monotone
+// nondecreasing sequence of evaluation times, selecting the same piece as
+// pieceAt without the per-call binary search.
+type pieceCursor struct {
+	ps []Piece
+	i  int
+}
+
+func (c *pieceCursor) valueSq(t float64) float64 {
+	for c.i+1 < len(c.ps) && c.ps[c.i].T1 < t {
+		c.i++
+	}
+	return c.ps[c.i].ValueSq(t)
+}
+
+// envCursor is the envelope counterpart: it tracks the active envelope
+// interval for monotone evaluation times, avoiding the interval binary
+// search and function-table lookup of ValueAt on every sample.
+type envCursor struct {
+	e  *Envelope
+	i  int
+	fn *DistanceFunc
+}
+
+func (c *envCursor) valueSq(t float64) float64 {
+	for c.i+1 < len(c.e.Intervals) && c.e.Intervals[c.i].T1 < t {
+		c.i++
+		c.fn = nil
+	}
+	if c.fn == nil {
+		c.fn = c.e.fns[c.e.Intervals[c.i].ID]
+	}
+	return c.fn.ValueSq(t)
+}
+
+// valueSqAt evaluates the envelope's squared value at t.
+func (e *Envelope) valueSqAt(t float64) float64 {
+	iv := e.Intervals[e.at(t)]
+	return e.fns[iv.ID].ValueSq(t)
+}
+
+// signedGap returns a value with the sign of f(t) − e(t) − delta computed
+// from the squared distances fsq = f(t)², esq = e(t)², spending at most one
+// square root (and none at all on the fast paths) instead of the two that
+// evaluating both distances directly would cost.
+func signedGap(fsq, esq, delta float64) float64 {
+	if delta == 0 {
+		return fsq - esq
+	}
+	if delta > 0 && fsq-esq < delta*delta {
+		// f² < e² + δ² ≤ (e+δ)², so f − e − δ < 0 strictly.
+		return fsq - esq - delta*delta
+	}
+	rhs := math.Sqrt(esq) + delta
+	if rhs < 0 {
+		// f ≥ 0 > e + δ: strictly above.
+		return fsq + rhs*rhs
+	}
+	// sign(f² − (e+δ)²) = sign(f − e − δ) since f + e + δ ≥ 0.
+	return fsq - rhs*rhs
+}
+
+// appendCutTimes gathers the window ends plus the interior breakpoints of f
+// and e into dst, sorted and deduplicated, without the intermediate slices
+// of Breakpoints/breakTimes.
+func appendCutTimes(dst []float64, f *DistanceFunc, e *Envelope) []float64 {
+	lo, hi := e.T0, e.T1
+	dst = append(dst, lo, hi)
+	if t := f.Pieces[0].T0; t > lo && t < hi {
+		dst = append(dst, t)
+	}
+	for _, p := range f.Pieces {
+		if p.T1 > lo && p.T1 < hi {
+			dst = append(dst, p.T1)
+		}
+	}
+	if t := e.Intervals[0].T0; t > lo && t < hi {
+		dst = append(dst, t)
+	}
+	for _, iv := range e.Intervals {
+		if iv.T1 > lo && iv.T1 < hi {
+			dst = append(dst, iv.T1)
+		}
+	}
+	sort.Float64s(dst)
+	return dedupTimes(dst)
+}
+
 // BelowIntervals returns the maximal time intervals within the envelope's
 // window during which f(t) <= e(t) + delta — the membership test of the
 // pruning zone that underlies the UQ query variants (delta = 4r for
 // Level 1 semantics). Boundaries are refined with Brent's method to
 // TimeEps.
+//
+// This is the refine hot path: every whole-MOD variant runs it once per
+// surviving candidate. The sweep therefore compares squared distances
+// (one square root per sample at most, none when the 4r threshold decides
+// without it), walks pieces and envelope intervals with monotone cursors
+// instead of per-sample binary searches, and recycles its cut/root buffers
+// through a pool.
 func BelowIntervals(f *DistanceFunc, e *Envelope, delta float64) []TimeInterval {
-	cuts := mergeCuts(f.Breakpoints(), e.breakTimes(), e.T0, e.T1)
-	g := func(t float64) float64 { return f.Value(t) - e.ValueAt(t) - delta }
+	sc := scanPool.Get().(*scanScratch)
+	sc.cuts = appendCutTimes(sc.cuts[:0], f, e)
+	cuts := sc.cuts
 	// Collect sign-change boundaries by dense sampling per elementary
 	// interval (the difference has at most a few roots per interval since
-	// both sides are hyperbola pieces), refined by bisection.
+	// both sides are hyperbola pieces), refined by bisection. The slow
+	// closure is only used inside FindRoot, whose probes are not monotone.
+	slow := func(t float64) float64 { return signedGap(f.ValueSq(t), e.valueSqAt(t), delta) }
 	const samples = 16
-	var roots []float64
+	roots := sc.roots[:0]
+	fc := pieceCursor{ps: f.Pieces}
+	ec := envCursor{e: e}
 	for i := 1; i < len(cuts); i++ {
 		t0, t1 := cuts[i-1], cuts[i]
 		if t1-t0 <= TimeEps {
 			continue
 		}
 		prevT := t0
-		prevV := g(t0)
+		prevV := signedGap(fc.valueSq(t0), ec.valueSq(t0), delta)
 		for s := 1; s <= samples; s++ {
 			t := t0 + (t1-t0)*float64(s)/samples
-			v := g(t)
+			v := signedGap(fc.valueSq(t), ec.valueSq(t), delta)
 			if (prevV < 0) != (v < 0) {
-				if r, err := numeric.FindRoot(g, prevT, t, TimeEps); err == nil {
+				if r, err := numeric.FindRoot(slow, prevT, t, TimeEps); err == nil {
 					roots = append(roots, r)
 				}
 			}
 			prevT, prevV = t, v
 		}
 	}
-	cutsAll := mergeCuts(roots, nil, e.T0, e.T1)
+	sc.roots = roots
+	// Classify the root-delimited intervals by their midpoint sign. Roots
+	// were collected in ascending time order, so the cut list needs no sort.
+	cl := append(sc.cuts[:0], e.T0)
+	for _, r := range roots {
+		if r > e.T0 && r < e.T1 {
+			cl = append(cl, r)
+		}
+	}
+	cl = append(cl, e.T1)
+	cl = dedupTimes(cl)
+	sc.cuts = cl
 	var out []TimeInterval
-	for i := 1; i < len(cutsAll); i++ {
-		t0, t1 := cutsAll[i-1], cutsAll[i]
+	fc = pieceCursor{ps: f.Pieces}
+	ec = envCursor{e: e}
+	for i := 1; i < len(cl); i++ {
+		t0, t1 := cl[i-1], cl[i]
 		if t1-t0 <= TimeEps {
 			continue
 		}
-		if g(0.5*(t0+t1)) <= 0 {
+		mid := 0.5 * (t0 + t1)
+		if signedGap(fc.valueSq(mid), ec.valueSq(mid), delta) <= 0 {
 			if n := len(out); n > 0 && math.Abs(out[n-1].T1-t0) <= TimeEps {
 				out[n-1].T1 = t1
 			} else {
@@ -393,5 +521,6 @@ func BelowIntervals(f *DistanceFunc, e *Envelope, delta float64) []TimeInterval 
 			}
 		}
 	}
+	scanPool.Put(sc)
 	return out
 }

@@ -13,13 +13,14 @@
 package mod
 
 import (
+	"cmp"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/geom"
@@ -87,6 +88,16 @@ type Store struct {
 	spec    PDFSpec
 	pdf     updf.RadialPDF
 	version uint64 // bumped on every successful mutation
+
+	// Cached segment R-tree, maintained lazily: a mutation bumps version,
+	// which invalidates the cache; the next BuildIndex call rebuilds.
+	// Bulk STR loading is O(n log n), so rebuild-on-read is cheaper than
+	// incremental node splitting at MOD update rates and keeps the tree
+	// optimally packed.
+	idxMu      sync.Mutex
+	idx        *sindex.RTree
+	idxVersion uint64
+	idxFanout  int
 }
 
 // NewStore creates a store whose trajectories share the uncertainty model
@@ -212,7 +223,7 @@ func (s *Store) OIDs() []int64 {
 	for oid := range s.trajs {
 		out = append(out, oid)
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	slices.Sort(out)
 	return out
 }
 
@@ -224,7 +235,7 @@ func (s *Store) All() []*trajectory.Trajectory {
 	for _, tr := range s.trajs {
 		out = append(out, tr)
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].OID < out[b].OID })
+	slices.SortFunc(out, func(a, b *trajectory.Trajectory) int { return cmp.Compare(a.OID, b.OID) })
 	return out
 }
 
@@ -245,13 +256,32 @@ func (s *Store) TimeSpan() (tb, te float64, ok bool) {
 	return tb, te, true
 }
 
-// BuildIndex constructs an STR R-tree over all trajectory segments,
-// expanding each segment's box by the uncertainty radius so range answers
-// are conservative with respect to possible (not just expected) locations.
+// BuildIndex returns an STR R-tree over all trajectory segments, expanding
+// each segment's box by the uncertainty radius so range answers are
+// conservative with respect to possible (not just expected) locations.
+//
+// The index is maintained version-aware: the tree is cached alongside the
+// store's Version counter, every Insert/Update/Delete invalidates it by
+// bumping the version, and the next BuildIndex call rebuilds lazily. Read
+// paths (the query-time candidate pre-pass) therefore get an always-fresh
+// index without paying a rebuild on every store mutation.
+//
+// A non-positive fanout selects sindex.DefaultFanout (16, the STR node
+// capacity that keeps leaf scans within a cache line or two of entries
+// while staying shallow at MOD populations in the tens of thousands).
 func (s *Store) BuildIndex(fanout int) *sindex.RTree {
+	if fanout <= 0 {
+		fanout = sindex.DefaultFanout
+	}
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var entries []sindex.Entry
+	version := s.version
+	if s.idx != nil && s.idxVersion == version && s.idxFanout == fanout {
+		s.mu.RUnlock()
+		return s.idx
+	}
+	entries := make([]sindex.Entry, 0, 4*len(s.trajs))
 	for _, tr := range s.trajs {
 		for i := 0; i < tr.NumSegments(); i++ {
 			seg, t0, t1 := tr.Segment(i)
@@ -259,7 +289,20 @@ func (s *Store) BuildIndex(fanout int) *sindex.RTree {
 			entries = append(entries, sindex.Entry{ID: tr.OID, Box: box, T0: t0, T1: t1})
 		}
 	}
-	return sindex.NewRTree(entries, fanout)
+	s.mu.RUnlock()
+	s.idx = sindex.NewRTree(entries, fanout)
+	s.idxVersion = version
+	s.idxFanout = fanout
+	return s.idx
+}
+
+// IndexVersion reports the store version the cached spatial index was last
+// built at (0 before the first build) — observable staleness for tests and
+// metrics.
+func (s *Store) IndexVersion() uint64 {
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	return s.idxVersion
 }
 
 // PlanTrip builds the server-side shortest-travel-time trajectory of

@@ -1,0 +1,279 @@
+// Package prune is the index-accelerated candidate pre-pass between the
+// MOD store and the query processor: before paying the O(N·m) distance-
+// function construction and O(N log N) envelope preprocessing over every
+// trajectory, it consults the store's spatial index to discard objects
+// that provably cannot enter the 4r pruning zone of the paper's Section
+// 3.2 anywhere in the query window.
+//
+// The bound is built per time slice of the query trajectory's corridor
+// (its vertex times, subdivided so slices stay short):
+//
+//  1. U(slice) — an upper bound on the Level-1 lower envelope over the
+//     slice — is the smallest, over a handful of R-tree KNN probes at the
+//     slice midpoint, of the probe's exact maximum distance from the
+//     query during the slice. For any t in the slice the envelope value
+//     min_j d_j(t) is at most that probe's distance, so U is sound.
+//  2. Every object with a segment entry intersecting the query corridor's
+//     bounding box expanded by U + 4r + Margin during the slice survives.
+//     An object in the zone at time t has d_i(t) <= env(t) + 4r <=
+//     U + 4r, and the box distance between its (r-expanded) segment entry
+//     and the corridor box lower-bounds d_i(t), so no zone member is ever
+//     discarded: survivors are a conservative superset.
+//
+// The survivor set feeds queries.NewProcessorPruned, which answers every
+// UQ variant identically to a full-scan Processor while building distance
+// functions only for survivors.
+package prune
+
+import (
+	"math"
+	"slices"
+
+	"repro/internal/geom"
+	"repro/internal/mod"
+	"repro/internal/queries"
+	"repro/internal/sindex"
+	"repro/internal/trajectory"
+)
+
+// Margin is the safety slack (in distance units) added to the 4r zone
+// width. It dominates the TimeEps tolerance the fixed-time membership
+// tests allow, so an object outside the widened bound fails even the
+// eps-slackened instant predicates — the conservative-correctness
+// guarantee the pruned processor relies on.
+const Margin = 1e-6
+
+// kProbe is the number of distinct index KNN probes evaluated per slice
+// midpoint for the envelope upper bound.
+const kProbe = 8
+
+// targetSlices is the subdivision target: query-vertex slices longer than
+// window/targetSlices are split, keeping per-slice corridors (and hence
+// the search boxes) tight without a per-object pass.
+const targetSlices = 32
+
+// Stats describes one candidate pre-pass.
+type Stats struct {
+	Candidates int // non-query objects in the snapshot
+	Survivors  int // objects the index could not rule out
+	Slices     int // time slices probed
+	Probes     int // KNN probe distance evaluations
+}
+
+// Candidates computes a conservative superset of the objects whose
+// difference-distance function to q can come within 4r (plus Margin) of
+// the Level-1 lower envelope somewhere in [tb, te], using the store's
+// lazily maintained segment R-tree. The result is sorted and never
+// contains q's own OID. On a concurrent store mutation mid-pass the
+// function degrades to "keep everything", which is always sound.
+func Candidates(store *mod.Store, q *trajectory.Trajectory, tb, te float64) ([]int64, Stats, error) {
+	v0 := store.Version()
+	trs := store.All()
+	idx := store.BuildIndex(0)
+	if store.Version() != v0 {
+		return allOIDs(trs, q.OID), statsAll(trs, q.OID), nil
+	}
+	return candidates(trs, idx, store.Radius(), q, tb, te)
+}
+
+// ForQuery builds an index-pruned queries.Processor for q over [tb, te]
+// against the store's current contents. Every UQ11..UQ43 variant, the
+// fixed-time instant predicates, and the guaranteed/threshold extensions
+// answer identically to queries.NewProcessor(store.All(), ...), including
+// error behavior.
+func ForQuery(store *mod.Store, q *trajectory.Trajectory, tb, te float64) (*queries.Processor, error) {
+	v0 := store.Version()
+	trs := store.All()
+	idx := store.BuildIndex(0)
+	if store.Version() != v0 {
+		// A mutation slipped between the snapshot and the index build;
+		// the full-scan construction over this snapshot is always sound.
+		return queries.NewProcessor(trs, q, tb, te, store.Radius())
+	}
+	survivors, _, err := candidates(trs, idx, store.Radius(), q, tb, te)
+	if err != nil {
+		return nil, err
+	}
+	return queries.NewProcessorPruned(trs, q, tb, te, store.Radius(), survivors)
+}
+
+// NewProcessor is ForQuery with the query trajectory looked up by OID.
+func NewProcessor(store *mod.Store, qOID int64, tb, te float64) (*queries.Processor, error) {
+	q, err := store.Get(qOID)
+	if err != nil {
+		return nil, err
+	}
+	return ForQuery(store, q, tb, te)
+}
+
+// candidates runs the slice sweep over one consistent snapshot.
+func candidates(trs []*trajectory.Trajectory, idx *sindex.RTree, r float64, q *trajectory.Trajectory, tb, te float64) ([]int64, Stats, error) {
+	st := Stats{Candidates: candidateCount(trs, q.OID)}
+	if te-tb <= 0 || st.Candidates == 0 {
+		// Degenerate window or nothing to prune: keep everything and let
+		// processor construction report the precise error.
+		out := allOIDs(trs, q.OID)
+		st.Survivors = len(out)
+		return out, st, nil
+	}
+	byID := make(map[int64]*trajectory.Trajectory, len(trs))
+	for _, tr := range trs {
+		byID[tr.OID] = tr
+	}
+	width := 4*r + Margin
+	cuts := sliceTimes(q, tb, te, targetSlices)
+	survivors := make(map[int64]struct{})
+	for i := 1; i < len(cuts); i++ {
+		t0, t1 := cuts[i-1], cuts[i]
+		st.Slices++
+		a, b := q.At(t0), q.At(t1)
+		qbox := geom.AABBOf(a, b)
+		mid := 0.5 * (t0 + t1)
+		u := math.Inf(1)
+		for _, nb := range idx.KNN(q.At(mid), mid, kProbe) {
+			if nb.ID == q.OID {
+				continue
+			}
+			tr, ok := byID[nb.ID]
+			if !ok {
+				continue
+			}
+			st.Probes++
+			if d := maxDistOverSlice(tr, q, t0, t1); d < u {
+				u = d
+			}
+		}
+		if math.IsInf(u, 1) {
+			// No usable probe (should not happen on a covering snapshot):
+			// keep every candidate, which is trivially sound.
+			for _, tr := range trs {
+				if tr.OID != q.OID {
+					survivors[tr.OID] = struct{}{}
+				}
+			}
+			continue
+		}
+		// The index pass over-approximates twice: segment entry boxes span
+		// whole segments (not just this slice), and box distance is an L∞
+		// test. Refine each hit with the exact minimum crisp distance over
+		// the slice — still conservative (a zone member at t has
+		// d(t) <= u + 4r, so its slice minimum passes), but it rejects
+		// objects whose segment boxes merely graze the corridor.
+		// SearchRange emits one hit per segment entry; sorting first lets
+		// a rejected object skip its duplicate entries in this slice.
+		hits := idx.SearchRange(qbox.Expand(u+width), t0, t1)
+		slices.Sort(hits)
+		for i, id := range hits {
+			if id == q.OID || (i > 0 && id == hits[i-1]) {
+				continue
+			}
+			if _, ok := survivors[id]; ok {
+				continue
+			}
+			tr, ok := byID[id]
+			if !ok {
+				continue
+			}
+			if minDistOverSlice(tr, q, t0, t1) <= u+width {
+				survivors[id] = struct{}{}
+			}
+		}
+	}
+	out := make([]int64, 0, len(survivors))
+	for id := range survivors {
+		out = append(out, id)
+	}
+	slices.Sort(out)
+	st.Survivors = len(out)
+	return out, st, nil
+}
+
+// maxDistOverSlice returns the exact maximum over [t0, t1] of the distance
+// between the expected positions of a and b. Between vertex times the
+// squared distance is a convex parabola in t, so the maximum over every
+// elementary interval sits at one of its endpoints.
+func maxDistOverSlice(a, b *trajectory.Trajectory, t0, t1 float64) float64 {
+	best := math.Max(a.At(t0).DistSq(b.At(t0)), a.At(t1).DistSq(b.At(t1)))
+	for _, tv := range a.VertexTimesWithin(t0, t1) {
+		if d := a.At(tv).DistSq(b.At(tv)); d > best {
+			best = d
+		}
+	}
+	for _, tv := range b.VertexTimesWithin(t0, t1) {
+		if d := a.At(tv).DistSq(b.At(tv)); d > best {
+			best = d
+		}
+	}
+	return math.Sqrt(best)
+}
+
+// minDistOverSlice returns the exact minimum over [t0, t1] of the distance
+// between the expected positions of a and b. Per elementary interval the
+// relative motion traces a line segment (in the difference frame), so the
+// minimum is the segment's distance from the origin.
+func minDistOverSlice(a, b *trajectory.Trajectory, t0, t1 float64) float64 {
+	cuts := append(a.VertexTimesWithin(t0, t1), b.VertexTimesWithin(t0, t1)...)
+	cuts = append(cuts, t0, t1)
+	slices.Sort(cuts)
+	var origin geom.Point
+	best := math.Inf(1)
+	for i := 1; i < len(cuts); i++ {
+		s0, s1 := cuts[i-1], cuts[i]
+		if s1 <= s0 {
+			continue
+		}
+		p0 := a.At(s0).Sub(b.At(s0))
+		p1 := a.At(s1).Sub(b.At(s1))
+		seg := geom.Segment{A: geom.Point{X: p0.X, Y: p0.Y}, B: geom.Point{X: p1.X, Y: p1.Y}}
+		if d := seg.At(seg.ClosestParam(origin)).DistSq(origin); d < best {
+			best = d
+		}
+	}
+	return math.Sqrt(best)
+}
+
+// sliceTimes cuts [tb, te] at q's vertex times and subdivides any slice
+// longer than (te-tb)/target so corridor boxes stay tight.
+func sliceTimes(q *trajectory.Trajectory, tb, te float64, target int) []float64 {
+	base := append([]float64{tb}, q.VertexTimesWithin(tb, te)...)
+	base = append(base, te)
+	maxLen := (te - tb) / float64(target)
+	out := make([]float64, 0, 2*len(base))
+	out = append(out, base[0])
+	for i := 1; i < len(base); i++ {
+		t0, t1 := base[i-1], base[i]
+		if n := int((t1 - t0) / maxLen); n > 1 {
+			for j := 1; j < n; j++ {
+				out = append(out, t0+(t1-t0)*float64(j)/float64(n))
+			}
+		}
+		out = append(out, t1)
+	}
+	return out
+}
+
+func candidateCount(trs []*trajectory.Trajectory, qOID int64) int {
+	n := 0
+	for _, tr := range trs {
+		if tr.OID != qOID {
+			n++
+		}
+	}
+	return n
+}
+
+func allOIDs(trs []*trajectory.Trajectory, qOID int64) []int64 {
+	out := make([]int64, 0, len(trs))
+	for _, tr := range trs {
+		if tr.OID != qOID {
+			out = append(out, tr.OID)
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+func statsAll(trs []*trajectory.Trajectory, qOID int64) Stats {
+	n := candidateCount(trs, qOID)
+	return Stats{Candidates: n, Survivors: n}
+}

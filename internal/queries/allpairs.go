@@ -1,7 +1,8 @@
 package queries
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"repro/internal/envelope"
 	"repro/internal/trajectory"
@@ -88,8 +89,8 @@ func MutualPossibleNNPairs(trs []*trajectory.Trajectory, tb, te, r float64) ([][
 		return nil, err
 	}
 	inSet := func(ids []int64, want int64) bool {
-		i := sort.Search(len(ids), func(k int) bool { return ids[k] >= want })
-		return i < len(ids) && ids[i] == want
+		_, ok := slices.BinarySearch(ids, want)
+		return ok
 	}
 	var out [][2]int64
 	for _, a := range trs {
@@ -102,11 +103,11 @@ func MutualPossibleNNPairs(trs []*trajectory.Trajectory, tb, te, r float64) ([][
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i][0] != out[j][0] {
-			return out[i][0] < out[j][0]
+	slices.SortFunc(out, func(a, b [2]int64) int {
+		if c := cmp.Compare(a[0], b[0]); c != 0 {
+			return c
 		}
-		return out[i][1] < out[j][1]
+		return cmp.Compare(a[1], b[1])
 	})
 	return out, nil
 }

@@ -22,7 +22,7 @@ package queries
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/envelope"
@@ -50,13 +50,27 @@ type Processor struct {
 	Tb, Te   float64
 	R        float64
 
+	// fns holds the distance functions the Level-1 envelope is built
+	// from: every candidate in full mode, only the index survivors in
+	// pruned mode (a pruned function never defines the lower envelope and
+	// never enters the 4r zone, so the envelope — and every Level-1
+	// answer — is unchanged by its absence).
 	fns  []*envelope.DistanceFunc
 	byID map[int64]*envelope.DistanceFunc
-	oids []int64 // candidate OIDs, sorted once at construction
+	oids []int64 // ALL candidate OIDs (survivors + pruned), sorted once
 	env1 *envelope.Envelope
 
-	mu     sync.Mutex
-	levels []*envelope.Envelope // levels[0] == env1, grown on demand
+	// pruned marks candidates excluded by the index pre-pass (nil in full
+	// mode). Their Level-1 answers are known without a distance function;
+	// rank-k, guaranteed-NN and threshold paths lazily build the full set.
+	pruned map[int64]bool
+
+	mu       sync.Mutex
+	levels   []*envelope.Envelope // levels[0] == env1, grown on demand
+	allFns   []*envelope.DistanceFunc
+	fullByID map[int64]*envelope.DistanceFunc
+	lazyTrs  []*trajectory.Trajectory // inputs of the lazy full build
+	lazyQ    *trajectory.Trajectory
 }
 
 // NewProcessor builds the envelope preprocessing for the query trajectory
@@ -87,7 +101,119 @@ func NewProcessor(trs []*trajectory.Trajectory, q *trajectory.Trajectory, tb, te
 		QueryOID: q.OID, Tb: tb, Te: te, R: r,
 		fns: fns, byID: byID, oids: oids, env1: env1,
 		levels: []*envelope.Envelope{env1},
+		allFns: fns, fullByID: byID,
 	}, nil
+}
+
+// NewProcessorPruned builds the envelope preprocessing over the surviving
+// candidates of an index pre-pass. survivors must be a conservative
+// superset of every object whose difference-distance function comes within
+// the 4r pruning zone of the Level-1 lower envelope anywhere in the window
+// (internal/prune computes such a set from the store's spatial index, with
+// a safety margin covering the TimeEps slack of the fixed-time tests).
+//
+// Answers are identical to NewProcessor's for every query variant:
+// Level-1 queries run over the survivors alone (a pruned object's zone
+// membership is empty by the superset guarantee), while the rank-k (k>=2),
+// guaranteed-NN and threshold paths — whose envelopes depend on the whole
+// candidate set — lazily build the complete function set on first use.
+func NewProcessorPruned(trs []*trajectory.Trajectory, q *trajectory.Trajectory, tb, te, r float64, survivors []int64) (*Processor, error) {
+	if r <= 0 {
+		return nil, fmt.Errorf("queries: nonpositive radius %g", r)
+	}
+	surv := make(map[int64]bool, len(survivors))
+	for _, id := range survivors {
+		surv[id] = true
+	}
+	var (
+		fns    []*envelope.DistanceFunc
+		oids   []int64
+		pruned = make(map[int64]bool)
+	)
+	for _, tr := range trs {
+		if tr.OID == q.OID {
+			continue
+		}
+		// Validate every candidate against the window — including pruned
+		// ones — so construction fails exactly when the full build would.
+		if err := envelope.CheckWindow(tr, q, tb, te); err != nil {
+			return nil, fmt.Errorf("oid %d: %w", tr.OID, err)
+		}
+		oids = append(oids, tr.OID)
+		if surv[tr.OID] {
+			f, err := envelope.NewDistanceFunc(tr.OID, tr, q, tb, te)
+			if err != nil {
+				return nil, fmt.Errorf("oid %d: %w", tr.OID, err)
+			}
+			fns = append(fns, f)
+		} else {
+			pruned[tr.OID] = true
+		}
+	}
+	if len(oids) == 0 {
+		return nil, envelope.ErrNoFunctions
+	}
+	if len(fns) == 0 {
+		// Defensive: an empty survivor set cannot carry the envelope;
+		// degrade to the full build.
+		return NewProcessor(trs, q, tb, te, r)
+	}
+	env1, err := envelope.LowerEnvelope(fns, tb, te)
+	if err != nil {
+		return nil, err
+	}
+	byID := make(map[int64]*envelope.DistanceFunc, len(fns))
+	for _, f := range fns {
+		byID[f.ID] = f
+	}
+	sortIDs(oids)
+	return &Processor{
+		QueryOID: q.OID, Tb: tb, Te: te, R: r,
+		fns: fns, byID: byID, oids: oids, env1: env1,
+		pruned:  pruned,
+		levels:  []*envelope.Envelope{env1},
+		lazyTrs: trs, lazyQ: q,
+	}, nil
+}
+
+// PrunedCount reports how many candidates the index pre-pass excluded
+// (0 for a full-scan processor) — for stats and benchmark reporting.
+func (p *Processor) PrunedCount() int { return len(p.pruned) }
+
+// ensureFull returns the complete distance-function set, building it (and
+// its OID table) on first use in pruned mode. The returned slice and map
+// are write-once: callers use the returned references, never the fields.
+func (p *Processor) ensureFull() ([]*envelope.DistanceFunc, map[int64]*envelope.DistanceFunc, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ensureFullLocked()
+}
+
+func (p *Processor) ensureFullLocked() ([]*envelope.DistanceFunc, map[int64]*envelope.DistanceFunc, error) {
+	if p.allFns != nil {
+		return p.allFns, p.fullByID, nil
+	}
+	fns, err := envelope.BuildDistanceFuncs(p.lazyTrs, p.lazyQ, p.Tb, p.Te)
+	if err != nil {
+		return nil, nil, err
+	}
+	byID := make(map[int64]*envelope.DistanceFunc, len(fns))
+	for _, f := range fns {
+		byID[f.ID] = f
+	}
+	p.allFns, p.fullByID = fns, byID
+	return fns, byID, nil
+}
+
+// scanFns returns the function set a whole-MOD retrieval must scan for
+// rank k: the Level-1 zone only ever admits survivors, while deeper levels
+// are built over — and must be compared against — the complete set.
+func (p *Processor) scanFns(k int) ([]*envelope.DistanceFunc, error) {
+	if k <= 1 || p.pruned == nil {
+		return p.fns, nil
+	}
+	all, _, err := p.ensureFull()
+	return all, err
 }
 
 // Envelope returns the Level-1 lower envelope.
@@ -96,15 +222,21 @@ func (p *Processor) Envelope() *envelope.Envelope { return p.env1 }
 // width returns the pruning-zone width 4r.
 func (p *Processor) width() float64 { return 4 * p.R }
 
-// level returns the k-th envelope, building levels lazily.
+// level returns the k-th envelope, building levels lazily. Levels beyond
+// the first depend on the whole candidate set, so a pruned processor
+// completes its function set before the first k-level construction.
 func (p *Processor) level(k int) (*envelope.Envelope, error) {
 	if k < 1 {
 		return nil, ErrBadRank
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if k > len(p.levels) && len(p.levels) < len(p.fns) {
-		lv, err := envelope.KLevelEnvelopes(p.fns, p.Tb, p.Te, k)
+	if k > len(p.levels) && len(p.levels) < len(p.oids) {
+		all, _, err := p.ensureFullLocked()
+		if err != nil {
+			return nil, err
+		}
+		lv, err := envelope.KLevelEnvelopes(all, p.Tb, p.Te, k)
 		if err != nil {
 			return nil, err
 		}
@@ -137,6 +269,9 @@ func (p *Processor) CandidateOIDs() []int64 {
 	return out
 }
 
+// fn returns the object's distance function, erroring on unknown OIDs and
+// on pruned candidates (which have none built). Level-1 query paths use
+// lookup instead so pruned candidates answer without a function.
 func (p *Processor) fn(oid int64) (*envelope.DistanceFunc, error) {
 	f, ok := p.byID[oid]
 	if !ok {
@@ -145,13 +280,30 @@ func (p *Processor) fn(oid int64) (*envelope.DistanceFunc, error) {
 	return f, nil
 }
 
+// lookup resolves an OID to its distance function. Known-but-pruned
+// candidates have none built; isPruned distinguishes them from unknown
+// OIDs (which are an error, exactly as in full mode).
+func (p *Processor) lookup(oid int64) (f *envelope.DistanceFunc, isPruned bool, err error) {
+	if f, ok := p.byID[oid]; ok {
+		return f, false, nil
+	}
+	if p.pruned[oid] {
+		return nil, true, nil
+	}
+	return nil, false, fmt.Errorf("%w: %d", ErrUnknownOID, oid)
+}
+
 // PossibleNNIntervals returns the maximal time intervals during which the
 // object has non-zero probability of being the query's nearest neighbor —
 // the membership intervals of the 4r pruning zone.
 func (p *Processor) PossibleNNIntervals(oid int64) ([]envelope.TimeInterval, error) {
-	f, err := p.fn(oid)
+	f, isPruned, err := p.lookup(oid)
 	if err != nil {
 		return nil, err
+	}
+	if isPruned {
+		// The pre-pass guarantees the function never enters the zone.
+		return nil, nil
 	}
 	return envelope.BelowIntervals(f, p.env1, p.width()), nil
 }
@@ -159,9 +311,22 @@ func (p *Processor) PossibleNNIntervals(oid int64) ([]envelope.TimeInterval, err
 // PossibleRankKIntervals is the ranked analogue against the Level-k
 // envelope.
 func (p *Processor) PossibleRankKIntervals(oid int64, k int) ([]envelope.TimeInterval, error) {
-	f, err := p.fn(oid)
+	f, isPruned, err := p.lookup(oid)
 	if err != nil {
 		return nil, err
+	}
+	if isPruned {
+		if k < 1 {
+			return nil, ErrBadRank
+		}
+		if k == 1 {
+			return nil, nil // Level-1 zone membership is empty by the pre-pass
+		}
+		_, byID, err := p.ensureFull()
+		if err != nil {
+			return nil, err
+		}
+		f = byID[oid]
 	}
 	env, err := p.level(k)
 	if err != nil {
@@ -275,8 +440,16 @@ func (p *Processor) UQ33(x float64) ([]int64, error) {
 	if x < 0 || x > 1 {
 		return nil, ErrBadFrac
 	}
-	var out []int64
 	need := x*(p.Te-p.Tb) - envelope.TimeEps
+	if need <= 0 {
+		// Zero-length requirement: every candidate qualifies (an empty
+		// membership set has total length 0 >= need), including pruned
+		// ones, exactly as in a full scan.
+		out := make([]int64, len(p.oids))
+		copy(out, p.oids)
+		return out, nil
+	}
+	var out []int64
 	for _, f := range p.fns {
 		if envelope.TotalLength(envelope.BelowIntervals(f, p.env1, p.width())) >= need {
 			out = append(out, f.ID)
@@ -295,8 +468,12 @@ func (p *Processor) UQ41(k int) ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
+	fns, err := p.scanFns(k)
+	if err != nil {
+		return nil, err
+	}
 	var out []int64
-	for _, f := range p.fns {
+	for _, f := range fns {
 		if ivs := envelope.BelowIntervals(f, env, p.width()); len(ivs) > 0 {
 			out = append(out, f.ID)
 		}
@@ -312,8 +489,12 @@ func (p *Processor) UQ42(k int) ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
+	fns, err := p.scanFns(k)
+	if err != nil {
+		return nil, err
+	}
 	var out []int64
-	for _, f := range p.fns {
+	for _, f := range fns {
 		if coversWindow(envelope.BelowIntervals(f, env, p.width()), p.Tb, p.Te) {
 			out = append(out, f.ID)
 		}
@@ -332,9 +513,18 @@ func (p *Processor) UQ43(k int, x float64) ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []int64
 	need := x*(p.Te-p.Tb) - envelope.TimeEps
-	for _, f := range p.fns {
+	if need <= 0 {
+		out := make([]int64, len(p.oids))
+		copy(out, p.oids)
+		return out, nil
+	}
+	fns, err := p.scanFns(k)
+	if err != nil {
+		return nil, err
+	}
+	var out []int64
+	for _, f := range fns {
 		if envelope.TotalLength(envelope.BelowIntervals(f, env, p.width())) >= need {
 			out = append(out, f.ID)
 		}
@@ -348,9 +538,13 @@ func (p *Processor) UQ43(k int, x float64) ([]int64, error) {
 // IsPossibleNNAt reports whether the object has non-zero probability of
 // being the NN at the instant tf.
 func (p *Processor) IsPossibleNNAt(oid int64, tf float64) (bool, error) {
-	f, err := p.fn(oid)
+	f, isPruned, err := p.lookup(oid)
 	if err != nil {
 		return false, err
+	}
+	if isPruned {
+		// The pre-pass margin exceeds the TimeEps slack of this test.
+		return false, nil
 	}
 	return f.Value(tf) <= p.env1.ValueAt(tf)+p.width()+envelope.TimeEps, nil
 }
@@ -375,22 +569,39 @@ func (p *Processor) PossibleNNAt(tf float64) []int64 {
 // distance (the certain counterpart of PossibleNNIntervals; cf. the
 // upper-envelope approach of the paper's related work [12]).
 func (p *Processor) GuaranteedNNIntervals(oid int64) ([]envelope.TimeInterval, error) {
-	if _, err := p.fn(oid); err != nil {
+	if _, _, err := p.lookup(oid); err != nil {
 		return nil, err
 	}
-	return envelope.GuaranteedNNIntervals(p.fns, oid, p.env1, p.R), nil
+	// The certain-NN test compares against the lower envelope of *all*
+	// other objects, which pruned functions can define (they are far from
+	// the query, exactly what certifies someone else as the NN).
+	all, _, err := p.ensureFull()
+	if err != nil {
+		return nil, err
+	}
+	return envelope.GuaranteedNNIntervals(all, oid, p.env1, p.R), nil
 }
 
 // IsPossibleRankKAt reports whether the object has non-zero probability of
 // being a k-th highest-probability NN at the instant tf.
 func (p *Processor) IsPossibleRankKAt(oid int64, tf float64, k int) (bool, error) {
-	f, err := p.fn(oid)
+	f, isPruned, err := p.lookup(oid)
 	if err != nil {
 		return false, err
 	}
 	env, err := p.level(k)
 	if err != nil {
 		return false, err
+	}
+	if isPruned {
+		if k == 1 {
+			return false, nil // outside the Level-1 zone by the pre-pass
+		}
+		_, byID, err := p.ensureFull()
+		if err != nil {
+			return false, err
+		}
+		f = byID[oid]
 	}
 	return f.Value(tf) <= env.ValueAt(tf)+p.width()+envelope.TimeEps, nil
 }
@@ -402,9 +613,13 @@ func (p *Processor) PossibleRankKAt(tf float64, k int) ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
+	fns, err := p.scanFns(k)
+	if err != nil {
+		return nil, err
+	}
 	bound := env.ValueAt(tf) + p.width() + envelope.TimeEps
 	var out []int64
-	for _, f := range p.fns {
+	for _, f := range fns {
 		if f.Value(tf) <= bound {
 			out = append(out, f.ID)
 		}
@@ -422,5 +637,5 @@ func coversWindow(ivs []envelope.TimeInterval, tb, te float64) bool {
 }
 
 func sortIDs(ids []int64) {
-	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	slices.Sort(ids)
 }

@@ -50,7 +50,7 @@ func (c *ThresholdConfig) fill(r float64) (updf.RadialPDF, int, int, error) {
 // reduction) that it is the query's nearest neighbor at each sampled
 // instant.
 func (p *Processor) ProbabilitySeries(oid int64, cfg ThresholdConfig) ([]float64, []float64, error) {
-	if _, err := p.fn(oid); err != nil {
+	if _, _, err := p.lookup(oid); err != nil {
 		return nil, nil, err
 	}
 	conv, samples, grid, err := cfg.fill(p.R)

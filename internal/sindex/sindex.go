@@ -12,10 +12,11 @@
 package sindex
 
 import (
+	"cmp"
 	"container/heap"
 	"errors"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/geom"
 )
@@ -86,8 +87,8 @@ func strPack(es []Entry, fanout int) []*node {
 	leafCount := (n + fanout - 1) / fanout
 	sliceCount := int(math.Ceil(math.Sqrt(float64(leafCount))))
 	sliceSize := sliceCount * fanout
-	sort.Slice(es, func(a, b int) bool {
-		return es[a].Box.Center().X < es[b].Box.Center().X
+	slices.SortFunc(es, func(a, b Entry) int {
+		return cmp.Compare(a.Box.Center().X, b.Box.Center().X)
 	})
 	var leaves []*node
 	for s := 0; s < n; s += sliceSize {
@@ -96,8 +97,8 @@ func strPack(es []Entry, fanout int) []*node {
 			end = n
 		}
 		strip := es[s:end]
-		sort.Slice(strip, func(a, b int) bool {
-			return strip[a].Box.Center().Y < strip[b].Box.Center().Y
+		slices.SortFunc(strip, func(a, b Entry) int {
+			return cmp.Compare(a.Box.Center().Y, b.Box.Center().Y)
 		})
 		for i := 0; i < len(strip); i += fanout {
 			j := i + fanout
@@ -113,8 +114,8 @@ func strPack(es []Entry, fanout int) []*node {
 }
 
 func packNodes(level []*node, fanout int) []*node {
-	sort.Slice(level, func(a, b int) bool {
-		return level[a].box.Center().X < level[b].box.Center().X
+	slices.SortFunc(level, func(a, b *node) int {
+		return cmp.Compare(a.box.Center().X, b.box.Center().X)
 	})
 	n := len(level)
 	parentCount := (n + fanout - 1) / fanout
@@ -127,8 +128,8 @@ func packNodes(level []*node, fanout int) []*node {
 			end = n
 		}
 		strip := level[s:end]
-		sort.Slice(strip, func(a, b int) bool {
-			return strip[a].box.Center().Y < strip[b].box.Center().Y
+		slices.SortFunc(strip, func(a, b *node) int {
+			return cmp.Compare(a.box.Center().Y, b.box.Center().Y)
 		})
 		for i := 0; i < len(strip); i += fanout {
 			j := i + fanout
@@ -332,6 +333,6 @@ func (g *Grid) SearchRange(box geom.AABB, t0, t1 float64) []int64 {
 			}
 		}
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	slices.Sort(out)
 	return out
 }

@@ -1,9 +1,10 @@
 package sindex
 
 import (
+	"cmp"
 	"container/heap"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/geom"
 )
@@ -83,7 +84,7 @@ func NewTPRTree(entries []MovingEntry, refT float64, fanout int) *TPRTree {
 		return t
 	}
 	es := append([]MovingEntry(nil), entries...)
-	sort.Slice(es, func(a, b int) bool { return es[a].At(refT).X < es[b].At(refT).X })
+	slices.SortFunc(es, func(a, b MovingEntry) int { return cmp.Compare(a.At(refT).X, b.At(refT).X) })
 	leafCount := (len(es) + fanout - 1) / fanout
 	sliceCount := int(math.Ceil(math.Sqrt(float64(leafCount))))
 	sliceSize := sliceCount * fanout
@@ -94,7 +95,7 @@ func NewTPRTree(entries []MovingEntry, refT float64, fanout int) *TPRTree {
 			end = len(es)
 		}
 		strip := es[s:end]
-		sort.Slice(strip, func(a, b int) bool { return strip[a].At(refT).Y < strip[b].At(refT).Y })
+		slices.SortFunc(strip, func(a, b MovingEntry) int { return cmp.Compare(a.At(refT).Y, b.At(refT).Y) })
 		for i := 0; i < len(strip); i += fanout {
 			j := i + fanout
 			if j > len(strip) {
@@ -107,7 +108,7 @@ func NewTPRTree(entries []MovingEntry, refT float64, fanout int) *TPRTree {
 	}
 	level := leaves
 	for len(level) > 1 {
-		sort.Slice(level, func(a, b int) bool { return level[a].box.Center().X < level[b].box.Center().X })
+		slices.SortFunc(level, func(a, b *tprNode) int { return cmp.Compare(a.box.Center().X, b.box.Center().X) })
 		n := len(level)
 		parentCount := (n + fanout - 1) / fanout
 		sc := int(math.Ceil(math.Sqrt(float64(parentCount))))
@@ -119,7 +120,7 @@ func NewTPRTree(entries []MovingEntry, refT float64, fanout int) *TPRTree {
 				end = n
 			}
 			strip := level[s:end]
-			sort.Slice(strip, func(a, b int) bool { return strip[a].box.Center().Y < strip[b].box.Center().Y })
+			slices.SortFunc(strip, func(a, b *tprNode) int { return cmp.Compare(a.box.Center().Y, b.box.Center().Y) })
 			for i := 0; i < len(strip); i += fanout {
 				j := i + fanout
 				if j > len(strip) {
@@ -143,10 +144,21 @@ func (n *tprNode) recomputeTPR() {
 	n.t0, n.t1 = math.Inf(1), math.Inf(-1)
 	for _, e := range n.entries {
 		n.box = n.box.ExtendPoint(e.At(n.refT))
-		n.vMinX = math.Min(n.vMinX, e.V.X)
-		n.vMaxX = math.Max(n.vMaxX, e.V.X)
-		n.vMinY = math.Min(n.vMinY, e.V.Y)
-		n.vMaxY = math.Max(n.vMaxY, e.V.Y)
+		vxLo, vxHi := e.V.X, e.V.X
+		vyLo, vyHi := e.V.Y, e.V.Y
+		if e.T0 > n.refT || e.T1 < n.refT {
+			// The entry is clamped at an endpoint position outside its
+			// validity window, so between refT and a query time inside the
+			// window it moves for only part of the elapsed span: its
+			// effective velocity lies between 0 and V componentwise, and
+			// the node bounds must include 0 to keep boxAt conservative.
+			vxLo, vxHi = math.Min(vxLo, 0), math.Max(vxHi, 0)
+			vyLo, vyHi = math.Min(vyLo, 0), math.Max(vyHi, 0)
+		}
+		n.vMinX = math.Min(n.vMinX, vxLo)
+		n.vMaxX = math.Max(n.vMaxX, vxHi)
+		n.vMinY = math.Min(n.vMinY, vyLo)
+		n.vMaxY = math.Max(n.vMaxY, vyHi)
 		n.t0 = math.Min(n.t0, e.T0)
 		n.t1 = math.Max(n.t1, e.T1)
 	}
@@ -186,7 +198,7 @@ func (t *TPRTree) SearchAt(box geom.AABB, tq float64) []int64 {
 		}
 	}
 	walk(t.root)
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	slices.Sort(out)
 	return out
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/envelope"
 	"repro/internal/mod"
+	"repro/internal/prune"
 	"repro/internal/queries"
 )
 
@@ -32,16 +33,18 @@ func (r Result) String() string {
 var ErrEval = errors.New("uql: evaluation error")
 
 // Eval evaluates a parsed statement against the store, using its shared
-// uncertainty radius. Each call builds a fresh queries.Processor for the
-// statement's query trajectory and window; callers issuing many statements
-// against the same (TrQ, window) should use RunBatch (which shares
-// preprocessing through the batch engine) or the queries package directly.
+// uncertainty radius. Each call builds a fresh index-pruned
+// queries.Processor for the statement's query trajectory and window (the
+// store's spatial index narrows the candidate set before the envelope
+// preprocessing); callers issuing many statements against the same (TrQ,
+// window) should use RunBatch (which shares preprocessing through the
+// batch engine) or the queries package directly.
 func Eval(st *Stmt, store *mod.Store) (Result, error) {
 	q, err := store.Get(st.QueryOID)
 	if err != nil {
 		return Result{}, fmt.Errorf("%w: query trajectory: %v", ErrEval, err)
 	}
-	proc, err := queries.NewProcessor(store.All(), q, st.Tb, st.Te, store.Radius())
+	proc, err := prune.ForQuery(store, q, st.Tb, st.Te)
 	if err != nil {
 		return Result{}, fmt.Errorf("%w: %v", ErrEval, err)
 	}

@@ -45,6 +45,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/envelope"
 	"repro/internal/mod"
+	"repro/internal/prune"
 	"repro/internal/queries"
 	"repro/internal/trajectory"
 	"repro/internal/uncertain"
@@ -169,9 +170,29 @@ func BuildIPACNN(trs []*Trajectory, q *Trajectory, tb, te, r float64, pdf Radial
 type QueryProcessor = queries.Processor
 
 // NewQueryProcessor builds the preprocessing for query trajectory q over
-// [tb, te] with uncertainty radius r.
+// [tb, te] with uncertainty radius r, scanning the full trajectory set.
 func NewQueryProcessor(trs []*Trajectory, q *Trajectory, tb, te, r float64) (*QueryProcessor, error) {
 	return queries.NewProcessor(trs, q, tb, te, r)
+}
+
+// NewIndexedQueryProcessor builds the same preprocessing against a store,
+// first consulting the store's lazily maintained spatial index to discard
+// objects that provably cannot enter the 4r pruning zone anywhere in the
+// window. Answers are identical to NewQueryProcessor's for every query
+// variant; only the work to produce them shrinks with the survivor count.
+func NewIndexedQueryProcessor(store *Store, qOID int64, tb, te float64) (*QueryProcessor, error) {
+	return prune.NewProcessor(store, qOID, tb, te)
+}
+
+// PruneStats describes one index candidate pre-pass (candidates seen,
+// survivors kept, slices and probes spent).
+type PruneStats = prune.Stats
+
+// PruneCandidates runs the index candidate pre-pass alone: the sorted
+// conservative superset of objects that can have non-zero NN probability
+// for query trajectory q somewhere in [tb, te], plus pass statistics.
+func PruneCandidates(store *Store, q *Trajectory, tb, te float64) ([]int64, PruneStats, error) {
+	return prune.Candidates(store, q, tb, te)
 }
 
 // TimeInterval is a closed time interval.
@@ -259,8 +280,17 @@ const (
 	KindAllRankAt = engine.KindAllRankAt
 )
 
-// NewEngine creates a batch engine; workers <= 0 means one per CPU.
+// NewEngine creates a batch engine; workers <= 0 means one per CPU. The
+// index-accelerated candidate pre-pass is on by default; see EngineOptions.
 func NewEngine(workers int) *Engine { return engine.New(workers) }
+
+// EngineOptions tunes batch-engine construction (worker-pool size, and a
+// FullScan switch that disables the index candidate pre-pass for
+// benchmarking).
+type EngineOptions = engine.Options
+
+// NewEngineWith creates a batch engine from explicit options.
+func NewEngineWith(o EngineOptions) *Engine { return engine.NewWith(o) }
 
 // --- UQL (Section 4's SQL sketch) ---
 
