@@ -1,11 +1,11 @@
 # CI and humans invoke the same targets: the ci.yml workflow is exactly
-# `make fmt vet build test race bench-smoke`.
+# `make fmt vet staticcheck build race bench-smoke bench-prune bench-api`.
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-prune fmt vet clean
+.PHONY: all build test race bench bench-smoke bench-prune bench-api fmt vet staticcheck clean
 
-all: fmt vet build test
+all: fmt vet staticcheck build test
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,21 @@ bench-prune:
 # One-iteration smoke: every benchmark compiles and executes.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Unified-API overhead gate: Engine.Do must stay within 5% of the direct
+# queries.Processor call on UQ31 at N=1000 (and answer identically).
+bench-api:
+	$(GO) run ./cmd/figures -fig api
+
+# Static analysis. SA1019 flags in-repo uses of the deprecated pre-Request
+# surface (NewQueryProcessor, Exec/ExecBatch, RunUQL, ...) so migrations
+# stay honest. The binary is optional locally; CI installs it.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI installs and runs it)"; \
+	fi
 
 # Fails (with the offending file list) when any file is not gofmt-clean.
 fmt:

@@ -1,0 +1,251 @@
+//lint:file-ignore SA1019 this golden test deliberately exercises the
+// deprecated facade wrappers against the unified Engine.Do route.
+
+package repro_test
+
+// The API-redesign acceptance gate: every deprecated facade entry point
+// must return byte-identical answers to the equivalent Engine.Do call on
+// a seeded 500-trajectory store, and context cancellation must stop a
+// batch mid-flight with context.Canceled while leaving the store usable.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+func seededEquivStore(t *testing.T, n int) *repro.Store {
+	t.Helper()
+	store, err := repro.NewUniformStore(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs, err := repro.GenerateWorkload(repro.DefaultWorkload(2026), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.InsertAll(trs); err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+// TestGoldenFacadeEquivalence compares the deprecated surface against
+// Engine.Do, variant by variant, on a 500-trajectory store.
+func TestGoldenFacadeEquivalence(t *testing.T) {
+	n := 500
+	if testing.Short() {
+		n = 120
+	}
+	store := seededEquivStore(t, n)
+	eng := repro.NewEngine(0)
+	ctx := context.Background()
+	const qOID, tb, te = 1, 0.0, 60.0
+
+	do := func(req repro.Request) repro.Result {
+		t.Helper()
+		res, err := eng.Do(ctx, store, req)
+		if err != nil {
+			t.Fatalf("Do(%+v): %v", req, err)
+		}
+		return res
+	}
+
+	// 1. NewQueryProcessor (full scan) and NewIndexedQueryProcessor.
+	q, err := store.Get(qOID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := repro.NewQueryProcessor(store.All(), q, tb, te, store.Radius())
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed, err := repro.NewIndexedQueryProcessor(store, qOID, tb, te)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, proc := range []*repro.QueryProcessor{full, indexed} {
+		if got := do(repro.Request{Kind: repro.KindUQ31, QueryOID: qOID, Tb: tb, Te: te}).OIDs; !reflect.DeepEqual(got, proc.UQ31()) {
+			t.Fatalf("UQ31: do=%v processor=%v", got, proc.UQ31())
+		}
+		if got := do(repro.Request{Kind: repro.KindUQ32, QueryOID: qOID, Tb: tb, Te: te}).OIDs; !reflect.DeepEqual(got, proc.UQ32()) {
+			t.Fatalf("UQ32 diverged")
+		}
+		want33, err := proc.UQ33(0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := do(repro.Request{Kind: repro.KindUQ33, QueryOID: qOID, Tb: tb, Te: te, X: 0.25}).OIDs; !reflect.DeepEqual(got, want33) {
+			t.Fatalf("UQ33 diverged")
+		}
+		for _, k := range []int{2, 3} {
+			want41, err := proc.UQ41(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := do(repro.Request{Kind: repro.KindUQ41, QueryOID: qOID, Tb: tb, Te: te, K: k}).OIDs; !reflect.DeepEqual(got, want41) {
+				t.Fatalf("UQ41(%d) diverged", k)
+			}
+		}
+		// Per-object predicates over a sample.
+		oids := proc.CandidateOIDs()
+		step := len(oids)/25 + 1
+		for i := 0; i < len(oids); i += step {
+			oid := oids[i]
+			want11, err := proc.UQ11(oid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := do(repro.Request{Kind: repro.KindUQ11, QueryOID: qOID, Tb: tb, Te: te, OID: oid}); !got.IsBool || got.Bool != want11 {
+				t.Fatalf("UQ11(%d) diverged", oid)
+			}
+			want21, err := proc.UQ21(oid, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := do(repro.Request{Kind: repro.KindUQ21, QueryOID: qOID, Tb: tb, Te: te, OID: oid, K: 2}); got.Bool != want21 {
+				t.Fatalf("UQ21(%d) diverged", oid)
+			}
+		}
+	}
+
+	// 2. Engine.Exec / Engine.ExecBatch.
+	batch := repro.BatchRequest{
+		QueryOID: qOID, Tb: tb, Te: te,
+		Queries: []repro.BatchQuery{
+			{Kind: repro.KindUQ31},
+			{Kind: repro.KindUQ41, K: 2},
+			{Kind: repro.KindUQ13, OID: 2, X: 0.1},
+			{Kind: repro.KindAllNNAt, T: 30},
+		},
+	}
+	bres, err := eng.ExecBatch(store, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]repro.Request, len(batch.Queries))
+	for i, bq := range batch.Queries {
+		reqs[i] = repro.Request{Kind: bq.Kind, QueryOID: qOID, Tb: tb, Te: te, OID: bq.OID, K: bq.K, X: bq.X, T: bq.T}
+	}
+	dres, err := eng.DoBatch(ctx, store, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs {
+		it, r := bres.Items[i], dres[i]
+		if it.Err != nil || r.Err != nil {
+			t.Fatalf("batch item %d: %v / %v", i, it.Err, r.Err)
+		}
+		if it.IsBool != r.IsBool || it.Bool != r.Bool || !reflect.DeepEqual(it.OIDs, r.OIDs) {
+			t.Fatalf("batch item %d: exec %+v != do %+v", i, it, r)
+		}
+		one := eng.Exec(store, qOID, tb, te, batch.Queries[i])
+		if one.IsBool != r.IsBool || one.Bool != r.Bool || !reflect.DeepEqual(one.OIDs, r.OIDs) {
+			t.Fatalf("exec item %d diverged from do", i)
+		}
+	}
+
+	// 3. RunUQL / RunUQLBatch against their compiled Requests.
+	stmts := []string{
+		fmt.Sprintf("SELECT T FROM MOD WHERE EXISTS Time IN [%g, %g] AND ProbabilityNN(T, %d, Time) > 0", tb, te, qOID),
+		fmt.Sprintf("SELECT T FROM MOD WHERE ATLEAST 40%% Time IN [%g, %g] AND ProbabilityNN(T, %d, Time) > 0", tb, te, qOID),
+		fmt.Sprintf("SELECT 2 FROM MOD WHERE FORALL Time IN [%g, %g] AND ProbabilityNN(2, %d, Time) > 0", tb, te, qOID),
+		fmt.Sprintf("SELECT T FROM MOD WHERE AT Time = 30 WITHIN [%g, %g] AND ProbabilityKNN(T, %d, Time, 2) > 0", tb, te, qOID),
+	}
+	items := repro.RunUQLBatch(stmts, store, eng)
+	for i, stmt := range stmts {
+		if items[i].Err != nil {
+			t.Fatalf("uql %q: %v", stmt, items[i].Err)
+		}
+		single, err := repro.RunUQL(stmt, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(single) != fmt.Sprint(items[i].Result) {
+			t.Fatalf("RunUQL vs RunUQLBatch diverged on %q", stmt)
+		}
+		req, ok, err := repro.CompileUQL(stmt)
+		if err != nil || !ok {
+			t.Fatalf("CompileUQL(%q): ok=%v err=%v", stmt, ok, err)
+		}
+		res := do(req)
+		if res.IsBool != items[i].Result.IsBool || res.Bool != items[i].Result.Bool ||
+			!reflect.DeepEqual(res.OIDs, items[i].Result.OIDs) {
+			t.Fatalf("compiled %q diverged: do=%+v uql=%+v", stmt, res, items[i].Result)
+		}
+	}
+
+	// 4. All-pairs and reverse wrappers on a small subset (quadratic cost).
+	sub := store.All()[:40]
+	wantPairs, err := repro.AllPairsPossibleNN(sub, tb, te, store.Radius())
+	if err != nil {
+		t.Fatal(err)
+	}
+	subStore, err := repro.NewUniformStore(store.Radius())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := subStore.InsertAll(sub); err != nil {
+		t.Fatal(err)
+	}
+	gotPairs, err := eng.Do(ctx, subStore, repro.Request{Kind: repro.KindAllPairs, Tb: tb, Te: te})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotPairs.Pairs, wantPairs) {
+		t.Fatal("AllPairsPossibleNN diverged from KindAllPairs")
+	}
+	wantRev, err := repro.ReversePossibleNN(sub, sub[3], tb, te, store.Radius())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRev, err := eng.Do(ctx, subStore, repro.Request{Kind: repro.KindReverse, Tb: tb, Te: te, OID: sub[3].OID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotRev.OIDs, wantRev) {
+		t.Fatalf("ReversePossibleNN diverged: %v vs %v", wantRev, gotRev.OIDs)
+	}
+}
+
+// TestFacadeCancellation: a context canceled mid-batch returns
+// context.Canceled and leaves the store usable.
+func TestFacadeCancellation(t *testing.T) {
+	store := seededEquivStore(t, 200)
+	eng := repro.NewEngine(2)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.DoBatch(ctx, store, []repro.Request{
+		{Kind: repro.KindUQ31, QueryOID: 1, Tb: 0, Te: 60},
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled: err=%v, want context.Canceled", err)
+	}
+
+	reqs := make([]repro.Request, 150)
+	for i := range reqs {
+		reqs[i] = repro.Request{Kind: repro.KindUQ31, QueryOID: int64(i%100 + 1), Tb: 0, Te: 30 + float64(i)/50}
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(15 * time.Millisecond)
+		cancel2()
+	}()
+	if _, err := eng.DoBatch(ctx2, store, reqs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-batch: err=%v, want context.Canceled", err)
+	}
+
+	// Store left usable.
+	res, err := eng.Do(context.Background(), store, repro.Request{Kind: repro.KindUQ31, QueryOID: 1, Tb: 0, Te: 60})
+	if err != nil || res.Err != nil {
+		t.Fatalf("store unusable after cancellation: %v / %v", err, res.Err)
+	}
+	if n := store.Len(); n != 200 {
+		t.Fatalf("store corrupted: len=%d", n)
+	}
+}

@@ -6,6 +6,7 @@
 //	figures -fig 13                 # pruning power vs uncertainty radius
 //	figures -fig par                # parallel batch engine vs serial loops
 //	figures -fig prune              # index-accelerated pruning vs full scan
+//	figures -fig api                # Engine.Do overhead gate (make bench-api)
 //	figures -fig all -csv out/      # everything, with CSVs
 //
 // Flags tune the sweep sizes so the full paper range (N up to 12000) or a
@@ -37,6 +38,9 @@ func main() {
 		pruneNs  = flag.String("prune-n", "500,1000,2000,4000", "population sizes for the index-pruning experiment")
 		pruneRep = flag.Int("prune-reps", 3, "query trajectories averaged per size in the index-pruning experiment")
 		pruneOut = flag.String("prune-json", "", "path to write the BENCH_prune.json artifact (optional)")
+		apiN     = flag.Int("api-n", 1000, "population size for the Engine.Do overhead gate")
+		apiReps  = flag.Int("api-reps", 15, "timed repetitions for the Engine.Do overhead gate")
+		apiMax   = flag.Float64("api-max-overhead", 5, "fail when Engine.Do overhead exceeds this percentage (0 disables)")
 		seed     = flag.Int64("seed", 2009, "workload RNG seed")
 		csvDir   = flag.String("csv", "", "directory to write CSV series into (optional)")
 	)
@@ -85,7 +89,8 @@ func main() {
 	runE4 := *fig == "e4" || *fig == "all"
 	runPar := *fig == "par" || *fig == "all"
 	runPrune := *fig == "prune" || *fig == "all"
-	if !run11 && !run12 && !run13 && !runE4 && !runPar && !runPrune {
+	runAPI := *fig == "api" || *fig == "all"
+	if !run11 && !run12 && !run13 && !runE4 && !runPar && !runPrune && !runAPI {
 		fatal(fmt.Errorf("unknown -fig %q", *fig))
 	}
 
@@ -169,6 +174,20 @@ func main() {
 			if !r.Equal {
 				fatal(fmt.Errorf("index-pruned UQ31 diverged from full scan at N=%d", r.N))
 			}
+		}
+	}
+	if runAPI {
+		fmt.Println("== Unified API: Engine.Do overhead vs direct Processor calls (UQ31) ==")
+		row, err := bench.APIOverhead(*apiN, *apiReps, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(bench.FormatAPI(row))
+		if !row.Equal {
+			fatal(fmt.Errorf("Engine.Do answer diverged from the direct Processor call"))
+		}
+		if *apiMax > 0 && row.OverheadPct > *apiMax {
+			fatal(fmt.Errorf("Engine.Do overhead %.2f%% exceeds the %.1f%% gate", row.OverheadPct, *apiMax))
 		}
 	}
 }

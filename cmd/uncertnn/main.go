@@ -8,24 +8,37 @@
 //	uncertnn -store fleet.mod              # REPL: one UQL statement per line
 //
 // Scripts and the REPL evaluate through the concurrent batch engine:
-// statements sharing a query trajectory and window share one envelope
-// preprocessing, whole-MOD statements fan per-object work across -workers
-// goroutines (default: one per CPU), and the store's spatial index prunes
-// the candidate set before preprocessing unless -fullscan disables it.
+// statements compile to unified engine Requests, statements sharing a
+// query trajectory and window share one envelope preprocessing, whole-MOD
+// statements fan per-object work across -workers goroutines (default: one
+// per CPU), and the store's spatial index prunes the candidate set before
+// preprocessing unless -fullscan disables it. -timeout bounds each
+// statement batch with a context deadline honored end to end (worker
+// pool, index pre-pass, lazy envelope builds).
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/mod"
 	"repro/internal/uql"
 )
+
+// evalCtx returns the context bounding one statement batch.
+func evalCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout)
+	}
+	return context.WithCancel(context.Background())
+}
 
 func main() {
 	var (
@@ -34,6 +47,7 @@ func main() {
 		uqlStmt   = flag.String("uql", "", "one-shot UQL statement (omit for a REPL)")
 		script    = flag.String("script", "", "batch-run a UQL script file (one statement per line)")
 		workers   = flag.Int("workers", 0, "batch engine worker count (0 = one per CPU)")
+		timeout   = flag.Duration("timeout", 0, "per-batch evaluation deadline, e.g. 500ms (0 = none)")
 		fullScan  = flag.Bool("fullscan", false, "disable the spatial-index candidate pre-pass (full O(N) envelope preprocessing per query)")
 		tree      = flag.Bool("tree", false, "print the IPAC-NN tree for -q over [-tb, -te]")
 		qOID      = flag.Int64("q", 1, "query trajectory OID for -tree")
@@ -72,24 +86,26 @@ func main() {
 	}
 	eng := engine.NewWith(engine.Options{Workers: *workers, FullScan: *fullScan})
 	if *script != "" {
-		runScript(store, eng, *script)
+		runScript(store, eng, *script, *timeout)
 		return
 	}
 	if *uqlStmt != "" {
-		item := uql.RunBatch([]string{*uqlStmt}, store, eng)[0]
+		ctx, cancel := evalCtx(*timeout)
+		item := uql.RunBatchCtx(ctx, []string{*uqlStmt}, store, eng)[0]
+		cancel()
 		if item.Err != nil {
 			fatal(item.Err)
 		}
 		fmt.Println(item.Result)
 		return
 	}
-	repl(store, eng)
+	repl(store, eng, *timeout)
 }
 
 // runScript batch-evaluates a UQL script: one statement per line, blank
 // lines and #-comments skipped. Statement failures are reported inline;
 // any failure makes the exit status nonzero.
-func runScript(store *mod.Store, eng *engine.Engine, path string) {
+func runScript(store *mod.Store, eng *engine.Engine, path string, timeout time.Duration) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
@@ -102,8 +118,10 @@ func runScript(store *mod.Store, eng *engine.Engine, path string) {
 		}
 		stmts = append(stmts, line)
 	}
+	ctx, cancel := evalCtx(timeout)
+	defer cancel()
 	failed := false
-	for i, item := range uql.RunBatch(stmts, store, eng) {
+	for i, item := range uql.RunBatchCtx(ctx, stmts, store, eng) {
 		if item.Err != nil {
 			failed = true
 			fmt.Printf("[%d] error: %v\n", i+1, item.Err)
@@ -144,7 +162,7 @@ func printTree(store *mod.Store, qOID int64, tb, te float64, levels int, desc, a
 	})
 }
 
-func repl(store *mod.Store, eng *engine.Engine) {
+func repl(store *mod.Store, eng *engine.Engine, timeout time.Duration) {
 	fmt.Println("uncertnn REPL — one UQL statement per line (quit/exit to leave)")
 	fmt.Println(`example: SELECT T FROM MOD WHERE EXISTS Time IN [0, 60] AND ProbabilityNN(T, 1, Time) > 0`)
 	sc := bufio.NewScanner(os.Stdin)
@@ -162,8 +180,12 @@ func repl(store *mod.Store, eng *engine.Engine) {
 			return
 		}
 		// Evaluating through the engine lets repeated statements against
-		// the same query trajectory and window reuse the preprocessing.
-		item := uql.RunBatch([]string{line}, store, eng)[0]
+		// the same query trajectory and window reuse the preprocessing;
+		// -timeout bounds each statement so a heavy whole-MOD retrieval
+		// cannot wedge the REPL.
+		ctx, cancel := evalCtx(timeout)
+		item := uql.RunBatchCtx(ctx, []string{line}, store, eng)[0]
+		cancel()
 		if item.Err != nil {
 			fmt.Println("error:", item.Err)
 			continue

@@ -50,8 +50,9 @@ func main() {
 	}
 
 	// Continuous view: which aircraft can be flight 1's nearest neighbor,
-	// and when?
-	proc, err := repro.NewQueryProcessor(store.All(), q, 0, 30, r)
+	// and when? The engine's processor gives interval-level access on top
+	// of the unified Request route.
+	proc, err := repro.NewEngine(0).Processor(store, q.OID, 0, 30)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,8 +7,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro"
 	"repro/internal/geom"
@@ -73,16 +75,16 @@ func main() {
 	// Dispatch's dashboard refreshes several views of the same window at
 	// once — which vans could ever be closest (UQ31), which at least a
 	// quarter of the shift (UQ33), and which can rank top-2 throughout
-	// (UQ42). Run them as one batch through the engine: the envelope
-	// preprocessing is paid once and the per-van checks run in parallel.
+	// (UQ42). Run them as one batch through the unified API: the envelope
+	// preprocessing is paid once, the per-van checks run in parallel, and
+	// the dashboard's refresh deadline rides in on the context.
 	eng := repro.NewEngine(0)
-	res, err := eng.ExecBatch(store, repro.BatchRequest{
-		QueryOID: q.OID, Tb: tb, Te: te,
-		Queries: []repro.BatchQuery{
-			{Kind: repro.KindUQ31},
-			{Kind: repro.KindUQ33, X: 0.25},
-			{Kind: repro.KindUQ42, K: 2},
-		},
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	results, err := eng.DoBatch(ctx, store, []repro.Request{
+		{Kind: repro.KindUQ31, QueryOID: q.OID, Tb: tb, Te: te},
+		{Kind: repro.KindUQ33, QueryOID: q.OID, Tb: tb, Te: te, X: 0.25},
+		{Kind: repro.KindUQ42, QueryOID: q.OID, Tb: tb, Te: te, K: 2},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -92,10 +94,11 @@ func main() {
 		"vans possibly-closest >= 25% of the shift",
 		"vans possibly top-2 for the whole shift",
 	} {
-		if res.Items[i].Err != nil {
-			log.Fatal(res.Items[i].Err)
+		if results[i].Err != nil {
+			log.Fatal(results[i].Err)
 		}
-		fmt.Printf("\n%s: %v\n", label, res.Items[i].OIDs)
+		fmt.Printf("\n%s: %v  (evaluated in %v)\n", label, results[i].OIDs,
+			results[i].Explain.Wall.Round(time.Microsecond))
 	}
 }
 

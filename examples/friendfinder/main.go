@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"repro"
 	"repro/internal/modserver"
@@ -70,4 +71,22 @@ func main() {
 
 	ask("Is anyone guaranteed a shot at being nearest the whole hour? (UQ32)",
 		"SELECT T FROM MOD WHERE FORALL Time IN [0, 60] AND ProbabilityNN(T, 1, Time) > 0")
+
+	// The same questions travel as unified Request descriptors over the
+	// "query" op — one wire contract for every variant, with per-query
+	// Explain provenance and a server-side deadline.
+	results, err := c.Query([]repro.Request{
+		{Kind: repro.KindUQ31, QueryOID: 1, Tb: 0, Te: 60},
+		{Kind: repro.KindUQ41, QueryOID: 1, Tb: 0, Te: 60, K: 2},
+	}, 2*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+		fmt.Printf("unified %s → %v (%d/%d candidates survived pruning, %v)\n",
+			res.Kind, res.OIDs, res.Explain.Survivors, res.Explain.Candidates, res.Explain.Wall)
+	}
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,7 +32,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	proc, err := repro.NewQueryProcessor(store.All(), rider, 0, 60, r)
+	// The memoized, index-pruned processor behind the unified API gives
+	// interval-level access beyond what a Request expresses.
+	eng := repro.NewEngine(0)
+	proc, err := eng.Processor(store, rider.OID, 0, 60)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,16 +70,15 @@ func main() {
 		}
 	}
 
-	// Reverse view: for which riders could driver 2 be the closest?
-	driver2, err := store.Get(2)
+	// Reverse view: for which riders could driver 2 be the closest? One
+	// Request through the same engine.
+	rev, err := eng.Do(context.Background(), store, repro.Request{
+		Kind: repro.KindReverse, Tb: 0, Te: 60, OID: 2,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	rev, err := repro.ReversePossibleNN(store.All(), driver2, 0, 60, r)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\ndriver 2 could be the closest option for riders: %v\n", rev)
+	fmt.Printf("\ndriver 2 could be the closest option for riders: %v\n", rev.OIDs)
 
 	// Heterogeneous uncertainty: downtown units (odd OIDs) have 3x worse
 	// GPS. Who can be closest to the rider now?

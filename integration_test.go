@@ -1,3 +1,6 @@
+//lint:file-ignore SA1019 the integration suite keeps covering the
+// deprecated compatibility wrappers until they are removed.
+
 package repro_test
 
 // End-to-end integration tests spanning the whole pipeline: workload →

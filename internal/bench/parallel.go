@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -28,12 +29,12 @@ type ParRow struct {
 
 // parallelQueries is the batch under test: UQ41 and UQ43 (x = 50%) at every
 // rank up to k.
-func parallelQueries(k int) []engine.Query {
-	var qs []engine.Query
+func parallelQueries(qOID int64, k int) []engine.Request {
+	var qs []engine.Request
 	for i := 1; i <= k; i++ {
 		qs = append(qs,
-			engine.Query{Kind: engine.KindUQ41, K: i},
-			engine.Query{Kind: engine.KindUQ43, K: i, X: 0.5},
+			engine.Request{Kind: engine.KindUQ41, QueryOID: qOID, Tb: 0, Te: 60, K: i},
+			engine.Request{Kind: engine.KindUQ43, QueryOID: qOID, Tb: 0, Te: 60, K: i, X: 0.5},
 		)
 	}
 	return qs
@@ -51,7 +52,6 @@ func ParallelBatch(ns []int, k, workers int, seed int64) ([]ParRow, error) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	qs := parallelQueries(k)
 	var rows []ParRow
 	for _, n := range ns {
 		trs, err := workload.Generate(workload.DefaultConfig(seed), n)
@@ -95,14 +95,12 @@ func ParallelBatch(ns []int, k, workers int, seed int64) ([]ParRow, error) {
 			return nil, err
 		}
 		start = time.Now()
-		res, err := eng.ExecBatch(store, engine.BatchRequest{
-			QueryOID: trs[0].OID, Tb: 0, Te: 60, Queries: qs,
-		})
+		results, err := eng.DoBatch(context.Background(), store, parallelQueries(trs[0].OID, k))
 		if err != nil {
 			return nil, err
 		}
 		parallel := time.Since(start)
-		for _, it := range res.Items {
+		for _, it := range results {
 			if it.Err != nil {
 				return nil, it.Err
 			}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"runtime"
 	"strings"
 	"testing"
@@ -52,7 +53,7 @@ type benchState struct {
 	qOID  int64
 	proc  *queries.Processor
 	eng   *engine.Engine
-	qs    []engine.Query
+	qs    []engine.Request
 }
 
 func newBenchState(b *testing.B, n, k, workers int) *benchState {
@@ -83,7 +84,7 @@ func newBenchState(b *testing.B, n, k, workers int) *benchState {
 	if err := pproc.EnsureLevels(k); err != nil {
 		b.Fatal(err)
 	}
-	return &benchState{store: store, qOID: trs[0].OID, proc: proc, eng: eng, qs: parallelQueries(k)}
+	return &benchState{store: store, qOID: trs[0].OID, proc: proc, eng: eng, qs: parallelQueries(trs[0].OID, k)}
 }
 
 // BenchmarkBatchSerial and BenchmarkBatchParallel compare the UQ41/UQ43
@@ -113,11 +114,10 @@ func BenchmarkBatchSerial(b *testing.B) {
 
 func BenchmarkBatchParallel(b *testing.B) {
 	s := newBenchState(b, benchN, benchK, runtime.GOMAXPROCS(0))
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.eng.ExecBatch(s.store, engine.BatchRequest{
-			QueryOID: s.qOID, Tb: 0, Te: 60, Queries: s.qs,
-		}); err != nil {
+		if _, err := s.eng.DoBatch(ctx, s.store, s.qs); err != nil {
 			b.Fatal(err)
 		}
 	}

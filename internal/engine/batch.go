@@ -1,10 +1,9 @@
 package engine
 
 import (
-	"fmt"
+	"context"
 
 	"repro/internal/mod"
-	"repro/internal/queries"
 )
 
 // Kind names one of the continuous query variants of the paper's Section 4
@@ -40,6 +39,9 @@ const (
 // Query is one variant in a batch. Which fields matter depends on Kind:
 // OID for Categories 1/2 and the single-object instant kinds, K for the
 // ranked kinds, X for the ≥X% kinds, T for the instant kinds.
+//
+// Deprecated: use Request, which additionally carries the query trajectory
+// and window, with Engine.Do / Engine.DoBatch.
 type Query struct {
 	Kind Kind
 	OID  int64
@@ -48,17 +50,17 @@ type Query struct {
 	T    float64
 }
 
-// rank returns the query's effective envelope level.
-func (q Query) rank() int {
-	switch q.Kind {
-	case KindUQ21, KindUQ22, KindUQ23, KindUQ41, KindUQ42, KindUQ43, KindRankAt, KindAllRankAt:
-		return q.K
-	}
-	return 1
+// request lifts the legacy (query trajectory, window, variant) triple into
+// the unified descriptor.
+func (q Query) request(qOID int64, tb, te float64) Request {
+	return Request{Kind: q.Kind, QueryOID: qOID, Tb: tb, Te: te, OID: q.OID, K: q.K, X: q.X, T: q.T}
 }
 
 // BatchRequest is a batch of query variants sharing one query trajectory
 // and window — the unit over which the engine amortizes preprocessing.
+//
+// Deprecated: use []Request with Engine.DoBatch, which amortizes
+// preprocessing per (query trajectory, window) group automatically.
 type BatchRequest struct {
 	QueryOID int64
 	Tb, Te   float64
@@ -68,6 +70,8 @@ type BatchRequest struct {
 // Item is the result of one query in a batch. Exactly one of Bool/OIDs is
 // meaningful, per IsBool; Err is per-query so one bad variant (unknown OID,
 // bad rank) does not poison its batch siblings.
+//
+// Deprecated: use Result, which additionally carries Explain provenance.
 type Item struct {
 	IsBool bool
 	Bool   bool
@@ -76,123 +80,52 @@ type Item struct {
 }
 
 // BatchResult holds one Item per requested query, in request order.
+//
+// Deprecated: use []Result from Engine.DoBatch.
 type BatchResult struct {
 	Items []Item
 }
 
-// ExecBatch evaluates the batch against the store. The envelope
-// preprocessing is done (or memo-hit) once; the deepest rank needed by the
-// batch is built once; each whole-MOD query then fans its per-OID candidate
-// checks across the worker pool. Results are deterministic: OID lists come
-// back sorted ascending regardless of worker count or scheduling.
+// ExecBatch evaluates the batch against the store. Answers are identical
+// to issuing each query through Engine.Do — ExecBatch is now a thin
+// adapter that compiles the batch into Requests and delegates to DoBatch.
+// Results are deterministic: OID lists come back sorted ascending
+// regardless of worker count or scheduling.
+//
+// Deprecated: use Engine.DoBatch, which adds per-request Explain stats and
+// context cancellation.
 func (e *Engine) ExecBatch(store *mod.Store, req BatchRequest) (BatchResult, error) {
 	if e == nil {
 		return BatchResult{}, ErrNoEngine
 	}
-	proc, err := e.Processor(store, req.QueryOID, req.Tb, req.Te)
+	// Preserve the historic batch-level error contract: an unusable
+	// (query, window) preprocessing fails the whole batch up front.
+	if _, _, err := e.processor(context.Background(), store, req.QueryOID, req.Tb, req.Te); err != nil {
+		return BatchResult{}, err
+	}
+	reqs := make([]Request, len(req.Queries))
+	for i, q := range req.Queries {
+		reqs[i] = q.request(req.QueryOID, req.Tb, req.Te)
+	}
+	results, err := e.DoBatch(context.Background(), store, reqs)
 	if err != nil {
 		return BatchResult{}, err
 	}
-	// One k-level construction for the deepest rank in the batch;
-	// construction failures resurface as per-query errors in exec.
-	maxK := 0
-	for _, q := range req.Queries {
-		if k := q.rank(); k > maxK {
-			maxK = k
-		}
-	}
-	if maxK > 1 {
-		_ = proc.EnsureLevels(maxK)
-	}
-	res := BatchResult{Items: make([]Item, len(req.Queries))}
-	for i, q := range req.Queries {
-		res.Items[i] = e.exec(proc, q)
+	res := BatchResult{Items: make([]Item, len(results))}
+	for i, r := range results {
+		res.Items[i] = Item{IsBool: r.IsBool, Bool: r.Bool, OIDs: r.OIDs, Err: r.Err}
 	}
 	return res, nil
 }
 
 // Exec evaluates a single query variant, sharing the memoized
 // preprocessing with any batch against the same key.
+//
+// Deprecated: use Engine.Do with a Request.
 func (e *Engine) Exec(store *mod.Store, qOID int64, tb, te float64, q Query) Item {
 	if e == nil {
 		return Item{Err: ErrNoEngine}
 	}
-	proc, err := e.Processor(store, qOID, tb, te)
-	if err != nil {
-		return Item{Err: err}
-	}
-	return e.exec(proc, q)
-}
-
-// exec dispatches one query against a ready processor. Whole-MOD kinds run
-// on the worker pool; single-object kinds are O(N) already and run inline.
-func (e *Engine) exec(p *queries.Processor, q Query) Item {
-	boolItem := func(b bool, err error) Item { return Item{IsBool: true, Bool: b, Err: err} }
-	listItem := func(ids []int64, err error) Item { return Item{OIDs: ids, Err: err} }
-	switch q.Kind {
-	case KindUQ11:
-		return boolItem(p.UQ11(q.OID))
-	case KindUQ12:
-		return boolItem(p.UQ12(q.OID))
-	case KindUQ13:
-		return boolItem(p.UQ13(q.OID, q.X))
-	case KindUQ21:
-		return boolItem(p.UQ21(q.OID, q.K))
-	case KindUQ22:
-		return boolItem(p.UQ22(q.OID, q.K))
-	case KindUQ23:
-		return boolItem(p.UQ23(q.OID, q.K, q.X))
-	case KindNNAt:
-		return boolItem(p.IsPossibleNNAt(q.OID, q.T))
-	case KindRankAt:
-		return boolItem(p.IsPossibleRankKAt(q.OID, q.T, q.K))
-	case KindUQ31:
-		return listItem(e.FilterOIDs(p.CandidateOIDs(), p.UQ11))
-	case KindUQ32:
-		return listItem(e.FilterOIDs(p.CandidateOIDs(), p.UQ12))
-	case KindUQ33:
-		if q.X < 0 || q.X > 1 {
-			return listItem(nil, queries.ErrBadFrac)
-		}
-		return listItem(e.FilterOIDs(p.CandidateOIDs(), func(oid int64) (bool, error) {
-			return p.UQ13(oid, q.X)
-		}))
-	case KindUQ41:
-		if err := p.EnsureLevels(q.K); err != nil {
-			return listItem(nil, err)
-		}
-		return listItem(e.FilterOIDs(p.CandidateOIDs(), func(oid int64) (bool, error) {
-			return p.UQ21(oid, q.K)
-		}))
-	case KindUQ42:
-		if err := p.EnsureLevels(q.K); err != nil {
-			return listItem(nil, err)
-		}
-		return listItem(e.FilterOIDs(p.CandidateOIDs(), func(oid int64) (bool, error) {
-			return p.UQ22(oid, q.K)
-		}))
-	case KindUQ43:
-		if q.X < 0 || q.X > 1 {
-			return listItem(nil, queries.ErrBadFrac)
-		}
-		if err := p.EnsureLevels(q.K); err != nil {
-			return listItem(nil, err)
-		}
-		return listItem(e.FilterOIDs(p.CandidateOIDs(), func(oid int64) (bool, error) {
-			return p.UQ23(oid, q.K, q.X)
-		}))
-	case KindAllNNAt:
-		return listItem(e.FilterOIDs(p.CandidateOIDs(), func(oid int64) (bool, error) {
-			return p.IsPossibleNNAt(oid, q.T)
-		}))
-	case KindAllRankAt:
-		if err := p.EnsureLevels(q.K); err != nil {
-			return listItem(nil, err)
-		}
-		return listItem(e.FilterOIDs(p.CandidateOIDs(), func(oid int64) (bool, error) {
-			return p.IsPossibleRankKAt(oid, q.T, q.K)
-		}))
-	default:
-		return Item{Err: fmt.Errorf("%w: %q", ErrBadKind, q.Kind)}
-	}
+	res, _ := e.Do(context.Background(), store, q.request(qOID, tb, te))
+	return Item{IsBool: res.IsBool, Bool: res.Bool, OIDs: res.OIDs, Err: res.Err}
 }

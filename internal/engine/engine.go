@@ -19,11 +19,14 @@
 //     through a mutex-guarded memo keyed on the store's version counter, so
 //     a batch of N variants pays the envelope cost once.
 //
-// Entry points: Exec for one query, ExecBatch for a batch sharing a query
-// trajectory and window, Processor for the memoized preprocessing alone.
+// Entry points: Do for one request, DoBatch for a batch (see request.go
+// for the unified Request/Result contract), Processor for the memoized
+// preprocessing alone. Exec and ExecBatch are the deprecated pre-Request
+// surface, reimplemented as thin wrappers over Do/DoBatch.
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -40,8 +43,8 @@ var (
 	ErrNoEngine = errors.New("engine: nil engine")
 )
 
-// memoCap bounds the processor memo. Entries are evicted in insertion
-// order; 64 distinct (query, window) pairs comfortably covers a batch
+// memoCap bounds the processor memo. Entries are evicted least-recently
+// used; 64 distinct (query, window) pairs comfortably covers a batch
 // workload while keeping worst-case memory bounded.
 const memoCap = 64
 
@@ -54,7 +57,7 @@ type Engine struct {
 
 	mu    sync.Mutex
 	procs map[procKey]*procSlot
-	order []procKey // insertion order for eviction
+	order []procKey // recency order for LRU eviction: oldest first
 }
 
 // procKey identifies one memoized preprocessing: a store at a specific
@@ -110,34 +113,98 @@ func (e *Engine) Workers() int { return e.workers }
 // since the memo key includes the store version, they also share one pruned
 // candidate set per (store-version, query, window).
 func (e *Engine) Processor(store *mod.Store, qOID int64, tb, te float64) (*queries.Processor, error) {
-	key := procKey{store: store, version: store.Version(), queryOID: qOID, tb: tb, te: te}
-	e.mu.Lock()
-	slot, ok := e.procs[key]
-	if !ok {
-		slot = &procSlot{}
-		e.procs[key] = slot
-		e.order = append(e.order, key)
-		e.evictLocked()
+	proc, _, err := e.processor(context.Background(), store, qOID, tb, te)
+	return proc, err
+}
+
+// ProcessorCtx is Processor under a context: a canceled context stops the
+// candidate pre-pass and the envelope construction inside the build.
+func (e *Engine) ProcessorCtx(ctx context.Context, store *mod.Store, qOID int64, tb, te float64) (*queries.Processor, error) {
+	proc, _, err := e.processor(ctx, store, qOID, tb, te)
+	return proc, err
+}
+
+// processor is the ctx-aware memo lookup behind Processor and Do. memoHit
+// reports that this call reused a build instead of performing one (the
+// Explain "envelope reuse" signal). A lookup touches its entry so steadily
+// hot keys survive eviction (LRU, not insertion order). A build that
+// failed only because a context was canceled is dropped from the memo —
+// and since that context belongs to whichever caller ran the build, a
+// waiter whose own context is still live retries the build under its own
+// rather than inheriting a stranger's cancellation.
+func (e *Engine) processor(ctx context.Context, store *mod.Store, qOID int64, tb, te float64) (proc *queries.Processor, memoHit bool, err error) {
+	for {
+		key := procKey{store: store, version: store.Version(), queryOID: qOID, tb: tb, te: te}
+		e.mu.Lock()
+		slot, ok := e.procs[key]
+		if !ok {
+			slot = &procSlot{}
+			e.procs[key] = slot
+			e.order = append(e.order, key)
+			e.evictLocked()
+		} else {
+			e.touchLocked(key)
+		}
+		e.mu.Unlock()
+		built := false
+		slot.once.Do(func() {
+			built = true
+			q, err := store.Get(qOID)
+			if err != nil {
+				slot.err = fmt.Errorf("engine: query trajectory: %w", err)
+				return
+			}
+			if e.fullScan {
+				slot.proc, slot.err = queries.NewProcessor(store.All(), q, tb, te, store.Radius())
+			} else {
+				slot.proc, slot.err = prune.ForQueryCtx(ctx, store, q, tb, te)
+			}
+		})
+		if slot.err != nil {
+			if errors.Is(slot.err, context.Canceled) || errors.Is(slot.err, context.DeadlineExceeded) {
+				e.mu.Lock()
+				if e.procs[key] == slot {
+					e.removeLocked(key)
+				}
+				e.mu.Unlock()
+				if !built && ctxErr(ctx) == nil {
+					// Someone else's canceled build; ours is still live.
+					continue
+				}
+			}
+			return nil, false, slot.err
+		}
+		return slot.proc, ok && !built, nil
 	}
-	e.mu.Unlock()
-	slot.once.Do(func() {
-		q, err := store.Get(qOID)
-		if err != nil {
-			slot.err = fmt.Errorf("engine: query trajectory: %w", err)
+}
+
+// touchLocked moves key to the most-recently-used end of the recency
+// order. Caller holds e.mu.
+func (e *Engine) touchLocked(key procKey) {
+	for i, k := range e.order {
+		if k == key {
+			copy(e.order[i:], e.order[i+1:])
+			e.order[len(e.order)-1] = key
 			return
 		}
-		if e.fullScan {
-			slot.proc, slot.err = queries.NewProcessor(store.All(), q, tb, te, store.Radius())
-		} else {
-			slot.proc, slot.err = prune.ForQuery(store, q, tb, te)
+	}
+}
+
+// removeLocked drops key from the memo and the recency order. Caller
+// holds e.mu.
+func (e *Engine) removeLocked(key procKey) {
+	delete(e.procs, key)
+	for i, k := range e.order {
+		if k == key {
+			e.order = append(e.order[:i], e.order[i+1:]...)
+			return
 		}
-	})
-	return slot.proc, slot.err
+	}
 }
 
 // evictLocked drops stale-version entries eagerly (a bumped store version
 // makes them unreachable, since Version only increases) and then enforces
-// memoCap oldest-first. Caller holds e.mu.
+// memoCap least-recently-used first. Caller holds e.mu.
 func (e *Engine) evictLocked() {
 	kept := e.order[:0]
 	for _, key := range e.order {
@@ -167,51 +234,30 @@ func (e *Engine) MemoLen() int {
 // first error wins; remaining tasks still drain but their results are
 // discarded.
 func (e *Engine) FilterOIDs(oids []int64, pred func(oid int64) (bool, error)) ([]int64, error) {
-	n := len(oids)
-	if n == 0 {
-		return nil, nil
+	return e.filterOIDs(context.Background(), oids, pred)
+}
+
+// filterOIDs is the ctx-aware core of FilterOIDs, built on the same
+// worker-pool loop (forEachIndex) the whole-MOD extensions use: the
+// context is checked between per-OID tasks, so a canceled request stops
+// fanning work promptly and surfaces the context error instead of a
+// partial answer. Results are deterministic because keep is indexed by
+// input position.
+func (e *Engine) filterOIDs(ctx context.Context, oids []int64, pred func(oid int64) (bool, error)) ([]int64, error) {
+	if len(oids) == 0 {
+		return nil, ctxErr(ctx)
 	}
-	workers := e.workers
-	if workers > n {
-		workers = n
-	}
-	keep := make([]bool, n)
-	errs := make([]error, workers)
-	if workers == 1 {
-		for i, oid := range oids {
-			ok, err := pred(oid)
-			if err != nil {
-				return nil, err
-			}
-			keep[i] = ok
+	keep := make([]bool, len(oids))
+	err := e.forEachIndex(ctx, len(oids), func(i int) error {
+		ok, err := pred(oids[i])
+		if err != nil {
+			return err
 		}
-	} else {
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				for i := range next {
-					ok, err := pred(oids[i])
-					if err != nil {
-						errs[w] = err
-						continue
-					}
-					keep[i] = ok
-				}
-			}(w)
-		}
-		for i := 0; i < n; i++ {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
-		}
+		keep[i] = ok
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var out []int64
 	for i, ok := range keep {

@@ -1,0 +1,488 @@
+// The unified context-aware query API: one declarative Request descriptor
+// covering every continuous probabilistic NN variant of the paper's
+// Section 4 (plus the Section 7 extensions), one Result envelope carrying
+// the answer together with its Explain provenance, and a typed error
+// taxonomy shared across layers. Engine.Do / Engine.DoBatch are the single
+// execution route — the UQL evaluator, the modserver "query" op, and the
+// legacy Exec/ExecBatch facade all compile down to them — and both honor
+// context cancellation end-to-end: between per-OID worker tasks, between
+// batch members, inside the index candidate pre-pass, and inside lazy
+// envelope builds.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/mod"
+	"repro/internal/prune"
+	"repro/internal/queries"
+)
+
+// Additional query kinds of the unified API, beyond the UQ11..UQ43 and
+// fixed-time kinds declared in batch.go.
+const (
+	// KindThreshold asks whether object OID has probability >= P of being
+	// the NN for at least fraction X of the window (the paper's Section 7
+	// "more than 65% probability within 50% of the time" query).
+	KindThreshold Kind = "THRESH"
+	// KindAllThreshold retrieves every object satisfying KindThreshold.
+	KindAllThreshold Kind = "ALLTHRESH"
+	// KindAllPairs computes every object's possible-NN set over the window
+	// (all-pairs continuous probabilistic NN; QueryOID is ignored).
+	KindAllPairs Kind = "ALLPAIRS"
+	// KindReverse retrieves the objects for which object OID can be the
+	// nearest neighbor (reverse continuous probabilistic NN; QueryOID is
+	// ignored).
+	KindReverse Kind = "REVERSE"
+)
+
+// Typed error taxonomy of the unified API. ErrUnknownOID, ErrBadRank and
+// ErrBadFrac alias the queries package's sentinels so errors.Is matches one
+// identity per failure across every layer; ErrBadKind and ErrNoEngine are
+// declared in engine.go.
+var (
+	// ErrBadWindow reports a query window with te <= tb (or a NaN bound).
+	// Request.Validate is the single place the check happens, so every
+	// route — Do, the legacy facade, UQL, the wire protocol — rejects a
+	// degenerate window identically instead of some constructors erroring
+	// and others silently answering empty.
+	ErrBadWindow = errors.New("engine: query window must satisfy tb < te")
+	// ErrUnknownOID reports a target object absent from the store.
+	ErrUnknownOID = queries.ErrUnknownOID
+	// ErrBadRank reports a rank parameter k < 1 on a ranked kind.
+	ErrBadRank = queries.ErrBadRank
+	// ErrBadFrac reports a fraction or probability outside [0, 1].
+	ErrBadFrac = queries.ErrBadFrac
+)
+
+// Request is the declarative descriptor of one query: every variant the
+// system answers is expressible as a Request, and every execution route
+// reduces to Engine.Do(ctx, store, req). The struct is flat and
+// JSON-serializable on purpose — it is the contract a shard router or
+// network proxy forwards verbatim (the modserver "query" op carries it on
+// the wire unchanged).
+//
+// Which fields matter depends on Kind: OID for the single-object kinds
+// (Categories 1/2, the single-object instant kinds, KindThreshold) and the
+// KindReverse target; K for the ranked kinds; X for the >= X%-of-window
+// kinds and the threshold kinds; T for the fixed-time kinds; P for the
+// threshold kinds.
+type Request struct {
+	Kind     Kind    `json:"kind"`
+	QueryOID int64   `json:"query_oid,omitempty"`
+	Tb       float64 `json:"tb"`
+	Te       float64 `json:"te"`
+	OID      int64   `json:"oid,omitempty"`
+	K        int     `json:"k,omitempty"`
+	X        float64 `json:"x,omitempty"`
+	T        float64 `json:"t,omitempty"`
+	P        float64 `json:"p,omitempty"`
+}
+
+// rank returns the request's effective envelope level.
+func (r Request) rank() int {
+	switch r.Kind {
+	case KindUQ21, KindUQ22, KindUQ23, KindUQ41, KindUQ42, KindUQ43, KindRankAt, KindAllRankAt:
+		return r.K
+	}
+	return 1
+}
+
+// needsProcessor reports whether the kind evaluates against one (query
+// trajectory, window) preprocessing; KindAllPairs and KindReverse iterate
+// query trajectories instead.
+func (k Kind) needsProcessor() bool {
+	return k != KindAllPairs && k != KindReverse
+}
+
+// Validate checks the request's static well-formedness: a known kind, an
+// increasing window, a rank >= 1 on ranked kinds, fractions and
+// probabilities in [0, 1]. It is the centralized window check — every
+// execution route calls it before touching the store.
+func (r Request) Validate() error {
+	switch r.Kind {
+	case KindUQ11, KindUQ12, KindUQ13, KindUQ21, KindUQ22, KindUQ23,
+		KindUQ31, KindUQ32, KindUQ33, KindUQ41, KindUQ42, KindUQ43,
+		KindNNAt, KindRankAt, KindAllNNAt, KindAllRankAt,
+		KindThreshold, KindAllThreshold, KindAllPairs, KindReverse:
+	default:
+		return fmt.Errorf("%w: %q", ErrBadKind, r.Kind)
+	}
+	if math.IsNaN(r.Tb) || math.IsNaN(r.Te) || !(r.Te > r.Tb) {
+		return fmt.Errorf("%w: [%g, %g]", ErrBadWindow, r.Tb, r.Te)
+	}
+	if r.rank() < 1 {
+		return fmt.Errorf("%w: got %d", ErrBadRank, r.K)
+	}
+	switch r.Kind {
+	case KindUQ13, KindUQ23, KindUQ33, KindUQ43, KindThreshold, KindAllThreshold:
+		if r.X < 0 || r.X > 1 || math.IsNaN(r.X) {
+			return fmt.Errorf("%w: x=%g", ErrBadFrac, r.X)
+		}
+	}
+	switch r.Kind {
+	case KindThreshold, KindAllThreshold:
+		if r.P < 0 || r.P > 1 || math.IsNaN(r.P) {
+			return fmt.Errorf("%w: p=%g", ErrBadFrac, r.P)
+		}
+	}
+	return nil
+}
+
+// ctxErr reports whether the context is done, checking the wall clock
+// against the deadline as well as Err(): a short deadline on a busy
+// single-core host can expire before the runtime schedules the timer
+// goroutine that cancels the context, and the engine's checkpoints must
+// not sail past it just because the timer has not fired yet.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// Explain is the per-query execution provenance carried inside every
+// Result, so answer and statistics cross API seams together.
+type Explain struct {
+	// Candidates is the number of non-query objects considered.
+	Candidates int `json:"candidates"`
+	// Survivors is how many candidates outlived the index candidate
+	// pre-pass (== Candidates when the pre-pass is disabled or the kind
+	// does not use one preprocessing).
+	Survivors int `json:"survivors"`
+	// MemoHit reports that the envelope preprocessing was reused from the
+	// engine's memo instead of rebuilt.
+	MemoHit bool `json:"memo_hit"`
+	// Workers is the engine's worker-pool size.
+	Workers int `json:"workers"`
+	// Wall is the end-to-end evaluation time of this request
+	// (JSON-encoded in nanoseconds).
+	Wall time.Duration `json:"wall_ns"`
+}
+
+// Result is the unified answer envelope. Exactly one of Bool / OIDs /
+// Pairs is meaningful, per the request kind (IsBool marks the predicate
+// kinds; Pairs is only set by KindAllPairs). Err carries the per-request
+// evaluation error so a bad batch member does not poison its siblings; it
+// is excluded from JSON, wire adapters serialize it as a string.
+type Result struct {
+	Kind   Kind              `json:"kind"`
+	IsBool bool              `json:"is_bool,omitempty"`
+	Bool   bool              `json:"bool,omitempty"`
+	OIDs   []int64           `json:"oids,omitempty"`
+	Pairs  map[int64][]int64 `json:"pairs,omitempty"`
+
+	Explain Explain `json:"explain"`
+	Err     error   `json:"-"`
+}
+
+// Do evaluates one request against the store. It is the single execution
+// route of the system: validation, the memoized (and index-pruned)
+// envelope preprocessing, worker-pool fan-out for the whole-MOD kinds, and
+// Explain accounting all happen here. ctx cancellation is honored between
+// per-OID worker tasks and inside the preprocessing; a nil ctx means
+// context.Background(). On error the returned Result carries the same
+// error in Err, with whatever Explain fields were established.
+func (e *Engine) Do(ctx context.Context, store *mod.Store, req Request) (Result, error) {
+	if e == nil {
+		return Result{Kind: req.Kind, Err: ErrNoEngine}, ErrNoEngine
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res := Result{Kind: req.Kind}
+	res.Explain.Workers = e.workers
+	start := time.Now()
+	fail := func(err error) (Result, error) {
+		res.Err = err
+		res.Explain.Wall = time.Since(start)
+		return res, err
+	}
+	if err := req.Validate(); err != nil {
+		return fail(err)
+	}
+	if err := ctxErr(ctx); err != nil {
+		return fail(err)
+	}
+	switch req.Kind {
+	case KindAllPairs:
+		pairs, cands, err := e.allPairs(ctx, store, req)
+		if err != nil {
+			return fail(err)
+		}
+		res.Pairs = pairs
+		res.Explain.Candidates = cands
+		res.Explain.Survivors = cands
+	case KindReverse:
+		oids, cands, err := e.reverse(ctx, store, req)
+		if err != nil {
+			return fail(err)
+		}
+		res.OIDs = oids
+		res.Explain.Candidates = cands
+		res.Explain.Survivors = cands
+	default:
+		proc, hit, err := e.processor(ctx, store, req.QueryOID, req.Tb, req.Te)
+		if err != nil {
+			return fail(err)
+		}
+		res.Explain.MemoHit = hit
+		res.Explain.Candidates = proc.CandidateCount()
+		res.Explain.Survivors = res.Explain.Candidates - proc.PrunedCount()
+		if k := req.rank(); k > 1 {
+			if err := proc.EnsureLevelsCtx(ctx, k); err != nil {
+				return fail(err)
+			}
+		}
+		item := e.execRequest(ctx, proc, req)
+		if item.Err != nil {
+			return fail(item.Err)
+		}
+		res.IsBool, res.Bool, res.OIDs = item.IsBool, item.Bool, item.OIDs
+	}
+	res.Explain.Wall = time.Since(start)
+	return res, nil
+}
+
+// DoBatch evaluates the requests in order, sharing preprocessing through
+// the engine memo (requests against the same (query, window) reuse one
+// build, and the deepest rank any of them needs is constructed once).
+// Per-request failures are reported inside the matching Result; the batch
+// itself only errors on a nil engine or when ctx is canceled, in which
+// case the context error (context.Canceled / context.DeadlineExceeded) is
+// returned with the results completed so far.
+func (e *Engine) DoBatch(ctx context.Context, store *mod.Store, reqs []Request) ([]Result, error) {
+	if e == nil {
+		return nil, ErrNoEngine
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// One k-level construction per (query, window) for the deepest rank in
+	// the batch; build failures resurface as per-request errors below.
+	type group struct {
+		qOID   int64
+		tb, te float64
+	}
+	maxK := make(map[group]int)
+	for _, r := range reqs {
+		if r.Validate() != nil || !r.Kind.needsProcessor() {
+			continue
+		}
+		g := group{r.QueryOID, r.Tb, r.Te}
+		if k := r.rank(); k > maxK[g] {
+			maxK[g] = k
+		}
+	}
+	for g, k := range maxK {
+		if k <= 1 {
+			continue
+		}
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		if proc, _, err := e.processor(ctx, store, g.qOID, g.tb, g.te); err == nil {
+			_ = proc.EnsureLevelsCtx(ctx, k)
+		}
+	}
+	out := make([]Result, len(reqs))
+	for i, r := range reqs {
+		if err := ctxErr(ctx); err != nil {
+			return out[:i], err
+		}
+		res, err := e.Do(ctx, store, r)
+		if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			return out[:i], err
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// execRequest dispatches one validated request against a ready processor.
+// Whole-MOD kinds fan per-OID tasks across the worker pool with ctx
+// checked between tasks; single-object kinds are O(N) and run inline.
+func (e *Engine) execRequest(ctx context.Context, p *queries.Processor, req Request) Item {
+	boolItem := func(b bool, err error) Item { return Item{IsBool: true, Bool: b, Err: err} }
+	listItem := func(ids []int64, err error) Item { return Item{OIDs: ids, Err: err} }
+	filter := func(pred func(oid int64) (bool, error)) Item {
+		return listItem(e.filterOIDs(ctx, p.CandidateOIDs(), pred))
+	}
+	switch req.Kind {
+	case KindUQ11:
+		return boolItem(p.UQ11(req.OID))
+	case KindUQ12:
+		return boolItem(p.UQ12(req.OID))
+	case KindUQ13:
+		return boolItem(p.UQ13(req.OID, req.X))
+	case KindUQ21:
+		return boolItem(p.UQ21(req.OID, req.K))
+	case KindUQ22:
+		return boolItem(p.UQ22(req.OID, req.K))
+	case KindUQ23:
+		return boolItem(p.UQ23(req.OID, req.K, req.X))
+	case KindNNAt:
+		return boolItem(p.IsPossibleNNAt(req.OID, req.T))
+	case KindRankAt:
+		return boolItem(p.IsPossibleRankKAt(req.OID, req.T, req.K))
+	case KindThreshold:
+		return boolItem(p.ThresholdNN(req.OID, req.P, req.X, queries.ThresholdConfig{}))
+	case KindUQ31:
+		return filter(p.UQ11)
+	case KindUQ32:
+		return filter(p.UQ12)
+	case KindUQ33:
+		return filter(func(oid int64) (bool, error) { return p.UQ13(oid, req.X) })
+	case KindUQ41:
+		return filter(func(oid int64) (bool, error) { return p.UQ21(oid, req.K) })
+	case KindUQ42:
+		return filter(func(oid int64) (bool, error) { return p.UQ22(oid, req.K) })
+	case KindUQ43:
+		return filter(func(oid int64) (bool, error) { return p.UQ23(oid, req.K, req.X) })
+	case KindAllNNAt:
+		return filter(func(oid int64) (bool, error) { return p.IsPossibleNNAt(oid, req.T) })
+	case KindAllRankAt:
+		return filter(func(oid int64) (bool, error) { return p.IsPossibleRankKAt(oid, req.T, req.K) })
+	case KindAllThreshold:
+		// The filter domain is the UQ31 survivor set, exactly like the
+		// serial ThresholdNNAll: pruned objects have P^NN identically zero.
+		return listItem(e.filterOIDs(ctx, p.UQ31(), func(oid int64) (bool, error) {
+			return p.ThresholdNN(oid, req.P, req.X, queries.ThresholdConfig{})
+		}))
+	default:
+		return Item{Err: fmt.Errorf("%w: %q", ErrBadKind, req.Kind)}
+	}
+}
+
+// allPairs computes every object's possible-NN set, fanning the per-query
+// envelope preprocessings (the dominant cost) across the worker pool.
+func (e *Engine) allPairs(ctx context.Context, store *mod.Store, req Request) (map[int64][]int64, int, error) {
+	trs := store.All()
+	sets := make([][]int64, len(trs))
+	err := e.forEachIndex(ctx, len(trs), func(i int) error {
+		p, err := prune.ForQueryCtx(ctx, store, trs[i], req.Tb, req.Te)
+		if err != nil {
+			return fmt.Errorf("query %d: %w", trs[i].OID, err)
+		}
+		sets[i] = p.UQ31()
+		return nil
+	})
+	if err != nil {
+		return nil, len(trs), err
+	}
+	out := make(map[int64][]int64, len(trs))
+	for i, tr := range trs {
+		out[tr.OID] = sets[i]
+	}
+	return out, len(trs), nil
+}
+
+// reverse retrieves the objects for which req.OID can be the nearest
+// neighbor, one pruned preprocessing per candidate query trajectory.
+func (e *Engine) reverse(ctx context.Context, store *mod.Store, req Request) ([]int64, int, error) {
+	if _, err := store.Get(req.OID); err != nil {
+		return nil, 0, fmt.Errorf("%w: %d", ErrUnknownOID, req.OID)
+	}
+	trs := store.All()
+	keep := make([]bool, len(trs))
+	err := e.forEachIndex(ctx, len(trs), func(i int) error {
+		q := trs[i]
+		if q.OID == req.OID {
+			return nil
+		}
+		p, err := prune.ForQueryCtx(ctx, store, q, req.Tb, req.Te)
+		if err != nil {
+			return fmt.Errorf("query %d: %w", q.OID, err)
+		}
+		ok, err := p.UQ11(req.OID)
+		if err != nil {
+			return err
+		}
+		keep[i] = ok
+		return nil
+	})
+	if err != nil {
+		return nil, len(trs) - 1, err
+	}
+	var out []int64
+	for i, tr := range trs {
+		if keep[i] {
+			out = append(out, tr.OID)
+		}
+	}
+	return out, len(trs) - 1, nil
+}
+
+// forEachIndex runs fn(0..n-1) on the worker pool, checking ctx between
+// tasks. The first error wins (a context error takes precedence); tasks
+// not yet started are skipped once an error is recorded.
+func (e *Engine) forEachIndex(ctx context.Context, n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		ferr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				mu.Lock()
+				stop := ferr != nil
+				mu.Unlock()
+				if stop {
+					continue
+				}
+				err := ctxErr(ctx)
+				if err == nil {
+					err = fn(i)
+				}
+				if err != nil {
+					mu.Lock()
+					if ferr == nil {
+						ferr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	// Cancellation is batch-fatal and callers match on the context error,
+	// so it takes precedence over whatever task error the race recorded.
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	return ferr
+}

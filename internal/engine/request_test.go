@@ -1,0 +1,287 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/queries"
+)
+
+// TestRequestValidate is the centralized window/parameter validation table:
+// every kind rejects a degenerate window identically, ranked kinds reject
+// k < 1, fraction kinds reject x outside [0, 1].
+func TestRequestValidate(t *testing.T) {
+	allKinds := []Kind{
+		KindUQ11, KindUQ12, KindUQ13, KindUQ21, KindUQ22, KindUQ23,
+		KindUQ31, KindUQ32, KindUQ33, KindUQ41, KindUQ42, KindUQ43,
+		KindNNAt, KindRankAt, KindAllNNAt, KindAllRankAt,
+		KindThreshold, KindAllThreshold, KindAllPairs, KindReverse,
+	}
+	ranked := map[Kind]bool{
+		KindUQ21: true, KindUQ22: true, KindUQ23: true,
+		KindUQ41: true, KindUQ42: true, KindUQ43: true,
+		KindRankAt: true, KindAllRankAt: true,
+	}
+	frac := map[Kind]bool{
+		KindUQ13: true, KindUQ23: true, KindUQ33: true, KindUQ43: true,
+		KindThreshold: true, KindAllThreshold: true,
+	}
+	for _, kind := range allKinds {
+		ok := Request{Kind: kind, QueryOID: 1, Tb: 0, Te: 60, K: 2, X: 0.5, P: 0.5}
+		if err := ok.Validate(); err != nil {
+			t.Errorf("%s: valid request rejected: %v", kind, err)
+		}
+		for _, w := range []struct{ tb, te float64 }{{60, 0}, {10, 10}, {0, -1}} {
+			bad := ok
+			bad.Tb, bad.Te = w.tb, w.te
+			if err := bad.Validate(); !errors.Is(err, ErrBadWindow) {
+				t.Errorf("%s window [%g, %g]: err=%v, want ErrBadWindow", kind, w.tb, w.te, err)
+			}
+		}
+		if ranked[kind] {
+			bad := ok
+			bad.K = 0
+			if err := bad.Validate(); !errors.Is(err, ErrBadRank) {
+				t.Errorf("%s k=0: err=%v, want ErrBadRank", kind, err)
+			}
+		}
+		if frac[kind] {
+			bad := ok
+			bad.X = 1.5
+			if err := bad.Validate(); !errors.Is(err, ErrBadFrac) {
+				t.Errorf("%s x=1.5: err=%v, want ErrBadFrac", kind, err)
+			}
+		}
+	}
+	if err := (Request{Kind: "NOPE", Tb: 0, Te: 60}).Validate(); !errors.Is(err, ErrBadKind) {
+		t.Errorf("unknown kind: err=%v, want ErrBadKind", err)
+	}
+	for _, k := range []Kind{KindThreshold, KindAllThreshold} {
+		bad := Request{Kind: k, QueryOID: 1, Tb: 0, Te: 60, X: 0.5, P: 1.5}
+		if err := bad.Validate(); !errors.Is(err, ErrBadFrac) {
+			t.Errorf("%s p=1.5: err=%v, want ErrBadFrac", k, err)
+		}
+	}
+	// Every route rejects the bad window before touching the store — no
+	// silent empty answers.
+	store, qOID := newStore(t, 20, 1)
+	eng := New(2)
+	if _, err := eng.Do(context.Background(), store, Request{Kind: KindUQ31, QueryOID: qOID, Tb: 60, Te: 0}); !errors.Is(err, ErrBadWindow) {
+		t.Errorf("Do with tb > te: err=%v, want ErrBadWindow", err)
+	}
+}
+
+// TestDoMatchesExec: the deprecated Exec surface and the unified Do must
+// answer identically kind by kind.
+func TestDoMatchesExec(t *testing.T) {
+	store, qOID := newStore(t, 150, 13)
+	eng := New(0)
+	ctx := context.Background()
+	qs := append(batchKinds(),
+		Query{Kind: KindUQ11, OID: qOID + 3},
+		Query{Kind: KindUQ12, OID: qOID + 3},
+		Query{Kind: KindUQ22, OID: qOID + 4, K: 2},
+		Query{Kind: KindNNAt, OID: qOID + 5, T: 20},
+		Query{Kind: KindRankAt, OID: qOID + 5, T: 20, K: 2},
+	)
+	for _, q := range qs {
+		item := eng.Exec(store, qOID, 0, 60, q)
+		res, err := eng.Do(ctx, store, q.request(qOID, 0, 60))
+		if (item.Err == nil) != (err == nil) {
+			t.Fatalf("%s: exec err=%v, do err=%v", q.Kind, item.Err, err)
+		}
+		if item.IsBool != res.IsBool || item.Bool != res.Bool || !reflect.DeepEqual(item.OIDs, res.OIDs) {
+			t.Fatalf("%s: exec %+v != do %+v", q.Kind, item, res)
+		}
+		if res.Explain.Workers != eng.Workers() {
+			t.Fatalf("%s: explain workers %d != %d", q.Kind, res.Explain.Workers, eng.Workers())
+		}
+	}
+	// Explain reports envelope reuse on the second identical request.
+	res, err := eng.Do(ctx, store, Request{Kind: KindUQ31, QueryOID: qOID, Tb: 0, Te: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Explain.MemoHit {
+		t.Error("repeat request did not report a memo hit")
+	}
+	if res.Explain.Candidates == 0 || res.Explain.Survivors == 0 {
+		t.Errorf("explain counters empty: %+v", res.Explain)
+	}
+}
+
+// TestDoThresholdAndExtensions checks the Section 7 kinds against their
+// serial Processor counterparts.
+func TestDoThresholdAndExtensions(t *testing.T) {
+	store, qOID := newStore(t, 16, 17)
+	eng := New(0)
+	ctx := context.Background()
+	proc, err := eng.Processor(store, qOID, 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantAll, err := proc.ThresholdNNAll(0.3, 0.1, queries.ThresholdConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Do(ctx, store, Request{Kind: KindAllThreshold, QueryOID: qOID, Tb: 0, Te: 60, P: 0.3, X: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.OIDs, wantAll) {
+		t.Fatalf("ALLTHRESH: do=%v serial=%v", res.OIDs, wantAll)
+	}
+
+	target := proc.CandidateOIDs()[0]
+	wantOne, err := proc.ThresholdNN(target, 0.3, 0.1, queries.ThresholdConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = eng.Do(ctx, store, Request{Kind: KindThreshold, QueryOID: qOID, Tb: 0, Te: 60, OID: target, P: 0.3, X: 0.1})
+	if err != nil || !res.IsBool || res.Bool != wantOne {
+		t.Fatalf("THRESH(%d): do=%+v err=%v, want %v", target, res, err, wantOne)
+	}
+
+	wantPairs, err := queries.AllPairsPossibleNN(store.All(), 0, 60, store.Radius())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = eng.Do(ctx, store, Request{Kind: KindAllPairs, Tb: 0, Te: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Pairs, wantPairs) {
+		t.Fatalf("ALLPAIRS diverged from serial all-pairs")
+	}
+
+	targetTr, err := store.Get(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRev, err := queries.ReversePossibleNN(store.All(), targetTr, 0, 60, store.Radius())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = eng.Do(ctx, store, Request{Kind: KindReverse, Tb: 0, Te: 60, OID: target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.OIDs, wantRev) {
+		t.Fatalf("REVERSE: do=%v serial=%v", res.OIDs, wantRev)
+	}
+	if _, err := eng.Do(ctx, store, Request{Kind: KindReverse, Tb: 0, Te: 60, OID: 999999}); !errors.Is(err, ErrUnknownOID) {
+		t.Fatalf("REVERSE unknown target: err=%v, want ErrUnknownOID", err)
+	}
+}
+
+// TestMemoLRU: a steadily re-hit key must survive memoCap inserts — the
+// old insertion-order eviction dropped exactly the hottest (oldest) entry.
+func TestMemoLRU(t *testing.T) {
+	store, qOID := newStore(t, 30, 23)
+	eng := New(1)
+	hot, err := eng.Processor(store, qOID, 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < memoCap+8; i++ {
+		// A distinct window per iteration forces a fresh memo entry...
+		if _, err := eng.Processor(store, qOID, 0, 10+float64(i)/10); err != nil {
+			t.Fatal(err)
+		}
+		// ...while the hot key is touched every time.
+		got, err := eng.Processor(store, qOID, 0, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != hot {
+			t.Fatalf("hot key evicted after %d inserts (LRU regression)", i+1)
+		}
+	}
+	if n := eng.MemoLen(); n > memoCap {
+		t.Fatalf("memo grew to %d > cap %d", n, memoCap)
+	}
+}
+
+// TestDoBatchCancellation: a context canceled mid-batch surfaces
+// context.Canceled and leaves the store (and engine) usable.
+func TestDoBatchCancellation(t *testing.T) {
+	store, qOID := newStore(t, 200, 29)
+	eng := New(2)
+
+	// Deterministic: an already-canceled context does no work.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.DoBatch(ctx, store, []Request{{Kind: KindUQ31, QueryOID: qOID, Tb: 0, Te: 60}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled batch: err=%v, want context.Canceled", err)
+	}
+
+	// Mid-batch: cancel while the batch is grinding through distinct
+	// windows (each one a fresh preprocessing).
+	reqs := make([]Request, 200)
+	for i := range reqs {
+		reqs[i] = Request{Kind: KindUQ31, QueryOID: qOID, Tb: 0, Te: 30 + float64(i)/100}
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel2()
+	}()
+	results, err := eng.DoBatch(ctx2, store, reqs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-batch cancel: err=%v, want context.Canceled", err)
+	}
+	if len(results) == len(reqs) {
+		t.Log("batch completed before cancel fired (machine unusually fast); result-length check skipped")
+	}
+
+	// The store and engine remain fully usable with a live context.
+	res, err := eng.Do(context.Background(), store, Request{Kind: KindUQ31, QueryOID: qOID, Tb: 0, Te: 60})
+	if err != nil || res.Err != nil {
+		t.Fatalf("engine unusable after cancellation: %v / %v", err, res.Err)
+	}
+}
+
+// TestFilterCancellationBetweenTasks: the worker pool observes ctx between
+// per-OID tasks (deterministically, by canceling from inside a task).
+func TestFilterCancellationBetweenTasks(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		eng := New(workers)
+		ctx, cancel := context.WithCancel(context.Background())
+		oids := make([]int64, 64)
+		for i := range oids {
+			oids[i] = int64(i)
+		}
+		ran := 0
+		_, err := eng.filterOIDs(ctx, oids, func(oid int64) (bool, error) {
+			ran++
+			cancel()
+			return true, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err=%v, want context.Canceled", workers, err)
+		}
+		if ran == len(oids) {
+			t.Errorf("workers=%d: all %d tasks ran despite cancellation", workers, ran)
+		}
+		cancel()
+	}
+}
+
+// TestCanceledBuildDoesNotPoisonMemo: a preprocessing aborted by its
+// context must not stick in the memo as a permanent error.
+func TestCanceledBuildDoesNotPoisonMemo(t *testing.T) {
+	store, qOID := newStore(t, 150, 43)
+	eng := New(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := eng.processor(ctx, store, qOID, 0, 60); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled build: err=%v, want context.Canceled", err)
+	}
+	if _, _, err := eng.processor(context.Background(), store, qOID, 0, 60); err != nil {
+		t.Fatalf("memo poisoned by canceled build: %v", err)
+	}
+}

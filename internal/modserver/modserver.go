@@ -18,23 +18,31 @@
 //	{"op":"delete","oid":1}                        → {"ok":true}
 //	{"op":"uql","query":"SELECT ..."}              → {"ok":true,"bool":b} or {"ok":true,"oids":[...]}
 //	{"op":"batch","queries":["SELECT ...", ...]}   → {"ok":true,"results":[{"ok":true,"bool":b}|{"ok":true,"oids":[...]}|{"error":"..."},...]}
+//	{"op":"query","requests":[{"kind":"UQ31",
+//	 "query_oid":1,"tb":0,"te":60}, ...],
+//	 "deadline_ms":500}                            → {"ok":true,"answers":[{"ok":true,"oids":[...],"explain":{...}},...]}
 //	{"op":"trip","oid":9,"waypoints":[[x,y],...],
 //	 "start":0,"speed":0.5}                        → {"ok":true,"oid":9,"verts":[...]} (plans and inserts)
 //
-// The batch op evaluates a multi-statement UQL script through the
-// concurrent batch engine: statements sharing a query trajectory and
-// window share one envelope preprocessing, and whole-MOD statements fan
-// per-object work across a worker pool. Per-statement failures are
-// reported inside results; the batch itself still replies ok.
+// The query op is the unified route: it carries engine.Request descriptors
+// verbatim on the wire, evaluates them through Engine.DoBatch, and returns
+// one answer per request with its Explain provenance. deadline_ms (> 0)
+// bounds the whole batch with a context deadline honored inside the worker
+// pool and the preprocessing — an expired deadline fails the op with a
+// context error instead of hogging the server. The uql and batch ops are
+// thin adapters over the same engine route: statements compile to Requests
+// where possible, so they share the memoized preprocessing with query ops.
 package modserver
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/geom"
@@ -60,6 +68,25 @@ type Request struct {
 	Waypoints [][2]float64 `json:"waypoints,omitempty"`
 	Start     float64      `json:"start,omitempty"`
 	Speed     float64      `json:"speed,omitempty"`
+
+	// Requests carries unified query descriptors for the "query" op —
+	// the engine.Request contract, forwarded verbatim.
+	Requests []engine.Request `json:"requests,omitempty"`
+	// DeadlineMS (> 0) bounds the "query" op end to end: the server
+	// evaluates under a context deadline and fails the op with a context
+	// error once it expires.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// Answer is one engine.Request's outcome inside a "query" response.
+type Answer struct {
+	OK      bool              `json:"ok"`
+	Error   string            `json:"error,omitempty"`
+	IsBool  bool              `json:"is_bool,omitempty"`
+	Bool    *bool             `json:"bool,omitempty"`
+	OIDs    []int64           `json:"oids,omitempty"`
+	Pairs   map[int64][]int64 `json:"pairs,omitempty"`
+	Explain *engine.Explain   `json:"explain,omitempty"`
 }
 
 // BatchEntry is one statement's outcome inside a batch response.
@@ -81,6 +108,7 @@ type Response struct {
 	Bool    *bool        `json:"bool,omitempty"`
 	OIDs    []int64      `json:"oids,omitempty"`
 	Results []BatchEntry `json:"results,omitempty"`
+	Answers []Answer     `json:"answers,omitempty"`
 }
 
 // Server serves a store over a listener. Batch queries run through one
@@ -252,6 +280,8 @@ func (s *Server) dispatch(req Request) Response {
 			oids = []int64{}
 		}
 		return Response{OK: true, OIDs: oids}
+	case "query":
+		return s.doQuery(req)
 	case "batch":
 		items := uql.RunBatch(req.Queries, s.store, s.engine)
 		entries := make([]BatchEntry, len(items))
@@ -275,6 +305,46 @@ func (s *Server) dispatch(req Request) Response {
 	default:
 		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
+}
+
+// doQuery evaluates a batch of unified requests under the optional
+// deadline. Per-request failures are reported inside answers; an expired
+// deadline (or canceled batch) fails the whole op with the context error.
+func (s *Server) doQuery(req Request) Response {
+	ctx := context.Background()
+	if req.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+	results, err := s.engine.DoBatch(ctx, s.store, req.Requests)
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	answers := make([]Answer, len(results))
+	for i, r := range results {
+		a := Answer{OK: r.Err == nil}
+		if r.Err != nil {
+			a.Error = r.Err.Error()
+			answers[i] = a
+			continue
+		}
+		ex := r.Explain
+		a.Explain = &ex
+		switch {
+		case r.IsBool:
+			b := r.Bool
+			a.IsBool, a.Bool = true, &b
+		case r.Pairs != nil:
+			a.Pairs = r.Pairs
+		default:
+			// omitempty drops empty OID lists from the wire; the client
+			// reads an absent key as an empty retrieval.
+			a.OIDs = r.OIDs
+		}
+		answers[i] = a
+	}
+	return Response{OK: true, Answers: answers}
 }
 
 // Client is a synchronous protocol client. Not safe for concurrent use;
@@ -404,6 +474,53 @@ func (c *Client) UQL(query string) (uql.Result, error) {
 		return uql.Result{IsBool: true, Bool: *resp.Bool}, nil
 	}
 	return uql.Result{OIDs: resp.OIDs}, nil
+}
+
+// Query evaluates unified engine.Request descriptors remotely through the
+// server's Engine.DoBatch, under an optional server-side deadline
+// (deadline <= 0 means none). One Result comes back per request, in
+// order, with Explain provenance; per-request failures are reported in
+// the matching Result.Err. An expired deadline fails the whole call with
+// the server's context error.
+func (c *Client) Query(reqs []engine.Request, deadline time.Duration) ([]engine.Result, error) {
+	wire := Request{Op: "query", Requests: reqs}
+	if deadline > 0 {
+		wire.DeadlineMS = int64(deadline / time.Millisecond)
+		if wire.DeadlineMS == 0 {
+			wire.DeadlineMS = 1
+		}
+	}
+	resp, err := c.roundTrip(wire)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Answers) != len(reqs) {
+		return nil, fmt.Errorf("modserver: query returned %d answers for %d requests",
+			len(resp.Answers), len(reqs))
+	}
+	out := make([]engine.Result, len(resp.Answers))
+	for i, a := range resp.Answers {
+		out[i].Kind = reqs[i].Kind
+		if !a.OK {
+			out[i].Err = errors.New(a.Error)
+			continue
+		}
+		if a.Explain != nil {
+			out[i].Explain = *a.Explain
+		}
+		switch {
+		case a.IsBool:
+			out[i].IsBool = true
+			if a.Bool != nil {
+				out[i].Bool = *a.Bool
+			}
+		case a.Pairs != nil:
+			out[i].Pairs = a.Pairs
+		default:
+			out[i].OIDs = a.OIDs
+		}
+	}
+	return out, nil
 }
 
 // Batch runs a multi-statement UQL script remotely through the server's

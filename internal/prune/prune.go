@@ -26,6 +26,7 @@
 package prune
 
 import (
+	"context"
 	"math"
 	"slices"
 
@@ -67,13 +68,35 @@ type Stats struct {
 // contains q's own OID. On a concurrent store mutation mid-pass the
 // function degrades to "keep everything", which is always sound.
 func Candidates(store *mod.Store, q *trajectory.Trajectory, tb, te float64) ([]int64, Stats, error) {
+	return CandidatesCtx(context.Background(), store, q, tb, te)
+}
+
+// CandidatesCtx is Candidates under a context, checked once per time
+// slice of the sweep.
+func CandidatesCtx(ctx context.Context, store *mod.Store, q *trajectory.Trajectory, tb, te float64) ([]int64, Stats, error) {
 	v0 := store.Version()
 	trs := store.All()
 	idx := store.BuildIndex(0)
 	if store.Version() != v0 {
 		return allOIDs(trs, q.OID), statsAll(trs, q.OID), nil
 	}
-	return candidates(trs, idx, store.Radius(), q, tb, te)
+	return candidates(ctx, trs, idx, store.Radius(), q, tb, te, 1)
+}
+
+// CandidatesRank generalizes Candidates to rank k: the returned superset
+// covers every object whose difference-distance function can come within
+// the 4r zone of the Level-k lower envelope somewhere in the window. The
+// per-slice upper bound probes the index for the k nearest entries and
+// takes the k-th smallest exact maximum distance — at any instant those k
+// functions all sit below it, so so does the pointwise k-th smallest.
+func CandidatesRank(store *mod.Store, q *trajectory.Trajectory, tb, te float64, k int) ([]int64, Stats, error) {
+	v0 := store.Version()
+	trs := store.All()
+	idx := store.BuildIndex(0)
+	if store.Version() != v0 {
+		return allOIDs(trs, q.OID), statsAll(trs, q.OID), nil
+	}
+	return candidates(context.Background(), trs, idx, store.Radius(), q, tb, te, k)
 }
 
 // ForQuery builds an index-pruned queries.Processor for q over [tb, te]
@@ -82,32 +105,57 @@ func Candidates(store *mod.Store, q *trajectory.Trajectory, tb, te float64) ([]i
 // answer identically to queries.NewProcessor(store.All(), ...), including
 // error behavior.
 func ForQuery(store *mod.Store, q *trajectory.Trajectory, tb, te float64) (*queries.Processor, error) {
+	return ForQueryCtx(context.Background(), store, q, tb, te)
+}
+
+// ForQueryCtx is ForQuery under a context: the candidate sweep checks it
+// per slice and the processor construction per candidate, so canceling a
+// request stops the O(N) preprocessing early. The returned processor
+// carries a rank expander over the same snapshot, so rank-k queries
+// (k >= 2) grow the survivor basis by re-probing the index at rank k
+// instead of falling back to the lazy full function build.
+func ForQueryCtx(ctx context.Context, store *mod.Store, q *trajectory.Trajectory, tb, te float64) (*queries.Processor, error) {
 	v0 := store.Version()
 	trs := store.All()
 	idx := store.BuildIndex(0)
+	r := store.Radius()
 	if store.Version() != v0 {
 		// A mutation slipped between the snapshot and the index build;
 		// the full-scan construction over this snapshot is always sound.
-		return queries.NewProcessor(trs, q, tb, te, store.Radius())
+		return queries.NewProcessor(trs, q, tb, te, r)
 	}
-	survivors, _, err := candidates(trs, idx, store.Radius(), q, tb, te)
+	survivors, _, err := candidates(ctx, trs, idx, r, q, tb, te, 1)
 	if err != nil {
 		return nil, err
 	}
-	return queries.NewProcessorPruned(trs, q, tb, te, store.Radius(), survivors)
+	proc, err := queries.NewProcessorPrunedCtx(ctx, trs, q, tb, te, r, survivors)
+	if err != nil {
+		return nil, err
+	}
+	proc.SetRankExpander(func(ctx context.Context, k int) ([]int64, error) {
+		ids, _, err := candidates(ctx, trs, idx, r, q, tb, te, k)
+		return ids, err
+	})
+	return proc, nil
 }
 
 // NewProcessor is ForQuery with the query trajectory looked up by OID.
 func NewProcessor(store *mod.Store, qOID int64, tb, te float64) (*queries.Processor, error) {
+	return NewProcessorCtx(context.Background(), store, qOID, tb, te)
+}
+
+// NewProcessorCtx is NewProcessor under a context.
+func NewProcessorCtx(ctx context.Context, store *mod.Store, qOID int64, tb, te float64) (*queries.Processor, error) {
 	q, err := store.Get(qOID)
 	if err != nil {
 		return nil, err
 	}
-	return ForQuery(store, q, tb, te)
+	return ForQueryCtx(ctx, store, q, tb, te)
 }
 
-// candidates runs the slice sweep over one consistent snapshot.
-func candidates(trs []*trajectory.Trajectory, idx *sindex.RTree, r float64, q *trajectory.Trajectory, tb, te float64) ([]int64, Stats, error) {
+// candidates runs the slice sweep over one consistent snapshot, bounding
+// the Level-k envelope per slice (k == 1 is the classic pass).
+func candidates(ctx context.Context, trs []*trajectory.Trajectory, idx *sindex.RTree, r float64, q *trajectory.Trajectory, tb, te float64, k int) ([]int64, Stats, error) {
 	st := Stats{Candidates: candidateCount(trs, q.OID)}
 	if te-tb <= 0 || st.Candidates == 0 {
 		// Degenerate window or nothing to prune: keep everything and let
@@ -122,15 +170,25 @@ func candidates(trs []*trajectory.Trajectory, idx *sindex.RTree, r float64, q *t
 	}
 	width := 4*r + Margin
 	cuts := sliceTimes(q, tb, te, targetSlices)
+	// The rank-k bound needs the k-th smallest probe distance, so probe a
+	// few extra neighbors beyond k to keep the bound tight.
+	probes := kProbe
+	if k+4 > probes {
+		probes = k + 4
+	}
 	survivors := make(map[int64]struct{})
+	dists := make([]float64, 0, probes)
 	for i := 1; i < len(cuts); i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, st, err
+		}
 		t0, t1 := cuts[i-1], cuts[i]
 		st.Slices++
 		a, b := q.At(t0), q.At(t1)
 		qbox := geom.AABBOf(a, b)
 		mid := 0.5 * (t0 + t1)
-		u := math.Inf(1)
-		for _, nb := range idx.KNN(q.At(mid), mid, kProbe) {
+		dists = dists[:0]
+		for _, nb := range idx.KNN(q.At(mid), mid, probes) {
 			if nb.ID == q.OID {
 				continue
 			}
@@ -139,9 +197,16 @@ func candidates(trs []*trajectory.Trajectory, idx *sindex.RTree, r float64, q *t
 				continue
 			}
 			st.Probes++
-			if d := maxDistOverSlice(tr, q, t0, t1); d < u {
-				u = d
-			}
+			dists = append(dists, maxDistOverSlice(tr, q, t0, t1))
+		}
+		// u bounds the Level-k envelope over the slice: the k probes with
+		// the smallest exact maximum distance each stay below the k-th
+		// smallest value throughout the slice, so at every instant at
+		// least k functions — and hence the pointwise k-th smallest — do.
+		u := math.Inf(1)
+		if len(dists) >= k {
+			slices.Sort(dists)
+			u = dists[k-1]
 		}
 		if math.IsInf(u, 1) {
 			// No usable probe (should not happen on a covering snapshot):

@@ -20,8 +20,10 @@
 package queries
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"slices"
 	"sync"
 
@@ -62,16 +64,33 @@ type Processor struct {
 
 	// pruned marks candidates excluded by the index pre-pass (nil in full
 	// mode). Their Level-1 answers are known without a distance function;
-	// rank-k, guaranteed-NN and threshold paths lazily build the full set.
+	// deeper ranks grow the basis below.
 	pruned map[int64]bool
 
-	mu       sync.Mutex
-	levels   []*envelope.Envelope // levels[0] == env1, grown on demand
-	allFns   []*envelope.DistanceFunc
-	fullByID map[int64]*envelope.DistanceFunc
-	lazyTrs  []*trajectory.Trajectory // inputs of the lazy full build
+	// The rank basis: the function set the k-level envelopes are built
+	// over, guarded by mu. In full mode it is the complete candidate set
+	// from construction (basisRank unbounded). In pruned mode it starts as
+	// the Level-1 survivors (basisRank 1) and grows on demand — through
+	// the rank expander when one is attached (the index-probed rank-k
+	// survivor superset, see SetRankExpander), otherwise through the lazy
+	// full build. Envelope values over any conservative rank-k superset
+	// match the full set for every level <= k, because a function outside
+	// the widened rank-k zone is never among the k pointwise smallest.
+	mu         sync.Mutex
+	levels     []*envelope.Envelope // levels[0] == env1, grown on demand
+	basisFns   []*envelope.DistanceFunc
+	basisByID  map[int64]*envelope.DistanceFunc
+	basisRank  int // ranks 1..basisRank answer exactly over the basis
+	expand     func(ctx context.Context, k int) ([]int64, error)
+	fullBuilds int // lazy full builds performed (observability)
+
+	lazyTrs  []*trajectory.Trajectory // inputs of lazy basis growth
 	lazyQ    *trajectory.Trajectory
+	lazyByID map[int64]*trajectory.Trajectory // built on first basis growth
 }
+
+// fullRank marks a basis covering every rank (the complete function set).
+const fullRank = math.MaxInt
 
 // NewProcessor builds the envelope preprocessing for the query trajectory
 // q over [tb, te] with shared uncertainty radius r.
@@ -100,8 +119,8 @@ func NewProcessor(trs []*trajectory.Trajectory, q *trajectory.Trajectory, tb, te
 	return &Processor{
 		QueryOID: q.OID, Tb: tb, Te: te, R: r,
 		fns: fns, byID: byID, oids: oids, env1: env1,
-		levels: []*envelope.Envelope{env1},
-		allFns: fns, fullByID: byID,
+		levels:   []*envelope.Envelope{env1},
+		basisFns: fns, basisByID: byID, basisRank: fullRank,
 	}, nil
 }
 
@@ -118,6 +137,13 @@ func NewProcessor(trs []*trajectory.Trajectory, q *trajectory.Trajectory, tb, te
 // guaranteed-NN and threshold paths — whose envelopes depend on the whole
 // candidate set — lazily build the complete function set on first use.
 func NewProcessorPruned(trs []*trajectory.Trajectory, q *trajectory.Trajectory, tb, te, r float64, survivors []int64) (*Processor, error) {
+	return NewProcessorPrunedCtx(context.Background(), trs, q, tb, te, r, survivors)
+}
+
+// NewProcessorPrunedCtx is NewProcessorPruned with construction-time
+// context checks: the per-candidate distance-function build loop is where
+// the O(survivors · m) work happens, so a canceled request stops there.
+func NewProcessorPrunedCtx(ctx context.Context, trs []*trajectory.Trajectory, q *trajectory.Trajectory, tb, te, r float64, survivors []int64) (*Processor, error) {
 	if r <= 0 {
 		return nil, fmt.Errorf("queries: nonpositive radius %g", r)
 	}
@@ -133,6 +159,9 @@ func NewProcessorPruned(trs []*trajectory.Trajectory, q *trajectory.Trajectory, 
 	for _, tr := range trs {
 		if tr.OID == q.OID {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		// Validate every candidate against the window — including pruned
 		// ones — so construction fails exactly when the full build would.
@@ -170,10 +199,35 @@ func NewProcessorPruned(trs []*trajectory.Trajectory, q *trajectory.Trajectory, 
 	return &Processor{
 		QueryOID: q.OID, Tb: tb, Te: te, R: r,
 		fns: fns, byID: byID, oids: oids, env1: env1,
-		pruned:  pruned,
-		levels:  []*envelope.Envelope{env1},
+		pruned:   pruned,
+		levels:   []*envelope.Envelope{env1},
+		basisFns: fns, basisByID: byID, basisRank: 1,
 		lazyTrs: trs, lazyQ: q,
 	}, nil
+}
+
+// SetRankExpander attaches the rank-k survivor oracle of the index layer:
+// expand(ctx, k) must return a conservative superset of every candidate
+// whose difference-distance function comes within the 4r zone of the
+// Level-k envelope somewhere in the window. With an expander attached, a
+// rank-k query (k >= 2) grows the basis to the rank-k survivors instead of
+// falling back to the lazy full build. No-op on a full-scan processor.
+func (p *Processor) SetRankExpander(expand func(ctx context.Context, k int) ([]int64, error)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.basisRank == fullRank {
+		return
+	}
+	p.expand = expand
+}
+
+// FullBuilds reports how many lazy full function-set builds the processor
+// has performed — 0 when every deep-rank query was served by the rank
+// expander (observability for the rank-aware pruning gate).
+func (p *Processor) FullBuilds() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fullBuilds
 }
 
 // PrunedCount reports how many candidates the index pre-pass excluded
@@ -183,37 +237,135 @@ func (p *Processor) PrunedCount() int { return len(p.pruned) }
 // ensureFull returns the complete distance-function set, building it (and
 // its OID table) on first use in pruned mode. The returned slice and map
 // are write-once: callers use the returned references, never the fields.
-func (p *Processor) ensureFull() ([]*envelope.DistanceFunc, map[int64]*envelope.DistanceFunc, error) {
+func (p *Processor) ensureFull(ctx context.Context) ([]*envelope.DistanceFunc, map[int64]*envelope.DistanceFunc, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.ensureFullLocked()
+	return p.ensureFullLocked(ctx)
 }
 
-func (p *Processor) ensureFullLocked() ([]*envelope.DistanceFunc, map[int64]*envelope.DistanceFunc, error) {
-	if p.allFns != nil {
-		return p.allFns, p.fullByID, nil
+func (p *Processor) ensureFullLocked(ctx context.Context) ([]*envelope.DistanceFunc, map[int64]*envelope.DistanceFunc, error) {
+	if p.basisRank == fullRank {
+		return p.basisFns, p.basisByID, nil
 	}
-	fns, err := envelope.BuildDistanceFuncs(p.lazyTrs, p.lazyQ, p.Tb, p.Te)
-	if err != nil {
-		return nil, nil, err
-	}
-	byID := make(map[int64]*envelope.DistanceFunc, len(fns))
-	for _, f := range fns {
+	// Complete the basis, reusing already-built survivor functions and
+	// checking ctx between the per-candidate builds (the expensive part of
+	// a lazy full build).
+	fns := make([]*envelope.DistanceFunc, 0, len(p.oids))
+	byID := make(map[int64]*envelope.DistanceFunc, len(p.oids))
+	for _, tr := range p.lazyTrs {
+		if tr.OID == p.lazyQ.OID {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		f, ok := p.basisByID[tr.OID]
+		if !ok {
+			var err error
+			f, err = envelope.NewDistanceFunc(tr.OID, tr, p.lazyQ, p.Tb, p.Te)
+			if err != nil {
+				return nil, nil, fmt.Errorf("oid %d: %w", tr.OID, err)
+			}
+		}
+		fns = append(fns, f)
 		byID[f.ID] = f
 	}
-	p.allFns, p.fullByID = fns, byID
+	wasComplete := len(p.basisFns) == len(fns)
+	p.basisFns, p.basisByID, p.basisRank = fns, byID, fullRank
+	p.fullBuilds++
+	if !wasComplete {
+		// Deeper levels were built over the smaller basis; level() rebuilds
+		// them over the completed set on next use.
+		p.levels = p.levels[:1]
+	}
 	return fns, byID, nil
+}
+
+// growBasisLocked guarantees the basis answers ranks 1..k exactly. With a
+// rank expander attached it unions in the index-probed rank-k survivors
+// (building distance functions only for the newcomers); otherwise it
+// degrades to the lazy full build. Caller holds p.mu.
+func (p *Processor) growBasisLocked(ctx context.Context, k int) error {
+	if k <= p.basisRank {
+		return nil
+	}
+	if p.expand == nil {
+		_, _, err := p.ensureFullLocked(ctx)
+		return err
+	}
+	ids, err := p.expand(ctx, k)
+	if err != nil {
+		return err
+	}
+	if p.lazyByID == nil {
+		p.lazyByID = make(map[int64]*trajectory.Trajectory, len(p.lazyTrs))
+		for _, tr := range p.lazyTrs {
+			p.lazyByID[tr.OID] = tr
+		}
+	}
+	var added []*envelope.DistanceFunc
+	for _, id := range ids {
+		if _, ok := p.basisByID[id]; ok || id == p.QueryOID {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		tr, ok := p.lazyByID[id]
+		if !ok {
+			continue // expander over a different snapshot; ignore strangers
+		}
+		f, err := envelope.NewDistanceFunc(id, tr, p.lazyQ, p.Tb, p.Te)
+		if err != nil {
+			return fmt.Errorf("oid %d: %w", id, err)
+		}
+		added = append(added, f)
+	}
+	if len(added) > 0 {
+		// Copy-on-write: byID (== the initial basisByID) is read lock-free
+		// by the Level-1 paths, so mutate a clone, never the original.
+		byID := make(map[int64]*envelope.DistanceFunc, len(p.basisByID)+len(added))
+		for id, f := range p.basisByID {
+			byID[id] = f
+		}
+		fns := make([]*envelope.DistanceFunc, 0, len(p.basisFns)+len(added))
+		fns = append(fns, p.basisFns...)
+		for _, f := range added {
+			fns = append(fns, f)
+			byID[f.ID] = f
+		}
+		// Canonical function order keeps envelope construction independent
+		// of the order survivors were discovered in.
+		slices.SortFunc(fns, func(a, b *envelope.DistanceFunc) int {
+			switch {
+			case a.ID < b.ID:
+				return -1
+			case a.ID > b.ID:
+				return 1
+			}
+			return 0
+		})
+		p.basisFns, p.basisByID = fns, byID
+		// Deeper levels were built over the smaller basis.
+		p.levels = p.levels[:1]
+	}
+	p.basisRank = k
+	return nil
 }
 
 // scanFns returns the function set a whole-MOD retrieval must scan for
 // rank k: the Level-1 zone only ever admits survivors, while deeper levels
-// are built over — and must be compared against — the complete set.
+// must be compared against the (possibly grown) rank-k basis.
 func (p *Processor) scanFns(k int) ([]*envelope.DistanceFunc, error) {
 	if k <= 1 || p.pruned == nil {
 		return p.fns, nil
 	}
-	all, _, err := p.ensureFull()
-	return all, err
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.growBasisLocked(context.Background(), k); err != nil {
+		return nil, err
+	}
+	return p.basisFns, nil
 }
 
 // Envelope returns the Level-1 lower envelope.
@@ -222,21 +374,24 @@ func (p *Processor) Envelope() *envelope.Envelope { return p.env1 }
 // width returns the pruning-zone width 4r.
 func (p *Processor) width() float64 { return 4 * p.R }
 
-// level returns the k-th envelope, building levels lazily. Levels beyond
-// the first depend on the whole candidate set, so a pruned processor
-// completes its function set before the first k-level construction.
+// level returns the k-th envelope, building levels lazily over the rank
+// basis (grown to cover rank k first — via the rank expander when one is
+// attached, else the lazy full build).
 func (p *Processor) level(k int) (*envelope.Envelope, error) {
+	return p.levelCtx(context.Background(), k)
+}
+
+func (p *Processor) levelCtx(ctx context.Context, k int) (*envelope.Envelope, error) {
 	if k < 1 {
 		return nil, ErrBadRank
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if k > len(p.levels) && len(p.levels) < len(p.oids) {
-		all, _, err := p.ensureFullLocked()
-		if err != nil {
-			return nil, err
-		}
-		lv, err := envelope.KLevelEnvelopes(all, p.Tb, p.Te, k)
+	if err := p.growBasisLocked(ctx, k); err != nil {
+		return nil, err
+	}
+	if k > len(p.levels) && len(p.levels) < len(p.basisFns) {
+		lv, err := envelope.KLevelEnvelopes(p.basisFns, p.Tb, p.Te, k)
 		if err != nil {
 			return nil, err
 		}
@@ -245,6 +400,9 @@ func (p *Processor) level(k int) (*envelope.Envelope, error) {
 	if k > len(p.levels) {
 		// Fewer functions than k: the deepest available level is the
 		// correct bound (an object within 4r of it can be ranked <= k).
+		// The basis always carries at least min(k, N) functions — at every
+		// instant the k pointwise-smallest functions sit inside the rank-k
+		// zone, so a conservative survivor superset keeps them all.
 		return p.levels[len(p.levels)-1], nil
 	}
 	return p.levels[k-1], nil
@@ -259,6 +417,14 @@ func (p *Processor) EnsureLevels(k int) error {
 	return err
 }
 
+// EnsureLevelsCtx is EnsureLevels under a context: basis growth and the
+// k-level construction are the expensive lazy steps of a ranked query, so
+// a canceled request stops inside them instead of completing the build.
+func (p *Processor) EnsureLevelsCtx(ctx context.Context, k int) error {
+	_, err := p.levelCtx(ctx, k)
+	return err
+}
+
 // CandidateOIDs returns the sorted OIDs of the non-query objects the
 // processor evaluates — the iteration domain of the whole-MOD Categories 3
 // and 4, exposed so external executors can shard it into per-OID tasks.
@@ -268,6 +434,10 @@ func (p *Processor) CandidateOIDs() []int64 {
 	copy(out, p.oids)
 	return out
 }
+
+// CandidateCount reports the number of non-query candidates without
+// copying the OID list (Explain accounting on the query hot path).
+func (p *Processor) CandidateCount() int { return len(p.oids) }
 
 // fn returns the object's distance function, erroring on unknown OIDs and
 // on pruned candidates (which have none built). Level-1 query paths use
@@ -322,17 +492,33 @@ func (p *Processor) PossibleRankKIntervals(oid int64, k int) ([]envelope.TimeInt
 		if k == 1 {
 			return nil, nil // Level-1 zone membership is empty by the pre-pass
 		}
-		_, byID, err := p.ensureFull()
+		f, err = p.rankFn(oid, k)
 		if err != nil {
 			return nil, err
 		}
-		f = byID[oid]
+		if f == nil {
+			// Outside the rank-k basis: the pre-pass guarantees the
+			// function never enters the Level-k zone either.
+			return nil, nil
+		}
 	}
 	env, err := p.level(k)
 	if err != nil {
 		return nil, err
 	}
 	return envelope.BelowIntervals(f, env, p.width()), nil
+}
+
+// rankFn returns the distance function a Level-1-pruned candidate has in
+// the rank-k basis, growing the basis as needed. nil means the object is
+// provably outside the rank-k zone.
+func (p *Processor) rankFn(oid int64, k int) (*envelope.DistanceFunc, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.growBasisLocked(context.Background(), k); err != nil {
+		return nil, err
+	}
+	return p.basisByID[oid], nil
 }
 
 // --- Category 1: single-trajectory predicates ---
@@ -575,7 +761,7 @@ func (p *Processor) GuaranteedNNIntervals(oid int64) ([]envelope.TimeInterval, e
 	// The certain-NN test compares against the lower envelope of *all*
 	// other objects, which pruned functions can define (they are far from
 	// the query, exactly what certifies someone else as the NN).
-	all, _, err := p.ensureFull()
+	all, _, err := p.ensureFull(context.Background())
 	if err != nil {
 		return nil, err
 	}
@@ -597,11 +783,13 @@ func (p *Processor) IsPossibleRankKAt(oid int64, tf float64, k int) (bool, error
 		if k == 1 {
 			return false, nil // outside the Level-1 zone by the pre-pass
 		}
-		_, byID, err := p.ensureFull()
+		f, err = p.rankFn(oid, k)
 		if err != nil {
 			return false, err
 		}
-		f = byID[oid]
+		if f == nil {
+			return false, nil // outside the rank-k zone by the pre-pass
+		}
 	}
 	return f.Value(tf) <= env.ValueAt(tf)+p.width()+envelope.TimeEps, nil
 }

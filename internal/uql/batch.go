@@ -1,6 +1,7 @@
 package uql
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/engine"
@@ -15,15 +16,30 @@ type BatchItem struct {
 }
 
 // RunBatch parses and evaluates a multi-statement UQL script against the
-// store through the batch engine: statements sharing a query trajectory and
-// window share one memoized preprocessing, and whole-MOD statements
+// store through the batch engine: every statement compiles to an
+// engine.Request where possible, so statements sharing a query trajectory
+// and window share one memoized preprocessing and whole-MOD statements
 // (Categories 3/4) fan their per-object candidate checks across the
-// engine's worker pool. A nil engine degrades to serial per-statement Run.
+// engine's worker pool. A nil engine evaluates serially (one worker)
+// through a throwaway engine scoped to the call.
 func RunBatch(srcs []string, store *mod.Store, eng *engine.Engine) []BatchItem {
+	return RunBatchCtx(context.Background(), srcs, store, eng)
+}
+
+// RunBatchCtx is RunBatch under a context: cancellation stops between
+// statements and inside each statement's evaluation (worker pool, index
+// pre-pass, lazy envelope builds). A canceled context fails the remaining
+// statements with the context error.
+func RunBatchCtx(ctx context.Context, srcs []string, store *mod.Store, eng *engine.Engine) []BatchItem {
+	if eng == nil {
+		// Throwaway serial engine: statements within this call still share
+		// its memo; nothing outlives the call.
+		eng = serialEngine()
+	}
 	out := make([]BatchItem, len(srcs))
 	for i, src := range srcs {
-		if eng == nil {
-			out[i].Result, out[i].Err = Run(src, store)
+		if err := ctx.Err(); err != nil {
+			out[i].Err = err
 			continue
 		}
 		st, err := Parse(src)
@@ -31,77 +47,83 @@ func RunBatch(srcs []string, store *mod.Store, eng *engine.Engine) []BatchItem {
 			out[i].Err = err
 			continue
 		}
-		out[i] = evalWithEngine(st, store, eng)
+		out[i] = evalWithEngine(ctx, st, store, eng)
 	}
 	return out
 }
 
-// evalWithEngine evaluates one parsed statement through the engine. The
-// possible-NN statements map onto engine query kinds (parallel for
-// whole-MOD retrieval); the threshold and certain predicates have no engine
-// kind yet, but still share the memoized processor.
-func evalWithEngine(st *Stmt, store *mod.Store, eng *engine.Engine) BatchItem {
+// evalWithEngine evaluates one parsed statement through the engine's
+// unified route: statements that compile to a Request go through
+// Engine.Do; the threshold (`> p`) and CertainNN predicates — whose
+// quantifier forms have no Request kind — still share the memoized
+// processor.
+func evalWithEngine(ctx context.Context, st *Stmt, store *mod.Store, eng *engine.Engine) BatchItem {
 	fail := func(err error) BatchItem {
 		return BatchItem{Err: fmt.Errorf("%w: %v", ErrEval, err)}
 	}
-	if q, ok := stmtQuery(st); ok {
-		item := eng.Exec(store, st.QueryOID, st.Tb, st.Te, q)
-		if item.Err != nil {
-			return fail(item.Err)
+	if req, ok := Compile(st); ok {
+		res, err := eng.Do(ctx, store, req)
+		if err != nil {
+			return fail(err)
 		}
-		if item.IsBool {
-			return BatchItem{Result: Result{IsBool: true, Bool: item.Bool}}
+		if res.IsBool {
+			return BatchItem{Result: Result{IsBool: true, Bool: res.Bool}}
 		}
-		return BatchItem{Result: Result{OIDs: item.OIDs}}
+		return BatchItem{Result: Result{OIDs: res.OIDs}}
 	}
-	proc, err := eng.Processor(store, st.QueryOID, st.Tb, st.Te)
+	proc, err := eng.ProcessorCtx(ctx, store, st.QueryOID, st.Tb, st.Te)
 	if err != nil {
 		return fail(err)
 	}
-	res, err := EvalWithProcessor(st, proc)
+	res, err := EvalWithProcessorCtx(ctx, st, proc)
 	if err != nil {
 		return BatchItem{Err: err}
 	}
 	return BatchItem{Result: res}
 }
 
-// stmtQuery translates a possible-NN statement into an engine query kind.
-// ok is false for the threshold (`> p`) and CertainNN predicates, which
-// evaluate through EvalWithProcessor instead.
-func stmtQuery(st *Stmt) (engine.Query, bool) {
+// Compile translates a statement of the possible-NN family into the
+// unified engine.Request — the single declarative descriptor every
+// execution layer shares. ok is false for the threshold (`> p`) and
+// CertainNN predicates, whose quantified forms evaluate through
+// EvalWithProcessor instead.
+func Compile(st *Stmt) (engine.Request, bool) {
 	if st.Certain || st.Threshold > 0 {
-		return engine.Query{}, false
+		return engine.Request{}, false
 	}
-	q := engine.Query{OID: st.TargetOID, K: st.Rank, X: st.Percent, T: st.FixedT}
+	req := engine.Request{
+		QueryOID: st.QueryOID, Tb: st.Tb, Te: st.Te,
+		OID: st.TargetOID, K: st.Rank, X: st.Percent, T: st.FixedT,
+	}
 	ranked := st.Rank > 0
 	switch {
 	case st.Quant == QuantAt && st.AllObjects && ranked:
-		q.Kind = engine.KindAllRankAt
+		req.Kind = engine.KindAllRankAt
 	case st.Quant == QuantAt && st.AllObjects:
-		q.Kind = engine.KindAllNNAt
+		req.Kind = engine.KindAllNNAt
 	case st.Quant == QuantAt && ranked:
-		q.Kind = engine.KindRankAt
+		req.Kind = engine.KindRankAt
 	case st.Quant == QuantAt:
-		q.Kind = engine.KindNNAt
+		req.Kind = engine.KindNNAt
 	case st.AllObjects && ranked:
-		q.Kind = map[Quantifier]engine.Kind{
+		req.Kind = map[Quantifier]engine.Kind{
 			QuantExists: engine.KindUQ41, QuantForAll: engine.KindUQ42, QuantAtLeast: engine.KindUQ43,
 		}[st.Quant]
 	case st.AllObjects:
-		q.Kind = map[Quantifier]engine.Kind{
+		req.Kind = map[Quantifier]engine.Kind{
 			QuantExists: engine.KindUQ31, QuantForAll: engine.KindUQ32, QuantAtLeast: engine.KindUQ33,
 		}[st.Quant]
 	case ranked:
-		q.Kind = map[Quantifier]engine.Kind{
+		req.Kind = map[Quantifier]engine.Kind{
 			QuantExists: engine.KindUQ21, QuantForAll: engine.KindUQ22, QuantAtLeast: engine.KindUQ23,
 		}[st.Quant]
 	default:
-		q.Kind = map[Quantifier]engine.Kind{
+		req.Kind = map[Quantifier]engine.Kind{
 			QuantExists: engine.KindUQ11, QuantForAll: engine.KindUQ12, QuantAtLeast: engine.KindUQ13,
 		}[st.Quant]
 	}
-	if q.Kind == "" {
-		return engine.Query{}, false
+	if req.Kind == "" {
+		return engine.Request{}, false
 	}
-	return q, true
+	return req, true
 }

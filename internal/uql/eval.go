@@ -1,12 +1,14 @@
 package uql
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
+	"repro/internal/engine"
 	"repro/internal/envelope"
 	"repro/internal/mod"
-	"repro/internal/prune"
 	"repro/internal/queries"
 )
 
@@ -32,34 +34,48 @@ func (r Result) String() string {
 // ErrEval wraps evaluation-time errors (unknown OIDs, bad windows).
 var ErrEval = errors.New("uql: evaluation error")
 
+// serialEngine builds the throwaway engine serving calls issued without a
+// caller-owned one. One worker keeps per-statement evaluation serial (the
+// historic Eval behavior), and because the engine dies with the call its
+// memo cannot pin stores or envelope preprocessing beyond it — long-lived
+// sharing is the caller-owned engine's job.
+func serialEngine() *engine.Engine {
+	return engine.NewWith(engine.Options{Workers: 1})
+}
+
 // Eval evaluates a parsed statement against the store, using its shared
-// uncertainty radius. Each call builds a fresh index-pruned
-// queries.Processor for the statement's query trajectory and window (the
-// store's spatial index narrows the candidate set before the envelope
-// preprocessing); callers issuing many statements against the same (TrQ,
-// window) should use RunBatch (which shares preprocessing through the
-// batch engine) or the queries package directly.
+// uncertainty radius. The statement compiles to an engine.Request and runs
+// through the unified Engine.Do route on a throwaway serial engine;
+// callers issuing many statements — or wanting parallel whole-MOD
+// evaluation, preprocessing reuse across calls, and context cancellation —
+// should use RunBatchCtx with their own engine.
 func Eval(st *Stmt, store *mod.Store) (Result, error) {
-	q, err := store.Get(st.QueryOID)
-	if err != nil {
-		return Result{}, fmt.Errorf("%w: query trajectory: %v", ErrEval, err)
-	}
-	proc, err := prune.ForQuery(store, q, st.Tb, st.Te)
-	if err != nil {
-		return Result{}, fmt.Errorf("%w: %v", ErrEval, err)
-	}
-	return EvalWithProcessor(st, proc)
+	return EvalCtx(context.Background(), st, store)
+}
+
+// EvalCtx is Eval under a context, honored throughout the engine route
+// (preprocessing, worker pool, lazy envelope builds).
+func EvalCtx(ctx context.Context, st *Stmt, store *mod.Store) (Result, error) {
+	item := evalWithEngine(ctx, st, store, serialEngine())
+	return item.Result, item.Err
 }
 
 // EvalWithProcessor evaluates a parsed statement against an already-built
 // processor for the statement's (TrQ, window). The processor must have been
 // constructed for st.QueryOID over [st.Tb, st.Te].
 func EvalWithProcessor(st *Stmt, proc *queries.Processor) (Result, error) {
+	return EvalWithProcessorCtx(context.Background(), st, proc)
+}
+
+// EvalWithProcessorCtx is EvalWithProcessor under a context: the
+// threshold and certain predicates scan P^NN series (or full envelope
+// builds) per object, so cancellation is checked between objects.
+func EvalWithProcessorCtx(ctx context.Context, st *Stmt, proc *queries.Processor) (Result, error) {
 	if st.Certain {
-		return evalCertain(st, proc)
+		return evalCertain(ctx, st, proc)
 	}
 	if st.Threshold > 0 {
-		return evalThreshold(st, proc)
+		return evalThreshold(ctx, st, proc)
 	}
 	if st.AllObjects {
 		return evalAll(st, proc)
@@ -67,8 +83,21 @@ func EvalWithProcessor(st *Stmt, proc *queries.Processor) (Result, error) {
 	return evalOne(st, proc)
 }
 
+// ctxDone reports a finished context, consulting the wall clock as well
+// as Err(): on a busy single-core host a short deadline can expire before
+// the runtime schedules the timer goroutine that cancels the context.
+func ctxDone(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
 // evalCertain answers CertainNN predicates via guaranteed-NN intervals.
-func evalCertain(st *Stmt, proc *queries.Processor) (Result, error) {
+func evalCertain(ctx context.Context, st *Stmt, proc *queries.Processor) (Result, error) {
 	check := func(oid int64) (bool, error) {
 		ivs, err := proc.GuaranteedNNIntervals(oid)
 		if err != nil {
@@ -76,11 +105,11 @@ func evalCertain(st *Stmt, proc *queries.Processor) (Result, error) {
 		}
 		return holdsQuant(st, proc, ivsTotal(ivs), ivsCover(ivs, st), ivsAt(ivs, st.FixedT)), nil
 	}
-	return evalPerObject(st, proc, check)
+	return evalPerObject(ctx, st, proc, check)
 }
 
 // evalThreshold answers `> p` predicates (p > 0) via sampled P^NN series.
-func evalThreshold(st *Stmt, proc *queries.Processor) (Result, error) {
+func evalThreshold(ctx context.Context, st *Stmt, proc *queries.Processor) (Result, error) {
 	cfg := queries.ThresholdConfig{}
 	check := func(oid int64) (bool, error) {
 		ivs, err := proc.AboveThresholdIntervals(oid, st.Threshold, cfg)
@@ -89,12 +118,12 @@ func evalThreshold(st *Stmt, proc *queries.Processor) (Result, error) {
 		}
 		return holdsQuant(st, proc, ivsTotal(ivs), ivsCover(ivs, st), ivsAt(ivs, st.FixedT)), nil
 	}
-	return evalPerObject(st, proc, check)
+	return evalPerObject(ctx, st, proc, check)
 }
 
 // evalPerObject runs a per-object boolean check either on the single
-// target or across the whole MOD.
-func evalPerObject(st *Stmt, proc *queries.Processor, check func(int64) (bool, error)) (Result, error) {
+// target or across the whole MOD, honoring ctx between objects.
+func evalPerObject(ctx context.Context, st *Stmt, proc *queries.Processor, check func(int64) (bool, error)) (Result, error) {
 	if !st.AllObjects {
 		ok, err := check(st.TargetOID)
 		if err != nil {
@@ -104,6 +133,9 @@ func evalPerObject(st *Stmt, proc *queries.Processor, check func(int64) (bool, e
 	}
 	var out []int64
 	for _, oid := range proc.UQ31() { // pruned objects can satisfy nothing
+		if err := ctxDone(ctx); err != nil {
+			return Result{}, fmt.Errorf("%w: %v", ErrEval, err)
+		}
 		ok, err := check(oid)
 		if err != nil {
 			return Result{}, fmt.Errorf("%w: %v", ErrEval, err)

@@ -7,40 +7,50 @@
 //
 //   - trajectories and the MOD store (Section 2.1),
 //   - the IPAC-NN tree (Sections 1, 3.2 — the paper's core contribution),
-//   - the continuous query variants UQ11..UQ43 (Section 4),
-//   - the concurrent batch query engine (worker-pool parallel evaluation
-//     of the whole-MOD variants with memoized envelope preprocessing),
+//   - the unified query API: one Request descriptor covering every
+//     continuous query variant of Section 4 (and the Section 7
+//     extensions), answered by Engine.Do / Engine.DoBatch with context
+//     cancellation and per-query Explain provenance,
 //   - the UQL query language (the SQL sketch of Section 4), and
 //   - the probabilistic machinery for instantaneous NN queries
 //     (Sections 2.2, 3.1).
 //
-// Quickstart:
+// Quickstart — every query is a Request, every answer a Result:
 //
 //	store, _ := repro.NewUniformStore(0.5)                  // r = 0.5 mi
 //	trs, _ := repro.GenerateWorkload(repro.DefaultWorkload(42), 1000)
 //	_ = store.InsertAll(trs)
+//	eng := repro.NewEngine(0)                               // one worker per CPU
+//	res, err := eng.Do(ctx, store, repro.Request{
+//		Kind: repro.KindUQ31, QueryOID: 1, Tb: 0, Te: 60,   // "who can be NN of Tr1 this hour?"
+//	})
+//	fmt.Println(res.OIDs, res.Explain.Survivors, res.Explain.Wall)
+//
+// Batches share preprocessing per (query trajectory, window) and fan
+// whole-MOD evaluation across the worker pool; cancel ctx to stop a batch
+// between per-object tasks:
+//
+//	results, err := eng.DoBatch(ctx, store, []repro.Request{
+//		{Kind: repro.KindUQ31, QueryOID: 1, Tb: 0, Te: 60},
+//		{Kind: repro.KindUQ41, QueryOID: 1, Tb: 0, Te: 60, K: 2},
+//	})
+//
+// The IPAC-NN tree remains the time-parameterized answer structure:
+//
 //	q, _ := store.Get(1)
 //	tree, _ := repro.BuildIPACNN(store.All(), q, 0, 60, store.Radius(), nil, repro.TreeConfig{MaxLevels: 3})
 //	fmt.Println(tree.AnswerAt(30))                          // highest-probability NN at t=30
 //
-// Batches of query variants against one (query trajectory, window) run
-// through the concurrent engine, which pays the envelope preprocessing
-// once and fans whole-MOD evaluation across a worker pool:
-//
-//	eng := repro.NewEngine(0)                               // one worker per CPU
-//	res, _ := eng.ExecBatch(store, repro.BatchRequest{
-//		QueryOID: 1, Tb: 0, Te: 60,
-//		Queries: []repro.BatchQuery{{Kind: repro.KindUQ31}, {Kind: repro.KindUQ41, K: 2}},
-//	})
-//
-// See examples/ for runnable programs and EXPERIMENTS.md for the
-// benchmark harness regenerating the paper's figures. CI
+// See examples/ for runnable programs, EXPERIMENTS.md for the benchmark
+// harness (including the old-call → Request migration table), and CI
 // (.github/workflows/ci.yml) gates every push through the Makefile:
-// gofmt, go vet, build, the race-detector test suite, and a benchmark
-// smoke run.
+// gofmt, go vet, staticcheck, build, the race-detector test suite, and
+// benchmark smoke runs including the Engine.Do overhead gate.
 package repro
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/envelope"
@@ -166,11 +176,18 @@ func BuildIPACNN(trs []*Trajectory, q *Trajectory, tb, te, r float64, pdf Radial
 // --- continuous query variants (Section 4) ---
 
 // QueryProcessor answers the UQ11..UQ43 query variants after O(N log N)
-// envelope preprocessing.
+// envelope preprocessing. Engine.Processor returns the memoized,
+// index-pruned instance the unified API evaluates against — use that for
+// interval-level introspection (PossibleNNIntervals, ProbabilitySeries,
+// GuaranteedNNIntervals) beyond what a Request expresses.
 type QueryProcessor = queries.Processor
 
 // NewQueryProcessor builds the preprocessing for query trajectory q over
 // [tb, te] with uncertainty radius r, scanning the full trajectory set.
+//
+// Deprecated: use Engine.Do with a Request (or Engine.Processor for
+// interval-level access); it answers identically while consulting the
+// store's spatial index and memoizing the preprocessing.
 func NewQueryProcessor(trs []*Trajectory, q *Trajectory, tb, te, r float64) (*QueryProcessor, error) {
 	return queries.NewProcessor(trs, q, tb, te, r)
 }
@@ -180,6 +197,9 @@ func NewQueryProcessor(trs []*Trajectory, q *Trajectory, tb, te, r float64) (*Qu
 // objects that provably cannot enter the 4r pruning zone anywhere in the
 // window. Answers are identical to NewQueryProcessor's for every query
 // variant; only the work to produce them shrinks with the survivor count.
+//
+// Deprecated: use Engine.Processor, which additionally memoizes the
+// construction per (store version, query, window).
 func NewIndexedQueryProcessor(store *Store, qOID int64, tb, te float64) (*QueryProcessor, error) {
 	return prune.NewProcessor(store, qOID, tb, te)
 }
@@ -216,15 +236,52 @@ func NewHeteroQueryProcessor(trs []*Trajectory, q *Trajectory, tb, te float64, r
 
 // AllPairsPossibleNN computes every object's possible-NN set over the
 // window (Section 7 future work: all-pairs continuous probabilistic NN).
+//
+// Deprecated: use Engine.Do with Kind KindAllPairs against a Store — it
+// answers identically (index-pruned, parallel across query objects) and
+// supports cancellation. This wrapper stages trs into a transient store
+// and delegates.
 func AllPairsPossibleNN(trs []*Trajectory, tb, te, r float64) (map[int64][]int64, error) {
-	return queries.AllPairsPossibleNN(trs, tb, te, r)
+	store, err := transientStore(trs, r)
+	if err != nil {
+		return nil, err
+	}
+	res, err := NewEngine(0).Do(context.Background(), store, Request{Kind: KindAllPairs, Tb: tb, Te: te})
+	if err != nil {
+		return nil, err
+	}
+	return res.Pairs, nil
 }
 
 // ReversePossibleNN returns the objects for which the target can be the
 // nearest neighbor (reverse continuous probabilistic NN, Section 7 future
 // work).
+//
+// Deprecated: use Engine.Do with Kind KindReverse against a Store. This
+// wrapper stages trs into a transient store and delegates.
 func ReversePossibleNN(trs []*Trajectory, target *Trajectory, tb, te, r float64) ([]int64, error) {
-	return queries.ReversePossibleNN(trs, target, tb, te, r)
+	store, err := transientStore(trs, r)
+	if err != nil {
+		return nil, err
+	}
+	res, err := NewEngine(0).Do(context.Background(), store, Request{Kind: KindReverse, Tb: tb, Te: te, OID: target.OID})
+	if err != nil {
+		return nil, err
+	}
+	return res.OIDs, nil
+}
+
+// transientStore stages a trajectory slice behind the store-based unified
+// API for the deprecated slice-based wrappers.
+func transientStore(trs []*Trajectory, r float64) (*Store, error) {
+	store, err := NewUniformStore(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := store.InsertAll(trs); err != nil {
+		return nil, err
+	}
+	return store, nil
 }
 
 // KNNProbabilities generalizes Eq. 5 to top-k membership: the probability
@@ -234,62 +291,102 @@ func KNNProbabilities(p RadialPDF, cands []Candidate, k int) map[int64]float64 {
 	return uncertain.KNNProbabilities(p, cands, k, 0)
 }
 
-// --- concurrent batch query engine ---
+// --- the unified query API ---
 
-// Engine is the concurrent batch query engine: whole-MOD query variants
-// fan per-object candidate checks across a worker pool, and batches of
-// variants against the same (query trajectory, window) share one envelope
-// preprocessing through a keyed memo. Engines are safe for concurrent use
-// and meant to be long-lived (one per server).
+// Engine is the concurrent query engine, the single execution route of
+// the system: every query variant is a Request answered by Do/DoBatch.
+// Whole-MOD variants fan per-object candidate checks across a worker
+// pool, requests against the same (query trajectory, window) share one
+// envelope preprocessing through an LRU memo keyed on the store version,
+// and context cancellation is honored between per-object tasks, between
+// batch members, and inside the preprocessing. Engines are safe for
+// concurrent use and meant to be long-lived (one per server).
 type Engine = engine.Engine
+
+// Request is the declarative descriptor of one query — flat and
+// JSON-serializable, the contract a shard router or network proxy
+// forwards verbatim. See the Kind constants for the variants and
+// Request.Validate for the centralized parameter/window checks.
+type Request = engine.Request
+
+// Result is the unified answer envelope: the answer (Bool, OIDs or
+// Pairs), the per-query Explain provenance, and the per-request error.
+type Result = engine.Result
+
+// Explain is the per-query execution provenance: candidate and prune
+// survivor counts, envelope (memo) reuse, worker count, wall time.
+type Explain = engine.Explain
+
+// Typed error taxonomy of the unified API: one identity per failure,
+// matchable with errors.Is across every entry point.
+var (
+	ErrBadKind    = engine.ErrBadKind
+	ErrBadWindow  = engine.ErrBadWindow
+	ErrUnknownOID = engine.ErrUnknownOID
+	ErrBadRank    = engine.ErrBadRank
+	ErrBadFrac    = engine.ErrBadFrac
+	ErrNoEngine   = engine.ErrNoEngine
+)
 
 // BatchRequest is a batch of query variants sharing one query trajectory
 // and window.
+//
+// Deprecated: use []Request with Engine.DoBatch.
 type BatchRequest = engine.BatchRequest
 
 // BatchResult holds one item per requested query, in request order.
+//
+// Deprecated: use []Result from Engine.DoBatch.
 type BatchResult = engine.BatchResult
 
 // BatchQuery is one variant in a batch.
+//
+// Deprecated: use Request.
 type BatchQuery = engine.Query
 
 // BatchAnswer is the result of one query in a batch.
+//
+// Deprecated: use Result.
 type BatchAnswer = engine.Item
 
-// QueryKind names a query variant for the batch engine.
+// QueryKind names a query variant for the engine.
 type QueryKind = engine.Kind
 
-// Batch query kinds (the paper's Section 4 variants plus fixed-time
-// instants).
+// Query kinds: the paper's Section 4 variants, fixed-time instants, and
+// the Section 7 extensions (threshold, all-pairs, reverse).
 const (
-	KindUQ11      = engine.KindUQ11
-	KindUQ12      = engine.KindUQ12
-	KindUQ13      = engine.KindUQ13
-	KindUQ21      = engine.KindUQ21
-	KindUQ22      = engine.KindUQ22
-	KindUQ23      = engine.KindUQ23
-	KindUQ31      = engine.KindUQ31
-	KindUQ32      = engine.KindUQ32
-	KindUQ33      = engine.KindUQ33
-	KindUQ41      = engine.KindUQ41
-	KindUQ42      = engine.KindUQ42
-	KindUQ43      = engine.KindUQ43
-	KindNNAt      = engine.KindNNAt
-	KindRankAt    = engine.KindRankAt
-	KindAllNNAt   = engine.KindAllNNAt
-	KindAllRankAt = engine.KindAllRankAt
+	KindUQ11         = engine.KindUQ11
+	KindUQ12         = engine.KindUQ12
+	KindUQ13         = engine.KindUQ13
+	KindUQ21         = engine.KindUQ21
+	KindUQ22         = engine.KindUQ22
+	KindUQ23         = engine.KindUQ23
+	KindUQ31         = engine.KindUQ31
+	KindUQ32         = engine.KindUQ32
+	KindUQ33         = engine.KindUQ33
+	KindUQ41         = engine.KindUQ41
+	KindUQ42         = engine.KindUQ42
+	KindUQ43         = engine.KindUQ43
+	KindNNAt         = engine.KindNNAt
+	KindRankAt       = engine.KindRankAt
+	KindAllNNAt      = engine.KindAllNNAt
+	KindAllRankAt    = engine.KindAllRankAt
+	KindThreshold    = engine.KindThreshold
+	KindAllThreshold = engine.KindAllThreshold
+	KindAllPairs     = engine.KindAllPairs
+	KindReverse      = engine.KindReverse
 )
 
-// NewEngine creates a batch engine; workers <= 0 means one per CPU. The
+// NewEngine creates a query engine; workers <= 0 means one per CPU. The
 // index-accelerated candidate pre-pass is on by default; see EngineOptions.
 func NewEngine(workers int) *Engine { return engine.New(workers) }
 
-// EngineOptions tunes batch-engine construction (worker-pool size, and a
+// EngineOptions tunes engine construction (worker-pool size, and a
 // FullScan switch that disables the index candidate pre-pass for
 // benchmarking).
 type EngineOptions = engine.Options
 
-// NewEngineWith creates a batch engine from explicit options.
+// NewEngineWith creates a query engine from explicit options.
 func NewEngineWith(o EngineOptions) *Engine { return engine.NewWith(o) }
 
 // --- UQL (Section 4's SQL sketch) ---
@@ -300,15 +397,37 @@ type UQLResult = uql.Result
 // RunUQL parses and evaluates a UQL statement against a store, e.g.
 //
 //	SELECT T FROM MOD WHERE EXISTS Time IN [0, 60] AND ProbabilityNN(T, 5, Time) > 0
+//
+// The statement compiles to a Request and evaluates through the unified
+// engine route (serially).
+//
+// Deprecated: use CompileUQL with Engine.Do (or RunUQLBatch with an
+// engine) for parallel evaluation, Explain stats and cancellation.
 func RunUQL(query string, store *Store) (UQLResult, error) { return uql.Run(query, store) }
+
+// CompileUQL parses a UQL statement of the possible-NN family and
+// compiles it to the unified Request. ok is false for the threshold
+// (`> p`) and CertainNN predicates, which have no Request kind yet and
+// evaluate through RunUQL/RunUQLBatch.
+func CompileUQL(query string) (Request, bool, error) {
+	st, err := uql.Parse(query)
+	if err != nil {
+		return Request{}, false, err
+	}
+	req, ok := uql.Compile(st)
+	return req, ok, nil
+}
 
 // UQLBatchItem is one statement's outcome in a multi-statement script.
 type UQLBatchItem = uql.BatchItem
 
-// RunUQLBatch evaluates a multi-statement UQL script through the batch
-// engine: statements sharing a query trajectory and window share one
-// preprocessing, and whole-MOD statements evaluate in parallel. A nil
-// engine degrades to serial per-statement evaluation.
+// RunUQLBatch evaluates a multi-statement UQL script through the engine:
+// each statement compiles to a Request, statements sharing a query
+// trajectory and window share one preprocessing, and whole-MOD statements
+// evaluate in parallel. A nil engine evaluates serially.
+//
+// Deprecated: compile statements with CompileUQL and use Engine.DoBatch,
+// which adds Explain stats and context cancellation.
 func RunUQLBatch(queries []string, store *Store, eng *Engine) []UQLBatchItem {
 	return uql.RunBatch(queries, store, eng)
 }

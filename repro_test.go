@@ -1,3 +1,6 @@
+//lint:file-ignore SA1019 facade tests keep covering the deprecated
+// compatibility wrappers until they are removed.
+
 package repro_test
 
 import (
