@@ -1,9 +1,10 @@
 # CI and humans invoke the same targets: the ci.yml workflow is exactly
-# `make fmt vet staticcheck build race bench-smoke bench-prune bench-api`.
+# `make fmt vet staticcheck build race bench-smoke bench-prune bench-api
+# bench-shard`.
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-prune bench-api fmt vet staticcheck clean
+.PHONY: all build test race bench bench-smoke bench-prune bench-api bench-shard fmt vet staticcheck clean
 
 all: fmt vet staticcheck build test
 
@@ -16,8 +17,9 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Full benchmark run (minutes on a laptop), plus the pruning artifact.
-bench: bench-prune
+# Full benchmark run (minutes on a laptop), plus the pruning and shard
+# artifacts.
+bench: bench-prune bench-shard
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
 
 # Index-accelerated pruning experiment: indexed vs full-scan UQ31 latency
@@ -34,6 +36,13 @@ bench-smoke:
 # queries.Processor call on UQ31 at N=1000 (and answer identically).
 bench-api:
 	$(GO) run ./cmd/figures -fig api
+
+# Shard-scaling experiment: the cluster Router over 1/2/4/8 local shards
+# vs the single-store engine on a mixed NN-family batch, emitted as the
+# BENCH_shard.json artifact. Fails unless every row is equal=true (the
+# distributed-correctness gate, like bench-prune's).
+bench-shard:
+	$(GO) run ./cmd/figures -fig shard -shard-json BENCH_shard.json
 
 # Static analysis. SA1019 flags in-repo uses of the deprecated pre-Request
 # surface (NewQueryProcessor, Exec/ExecBatch, RunUQL, ...) so migrations

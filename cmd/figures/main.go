@@ -7,6 +7,7 @@
 //	figures -fig par                # parallel batch engine vs serial loops
 //	figures -fig prune              # index-accelerated pruning vs full scan
 //	figures -fig api                # Engine.Do overhead gate (make bench-api)
+//	figures -fig shard              # sharded router vs single engine (make bench-shard)
 //	figures -fig all -csv out/      # everything, with CSVs
 //
 // Flags tune the sweep sizes so the full paper range (N up to 12000) or a
@@ -26,23 +27,27 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "which figure to regenerate: 11, 12, 13, e4 or all")
-		ns       = flag.String("n", "1000,2000,4000,6000,8000,10000,12000", "comma-separated population sizes for figures 11-12")
-		naiveCap = flag.Int("naive-cap", 4000, "largest N for the O(N²logN) naive baselines (0 = no cap)")
-		queries  = flag.Int("queries", 100, "random target selections per size for figure 12")
-		radii    = flag.String("r", "0.1,0.25,0.5,0.75,1,1.5,2,3,4,5", "comma-separated uncertainty radii (miles) for figure 13")
-		fig13Ns  = flag.String("fig13-n", "2000,10000", "population sizes for figure 13")
-		parNs    = flag.String("par-n", "1000,2000,4000", "population sizes for the parallel-batch experiment")
-		parK     = flag.Int("par-k", 3, "deepest rank in the parallel-batch experiment")
-		workers  = flag.Int("workers", 0, "worker count for the parallel-batch experiment (0 = one per CPU)")
-		pruneNs  = flag.String("prune-n", "500,1000,2000,4000", "population sizes for the index-pruning experiment")
-		pruneRep = flag.Int("prune-reps", 3, "query trajectories averaged per size in the index-pruning experiment")
-		pruneOut = flag.String("prune-json", "", "path to write the BENCH_prune.json artifact (optional)")
-		apiN     = flag.Int("api-n", 1000, "population size for the Engine.Do overhead gate")
-		apiReps  = flag.Int("api-reps", 15, "timed repetitions for the Engine.Do overhead gate")
-		apiMax   = flag.Float64("api-max-overhead", 5, "fail when Engine.Do overhead exceeds this percentage (0 disables)")
-		seed     = flag.Int64("seed", 2009, "workload RNG seed")
-		csvDir   = flag.String("csv", "", "directory to write CSV series into (optional)")
+		fig       = flag.String("fig", "all", "which figure to regenerate: 11, 12, 13, e4 or all")
+		ns        = flag.String("n", "1000,2000,4000,6000,8000,10000,12000", "comma-separated population sizes for figures 11-12")
+		naiveCap  = flag.Int("naive-cap", 4000, "largest N for the O(N²logN) naive baselines (0 = no cap)")
+		queries   = flag.Int("queries", 100, "random target selections per size for figure 12")
+		radii     = flag.String("r", "0.1,0.25,0.5,0.75,1,1.5,2,3,4,5", "comma-separated uncertainty radii (miles) for figure 13")
+		fig13Ns   = flag.String("fig13-n", "2000,10000", "population sizes for figure 13")
+		parNs     = flag.String("par-n", "1000,2000,4000", "population sizes for the parallel-batch experiment")
+		parK      = flag.Int("par-k", 3, "deepest rank in the parallel-batch experiment")
+		workers   = flag.Int("workers", 0, "worker count for the parallel-batch experiment (0 = one per CPU)")
+		pruneNs   = flag.String("prune-n", "500,1000,2000,4000", "population sizes for the index-pruning experiment")
+		pruneRep  = flag.Int("prune-reps", 3, "query trajectories averaged per size in the index-pruning experiment")
+		pruneOut  = flag.String("prune-json", "", "path to write the BENCH_prune.json artifact (optional)")
+		shardN    = flag.Int("shard-n", 500, "population size for the shard-scaling experiment")
+		shardReps = flag.Int("shard-reps", 3, "query trajectories per shard-scaling rep")
+		shardCnts = flag.String("shard-counts", "1,2,4,8", "comma-separated shard counts for the shard-scaling experiment")
+		shardOut  = flag.String("shard-json", "", "path to write the BENCH_shard.json artifact (optional)")
+		apiN      = flag.Int("api-n", 1000, "population size for the Engine.Do overhead gate")
+		apiReps   = flag.Int("api-reps", 15, "timed repetitions for the Engine.Do overhead gate")
+		apiMax    = flag.Float64("api-max-overhead", 5, "fail when Engine.Do overhead exceeds this percentage (0 disables)")
+		seed      = flag.Int64("seed", 2009, "workload RNG seed")
+		csvDir    = flag.String("csv", "", "directory to write CSV series into (optional)")
 	)
 	flag.Parse()
 
@@ -90,7 +95,8 @@ func main() {
 	runPar := *fig == "par" || *fig == "all"
 	runPrune := *fig == "prune" || *fig == "all"
 	runAPI := *fig == "api" || *fig == "all"
-	if !run11 && !run12 && !run13 && !runE4 && !runPar && !runPrune && !runAPI {
+	runShard := *fig == "shard" || *fig == "all"
+	if !run11 && !run12 && !run13 && !runE4 && !runPar && !runPrune && !runAPI && !runShard {
 		fatal(fmt.Errorf("unknown -fig %q", *fig))
 	}
 
@@ -188,6 +194,42 @@ func main() {
 		}
 		if *apiMax > 0 && row.OverheadPct > *apiMax {
 			fatal(fmt.Errorf("Engine.Do overhead %.2f%% exceeds the %.1f%% gate", row.OverheadPct, *apiMax))
+		}
+	}
+	if runShard {
+		fmt.Println("== Sharded serving: Router over K local shards vs single engine ==")
+		counts, err := parseInts(*shardCnts)
+		if err != nil {
+			fatal(err)
+		}
+		const shardRadius = 0.5 // the paper's default uncertainty radius
+		rows, err := bench.ShardScaling(*shardN, counts, *shardReps, shardRadius, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(bench.FormatShard(rows))
+		writeCSV("shard.csv", bench.CSVShard(rows))
+		if *shardOut != "" {
+			f, err := os.Create(*shardOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := bench.WriteShardJSON(f, rows, *shardN, *shardReps, shardRadius, *seed); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *shardOut)
+		}
+		// Like bench-prune, equal is a correctness gate: a router that
+		// diverges from the single-store engine fails the run (and CI)
+		// after the evidence has been written.
+		for _, r := range rows {
+			if !r.Equal {
+				fatal(fmt.Errorf("router over %d shards diverged from the single-store engine", r.Shards))
+			}
 		}
 	}
 }

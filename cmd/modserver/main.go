@@ -6,6 +6,19 @@
 //
 // Clients insert trajectories and pose UQL statements; see
 // internal/modserver for the protocol and a Go client.
+//
+// Shard serving: the query op's bounds/survivors/all phases make any
+// modserver usable as one shard of a cluster router (repro.NewRemoteShard
+// points at -addr). -shard-of splits a store file and serves only the
+// hash partition this instance owns:
+//
+//	modserver -store fleet.mod -addr :7701 -shard-of 4 -shard-index 0
+//	modserver -store fleet.mod -addr :7702 -shard-of 4 -shard-index 1
+//	...
+//
+// -read-timeout and -max-line harden the serving layer: a stalled client
+// is disconnected at the read deadline, an oversized request line is
+// rejected with a diagnostic.
 package main
 
 import (
@@ -14,15 +27,22 @@ import (
 	"net"
 	"os"
 
+	"repro/internal/cluster"
+	"repro/internal/engine"
 	"repro/internal/mod"
 	"repro/internal/modserver"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:7700", "listen address")
-		storePath = flag.String("store", "", "optional store file to preload (binary format)")
-		r         = flag.Float64("r", 0.5, "uncertainty radius when starting empty")
+		addr        = flag.String("addr", "127.0.0.1:7700", "listen address")
+		storePath   = flag.String("store", "", "optional store file to preload (binary format)")
+		r           = flag.Float64("r", 0.5, "uncertainty radius when starting empty")
+		workers     = flag.Int("workers", 0, "query engine worker count (0 = one per CPU)")
+		readTimeout = flag.Duration("read-timeout", modserver.DefaultReadTimeout, "per-connection read deadline (negative disables)")
+		maxLine     = flag.Int("max-line", modserver.MaxLine, "max request line size in bytes")
+		shardOf     = flag.Int("shard-of", 0, "serve one hash partition of the store: total shard count (0 = whole store)")
+		shardIndex  = flag.Int("shard-index", 0, "which partition to serve when -shard-of is set")
 	)
 	flag.Parse()
 
@@ -43,13 +63,28 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *shardOf > 0 {
+		if *shardIndex < 0 || *shardIndex >= *shardOf {
+			fatal(fmt.Errorf("-shard-index %d out of range for -shard-of %d", *shardIndex, *shardOf))
+		}
+		parts, err := cluster.SplitStore(store, *shardOf, cluster.Hash{})
+		if err != nil {
+			fatal(err)
+		}
+		store = parts[*shardIndex]
+		fmt.Printf("modserver: serving hash shard %d/%d\n", *shardIndex, *shardOf)
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("modserver: %d trajectories, listening on %s\n", store.Len(), l.Addr())
-	srv := modserver.NewServer(store)
+	fmt.Printf("modserver: %d trajectories, listening on %s (read timeout %v)\n",
+		store.Len(), l.Addr(), *readTimeout)
+	srv := modserver.NewServerWith(store, engine.New(*workers), modserver.Options{
+		ReadTimeout:  *readTimeout,
+		MaxLineBytes: *maxLine,
+	})
 	if err := srv.Serve(l); err != nil && err != modserver.ErrServerClosed {
 		fatal(err)
 	}

@@ -15,6 +15,13 @@
 // preprocessing unless -fullscan disables it. -timeout bounds each
 // statement batch with a context deadline honored end to end (worker
 // pool, index pre-pass, lazy envelope builds).
+//
+// -shards N (N > 1) splits the store into N hash-partitioned in-process
+// shards and routes compiled statements through the cluster scatter-gather
+// router instead — answers are byte-identical to the single engine (the
+// two-phase NN bound exchange keeps global semantics); statements that do
+// not compile to a Request (threshold `> p`, CertainNN) fall back to the
+// single-store path.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/mod"
@@ -47,6 +55,7 @@ func main() {
 		uqlStmt   = flag.String("uql", "", "one-shot UQL statement (omit for a REPL)")
 		script    = flag.String("script", "", "batch-run a UQL script file (one statement per line)")
 		workers   = flag.Int("workers", 0, "batch engine worker count (0 = one per CPU)")
+		shards    = flag.Int("shards", 0, "route through an in-process cluster of this many hash-partitioned shards (0 or 1 = single engine)")
 		timeout   = flag.Duration("timeout", 0, "per-batch evaluation deadline, e.g. 500ms (0 = none)")
 		fullScan  = flag.Bool("fullscan", false, "disable the spatial-index candidate pre-pass (full O(N) envelope preprocessing per query)")
 		tree      = flag.Bool("tree", false, "print the IPAC-NN tree for -q over [-tb, -te]")
@@ -85,13 +94,22 @@ func main() {
 		return
 	}
 	eng := engine.NewWith(engine.Options{Workers: *workers, FullScan: *fullScan})
+	ev := &evaluator{store: store, eng: eng}
+	if *shards > 1 {
+		router, err := cluster.NewLocalCluster(store, *shards, cluster.Options{Engine: eng})
+		if err != nil {
+			fatal(err)
+		}
+		ev.router = router
+		fmt.Printf("routing through %d hash-partitioned shards\n", *shards)
+	}
 	if *script != "" {
-		runScript(store, eng, *script, *timeout)
+		runScript(ev, *script, *timeout)
 		return
 	}
 	if *uqlStmt != "" {
 		ctx, cancel := evalCtx(*timeout)
-		item := uql.RunBatchCtx(ctx, []string{*uqlStmt}, store, eng)[0]
+		item := ev.run(ctx, []string{*uqlStmt})[0]
 		cancel()
 		if item.Err != nil {
 			fatal(item.Err)
@@ -99,13 +117,64 @@ func main() {
 		fmt.Println(item.Result)
 		return
 	}
-	repl(store, eng, *timeout)
+	repl(ev, *timeout)
+}
+
+// evaluator routes statement batches: through the cluster router when
+// -shards is set (statements compile to unified Requests; the rare
+// non-compilable forms fall back to the single-store engine), through the
+// engine's UQL batch path otherwise.
+type evaluator struct {
+	store  *mod.Store
+	eng    *engine.Engine
+	router *cluster.Router
+}
+
+func (e *evaluator) run(ctx context.Context, stmts []string) []uql.BatchItem {
+	if e.router == nil {
+		return uql.RunBatchCtx(ctx, stmts, e.store, e.eng)
+	}
+	out := make([]uql.BatchItem, len(stmts))
+	var (
+		reqs []engine.Request
+		idxs []int
+	)
+	for i, stmt := range stmts {
+		st, err := uql.Parse(stmt)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		req, ok := uql.Compile(st)
+		if !ok {
+			// No Request kind for this form yet; evaluate on the
+			// unsharded store so the statement still answers.
+			out[i] = uql.RunBatchCtx(ctx, []string{stmt}, e.store, e.eng)[0]
+			continue
+		}
+		reqs = append(reqs, req)
+		idxs = append(idxs, i)
+	}
+	results, err := e.router.DoBatch(ctx, reqs)
+	for j, res := range results {
+		if res.Err != nil {
+			out[idxs[j]].Err = res.Err
+			continue
+		}
+		out[idxs[j]].Result = uql.Result{IsBool: res.IsBool, Bool: res.Bool, OIDs: res.OIDs}
+	}
+	// A canceled batch truncates results; surface the context error on
+	// the statements left unevaluated.
+	for j := len(results); j < len(reqs); j++ {
+		out[idxs[j]].Err = err
+	}
+	return out
 }
 
 // runScript batch-evaluates a UQL script: one statement per line, blank
 // lines and #-comments skipped. Statement failures are reported inline;
 // any failure makes the exit status nonzero.
-func runScript(store *mod.Store, eng *engine.Engine, path string, timeout time.Duration) {
+func runScript(ev *evaluator, path string, timeout time.Duration) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
@@ -121,7 +190,7 @@ func runScript(store *mod.Store, eng *engine.Engine, path string, timeout time.D
 	ctx, cancel := evalCtx(timeout)
 	defer cancel()
 	failed := false
-	for i, item := range uql.RunBatchCtx(ctx, stmts, store, eng) {
+	for i, item := range ev.run(ctx, stmts) {
 		if item.Err != nil {
 			failed = true
 			fmt.Printf("[%d] error: %v\n", i+1, item.Err)
@@ -162,7 +231,7 @@ func printTree(store *mod.Store, qOID int64, tb, te float64, levels int, desc, a
 	})
 }
 
-func repl(store *mod.Store, eng *engine.Engine, timeout time.Duration) {
+func repl(ev *evaluator, timeout time.Duration) {
 	fmt.Println("uncertnn REPL — one UQL statement per line (quit/exit to leave)")
 	fmt.Println(`example: SELECT T FROM MOD WHERE EXISTS Time IN [0, 60] AND ProbabilityNN(T, 1, Time) > 0`)
 	sc := bufio.NewScanner(os.Stdin)
@@ -184,7 +253,7 @@ func repl(store *mod.Store, eng *engine.Engine, timeout time.Duration) {
 		// -timeout bounds each statement so a heavy whole-MOD retrieval
 		// cannot wedge the REPL.
 		ctx, cancel := evalCtx(timeout)
-		item := uql.RunBatchCtx(ctx, []string{line}, store, eng)[0]
+		item := ev.run(ctx, []string{line})[0]
 		cancel()
 		if item.Err != nil {
 			fmt.Println("error:", item.Err)

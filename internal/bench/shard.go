@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"slices"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/mod"
+	"repro/internal/workload"
+)
+
+// ShardRow is one point of the shard-scaling experiment: a mixed
+// NN-family request batch evaluated by a Router over K local shards
+// versus the single-store engine. Equal records that the router's answers
+// were byte-identical to the single engine's on every request — the
+// distributed-correctness gate, measured, not assumed. Speedup > 1 means
+// the scatter won (parallel per-shard sweeps plus a survivors-only
+// refinement); on a single-core host expect ~1x minus protocol overhead —
+// the design's payoff there is capacity (per-shard stores and indexes),
+// not latency.
+type ShardRow struct {
+	Shards     int
+	SingleT    time.Duration // avg single-engine DoBatch
+	RouterT    time.Duration // avg Router.DoBatch over K local shards
+	Speedup    float64       // SingleT / RouterT
+	Candidates int           // non-query objects per query
+	Survivors  float64       // avg per-request global survivors gathered
+	Equal      bool          // router answers ≡ single-engine answers, every rep
+}
+
+// shardWorkload is the request mix: whole-MOD NN retrievals at ranks 1
+// and 2 (two-phase bound exchange), a fraction variant, and a
+// cross-shard single-object probe, over reps query trajectories.
+func shardWorkload(oids []int64, reps int, tb, te float64) []engine.Request {
+	var reqs []engine.Request
+	for rep := 0; rep < reps; rep++ {
+		q := oids[(rep*7)%len(oids)]
+		target := oids[(rep*13+1)%len(oids)]
+		reqs = append(reqs,
+			engine.Request{Kind: engine.KindUQ31, QueryOID: q, Tb: tb, Te: te},
+			engine.Request{Kind: engine.KindUQ41, QueryOID: q, Tb: tb, Te: te, K: 2},
+			engine.Request{Kind: engine.KindUQ33, QueryOID: q, Tb: tb, Te: te, X: 0.25},
+			engine.Request{Kind: engine.KindUQ11, QueryOID: q, Tb: tb, Te: te, OID: target},
+		)
+	}
+	return reqs
+}
+
+// sameAnswers compares two result sets byte-for-byte on the answer
+// fields.
+func sameAnswers(a, b []engine.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if (a[i].Err == nil) != (b[i].Err == nil) {
+			return false
+		}
+		if a[i].IsBool != b[i].IsBool || a[i].Bool != b[i].Bool {
+			return false
+		}
+		if !slices.Equal(a[i].OIDs, b[i].OIDs) {
+			return false
+		}
+	}
+	return true
+}
+
+// ShardScaling measures the router over each shard count against the
+// single-store engine on one seeded population. Fresh engines per timing
+// isolate the memo (every side pays its own preprocessing); the store's
+// index is warmed once, as in production, where it is amortized across
+// queries.
+func ShardScaling(n int, shardCounts []int, reps int, r float64, seed int64) ([]ShardRow, error) {
+	if reps <= 0 {
+		reps = 3
+	}
+	if r <= 0 {
+		r = 0.5
+	}
+	trs, err := workload.Generate(workload.DefaultConfig(seed), n)
+	if err != nil {
+		return nil, err
+	}
+	store, err := mod.NewUniformStore(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := store.InsertAll(trs); err != nil {
+		return nil, err
+	}
+	store.BuildIndex(0)
+	oids := store.OIDs()
+	reqs := shardWorkload(oids, reps, 0, 30)
+	ctx := context.Background()
+
+	start := time.Now()
+	want, err := engine.New(0).DoBatch(ctx, store, reqs)
+	if err != nil {
+		return nil, err
+	}
+	singleT := time.Since(start)
+
+	var rows []ShardRow
+	for _, k := range shardCounts {
+		router, err := cluster.NewLocalCluster(store, k, cluster.Options{})
+		if err != nil {
+			return nil, err
+		}
+		// Warm the per-shard indexes outside the timing, matching the
+		// single side's warmed store index.
+		for _, req := range reqs[:1] {
+			if _, err := router.Do(ctx, req); err != nil {
+				return nil, err
+			}
+		}
+		start := time.Now()
+		got, err := router.DoBatch(ctx, reqs)
+		if err != nil {
+			return nil, err
+		}
+		routerT := time.Since(start)
+
+		row := ShardRow{
+			Shards: k, SingleT: singleT, RouterT: routerT,
+			Candidates: n - 1, Equal: sameAnswers(want, got),
+		}
+		var surv, counted int
+		for _, res := range got {
+			for _, se := range res.Explain.ShardExplains {
+				surv += se.Survivors
+			}
+			counted++
+		}
+		if counted > 0 {
+			row.Survivors = float64(surv) / float64(counted)
+		}
+		if routerT > 0 {
+			row.Speedup = float64(singleT) / float64(routerT)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatShard renders rows as an aligned text table.
+func FormatShard(rows []ShardRow) string {
+	s := fmt.Sprintf("%-8s %-14s %-14s %-10s %-11s %s\n",
+		"shards", "single", "router", "speedup", "survivors", "equal")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-8d %-14s %-14s %-10s %-11.1f %v\n",
+			r.Shards, r.SingleT, r.RouterT, fmt.Sprintf("%.2fx", r.Speedup), r.Survivors, r.Equal)
+	}
+	return s
+}
+
+// CSVShard renders rows as CSV.
+func CSVShard(rows []ShardRow) string {
+	s := "shards,single_ns,router_ns,speedup,survivors,equal\n"
+	for _, r := range rows {
+		s += fmt.Sprintf("%d,%d,%d,%.4f,%.2f,%v\n",
+			r.Shards, r.SingleT.Nanoseconds(), r.RouterT.Nanoseconds(), r.Speedup, r.Survivors, r.Equal)
+	}
+	return s
+}
+
+// shardDoc is the BENCH_shard.json artifact schema.
+type shardDoc struct {
+	Experiment string         `json:"experiment"`
+	Workload   string         `json:"workload"`
+	N          int            `json:"n"`
+	Reps       int            `json:"reps"`
+	Radius     float64        `json:"radius"`
+	Seed       int64          `json:"seed"`
+	Rows       []shardRowJSON `json:"rows"`
+}
+
+type shardRowJSON struct {
+	Shards    int     `json:"shards"`
+	SingleNS  int64   `json:"single_ns"`
+	RouterNS  int64   `json:"router_ns"`
+	Speedup   float64 `json:"speedup"`
+	Survivors float64 `json:"survivors"`
+	Equal     bool    `json:"equal"`
+}
+
+// WriteShardJSON emits the benchmark artifact consumed by CI (uploaded as
+// BENCH_shard.json and gated on every row reporting equal=true).
+func WriteShardJSON(w io.Writer, rows []ShardRow, n, reps int, r float64, seed int64) error {
+	doc := shardDoc{
+		Experiment: "sharded scatter-gather router vs single engine",
+		Workload:   "UQ31 + UQ41(k=2) + UQ33(x=0.25) + UQ11 per query trajectory",
+		N:          n, Reps: reps, Radius: r, Seed: seed,
+	}
+	for _, row := range rows {
+		doc.Rows = append(doc.Rows, shardRowJSON{
+			Shards: row.Shards, SingleNS: row.SingleT.Nanoseconds(), RouterNS: row.RouterT.Nanoseconds(),
+			Speedup: row.Speedup, Survivors: row.Survivors, Equal: row.Equal,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

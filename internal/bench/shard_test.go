@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestShardScalingSmoke runs a small sweep end to end and requires the
+// correctness gate to hold: every row equal=true, sane timings, and a
+// well-formed artifact.
+func TestShardScalingSmoke(t *testing.T) {
+	rows, err := ShardScaling(120, []int{1, 2}, 2, 0.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, row := range rows {
+		if !row.Equal {
+			t.Fatalf("shards=%d: router diverged from single engine", row.Shards)
+		}
+		if row.SingleT <= 0 || row.RouterT <= 0 {
+			t.Fatalf("shards=%d: non-positive timings %+v", row.Shards, row)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteShardJSON(&buf, rows, 120, 2, 0.5, 42); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if doc["n"].(float64) != 120 {
+		t.Fatalf("artifact n=%v", doc["n"])
+	}
+	if FormatShard(rows) == "" || CSVShard(rows) == "" {
+		t.Fatal("empty renderings")
+	}
+}

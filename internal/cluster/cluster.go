@@ -1,0 +1,194 @@
+// Package cluster is the sharded scatter-gather serving layer: a Router
+// that answers the unified engine.Request contract against a MOD whose
+// trajectories are partitioned across K shards, byte-identically to a
+// single-store Engine.Do.
+//
+// The catch that makes this a real subsystem rather than a fan-out loop is
+// the paper's core semantics: possible/certain-NN answers depend on the
+// *global* object set — the 4r pruning zone of Section 3.2 hangs off the
+// lower envelope, a min over ALL objects' distance functions — so a shard
+// evaluating against only its local objects would over-answer (its local
+// envelope sits above the global one). The router therefore runs the
+// NN-family kinds in two phases:
+//
+//	phase 1 (bounds)    — every shard reports, per deterministic time
+//	                      slice of the query corridor (prune.SliceCuts),
+//	                      an upper bound on its local Level-k envelope
+//	                      (prune.SliceBounds). Each finite bound is the
+//	                      slice maximum of a real object's distance, so
+//	                      the elementwise minimum across shards is a sound
+//	                      upper bound on the GLOBAL envelope.
+//	phase 2 (survivors) — the router broadcasts the merged global bounds;
+//	                      every shard sweeps its objects against them
+//	                      (prune.SurvivorsWithBounds) and returns the
+//	                      trajectories that can enter the global 4r zone.
+//	refine              — the router gathers the survivors (a conservative
+//	                      superset of the zone members, which provably
+//	                      contains every object achieving the global
+//	                      envelope) into a transient store and evaluates
+//	                      the request through a regular engine.Engine.
+//	                      Because the survivor set's envelope equals the
+//	                      global envelope pointwise on the window, the
+//	                      answer is byte-identical to a single-store run —
+//	                      the same conservative-superset guarantee the
+//	                      single-store index pre-pass is gated on.
+//
+// The all-pairs and reverse kinds iterate query trajectories, so their
+// bound exchange degenerates to gathering every shard's objects once (the
+// +Inf-bound case) and evaluating centrally.
+//
+// Shards come in two kinds: LocalShard wraps an in-process mod.Store;
+// RemoteShard speaks the modserver query op (bounds/survivors/all phases)
+// over TCP. A Partitioner decides placement — Hash by OID (the default,
+// point lookups route directly) or Grid by the spatial cell of the first
+// vertex (co-moving objects share shards; lookups broadcast).
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/mod"
+	"repro/internal/prune"
+	"repro/internal/trajectory"
+)
+
+// Package errors.
+var (
+	// ErrNoShards reports a router constructed over an empty shard list.
+	ErrNoShards = errors.New("cluster: router needs at least one shard")
+	// ErrSpecMismatch reports shards that disagree on the uncertainty
+	// model; the paper's semantics (and the bound exchange) assume one
+	// shared radius and pdf.
+	ErrSpecMismatch = errors.New("cluster: shards disagree on the uncertainty model")
+	// ErrNoRouter is returned by methods on a nil router.
+	ErrNoRouter = errors.New("cluster: nil router")
+	// ErrProtocol reports a shard reply that violates the bound-exchange
+	// contract (e.g. a bounds vector of the wrong length).
+	ErrProtocol = errors.New("cluster: shard protocol error")
+)
+
+// Shard is one partition of the MOD as the router sees it: point lookups
+// plus the two bound-exchange phases. Implementations must be safe for the
+// router's sequential per-query use and must honor ctx cancellation
+// promptly (the router's scatter waits for every shard before returning).
+type Shard interface {
+	// Name identifies the shard in errors and Explain provenance.
+	Name() string
+	// Spec returns the shard's uncertainty model; every shard of a
+	// cluster must agree.
+	Spec(ctx context.Context) (mod.PDFSpec, error)
+	// Len reports how many trajectories the shard holds.
+	Len(ctx context.Context) (int, error)
+	// Get returns the trajectory stored under oid, or an error satisfying
+	// errors.Is(err, mod.ErrNotFound) when the shard does not hold it.
+	Get(ctx context.Context, oid int64) (*trajectory.Trajectory, error)
+	// Bounds is phase 1 of the NN bound exchange: per slice of
+	// prune.SliceCuts(q, tb, te), an upper bound on the shard's local
+	// Level-k envelope against q (+Inf where the shard cannot bound it).
+	Bounds(ctx context.Context, q *trajectory.Trajectory, tb, te float64, k int) ([]float64, error)
+	// Survivors is phase 2: the shard's objects that can enter the 4r
+	// zone of the globally merged bounds, as full trajectories, plus the
+	// sweep statistics.
+	Survivors(ctx context.Context, q *trajectory.Trajectory, tb, te float64, bounds []float64) ([]*trajectory.Trajectory, prune.Stats, error)
+	// All returns every trajectory the shard holds — the gather path of
+	// the all-pairs and reverse kinds.
+	All(ctx context.Context) ([]*trajectory.Trajectory, error)
+}
+
+// LocalShard is an in-process shard over a mod.Store — the building block
+// of single-machine scaling (uncertnn -shards, the shard benchmark) and
+// the reference implementation RemoteShard mirrors over the wire.
+type LocalShard struct {
+	name  string
+	store *mod.Store
+}
+
+// NewLocalShard wraps store as a shard named name.
+func NewLocalShard(name string, store *mod.Store) *LocalShard {
+	return &LocalShard{name: name, store: store}
+}
+
+// Name implements Shard.
+func (s *LocalShard) Name() string { return s.name }
+
+// Store exposes the wrapped store (tests and loaders).
+func (s *LocalShard) Store() *mod.Store { return s.store }
+
+// Spec implements Shard.
+func (s *LocalShard) Spec(context.Context) (mod.PDFSpec, error) { return s.store.Spec(), nil }
+
+// Len implements Shard.
+func (s *LocalShard) Len(context.Context) (int, error) { return s.store.Len(), nil }
+
+// Get implements Shard.
+func (s *LocalShard) Get(_ context.Context, oid int64) (*trajectory.Trajectory, error) {
+	return s.store.Get(oid)
+}
+
+// Bounds implements Shard via the store's index pre-pass probe phase.
+func (s *LocalShard) Bounds(ctx context.Context, q *trajectory.Trajectory, tb, te float64, k int) ([]float64, error) {
+	return prune.SliceBounds(ctx, s.store, q, tb, te, k)
+}
+
+// Survivors implements Shard via the store's bound-driven sweep.
+func (s *LocalShard) Survivors(ctx context.Context, q *trajectory.Trajectory, tb, te float64, bounds []float64) ([]*trajectory.Trajectory, prune.Stats, error) {
+	return prune.SurvivorsWithBounds(ctx, s.store, q, tb, te, bounds)
+}
+
+// All implements Shard.
+func (s *LocalShard) All(context.Context) ([]*trajectory.Trajectory, error) {
+	return s.store.All(), nil
+}
+
+// SplitStore partitions a store's contents into n new stores sharing its
+// uncertainty model, placing each trajectory with part (nil means Hash).
+// Trajectory values are shared, not copied — stores treat them as
+// immutable.
+func SplitStore(store *mod.Store, n int, part Partitioner) ([]*mod.Store, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: cannot split into %d stores", n)
+	}
+	if part == nil {
+		part = Hash{}
+	}
+	out := make([]*mod.Store, n)
+	for i := range out {
+		s, err := mod.NewStore(store.Spec())
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	for _, tr := range store.All() {
+		i := part.Place(tr, n)
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("cluster: partitioner %s placed OID %d on shard %d of %d", part.Name(), tr.OID, i, n)
+		}
+		if err := out[i].Insert(tr); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// NewLocalCluster splits a store into n in-process shards and routes over
+// them — the zero-config path behind uncertnn -shards, the fleetwatch
+// demo, and the shard-scaling benchmark.
+func NewLocalCluster(store *mod.Store, n int, opts Options) (*Router, error) {
+	part := opts.Partitioner
+	if part == nil {
+		part = Hash{}
+	}
+	stores, err := SplitStore(store, n, part)
+	if err != nil {
+		return nil, err
+	}
+	shards := make([]Shard, n)
+	for i, s := range stores {
+		shards[i] = NewLocalShard(fmt.Sprintf("local-%d", i), s)
+	}
+	opts.Partitioner = part
+	return NewRouter(context.Background(), shards, opts)
+}

@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/mod"
+	"repro/internal/modserver"
+	"repro/internal/prune"
+	"repro/internal/trajectory"
+)
+
+// RemoteShard speaks the modserver query op (bounds/survivors/all phases)
+// to a shard-serving modserver over TCP. The connection is dialed lazily,
+// serialized by a mutex (the wire client is synchronous), and redialed
+// after a failure or a context cancellation poisons it.
+//
+// Cancellation: the wire protocol has no cancel frame, so a canceled call
+// closes the connection — the blocked read returns immediately, the
+// watchdog goroutine exits, and the next call redials. The server side is
+// additionally told the ctx deadline (deadline_ms), so it stops evaluating
+// on its own once the deadline passes.
+type RemoteShard struct {
+	name string
+	addr string
+
+	mu  sync.Mutex
+	cli *modserver.Client
+}
+
+// NewRemoteShard names a shard served by a modserver at addr. No I/O
+// happens until the first call.
+func NewRemoteShard(name, addr string) *RemoteShard {
+	return &RemoteShard{name: name, addr: addr}
+}
+
+// Name implements Shard.
+func (s *RemoteShard) Name() string { return s.name }
+
+// Addr reports the shard's server address.
+func (s *RemoteShard) Addr() string { return s.addr }
+
+// Close drops the cached connection (calls after Close redial).
+func (s *RemoteShard) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cli == nil {
+		return nil
+	}
+	err := s.cli.Close()
+	s.cli = nil
+	return err
+}
+
+// call runs f against the shard's client under the mutex with a
+// cancellation watchdog: if ctx fires while f blocks on the wire, the
+// connection is closed (unblocking f promptly) and the context error is
+// reported instead of the resulting read error. The watchdog is always
+// reaped before call returns, so a canceled scatter leaks nothing.
+func (s *RemoteShard) call(ctx context.Context, f func(c *modserver.Client) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	if s.cli == nil {
+		cli, err := modserver.Dial(s.addr)
+		if err != nil {
+			return err
+		}
+		s.cli = cli
+	}
+	cli := s.cli
+	done := make(chan struct{})
+	reaped := make(chan struct{})
+	go func() {
+		defer close(reaped)
+		select {
+		case <-ctx.Done():
+			_ = cli.Close()
+		case <-done:
+		}
+	}()
+	err := f(cli)
+	close(done)
+	<-reaped
+	if cerr := ctxErr(ctx); cerr != nil {
+		// The watchdog (or the deadline) poisoned the connection; force a
+		// redial next call and surface the cancellation, not the wire
+		// noise it caused.
+		_ = cli.Close()
+		s.cli = nil
+		return cerr
+	}
+	if err != nil {
+		// A wire failure leaves the stream unsynchronized; redial next call.
+		_ = cli.Close()
+		s.cli = nil
+	}
+	return err
+}
+
+// deadlineOf converts the ctx deadline to a server-side budget (0 = none).
+func deadlineOf(ctx context.Context) time.Duration {
+	if d, ok := ctx.Deadline(); ok {
+		if left := time.Until(d); left > 0 {
+			return left
+		}
+		return time.Nanosecond // already expired; server rejects immediately
+	}
+	return 0
+}
+
+// Spec implements Shard.
+func (s *RemoteShard) Spec(ctx context.Context) (mod.PDFSpec, error) {
+	var spec mod.PDFSpec
+	err := s.call(ctx, func(c *modserver.Client) error {
+		var err error
+		spec, err = c.Spec()
+		return err
+	})
+	return spec, err
+}
+
+// Len implements Shard.
+func (s *RemoteShard) Len(ctx context.Context) (int, error) {
+	var n int
+	err := s.call(ctx, func(c *modserver.Client) error {
+		var err error
+		n, err = c.Count()
+		return err
+	})
+	return n, err
+}
+
+// Get implements Shard. A missing OID satisfies errors.Is(err,
+// mod.ErrNotFound) across the wire (the server codes the failure).
+func (s *RemoteShard) Get(ctx context.Context, oid int64) (*trajectory.Trajectory, error) {
+	var tr *trajectory.Trajectory
+	err := s.call(ctx, func(c *modserver.Client) error {
+		var err error
+		tr, err = c.Get(oid)
+		return err
+	})
+	return tr, err
+}
+
+// Bounds implements Shard (phase 1 on the wire).
+func (s *RemoteShard) Bounds(ctx context.Context, q *trajectory.Trajectory, tb, te float64, k int) ([]float64, error) {
+	var bounds []float64
+	err := s.call(ctx, func(c *modserver.Client) error {
+		var err error
+		bounds, err = c.ShardBounds(q, tb, te, k, deadlineOf(ctx))
+		return err
+	})
+	return bounds, err
+}
+
+// Survivors implements Shard (phase 2 on the wire).
+func (s *RemoteShard) Survivors(ctx context.Context, q *trajectory.Trajectory, tb, te float64, bounds []float64) ([]*trajectory.Trajectory, prune.Stats, error) {
+	var (
+		trs   []*trajectory.Trajectory
+		stats prune.Stats
+	)
+	err := s.call(ctx, func(c *modserver.Client) error {
+		var err error
+		trs, stats, err = c.ShardSurvivors(q, tb, te, bounds, deadlineOf(ctx))
+		return err
+	})
+	return trs, stats, err
+}
+
+// All implements Shard.
+func (s *RemoteShard) All(ctx context.Context) ([]*trajectory.Trajectory, error) {
+	var trs []*trajectory.Trajectory
+	err := s.call(ctx, func(c *modserver.Client) error {
+		var err error
+		trs, err = c.AllTrajectories()
+		return err
+	})
+	return trs, err
+}

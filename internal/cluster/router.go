@@ -1,0 +1,490 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/mod"
+	"repro/internal/prune"
+	"repro/internal/trajectory"
+)
+
+// Options tunes router construction.
+type Options struct {
+	// Partitioner decides placement and point-lookup routing; nil means
+	// Hash{}.
+	Partitioner Partitioner
+	// Engine refines the gathered survivors centrally; nil means a fresh
+	// engine with one worker per CPU. Routers sharing an engine share its
+	// processor memo.
+	Engine *engine.Engine
+}
+
+// Router implements the exact Engine.Do/DoBatch contract over K shards:
+// scatter, two-phase NN bound exchange, central refinement, deterministic
+// merge. It is safe for concurrent use (per-call state only; the inner
+// engine is itself concurrent-safe) and meant to be long-lived.
+type Router struct {
+	shards []Shard
+	part   Partitioner
+	inner  *engine.Engine
+	spec   mod.PDFSpec
+}
+
+// NewRouter validates the shard set (non-empty, one shared uncertainty
+// model) and returns a router over it. ctx bounds the validation round
+// trips; nil means context.Background().
+func NewRouter(ctx context.Context, shards []Shard, opts Options) (*Router, error) {
+	if len(shards) == 0 {
+		return nil, ErrNoShards
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	part := opts.Partitioner
+	if part == nil {
+		part = Hash{}
+	}
+	inner := opts.Engine
+	if inner == nil {
+		inner = engine.New(0)
+	}
+	spec, err := shards[0].Spec(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %s: %w", shards[0].Name(), err)
+	}
+	for _, s := range shards[1:] {
+		sp, err := s.Spec(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %s: %w", s.Name(), err)
+		}
+		if sp != spec {
+			return nil, fmt.Errorf("%w: %s has %+v, %s has %+v",
+				ErrSpecMismatch, shards[0].Name(), spec, s.Name(), sp)
+		}
+	}
+	return &Router{shards: shards, part: part, inner: inner, spec: spec}, nil
+}
+
+// Shards reports the cluster size.
+func (r *Router) Shards() int { return len(r.shards) }
+
+// Partitioner reports the placement scheme.
+func (r *Router) Partitioner() Partitioner { return r.part }
+
+// gatherKey identifies one bound-exchange gather: a query trajectory and
+// a window. Rank rides separately so a batch's deepest rank widens one
+// shared gather instead of repeating it per level.
+type gatherKey struct {
+	qOID   int64
+	tb, te float64
+}
+
+// gathered is the outcome of one scatter/gather round: the transient
+// store of global-zone survivors (plus the query trajectory and any
+// fetched targets) and the per-shard provenance.
+type gathered struct {
+	store   *mod.Store
+	shardEx []engine.Explain
+	k       int
+	targets map[int64]bool // target OIDs already resolved (found or not)
+}
+
+// Do evaluates one request across the shards. The contract matches
+// Engine.Do exactly: same validation, same typed errors, same answer
+// bytes; the Explain additionally carries Shards and ShardExplains.
+func (r *Router) Do(ctx context.Context, req engine.Request) (engine.Result, error) {
+	if r == nil {
+		return engine.Result{Kind: req.Kind, Err: ErrNoRouter}, ErrNoRouter
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var all *gathered
+	return r.dispatch(ctx, req, make(map[gatherKey]*gathered), &all, nil)
+}
+
+// DoBatch evaluates the requests in order, sharing one bound exchange per
+// (query trajectory, window) group at the group's deepest rank, and the
+// all-kinds gather across all-pairs/reverse members. Per-request failures
+// are reported inside the matching Result; the batch itself only errors
+// on a nil router or when ctx is canceled, in which case the context
+// error is returned with the results completed so far — exactly the
+// Engine.DoBatch contract.
+func (r *Router) DoBatch(ctx context.Context, reqs []engine.Request) ([]engine.Result, error) {
+	if r == nil {
+		return nil, ErrNoRouter
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	maxK := make(map[gatherKey]int)
+	for _, req := range reqs {
+		if req.Validate() != nil || !needsProcessor(req.Kind) {
+			continue
+		}
+		key := gatherKey{req.QueryOID, req.Tb, req.Te}
+		if k := req.Rank(); k > maxK[key] {
+			maxK[key] = k
+		}
+	}
+	caches := make(map[gatherKey]*gathered)
+	var all *gathered
+	out := make([]engine.Result, len(reqs))
+	for i, req := range reqs {
+		if err := ctxErr(ctx); err != nil {
+			return out[:i], err
+		}
+		res, err := r.dispatch(ctx, req, caches, &all, maxK)
+		if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			return out[:i], err
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// dispatch runs one validated-or-failing request: pick or perform the
+// gather its kind needs, refine through the inner engine, decorate the
+// Explain with shard provenance.
+func (r *Router) dispatch(ctx context.Context, req engine.Request, caches map[gatherKey]*gathered, all **gathered, maxK map[gatherKey]int) (engine.Result, error) {
+	res := engine.Result{Kind: req.Kind}
+	res.Explain.Workers = r.inner.Workers()
+	res.Explain.Shards = len(r.shards)
+	start := time.Now()
+	fail := func(err error) (engine.Result, error) {
+		res.Err = err
+		res.Explain.Wall = time.Since(start)
+		return res, err
+	}
+	if err := req.Validate(); err != nil {
+		return fail(err)
+	}
+	if err := ctxErr(ctx); err != nil {
+		return fail(err)
+	}
+	var g *gathered
+	if needsProcessor(req.Kind) {
+		key := gatherKey{req.QueryOID, req.Tb, req.Te}
+		k := req.Rank()
+		if mk := maxK[key]; mk > k {
+			k = mk
+		}
+		var err error
+		g, err = r.gather(ctx, key, k, caches)
+		if err != nil {
+			return fail(err)
+		}
+		if oid, ok := targetOID(req); ok {
+			if err := r.ensureTarget(ctx, g, oid); err != nil {
+				return fail(err)
+			}
+		}
+	} else {
+		var err error
+		g, err = r.gatherAll(ctx, all)
+		if err != nil {
+			return fail(err)
+		}
+	}
+	inner, err := r.inner.Do(ctx, g.store, req)
+	inner.Explain.Shards = len(r.shards)
+	inner.Explain.ShardExplains = g.shardEx
+	inner.Explain.Wall = time.Since(start)
+	return inner, err
+}
+
+// gather runs the two-phase bound exchange for one (query, window) at
+// rank k, building the transient refinement store, or returns the cached
+// round when a batch already paid for it at sufficient rank.
+func (r *Router) gather(ctx context.Context, key gatherKey, k int, caches map[gatherKey]*gathered) (*gathered, error) {
+	if g, ok := caches[key]; ok && g.k >= k {
+		return g, nil
+	}
+	q, err := r.getTrajectory(ctx, key.qOID)
+	if err != nil {
+		if errors.Is(err, mod.ErrNotFound) {
+			// Same typed error as the single-store engine, whose
+			// processor lookup surfaces store.Get's mod.ErrNotFound for
+			// an unknown query trajectory (engine.ErrUnknownOID is the
+			// unknown-*target* sentinel); callers match errors.Is the
+			// same way on either route — the equivalence suite pins both
+			// identities.
+			return nil, fmt.Errorf("cluster: query trajectory: %w", err)
+		}
+		return nil, err
+	}
+	cuts := prune.SliceCuts(q, key.tb, key.te)
+	nSlices := len(cuts) - 1
+
+	// Phase 1: every shard bounds its local Level-k envelope per slice.
+	type boundsReply struct {
+		bounds []float64
+		wall   time.Duration
+	}
+	phase1, err := scatter(ctx, r.shards, func(ctx context.Context, _ int, s Shard) (boundsReply, error) {
+		t0 := time.Now()
+		bs, err := s.Bounds(ctx, q, key.tb, key.te, k)
+		return boundsReply{bounds: bs, wall: time.Since(t0)}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	global := make([]float64, nSlices)
+	for i := range global {
+		global[i] = math.Inf(1)
+	}
+	for si, reply := range phase1 {
+		if len(reply.bounds) != nSlices {
+			return nil, fmt.Errorf("%w: shard %s returned %d bounds for %d slices",
+				ErrProtocol, r.shards[si].Name(), len(reply.bounds), nSlices)
+		}
+		for i, b := range reply.bounds {
+			if b < global[i] {
+				global[i] = b
+			}
+		}
+	}
+
+	// Phase 2: shards sweep against the merged global bounds and return
+	// the trajectories that can enter the global 4r zone.
+	type survReply struct {
+		trs   []*trajectory.Trajectory
+		stats prune.Stats
+		wall  time.Duration
+	}
+	phase2, err := scatter(ctx, r.shards, func(ctx context.Context, _ int, s Shard) (survReply, error) {
+		t0 := time.Now()
+		trs, stats, err := s.Survivors(ctx, q, key.tb, key.te, global)
+		return survReply{trs: trs, stats: stats, wall: time.Since(t0)}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Refinement store: the query plus every shard's survivors. Survivor
+	// sets are disjoint under a disjoint partitioning; replicated objects
+	// (a loader quirk, not an error) keep their first copy.
+	store, err := mod.NewStore(r.spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := store.Insert(q); err != nil {
+		return nil, err
+	}
+	shardEx := make([]engine.Explain, len(r.shards))
+	for si, reply := range phase2 {
+		shardEx[si] = engine.Explain{
+			Candidates: reply.stats.Candidates,
+			Survivors:  reply.stats.Survivors,
+			Wall:       phase1[si].wall + reply.wall,
+		}
+		for _, tr := range reply.trs {
+			if tr.OID == q.OID {
+				continue
+			}
+			if _, err := store.Get(tr.OID); err == nil {
+				continue
+			}
+			if err := store.Insert(tr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	g := &gathered{store: store, shardEx: shardEx, k: k, targets: make(map[int64]bool)}
+	caches[key] = g
+	return g, nil
+}
+
+// gatherAll collects every shard's objects into one transient store — the
+// degenerate (+Inf bound) exchange behind the all-pairs and reverse
+// kinds, which iterate query trajectories and therefore need the whole
+// set anyway.
+func (r *Router) gatherAll(ctx context.Context, cache **gathered) (*gathered, error) {
+	if *cache != nil {
+		return *cache, nil
+	}
+	type allReply struct {
+		trs  []*trajectory.Trajectory
+		wall time.Duration
+	}
+	replies, err := scatter(ctx, r.shards, func(ctx context.Context, _ int, s Shard) (allReply, error) {
+		t0 := time.Now()
+		trs, err := s.All(ctx)
+		return allReply{trs: trs, wall: time.Since(t0)}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	store, err := mod.NewStore(r.spec)
+	if err != nil {
+		return nil, err
+	}
+	shardEx := make([]engine.Explain, len(r.shards))
+	for si, reply := range replies {
+		n := len(reply.trs)
+		shardEx[si] = engine.Explain{Candidates: n, Survivors: n, Wall: reply.wall}
+		for _, tr := range reply.trs {
+			if _, err := store.Get(tr.OID); err == nil {
+				continue
+			}
+			if err := store.Insert(tr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	g := &gathered{store: store, shardEx: shardEx}
+	*cache = g
+	return g, nil
+}
+
+// ensureTarget makes sure a single-object kind's target trajectory is in
+// the refinement store when it exists anywhere in the cluster: a target
+// outside the survivor set must still answer false (it exists but cannot
+// be the NN), not ErrUnknownOID — the distinction the single-store pruned
+// processor draws. A target absent from every shard is left absent so the
+// inner engine reports the same ErrUnknownOID a single store would.
+func (r *Router) ensureTarget(ctx context.Context, g *gathered, oid int64) error {
+	if g.targets[oid] {
+		return nil
+	}
+	if _, err := g.store.Get(oid); err == nil {
+		g.targets[oid] = true
+		return nil
+	}
+	tr, err := r.getTrajectory(ctx, oid)
+	if err != nil {
+		if errors.Is(err, mod.ErrNotFound) {
+			g.targets[oid] = true // globally unknown: inner engine reports it
+			return nil
+		}
+		return err
+	}
+	if err := g.store.Insert(tr); err != nil {
+		return err
+	}
+	g.targets[oid] = true
+	return nil
+}
+
+// getTrajectory resolves an OID to its trajectory: one shard call when
+// the partitioner can locate it, a broadcast otherwise (or when the
+// located shard surprisingly misses — shard contents are data, not an
+// invariant the router gets to assume).
+func (r *Router) getTrajectory(ctx context.Context, oid int64) (*trajectory.Trajectory, error) {
+	if loc := r.part.Locate(oid, len(r.shards)); loc >= 0 && loc < len(r.shards) {
+		tr, err := r.shards[loc].Get(ctx, oid)
+		if err == nil {
+			return tr, nil
+		}
+		if !errors.Is(err, mod.ErrNotFound) {
+			return nil, fmt.Errorf("cluster: shard %s: %w", r.shards[loc].Name(), err)
+		}
+	}
+	found, err := scatter(ctx, r.shards, func(ctx context.Context, _ int, s Shard) (*trajectory.Trajectory, error) {
+		tr, err := s.Get(ctx, oid)
+		if err != nil && errors.Is(err, mod.ErrNotFound) {
+			return nil, nil
+		}
+		return tr, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, tr := range found {
+		if tr != nil {
+			return tr, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %d", mod.ErrNotFound, oid)
+}
+
+// scatter fans f across every shard concurrently and waits for all of
+// them — implementations honor their context, so the wait is prompt and
+// leaks nothing. The first shard failure cancels the siblings (their
+// in-flight sweeps stop instead of running to completion just to be
+// discarded), and failure latency is the first error, not the slowest
+// shard. The caller's context error takes precedence over shard errors
+// (cancellation is call-fatal and callers match on the context error);
+// among shard errors, a real failure outranks the context noise the
+// sibling cancellation caused.
+func scatter[T any](ctx context.Context, shards []Shard, f func(ctx context.Context, i int, s Shard) (T, error)) ([]T, error) {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	out := make([]T, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := ctxErr(sctx); err != nil {
+				errs[i] = err
+				return
+			}
+			out[i], errs[i] = f(sctx, i, shards[i])
+			if errs[i] != nil {
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	var firstCtx error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if firstCtx == nil {
+				firstCtx = fmt.Errorf("cluster: shard %s: %w", shards[i].Name(), err)
+			}
+			continue
+		}
+		return nil, fmt.Errorf("cluster: shard %s: %w", shards[i].Name(), err)
+	}
+	if firstCtx != nil {
+		return nil, firstCtx
+	}
+	return out, nil
+}
+
+// targetOID reports the single-object target of a request kind, when the
+// kind has one — the object the refinement store must contain (or prove
+// globally absent) for error behavior to match a single store.
+func targetOID(req engine.Request) (int64, bool) {
+	switch req.Kind {
+	case engine.KindUQ11, engine.KindUQ12, engine.KindUQ13,
+		engine.KindUQ21, engine.KindUQ22, engine.KindUQ23,
+		engine.KindNNAt, engine.KindRankAt, engine.KindThreshold:
+		return req.OID, true
+	}
+	return 0, false
+}
+
+// needsProcessor mirrors the engine's kind split: every kind but
+// all-pairs and reverse evaluates against one (query, window)
+// preprocessing and therefore one bound exchange.
+func needsProcessor(k engine.Kind) bool {
+	return k != engine.KindAllPairs && k != engine.KindReverse
+}
+
+// ctxErr mirrors the engine's deadline-aware context check: a short
+// deadline must stop the scatter even when the runtime has not yet fired
+// the timer goroutine that cancels the context.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestExplainShardJSONRoundTrip pins the wire behavior of the per-shard
+// aggregation fields: a router-populated Explain (Shards + one entry per
+// shard) survives a JSON round-trip exactly, and a single-engine Explain
+// (zero-valued shard fields) omits them from the encoding entirely so the
+// pre-cluster wire format is unchanged.
+func TestExplainShardJSONRoundTrip(t *testing.T) {
+	ex := Explain{
+		Candidates: 499,
+		Survivors:  120,
+		MemoHit:    true,
+		Workers:    8,
+		Wall:       1500 * time.Microsecond,
+		Shards:     3,
+		ShardExplains: []Explain{
+			{Candidates: 170, Survivors: 41, Wall: 200 * time.Microsecond},
+			{Candidates: 160, Survivors: 0, Wall: 180 * time.Microsecond},
+			{Candidates: 169, Survivors: 79, Wall: 220 * time.Microsecond},
+		},
+	}
+	b, err := json.Marshal(ex)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got Explain
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(ex, got) {
+		t.Fatalf("round trip changed Explain:\n  sent %+v\n  got  %+v", ex, got)
+	}
+
+	single := Explain{Candidates: 10, Survivors: 10, Workers: 1, Wall: time.Millisecond}
+	b, err = json.Marshal(single)
+	if err != nil {
+		t.Fatalf("marshal single-engine explain: %v", err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatalf("unmarshal into map: %v", err)
+	}
+	for _, key := range []string{"shards", "shard_explains"} {
+		if _, ok := m[key]; ok {
+			t.Errorf("zero-valued %q leaked into single-engine JSON: %s", key, b)
+		}
+	}
+
+	// A Result carrying the aggregated Explain round-trips too (the
+	// modserver query op ships Explain inside each answer).
+	res := Result{Kind: KindUQ31, OIDs: []int64{2, 5}, Explain: ex}
+	b, err = json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	var gotRes Result
+	if err := json.Unmarshal(b, &gotRes); err != nil {
+		t.Fatalf("unmarshal result: %v", err)
+	}
+	if !reflect.DeepEqual(res, gotRes) {
+		t.Fatalf("result round trip changed:\n  sent %+v\n  got  %+v", res, gotRes)
+	}
+}

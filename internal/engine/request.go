@@ -84,8 +84,10 @@ type Request struct {
 	P        float64 `json:"p,omitempty"`
 }
 
-// rank returns the request's effective envelope level.
-func (r Request) rank() int {
+// Rank returns the request's effective envelope level: K for the ranked
+// kinds, 1 otherwise. A cluster router uses it to size the bound-exchange
+// phases (the Level-k bound covers every level below it).
+func (r Request) Rank() int {
 	switch r.Kind {
 	case KindUQ21, KindUQ22, KindUQ23, KindUQ41, KindUQ42, KindUQ43, KindRankAt, KindAllRankAt:
 		return r.K
@@ -116,7 +118,7 @@ func (r Request) Validate() error {
 	if math.IsNaN(r.Tb) || math.IsNaN(r.Te) || !(r.Te > r.Tb) {
 		return fmt.Errorf("%w: [%g, %g]", ErrBadWindow, r.Tb, r.Te)
 	}
-	if r.rank() < 1 {
+	if r.Rank() < 1 {
 		return fmt.Errorf("%w: got %d", ErrBadRank, r.K)
 	}
 	switch r.Kind {
@@ -166,6 +168,16 @@ type Explain struct {
 	// Wall is the end-to-end evaluation time of this request
 	// (JSON-encoded in nanoseconds).
 	Wall time.Duration `json:"wall_ns"`
+
+	// Shards is the number of shards a cluster router scattered this
+	// request across; zero on single-engine paths.
+	Shards int `json:"shards,omitempty"`
+	// ShardExplains carries one provenance entry per shard when a cluster
+	// router merged this result (candidates seen and survivors returned by
+	// that shard's bound-exchange sweep, plus its scatter wall time); nil
+	// on single-engine paths. Entries never nest further: a shard reports
+	// leaf statistics only.
+	ShardExplains []Explain `json:"shard_explains,omitempty"`
 }
 
 // Result is the unified answer envelope. Exactly one of Bool / OIDs /
@@ -237,7 +249,7 @@ func (e *Engine) Do(ctx context.Context, store *mod.Store, req Request) (Result,
 		res.Explain.MemoHit = hit
 		res.Explain.Candidates = proc.CandidateCount()
 		res.Explain.Survivors = res.Explain.Candidates - proc.PrunedCount()
-		if k := req.rank(); k > 1 {
+		if k := req.Rank(); k > 1 {
 			if err := proc.EnsureLevelsCtx(ctx, k); err != nil {
 				return fail(err)
 			}
@@ -278,7 +290,7 @@ func (e *Engine) DoBatch(ctx context.Context, store *mod.Store, reqs []Request) 
 			continue
 		}
 		g := group{r.QueryOID, r.Tb, r.Te}
-		if k := r.rank(); k > maxK[g] {
+		if k := r.Rank(); k > maxK[g] {
 			maxK[g] = k
 		}
 	}

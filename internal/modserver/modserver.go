@@ -24,6 +24,15 @@
 //	{"op":"trip","oid":9,"waypoints":[[x,y],...],
 //	 "start":0,"speed":0.5}                        → {"ok":true,"oid":9,"verts":[...]} (plans and inserts)
 //
+// Shard-serving phases of the query op (the cluster bound-exchange
+// protocol; +Inf bounds travel as -1 since JSON has no Inf literal):
+//
+//	{"op":"query","phase":"bounds","oid":1,
+//	 "verts":[[x,y,t],...],"tb":0,"te":60,"k":1}   → {"ok":true,"bounds":[...]}
+//	{"op":"query","phase":"survivors","oid":1,
+//	 "verts":[...],"tb":0,"te":60,"bounds":[...]}  → {"ok":true,"trajs":[{"oid":7,"verts":[...]},...],"stats":{...}}
+//	{"op":"query","phase":"all"}                   → {"ok":true,"trajs":[...]}
+//
 // The query op is the unified route: it carries engine.Request descriptors
 // verbatim on the wire, evaluates them through Engine.DoBatch, and returns
 // one answer per request with its Explain provenance. deadline_ms (> 0)
@@ -40,6 +49,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"time"
@@ -47,16 +57,38 @@ import (
 	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/mod"
+	"repro/internal/prune"
 	"repro/internal/trajectory"
 	"repro/internal/uql"
 )
 
 // MaxLine bounds a single protocol line (1 MiB) to keep rogue clients from
-// exhausting memory.
+// exhausting memory. Options.MaxLineBytes overrides it per server.
 const MaxLine = 1 << 20
+
+// DefaultReadTimeout bounds how long a connection may sit between request
+// lines before the server closes it. Serving-layer hardening: a stalled or
+// hostile client holds shard resources (a goroutine, a connection slot, a
+// scanner buffer) for at most this long.
+const DefaultReadTimeout = 2 * time.Minute
 
 // ErrServerClosed is returned by Serve after Close.
 var ErrServerClosed = errors.New("modserver: server closed")
+
+// codeNotFound marks a structured not-found failure on the wire so clients
+// can rebuild the mod.ErrNotFound identity across the network boundary
+// (the cluster router routes on it when resolving point lookups).
+const codeNotFound = "not_found"
+
+// wireError carries a server-reported error message while preserving a
+// sentinel identity for errors.Is across the wire.
+type wireError struct {
+	msg string
+	is  error
+}
+
+func (e wireError) Error() string { return e.msg }
+func (e wireError) Unwrap() error { return e.is }
 
 // Request is the wire format of a client request.
 type Request struct {
@@ -74,8 +106,25 @@ type Request struct {
 	Requests []engine.Request `json:"requests,omitempty"`
 	// DeadlineMS (> 0) bounds the "query" op end to end: the server
 	// evaluates under a context deadline and fails the op with a context
-	// error once it expires.
+	// error once it expires. It applies to the shard phases too.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+
+	// Phase selects a cluster sub-operation of the "query" op: ""
+	// evaluates Requests; "bounds" and "survivors" are the two-phase NN
+	// bound exchange (OID/Verts carry the query trajectory, Tb/Te the
+	// window, K the rank; Bounds the imposed global bounds for the
+	// survivors phase); "all" returns every stored trajectory.
+	Phase  string    `json:"phase,omitempty"`
+	Tb     float64   `json:"tb,omitempty"`
+	Te     float64   `json:"te,omitempty"`
+	K      int       `json:"k,omitempty"`
+	Bounds []float64 `json:"bounds,omitempty"`
+}
+
+// WireTraj is one trajectory on the wire (the survivors/all phases).
+type WireTraj struct {
+	OID   int64        `json:"oid"`
+	Verts [][3]float64 `json:"verts"`
 }
 
 // Answer is one engine.Request's outcome inside a "query" response.
@@ -109,13 +158,37 @@ type Response struct {
 	OIDs    []int64      `json:"oids,omitempty"`
 	Results []BatchEntry `json:"results,omitempty"`
 	Answers []Answer     `json:"answers,omitempty"`
+
+	// Code structures selected failures (codeNotFound) so clients can
+	// rebuild sentinel error identities.
+	Code string `json:"code,omitempty"`
+	// Bounds answers the "bounds" phase (+Inf encoded as -1).
+	Bounds []float64 `json:"bounds,omitempty"`
+	// Trajs answers the "survivors" and "all" phases.
+	Trajs []WireTraj `json:"trajs,omitempty"`
+	// Stats reports the survivors-phase sweep statistics.
+	Stats *prune.Stats `json:"stats,omitempty"`
+}
+
+// Options tunes serving-layer hardening.
+type Options struct {
+	// ReadTimeout bounds how long a connection may sit between request
+	// lines; a connection that stalls longer is closed. Zero means
+	// DefaultReadTimeout; negative disables the deadline.
+	ReadTimeout time.Duration
+	// MaxLineBytes caps one request line. Zero means MaxLine. An
+	// oversized request gets one error response, then the connection is
+	// closed (the line cannot be resynchronized).
+	MaxLineBytes int
 }
 
 // Server serves a store over a listener. Batch queries run through one
 // shared engine so concurrent clients benefit from the same processor memo.
 type Server struct {
-	store  *mod.Store
-	engine *engine.Engine
+	store       *mod.Store
+	engine      *engine.Engine
+	readTimeout time.Duration
+	maxLine     int
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -123,14 +196,35 @@ type Server struct {
 	closed   bool
 }
 
-// NewServer wraps a store with a default engine (one worker per CPU).
+// NewServer wraps a store with a default engine (one worker per CPU) and
+// default hardening options.
 func NewServer(store *mod.Store) *Server {
 	return NewServerWithEngine(store, engine.New(0))
 }
 
-// NewServerWithEngine wraps a store with a caller-tuned engine.
+// NewServerWithEngine wraps a store with a caller-tuned engine and default
+// hardening options.
 func NewServerWithEngine(store *mod.Store, eng *engine.Engine) *Server {
-	return &Server{store: store, engine: eng, conns: make(map[net.Conn]struct{})}
+	return NewServerWith(store, eng, Options{})
+}
+
+// NewServerWith wraps a store with a caller-tuned engine and explicit
+// hardening options (a nil engine gets one worker per CPU).
+func NewServerWith(store *mod.Store, eng *engine.Engine, o Options) *Server {
+	if eng == nil {
+		eng = engine.New(0)
+	}
+	if o.ReadTimeout == 0 {
+		o.ReadTimeout = DefaultReadTimeout
+	}
+	if o.MaxLineBytes <= 0 {
+		o.MaxLineBytes = MaxLine
+	}
+	return &Server{
+		store: store, engine: eng,
+		readTimeout: o.ReadTimeout, maxLine: o.MaxLineBytes,
+		conns: make(map[net.Conn]struct{}),
+	}
 }
 
 // Serve accepts connections on l until Close. It always returns a non-nil
@@ -187,9 +281,29 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 4096), MaxLine)
+	// The scanner's token cap is max(limit, cap(buf)), so the initial
+	// buffer must not exceed the configured line limit.
+	initial := 4096
+	if initial > s.maxLine {
+		initial = s.maxLine
+	}
+	sc.Buffer(make([]byte, 0, initial), s.maxLine)
 	enc := json.NewEncoder(conn)
-	for sc.Scan() {
+	for {
+		// Arm the per-connection read deadline before each request line:
+		// a client that stalls mid-line (or goes silent) is disconnected
+		// instead of pinning this goroutine and its buffers forever.
+		if s.readTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.readTimeout))
+		}
+		if !sc.Scan() {
+			if errors.Is(sc.Err(), bufio.ErrTooLong) {
+				// One parting diagnostic; the line boundary is lost, so
+				// the connection cannot be resynchronized and closes.
+				_ = enc.Encode(Response{Error: fmt.Sprintf("modserver: request exceeds %d bytes", s.maxLine)})
+			}
+			return
+		}
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
@@ -233,6 +347,9 @@ func (s *Server) dispatch(req Request) Response {
 	case "get":
 		tr, err := s.store.Get(req.OID)
 		if err != nil {
+			if errors.Is(err, mod.ErrNotFound) {
+				return Response{Error: err.Error(), Code: codeNotFound}
+			}
 			return fail(err)
 		}
 		out := make([][3]float64, len(tr.Verts))
@@ -242,6 +359,9 @@ func (s *Server) dispatch(req Request) Response {
 		return Response{OK: true, OID: tr.OID, Verts: out}
 	case "delete":
 		if err := s.store.Delete(req.OID); err != nil {
+			if errors.Is(err, mod.ErrNotFound) {
+				return Response{Error: err.Error(), Code: codeNotFound}
+			}
 			return fail(err)
 		}
 		return Response{OK: true}
@@ -281,7 +401,18 @@ func (s *Server) dispatch(req Request) Response {
 		}
 		return Response{OK: true, OIDs: oids}
 	case "query":
-		return s.doQuery(req)
+		switch req.Phase {
+		case "":
+			return s.doQuery(req)
+		case "bounds":
+			return s.doBounds(req)
+		case "survivors":
+			return s.doSurvivors(req)
+		case "all":
+			return s.doAll()
+		default:
+			return Response{Error: fmt.Sprintf("unknown query phase %q", req.Phase)}
+		}
 	case "batch":
 		items := uql.RunBatch(req.Queries, s.store, s.engine)
 		entries := make([]BatchEntry, len(items))
@@ -347,6 +478,120 @@ func (s *Server) doQuery(req Request) Response {
 	return Response{OK: true, Answers: answers}
 }
 
+// phaseCtx builds the evaluation context for a shard phase under the
+// request's optional deadline.
+func phaseCtx(req Request) (context.Context, context.CancelFunc) {
+	if req.DeadlineMS > 0 {
+		return context.WithTimeout(context.Background(), time.Duration(req.DeadlineMS)*time.Millisecond)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// wireQuery rebuilds the phase's query trajectory from the wire fields.
+func wireQuery(req Request) (*trajectory.Trajectory, error) {
+	verts := make([]trajectory.Vertex, len(req.Verts))
+	for i, v := range req.Verts {
+		verts[i] = trajectory.Vertex{X: v[0], Y: v[1], T: v[2]}
+	}
+	return trajectory.New(req.OID, verts)
+}
+
+// doBounds answers phase 1 of the cluster bound exchange: per-slice upper
+// bounds on this store's local Level-k envelope against the carried query
+// trajectory.
+func (s *Server) doBounds(req Request) Response {
+	q, err := wireQuery(req)
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	ctx, cancel := phaseCtx(req)
+	defer cancel()
+	bounds, err := prune.SliceBounds(ctx, s.store, q, req.Tb, req.Te, req.K)
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	return Response{OK: true, Bounds: encodeBounds(bounds)}
+}
+
+// doSurvivors answers phase 2: the store's objects that can enter the 4r
+// zone of the imposed global bounds, shipped as full trajectories.
+func (s *Server) doSurvivors(req Request) Response {
+	q, err := wireQuery(req)
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	ctx, cancel := phaseCtx(req)
+	defer cancel()
+	trs, stats, err := prune.SurvivorsWithBounds(ctx, s.store, q, req.Tb, req.Te, decodeBounds(req.Bounds))
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	return Response{OK: true, Trajs: encodeTrajs(trs), Stats: &stats}
+}
+
+// doAll ships every stored trajectory (the gather path of the all-pairs
+// and reverse kinds).
+func (s *Server) doAll() Response {
+	return Response{OK: true, Trajs: encodeTrajs(s.store.All())}
+}
+
+// encodeBounds replaces +Inf with -1: JSON has no Inf literal, and slice
+// bounds are distances (never negative), so the sign bit is free.
+func encodeBounds(bs []float64) []float64 {
+	out := make([]float64, len(bs))
+	for i, b := range bs {
+		if math.IsInf(b, 1) {
+			out[i] = -1
+		} else {
+			out[i] = b
+		}
+	}
+	return out
+}
+
+// decodeBounds is the inverse of encodeBounds.
+func decodeBounds(bs []float64) []float64 {
+	out := make([]float64, len(bs))
+	for i, b := range bs {
+		if b < 0 {
+			out[i] = math.Inf(1)
+		} else {
+			out[i] = b
+		}
+	}
+	return out
+}
+
+// encodeTrajs flattens trajectories onto the wire.
+func encodeTrajs(trs []*trajectory.Trajectory) []WireTraj {
+	out := make([]WireTraj, len(trs))
+	for i, tr := range trs {
+		verts := make([][3]float64, len(tr.Verts))
+		for j, v := range tr.Verts {
+			verts[j] = [3]float64{v.X, v.Y, v.T}
+		}
+		out[i] = WireTraj{OID: tr.OID, Verts: verts}
+	}
+	return out
+}
+
+// decodeTrajs rebuilds trajectories from the wire.
+func decodeTrajs(wts []WireTraj) ([]*trajectory.Trajectory, error) {
+	out := make([]*trajectory.Trajectory, len(wts))
+	for i, wt := range wts {
+		verts := make([]trajectory.Vertex, len(wt.Verts))
+		for j, v := range wt.Verts {
+			verts[j] = trajectory.Vertex{X: v[0], Y: v[1], T: v[2]}
+		}
+		tr, err := trajectory.New(wt.OID, verts)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = tr
+	}
+	return out, nil
+}
+
 // Client is a synchronous protocol client. Not safe for concurrent use;
 // open one client per goroutine.
 type Client struct {
@@ -364,11 +609,18 @@ func Dial(addr string) (*Client, error) {
 	return NewClient(conn), nil
 }
 
+// ClientMaxLine bounds a single response line on the client side (1 GiB).
+// Deliberately far above the server's request cap: the client talks to a
+// server the operator chose, and the survivors/all phases of the cluster
+// protocol legitimately ship whole trajectory sets as one line — at
+// production populations that is well past the 1 MiB request limit.
+const ClientMaxLine = 1 << 30
+
 // NewClient wraps an established connection (useful with net.Pipe in
 // tests).
 func NewClient(conn net.Conn) *Client {
 	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 4096), MaxLine)
+	sc.Buffer(make([]byte, 0, 4096), ClientMaxLine)
 	return &Client{conn: conn, sc: sc, enc: json.NewEncoder(conn)}
 }
 
@@ -390,6 +642,11 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 		return Response{}, err
 	}
 	if !resp.OK {
+		// Structured codes rebuild sentinel identities across the wire,
+		// with the server's message preserved verbatim.
+		if resp.Code == codeNotFound {
+			return resp, wireError{msg: resp.Error, is: mod.ErrNotFound}
+		}
 		return resp, errors.New(resp.Error)
 	}
 	return resp, nil
@@ -521,6 +778,75 @@ func (c *Client) Query(reqs []engine.Request, deadline time.Duration) ([]engine.
 		}
 	}
 	return out, nil
+}
+
+// deadlineMS converts a client deadline to the wire field (0 = none),
+// rounding sub-millisecond deadlines up so they do not vanish.
+func deadlineMS(d time.Duration) int64 {
+	if d <= 0 {
+		return 0
+	}
+	ms := int64(d / time.Millisecond)
+	if ms == 0 {
+		ms = 1
+	}
+	return ms
+}
+
+// ShardBounds runs phase 1 of the cluster bound exchange remotely:
+// per-slice upper bounds on the server store's local Level-k envelope
+// against query trajectory q over [tb, te]. deadline <= 0 means none.
+func (c *Client) ShardBounds(q *trajectory.Trajectory, tb, te float64, k int, deadline time.Duration) ([]float64, error) {
+	verts := make([][3]float64, len(q.Verts))
+	for i, v := range q.Verts {
+		verts[i] = [3]float64{v.X, v.Y, v.T}
+	}
+	resp, err := c.roundTrip(Request{
+		Op: "query", Phase: "bounds",
+		OID: q.OID, Verts: verts, Tb: tb, Te: te, K: k,
+		DeadlineMS: deadlineMS(deadline),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return decodeBounds(resp.Bounds), nil
+}
+
+// ShardSurvivors runs phase 2 remotely: the server store's objects that
+// can enter the 4r zone of the imposed global bounds, as trajectories,
+// plus the sweep statistics. deadline <= 0 means none.
+func (c *Client) ShardSurvivors(q *trajectory.Trajectory, tb, te float64, bounds []float64, deadline time.Duration) ([]*trajectory.Trajectory, prune.Stats, error) {
+	verts := make([][3]float64, len(q.Verts))
+	for i, v := range q.Verts {
+		verts[i] = [3]float64{v.X, v.Y, v.T}
+	}
+	resp, err := c.roundTrip(Request{
+		Op: "query", Phase: "survivors",
+		OID: q.OID, Verts: verts, Tb: tb, Te: te,
+		Bounds: encodeBounds(bounds), DeadlineMS: deadlineMS(deadline),
+	})
+	if err != nil {
+		return nil, prune.Stats{}, err
+	}
+	trs, err := decodeTrajs(resp.Trajs)
+	if err != nil {
+		return nil, prune.Stats{}, err
+	}
+	var stats prune.Stats
+	if resp.Stats != nil {
+		stats = *resp.Stats
+	}
+	return trs, stats, nil
+}
+
+// AllTrajectories downloads every stored trajectory (the cluster gather
+// path for all-pairs and reverse kinds).
+func (c *Client) AllTrajectories() ([]*trajectory.Trajectory, error) {
+	resp, err := c.roundTrip(Request{Op: "query", Phase: "all"})
+	if err != nil {
+		return nil, err
+	}
+	return decodeTrajs(resp.Trajs)
 }
 
 // Batch runs a multi-statement UQL script remotely through the server's

@@ -26,9 +26,12 @@
 package prune
 
 import (
+	"cmp"
 	"context"
+	"fmt"
 	"math"
 	"slices"
+	"time"
 
 	"repro/internal/geom"
 	"repro/internal/mod"
@@ -36,6 +39,21 @@ import (
 	"repro/internal/sindex"
 	"repro/internal/trajectory"
 )
+
+// ctxErr mirrors the engine's deadline-aware context check: a short
+// deadline on a busy single-core host can expire before the runtime
+// schedules the timer goroutine that cancels the context, and the sweep's
+// per-slice checkpoints must not sail past it just because the timer has
+// not fired yet.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
 
 // Margin is the safety slack (in distance units) added to the 4r zone
 // width. It dominates the TimeEps tolerance the fixed-time membership
@@ -53,12 +71,13 @@ const kProbe = 8
 // the search boxes) tight without a per-object pass.
 const targetSlices = 32
 
-// Stats describes one candidate pre-pass.
+// Stats describes one candidate pre-pass. The JSON tags are the wire
+// format the cluster survivors phase reports per shard.
 type Stats struct {
-	Candidates int // non-query objects in the snapshot
-	Survivors  int // objects the index could not rule out
-	Slices     int // time slices probed
-	Probes     int // KNN probe distance evaluations
+	Candidates int `json:"candidates"` // non-query objects in the snapshot
+	Survivors  int `json:"survivors"`  // objects the index could not rule out
+	Slices     int `json:"slices"`     // time slices probed
+	Probes     int `json:"probes"`     // KNN probe distance evaluations
 }
 
 // Candidates computes a conservative superset of the objects whose
@@ -153,8 +172,80 @@ func NewProcessorCtx(ctx context.Context, store *mod.Store, qOID int64, tb, te f
 	return ForQueryCtx(ctx, store, q, tb, te)
 }
 
+// SliceCuts returns the deterministic slice boundaries the candidate
+// pre-pass sweeps for query trajectory q over [tb, te]: q's vertex times
+// clipped to the window, subdivided so slices stay short. Both phases of
+// the cluster bound-exchange protocol key their per-slice values to these
+// cuts — they depend only on (q, tb, te), so every shard derives the same
+// slicing independently and per-slice bounds are elementwise comparable
+// across shards.
+func SliceCuts(q *trajectory.Trajectory, tb, te float64) []float64 {
+	return sliceTimes(q, tb, te, targetSlices)
+}
+
+// SliceBounds computes, for each slice of SliceCuts(q, tb, te), an upper
+// bound on the Level-k lower envelope of the store's objects against q:
+// the k-th smallest exact maximum distance among a handful of index KNN
+// probes at the slice midpoint. A slice the store cannot bound (fewer
+// than k usable probes) reports +Inf. Every finite value is the slice
+// maximum of an actual stored object's distance from q, so the bounds
+// stay sound against any superset of the store's objects — which is what
+// lets a cluster router take the elementwise minimum of per-shard bounds
+// as a bound on the global envelope.
+func SliceBounds(ctx context.Context, store *mod.Store, q *trajectory.Trajectory, tb, te float64, k int) ([]float64, error) {
+	if !(te > tb) {
+		return nil, fmt.Errorf("prune: bad slice window [%g, %g]", tb, te)
+	}
+	if k < 1 {
+		k = 1
+	}
+	v0 := store.Version()
+	trs := store.All()
+	idx := store.BuildIndex(0)
+	if store.Version() != v0 {
+		// A mutation slipped between the snapshot and the index build;
+		// +Inf everywhere bounds nothing, which is always sound.
+		cuts := sliceTimes(q, tb, te, targetSlices)
+		bounds := make([]float64, len(cuts)-1)
+		for i := range bounds {
+			bounds[i] = math.Inf(1)
+		}
+		return bounds, nil
+	}
+	bounds, _, err := sliceBounds(ctx, newSweepState(trs, q, tb, te), idx, q, k)
+	return bounds, err
+}
+
+// SurvivorsWithBounds runs the candidate sweep under imposed per-slice
+// envelope bounds (one value per SliceCuts(q, tb, te) slice, +Inf meaning
+// unbounded): an object survives when some slice puts its exact minimum
+// distance from q within bounds[i] + 4r + Margin. With the bounds from
+// this store's own SliceBounds the result is exactly Candidates; with the
+// elementwise minimum of several shards' bounds it is the phase-2 shard
+// sweep of the cluster protocol — the shard survivor sets together form a
+// conservative superset of the global 4r-zone members, because every
+// object achieving the global envelope somewhere in a slice passes its
+// own shard's test against the global bound. Survivors are returned as
+// trajectories (sorted by OID) so a shard can ship them to the router
+// without a re-lookup race against concurrent mutations.
+func SurvivorsWithBounds(ctx context.Context, store *mod.Store, q *trajectory.Trajectory, tb, te float64, bounds []float64) ([]*trajectory.Trajectory, Stats, error) {
+	if !(te > tb) {
+		return nil, Stats{}, fmt.Errorf("prune: bad slice window [%g, %g]", tb, te)
+	}
+	v0 := store.Version()
+	trs := store.All()
+	idx := store.BuildIndex(0)
+	if store.Version() != v0 {
+		// Concurrent mutation: keep everything, which is always sound.
+		out := allTrajectories(trs, q.OID)
+		return out, statsAll(trs, q.OID), nil
+	}
+	return sweepBounds(ctx, newSweepState(trs, q, tb, te), trs, idx, store.Radius(), q, bounds)
+}
+
 // candidates runs the slice sweep over one consistent snapshot, bounding
-// the Level-k envelope per slice (k == 1 is the classic pass).
+// the Level-k envelope per slice (k == 1 is the classic pass): the probe
+// phase (sliceBounds) followed by the sweep against those bounds.
 func candidates(ctx context.Context, trs []*trajectory.Trajectory, idx *sindex.RTree, r float64, q *trajectory.Trajectory, tb, te float64, k int) ([]int64, Stats, error) {
 	st := Stats{Candidates: candidateCount(trs, q.OID)}
 	if te-tb <= 0 || st.Candidates == 0 {
@@ -164,28 +255,65 @@ func candidates(ctx context.Context, trs []*trajectory.Trajectory, idx *sindex.R
 		st.Survivors = len(out)
 		return out, st, nil
 	}
+	state := newSweepState(trs, q, tb, te)
+	bounds, probeStats, err := sliceBounds(ctx, state, idx, q, k)
+	if err != nil {
+		return nil, st, err
+	}
+	kept, _, err := sweepBounds(ctx, state, trs, idx, r, q, bounds)
+	if err != nil {
+		return nil, st, err
+	}
+	st.Slices = probeStats.Slices
+	st.Probes = probeStats.Probes
+	out := make([]int64, len(kept))
+	for i, tr := range kept {
+		out[i] = tr.OID
+	}
+	st.Survivors = len(out)
+	return out, st, nil
+}
+
+// sweepState is the per-(query, window) state both pre-pass phases
+// share — the snapshot lookup table and the deterministic slice cuts —
+// built once per query so the single-store path (which runs both phases
+// back to back) does not pay the O(N) map construction twice.
+type sweepState struct {
+	byID map[int64]*trajectory.Trajectory
+	cuts []float64
+}
+
+func newSweepState(trs []*trajectory.Trajectory, q *trajectory.Trajectory, tb, te float64) sweepState {
 	byID := make(map[int64]*trajectory.Trajectory, len(trs))
 	for _, tr := range trs {
 		byID[tr.OID] = tr
 	}
-	width := 4*r + Margin
-	cuts := sliceTimes(q, tb, te, targetSlices)
+	return sweepState{byID: byID, cuts: sliceTimes(q, tb, te, targetSlices)}
+}
+
+// sliceBounds is the probe phase: per slice, the k-th smallest exact
+// maximum distance among index KNN probes at the slice midpoint. The
+// bound is sound for the Level-k envelope because the k probes with the
+// smallest exact maximum distance each stay below the k-th smallest value
+// throughout the slice, so at every instant at least k functions — and
+// hence the pointwise k-th smallest — do.
+func sliceBounds(ctx context.Context, state sweepState, idx *sindex.RTree, q *trajectory.Trajectory, k int) ([]float64, Stats, error) {
+	var st Stats
+	byID, cuts := state.byID, state.cuts
 	// The rank-k bound needs the k-th smallest probe distance, so probe a
 	// few extra neighbors beyond k to keep the bound tight.
 	probes := kProbe
 	if k+4 > probes {
 		probes = k + 4
 	}
-	survivors := make(map[int64]struct{})
+	bounds := make([]float64, len(cuts)-1)
 	dists := make([]float64, 0, probes)
 	for i := 1; i < len(cuts); i++ {
-		if err := ctx.Err(); err != nil {
+		if err := ctxErr(ctx); err != nil {
 			return nil, st, err
 		}
 		t0, t1 := cuts[i-1], cuts[i]
 		st.Slices++
-		a, b := q.At(t0), q.At(t1)
-		qbox := geom.AABBOf(a, b)
 		mid := 0.5 * (t0 + t1)
 		dists = dists[:0]
 		for _, nb := range idx.KNN(q.At(mid), mid, probes) {
@@ -199,18 +327,39 @@ func candidates(ctx context.Context, trs []*trajectory.Trajectory, idx *sindex.R
 			st.Probes++
 			dists = append(dists, maxDistOverSlice(tr, q, t0, t1))
 		}
-		// u bounds the Level-k envelope over the slice: the k probes with
-		// the smallest exact maximum distance each stay below the k-th
-		// smallest value throughout the slice, so at every instant at
-		// least k functions — and hence the pointwise k-th smallest — do.
 		u := math.Inf(1)
 		if len(dists) >= k {
 			slices.Sort(dists)
 			u = dists[k-1]
 		}
+		bounds[i-1] = u
+	}
+	return bounds, st, nil
+}
+
+// sweepBounds is the sweep phase: per slice, every object with a segment
+// entry intersecting the query corridor expanded by bounds[i] + 4r +
+// Margin is refined against its exact minimum crisp distance over the
+// slice. A +Inf bound keeps every candidate for that slice (no usable
+// bound: trivially sound).
+func sweepBounds(ctx context.Context, state sweepState, trs []*trajectory.Trajectory, idx *sindex.RTree, r float64, q *trajectory.Trajectory, bounds []float64) ([]*trajectory.Trajectory, Stats, error) {
+	st := Stats{Candidates: candidateCount(trs, q.OID)}
+	byID, cuts := state.byID, state.cuts
+	width := 4*r + Margin
+	if len(bounds) != len(cuts)-1 {
+		return nil, st, fmt.Errorf("prune: got %d slice bounds for %d slices", len(bounds), len(cuts)-1)
+	}
+	survivors := make(map[int64]struct{})
+	for i := 1; i < len(cuts); i++ {
+		if err := ctxErr(ctx); err != nil {
+			return nil, st, err
+		}
+		t0, t1 := cuts[i-1], cuts[i]
+		st.Slices++
+		u := bounds[i-1]
 		if math.IsInf(u, 1) {
-			// No usable probe (should not happen on a covering snapshot):
-			// keep every candidate, which is trivially sound.
+			// No usable bound for this slice: keep every candidate, which
+			// is trivially sound.
 			for _, tr := range trs {
 				if tr.OID != q.OID {
 					survivors[tr.OID] = struct{}{}
@@ -218,6 +367,8 @@ func candidates(ctx context.Context, trs []*trajectory.Trajectory, idx *sindex.R
 			}
 			continue
 		}
+		a, b := q.At(t0), q.At(t1)
+		qbox := geom.AABBOf(a, b)
 		// The index pass over-approximates twice: segment entry boxes span
 		// whole segments (not just this slice), and box distance is an L∞
 		// test. Refine each hit with the exact minimum crisp distance over
@@ -244,12 +395,16 @@ func candidates(ctx context.Context, trs []*trajectory.Trajectory, idx *sindex.R
 			}
 		}
 	}
-	out := make([]int64, 0, len(survivors))
+	ids := make([]int64, 0, len(survivors))
 	for id := range survivors {
-		out = append(out, id)
+		ids = append(ids, id)
 	}
-	slices.Sort(out)
-	st.Survivors = len(out)
+	slices.Sort(ids)
+	st.Survivors = len(ids)
+	out := make([]*trajectory.Trajectory, len(ids))
+	for i, id := range ids {
+		out[i] = byID[id]
+	}
 	return out, st, nil
 }
 
@@ -325,6 +480,20 @@ func candidateCount(trs []*trajectory.Trajectory, qOID int64) int {
 		}
 	}
 	return n
+}
+
+// allTrajectories returns every non-query trajectory, sorted by OID.
+func allTrajectories(trs []*trajectory.Trajectory, qOID int64) []*trajectory.Trajectory {
+	out := make([]*trajectory.Trajectory, 0, len(trs))
+	for _, tr := range trs {
+		if tr.OID != qOID {
+			out = append(out, tr)
+		}
+	}
+	slices.SortFunc(out, func(a, b *trajectory.Trajectory) int {
+		return cmp.Compare(a.OID, b.OID)
+	})
+	return out
 }
 
 func allOIDs(trs []*trajectory.Trajectory, qOID int64) []int64 {

@@ -11,6 +11,10 @@
 //     continuous query variant of Section 4 (and the Section 7
 //     extensions), answered by Engine.Do / Engine.DoBatch with context
 //     cancellation and per-query Explain provenance,
+//   - the sharded serving layer: NewCluster / NewClusterRouter stand up a
+//     Router that answers the same Request contract over K shards (local
+//     or remote), byte-identically to a single engine via a two-phase NN
+//     bound exchange,
 //   - the UQL query language (the SQL sketch of Section 4), and
 //   - the probabilistic machinery for instantaneous NN queries
 //     (Sections 2.2, 3.1).
@@ -51,6 +55,7 @@ package repro
 import (
 	"context"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/envelope"
@@ -388,6 +393,69 @@ type EngineOptions = engine.Options
 
 // NewEngineWith creates a query engine from explicit options.
 func NewEngineWith(o EngineOptions) *Engine { return engine.NewWith(o) }
+
+// --- sharded serving (the cluster scatter-gather layer) ---
+
+// Router serves the Engine.Do/DoBatch contract over K shards: requests
+// scatter, NN-family kinds run a two-phase bound exchange (shards report
+// per-slice envelope upper bounds, the router mins them into a global
+// bound, shards sweep survivors against it), and the router refines the
+// gathered survivors centrally — answers are byte-identical to a
+// single-store engine, with Explain carrying per-shard provenance
+// (Shards, ShardExplains).
+type Router = cluster.Router
+
+// ClusterShard is one partition of the MOD: in-process (NewLocalShard)
+// or a remote modserver (NewRemoteShard).
+type ClusterShard = cluster.Shard
+
+// ClusterOptions tunes router construction (partitioner, refinement
+// engine).
+type ClusterOptions = cluster.Options
+
+// Partitioner decides which shard holds a trajectory.
+type Partitioner = cluster.Partitioner
+
+// HashPartitioner places by a mixed hash of the OID (the default).
+type HashPartitioner = cluster.Hash
+
+// GridPartitioner places by the spatial cell of the first vertex, so
+// co-located objects share shards.
+type GridPartitioner = cluster.Grid
+
+// NewCluster splits a store into n in-process shards and returns a
+// router over them — the one-call path from a single store to sharded
+// serving:
+//
+//	router, _ := repro.NewCluster(store, 4, repro.ClusterOptions{})
+//	res, _ := router.Do(ctx, repro.Request{Kind: repro.KindUQ31, QueryOID: 1, Tb: 0, Te: 60})
+func NewCluster(store *Store, n int, opts ClusterOptions) (*Router, error) {
+	return cluster.NewLocalCluster(store, n, opts)
+}
+
+// NewClusterRouter builds a router over an explicit shard set (local,
+// remote, or mixed). ctx bounds the construction round trips.
+func NewClusterRouter(ctx context.Context, shards []ClusterShard, opts ClusterOptions) (*Router, error) {
+	return cluster.NewRouter(ctx, shards, opts)
+}
+
+// NewLocalShard wraps an in-process store as a shard.
+func NewLocalShard(name string, store *Store) ClusterShard {
+	return cluster.NewLocalShard(name, store)
+}
+
+// NewRemoteShard names a shard served by a modserver at addr (dialed
+// lazily; see cmd/modserver for the serving side).
+func NewRemoteShard(name, addr string) ClusterShard {
+	return cluster.NewRemoteShard(name, addr)
+}
+
+// SplitStore partitions a store's contents into n new stores sharing its
+// uncertainty model (nil partitioner = hash by OID) — the loader-side
+// helper for standing up shard servers.
+func SplitStore(store *Store, n int, part Partitioner) ([]*Store, error) {
+	return cluster.SplitStore(store, n, part)
+}
 
 // --- UQL (Section 4's SQL sketch) ---
 
