@@ -1,10 +1,10 @@
 # CI and humans invoke the same targets: the ci.yml workflow is exactly
 # `make fmt vet staticcheck build race bench-smoke bench-prune bench-api
-# bench-shard`.
+# bench-shard bench-live cover`.
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-prune bench-api bench-shard fmt vet staticcheck clean
+.PHONY: all build test race bench bench-smoke bench-prune bench-api bench-shard bench-live cover fmt vet staticcheck clean
 
 all: fmt vet staticcheck build test
 
@@ -17,9 +17,9 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Full benchmark run (minutes on a laptop), plus the pruning and shard
-# artifacts.
-bench: bench-prune bench-shard
+# Full benchmark run (minutes on a laptop), plus the pruning, shard, and
+# live-serving artifacts.
+bench: bench-prune bench-shard bench-live
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
 
 # Index-accelerated pruning experiment: indexed vs full-scan UQ31 latency
@@ -43,6 +43,27 @@ bench-api:
 # distributed-correctness gate, like bench-prune's).
 bench-shard:
 	$(GO) run ./cmd/figures -fig shard -shard-json BENCH_shard.json
+
+# Live-serving experiment: the continuous-query hub's dirty-set
+# re-evaluation vs naively re-running every standing subscription after
+# each ingest batch, emitted as BENCH_live.json. Fails unless every row
+# is equal=true AND the hub beats the naive baseline.
+bench-live:
+	$(GO) run ./cmd/figures -fig live -live-json BENCH_live.json
+
+# Per-package coverage floors for the subsystems whose correctness
+# arguments live in their tests (dirty-set soundness, prune
+# conservativeness, the distributed bound exchange). Writes COVERAGE.txt
+# and fails below 80%.
+COVER_PKGS = ./internal/continuous ./internal/prune ./internal/cluster
+cover:
+	@set -e; rm -f COVERAGE.txt; \
+	for pkg in $(COVER_PKGS); do \
+		$(GO) test -coverprofile=cover.out.tmp $$pkg >/dev/null; \
+		pct=$$($(GO) tool cover -func=cover.out.tmp | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
+		echo "$$pkg $$pct%" | tee -a COVERAGE.txt; \
+		awk -v p="$$pct" 'BEGIN { exit (p+0 >= 80) ? 0 : 1 }' || { echo "coverage $$pct% < 80% in $$pkg"; rm -f cover.out.tmp; exit 1; }; \
+	done; rm -f cover.out.tmp
 
 # Static analysis. SA1019 flags in-repo uses of the deprecated pre-Request
 # surface (NewQueryProcessor, Exec/ExecBatch, RunUQL, ...) so migrations

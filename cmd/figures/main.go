@@ -43,6 +43,11 @@ func main() {
 		shardReps = flag.Int("shard-reps", 3, "query trajectories per shard-scaling rep")
 		shardCnts = flag.String("shard-counts", "1,2,4,8", "comma-separated shard counts for the shard-scaling experiment")
 		shardOut  = flag.String("shard-json", "", "path to write the BENCH_shard.json artifact (optional)")
+		liveNs    = flag.String("live-n", "1000,4000", "population sizes for the live-serving experiment")
+		liveSubs  = flag.Int("live-subs", 24, "standing subscriptions in the live-serving experiment")
+		liveSteps = flag.Int("live-steps", 12, "scripted ingest batches in the live-serving experiment")
+		livePer   = flag.Int("live-per-step", 6, "plan revisions per ingest batch in the live-serving experiment")
+		liveOut   = flag.String("live-json", "", "path to write the BENCH_live.json artifact (optional)")
 		apiN      = flag.Int("api-n", 1000, "population size for the Engine.Do overhead gate")
 		apiReps   = flag.Int("api-reps", 15, "timed repetitions for the Engine.Do overhead gate")
 		apiMax    = flag.Float64("api-max-overhead", 5, "fail when Engine.Do overhead exceeds this percentage (0 disables)")
@@ -96,7 +101,8 @@ func main() {
 	runPrune := *fig == "prune" || *fig == "all"
 	runAPI := *fig == "api" || *fig == "all"
 	runShard := *fig == "shard" || *fig == "all"
-	if !run11 && !run12 && !run13 && !runE4 && !runPar && !runPrune && !runAPI && !runShard {
+	runLive := *fig == "live" || *fig == "all"
+	if !run11 && !run12 && !run13 && !runE4 && !runPar && !runPrune && !runAPI && !runShard && !runLive {
 		fatal(fmt.Errorf("unknown -fig %q", *fig))
 	}
 
@@ -229,6 +235,48 @@ func main() {
 		for _, r := range rows {
 			if !r.Equal {
 				fatal(fmt.Errorf("router over %d shards diverged from the single-store engine", r.Shards))
+			}
+		}
+	}
+	if runLive {
+		fmt.Println("== Live serving: continuous-query hub (dirty set) vs naive full re-query ==")
+		liveSizes, err := parseInts(*liveNs)
+		if err != nil {
+			fatal(err)
+		}
+		const liveRadius = 0.5 // the paper's default uncertainty radius
+		var rows []bench.LiveRow
+		for _, n := range liveSizes {
+			row, err := bench.LiveServing(n, *liveSubs, *liveSteps, *livePer, liveRadius, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			rows = append(rows, row)
+		}
+		fmt.Print(bench.FormatLive(rows))
+		if *liveOut != "" {
+			f, err := os.Create(*liveOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := bench.WriteLiveJSON(f, rows, liveRadius, *seed); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *liveOut)
+		}
+		// Correctness gate first (like bench-prune/bench-shard), then the
+		// headline claim: dirty-set re-evaluation must beat the naive full
+		// re-query on the scripted workload.
+		for _, r := range rows {
+			if !r.Equal {
+				fatal(fmt.Errorf("live hub answers diverged from the naive full re-query at n=%d", r.N))
+			}
+			if r.Speedup <= 1 {
+				fatal(fmt.Errorf("live hub (%.2fx) did not beat the naive full re-query at n=%d", r.Speedup, r.N))
 			}
 		}
 	}

@@ -1,0 +1,245 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"slices"
+	"time"
+
+	"repro/internal/continuous"
+	"repro/internal/engine"
+	"repro/internal/mod"
+	"repro/internal/simtest"
+)
+
+// LiveRow is one point of the live-serving experiment: a seeded
+// simulation world (scripted plan revisions + inserts) drives a
+// continuous-query hub carrying a standing subscription population, and
+// the same script is replayed against the naive alternative — re-running
+// every subscription through a fresh engine after every ingest batch.
+//
+//   - IngestRate is the raw mutation path: updates/s through
+//     mod.ApplyUpdates with a warm, incrementally maintained index and no
+//     subscriptions attached.
+//   - HubT is the hub's total Ingest wall time (apply + dirty-set
+//     filtering + the re-evaluations the batches actually forced).
+//   - NaiveT is apply plus the full re-query of every subscription per
+//     batch.
+//   - Equal records that after every step, every subscription's hub
+//     answer was byte-identical to the fresh full re-query — the
+//     correctness gate, measured, not assumed.
+type LiveRow struct {
+	N          int
+	Subs       int
+	Steps      int
+	Updates    int
+	IngestRate float64       // updates/s, raw apply + incremental index
+	HubT       time.Duration // total hub Ingest wall
+	NaiveT     time.Duration // total naive apply + full re-query wall
+	Speedup    float64       // NaiveT / HubT
+	Evals      uint64        // subscription re-evaluations the hub ran
+	Skips      uint64        // re-evaluations the dirty set proved unnecessary
+	Equal      bool
+}
+
+// liveRequests builds the standing subscription population: staggered
+// short windows across the horizon (the realistic standing-query shape —
+// "who can be nearest over the next stretch" — and the shape the dirty
+// set thrives on: a revision at the step clock can only affect windows
+// that end after it), a couple of whole-horizon retrievals, and
+// single-object predicates, across distinct query objects.
+func liveRequests(subs int) []engine.Request {
+	oids := []int64{3, 11, 17, 23, 29, 31, 37, 41, 43, 47, 53, 59}
+	var reqs []engine.Request
+	for i := 0; len(reqs) < subs; i++ {
+		q := oids[i%len(oids)] + int64(i/len(oids))
+		tb := float64((i * 7) % 48)
+		te := tb + 9
+		switch i % 4 {
+		case 0:
+			reqs = append(reqs, engine.Request{Kind: engine.KindUQ31, QueryOID: q, Tb: tb, Te: te})
+		case 1:
+			reqs = append(reqs, engine.Request{Kind: engine.KindUQ33, QueryOID: q, Tb: tb, Te: te, X: 0.25})
+		case 2:
+			reqs = append(reqs, engine.Request{Kind: engine.KindUQ11, QueryOID: q, Tb: tb, Te: te, OID: q + 1})
+		default:
+			reqs = append(reqs, engine.Request{Kind: engine.KindUQ31, QueryOID: q, Tb: 0, Te: simtest.Span})
+		}
+	}
+	return reqs[:subs]
+}
+
+// sameAnswer compares the answer-bearing fields.
+func sameAnswer(a, b engine.Result) bool {
+	return a.IsBool == b.IsBool && a.Bool == b.Bool && slices.Equal(a.OIDs, b.OIDs)
+}
+
+// LiveServing runs the experiment at one population size.
+func LiveServing(n, subs, steps, perStep int, r float64, seed int64) (LiveRow, error) {
+	row := LiveRow{N: n, Subs: subs, Steps: steps}
+	cfg := simtest.Config{Seed: seed, N: n, Held: 4, R: r, Steps: steps, PerStep: perStep}
+
+	// Script the batches once so every arm replays identical bytes.
+	w, err := simtest.NewWorld(cfg)
+	if err != nil {
+		return row, err
+	}
+	reqs := liveRequests(subs)
+	batches := make([][]mod.Update, steps)
+	for i := range batches {
+		if batches[i], err = w.Step(); err != nil {
+			return row, err
+		}
+		row.Updates += len(batches[i])
+	}
+
+	// Arm 0: raw ingest throughput (no subscriptions), warm index.
+	rawWorld, err := simtest.NewWorld(cfg)
+	if err != nil {
+		return row, err
+	}
+	raw, err := rawWorld.InitialStore()
+	if err != nil {
+		return row, err
+	}
+	raw.BuildIndex(0)
+	t0 := time.Now()
+	for _, b := range batches {
+		if _, err := raw.ApplyUpdates(b); err != nil {
+			return row, err
+		}
+	}
+	if d := time.Since(t0); d > 0 {
+		row.IngestRate = float64(row.Updates) / d.Seconds()
+	}
+
+	// Arm 1: the hub (dirty-set re-evaluation).
+	hubWorld, err := simtest.NewWorld(cfg)
+	if err != nil {
+		return row, err
+	}
+	hubStore, err := hubWorld.InitialStore()
+	if err != nil {
+		return row, err
+	}
+	hub := continuous.NewEngineHub(hubStore, engine.New(0))
+	ctx := context.Background()
+	subIDs := make([]int64, len(reqs))
+	for i, req := range reqs {
+		id, _, err := hub.Subscribe(ctx, req)
+		if err != nil {
+			return row, fmt.Errorf("subscribe %d (%s): %w", i, req.Kind, err)
+		}
+		subIDs[i] = id
+	}
+
+	// Arm 2: naive — the same store contents, every subscription fully
+	// re-queried through a fresh engine after every batch.
+	naiveWorld, err := simtest.NewWorld(cfg)
+	if err != nil {
+		return row, err
+	}
+	naiveStore, err := naiveWorld.InitialStore()
+	if err != nil {
+		return row, err
+	}
+	naiveStore.BuildIndex(0)
+
+	row.Equal = true
+	naiveAnswers := make([]engine.Result, len(reqs))
+	for _, b := range batches {
+		t1 := time.Now()
+		if _, _, err := hub.Ingest(ctx, b); err != nil {
+			return row, err
+		}
+		row.HubT += time.Since(t1)
+
+		t2 := time.Now()
+		if _, err := naiveStore.ApplyUpdates(b); err != nil {
+			return row, err
+		}
+		naive := engine.New(0)
+		for i, req := range reqs {
+			res, err := naive.Do(ctx, naiveStore, req)
+			if err != nil {
+				return row, fmt.Errorf("naive %s: %w", req.Kind, err)
+			}
+			naiveAnswers[i] = res
+		}
+		row.NaiveT += time.Since(t2)
+
+		for i, id := range subIDs {
+			live, err := hub.Answer(id)
+			if err != nil {
+				return row, err
+			}
+			if !sameAnswer(live, naiveAnswers[i]) {
+				row.Equal = false
+			}
+		}
+	}
+	stats := hub.Stats()
+	row.Evals, row.Skips = stats.Evals, stats.Skips
+	if row.HubT > 0 {
+		row.Speedup = float64(row.NaiveT) / float64(row.HubT)
+	}
+	return row, nil
+}
+
+// FormatLive renders rows as an aligned text table.
+func FormatLive(rows []LiveRow) string {
+	s := fmt.Sprintf("%-7s %-5s %-8s %-12s %-12s %-12s %-9s %-7s %-7s %s\n",
+		"n", "subs", "updates", "ingest/s", "hub", "naive", "speedup", "evals", "skips", "equal")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-7d %-5d %-8d %-12.0f %-12s %-12s %-9s %-7d %-7d %v\n",
+			r.N, r.Subs, r.Updates, r.IngestRate, r.HubT, r.NaiveT,
+			fmt.Sprintf("%.2fx", r.Speedup), r.Evals, r.Skips, r.Equal)
+	}
+	return s
+}
+
+// liveDoc is the BENCH_live.json artifact schema.
+type liveDoc struct {
+	Experiment string        `json:"experiment"`
+	Workload   string        `json:"workload"`
+	Seed       int64         `json:"seed"`
+	Radius     float64       `json:"radius"`
+	Rows       []liveRowJSON `json:"rows"`
+}
+
+type liveRowJSON struct {
+	N          int     `json:"n"`
+	Subs       int     `json:"subs"`
+	Steps      int     `json:"steps"`
+	Updates    int     `json:"updates"`
+	IngestRate float64 `json:"ingest_per_sec"`
+	HubNS      int64   `json:"hub_ns"`
+	NaiveNS    int64   `json:"naive_ns"`
+	Speedup    float64 `json:"speedup"`
+	Evals      uint64  `json:"evals"`
+	Skips      uint64  `json:"skips"`
+	Equal      bool    `json:"equal"`
+}
+
+// WriteLiveJSON emits the benchmark artifact consumed by CI (uploaded as
+// BENCH_live.json and gated on every row reporting equal=true with the
+// hub beating the naive full re-query).
+func WriteLiveJSON(w io.Writer, rows []LiveRow, r float64, seed int64) error {
+	doc := liveDoc{
+		Experiment: "continuous-query hub (dirty-set re-evaluation) vs naive full re-query per ingest batch",
+		Workload:   "simtest scripted plan revisions + inserts; standing UQ31/UQ33/UQ11 subscriptions over staggered 9-unit windows plus whole-horizon UQ31s",
+		Seed:       seed, Radius: r,
+	}
+	for _, row := range rows {
+		doc.Rows = append(doc.Rows, liveRowJSON{
+			N: row.N, Subs: row.Subs, Steps: row.Steps, Updates: row.Updates,
+			IngestRate: row.IngestRate, HubNS: int64(row.HubT), NaiveNS: int64(row.NaiveT),
+			Speedup: row.Speedup, Evals: row.Evals, Skips: row.Skips, Equal: row.Equal,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestLiveServingSmoke runs a small live-serving experiment end to end
+// and requires the correctness gate to hold: hub answers equal to the
+// naive full re-query after every batch, sane counters, and a
+// well-formed artifact. (The beats-naive speedup gate is enforced by the
+// full-size `make bench-live` run, not this smoke.)
+func TestLiveServingSmoke(t *testing.T) {
+	row, err := LiveServing(80, 8, 3, 4, 0.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.Equal {
+		t.Fatal("hub diverged from the naive full re-query")
+	}
+	if row.HubT <= 0 || row.NaiveT <= 0 || row.IngestRate <= 0 {
+		t.Fatalf("non-positive measurements: %+v", row)
+	}
+	if row.Evals+row.Skips == 0 || row.Updates == 0 {
+		t.Fatalf("degenerate run: %+v", row)
+	}
+	var buf bytes.Buffer
+	if err := WriteLiveJSON(&buf, []LiveRow{row}, 0.5, 42); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	rows := doc["rows"].([]any)
+	if len(rows) != 1 || rows[0].(map[string]any)["equal"] != true {
+		t.Fatalf("artifact rows = %v", rows)
+	}
+	if FormatLive([]LiveRow{row}) == "" {
+		t.Fatal("empty rendering")
+	}
+}

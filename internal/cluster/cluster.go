@@ -95,6 +95,15 @@ type Shard interface {
 	// All returns every trajectory the shard holds — the gather path of
 	// the all-pairs and reverse kinds.
 	All(ctx context.Context) ([]*trajectory.Trajectory, error)
+	// Ingest applies live updates (plan revisions, extensions, inserts —
+	// the mod.ApplyUpdate contract) to the shard's partition, returning
+	// per-update outcomes in order.
+	Ingest(ctx context.Context, updates []mod.Update) ([]mod.Applied, error)
+	// Owns reports, elementwise, whether the shard currently holds each
+	// OID — the bulk ownership probe the router's ingest placement uses
+	// under geometry partitioners (one round trip per shard per batch
+	// instead of one per update).
+	Owns(ctx context.Context, oids []int64) ([]bool, error)
 }
 
 // LocalShard is an in-process shard over a mod.Store — the building block
@@ -140,6 +149,21 @@ func (s *LocalShard) Survivors(ctx context.Context, q *trajectory.Trajectory, tb
 // All implements Shard.
 func (s *LocalShard) All(context.Context) ([]*trajectory.Trajectory, error) {
 	return s.store.All(), nil
+}
+
+// Ingest implements Shard.
+func (s *LocalShard) Ingest(_ context.Context, updates []mod.Update) ([]mod.Applied, error) {
+	return s.store.ApplyUpdates(updates)
+}
+
+// Owns implements Shard.
+func (s *LocalShard) Owns(_ context.Context, oids []int64) ([]bool, error) {
+	out := make([]bool, len(oids))
+	for i, oid := range oids {
+		_, err := s.store.Get(oid)
+		out[i] = err == nil
+	}
+	return out, nil
 }
 
 // SplitStore partitions a store's contents into n new stores sharing its

@@ -181,3 +181,26 @@ func (s *RemoteShard) All(ctx context.Context) ([]*trajectory.Trajectory, error)
 	})
 	return trs, err
 }
+
+// Ingest implements Shard (the modserver ingest op on the wire).
+func (s *RemoteShard) Ingest(ctx context.Context, updates []mod.Update) ([]mod.Applied, error) {
+	var applied []mod.Applied
+	err := s.call(ctx, func(c *modserver.Client) error {
+		var err error
+		applied, err = c.Ingest(updates)
+		return err
+	})
+	return applied, err
+}
+
+// Owns implements Shard (the modserver owns op on the wire — one round
+// trip for the whole batch).
+func (s *RemoteShard) Owns(ctx context.Context, oids []int64) ([]bool, error) {
+	var owned []bool
+	err := s.call(ctx, func(c *modserver.Client) error {
+		var err error
+		owned, err = c.Owns(oids)
+		return err
+	})
+	return owned, err
+}

@@ -87,12 +87,17 @@ type gatherKey struct {
 
 // gathered is the outcome of one scatter/gather round: the transient
 // store of global-zone survivors (plus the query trajectory and any
-// fetched targets) and the per-shard provenance.
+// fetched targets) and the per-shard provenance. q and bounds carry the
+// bound exchange's inputs/outputs so the continuous layer can derive a
+// subscription zone profile from the same round instead of re-running
+// the exchange (nil on the all-kinds gather).
 type gathered struct {
 	store   *mod.Store
 	shardEx []engine.Explain
 	k       int
 	targets map[int64]bool // target OIDs already resolved (found or not)
+	q       *trajectory.Trajectory
+	bounds  []float64
 }
 
 // Do evaluates one request across the shards. The contract matches
@@ -106,7 +111,8 @@ func (r *Router) Do(ctx context.Context, req engine.Request) (engine.Result, err
 		ctx = context.Background()
 	}
 	var all *gathered
-	return r.dispatch(ctx, req, make(map[gatherKey]*gathered), &all, nil)
+	res, _, err := r.dispatch(ctx, req, make(map[gatherKey]*gathered), &all, nil)
+	return res, err
 }
 
 // DoBatch evaluates the requests in order, sharing one bound exchange per
@@ -140,7 +146,7 @@ func (r *Router) DoBatch(ctx context.Context, reqs []engine.Request) ([]engine.R
 		if err := ctxErr(ctx); err != nil {
 			return out[:i], err
 		}
-		res, err := r.dispatch(ctx, req, caches, &all, maxK)
+		res, _, err := r.dispatch(ctx, req, caches, &all, maxK)
 		if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 			return out[:i], err
 		}
@@ -151,16 +157,19 @@ func (r *Router) DoBatch(ctx context.Context, reqs []engine.Request) ([]engine.R
 
 // dispatch runs one validated-or-failing request: pick or perform the
 // gather its kind needs, refine through the inner engine, decorate the
-// Explain with shard provenance.
-func (r *Router) dispatch(ctx context.Context, req engine.Request, caches map[gatherKey]*gathered, all **gathered, maxK map[gatherKey]int) (engine.Result, error) {
+// Explain with shard provenance. The gathered round is returned alongside
+// the result so the continuous layer can fingerprint the request from
+// the same exchange (nil on failure and on the all-kinds gather path's
+// bounds).
+func (r *Router) dispatch(ctx context.Context, req engine.Request, caches map[gatherKey]*gathered, all **gathered, maxK map[gatherKey]int) (engine.Result, *gathered, error) {
 	res := engine.Result{Kind: req.Kind}
 	res.Explain.Workers = r.inner.Workers()
 	res.Explain.Shards = len(r.shards)
 	start := time.Now()
-	fail := func(err error) (engine.Result, error) {
+	fail := func(err error) (engine.Result, *gathered, error) {
 		res.Err = err
 		res.Explain.Wall = time.Since(start)
-		return res, err
+		return res, nil, err
 	}
 	if err := req.Validate(); err != nil {
 		return fail(err)
@@ -196,7 +205,7 @@ func (r *Router) dispatch(ctx context.Context, req engine.Request, caches map[ga
 	inner.Explain.Shards = len(r.shards)
 	inner.Explain.ShardExplains = g.shardEx
 	inner.Explain.Wall = time.Since(start)
-	return inner, err
+	return inner, g, err
 }
 
 // gather runs the two-phase bound exchange for one (query, window) at
@@ -219,50 +228,7 @@ func (r *Router) gather(ctx context.Context, key gatherKey, k int, caches map[ga
 		}
 		return nil, err
 	}
-	cuts := prune.SliceCuts(q, key.tb, key.te)
-	nSlices := len(cuts) - 1
-
-	// Phase 1: every shard bounds its local Level-k envelope per slice.
-	type boundsReply struct {
-		bounds []float64
-		wall   time.Duration
-	}
-	phase1, err := scatter(ctx, r.shards, func(ctx context.Context, _ int, s Shard) (boundsReply, error) {
-		t0 := time.Now()
-		bs, err := s.Bounds(ctx, q, key.tb, key.te, k)
-		return boundsReply{bounds: bs, wall: time.Since(t0)}, err
-	})
-	if err != nil {
-		return nil, err
-	}
-	global := make([]float64, nSlices)
-	for i := range global {
-		global[i] = math.Inf(1)
-	}
-	for si, reply := range phase1 {
-		if len(reply.bounds) != nSlices {
-			return nil, fmt.Errorf("%w: shard %s returned %d bounds for %d slices",
-				ErrProtocol, r.shards[si].Name(), len(reply.bounds), nSlices)
-		}
-		for i, b := range reply.bounds {
-			if b < global[i] {
-				global[i] = b
-			}
-		}
-	}
-
-	// Phase 2: shards sweep against the merged global bounds and return
-	// the trajectories that can enter the global 4r zone.
-	type survReply struct {
-		trs   []*trajectory.Trajectory
-		stats prune.Stats
-		wall  time.Duration
-	}
-	phase2, err := scatter(ctx, r.shards, func(ctx context.Context, _ int, s Shard) (survReply, error) {
-		t0 := time.Now()
-		trs, stats, err := s.Survivors(ctx, q, key.tb, key.te, global)
-		return survReply{trs: trs, stats: stats, wall: time.Since(t0)}, err
-	})
+	bounds, phase2, err := r.exchange(ctx, q, key.tb, key.te, k)
 	if err != nil {
 		return nil, err
 	}
@@ -282,7 +248,7 @@ func (r *Router) gather(ctx context.Context, key gatherKey, k int, caches map[ga
 		shardEx[si] = engine.Explain{
 			Candidates: reply.stats.Candidates,
 			Survivors:  reply.stats.Survivors,
-			Wall:       phase1[si].wall + reply.wall,
+			Wall:       reply.wall,
 		}
 		for _, tr := range reply.trs {
 			if tr.OID == q.OID {
@@ -296,9 +262,66 @@ func (r *Router) gather(ctx context.Context, key gatherKey, k int, caches map[ga
 			}
 		}
 	}
-	g := &gathered{store: store, shardEx: shardEx, k: k, targets: make(map[int64]bool)}
+	g := &gathered{store: store, shardEx: shardEx, k: k, targets: make(map[int64]bool), q: q, bounds: bounds}
 	caches[key] = g
 	return g, nil
+}
+
+// survReply is one shard's phase-2 outcome; wall spans both exchange
+// phases on that shard.
+type survReply struct {
+	trs   []*trajectory.Trajectory
+	stats prune.Stats
+	wall  time.Duration
+}
+
+// exchange runs the two-phase bound exchange for (q, [tb, te]) at rank k:
+// phase 1 gathers per-slice local Level-k envelope bounds and mins them
+// into a sound global bound; phase 2 broadcasts it and gathers each
+// shard's global-zone survivors. Both gather() (which refines the
+// survivors through an engine) and the continuous layer's zone profiles
+// (which only need the bounds and survivor IDs) build on it.
+func (r *Router) exchange(ctx context.Context, q *trajectory.Trajectory, tb, te float64, k int) ([]float64, []survReply, error) {
+	cuts := prune.SliceCuts(q, tb, te)
+	nSlices := len(cuts) - 1
+
+	type boundsReply struct {
+		bounds []float64
+		wall   time.Duration
+	}
+	phase1, err := scatter(ctx, r.shards, func(ctx context.Context, _ int, s Shard) (boundsReply, error) {
+		t0 := time.Now()
+		bs, err := s.Bounds(ctx, q, tb, te, k)
+		return boundsReply{bounds: bs, wall: time.Since(t0)}, err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	global := make([]float64, nSlices)
+	for i := range global {
+		global[i] = math.Inf(1)
+	}
+	for si, reply := range phase1 {
+		if len(reply.bounds) != nSlices {
+			return nil, nil, fmt.Errorf("%w: shard %s returned %d bounds for %d slices",
+				ErrProtocol, r.shards[si].Name(), len(reply.bounds), nSlices)
+		}
+		for i, b := range reply.bounds {
+			if b < global[i] {
+				global[i] = b
+			}
+		}
+	}
+
+	phase2, err := scatter(ctx, r.shards, func(ctx context.Context, i int, s Shard) (survReply, error) {
+		t0 := time.Now()
+		trs, stats, err := s.Survivors(ctx, q, tb, te, global)
+		return survReply{trs: trs, stats: stats, wall: phase1[i].wall + time.Since(t0)}, err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return global, phase2, nil
 }
 
 // gatherAll collects every shard's objects into one transient store — the

@@ -1,0 +1,591 @@
+// Package continuous turns the unified query API into a standing-query
+// subsystem: clients register repro.Request subscriptions against a live
+// MOD, location updates flow in through Ingest, and each ingest batch
+// re-evaluates only the subscriptions the batch can actually affect,
+// emitting diff events (OIDs added/removed, predicate flips) with the
+// usual Explain provenance.
+//
+// The heart of the package is the dirty test. A subscription remembers,
+// from its last evaluation, a *zone profile*: the query trajectory, the
+// deterministic slice cuts of its window (prune.SliceCuts), the per-slice
+// upper bounds on the Level-k lower envelope, and the prune candidate
+// superset. An update is *irrelevant* to the subscription — and must not
+// trigger re-evaluation — when all of the following hold:
+//
+//   - it does not touch the query trajectory or the request's target
+//     object;
+//   - it does not touch a superset member (everything whose distance
+//     function can graze the envelope's pruning zone is in the superset);
+//   - the object's changed motion (appends only change positions from the
+//     old plan end onward; before it the plan is untouched) stays outside
+//     the influence zone on every overlapping slice: its exact minimum
+//     crisp distance from the query exceeds bound + 6r + Margin, for both
+//     the new plan and the superseded clamp it replaced.
+//
+// The 6r width is deliberately wider than the paper's 4r possible-NN
+// zone: certain-NN and threshold answers also depend on objects that can
+// merely *block* a zone member's certainty, and a blocker j of member i
+// satisfies min d_j <= max d_i + r <= (env + 4r) + 2r. An object beyond
+// env + 6r can neither define the envelope, nor enter any zone, nor block
+// anyone — so leaving it unevaluated provably preserves every answer
+// byte. The deterministic simulation harness (internal/simtest) pins
+// exactly that: after every ingest step, every live answer must equal a
+// fresh engine run on a snapshot.
+package continuous
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"slices"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/mod"
+	"repro/internal/prune"
+	"repro/internal/trajectory"
+)
+
+// Package errors.
+var (
+	// ErrNoSub reports an unknown subscription ID.
+	ErrNoSub = errors.New("continuous: unknown subscription")
+	// ErrHubClosed is returned after Close.
+	ErrHubClosed = errors.New("continuous: hub closed")
+)
+
+// Backend abstracts where the standing queries are evaluated: a
+// single-store engine (NewEngineHub) or a sharded cluster router
+// (cluster.NewRouterHub). Implementations must evaluate against the same
+// data Apply mutates.
+type Backend interface {
+	// Apply applies the updates and reports per-update outcomes.
+	Apply(ctx context.Context, updates []mod.Update) ([]mod.Applied, error)
+	// Evaluate answers one request (the engine.Do contract) and returns
+	// the request's zone profile at the same data version — derived from
+	// work the evaluation already performed (the engine's memoized
+	// processor, the router's bound exchange), never a second full pass.
+	// A nil profile means the backend cannot bound the request's
+	// dependency set (the kind iterates query trajectories, say); the
+	// subscription then re-evaluates on every ingest.
+	Evaluate(ctx context.Context, req engine.Request) (engine.Result, *Profile, error)
+	// Radius returns the shared uncertainty radius.
+	Radius() float64
+}
+
+// Profile is a subscription's zone fingerprint from its last evaluation —
+// everything the dirty test needs to prove an update irrelevant.
+type Profile struct {
+	// Query is the query trajectory the bounds were computed against.
+	Query *trajectory.Trajectory
+	// Cuts are the window's deterministic slice boundaries.
+	Cuts []float64
+	// Bounds are per-slice upper bounds on the Level-k lower envelope
+	// (k = the request's rank), +Inf where unbounded.
+	Bounds []float64
+	// Superset holds the prune candidate superset's OIDs.
+	Superset map[int64]struct{}
+
+	// qbox/maxBound are the O(1) prefilter, derived in finish(): the
+	// query's spatial bounding box over the window and the largest finite
+	// slice bound (+Inf disables the prefilter). An update whose changed
+	// motion stays further from qbox than maxBound + influence width
+	// cannot graze any slice's zone, with no per-slice work.
+	qbox     geom.AABB
+	maxBound float64
+}
+
+// finish derives the prefilter fields. Hub calls it on every profile a
+// backend returns.
+func (p *Profile) finish() *Profile {
+	if p == nil {
+		return nil
+	}
+	if p.Query != nil && len(p.Cuts) >= 2 {
+		tb, te := p.Cuts[0], p.Cuts[len(p.Cuts)-1]
+		box := geom.AABBOf(p.Query.At(tb), p.Query.At(te))
+		for _, tv := range p.Query.VertexTimesWithin(tb, te) {
+			box = box.ExtendPoint(p.Query.At(tv))
+		}
+		p.qbox = box
+	}
+	p.maxBound = 0
+	for _, u := range p.Bounds {
+		if u > p.maxBound {
+			p.maxBound = u
+		}
+	}
+	return p
+}
+
+// Event is one subscription's diff after an ingest batch. For retrieval
+// kinds Added/Removed carry the OID delta and OIDs the full new answer;
+// for predicate kinds Bool carries the new value; the all-pairs kind
+// ships the full new Pairs map. Seq increases per subscription, so a
+// stream consumer can detect gaps.
+type Event struct {
+	SubID   int64             `json:"sub_id"`
+	Seq     uint64            `json:"seq"`
+	Kind    engine.Kind       `json:"kind"`
+	Added   []int64           `json:"added,omitempty"`
+	Removed []int64           `json:"removed,omitempty"`
+	IsBool  bool              `json:"is_bool,omitempty"`
+	Bool    bool              `json:"bool,omitempty"`
+	OIDs    []int64           `json:"oids,omitempty"`
+	Pairs   map[int64][]int64 `json:"pairs,omitempty"`
+	Explain engine.Explain    `json:"explain"`
+}
+
+// Stats counts the hub's dirty-set effectiveness: how many subscription
+// re-evaluations ingests triggered, and how many the dirty test skipped.
+type Stats struct {
+	Ingested uint64 `json:"ingested"` // updates applied
+	Evals    uint64 `json:"evals"`    // subscription re-evaluations
+	Skips    uint64 `json:"skips"`    // re-evaluations proven unnecessary
+}
+
+type sub struct {
+	id   int64
+	req  engine.Request
+	last engine.Result
+	prof *Profile
+	seq  uint64
+}
+
+// Hub owns the standing subscriptions over one backend. All methods are
+// safe for concurrent use; Ingest batches are serialized, so events are
+// totally ordered per subscription. Every mutation of the underlying data
+// must flow through Ingest (or be followed by Invalidate) — the dirty
+// test's profiles describe the data as of the last evaluation.
+type Hub struct {
+	be Backend
+
+	mu     sync.Mutex
+	subs   map[int64]*sub
+	nextID int64
+	stats  Stats
+	closed bool
+}
+
+// New creates a hub over a backend.
+func New(be Backend) *Hub {
+	return &Hub{be: be, subs: make(map[int64]*sub)}
+}
+
+// NewEngineHub is the single-store hub: updates apply to store, standing
+// queries evaluate through eng (nil means a fresh engine with one worker
+// per CPU).
+func NewEngineHub(store *mod.Store, eng *engine.Engine) *Hub {
+	if eng == nil {
+		eng = engine.New(0)
+	}
+	return New(&engineBackend{store: store, eng: eng})
+}
+
+// Subscribe registers a standing request and returns its ID and initial
+// answer. A request whose initial evaluation fails (unknown query OID,
+// bad window, ...) is rejected outright — there is nothing coherent to
+// keep fresh.
+func (h *Hub) Subscribe(ctx context.Context, req engine.Request) (int64, engine.Result, error) {
+	if err := req.Validate(); err != nil {
+		return 0, engine.Result{Kind: req.Kind, Err: err}, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return 0, engine.Result{Kind: req.Kind, Err: ErrHubClosed}, ErrHubClosed
+	}
+	res, prof, err := h.be.Evaluate(ctx, req)
+	if err != nil {
+		return 0, res, err
+	}
+	h.nextID++
+	id := h.nextID
+	h.subs[id] = &sub{id: id, req: req, last: res, prof: prof.finish()}
+	return id, res, nil
+}
+
+// Unsubscribe drops a subscription. It reports whether the ID was live.
+func (h *Hub) Unsubscribe(id int64) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, ok := h.subs[id]
+	delete(h.subs, id)
+	return ok
+}
+
+// Answer returns a subscription's current (last evaluated) result.
+func (h *Hub) Answer(id int64) (engine.Result, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.subs[id]
+	if !ok {
+		return engine.Result{}, fmt.Errorf("%w: %d", ErrNoSub, id)
+	}
+	return s.last, nil
+}
+
+// Request returns a subscription's standing request.
+func (h *Hub) Request(id int64) (engine.Request, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.subs[id]
+	if !ok {
+		return engine.Request{}, fmt.Errorf("%w: %d", ErrNoSub, id)
+	}
+	return s.req, nil
+}
+
+// Subscriptions returns the live subscription IDs, sorted.
+func (h *Hub) Subscriptions() []int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]int64, 0, len(h.subs))
+	for id := range h.subs {
+		out = append(out, id)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// Stats reports the hub's counters.
+func (h *Hub) Stats() Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+// Invalidate drops every subscription's zone profile, forcing the next
+// ingest to re-evaluate all of them — the escape hatch after an
+// out-of-band store mutation.
+func (h *Hub) Invalidate() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, s := range h.subs {
+		s.prof = nil
+	}
+}
+
+// Close marks the hub closed; subsequent Subscribe/Ingest calls fail.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closed = true
+}
+
+// Ingest applies one update batch and re-evaluates the affected
+// subscriptions in ID order, returning the per-update outcomes and the
+// diff events (empty when no answer changed). On an apply error the
+// updates applied so far stand, every profile is invalidated (the data
+// moved under the profiles), and the error is returned with no events.
+// On a context error mid re-evaluation the events emitted so far are
+// returned with the error; affected subscriptions keep stale answers but
+// lose their profiles, so the next ingest re-evaluates them.
+func (h *Hub) Ingest(ctx context.Context, updates []mod.Update) ([]mod.Applied, []Event, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, nil, ErrHubClosed
+	}
+	applied, err := h.be.Apply(ctx, updates)
+	h.stats.Ingested += uint64(len(applied))
+	if err != nil {
+		for _, s := range h.subs {
+			s.prof = nil
+		}
+		return applied, nil, err
+	}
+	ids := make([]int64, 0, len(h.subs))
+	for id := range h.subs {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	r := h.be.Radius()
+	// The changed-motion bounding boxes are per-update, not per-(update,
+	// subscription): derive them once for the whole fan-out.
+	boxes := make([]geom.AABB, len(applied))
+	for i, a := range applied {
+		boxes[i] = changedBox(a)
+	}
+	var events []Event
+	for i, id := range ids {
+		s := h.subs[id]
+		if !dirty(s, applied, boxes, r) {
+			h.stats.Skips++
+			continue
+		}
+		h.stats.Evals++
+		res, prof, derr := h.be.Evaluate(ctx, s.req)
+		if derr != nil {
+			s.prof = nil
+			if errors.Is(derr, context.Canceled) || errors.Is(derr, context.DeadlineExceeded) {
+				// The batch is already applied but the remaining
+				// subscriptions were never dirty-tested against it: their
+				// profiles describe pre-batch data, so drop them — the
+				// next ingest re-evaluates instead of trusting a stale
+				// fingerprint into a forever-stale answer.
+				for _, rest := range ids[i+1:] {
+					h.subs[rest].prof = nil
+				}
+				return applied, events, derr
+			}
+			// A per-subscription evaluation error (the query object was
+			// deleted out of band, say): keep the last good answer, stay
+			// profile-less so the next ingest retries.
+			continue
+		}
+		ev, changed := diffResults(s.last, res)
+		s.last = res
+		s.prof = prof.finish()
+		if changed {
+			s.seq++
+			ev.SubID = s.id
+			ev.Seq = s.seq
+			ev.Kind = res.Kind
+			ev.Explain = res.Explain
+			events = append(events, ev)
+		}
+	}
+	return applied, events, nil
+}
+
+// influenceWidth is the dirty-test zone width beyond the per-slice
+// envelope bound: 6r + Margin (see the package comment's derivation).
+func influenceWidth(r float64) float64 { return 6*r + prune.Margin }
+
+// dirty reports whether any applied update can change the subscription's
+// answer. boxes[i] is the precomputed bounding box of applied[i]'s
+// changed motion (new plan and superseded plan, from ChangedFrom on).
+func dirty(s *sub, applied []mod.Applied, boxes []geom.AABB, r float64) bool {
+	prof := s.prof
+	if prof == nil || prof.Query == nil || len(prof.Cuts) < 2 {
+		return true
+	}
+	target, hasTarget := targetOID(s.req)
+	width := influenceWidth(r)
+	for i, a := range applied {
+		if a.ChangedFrom >= s.req.Te {
+			// Positions inside the window are untouched by this update —
+			// irrelevant no matter whose plan it is.
+			continue
+		}
+		if a.OID == s.req.QueryOID || (hasTarget && a.OID == target) {
+			return true
+		}
+		if _, ok := prof.Superset[a.OID]; ok {
+			return true
+		}
+		if !math.IsInf(prof.maxBound, 1) && boxGap(boxes[i], prof.qbox) > prof.maxBound+width {
+			// O(1) prefilter: even against the loosest slice bound, the
+			// whole changed motion stays outside the influence zone.
+			continue
+		}
+		if motionEntersZone(prof, a, width) {
+			return true
+		}
+	}
+	return false
+}
+
+// motionBox bounds tr's positions from time `from` on (the whole plan for
+// -Inf): the position at the change point, every later vertex, and —
+// because clamped evaluation parks the object at its last vertex — the
+// tail is covered by that vertex too.
+func motionBox(tr *trajectory.Trajectory, from float64) geom.AABB {
+	if tr == nil {
+		return geom.EmptyAABB()
+	}
+	if math.IsInf(from, -1) {
+		return tr.BoundingBox()
+	}
+	box := geom.AABBOf(tr.At(from))
+	for _, v := range tr.Verts {
+		if v.T > from {
+			box = box.ExtendPoint(v.Point())
+		}
+	}
+	return box
+}
+
+// changedBox bounds everything an update moved: the new motion and the
+// superseded motion from ChangedFrom on.
+func changedBox(a mod.Applied) geom.AABB {
+	box := motionBox(a.Traj, a.ChangedFrom)
+	if a.Prev != nil {
+		box = box.Union(motionBox(a.Prev, a.ChangedFrom))
+	}
+	return box
+}
+
+// boxGap is the minimum distance between two boxes (0 when they touch).
+func boxGap(a, b geom.AABB) float64 {
+	dx := math.Max(0, math.Max(a.MinX-b.MaxX, b.MinX-a.MaxX))
+	dy := math.Max(0, math.Max(a.MinY-b.MaxY, b.MinY-a.MaxY))
+	return math.Hypot(dx, dy)
+}
+
+// motionEntersZone tests the update's changed motion — the new plan and
+// the plan it superseded (whose removal can matter just as much as the
+// new path's arrival) — against the per-slice influence zone.
+func motionEntersZone(prof *Profile, a mod.Applied, width float64) bool {
+	cuts, bounds := prof.Cuts, prof.Bounds
+	for i := 1; i < len(cuts); i++ {
+		s0, s1 := cuts[i-1], cuts[i]
+		if s1 <= a.ChangedFrom {
+			continue
+		}
+		u := bounds[i-1]
+		if math.IsInf(u, 1) {
+			return true
+		}
+		lo := math.Max(s0, a.ChangedFrom)
+		if a.Traj == nil {
+			return true
+		}
+		if prune.MinCrispDist(a.Traj, prof.Query, lo, s1) <= u+width {
+			return true
+		}
+		if a.Prev != nil && prune.MinCrispDist(a.Prev, prof.Query, lo, s1) <= u+width {
+			return true
+		}
+	}
+	return false
+}
+
+// diffResults compares two results and builds the event skeleton. changed
+// is false when the answers are byte-identical.
+func diffResults(prev, next engine.Result) (Event, bool) {
+	var ev Event
+	switch {
+	case next.IsBool:
+		ev.IsBool, ev.Bool = true, next.Bool
+		return ev, prev.Bool != next.Bool || !prev.IsBool
+	case next.Pairs != nil || prev.Pairs != nil:
+		ev.Pairs = next.Pairs
+		if len(prev.Pairs) != len(next.Pairs) {
+			return ev, true
+		}
+		for k, v := range next.Pairs {
+			if !slices.Equal(prev.Pairs[k], v) {
+				return ev, true
+			}
+		}
+		return ev, false
+	default:
+		ev.OIDs = next.OIDs
+		ev.Added, ev.Removed = diffOIDs(prev.OIDs, next.OIDs)
+		return ev, len(ev.Added) > 0 || len(ev.Removed) > 0
+	}
+}
+
+// diffOIDs computes the sorted set difference both ways (inputs are the
+// engine's deterministic sorted answers).
+func diffOIDs(prev, next []int64) (added, removed []int64) {
+	i, j := 0, 0
+	for i < len(prev) && j < len(next) {
+		switch {
+		case prev[i] == next[j]:
+			i++
+			j++
+		case prev[i] < next[j]:
+			removed = append(removed, prev[i])
+			i++
+		default:
+			added = append(added, next[j])
+			j++
+		}
+	}
+	removed = append(removed, prev[i:]...)
+	added = append(added, next[j:]...)
+	return added, removed
+}
+
+// targetOID mirrors the cluster router's single-object-target table: the
+// object whose own motion the request's answer directly depends on.
+func targetOID(req engine.Request) (int64, bool) {
+	switch req.Kind {
+	case engine.KindUQ11, engine.KindUQ12, engine.KindUQ13,
+		engine.KindUQ21, engine.KindUQ22, engine.KindUQ23,
+		engine.KindNNAt, engine.KindRankAt, engine.KindThreshold:
+		return req.OID, true
+	case engine.KindReverse:
+		return req.OID, true
+	}
+	return 0, false
+}
+
+// profiled reports whether the kind's dependency set can be bounded by a
+// (query, window) zone profile. The all-pairs and reverse kinds iterate
+// query trajectories — every object is a query — so they re-evaluate on
+// every ingest.
+func profiled(k engine.Kind) bool {
+	return k != engine.KindAllPairs && k != engine.KindReverse
+}
+
+// engineBackend is the single-store Backend.
+type engineBackend struct {
+	store *mod.Store
+	eng   *engine.Engine
+}
+
+func (b *engineBackend) Apply(_ context.Context, updates []mod.Update) ([]mod.Applied, error) {
+	return b.store.ApplyUpdates(updates)
+}
+
+// Evaluate answers through the engine and fingerprints the request
+// cheaply: the survivor superset comes from the engine's memoized
+// processor (just built by the Do — the lookup is a memo hit, no second
+// sweep), and the per-slice bounds from the probe-only SliceBounds
+// phase. A profile failure degrades to nil (always dirty), never to a
+// wrong skip.
+func (b *engineBackend) Evaluate(ctx context.Context, req engine.Request) (engine.Result, *Profile, error) {
+	res, err := b.eng.Do(ctx, b.store, req)
+	if err != nil {
+		return res, nil, err
+	}
+	if !profiled(req.Kind) {
+		return res, nil, nil
+	}
+	prof, perr := b.profile(ctx, req)
+	if perr != nil {
+		prof = nil
+	}
+	return res, prof, nil
+}
+
+func (b *engineBackend) profile(ctx context.Context, req engine.Request) (*Profile, error) {
+	q, err := b.store.Get(req.QueryOID)
+	if err != nil {
+		return nil, err
+	}
+	proc, err := b.eng.ProcessorCtx(ctx, b.store, req.QueryOID, req.Tb, req.Te)
+	if err != nil {
+		return nil, err
+	}
+	if k := req.Rank(); k > 1 {
+		if err := proc.EnsureLevelsCtx(ctx, k); err != nil {
+			return nil, err
+		}
+	}
+	bounds, err := prune.SliceBounds(ctx, b.store, q, req.Tb, req.Te, req.Rank())
+	if err != nil {
+		return nil, err
+	}
+	cuts := prune.SliceCuts(q, req.Tb, req.Te)
+	if len(cuts) < 2 || len(bounds) != len(cuts)-1 {
+		return nil, nil // unbounded fingerprint: always dirty, never wrong
+	}
+	ids := proc.SurvivorOIDs()
+	set := make(map[int64]struct{}, len(ids))
+	for _, id := range ids {
+		set[id] = struct{}{}
+	}
+	return &Profile{Query: q, Cuts: cuts, Bounds: bounds, Superset: set}, nil
+}
+
+func (b *engineBackend) Radius() float64 { return b.store.Radius() }

@@ -1,0 +1,452 @@
+package mod
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/sindex"
+	"repro/internal/trajectory"
+)
+
+// This file is the live-ingestion surface of the store: location updates
+// append vertices to existing motion plans (or insert brand-new objects),
+// and the spatial indexes are maintained *incrementally* — new segments
+// are inserted into the cached segment R-tree and the predictive TPR tree
+// via the persistent Inserted path instead of invalidating the whole
+// (version, fanout) cache, so a standing query workload never pays a full
+// O(n log n) rebuild just because the fleet reported positions.
+
+// Live-ingestion errors.
+var (
+	// ErrStaleVertex reports an appended vertex whose timestamp does not
+	// strictly exceed the trajectory's current last vertex time.
+	ErrStaleVertex = errors.New("mod: appended vertex time must exceed the last vertex time")
+	// ErrShortInsert reports an ingest update that targets an unknown OID
+	// with fewer than the two vertices a valid trajectory needs.
+	ErrShortInsert = errors.New("mod: inserting via ingest needs at least two vertices")
+)
+
+// Update is one ingest item: new vertices for object OID, in time order.
+// If the store does not hold OID they become a new trajectory (at least
+// two vertices). If it does, the vertices *revise the plan from their
+// first timestamp onward*: vertices at or after Verts[0].T are dropped
+// and the new ones spliced on — a pure extension when Verts[0].T is past
+// the current plan end, a mid-plan route revision otherwise (the paper's
+// Section 2.1 model: the server knows full trip plans, and a location
+// update is a deviation that rewrites the plan's future). Updates are the
+// wire currency of the live layer — the modserver ingest op and the
+// cluster router carry them verbatim.
+type Update struct {
+	OID   int64               `json:"oid"`
+	Verts []trajectory.Vertex `json:"verts"`
+}
+
+// Applied describes one applied update: whether it inserted a new object,
+// the time from which the object's motion changed (-Inf for an insert),
+// the plan the update superseded (nil for an insert), and the post-update
+// trajectory. The continuous-query layer feeds Applied into its dirty
+// test: positions before ChangedFrom are untouched, so a subscription
+// whose window ends earlier cannot be affected, and both Prev and Traj
+// must stay clear of a subscription's influence zone for the update to be
+// provably irrelevant after ChangedFrom.
+type Applied struct {
+	OID         int64
+	Inserted    bool
+	ChangedFrom float64
+	Prev        *trajectory.Trajectory
+	Traj        *trajectory.Trajectory
+}
+
+// AppendVertex appends one vertex to an existing trajectory. The vertex
+// must be finite and strictly after the current last vertex. The stored
+// trajectory value is replaced, never mutated — readers holding the old
+// pointer (snapshots, sibling shards) keep a consistent plan.
+func (s *Store) AppendVertex(oid int64, v trajectory.Vertex) error {
+	_, err := s.ExtendTrajectory(oid, []trajectory.Vertex{v})
+	return err
+}
+
+// checkVerts validates an update's vertices: finite, strictly increasing.
+func checkVerts(oid int64, verts []trajectory.Vertex) error {
+	if len(verts) == 0 {
+		return fmt.Errorf("%w: empty update for %d", ErrStaleVertex, oid)
+	}
+	last := trajectory.Vertex{T: math.Inf(-1)}
+	for _, v := range verts {
+		if math.IsNaN(v.X) || math.IsInf(v.X, 0) || math.IsNaN(v.Y) || math.IsInf(v.Y, 0) ||
+			math.IsNaN(v.T) || math.IsInf(v.T, 0) {
+			return fmt.Errorf("%w: vertex at t=%g", trajectory.ErrNonFinite, v.T)
+		}
+		if v.T <= last.T {
+			return fmt.Errorf("%w: %d (t=%g after t=%g)", ErrStaleVertex, oid, v.T, last.T)
+		}
+		last = v
+	}
+	return nil
+}
+
+// extendLocked appends pre-validated verts to old. Caller holds s.mu and
+// guarantees verts[0].T > old's last vertex time.
+func (s *Store) extendLocked(old *trajectory.Trajectory, verts []trajectory.Vertex) (nt *trajectory.Trajectory, changedFrom float64) {
+	changedFrom = old.Verts[len(old.Verts)-1].T
+	nv := make([]trajectory.Vertex, len(old.Verts), len(old.Verts)+len(verts))
+	copy(nv, old.Verts)
+	nv = append(nv, verts...)
+	nt = &trajectory.Trajectory{OID: old.OID, Verts: nv}
+	s.trajs[old.OID] = nt
+	s.version++
+	s.segLive += len(verts)
+	return nt, changedFrom
+}
+
+// reviseLocked splices pre-validated verts onto old at verts[0].T. Caller
+// holds s.mu.
+func (s *Store) reviseLocked(old *trajectory.Trajectory, verts []trajectory.Vertex) (nt *trajectory.Trajectory, changedFrom float64, err error) {
+	keep := 0
+	for keep < len(old.Verts) && old.Verts[keep].T < verts[0].T {
+		keep++
+	}
+	if keep == 0 {
+		return nil, 0, fmt.Errorf("%w: %d (revision at t=%g precedes the whole plan)", ErrStaleVertex, old.OID, verts[0].T)
+	}
+	changedFrom = old.Verts[keep-1].T
+	nv := make([]trajectory.Vertex, keep, keep+len(verts))
+	copy(nv, old.Verts[:keep])
+	nv = append(nv, verts...)
+	nt = &trajectory.Trajectory{OID: old.OID, Verts: nv}
+	s.trajs[old.OID] = nt
+	s.version++
+	s.segLive += nt.NumSegments() - old.NumSegments()
+	return nt, changedFrom, nil
+}
+
+// ExtendTrajectory appends verts (in order) to an existing trajectory and
+// returns the time from which the object's motion changed: the previous
+// last vertex time — before it, interpolated positions are untouched; at
+// and after it, the old clamp is replaced by the new plan.
+func (s *Store) ExtendTrajectory(oid int64, verts []trajectory.Vertex) (changedFrom float64, err error) {
+	if err := checkVerts(oid, verts); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	old, ok := s.trajs[oid]
+	if !ok {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("%w: %d", ErrNotFound, oid)
+	}
+	if last := old.Verts[len(old.Verts)-1]; verts[0].T <= last.T {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("%w: %d (t=%g after t=%g)", ErrStaleVertex, oid, verts[0].T, last.T)
+	}
+	nt, changedFrom := s.extendLocked(old, verts)
+	version := s.version
+	s.mu.Unlock()
+
+	s.maintainIndexes(nt, changedFrom, version)
+	return changedFrom, nil
+}
+
+// RevisePlan splices verts onto an existing plan: every stored vertex at
+// or after verts[0].T is dropped, the new vertices are appended, and the
+// object's motion changes from the last *kept* vertex onward (the splice
+// segment from that vertex to verts[0] generally differs from the old
+// path — changedFrom is its start, which is what the returned value
+// reports). verts[0].T must leave at least one vertex standing. The
+// superseded plan is returned for provenance (it is immutable; readers
+// holding it are unaffected).
+func (s *Store) RevisePlan(oid int64, verts []trajectory.Vertex) (changedFrom float64, prev *trajectory.Trajectory, err error) {
+	if err := checkVerts(oid, verts); err != nil {
+		return 0, nil, err
+	}
+	s.mu.Lock()
+	old, ok := s.trajs[oid]
+	if !ok {
+		s.mu.Unlock()
+		return 0, nil, fmt.Errorf("%w: %d", ErrNotFound, oid)
+	}
+	nt, changedFrom, err := s.reviseLocked(old, verts)
+	if err != nil {
+		s.mu.Unlock()
+		return 0, nil, err
+	}
+	version := s.version
+	s.mu.Unlock()
+
+	s.maintainIndexes(nt, changedFrom, version)
+	return changedFrom, old, nil
+}
+
+// ApplyUpdate applies one ingest update: a plan revision (or pure
+// extension) when the OID exists, an insert otherwise. Classification
+// and application happen under one critical section, so concurrent
+// same-OID updates serialize cleanly (each sees the other's committed
+// plan — no lost updates, no spurious stale/duplicate errors, and Prev
+// is always the plan this update actually superseded).
+func (s *Store) ApplyUpdate(u Update) (Applied, error) {
+	if err := checkVerts(u.OID, u.Verts); err != nil {
+		return Applied{}, err
+	}
+	s.mu.Lock()
+	old, exists := s.trajs[u.OID]
+	if !exists {
+		if len(u.Verts) < 2 {
+			s.mu.Unlock()
+			return Applied{}, fmt.Errorf("%w: oid %d has %d", ErrShortInsert, u.OID, len(u.Verts))
+		}
+		tr, err := trajectory.New(u.OID, append([]trajectory.Vertex(nil), u.Verts...))
+		if err != nil {
+			s.mu.Unlock()
+			return Applied{}, err
+		}
+		s.trajs[u.OID] = tr
+		s.version++
+		s.segLive += tr.NumSegments()
+		version := s.version
+		s.mu.Unlock()
+		s.maintainIndexes(tr, math.Inf(-1), version)
+		return Applied{OID: u.OID, Inserted: true, ChangedFrom: math.Inf(-1), Traj: tr}, nil
+	}
+	var (
+		nt          *trajectory.Trajectory
+		changedFrom float64
+		err         error
+	)
+	if u.Verts[0].T > old.Verts[len(old.Verts)-1].T {
+		// Strictly beyond the plan end: a pure extension — the motion
+		// changes from the old plan end (the clamp is replaced).
+		nt, changedFrom = s.extendLocked(old, u.Verts)
+	} else {
+		nt, changedFrom, err = s.reviseLocked(old, u.Verts)
+		if err != nil {
+			s.mu.Unlock()
+			return Applied{}, err
+		}
+	}
+	version := s.version
+	s.mu.Unlock()
+	s.maintainIndexes(nt, changedFrom, version)
+	return Applied{OID: u.OID, ChangedFrom: changedFrom, Prev: old, Traj: nt}, nil
+}
+
+// ApplyUpdates applies the batch in order, stopping at the first error and
+// returning the outcomes applied so far alongside it.
+func (s *Store) ApplyUpdates(us []Update) ([]Applied, error) {
+	out := make([]Applied, 0, len(us))
+	for _, u := range us {
+		a, err := s.ApplyUpdate(u)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// InsertLive inserts a trajectory like Insert but maintains the cached
+// indexes incrementally instead of leaving them to a lazy rebuild — the
+// ingest path for objects joining a live fleet.
+func (s *Store) InsertLive(tr *trajectory.Trajectory) error {
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if _, ok := s.trajs[tr.OID]; ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrDuplicateOID, tr.OID)
+	}
+	s.trajs[tr.OID] = tr
+	s.version++
+	s.segLive += tr.NumSegments()
+	version := s.version
+	s.mu.Unlock()
+
+	s.maintainIndexes(tr, math.Inf(-1), version)
+	return nil
+}
+
+// compactionSlack bounds how far a chained tree may outgrow the live
+// segment population before the chain is cut: plan revisions leave
+// superseded entries behind (harmless false positives individually), and
+// without a cut a long-running revision workload would grow the tree —
+// and every probe over it — without bound. Past 2× (and a small floor so
+// tiny stores never churn) the chain stops, the cache goes stale, and
+// the next BuildIndex performs a compacting rebuild.
+const (
+	compactionSlack = 2
+	compactionFloor = 1 << 10
+)
+
+// maintainIndexes chains the cached segment R-tree (and the predictive TPR
+// tree, when enabled) forward to `version` by inserting the entries for
+// tr's motion from changedFrom on. The chain rule: an incremental step is
+// taken only when the cache is exactly one version behind, so interleaved
+// non-append mutations leave the cache stale and the next BuildIndex
+// rebuilds — never a wrong tree, at worst a redundant rebuild. A chain
+// whose tree has accumulated superseded entries beyond compactionSlack ×
+// the live segment count is cut the same way, which is what keeps index
+// size (and probe cost) proportional to the live fleet under a sustained
+// revision workload.
+func (s *Store) maintainIndexes(tr *trajectory.Trajectory, changedFrom float64, version uint64) {
+	s.mu.RLock()
+	live := s.segLive
+	s.mu.RUnlock()
+	bloated := func(treeLen int) bool {
+		return treeLen > compactionFloor && treeLen > compactionSlack*live
+	}
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	if s.idx != nil && s.idxVersion == version-1 && bloated(s.idx.Len()) {
+		s.idx = nil // cut the chain: next BuildIndex compacts
+	}
+	if s.idx != nil && s.idxVersion == version-1 {
+		var es []sindex.Entry
+		for i := 0; i < tr.NumSegments(); i++ {
+			seg, t0, t1 := tr.Segment(i)
+			if t1 <= changedFrom {
+				continue
+			}
+			box := geom.AABBOf(seg.A, seg.B).Expand(s.spec.R)
+			es = append(es, sindex.Entry{ID: tr.OID, Box: box, T0: t0, T1: t1})
+		}
+		s.idx = s.idx.Inserted(es...)
+		s.idxVersion = version
+		s.stats.SegIncremental++
+	}
+	if s.predOn && s.pred != nil && s.predVersion == version-1 && bloated(s.pred.Len()) {
+		s.pred = nil // cut the chain: the next Predictive call compacts
+	}
+	if s.predOn && s.pred != nil && s.predVersion == version-1 {
+		es := predictiveEntries(tr, s.predRef, s.predRef+s.predHorizon, changedFrom)
+		s.pred = s.pred.Inserted(es...)
+		s.predVersion = version
+		s.stats.TPRIncremental++
+	}
+}
+
+// IndexStats counts index maintenance work — how often each cached tree
+// was rebuilt from scratch versus chained forward incrementally. The
+// predictive no-rebuild gate asserts on it.
+type IndexStats struct {
+	SegBuilds      uint64 `json:"seg_builds"`
+	SegIncremental uint64 `json:"seg_incremental"`
+	TPRBuilds      uint64 `json:"tpr_builds"`
+	TPRIncremental uint64 `json:"tpr_incremental"`
+}
+
+// IndexStats reports the maintenance counters.
+func (s *Store) IndexStats() IndexStats {
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	return s.stats
+}
+
+// EnablePredictive builds and pins a TPR-tree over the store's motion
+// plans covering [refT, refT+horizon]: per object, one moving entry per
+// plan segment intersecting the window plus stationary entries for the
+// clamped head and tail, so every instant in the window is covered by an
+// entry with the object's exact expected motion. Queries whose window
+// fits the coverage take this index instead of the segment R-tree (the
+// prune package decides), and live appends extend it incrementally —
+// serving predictive "now + horizon" windows never pays a rebuild.
+// Non-append mutations (Update/Delete) leave it stale; the next Predictive
+// call rebuilds lazily, exactly like BuildIndex.
+func (s *Store) EnablePredictive(refT, horizon float64) error {
+	if horizon <= 0 || math.IsNaN(refT) || math.IsNaN(horizon) || math.IsInf(refT, 0) || math.IsInf(horizon, 0) {
+		return fmt.Errorf("mod: bad predictive window [%g, %g+%g]", refT, refT, horizon)
+	}
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	s.predOn = true
+	s.predRef, s.predHorizon = refT, horizon
+	s.pred, s.predVersion = nil, 0
+	s.rebuildPredictiveLocked()
+	return nil
+}
+
+// DisablePredictive drops the predictive index.
+func (s *Store) DisablePredictive() {
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	s.predOn = false
+	s.pred = nil
+}
+
+// Predictive returns the live predictive index and its coverage. ok is
+// false when EnablePredictive has not been called. The returned tree is
+// immutable; it reflects the store version at the time of the call (a
+// concurrent mutation may supersede it, which callers detect the same way
+// they do for BuildIndex — by re-checking Version).
+func (s *Store) Predictive() (t *sindex.TPRTree, refT, horizon float64, ok bool) {
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	if !s.predOn {
+		return nil, 0, 0, false
+	}
+	s.mu.RLock()
+	version := s.version
+	s.mu.RUnlock()
+	if s.pred == nil || s.predVersion != version {
+		s.rebuildPredictiveLocked()
+	}
+	return s.pred, s.predRef, s.predHorizon, true
+}
+
+// rebuildPredictiveLocked rebuilds the predictive tree from the current
+// contents. Caller holds idxMu.
+func (s *Store) rebuildPredictiveLocked() {
+	s.mu.RLock()
+	version := s.version
+	var es []sindex.MovingEntry
+	for _, tr := range s.trajs {
+		es = append(es, predictiveEntries(tr, s.predRef, s.predRef+s.predHorizon, math.Inf(-1))...)
+	}
+	s.mu.RUnlock()
+	s.pred = sindex.NewTPRTree(es, s.predRef, s.idxFanoutOrDefault())
+	s.predVersion = version
+	s.stats.TPRBuilds++
+}
+
+func (s *Store) idxFanoutOrDefault() int {
+	if s.idxFanout > 0 {
+		return s.idxFanout
+	}
+	return sindex.DefaultFanout
+}
+
+// predictiveEntries returns the moving entries describing tr's expected
+// motion over [refT, end], restricted to motion at or after changedFrom
+// (-Inf for the whole plan — the append path passes the old plan end so
+// only the new segments and the new clamp tail are emitted; the
+// superseded tail entry stays in the tree as a harmless false positive,
+// every index hit being refined against the live trajectory anyway).
+func predictiveEntries(tr *trajectory.Trajectory, refT, end, changedFrom float64) []sindex.MovingEntry {
+	var es []sindex.MovingEntry
+	tb, te := tr.TimeSpan()
+	if tb > refT && math.IsInf(changedFrom, -1) {
+		// Clamped head: stationary at the first vertex until the plan starts.
+		es = append(es, sindex.MovingEntry{
+			ID: tr.OID, P: tr.Verts[0].Point(), T0: refT, T1: math.Min(tb, end),
+		})
+	}
+	for i := 0; i < tr.NumSegments(); i++ {
+		seg, t0, t1 := tr.Segment(i)
+		if t1 < refT || t0 > end || t1 <= changedFrom {
+			continue
+		}
+		dt := t1 - t0
+		es = append(es, sindex.MovingEntry{
+			ID: tr.OID, P: seg.A,
+			V:  geom.Vec{X: (seg.B.X - seg.A.X) / dt, Y: (seg.B.Y - seg.A.Y) / dt},
+			T0: t0, T1: t1,
+		})
+	}
+	if te < end {
+		// Clamped tail: stationary at the last vertex through the horizon.
+		es = append(es, sindex.MovingEntry{
+			ID: tr.OID, P: tr.Verts[len(tr.Verts)-1].Point(), T0: te, T1: end,
+		})
+	}
+	return es
+}

@@ -1,0 +1,324 @@
+package mod
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/trajectory"
+	"repro/internal/workload"
+)
+
+func TestExtendTrajectoryBasics(t *testing.T) {
+	st := newTestStore(t)
+	tr := traj(t, 1)
+	if err := st.Insert(tr); err != nil {
+		t.Fatal(err)
+	}
+	v0 := st.Version()
+	changedFrom, err := st.ExtendTrajectory(1, []trajectory.Vertex{{X: 12, Y: 12, T: 12}, {X: 14, Y: 12, T: 15}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changedFrom != 10 {
+		t.Fatalf("changedFrom = %g, want 10", changedFrom)
+	}
+	if st.Version() != v0+1 {
+		t.Fatalf("version %d, want %d", st.Version(), v0+1)
+	}
+	// Copy-on-write: the inserted value is untouched; the stored one grew.
+	if len(tr.Verts) != 2 {
+		t.Fatalf("original trajectory mutated: %d verts", len(tr.Verts))
+	}
+	got, err := st.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Verts) != 4 || got.Verts[3].T != 15 {
+		t.Fatalf("stored trajectory = %+v", got.Verts)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtendTrajectoryRejections(t *testing.T) {
+	st := newTestStore(t)
+	if err := st.Insert(traj(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		oid   int64
+		verts []trajectory.Vertex
+		want  error
+	}{
+		{"unknown oid", 9, []trajectory.Vertex{{X: 0, Y: 0, T: 20}}, ErrNotFound},
+		{"stale time", 1, []trajectory.Vertex{{X: 0, Y: 0, T: 10}}, ErrStaleVertex},
+		{"non-monotone pair", 1, []trajectory.Vertex{{X: 0, Y: 0, T: 11}, {X: 0, Y: 0, T: 11}}, ErrStaleVertex},
+		{"empty", 1, nil, ErrStaleVertex},
+		{"nan", 1, []trajectory.Vertex{{X: math.NaN(), Y: 0, T: 20}}, trajectory.ErrNonFinite},
+	}
+	v0 := st.Version()
+	for _, c := range cases {
+		if _, err := st.ExtendTrajectory(c.oid, c.verts); !errors.Is(err, c.want) {
+			t.Fatalf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+	if st.Version() != v0 {
+		t.Fatalf("rejected extensions bumped the version: %d -> %d", v0, st.Version())
+	}
+	if err := st.AppendVertex(1, trajectory.Vertex{X: 11, Y: 11, T: 11}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyUpdateInsertAndExtend(t *testing.T) {
+	st := newTestStore(t)
+	// Unknown OID with one vertex: rejected.
+	if _, err := st.ApplyUpdate(Update{OID: 5, Verts: []trajectory.Vertex{{X: 0, Y: 0, T: 0}}}); !errors.Is(err, ErrShortInsert) {
+		t.Fatalf("short insert err = %v", err)
+	}
+	// Unknown OID with two vertices: inserted.
+	a, err := st.ApplyUpdate(Update{OID: 5, Verts: []trajectory.Vertex{{X: 0, Y: 0, T: 0}, {X: 1, Y: 1, T: 5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Inserted || !math.IsInf(a.ChangedFrom, -1) || a.Traj == nil {
+		t.Fatalf("insert outcome = %+v", a)
+	}
+	// Same OID again: extension.
+	a, err = st.ApplyUpdate(Update{OID: 5, Verts: []trajectory.Vertex{{X: 2, Y: 2, T: 8}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Inserted || a.ChangedFrom != 5 || len(a.Traj.Verts) != 3 {
+		t.Fatalf("extend outcome = %+v", a)
+	}
+	applied, err := st.ApplyUpdates([]Update{
+		{OID: 5, Verts: []trajectory.Vertex{{X: 3, Y: 3, T: 9}}},
+		{OID: 6, Verts: []trajectory.Vertex{{X: 3, Y: 3, T: 7}}}, // short insert: stops here
+	})
+	if !errors.Is(err, ErrShortInsert) || len(applied) != 1 {
+		t.Fatalf("batch: applied %d err %v", len(applied), err)
+	}
+}
+
+// liveWorkloadStore seeds a store and returns the held-back tails: per
+// trajectory, the vertices beyond the first half, to be appended later.
+func liveWorkloadStore(t *testing.T, n int, seed int64) (*Store, map[int64][]trajectory.Vertex) {
+	t.Helper()
+	trs, err := workload.Generate(workload.DefaultConfig(seed), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := newTestStore(t)
+	tails := make(map[int64][]trajectory.Vertex)
+	for _, tr := range trs {
+		cut := len(tr.Verts)/2 + 1
+		if cut < 2 {
+			cut = 2
+		}
+		head, err := trajectory.New(tr.OID, append([]trajectory.Vertex(nil), tr.Verts[:cut]...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Insert(head); err != nil {
+			t.Fatal(err)
+		}
+		tails[tr.OID] = tr.Verts[cut:]
+	}
+	return st, tails
+}
+
+// TestIncrementalIndexMatchesRebuild is the satellite gate: after live
+// appends, the incrementally maintained segment R-tree answers identically
+// to a from-scratch BuildIndex over the same contents.
+func TestIncrementalIndexMatchesRebuild(t *testing.T) {
+	st, tails := liveWorkloadStore(t, 120, 404)
+	st.BuildIndex(0)
+	for oid, verts := range tails {
+		if len(verts) == 0 {
+			continue
+		}
+		if _, err := st.ExtendTrajectory(oid, verts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := st.IndexStats()
+	if stats.SegBuilds != 1 || stats.SegIncremental == 0 {
+		t.Fatalf("stats = %+v, want exactly one build and incremental appends", stats)
+	}
+	live := st.BuildIndex(0)
+	if got := st.IndexStats().SegBuilds; got != 1 {
+		t.Fatalf("BuildIndex after appends rebuilt (builds=%d)", got)
+	}
+
+	// A pristine store with identical contents builds from scratch.
+	fresh := newTestStore(t)
+	if err := fresh.InsertAll(st.All()); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := fresh.BuildIndex(0)
+
+	if live.Len() != rebuilt.Len() {
+		t.Fatalf("entry counts differ: live %d rebuilt %d", live.Len(), rebuilt.Len())
+	}
+	rng := rand.New(rand.NewSource(7))
+	for q := 0; q < 60; q++ {
+		x, y := rng.Float64()*40, rng.Float64()*40
+		box := geom.AABB{MinX: x, MinY: y, MaxX: x + rng.Float64()*10, MaxY: y + rng.Float64()*10}
+		t0 := rng.Float64() * 40
+		t1 := t0 + rng.Float64()*20
+		got := live.SearchRange(box, t0, t1)
+		want := rebuilt.SearchRange(box, t0, t1)
+		slices.Sort(got)
+		slices.Sort(want)
+		if !slices.Equal(got, want) {
+			t.Fatalf("q=%d: SearchRange differs: %d vs %d ids", q, len(got), len(want))
+		}
+		p := geom.Point{X: rng.Float64() * 40, Y: rng.Float64() * 40}
+		gn := live.KNN(p, t0, 5)
+		wn := rebuilt.KNN(p, t0, 5)
+		if len(gn) != len(wn) {
+			t.Fatalf("q=%d: KNN lengths differ: %d vs %d", q, len(gn), len(wn))
+		}
+		for i := range gn {
+			if math.Abs(gn[i].Dist-wn[i].Dist) > 1e-9 {
+				t.Fatalf("q=%d result %d: KNN dist %g vs %g", q, i, gn[i].Dist, wn[i].Dist)
+			}
+		}
+	}
+}
+
+// TestPredictiveIncremental checks the TPR cache: one build, incremental
+// appends, and conservative coverage — every index hit set after appends
+// is a superset of a freshly built tree's hits over the same contents.
+func TestPredictiveIncremental(t *testing.T) {
+	st, tails := liveWorkloadStore(t, 80, 405)
+	if err := st.EnablePredictive(0, 60); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, ok := st.Predictive(); !ok {
+		t.Fatal("predictive not enabled")
+	}
+	for oid, verts := range tails {
+		if len(verts) == 0 {
+			continue
+		}
+		if _, err := st.ExtendTrajectory(oid, verts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tpr, refT, horizon, ok := st.Predictive()
+	if !ok || refT != 0 || horizon != 60 {
+		t.Fatalf("coverage = (%g, %g, %v)", refT, horizon, ok)
+	}
+	stats := st.IndexStats()
+	if stats.TPRBuilds != 1 || stats.TPRIncremental == 0 {
+		t.Fatalf("stats = %+v, want one TPR build and incremental appends", stats)
+	}
+
+	fresh := newTestStore(t)
+	if err := fresh.InsertAll(st.All()); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.EnablePredictive(0, 60); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, _, _, _ := fresh.Predictive()
+
+	rng := rand.New(rand.NewSource(11))
+	for q := 0; q < 60; q++ {
+		x, y := rng.Float64()*40, rng.Float64()*40
+		box := geom.AABB{MinX: x, MinY: y, MaxX: x + rng.Float64()*10, MaxY: y + rng.Float64()*10}
+		t0 := rng.Float64() * 55
+		t1 := t0 + rng.Float64()*(60-t0)
+		got := tpr.SearchInterval(box, t0, t1)
+		want := rebuilt.SearchInterval(box, t0, t1)
+		gotSet := make(map[int64]bool, len(got))
+		for _, id := range got {
+			gotSet[id] = true
+		}
+		for _, id := range want {
+			if !gotSet[id] {
+				t.Fatalf("q=%d: incremental tree missed id %d", q, id)
+			}
+		}
+	}
+
+	// A non-append mutation leaves the cache stale; the next Predictive
+	// call rebuilds.
+	if err := st.Delete(st.OIDs()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, ok := st.Predictive(); !ok {
+		t.Fatal("predictive dropped after delete")
+	}
+	if got := st.IndexStats().TPRBuilds; got != 2 {
+		t.Fatalf("TPRBuilds after delete = %d, want 2", got)
+	}
+	st.DisablePredictive()
+	if _, _, _, ok := st.Predictive(); ok {
+		t.Fatal("predictive still on after disable")
+	}
+}
+
+// TestRevisionWorkloadCompactsIndex pins the chain-cut heuristic: a
+// sustained revision workload leaves superseded entries in the chained
+// tree, and once they pile past compactionSlack × the live segment
+// count the chain must be cut and rebuilt — index size stays
+// proportional to the live fleet instead of to total updates ever
+// ingested.
+func TestRevisionWorkloadCompactsIndex(t *testing.T) {
+	st := newTestStore(t)
+	const objs = 40
+	for oid := int64(1); oid <= objs; oid++ {
+		verts := make([]trajectory.Vertex, 11)
+		for i := range verts {
+			verts[i] = trajectory.Vertex{X: float64(i), Y: float64(oid), T: float64(i)}
+		}
+		tr, err := trajectory.New(oid, verts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Insert(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.BuildIndex(0)
+	for i := 0; i < 500; i++ {
+		oid := int64(i%objs + 1)
+		if _, err := st.ApplyUpdate(Update{OID: oid, Verts: []trajectory.Vertex{
+			{X: 5, Y: float64(oid), T: 5},
+			{X: 7, Y: float64(oid) + 0.5, T: 7},
+			{X: 10, Y: float64(oid), T: 10},
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		st.BuildIndex(0) // consult, as a standing query workload would
+	}
+	stats := st.IndexStats()
+	if stats.SegBuilds < 2 {
+		t.Fatalf("chained tree never compacted under a revision workload: %+v", stats)
+	}
+	live := 0
+	for _, tr := range st.All() {
+		live += tr.NumSegments()
+	}
+	if got := st.BuildIndex(0).Len(); got > 4*live {
+		t.Fatalf("index holds %d entries for %d live segments", got, live)
+	}
+}
+
+func TestEnablePredictiveRejectsBadWindow(t *testing.T) {
+	st := newTestStore(t)
+	for _, h := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if err := st.EnablePredictive(0, h); err == nil {
+			t.Fatalf("horizon %g accepted", h)
+		}
+	}
+}

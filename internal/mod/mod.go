@@ -98,6 +98,24 @@ type Store struct {
 	idx        *sindex.RTree
 	idxVersion uint64
 	idxFanout  int
+
+	// Predictive TPR-tree state (live.go): pinned coverage [predRef,
+	// predRef+predHorizon], maintained incrementally on appends and
+	// rebuilt lazily after other mutations.
+	pred        *sindex.TPRTree
+	predVersion uint64
+	predOn      bool
+	predRef     float64
+	predHorizon float64
+
+	// segLive counts the store's live segments (guarded by mu, updated by
+	// every mutation). The incremental index chain compares it against the
+	// chained tree's entry count to decide when superseded entries have
+	// piled up enough to warrant a compacting rebuild (live.go).
+	segLive int
+
+	// stats counts index maintenance work (guarded by idxMu).
+	stats IndexStats
 }
 
 // NewStore creates a store whose trajectories share the uncertainty model
@@ -147,6 +165,7 @@ func (s *Store) Insert(tr *trajectory.Trajectory) error {
 	}
 	s.trajs[tr.OID] = tr
 	s.version++
+	s.segLive += tr.NumSegments()
 	return nil
 }
 
@@ -185,11 +204,13 @@ func (s *Store) GetUncertain(oid int64) (*trajectory.Uncertain, error) {
 func (s *Store) Delete(oid int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.trajs[oid]; !ok {
+	old, ok := s.trajs[oid]
+	if !ok {
 		return fmt.Errorf("%w: %d", ErrNotFound, oid)
 	}
 	delete(s.trajs, oid)
 	s.version++
+	s.segLive -= old.NumSegments()
 	return nil
 }
 
@@ -200,11 +221,13 @@ func (s *Store) Update(tr *trajectory.Trajectory) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.trajs[tr.OID]; !ok {
+	old, ok := s.trajs[tr.OID]
+	if !ok {
 		return fmt.Errorf("%w: %d", ErrNotFound, tr.OID)
 	}
 	s.trajs[tr.OID] = tr
 	s.version++
+	s.segLive += tr.NumSegments() - old.NumSegments()
 	return nil
 }
 
@@ -266,6 +289,14 @@ func (s *Store) TimeSpan() (tb, te float64, ok bool) {
 // paths (the query-time candidate pre-pass) therefore get an always-fresh
 // index without paying a rebuild on every store mutation.
 //
+// Live-ingest mutations (ExtendTrajectory, RevisePlan, ApplyUpdate,
+// InsertLive — see live.go) instead chain the cached tree forward
+// incrementally, inserting the new segments via the persistent
+// sindex.RTree.Inserted path. After a plan revision the chained tree may
+// retain superseded segment entries; that makes it a conservative
+// superset index, which is exactly the contract the candidate pre-pass
+// needs (every hit is refined against the live trajectory).
+//
 // A non-positive fanout selects sindex.DefaultFanout (16, the STR node
 // capacity that keeps leaf scans within a cache line or two of entries
 // while staying shallow at MOD populations in the tens of thousands).
@@ -293,6 +324,7 @@ func (s *Store) BuildIndex(fanout int) *sindex.RTree {
 	s.idx = sindex.NewRTree(entries, fanout)
 	s.idxVersion = version
 	s.idxFanout = fanout
+	s.stats.SegBuilds++
 	return s.idx
 }
 

@@ -1,0 +1,304 @@
+package modserver
+
+import (
+	"errors"
+	"math"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/mod"
+	"repro/internal/trajectory"
+)
+
+// liveStore builds the standard live scene: query object 1 crossing the
+// plane, 2 shadowing it, 3 and 4 far away, plans covering [0, 10].
+func liveStore(t *testing.T) *mod.Store {
+	t.Helper()
+	st, err := mod.NewUniformStore(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for oid, y := range map[int64]float64{1: 0, 2: 1, 3: 50, 4: 100} {
+		verts := make([]trajectory.Vertex, 11)
+		for i := range verts {
+			verts[i] = trajectory.Vertex{X: float64(i), Y: y, T: float64(i)}
+		}
+		tr, err := trajectory.New(oid, verts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Insert(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+// TestIngestSubscribeOverWire drives the live ops end to end over TCP:
+// one connection subscribes, another ingests, and the subscriber's event
+// stream carries the diffs in order with monotone sequence numbers.
+func TestIngestSubscribeOverWire(t *testing.T) {
+	st := liveStore(t)
+	_, addr := startServer(t, st)
+
+	subCli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subCli.Close()
+	ingCli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ingCli.Close()
+
+	req := engine.Request{Kind: engine.KindUQ31, QueryOID: 1, Tb: 0, Te: 10}
+	subID, initial, err := subCli.Subscribe(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(initial.OIDs, []int64{2}) {
+		t.Fatalf("initial answer = %+v", initial)
+	}
+
+	// Ingest from the other connection: revision steering object 3 in.
+	applied, err := ingCli.Ingest([]mod.Update{{OID: 3, Verts: []trajectory.Vertex{
+		{X: 6, Y: 1, T: 6}, {X: 10, Y: 0.5, T: 10},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 1 || applied[0].Inserted || applied[0].ChangedFrom != 5 ||
+		applied[0].Traj == nil || applied[0].Prev == nil {
+		t.Fatalf("applied = %+v", applied)
+	}
+	if len(applied[0].Traj.Verts) != 8 || len(applied[0].Prev.Verts) != 11 {
+		t.Fatalf("wire trajectories: new %d verts, prev %d verts",
+			len(applied[0].Traj.Verts), len(applied[0].Prev.Verts))
+	}
+
+	ev, err := subCli.NextEvent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.SubID != subID || ev.Seq != 1 || !reflect.DeepEqual(ev.Added, []int64{3}) ||
+		!reflect.DeepEqual(ev.OIDs, []int64{2, 3}) {
+		t.Fatalf("event = %+v", ev)
+	}
+
+	// An insert via the wire: ChangedFrom must round-trip as -Inf.
+	applied, err = ingCli.Ingest([]mod.Update{{OID: 10, Verts: []trajectory.Vertex{
+		{X: 0, Y: 0.5, T: 0}, {X: 10, Y: 0.5, T: 10},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !applied[0].Inserted || !math.IsInf(applied[0].ChangedFrom, -1) {
+		t.Fatalf("insert outcome = %+v", applied[0])
+	}
+	ev, err = subCli.NextEvent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Seq != 2 || !reflect.DeepEqual(ev.Added, []int64{10}) {
+		t.Fatalf("second event = %+v", ev)
+	}
+
+	// An irrelevant far revision produces no event; the next relevant one
+	// carries Seq 3 (no gaps, nothing skipped on the wire).
+	if _, err := ingCli.Ingest([]mod.Update{{OID: 4, Verts: []trajectory.Vertex{
+		{X: 7, Y: 99, T: 7}, {X: 10, Y: 99, T: 10},
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ingCli.Ingest([]mod.Update{{OID: 3, Verts: []trajectory.Vertex{
+		{X: 6, Y: 80, T: 5.5}, {X: 10, Y: 80, T: 10},
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	ev, err = subCli.NextEvent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Seq != 3 || !reflect.DeepEqual(ev.Removed, []int64{3}) || !reflect.DeepEqual(ev.OIDs, []int64{2, 10}) {
+		t.Fatalf("third event = %+v", ev)
+	}
+
+	// Only the owning connection may unsubscribe.
+	if err := ingCli.Unsubscribe(subID); err == nil {
+		t.Fatal("foreign connection unsubscribed someone else's stream")
+	}
+	// Unsubscribe stops the stream: a further relevant ingest emits
+	// nothing for this subscription.
+	if err := subCli.Unsubscribe(subID); err != nil {
+		t.Fatal(err)
+	}
+	if err := subCli.Unsubscribe(subID); err == nil {
+		t.Fatal("double unsubscribe succeeded")
+	}
+
+	// A bad ingest surfaces its error.
+	if _, err := ingCli.Ingest([]mod.Update{{OID: 77, Verts: []trajectory.Vertex{{X: 0, Y: 0, T: 1}}}}); err == nil {
+		t.Fatal("short insert accepted over the wire")
+	}
+}
+
+// TestSubscribeSameConnIngest exercises the single-connection flow: the
+// ingest reply and the event both travel to the same client, which must
+// route them apart.
+func TestSubscribeSameConnIngest(t *testing.T) {
+	st := liveStore(t)
+	_, addr := startServer(t, st)
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	req := engine.Request{Kind: engine.KindUQ11, QueryOID: 1, Tb: 0, Te: 10, OID: 3}
+	subID, initial, err := cli.Subscribe(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if initial.Bool || !initial.IsBool {
+		t.Fatalf("initial = %+v", initial)
+	}
+	if _, err := cli.Ingest([]mod.Update{{OID: 3, Verts: []trajectory.Vertex{
+		{X: 6, Y: 1, T: 6}, {X: 10, Y: 0.5, T: 10},
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := cli.NextEvent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.SubID != subID || !ev.IsBool || !ev.Bool {
+		t.Fatalf("event = %+v", ev)
+	}
+}
+
+// TestSubscriberDisconnectCleansUp pins the teardown path: a subscriber
+// that drops its connection is unregistered from the hub, so ingests keep
+// flowing for everyone else.
+func TestSubscriberDisconnectCleansUp(t *testing.T) {
+	st := liveStore(t)
+	srv, addr := startServer(t, st)
+
+	subCli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := subCli.Subscribe(engine.Request{Kind: engine.KindUQ31, QueryOID: 1, Tb: 0, Te: 10}); err != nil {
+		t.Fatal(err)
+	}
+	subCli.Close()
+
+	// The server notices the closed connection on its next write — or,
+	// absent events, on its read loop. Poll the hub until the
+	// subscription disappears.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(srv.Hub().Subscriptions()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscription still live after disconnect: %v", srv.Hub().Subscriptions())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	ingCli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ingCli.Close()
+	if _, err := ingCli.Ingest([]mod.Update{{OID: 3, Verts: []trajectory.Vertex{
+		{X: 6, Y: 1, T: 6}, {X: 10, Y: 0.5, T: 10},
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIdleSubscriberSurvivesReadTimeout pins the deadline exemption: a
+// connection that owns a subscription is a pure event listener and must
+// not be reaped for sending no request lines, even with an aggressive
+// read timeout.
+func TestIdleSubscriberSurvivesReadTimeout(t *testing.T) {
+	st := liveStore(t)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServerWith(st, nil, Options{ReadTimeout: 50 * time.Millisecond})
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(l) }()
+	t.Cleanup(func() { srv.Close(); <-done })
+
+	subCli, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subCli.Close()
+	subID, _, err := subCli.Subscribe(engine.Request{Kind: engine.KindUQ31, QueryOID: 1, Tb: 0, Te: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sit well past the read timeout without sending anything.
+	time.Sleep(250 * time.Millisecond)
+
+	ingCli, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ingCli.Close()
+	if _, err := ingCli.Ingest([]mod.Update{{OID: 3, Verts: []trajectory.Vertex{
+		{X: 6, Y: 1, T: 6}, {X: 10, Y: 0.5, T: 10},
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := subCli.NextEvent()
+	if err != nil {
+		t.Fatalf("idle subscriber was reaped: %v", err)
+	}
+	if ev.SubID != subID || ev.Seq != 1 {
+		t.Fatalf("event = %+v", ev)
+	}
+}
+
+// TestIngestErrorIdentity keeps the wire error surface coherent with the
+// in-process one for the live ops.
+func TestIngestErrorIdentity(t *testing.T) {
+	st := liveStore(t)
+	_, addr := startServer(t, st)
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	// Stale revision: first vertex precedes the whole plan.
+	_, err = cli.Ingest([]mod.Update{{OID: 1, Verts: []trajectory.Vertex{{X: 0, Y: 0, T: -5}}}})
+	if err == nil {
+		t.Fatal("stale revision accepted")
+	}
+	var wire interface{ Error() string } = err
+	if wire.Error() == "" {
+		t.Fatal("empty error message")
+	}
+	if errors.Is(err, mod.ErrNotFound) {
+		t.Fatal("stale revision misreported as not-found")
+	}
+
+	// A mid-batch failure reports the applied prefix with the error — the
+	// mod.ApplyUpdates partial contract, preserved across the wire.
+	partial, err := cli.Ingest([]mod.Update{
+		{OID: 2, Verts: []trajectory.Vertex{{X: 6, Y: 1.1, T: 6}, {X: 10, Y: 1.1, T: 10}}},
+		{OID: 1, Verts: []trajectory.Vertex{{X: 0, Y: 0, T: -5}}},
+	})
+	if err == nil {
+		t.Fatal("bad batch member accepted")
+	}
+	if len(partial) != 1 || partial[0].OID != 2 || partial[0].ChangedFrom != 5 {
+		t.Fatalf("partial outcomes = %+v", partial)
+	}
+}

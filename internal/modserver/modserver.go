@@ -54,6 +54,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/continuous"
 	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/mod"
@@ -71,6 +72,14 @@ const MaxLine = 1 << 20
 // hostile client holds shard resources (a goroutine, a connection slot, a
 // scanner buffer) for at most this long.
 const DefaultReadTimeout = 2 * time.Minute
+
+// DefaultWriteTimeout bounds one asynchronous subscription-event write.
+// The ingest op fans events out to other connections while holding the
+// emission lock, so a subscriber that stops reading must fail fast (and
+// be disconnected) instead of wedging every ingest behind its full TCP
+// buffer — the write-side twin of the read-deadline hardening. Request
+// replies are exempt: large gathers on slow links are legitimate.
+const DefaultWriteTimeout = 10 * time.Second
 
 // ErrServerClosed is returned by Serve after Close.
 var ErrServerClosed = errors.New("modserver: server closed")
@@ -119,6 +128,26 @@ type Request struct {
 	Te     float64   `json:"te,omitempty"`
 	K      int       `json:"k,omitempty"`
 	Bounds []float64 `json:"bounds,omitempty"`
+
+	// Updates carries the "ingest" op's live update batch (the
+	// mod.ApplyUpdate contract: revision, extension, or insert per item).
+	Updates []WireTraj `json:"updates,omitempty"`
+	// OIDs carries the "owns" op's bulk ownership probe.
+	OIDs []int64 `json:"oids,omitempty"`
+	// Request carries the "subscribe" op's standing query.
+	Request *engine.Request `json:"request,omitempty"`
+	// SubID identifies the subscription for the "unsubscribe" op.
+	SubID int64 `json:"sub_id,omitempty"`
+}
+
+// WireApplied is one applied live update on the wire. ChangedFrom is
+// omitted for inserts (it is -Inf in memory; JSON has no Inf literal).
+type WireApplied struct {
+	OID         int64        `json:"oid"`
+	Inserted    bool         `json:"inserted,omitempty"`
+	ChangedFrom float64      `json:"changed_from,omitempty"`
+	Verts       [][3]float64 `json:"verts,omitempty"`
+	PrevVerts   [][3]float64 `json:"prev_verts,omitempty"`
 }
 
 // WireTraj is one trajectory on the wire (the survivors/all phases).
@@ -168,14 +197,34 @@ type Response struct {
 	Trajs []WireTraj `json:"trajs,omitempty"`
 	// Stats reports the survivors-phase sweep statistics.
 	Stats *prune.Stats `json:"stats,omitempty"`
+
+	// Applied answers the "ingest" op, one outcome per update in order.
+	Applied []WireApplied `json:"applied,omitempty"`
+	// Owned answers the "owns" op, elementwise per requested OID.
+	Owned []bool `json:"owned,omitempty"`
+	// SubID answers the "subscribe" op; Answer carries its initial result.
+	SubID  int64   `json:"sub_id,omitempty"`
+	Answer *Answer `json:"answer,omitempty"`
+	// Event is an asynchronous subscription diff pushed to a subscribed
+	// connection (never a direct reply; clients route on its presence).
+	Event *continuous.Event `json:"event,omitempty"`
 }
 
 // Options tunes serving-layer hardening.
 type Options struct {
 	// ReadTimeout bounds how long a connection may sit between request
 	// lines; a connection that stalls longer is closed. Zero means
-	// DefaultReadTimeout; negative disables the deadline.
+	// DefaultReadTimeout; negative disables the deadline. Connections
+	// that own subscriptions are exempt (they are event listeners, not
+	// request streams); stalled subscribers are reaped by WriteTimeout at
+	// the next event instead.
 	ReadTimeout time.Duration
+	// WriteTimeout bounds one asynchronous subscription-event write; a
+	// subscriber whose peer stops reading is closed instead of blocking
+	// ingest fan-out. Request replies are exempt (large gathers on slow
+	// links are legitimate). Zero means DefaultWriteTimeout; negative
+	// disables the deadline.
+	WriteTimeout time.Duration
 	// MaxLineBytes caps one request line. Zero means MaxLine. An
 	// oversized request gets one error response, then the connection is
 	// closed (the line cannot be resynchronized).
@@ -183,17 +232,67 @@ type Options struct {
 }
 
 // Server serves a store over a listener. Batch queries run through one
-// shared engine so concurrent clients benefit from the same processor memo.
+// shared engine so concurrent clients benefit from the same processor
+// memo, and one continuous-query hub keeps every connection's standing
+// subscriptions fresh across ingests from any connection.
 type Server struct {
-	store       *mod.Store
-	engine      *engine.Engine
-	readTimeout time.Duration
-	maxLine     int
+	store        *mod.Store
+	engine       *engine.Engine
+	hub          *continuous.Hub
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+	maxLine      int
 
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
+
+	// emitMu serializes ingest + event fan-out, so subscribers observe
+	// event batches in ingest order (per-subscription Seq is monotone on
+	// the wire, not just in the hub).
+	emitMu sync.Mutex
+	// subsMu guards the subscription → connection routing table.
+	subsMu      sync.Mutex
+	subscribers map[int64]*connState
+}
+
+// connState is one connection's locked writer plus the subscriptions it
+// owns. The lock serializes the handler's replies with asynchronous event
+// pushes triggered by other connections' ingests.
+type connState struct {
+	conn         net.Conn
+	writeTimeout time.Duration
+	wmu          sync.Mutex
+	enc          *json.Encoder
+	subs         map[int64]struct{}
+}
+
+// send writes a request reply with no write deadline: replies can be
+// legitimately large (the all/survivors gathers ship whole trajectory
+// sets) and slow links must not sever them.
+func (cs *connState) send(resp Response) error {
+	cs.wmu.Lock()
+	defer cs.wmu.Unlock()
+	return cs.enc.Encode(resp)
+}
+
+// sendEvent pushes an asynchronous subscription event under the write
+// deadline: the ingest path fans events out while holding the emission
+// lock, so a subscriber that stopped reading must fail fast (and be
+// disconnected) instead of wedging every ingest behind its full TCP
+// buffer.
+func (cs *connState) sendEvent(resp Response) error {
+	cs.wmu.Lock()
+	defer cs.wmu.Unlock()
+	if cs.writeTimeout > 0 {
+		_ = cs.conn.SetWriteDeadline(time.Now().Add(cs.writeTimeout))
+	}
+	err := cs.enc.Encode(resp)
+	if cs.writeTimeout > 0 {
+		_ = cs.conn.SetWriteDeadline(time.Time{})
+	}
+	return err
 }
 
 // NewServer wraps a store with a default engine (one worker per CPU) and
@@ -217,15 +316,24 @@ func NewServerWith(store *mod.Store, eng *engine.Engine, o Options) *Server {
 	if o.ReadTimeout == 0 {
 		o.ReadTimeout = DefaultReadTimeout
 	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = DefaultWriteTimeout
+	}
 	if o.MaxLineBytes <= 0 {
 		o.MaxLineBytes = MaxLine
 	}
 	return &Server{
 		store: store, engine: eng,
-		readTimeout: o.ReadTimeout, maxLine: o.MaxLineBytes,
-		conns: make(map[net.Conn]struct{}),
+		hub:         continuous.NewEngineHub(store, eng),
+		readTimeout: o.ReadTimeout, writeTimeout: o.WriteTimeout, maxLine: o.MaxLineBytes,
+		conns:       make(map[net.Conn]struct{}),
+		subscribers: make(map[int64]*connState),
 	}
 }
+
+// Hub exposes the server's continuous-query hub (in-process callers and
+// tests; wire clients use the subscribe/ingest ops).
+func (s *Server) Hub() *continuous.Hub { return s.hub }
 
 // Serve accepts connections on l until Close. It always returns a non-nil
 // error (ErrServerClosed after a clean shutdown).
@@ -274,8 +382,10 @@ func (s *Server) Close() error {
 }
 
 func (s *Server) handle(conn net.Conn) {
+	cs := &connState{conn: conn, writeTimeout: s.writeTimeout, enc: json.NewEncoder(conn), subs: make(map[int64]struct{})}
 	defer func() {
 		conn.Close()
+		s.dropSubscriber(cs)
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -288,19 +398,26 @@ func (s *Server) handle(conn net.Conn) {
 		initial = s.maxLine
 	}
 	sc.Buffer(make([]byte, 0, initial), s.maxLine)
-	enc := json.NewEncoder(conn)
 	for {
 		// Arm the per-connection read deadline before each request line:
 		// a client that stalls mid-line (or goes silent) is disconnected
 		// instead of pinning this goroutine and its buffers forever.
+		// Exception: a connection that owns subscriptions is a legitimate
+		// pure listener (its client blocks in NextEvent and, being
+		// synchronous, cannot ping) — it gets no read deadline; a dead
+		// subscriber is reaped instead by the event write deadline.
 		if s.readTimeout > 0 {
-			_ = conn.SetReadDeadline(time.Now().Add(s.readTimeout))
+			if s.isSubscriber(cs) {
+				_ = conn.SetReadDeadline(time.Time{})
+			} else {
+				_ = conn.SetReadDeadline(time.Now().Add(s.readTimeout))
+			}
 		}
 		if !sc.Scan() {
 			if errors.Is(sc.Err(), bufio.ErrTooLong) {
 				// One parting diagnostic; the line boundary is lost, so
 				// the connection cannot be resynchronized and closes.
-				_ = enc.Encode(Response{Error: fmt.Sprintf("modserver: request exceeds %d bytes", s.maxLine)})
+				_ = cs.send(Response{Error: fmt.Sprintf("modserver: request exceeds %d bytes", s.maxLine)})
 			}
 			return
 		}
@@ -313,19 +430,55 @@ func (s *Server) handle(conn net.Conn) {
 		if err := json.Unmarshal(line, &req); err != nil {
 			resp = Response{Error: fmt.Sprintf("bad request: %v", err)}
 		} else {
-			resp = s.dispatch(req)
+			resp = s.dispatch(req, cs)
 		}
-		if err := enc.Encode(resp); err != nil {
+		if err := cs.send(resp); err != nil {
 			return
 		}
 	}
 }
 
-func (s *Server) dispatch(req Request) Response {
+// isSubscriber reports whether the connection currently owns any
+// subscription.
+func (s *Server) isSubscriber(cs *connState) bool {
+	s.subsMu.Lock()
+	defer s.subsMu.Unlock()
+	return len(cs.subs) > 0
+}
+
+// dropSubscriber unregisters every subscription a closing connection
+// owned.
+func (s *Server) dropSubscriber(cs *connState) {
+	s.subsMu.Lock()
+	ids := make([]int64, 0, len(cs.subs))
+	for id := range cs.subs {
+		ids = append(ids, id)
+		delete(s.subscribers, id)
+	}
+	s.subsMu.Unlock()
+	for _, id := range ids {
+		s.hub.Unsubscribe(id)
+	}
+}
+
+func (s *Server) dispatch(req Request, cs *connState) Response {
 	fail := func(err error) Response { return Response{Error: err.Error()} }
 	switch req.Op {
 	case "ping":
 		return Response{OK: true}
+	case "ingest":
+		return s.doIngest(req)
+	case "owns":
+		owned := make([]bool, len(req.OIDs))
+		for i, oid := range req.OIDs {
+			_, err := s.store.Get(oid)
+			owned[i] = err == nil
+		}
+		return Response{OK: true, Owned: owned}
+	case "subscribe":
+		return s.doSubscribe(req, cs)
+	case "unsubscribe":
+		return s.doUnsubscribe(req, cs)
 	case "count":
 		return Response{OK: true, Count: s.store.Len()}
 	case "spec":
@@ -535,6 +688,119 @@ func (s *Server) doAll() Response {
 	return Response{OK: true, Trajs: encodeTrajs(s.store.All())}
 }
 
+// doIngest applies a live update batch through the hub and pushes the
+// resulting subscription diff events to their owning connections. The
+// emit lock serializes concurrent ingests end to end (apply + fan-out),
+// so every subscriber sees its events in ingest order.
+func (s *Server) doIngest(req Request) Response {
+	updates := make([]mod.Update, len(req.Updates))
+	for i, wu := range req.Updates {
+		verts := make([]trajectory.Vertex, len(wu.Verts))
+		for j, v := range wu.Verts {
+			verts[j] = trajectory.Vertex{X: v[0], Y: v[1], T: v[2]}
+		}
+		updates[i] = mod.Update{OID: wu.OID, Verts: verts}
+	}
+	s.emitMu.Lock()
+	defer s.emitMu.Unlock()
+	applied, events, err := s.hub.Ingest(context.Background(), updates)
+	if err != nil {
+		// A mid-batch failure still committed a prefix: report it with the
+		// error (the mod.ApplyUpdates contract), so callers — the cluster
+		// router above all — know exactly which updates landed.
+		return Response{Error: err.Error(), Applied: encodeApplied(applied)}
+	}
+	for _, ev := range events {
+		s.subsMu.Lock()
+		cs := s.subscribers[ev.SubID]
+		s.subsMu.Unlock()
+		if cs == nil {
+			continue // in-process subscription (Server.Hub()) or a racing close
+		}
+		ev := ev
+		if err := cs.sendEvent(Response{OK: true, Event: &ev}); err != nil {
+			// The subscriber stalled past the write deadline or is gone:
+			// close its connection so the handler unwinds and unregisters
+			// every subscription it owned, instead of dropping events into
+			// a wedged stream forever.
+			_ = cs.conn.Close()
+			continue
+		}
+	}
+	return Response{OK: true, Applied: encodeApplied(applied)}
+}
+
+// encodeApplied flattens applied outcomes onto the wire.
+func encodeApplied(applied []mod.Applied) []WireApplied {
+	out := make([]WireApplied, len(applied))
+	for i, a := range applied {
+		wa := WireApplied{OID: a.OID, Inserted: a.Inserted}
+		if !a.Inserted {
+			wa.ChangedFrom = a.ChangedFrom
+		}
+		if a.Traj != nil {
+			wa.Verts = encodeTrajs([]*trajectory.Trajectory{a.Traj})[0].Verts
+		}
+		if a.Prev != nil {
+			wa.PrevVerts = encodeTrajs([]*trajectory.Trajectory{a.Prev})[0].Verts
+		}
+		out[i] = wa
+	}
+	return out
+}
+
+// doSubscribe registers a standing request owned by this connection and
+// returns its ID with the initial answer. Events stream asynchronously on
+// the same connection as {"ok":true,"event":{...}} lines.
+func (s *Server) doSubscribe(req Request, cs *connState) Response {
+	if req.Request == nil {
+		return Response{Error: "subscribe: missing request"}
+	}
+	// The emit lock spans hub registration and routing-table insertion, so
+	// a concurrent ingest can never evaluate the new subscription before
+	// its connection is routable (which would silently drop its first
+	// event).
+	s.emitMu.Lock()
+	defer s.emitMu.Unlock()
+	id, res, err := s.hub.Subscribe(context.Background(), *req.Request)
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	s.subsMu.Lock()
+	s.subscribers[id] = cs
+	cs.subs[id] = struct{}{}
+	s.subsMu.Unlock()
+	ans := Answer{OK: true}
+	ex := res.Explain
+	ans.Explain = &ex
+	switch {
+	case res.IsBool:
+		b := res.Bool
+		ans.IsBool, ans.Bool = true, &b
+	case res.Pairs != nil:
+		ans.Pairs = res.Pairs
+	default:
+		ans.OIDs = res.OIDs
+	}
+	return Response{OK: true, SubID: id, Answer: &ans}
+}
+
+// doUnsubscribe drops a subscription by ID — only one this connection
+// owns, so a client cannot cancel someone else's stream.
+func (s *Server) doUnsubscribe(req Request, cs *connState) Response {
+	s.subsMu.Lock()
+	_, owned := cs.subs[req.SubID]
+	if owned {
+		delete(s.subscribers, req.SubID)
+		delete(cs.subs, req.SubID)
+	}
+	s.subsMu.Unlock()
+	if !owned || !s.hub.Unsubscribe(req.SubID) {
+		return Response{Error: fmt.Sprintf("unsubscribe: unknown subscription %d", req.SubID)}
+	}
+	return Response{OK: true}
+}
+
 // encodeBounds replaces +Inf with -1: JSON has no Inf literal, and slice
 // bounds are distances (never negative), so the sign bit is free.
 func encodeBounds(bs []float64) []float64 {
@@ -593,11 +859,14 @@ func decodeTrajs(wts []WireTraj) ([]*trajectory.Trajectory, error) {
 }
 
 // Client is a synchronous protocol client. Not safe for concurrent use;
-// open one client per goroutine.
+// open one client per goroutine. A client that subscribes keeps reading
+// request replies normally — asynchronous event lines that arrive between
+// a request and its reply are buffered and drained with NextEvent.
 type Client struct {
-	conn net.Conn
-	sc   *bufio.Scanner
-	enc  *json.Encoder
+	conn    net.Conn
+	sc      *bufio.Scanner
+	enc     *json.Encoder
+	pending []continuous.Event
 }
 
 // Dial connects to a server at addr.
@@ -631,15 +900,25 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 	if err := c.enc.Encode(req); err != nil {
 		return Response{}, err
 	}
-	if !c.sc.Scan() {
-		if err := c.sc.Err(); err != nil {
+	var resp Response
+	for {
+		if !c.sc.Scan() {
+			if err := c.sc.Err(); err != nil {
+				return Response{}, err
+			}
+			return Response{}, errors.New("modserver: connection closed")
+		}
+		resp = Response{}
+		if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
 			return Response{}, err
 		}
-		return Response{}, errors.New("modserver: connection closed")
-	}
-	var resp Response
-	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
-		return Response{}, err
+		if resp.Event != nil {
+			// An asynchronous subscription event raced our reply; queue it
+			// for NextEvent and keep waiting for the actual response.
+			c.pending = append(c.pending, *resp.Event)
+			continue
+		}
+		break
 	}
 	if !resp.OK {
 		// Structured codes rebuild sentinel identities across the wire,
@@ -847,6 +1126,138 @@ func (c *Client) AllTrajectories() ([]*trajectory.Trajectory, error) {
 		return nil, err
 	}
 	return decodeTrajs(resp.Trajs)
+}
+
+// Ingest applies a live update batch remotely (the mod.ApplyUpdate
+// contract per item) and returns the per-update outcomes in order. A
+// mid-batch server failure returns the outcomes applied before it
+// alongside the error — the same partial-prefix contract as the
+// in-process mod.ApplyUpdates.
+func (c *Client) Ingest(updates []mod.Update) ([]mod.Applied, error) {
+	wire := Request{Op: "ingest", Updates: make([]WireTraj, len(updates))}
+	for i, u := range updates {
+		verts := make([][3]float64, len(u.Verts))
+		for j, v := range u.Verts {
+			verts[j] = [3]float64{v.X, v.Y, v.T}
+		}
+		wire.Updates[i] = WireTraj{OID: u.OID, Verts: verts}
+	}
+	resp, err := c.roundTrip(wire)
+	if err != nil {
+		partial, derr := decodeApplied(resp.Applied)
+		if derr != nil {
+			return nil, err
+		}
+		return partial, err
+	}
+	if len(resp.Applied) != len(updates) {
+		return nil, fmt.Errorf("modserver: ingest returned %d outcomes for %d updates",
+			len(resp.Applied), len(updates))
+	}
+	return decodeApplied(resp.Applied)
+}
+
+// decodeApplied rebuilds applied outcomes from the wire.
+func decodeApplied(was []WireApplied) ([]mod.Applied, error) {
+	out := make([]mod.Applied, len(was))
+	for i, wa := range was {
+		a := mod.Applied{OID: wa.OID, Inserted: wa.Inserted, ChangedFrom: wa.ChangedFrom}
+		if wa.Inserted {
+			a.ChangedFrom = math.Inf(-1)
+		}
+		if len(wa.Verts) > 0 {
+			trs, err := decodeTrajs([]WireTraj{{OID: wa.OID, Verts: wa.Verts}})
+			if err != nil {
+				return nil, err
+			}
+			a.Traj = trs[0]
+		}
+		if len(wa.PrevVerts) > 0 {
+			trs, err := decodeTrajs([]WireTraj{{OID: wa.OID, Verts: wa.PrevVerts}})
+			if err != nil {
+				return nil, err
+			}
+			a.Prev = trs[0]
+		}
+		out[i] = a
+	}
+	return out, nil
+}
+
+// Owns reports, elementwise, whether the server's store holds each OID —
+// the bulk ownership probe behind cluster ingest placement.
+func (c *Client) Owns(oids []int64) ([]bool, error) {
+	resp, err := c.roundTrip(Request{Op: "owns", OIDs: oids})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Owned) != len(oids) {
+		return nil, fmt.Errorf("modserver: owns returned %d answers for %d oids", len(resp.Owned), len(oids))
+	}
+	return resp.Owned, nil
+}
+
+// Subscribe registers a standing request on this connection and returns
+// the subscription ID with its initial result. Subsequent ingests (from
+// any connection) push diff events onto this connection; read them with
+// NextEvent.
+func (c *Client) Subscribe(req engine.Request) (int64, engine.Result, error) {
+	resp, err := c.roundTrip(Request{Op: "subscribe", Request: &req})
+	if err != nil {
+		return 0, engine.Result{Kind: req.Kind, Err: err}, err
+	}
+	res := engine.Result{Kind: req.Kind}
+	if a := resp.Answer; a != nil {
+		if a.Explain != nil {
+			res.Explain = *a.Explain
+		}
+		switch {
+		case a.IsBool:
+			res.IsBool = true
+			if a.Bool != nil {
+				res.Bool = *a.Bool
+			}
+		case a.Pairs != nil:
+			res.Pairs = a.Pairs
+		default:
+			res.OIDs = a.OIDs
+		}
+	}
+	return resp.SubID, res, nil
+}
+
+// Unsubscribe drops a subscription by ID.
+func (c *Client) Unsubscribe(id int64) error {
+	_, err := c.roundTrip(Request{Op: "unsubscribe", SubID: id})
+	return err
+}
+
+// NextEvent returns the next subscription diff event, blocking until one
+// arrives (or the connection closes). Events buffered while waiting for
+// request replies drain first.
+func (c *Client) NextEvent() (continuous.Event, error) {
+	if len(c.pending) > 0 {
+		ev := c.pending[0]
+		c.pending = c.pending[1:]
+		return ev, nil
+	}
+	for {
+		if !c.sc.Scan() {
+			if err := c.sc.Err(); err != nil {
+				return continuous.Event{}, err
+			}
+			return continuous.Event{}, errors.New("modserver: connection closed")
+		}
+		var resp Response
+		if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+			return continuous.Event{}, err
+		}
+		if resp.Event != nil {
+			return *resp.Event, nil
+		}
+		// A non-event line here means the caller mixed request/reply
+		// traffic with event draining out of order; skip it.
+	}
 }
 
 // Batch runs a multi-statement UQL script remotely through the server's

@@ -74,10 +74,59 @@ const targetSlices = 32
 // Stats describes one candidate pre-pass. The JSON tags are the wire
 // format the cluster survivors phase reports per shard.
 type Stats struct {
-	Candidates int `json:"candidates"` // non-query objects in the snapshot
-	Survivors  int `json:"survivors"`  // objects the index could not rule out
-	Slices     int `json:"slices"`     // time slices probed
-	Probes     int `json:"probes"`     // KNN probe distance evaluations
+	Candidates int  `json:"candidates"`           // non-query objects in the snapshot
+	Survivors  int  `json:"survivors"`            // objects the index could not rule out
+	Slices     int  `json:"slices"`               // time slices probed
+	Probes     int  `json:"probes"`               // KNN probe distance evaluations
+	Predictive bool `json:"predictive,omitempty"` // pre-pass ran on the TPR predictive index
+}
+
+// corridorIndex is the index surface the two pre-pass phases need: KNN
+// probe selection at an instant and conservative corridor range hits over
+// a slice. The segment R-tree is the default; a store with a pinned
+// predictive TPR coverage answers covered windows through the TPR tree
+// instead (no rebuild under live ingest). Both only *select* candidates —
+// every hit is refined against the exact trajectory — so the two paths
+// answer queries identically even though their candidate supersets differ.
+type corridorIndex interface {
+	probe(p geom.Point, t float64, k int) []sindex.Neighbor
+	corridorHits(box geom.AABB, t0, t1 float64) []int64
+}
+
+// rtreeIndex adapts the segment R-tree (entries pre-expanded by r).
+type rtreeIndex struct{ t *sindex.RTree }
+
+func (x rtreeIndex) probe(p geom.Point, t float64, k int) []sindex.Neighbor {
+	return x.t.KNN(p, t, k)
+}
+func (x rtreeIndex) corridorHits(box geom.AABB, t0, t1 float64) []int64 {
+	return x.t.SearchRange(box, t0, t1)
+}
+
+// tprIndex adapts the predictive TPR tree. Its moving entries are exact
+// expected positions, not r-expanded boxes, so the query box is expanded
+// by r here — for axis-aligned boxes, expanding the query side is the
+// same intersection test as expanding the entry side.
+type tprIndex struct {
+	t *sindex.TPRTree
+	r float64
+}
+
+func (x tprIndex) probe(p geom.Point, t float64, k int) []sindex.Neighbor {
+	return x.t.KNNAt(p, t, k)
+}
+func (x tprIndex) corridorHits(box geom.AABB, t0, t1 float64) []int64 {
+	return x.t.SearchInterval(box.Expand(x.r), t0, t1)
+}
+
+// indexFor picks the pre-pass index for a window: the pinned predictive
+// TPR tree when its coverage contains [tb, te], else the lazily maintained
+// segment R-tree. predictive reports which path was taken (Stats).
+func indexFor(store *mod.Store, tb, te float64) (idx corridorIndex, predictive bool) {
+	if tpr, refT, horizon, ok := store.Predictive(); ok && tb >= refT && te <= refT+horizon {
+		return tprIndex{t: tpr, r: store.Radius()}, true
+	}
+	return rtreeIndex{t: store.BuildIndex(0)}, false
 }
 
 // Candidates computes a conservative superset of the objects whose
@@ -93,13 +142,7 @@ func Candidates(store *mod.Store, q *trajectory.Trajectory, tb, te float64) ([]i
 // CandidatesCtx is Candidates under a context, checked once per time
 // slice of the sweep.
 func CandidatesCtx(ctx context.Context, store *mod.Store, q *trajectory.Trajectory, tb, te float64) ([]int64, Stats, error) {
-	v0 := store.Version()
-	trs := store.All()
-	idx := store.BuildIndex(0)
-	if store.Version() != v0 {
-		return allOIDs(trs, q.OID), statsAll(trs, q.OID), nil
-	}
-	return candidates(ctx, trs, idx, store.Radius(), q, tb, te, 1)
+	return CandidatesRankCtx(ctx, store, q, tb, te, 1)
 }
 
 // CandidatesRank generalizes Candidates to rank k: the returned superset
@@ -109,13 +152,55 @@ func CandidatesCtx(ctx context.Context, store *mod.Store, q *trajectory.Trajecto
 // takes the k-th smallest exact maximum distance — at any instant those k
 // functions all sit below it, so so does the pointwise k-th smallest.
 func CandidatesRank(store *mod.Store, q *trajectory.Trajectory, tb, te float64, k int) ([]int64, Stats, error) {
+	return CandidatesRankCtx(context.Background(), store, q, tb, te, k)
+}
+
+// CandidatesRankCtx is CandidatesRank under a context.
+func CandidatesRankCtx(ctx context.Context, store *mod.Store, q *trajectory.Trajectory, tb, te float64, k int) ([]int64, Stats, error) {
+	ids, _, _, st, err := ZoneCtx(ctx, store, q, tb, te, k)
+	return ids, st, err
+}
+
+// ZoneCtx computes the rank-k candidate superset together with the
+// per-slice envelope bounds and cuts the sweep used — one pass over the
+// index instead of the two a SliceBounds + CandidatesRank pair would
+// spend. CandidatesRank(Ctx) is a thin wrapper over it; callers that
+// need the (cuts, bounds, superset) triple from one snapshot — a
+// zone-fingerprint builder without an already-built processor to reuse —
+// call it directly. (The single-engine continuous backend instead reads
+// the superset off the engine's memoized processor and pays only the
+// probe-phase SliceBounds; the cluster backend gets the triple from the
+// bound exchange.) Bounds of a degenerate window (or empty store) are
+// nil with every object kept, which callers must treat as always-dirty.
+func ZoneCtx(ctx context.Context, store *mod.Store, q *trajectory.Trajectory, tb, te float64, k int) (ids []int64, cuts, bounds []float64, st Stats, err error) {
 	v0 := store.Version()
 	trs := store.All()
-	idx := store.BuildIndex(0)
+	idx, predictive := indexFor(store, tb, te)
 	if store.Version() != v0 {
-		return allOIDs(trs, q.OID), statsAll(trs, q.OID), nil
+		return allOIDs(trs, q.OID), nil, nil, statsAll(trs, q.OID), nil
 	}
-	return candidates(context.Background(), trs, idx, store.Radius(), q, tb, te, k)
+	st = Stats{Candidates: candidateCount(trs, q.OID), Predictive: predictive}
+	if te-tb <= 0 || st.Candidates == 0 {
+		out := allOIDs(trs, q.OID)
+		st.Survivors = len(out)
+		return out, nil, nil, st, nil
+	}
+	state := newSweepState(trs, q, tb, te)
+	bounds, probeStats, err := sliceBounds(ctx, state, idx, q, k)
+	if err != nil {
+		return nil, nil, nil, st, err
+	}
+	kept, _, err := sweepBounds(ctx, state, trs, idx, store.Radius(), q, bounds)
+	if err != nil {
+		return nil, nil, nil, st, err
+	}
+	st.Slices, st.Probes = probeStats.Slices, probeStats.Probes
+	ids = make([]int64, len(kept))
+	for i, tr := range kept {
+		ids[i] = tr.OID
+	}
+	st.Survivors = len(ids)
+	return ids, state.cuts, bounds, st, nil
 }
 
 // ForQuery builds an index-pruned queries.Processor for q over [tb, te]
@@ -136,7 +221,7 @@ func ForQuery(store *mod.Store, q *trajectory.Trajectory, tb, te float64) (*quer
 func ForQueryCtx(ctx context.Context, store *mod.Store, q *trajectory.Trajectory, tb, te float64) (*queries.Processor, error) {
 	v0 := store.Version()
 	trs := store.All()
-	idx := store.BuildIndex(0)
+	idx, _ := indexFor(store, tb, te)
 	r := store.Radius()
 	if store.Version() != v0 {
 		// A mutation slipped between the snapshot and the index build;
@@ -201,7 +286,7 @@ func SliceBounds(ctx context.Context, store *mod.Store, q *trajectory.Trajectory
 	}
 	v0 := store.Version()
 	trs := store.All()
-	idx := store.BuildIndex(0)
+	idx, _ := indexFor(store, tb, te)
 	if store.Version() != v0 {
 		// A mutation slipped between the snapshot and the index build;
 		// +Inf everywhere bounds nothing, which is always sound.
@@ -234,19 +319,21 @@ func SurvivorsWithBounds(ctx context.Context, store *mod.Store, q *trajectory.Tr
 	}
 	v0 := store.Version()
 	trs := store.All()
-	idx := store.BuildIndex(0)
+	idx, predictive := indexFor(store, tb, te)
 	if store.Version() != v0 {
 		// Concurrent mutation: keep everything, which is always sound.
 		out := allTrajectories(trs, q.OID)
 		return out, statsAll(trs, q.OID), nil
 	}
-	return sweepBounds(ctx, newSweepState(trs, q, tb, te), trs, idx, store.Radius(), q, bounds)
+	out, st, err := sweepBounds(ctx, newSweepState(trs, q, tb, te), trs, idx, store.Radius(), q, bounds)
+	st.Predictive = predictive
+	return out, st, err
 }
 
 // candidates runs the slice sweep over one consistent snapshot, bounding
 // the Level-k envelope per slice (k == 1 is the classic pass): the probe
 // phase (sliceBounds) followed by the sweep against those bounds.
-func candidates(ctx context.Context, trs []*trajectory.Trajectory, idx *sindex.RTree, r float64, q *trajectory.Trajectory, tb, te float64, k int) ([]int64, Stats, error) {
+func candidates(ctx context.Context, trs []*trajectory.Trajectory, idx corridorIndex, r float64, q *trajectory.Trajectory, tb, te float64, k int) ([]int64, Stats, error) {
 	st := Stats{Candidates: candidateCount(trs, q.OID)}
 	if te-tb <= 0 || st.Candidates == 0 {
 		// Degenerate window or nothing to prune: keep everything and let
@@ -297,7 +384,7 @@ func newSweepState(trs []*trajectory.Trajectory, q *trajectory.Trajectory, tb, t
 // smallest exact maximum distance each stay below the k-th smallest value
 // throughout the slice, so at every instant at least k functions — and
 // hence the pointwise k-th smallest — do.
-func sliceBounds(ctx context.Context, state sweepState, idx *sindex.RTree, q *trajectory.Trajectory, k int) ([]float64, Stats, error) {
+func sliceBounds(ctx context.Context, state sweepState, idx corridorIndex, q *trajectory.Trajectory, k int) ([]float64, Stats, error) {
 	var st Stats
 	byID, cuts := state.byID, state.cuts
 	// The rank-k bound needs the k-th smallest probe distance, so probe a
@@ -316,7 +403,7 @@ func sliceBounds(ctx context.Context, state sweepState, idx *sindex.RTree, q *tr
 		st.Slices++
 		mid := 0.5 * (t0 + t1)
 		dists = dists[:0]
-		for _, nb := range idx.KNN(q.At(mid), mid, probes) {
+		for _, nb := range idx.probe(q.At(mid), mid, probes) {
 			if nb.ID == q.OID {
 				continue
 			}
@@ -342,7 +429,7 @@ func sliceBounds(ctx context.Context, state sweepState, idx *sindex.RTree, q *tr
 // Margin is refined against its exact minimum crisp distance over the
 // slice. A +Inf bound keeps every candidate for that slice (no usable
 // bound: trivially sound).
-func sweepBounds(ctx context.Context, state sweepState, trs []*trajectory.Trajectory, idx *sindex.RTree, r float64, q *trajectory.Trajectory, bounds []float64) ([]*trajectory.Trajectory, Stats, error) {
+func sweepBounds(ctx context.Context, state sweepState, trs []*trajectory.Trajectory, idx corridorIndex, r float64, q *trajectory.Trajectory, bounds []float64) ([]*trajectory.Trajectory, Stats, error) {
 	st := Stats{Candidates: candidateCount(trs, q.OID)}
 	byID, cuts := state.byID, state.cuts
 	width := 4*r + Margin
@@ -377,7 +464,7 @@ func sweepBounds(ctx context.Context, state sweepState, trs []*trajectory.Trajec
 		// objects whose segment boxes merely graze the corridor.
 		// SearchRange emits one hit per segment entry; sorting first lets
 		// a rejected object skip its duplicate entries in this slice.
-		hits := idx.SearchRange(qbox.Expand(u+width), t0, t1)
+		hits := idx.corridorHits(qbox.Expand(u+width), t0, t1)
 		slices.Sort(hits)
 		for i, id := range hits {
 			if id == q.OID || (i > 0 && id == hits[i-1]) {
@@ -450,6 +537,15 @@ func minDistOverSlice(a, b *trajectory.Trajectory, t0, t1 float64) float64 {
 		}
 	}
 	return math.Sqrt(best)
+}
+
+// MinCrispDist returns the exact minimum over [t0, t1] of the distance
+// between the expected positions of a and b. Exported for the
+// continuous-query layer, whose dirty test compares an updated object's
+// new (and superseded) motion against a subscription's per-slice envelope
+// bounds with exactly this refinement.
+func MinCrispDist(a, b *trajectory.Trajectory, t0, t1 float64) float64 {
+	return minDistOverSlice(a, b, t0, t1)
 }
 
 // sliceTimes cuts [tb, te] at q's vertex times and subdivides any slice

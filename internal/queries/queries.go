@@ -439,6 +439,23 @@ func (p *Processor) CandidateOIDs() []int64 {
 // copying the OID list (Explain accounting on the query hot path).
 func (p *Processor) CandidateCount() int { return len(p.oids) }
 
+// SurvivorOIDs returns the sorted OIDs of the current survivor basis —
+// every candidate the index pre-pass could not rule out of the (rank-k,
+// if the basis was grown) 4r zone, which in full-scan mode is every
+// candidate. The continuous-query layer uses it as a subscription's
+// dependency superset: an update to an object outside it provably cannot
+// redefine the envelope or any zone membership.
+func (p *Processor) SurvivorOIDs() []int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int64, 0, len(p.basisByID))
+	for id := range p.basisByID {
+		out = append(out, id)
+	}
+	slices.Sort(out)
+	return out
+}
+
 // fn returns the object's distance function, erroring on unknown OIDs and
 // on pruned candidates (which have none built). Level-1 query paths use
 // lookup instead so pruned candidates answer without a function.

@@ -1,0 +1,193 @@
+// Package simtest is a deterministic simulation harness for the live
+// ingestion + continuous-query stack: a seeded step-clock world whose
+// fleet is generated once up front, then driven through scripted update
+// batches — mid-plan route revisions anchored at each object's current
+// position, plus a few objects held out and inserted mid-run. The world
+// keeps a mirror store of the truth, so after every step a test can
+// compare any live subscription's answer against a fresh engine run on a
+// snapshot — the byte-identity gate of the continuous layer — and the
+// benchmark harness can replay the identical script against different
+// serving topologies.
+//
+// Everything is deterministic in Config.Seed: the same seed yields the
+// same fleet, the same revision schedule, and the same update bytes, so
+// single-engine, sharded, and predictive runs can be compared event for
+// event.
+package simtest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/mod"
+	"repro/internal/trajectory"
+	"repro/internal/workload"
+)
+
+// Span is the fleet plan horizon in minutes (the workload default: every
+// plan covers [0, Span]).
+const Span = 60.0
+
+// Config sizes a world. The zero value is unusable; see DefaultConfig.
+type Config struct {
+	Seed    int64
+	N       int     // initial fleet size
+	Held    int     // objects held out and inserted mid-run
+	R       float64 // shared uncertainty radius
+	Steps   int     // scripted steps
+	PerStep int     // plan revisions per step
+}
+
+// DefaultConfig returns a small, fast world.
+func DefaultConfig(seed int64) Config {
+	return Config{Seed: seed, N: 60, Held: 4, R: 0.5, Steps: 8, PerStep: 6}
+}
+
+// World is the step-clock simulation state.
+type World struct {
+	cfg     Config
+	rng     *rand.Rand
+	now     float64
+	delta   float64
+	step    int
+	initial []*trajectory.Trajectory
+	held    []*trajectory.Trajectory
+	mirror  *mod.Store // the truth: every emitted update applied in order
+}
+
+// NewWorld builds a world: N+Held plans from the paper's workload
+// generator, the first N active, the rest held for mid-run inserts.
+func NewWorld(cfg Config) (*World, error) {
+	if cfg.N < 10 || cfg.Steps < 1 || cfg.PerStep < 0 || cfg.R <= 0 {
+		return nil, fmt.Errorf("simtest: bad config %+v", cfg)
+	}
+	trs, err := workload.Generate(workload.DefaultConfig(cfg.Seed), cfg.N+cfg.Held)
+	if err != nil {
+		return nil, err
+	}
+	mirror, err := mod.NewUniformStore(cfg.R)
+	if err != nil {
+		return nil, err
+	}
+	if err := mirror.InsertAll(trs[:cfg.N]); err != nil {
+		return nil, err
+	}
+	return &World{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		// The clock starts late enough that every subscription window
+		// ending before the first revision exercises permanent skips, and
+		// steps never push revisions past the horizon.
+		now:     8,
+		delta:   44 / float64(cfg.Steps),
+		initial: trs[:cfg.N],
+		held:    trs[cfg.N:],
+		mirror:  mirror,
+	}, nil
+}
+
+// InitialStore returns a fresh store holding the initial fleet —
+// trajectory values are shared (they are immutable), stores are not.
+func (w *World) InitialStore() (*mod.Store, error) {
+	st, err := mod.NewUniformStore(w.cfg.R)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.InsertAll(w.initial); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// SnapshotStore returns a fresh store with the world's current truth.
+func (w *World) SnapshotStore() (*mod.Store, error) {
+	st, err := mod.NewUniformStore(w.cfg.R)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.InsertAll(w.mirror.All()); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Now returns the step clock.
+func (w *World) Now() float64 { return w.now }
+
+// Step advances the clock and returns the next scripted update batch,
+// already applied to the world's mirror. Batches contain PerStep plan
+// revisions anchored at each chosen object's current expected position
+// (rewriting its route from the clock to the horizon) and, at two
+// scripted points of the run, the insertion of a held-out object's full
+// plan.
+func (w *World) Step() ([]mod.Update, error) {
+	w.step++
+	w.now += w.delta
+	var batch []mod.Update
+	oids := w.mirror.OIDs()
+	for i := 0; i < w.cfg.PerStep && len(oids) > 0; i++ {
+		oid := oids[w.rng.Intn(len(oids))]
+		tr, err := w.mirror.Get(oid)
+		if err != nil {
+			return nil, err
+		}
+		pos := tr.At(w.now)
+		// Route revision: anchored at the current position, one random
+		// waypoint midway, ending at the horizon — the same speeds stay
+		// plausible, and coverage of [0, Span] is preserved.
+		mid := trajectory.Vertex{
+			X: clamp(pos.X+(w.rng.Float64()-0.5)*16, 0, 40),
+			Y: clamp(pos.Y+(w.rng.Float64()-0.5)*16, 0, 40),
+			T: (w.now + Span) / 2,
+		}
+		end := trajectory.Vertex{
+			X: clamp(mid.X+(w.rng.Float64()-0.5)*16, 0, 40),
+			Y: clamp(mid.Y+(w.rng.Float64()-0.5)*16, 0, 40),
+			T: Span,
+		}
+		batch = append(batch, mod.Update{OID: oid, Verts: []trajectory.Vertex{
+			{X: pos.X, Y: pos.Y, T: w.now}, mid, end,
+		}})
+	}
+	if len(w.held) > 0 && (w.step == w.cfg.Steps/3 || w.step == 2*w.cfg.Steps/3) {
+		tr := w.held[0]
+		w.held = w.held[1:]
+		batch = append(batch, mod.Update{OID: tr.OID, Verts: tr.Verts})
+	}
+	if _, err := w.mirror.ApplyUpdates(batch); err != nil {
+		return nil, err
+	}
+	return batch, nil
+}
+
+// Requests returns the standing subscription mix the simulation suite
+// registers: whole-MOD retrievals at ranks 1 and 2, fraction variants,
+// single-object predicates (including a fixed-time instant and a
+// threshold query), and one window that ends before the first revision —
+// the permanently-clean subscription the dirty set must never touch.
+func (w *World) Requests() []engine.Request {
+	o := func(i int) int64 { return w.initial[i%len(w.initial)].OID }
+	return []engine.Request{
+		{Kind: engine.KindUQ31, QueryOID: o(0), Tb: 0, Te: Span},
+		{Kind: engine.KindUQ41, QueryOID: o(1), Tb: 5, Te: 55, K: 2},
+		{Kind: engine.KindUQ32, QueryOID: o(2), Tb: 0, Te: Span},
+		{Kind: engine.KindUQ33, QueryOID: o(3), Tb: 10, Te: 50, X: 0.3},
+		{Kind: engine.KindUQ11, QueryOID: o(0), Tb: 0, Te: Span, OID: o(4)},
+		{Kind: engine.KindUQ21, QueryOID: o(1), Tb: 0, Te: 40, OID: o(5), K: 2},
+		{Kind: engine.KindUQ13, QueryOID: o(2), Tb: 0, Te: 30, OID: o(6), X: 0.2},
+		{Kind: engine.KindNNAt, QueryOID: o(3), Tb: 0, Te: Span, OID: o(7), T: 20},
+		{Kind: engine.KindThreshold, QueryOID: o(5), Tb: 0, Te: 20, OID: o(8), P: 0.4, X: 0.3},
+		{Kind: engine.KindUQ31, QueryOID: o(4), Tb: 0, Te: 7}, // ends before any revision
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

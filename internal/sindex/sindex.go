@@ -42,11 +42,14 @@ func (e Entry) overlaps(box geom.AABB, t0, t1 float64) bool {
 }
 
 // RTree is an immutable STR-packed R-tree. Build once with NewRTree; for
-// dynamic workloads rebuild (bulk loading is fast: O(n log n)).
+// bulk-dynamic workloads rebuild (bulk loading is fast: O(n log n)), and
+// for append-heavy live ingest derive updated trees with Inserted, which
+// shares all untouched nodes with the original (see dyn.go).
 type RTree struct {
 	root   *node
 	height int
 	count  int
+	fanout int
 }
 
 type node struct {
@@ -62,7 +65,7 @@ func NewRTree(entries []Entry, fanout int) *RTree {
 	if fanout <= 0 {
 		fanout = DefaultFanout
 	}
-	t := &RTree{count: len(entries)}
+	t := &RTree{count: len(entries), fanout: fanout}
 	if len(entries) == 0 {
 		return t
 	}

@@ -68,9 +68,14 @@ func (n *tprNode) boxAt(t float64) geom.AABB {
 }
 
 // TPRTree is a bulk-loaded time-parameterized R-tree over moving points.
+// Like RTree it is immutable; Inserted (dyn.go) derives an updated tree
+// sharing all untouched nodes, which is how live ingest extends predictive
+// coverage without a rebuild.
 type TPRTree struct {
-	root  *tprNode
-	count int
+	root   *tprNode
+	count  int
+	fanout int
+	refT   float64
 }
 
 // NewTPRTree bulk-loads the entries (STR on positions at the common
@@ -79,7 +84,7 @@ func NewTPRTree(entries []MovingEntry, refT float64, fanout int) *TPRTree {
 	if fanout <= 0 {
 		fanout = DefaultFanout
 	}
-	t := &TPRTree{count: len(entries)}
+	t := &TPRTree{count: len(entries), fanout: fanout, refT: refT}
 	if len(entries) == 0 {
 		return t
 	}
@@ -203,18 +208,25 @@ func (t *TPRTree) SearchAt(box geom.AABB, tq float64) []int64 {
 }
 
 // KNNAt returns the k nearest entries to p at time tq, best-first over the
-// time-parameterized boxes.
+// time-parameterized boxes. Duplicate IDs are collapsed, keeping the
+// nearest — an object indexed with several moving entries (one per plan
+// segment, the live-ingest layout) counts once, so rank-k callers get k
+// distinct objects, mirroring RTree.KNN.
 func (t *TPRTree) KNNAt(p geom.Point, tq float64, k int) []Neighbor {
 	if t.root == nil || k <= 0 {
 		return nil
 	}
 	q := &knnTPRQueue{{dist: t.root.boxAt(tq).MinDistTo(p), nd: t.root}}
 	heap.Init(q)
+	seen := make(map[int64]bool)
 	var out []Neighbor
 	for q.Len() > 0 && len(out) < k {
 		it := heap.Pop(q).(knnTPRItem)
 		if it.entry != nil {
-			out = append(out, Neighbor{ID: it.entry.ID, Dist: it.dist})
+			if !seen[it.entry.ID] {
+				seen[it.entry.ID] = true
+				out = append(out, Neighbor{ID: it.entry.ID, Dist: it.dist})
+			}
 			continue
 		}
 		n := it.nd

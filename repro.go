@@ -15,6 +15,13 @@
 //     Router that answers the same Request contract over K shards (local
 //     or remote), byte-identically to a single engine via a two-phase NN
 //     bound exchange,
+//   - live ingestion + continuous queries: stores accept plan revisions
+//     and extensions (Update / Store.ApplyUpdates) with incremental index
+//     maintenance and an optional predictive TPR index
+//     (Store.EnablePredictive), and a LiveHub (NewLiveHub / NewClusterHub)
+//     keeps standing Request subscriptions fresh across ingest batches,
+//     emitting diff events and re-evaluating only what an update can
+//     actually affect,
 //   - the UQL query language (the SQL sketch of Section 4), and
 //   - the probabilistic machinery for instantaneous NN queries
 //     (Sections 2.2, 3.1).
@@ -56,6 +63,7 @@ import (
 	"context"
 
 	"repro/internal/cluster"
+	"repro/internal/continuous"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/envelope"
@@ -455,6 +463,55 @@ func NewRemoteShard(name, addr string) ClusterShard {
 // helper for standing up shard servers.
 func SplitStore(store *Store, n int, part Partitioner) ([]*Store, error) {
 	return cluster.SplitStore(store, n, part)
+}
+
+// --- live ingestion + continuous queries ---
+
+// Update is one live ingest item: new vertices for an object — a plan
+// revision from the first vertex's time on when the object exists (a
+// pure extension when it is past the plan end), an insert otherwise.
+// Store.ApplyUpdate / ApplyUpdates apply them directly; a LiveHub applies
+// them while keeping standing subscriptions fresh. The store also
+// maintains its spatial indexes incrementally across these mutations
+// (Store.ExtendTrajectory, Store.RevisePlan, Store.EnablePredictive).
+type Update = mod.Update
+
+// AppliedUpdate describes one applied live update: whether it inserted,
+// the time its object's motion changed from, and the superseded and new
+// plans.
+type AppliedUpdate = mod.Applied
+
+// LiveHub owns standing Request subscriptions over a live MOD: Subscribe
+// registers a query and returns its initial answer, Ingest applies an
+// update batch and re-evaluates only the subscriptions the batch can
+// affect (a dirty set keyed on each query's envelope-zone fingerprint),
+// emitting diff events:
+//
+//	hub := repro.NewLiveHub(store, eng)
+//	id, initial, _ := hub.Subscribe(ctx, repro.Request{Kind: repro.KindUQ31, QueryOID: 1, Tb: 0, Te: 60})
+//	_, events, _ := hub.Ingest(ctx, []repro.Update{{OID: 7, Verts: newPlan}})
+//	// events[i].Added / .Removed diff the standing answers that changed.
+type LiveHub = continuous.Hub
+
+// LiveEvent is one subscription's diff after an ingest batch.
+type LiveEvent = continuous.Event
+
+// LiveStats counts a hub's re-evaluations versus dirty-set skips.
+type LiveStats = continuous.Stats
+
+// NewLiveHub mounts a continuous-query hub on a single store + engine
+// (nil engine: one worker per CPU).
+func NewLiveHub(store *Store, eng *Engine) *LiveHub {
+	return continuous.NewEngineHub(store, eng)
+}
+
+// NewClusterHub mounts a continuous-query hub on a sharded router:
+// ingests route to the owning shards by the partitioner, and
+// subscription freshness rides the same two-phase bound exchange the
+// query path uses — events are byte-identical to a single-store hub over
+// the union of the shards.
+func NewClusterHub(router *Router) *LiveHub {
+	return cluster.NewRouterHub(router)
 }
 
 // --- UQL (Section 4's SQL sketch) ---
