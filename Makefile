@@ -1,10 +1,21 @@
-# CI and humans invoke the same targets: the ci.yml workflow is exactly
-# `make fmt vet staticcheck build race bench-smoke bench-prune bench-api
-# bench-shard bench-live cover`.
+# CI and humans invoke the same targets. The ci.yml workflow runs three
+# parallel jobs — lint (`make fmt vet staticcheck`), test (`make build
+# race cover`), and bench (`make bench-smoke bench-api bench-prune
+# bench-shard bench-live` plus a `figures -fig summary` step table) — and
+# the nightly workflow adds `make bench-shard-large bench` with the
+# MIN_SHARD_SPEEDUP=2.0 gate.
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-prune bench-api bench-shard bench-live cover fmt vet staticcheck clean
+# Absolute speedup floor for the shard sweeps (passed to figures as
+# -min-speedup). Off by default: a laptop or a single-core runner cannot
+# promise parallel speedup. The nightly large-N run sets 2.0 — the
+# distributed refine must make 4 shards at least twice as fast as the
+# single engine at scale. PR CI instead gates relatively, against the
+# committed BENCH_shard.json baseline minus a tolerance.
+MIN_SHARD_SPEEDUP ?= 0
+
+.PHONY: all build test race bench bench-smoke bench-prune bench-api bench-shard bench-shard-large bench-live cover fmt vet staticcheck clean
 
 all: fmt vet staticcheck build test
 
@@ -40,9 +51,21 @@ bench-api:
 # Shard-scaling experiment: the cluster Router over 1/2/4/8 local shards
 # vs the single-store engine on a mixed NN-family batch, emitted as the
 # BENCH_shard.json artifact. Fails unless every row is equal=true (the
-# distributed-correctness gate, like bench-prune's).
+# distributed-correctness gate, like bench-prune's) and the best
+# multi-shard speedup clears MIN_SHARD_SPEEDUP (when set).
+# SHARD_BASELINE (a committed BENCH_shard.json path) arms the relative
+# regression gate: the fresh best multi-shard speedup must stay within
+# the tolerance of the baseline's. CI passes SHARD_BASELINE=BENCH_shard.json.
+SHARD_BASELINE ?=
 bench-shard:
-	$(GO) run ./cmd/figures -fig shard -shard-json BENCH_shard.json
+	$(GO) run ./cmd/figures -fig shard -shard-json BENCH_shard.json -min-speedup $(MIN_SHARD_SPEEDUP) $(if $(SHARD_BASELINE),-shard-baseline $(SHARD_BASELINE))
+
+# The same sweep at the large population (N=50000, nightly CI): with real
+# survivor sets to split, the distributed refine is where sharding pays.
+# Writes the separate BENCH_shard_large.json artifact so the fast PR
+# baseline stays untouched.
+bench-shard-large:
+	$(GO) run ./cmd/figures -fig shard -large -shard-json BENCH_shard_large.json -min-speedup $(MIN_SHARD_SPEEDUP)
 
 # Live-serving experiment: the continuous-query hub's dirty-set
 # re-evaluation vs naively re-running every standing subscription after

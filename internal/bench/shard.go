@@ -25,12 +25,13 @@ import (
 // not latency.
 type ShardRow struct {
 	Shards     int
-	SingleT    time.Duration // avg single-engine DoBatch
-	RouterT    time.Duration // avg Router.DoBatch over K local shards
+	SingleT    time.Duration // per-pass avg single-engine DoBatch
+	RouterT    time.Duration // per-pass avg Router.DoBatch over K local shards
 	Speedup    float64       // SingleT / RouterT
+	Passes     int           // interleaved measurement passes behind the averages
 	Candidates int           // non-query objects per query
 	Survivors  float64       // avg per-request global survivors gathered
-	Equal      bool          // router answers ≡ single-engine answers, every rep
+	Equal      bool          // router answers ≡ single-engine answers, every pass
 }
 
 // shardWorkload is the request mix: whole-MOD NN retrievals at ranks 1
@@ -72,13 +73,21 @@ func sameAnswers(a, b []engine.Result) bool {
 }
 
 // ShardScaling measures the router over each shard count against the
-// single-store engine on one seeded population. Fresh engines per timing
-// isolate the memo (every side pays its own preprocessing); the store's
-// index is warmed once, as in production, where it is amortized across
-// queries.
-func ShardScaling(n int, shardCounts []int, reps int, r float64, seed int64) ([]ShardRow, error) {
+// single-store engine on one seeded population. Every row interleaves
+// passes single-engine and router measurements (single, router, single,
+// router, ...) so host drift lands on both sides evenly — the old scheme
+// of timing the single baseline once up front and reusing it across rows
+// let a warm-up or GC hiccup in that one measurement skew every speedup.
+// Reported times are per-pass averages; Equal must hold on every pass.
+// Fresh engines per pass isolate the processor memo (each side pays its
+// own preprocessing); both sides get one symmetric warmup on the first
+// request so per-shard index builds stay out of the timings.
+func ShardScaling(n int, shardCounts []int, reps, passes int, r float64, seed int64) ([]ShardRow, error) {
 	if reps <= 0 {
 		reps = 3
+	}
+	if passes <= 0 {
+		passes = 3
 	}
 	if r <= 0 {
 		r = 0.5
@@ -99,49 +108,57 @@ func ShardScaling(n int, shardCounts []int, reps int, r float64, seed int64) ([]
 	reqs := shardWorkload(oids, reps, 0, 30)
 	ctx := context.Background()
 
-	start := time.Now()
-	want, err := engine.New(0).DoBatch(ctx, store, reqs)
-	if err != nil {
-		return nil, err
-	}
-	singleT := time.Since(start)
-
 	var rows []ShardRow
 	for _, k := range shardCounts {
-		router, err := cluster.NewLocalCluster(store, k, cluster.Options{})
-		if err != nil {
-			return nil, err
-		}
-		// Warm the per-shard indexes outside the timing, matching the
-		// single side's warmed store index.
-		for _, req := range reqs[:1] {
-			if _, err := router.Do(ctx, req); err != nil {
+		row := ShardRow{Shards: k, Passes: passes, Candidates: n - 1, Equal: true}
+		var singleTot, routerTot time.Duration
+		var surv, counted int
+		for p := 0; p < passes; p++ {
+			single := engine.New(0)
+			if _, err := single.DoBatch(ctx, store, reqs[:1]); err != nil {
 				return nil, err
 			}
-		}
-		start := time.Now()
-		got, err := router.DoBatch(ctx, reqs)
-		if err != nil {
-			return nil, err
-		}
-		routerT := time.Since(start)
-
-		row := ShardRow{
-			Shards: k, SingleT: singleT, RouterT: routerT,
-			Candidates: n - 1, Equal: sameAnswers(want, got),
-		}
-		var surv, counted int
-		for _, res := range got {
-			for _, se := range res.Explain.ShardExplains {
-				surv += se.Survivors
+			start := time.Now()
+			want, err := single.DoBatch(ctx, store, reqs)
+			if err != nil {
+				return nil, err
 			}
-			counted++
+			singleTot += time.Since(start)
+
+			// A fresh router per pass: the split stores are rebuilt outside
+			// the timing and its inner engine starts with a cold memo, the
+			// same footing the single side gets.
+			router, err := cluster.NewLocalCluster(store, k, cluster.Options{})
+			if err != nil {
+				return nil, err
+			}
+			if _, err := router.Do(ctx, reqs[0]); err != nil {
+				return nil, err
+			}
+			start = time.Now()
+			got, err := router.DoBatch(ctx, reqs)
+			if err != nil {
+				return nil, err
+			}
+			routerTot += time.Since(start)
+
+			if !sameAnswers(want, got) {
+				row.Equal = false
+			}
+			for _, res := range got {
+				for _, se := range res.Explain.ShardExplains {
+					surv += se.Survivors
+				}
+				counted++
+			}
 		}
+		row.SingleT = singleTot / time.Duration(passes)
+		row.RouterT = routerTot / time.Duration(passes)
 		if counted > 0 {
 			row.Survivors = float64(surv) / float64(counted)
 		}
-		if routerT > 0 {
-			row.Speedup = float64(singleT) / float64(routerT)
+		if row.RouterT > 0 {
+			row.Speedup = float64(row.SingleT) / float64(row.RouterT)
 		}
 		rows = append(rows, row)
 	}
@@ -150,21 +167,21 @@ func ShardScaling(n int, shardCounts []int, reps int, r float64, seed int64) ([]
 
 // FormatShard renders rows as an aligned text table.
 func FormatShard(rows []ShardRow) string {
-	s := fmt.Sprintf("%-8s %-14s %-14s %-10s %-11s %s\n",
-		"shards", "single", "router", "speedup", "survivors", "equal")
+	s := fmt.Sprintf("%-8s %-14s %-14s %-10s %-8s %-11s %s\n",
+		"shards", "single", "router", "speedup", "passes", "survivors", "equal")
 	for _, r := range rows {
-		s += fmt.Sprintf("%-8d %-14s %-14s %-10s %-11.1f %v\n",
-			r.Shards, r.SingleT, r.RouterT, fmt.Sprintf("%.2fx", r.Speedup), r.Survivors, r.Equal)
+		s += fmt.Sprintf("%-8d %-14s %-14s %-10s %-8d %-11.1f %v\n",
+			r.Shards, r.SingleT, r.RouterT, fmt.Sprintf("%.2fx", r.Speedup), r.Passes, r.Survivors, r.Equal)
 	}
 	return s
 }
 
 // CSVShard renders rows as CSV.
 func CSVShard(rows []ShardRow) string {
-	s := "shards,single_ns,router_ns,speedup,survivors,equal\n"
+	s := "shards,single_ns,router_ns,speedup,passes,survivors,equal\n"
 	for _, r := range rows {
-		s += fmt.Sprintf("%d,%d,%d,%.4f,%.2f,%v\n",
-			r.Shards, r.SingleT.Nanoseconds(), r.RouterT.Nanoseconds(), r.Speedup, r.Survivors, r.Equal)
+		s += fmt.Sprintf("%d,%d,%d,%.4f,%d,%.2f,%v\n",
+			r.Shards, r.SingleT.Nanoseconds(), r.RouterT.Nanoseconds(), r.Speedup, r.Passes, r.Survivors, r.Equal)
 	}
 	return s
 }
@@ -185,6 +202,7 @@ type shardRowJSON struct {
 	SingleNS  int64   `json:"single_ns"`
 	RouterNS  int64   `json:"router_ns"`
 	Speedup   float64 `json:"speedup"`
+	Passes    int     `json:"passes"`
 	Survivors float64 `json:"survivors"`
 	Equal     bool    `json:"equal"`
 }
@@ -200,7 +218,7 @@ func WriteShardJSON(w io.Writer, rows []ShardRow, n, reps int, r float64, seed i
 	for _, row := range rows {
 		doc.Rows = append(doc.Rows, shardRowJSON{
 			Shards: row.Shards, SingleNS: row.SingleT.Nanoseconds(), RouterNS: row.RouterT.Nanoseconds(),
-			Speedup: row.Speedup, Survivors: row.Survivors, Equal: row.Equal,
+			Speedup: row.Speedup, Passes: row.Passes, Survivors: row.Survivors, Equal: row.Equal,
 		})
 	}
 	enc := json.NewEncoder(w)

@@ -10,7 +10,7 @@ import (
 // correctness gate to hold: every row equal=true, sane timings, and a
 // well-formed artifact.
 func TestShardScalingSmoke(t *testing.T) {
-	rows, err := ShardScaling(120, []int{1, 2}, 2, 0.5, 42)
+	rows, err := ShardScaling(120, []int{1, 2}, 2, 2, 0.5, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,6 +23,9 @@ func TestShardScalingSmoke(t *testing.T) {
 		}
 		if row.SingleT <= 0 || row.RouterT <= 0 {
 			t.Fatalf("shards=%d: non-positive timings %+v", row.Shards, row)
+		}
+		if row.Passes != 2 {
+			t.Fatalf("shards=%d: passes=%d, want 2", row.Shards, row.Passes)
 		}
 	}
 	var buf bytes.Buffer

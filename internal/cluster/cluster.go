@@ -22,20 +22,31 @@
 //	                      every shard sweeps its objects against them
 //	                      (prune.SurvivorsWithBounds) and returns the
 //	                      trajectories that can enter the global 4r zone.
-//	refine              — the router gathers the survivors (a conservative
+//	refine (distributed) — the router gathers the survivors (a conservative
 //	                      superset of the zone members, which provably
 //	                      contains every object achieving the global
-//	                      envelope) into a transient store and evaluates
-//	                      the request through a regular engine.Engine.
-//	                      Because the survivor set's envelope equals the
-//	                      global envelope pointwise on the window, the
-//	                      answer is byte-identical to a single-store run —
-//	                      the same conservative-superset guarantee the
-//	                      single-store index pre-pass is gated on.
+//	                      envelope) into a transient union store and
+//	                      broadcasts it back: every shard evaluates the
+//	                      whole-MOD filter kinds over the union with the
+//	                      candidate domain restricted to the survivors it
+//	                      itself contributed (Shard.Refine →
+//	                      engine.DoRestricted), and the router merges the
+//	                      disjoint, OID-sorted partial answers. Because the
+//	                      union's envelope equals the global envelope
+//	                      pointwise on the window, and every globally
+//	                      pruned object answers false on every filter kind,
+//	                      the merged answer is byte-identical to a
+//	                      single-store run — the same conservative-superset
+//	                      guarantee the single-store index pre-pass is
+//	                      gated on. Single-object and predicate kinds stay
+//	                      central on the router's inner engine (they are
+//	                      O(1) in the survivor count once the union is
+//	                      built).
 //
-// The all-pairs and reverse kinds iterate query trajectories, so their
-// bound exchange degenerates to gathering every shard's objects once (the
-// +Inf-bound case) and evaluating centrally.
+// The all-pairs and reverse kinds iterate query trajectories; instead of
+// gathering every shard's objects, the router unions the shards' OID sets
+// and runs one per-query-object bound exchange per OID, bounding gathered
+// state by the survivor sets rather than the whole MOD.
 //
 // Shards come in two kinds: LocalShard wraps an in-process mod.Store;
 // RemoteShard speaks the modserver query op (bounds/survivors/all phases)
@@ -48,7 +59,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/mod"
 	"repro/internal/prune"
 	"repro/internal/trajectory"
@@ -92,6 +105,18 @@ type Shard interface {
 	// zone of the globally merged bounds, as full trajectories, plus the
 	// sweep statistics.
 	Survivors(ctx context.Context, q *trajectory.Trajectory, tb, te float64, bounds []float64) ([]*trajectory.Trajectory, prune.Stats, error)
+	// Refine is the distributed-refine phase: evaluate a whole-MOD filter
+	// request over the gathered union survivor store with the candidate
+	// domain restricted to own — the (sorted) survivors this shard itself
+	// contributed. gatherID names the union so a remote shard can cache
+	// the shipped store across the requests of one batch; a local shard
+	// reads the union in place and ignores it. The per-shard answer lists
+	// are disjoint and their union is byte-identical to a central refine.
+	Refine(ctx context.Context, gatherID string, union *mod.Store, own []int64, req engine.Request) (engine.Result, error)
+	// OIDs returns the sorted OIDs of every trajectory the shard holds —
+	// the iteration domain the all-pairs and reverse kinds union across
+	// shards before running one bound exchange per query object.
+	OIDs(ctx context.Context) ([]int64, error)
 	// All returns every trajectory the shard holds — the gather path of
 	// the all-pairs and reverse kinds.
 	All(ctx context.Context) ([]*trajectory.Trajectory, error)
@@ -108,10 +133,16 @@ type Shard interface {
 
 // LocalShard is an in-process shard over a mod.Store — the building block
 // of single-machine scaling (uncertnn -shards, the shard benchmark) and
-// the reference implementation RemoteShard mirrors over the wire.
+// the reference implementation RemoteShard mirrors over the wire. Its
+// sweep cache lets the two exchange phases (separate Shard calls) share
+// one snapshot table per (store-version, query, window).
 type LocalShard struct {
-	name  string
-	store *mod.Store
+	name   string
+	store  *mod.Store
+	sweeps prune.SweepCache
+
+	mu     sync.Mutex
+	refine *engine.Engine
 }
 
 // NewLocalShard wraps store as a shard named name.
@@ -136,14 +167,62 @@ func (s *LocalShard) Get(_ context.Context, oid int64) (*trajectory.Trajectory, 
 	return s.store.Get(oid)
 }
 
-// Bounds implements Shard via the store's index pre-pass probe phase.
+// Bounds implements Shard via the store's index pre-pass probe phase,
+// through the shard's sweep cache so phase 2 reuses the same session.
 func (s *LocalShard) Bounds(ctx context.Context, q *trajectory.Trajectory, tb, te float64, k int) ([]float64, error) {
-	return prune.SliceBounds(ctx, s.store, q, tb, te, k)
+	sw, err := s.sweeps.For(s.store, q, tb, te)
+	if err != nil {
+		return nil, err
+	}
+	return sw.Bounds(ctx, k)
 }
 
 // Survivors implements Shard via the store's bound-driven sweep.
 func (s *LocalShard) Survivors(ctx context.Context, q *trajectory.Trajectory, tb, te float64, bounds []float64) ([]*trajectory.Trajectory, prune.Stats, error) {
-	return prune.SurvivorsWithBounds(ctx, s.store, q, tb, te, bounds)
+	sw, err := s.sweeps.For(s.store, q, tb, te)
+	if err != nil {
+		return nil, prune.Stats{}, err
+	}
+	return sw.Survivors(ctx, bounds)
+}
+
+// Refine implements Shard: the union store is read in place (no copy, no
+// gatherID bookkeeping needed in-process) and evaluated on the shard's
+// refine engine with the domain restricted to own. A router injects its
+// own engine here so every local shard — and the router's central
+// single-object path — shares one processor memo: on one machine the K
+// shards then collectively pay a single envelope build per union store
+// and split only the filter work, which is exactly the distributed
+// protocol's cost model collapsed onto shared memory.
+func (s *LocalShard) Refine(ctx context.Context, _ string, union *mod.Store, own []int64, req engine.Request) (engine.Result, error) {
+	return s.refineEngine().DoRestricted(ctx, union, req, own)
+}
+
+// refineEngine returns the shard's refine engine, creating a private one
+// on first use when no router injected a shared one.
+func (s *LocalShard) refineEngine() *engine.Engine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.refine == nil {
+		s.refine = engine.New(0)
+	}
+	return s.refine
+}
+
+// adoptRefineEngine installs e as the shard's refine engine unless one is
+// already set (first router wins; the memo key includes the store
+// pointer, so sharing across routers is safe).
+func (s *LocalShard) adoptRefineEngine(e *engine.Engine) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.refine == nil {
+		s.refine = e
+	}
+}
+
+// OIDs implements Shard.
+func (s *LocalShard) OIDs(context.Context) ([]int64, error) {
+	return s.store.OIDs(), nil
 }
 
 // All implements Shard.

@@ -211,8 +211,7 @@ func (b routerBackend) Evaluate(ctx context.Context, req engine.Request) (engine
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	var all *gathered
-	res, g, err := b.r.dispatch(ctx, req, make(map[gatherKey]*gathered), &all, nil)
+	res, g, err := b.r.dispatch(ctx, req, make(map[gatherKey]*gathered), nil)
 	if err != nil {
 		return res, nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/mod"
 	"repro/internal/modserver"
 	"repro/internal/prune"
@@ -169,6 +170,35 @@ func (s *RemoteShard) Survivors(ctx context.Context, q *trajectory.Trajectory, t
 		return err
 	})
 	return trs, stats, err
+}
+
+// Refine implements Shard (the distributed-refine phases on the wire).
+// The union store ships at most once per connection: the client probes
+// the gather ID first and uploads the trajectories, in chunked frames,
+// only on a server-side cache miss — so a batch issuing several refines
+// against one gather pays the transfer once.
+func (s *RemoteShard) Refine(ctx context.Context, gatherID string, union *mod.Store, own []int64, req engine.Request) (engine.Result, error) {
+	var res engine.Result
+	err := s.call(ctx, func(c *modserver.Client) error {
+		var cerr error
+		res, cerr = c.ShardRefine(gatherID, union.All(), own, req, deadlineOf(ctx))
+		return cerr
+	})
+	if err != nil {
+		res.Kind, res.Err = req.Kind, err
+	}
+	return res, err
+}
+
+// OIDs implements Shard (the oids phase on the wire).
+func (s *RemoteShard) OIDs(ctx context.Context) ([]int64, error) {
+	var oids []int64
+	err := s.call(ctx, func(c *modserver.Client) error {
+		var cerr error
+		oids, cerr = c.ShardOIDs()
+		return cerr
+	})
+	return oids, err
 }
 
 // All implements Shard.

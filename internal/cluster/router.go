@@ -2,10 +2,13 @@ package cluster
 
 import (
 	"context"
+	cryptorand "crypto/rand"
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
@@ -26,14 +29,22 @@ type Options struct {
 }
 
 // Router implements the exact Engine.Do/DoBatch contract over K shards:
-// scatter, two-phase NN bound exchange, central refinement, deterministic
-// merge. It is safe for concurrent use (per-call state only; the inner
-// engine is itself concurrent-safe) and meant to be long-lived.
+// scatter, two-phase NN bound exchange, distributed refinement,
+// deterministic merge. It is safe for concurrent use (per-call state
+// only; the inner engine is itself concurrent-safe) and meant to be
+// long-lived.
 type Router struct {
 	shards []Shard
 	part   Partitioner
 	inner  *engine.Engine
 	spec   mod.PDFSpec
+
+	// idPrefix and gatherSeq mint process-unique gather IDs: the handle a
+	// remote shard caches the shipped union store under for the duration
+	// of a batch. The random prefix keeps IDs from colliding across
+	// router restarts sharing a server connection's lifetime.
+	idPrefix  string
+	gatherSeq atomic.Uint64
 }
 
 // NewRouter validates the shard set (non-empty, one shared uncertainty
@@ -68,7 +79,27 @@ func NewRouter(ctx context.Context, shards []Shard, opts Options) (*Router, erro
 				ErrSpecMismatch, shards[0].Name(), spec, s.Name(), sp)
 		}
 	}
-	return &Router{shards: shards, part: part, inner: inner, spec: spec}, nil
+	// In-process shards adopt the router's engine so their distributed
+	// refines share one processor memo with each other and with the
+	// central single-object path: one envelope build per union store.
+	for _, s := range shards {
+		if ls, ok := s.(*LocalShard); ok {
+			ls.adoptRefineEngine(inner)
+		}
+	}
+	var seed [8]byte
+	_, _ = cryptorand.Read(seed[:]) // best-effort; routerSeq alone is process-unique
+	prefix := fmt.Sprintf("%x-%d", seed, routerSeq.Add(1))
+	return &Router{shards: shards, part: part, inner: inner, spec: spec, idPrefix: prefix}, nil
+}
+
+// routerSeq distinguishes routers within one process even if the random
+// prefix read fails.
+var routerSeq atomic.Uint64
+
+// nextGatherID mints the handle one gathered union store travels under.
+func (r *Router) nextGatherID() string {
+	return fmt.Sprintf("%s-%d", r.idPrefix, r.gatherSeq.Add(1))
 }
 
 // Shards reports the cluster size.
@@ -86,14 +117,21 @@ type gatherKey struct {
 }
 
 // gathered is the outcome of one scatter/gather round: the transient
-// store of global-zone survivors (plus the query trajectory and any
-// fetched targets) and the per-shard provenance. q and bounds carry the
-// bound exchange's inputs/outputs so the continuous layer can derive a
-// subscription zone profile from the same round instead of re-running
-// the exchange (nil on the all-kinds gather).
+// union store of global-zone survivors (plus the query trajectory and
+// any fetched targets), the per-shard provenance, and the per-shard
+// ownership split the distributed refine partitions the filter domain
+// by. q and bounds carry the bound exchange's inputs/outputs so the
+// continuous layer can derive a subscription zone profile from the same
+// round instead of re-running the exchange.
 type gathered struct {
+	id      string
 	store   *mod.Store
 	shardEx []engine.Explain
+	// own[i] lists, sorted, the survivor OIDs shard i contributed to the
+	// union store — disjoint across shards (a replicated object counts
+	// for its first copy), and excluding the query trajectory and any
+	// later-fetched targets. Refine restricts shard i's domain to own[i].
+	own     [][]int64
 	k       int
 	targets map[int64]bool // target OIDs already resolved (found or not)
 	q       *trajectory.Trajectory
@@ -110,8 +148,7 @@ func (r *Router) Do(ctx context.Context, req engine.Request) (engine.Result, err
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	var all *gathered
-	res, _, err := r.dispatch(ctx, req, make(map[gatherKey]*gathered), &all, nil)
+	res, _, err := r.dispatch(ctx, req, make(map[gatherKey]*gathered), nil)
 	return res, err
 }
 
@@ -140,13 +177,12 @@ func (r *Router) DoBatch(ctx context.Context, reqs []engine.Request) ([]engine.R
 		}
 	}
 	caches := make(map[gatherKey]*gathered)
-	var all *gathered
 	out := make([]engine.Result, len(reqs))
 	for i, req := range reqs {
 		if err := ctxErr(ctx); err != nil {
 			return out[:i], err
 		}
-		res, _, err := r.dispatch(ctx, req, caches, &all, maxK)
+		res, _, err := r.dispatch(ctx, req, caches, maxK)
 		if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 			return out[:i], err
 		}
@@ -156,12 +192,12 @@ func (r *Router) DoBatch(ctx context.Context, reqs []engine.Request) ([]engine.R
 }
 
 // dispatch runs one validated-or-failing request: pick or perform the
-// gather its kind needs, refine through the inner engine, decorate the
-// Explain with shard provenance. The gathered round is returned alongside
-// the result so the continuous layer can fingerprint the request from
-// the same exchange (nil on failure and on the all-kinds gather path's
-// bounds).
-func (r *Router) dispatch(ctx context.Context, req engine.Request, caches map[gatherKey]*gathered, all **gathered, maxK map[gatherKey]int) (engine.Result, *gathered, error) {
+// gather its kind needs, refine — on the shards for the whole-MOD filter
+// kinds, centrally for the rest — and decorate the Explain with shard
+// provenance. The gathered round is returned alongside the result so the
+// continuous layer can fingerprint the request from the same exchange
+// (nil on failure and on the per-query-object all-pairs/reverse path).
+func (r *Router) dispatch(ctx context.Context, req engine.Request, caches map[gatherKey]*gathered, maxK map[gatherKey]int) (engine.Result, *gathered, error) {
 	res := engine.Result{Kind: req.Kind}
 	res.Explain.Workers = r.inner.Workers()
 	res.Explain.Shards = len(r.shards)
@@ -177,35 +213,97 @@ func (r *Router) dispatch(ctx context.Context, req engine.Request, caches map[ga
 	if err := ctxErr(ctx); err != nil {
 		return fail(err)
 	}
-	var g *gathered
-	if needsProcessor(req.Kind) {
-		key := gatherKey{req.QueryOID, req.Tb, req.Te}
-		k := req.Rank()
-		if mk := maxK[key]; mk > k {
-			k = mk
-		}
-		var err error
-		g, err = r.gather(ctx, key, k, caches)
-		if err != nil {
-			return fail(err)
-		}
-		if oid, ok := targetOID(req); ok {
-			if err := r.ensureTarget(ctx, g, oid); err != nil {
-				return fail(err)
-			}
-		}
-	} else {
-		var err error
-		g, err = r.gatherAll(ctx, all)
-		if err != nil {
+	if !needsProcessor(req.Kind) {
+		inner, err := r.perQueryObject(ctx, req)
+		inner.Explain.Shards = len(r.shards)
+		inner.Explain.Workers = r.inner.Workers()
+		inner.Explain.Wall = time.Since(start)
+		return inner, nil, err
+	}
+	key := gatherKey{req.QueryOID, req.Tb, req.Te}
+	k := req.Rank()
+	if mk := maxK[key]; mk > k {
+		k = mk
+	}
+	g, err := r.gather(ctx, key, k, caches)
+	if err != nil {
+		return fail(err)
+	}
+	if oid, ok := targetOID(req); ok {
+		if err := r.ensureTarget(ctx, g, oid); err != nil {
 			return fail(err)
 		}
 	}
-	inner, err := r.inner.Do(ctx, g.store, req)
+	var inner engine.Result
+	if req.Kind.IsWholeMODFilter() {
+		inner, err = r.refineDistributed(ctx, g, req)
+	} else {
+		// Single-object and predicate kinds are O(1) in the survivor
+		// count once the union is built; they stay central.
+		inner, err = r.inner.Do(ctx, g.store, req)
+		inner.Explain.ShardExplains = g.shardEx
+	}
 	inner.Explain.Shards = len(r.shards)
-	inner.Explain.ShardExplains = g.shardEx
 	inner.Explain.Wall = time.Since(start)
 	return inner, g, err
+}
+
+// refineDistributed scatters a whole-MOD filter over the shards: each
+// evaluates the request on the union store restricted to its own
+// survivors, and the disjoint sorted partial answers merge into exactly
+// the central answer (globally pruned objects — including any fetched
+// single-object targets — answer false on every filter kind, so
+// restricting the domain to the union of survivor shares drops nothing).
+func (r *Router) refineDistributed(ctx context.Context, g *gathered, req engine.Request) (engine.Result, error) {
+	partials, err := scatter(ctx, r.shards, func(ctx context.Context, i int, s Shard) (engine.Result, error) {
+		return s.Refine(ctx, g.id, g.store, g.own[i], req)
+	})
+	res := engine.Result{Kind: req.Kind}
+	res.Explain.Workers = r.inner.Workers()
+	if err != nil {
+		res.Err = err
+		return res, err
+	}
+	lists := make([][]int64, len(partials))
+	shardEx := make([]engine.Explain, len(g.shardEx))
+	copy(shardEx, g.shardEx)
+	for i, p := range partials {
+		lists[i] = p.OIDs
+		if i < len(shardEx) {
+			shardEx[i].Refined = p.Explain.Refined
+			shardEx[i].RefineWall = p.Explain.RefineWall
+		}
+	}
+	res.OIDs = mergeSorted(lists)
+	// Every shard preprocesses the same union store, so the union-global
+	// candidate/survivor counts agree across partials; report shard 0's.
+	res.Explain.Candidates = partials[0].Explain.Candidates
+	res.Explain.Survivors = partials[0].Explain.Survivors
+	res.Explain.MemoHit = partials[0].Explain.MemoHit
+	res.Explain.ShardExplains = shardEx
+	return res, nil
+}
+
+// mergeSorted k-way merges ascending disjoint OID lists into one
+// ascending list (nil when empty, matching the engine's no-answer shape).
+func mergeSorted(lists [][]int64) []int64 {
+	var out []int64
+	for {
+		best := -1
+		for i, l := range lists {
+			if len(l) == 0 {
+				continue
+			}
+			if best < 0 || l[0] < lists[best][0] {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, lists[best][0])
+		lists[best] = lists[best][1:]
+	}
 }
 
 // gather runs the two-phase bound exchange for one (query, window) at
@@ -244,6 +342,7 @@ func (r *Router) gather(ctx context.Context, key gatherKey, k int, caches map[ga
 		return nil, err
 	}
 	shardEx := make([]engine.Explain, len(r.shards))
+	own := make([][]int64, len(r.shards))
 	for si, reply := range phase2 {
 		shardEx[si] = engine.Explain{
 			Candidates: reply.stats.Candidates,
@@ -260,9 +359,14 @@ func (r *Router) gather(ctx context.Context, key gatherKey, k int, caches map[ga
 			if err := store.Insert(tr); err != nil {
 				return nil, err
 			}
+			// Shard survivor lists arrive OID-sorted, and only actually
+			// inserted objects join the shard's own-share — so the shares
+			// stay sorted, disjoint, and collectively exhaustive over the
+			// union store minus the query (and later-fetched targets).
+			own[si] = append(own[si], tr.OID)
 		}
 	}
-	g := &gathered{store: store, shardEx: shardEx, k: k, targets: make(map[int64]bool), q: q, bounds: bounds}
+	g := &gathered{id: r.nextGatherID(), store: store, shardEx: shardEx, own: own, k: k, targets: make(map[int64]bool), q: q, bounds: bounds}
 	caches[key] = g
 	return g, nil
 }
@@ -324,46 +428,179 @@ func (r *Router) exchange(ctx context.Context, q *trajectory.Trajectory, tb, te 
 	return global, phase2, nil
 }
 
-// gatherAll collects every shard's objects into one transient store — the
-// degenerate (+Inf bound) exchange behind the all-pairs and reverse
-// kinds, which iterate query trajectories and therefore need the whole
-// set anyway.
-func (r *Router) gatherAll(ctx context.Context, cache **gathered) (*gathered, error) {
-	if *cache != nil {
-		return *cache, nil
+// perQueryObject answers the all-pairs and reverse kinds without the old
+// whole-MOD gather: the shards' OID sets are unioned (cheap — IDs, not
+// trajectories), and every query object runs its own bound exchange, so
+// per-object gathered state is its survivor set rather than the entire
+// MOD. Answers match the central engine exactly: per query object the
+// union store's envelope equals the global envelope, so UQ31/UQ11 over
+// it reproduce the single-store per-object loops.
+func (r *Router) perQueryObject(ctx context.Context, req engine.Request) (engine.Result, error) {
+	res := engine.Result{Kind: req.Kind}
+	fail := func(err error) (engine.Result, error) {
+		res.Err = err
+		return res, err
 	}
-	type allReply struct {
-		trs  []*trajectory.Trajectory
+	type oidsReply struct {
+		oids []int64
 		wall time.Duration
 	}
-	replies, err := scatter(ctx, r.shards, func(ctx context.Context, _ int, s Shard) (allReply, error) {
+	replies, err := scatter(ctx, r.shards, func(ctx context.Context, _ int, s Shard) (oidsReply, error) {
 		t0 := time.Now()
-		trs, err := s.All(ctx)
-		return allReply{trs: trs, wall: time.Since(t0)}, err
+		ids, err := s.OIDs(ctx)
+		return oidsReply{oids: ids, wall: time.Since(t0)}, err
 	})
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
-	store, err := mod.NewStore(r.spec)
-	if err != nil {
-		return nil, err
+	lists := make([][]int64, len(replies))
+	shardEx := make([]engine.Explain, len(replies))
+	for i, reply := range replies {
+		lists[i] = reply.oids
+		n := len(reply.oids)
+		shardEx[i] = engine.Explain{Candidates: n, Survivors: n, Wall: reply.wall}
 	}
-	shardEx := make([]engine.Explain, len(r.shards))
-	for si, reply := range replies {
-		n := len(reply.trs)
-		shardEx[si] = engine.Explain{Candidates: n, Survivors: n, Wall: reply.wall}
-		for _, tr := range reply.trs {
-			if _, err := store.Get(tr.OID); err == nil {
-				continue
+	union := mergeSorted(lists)
+	// Replicated objects (a loader quirk, not an error) appear once.
+	union = slices.Compact(union)
+	res.Explain.ShardExplains = shardEx
+
+	// The reverse target must exist somewhere in the cluster, exactly like
+	// the single-store engine's up-front store.Get — and it must be present
+	// in every per-object union store so UQ11 never reports it unknown.
+	var target *trajectory.Trajectory
+	if req.Kind == engine.KindReverse {
+		tr, err := r.getTrajectory(ctx, req.OID)
+		if err != nil {
+			if errors.Is(err, mod.ErrNotFound) {
+				return fail(fmt.Errorf("%w: %d", engine.ErrUnknownOID, req.OID))
 			}
-			if err := store.Insert(tr); err != nil {
-				return nil, err
+			return fail(err)
+		}
+		target = tr
+	}
+
+	sets := make([][]int64, len(union))
+	keep := make([]bool, len(union))
+	err = r.forEachIndex(ctx, len(union), func(i int) error {
+		qOID := union[i]
+		if target != nil && qOID == req.OID {
+			return nil
+		}
+		// One fresh per-object exchange: the shared batch cache is keyed
+		// per (query, window) and guarded by the sequential dispatch loop,
+		// so the concurrent per-object gathers use private cache maps.
+		g, err := r.gather(ctx, gatherKey{qOID, req.Tb, req.Te}, 1, make(map[gatherKey]*gathered))
+		if err != nil {
+			return fmt.Errorf("query %d: %w", qOID, err)
+		}
+		if target != nil {
+			if _, err := g.store.Get(target.OID); err != nil {
+				if err := g.store.Insert(target); err != nil {
+					return err
+				}
 			}
 		}
+		proc, err := r.inner.ProcessorCtx(ctx, g.store, qOID, req.Tb, req.Te)
+		if err != nil {
+			return fmt.Errorf("query %d: %w", qOID, err)
+		}
+		if target != nil {
+			ok, err := proc.UQ11(target.OID)
+			if err != nil {
+				return err
+			}
+			keep[i] = ok
+			return nil
+		}
+		sets[i] = proc.UQ31()
+		return nil
+	})
+	if err != nil {
+		return fail(err)
 	}
-	g := &gathered{store: store, shardEx: shardEx}
-	*cache = g
-	return g, nil
+	if target != nil {
+		for i, oid := range union {
+			if keep[i] {
+				res.OIDs = append(res.OIDs, oid)
+			}
+		}
+		res.Explain.Candidates = len(union) - 1
+		res.Explain.Survivors = res.Explain.Candidates
+		return res, nil
+	}
+	res.Pairs = make(map[int64][]int64, len(union))
+	for i, oid := range union {
+		res.Pairs[oid] = sets[i]
+	}
+	res.Explain.Candidates = len(union)
+	res.Explain.Survivors = len(union)
+	return res, nil
+}
+
+// forEachIndex runs fn(0..n-1) on a bounded worker pool sized to the
+// inner engine, checking ctx between tasks — the router-side counterpart
+// of the engine's per-OID fan-out, used by the per-query-object kinds.
+// The first error wins; a context error takes precedence.
+func (r *Router) forEachIndex(ctx context.Context, n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	workers := r.inner.Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		ferr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				mu.Lock()
+				stop := ferr != nil
+				mu.Unlock()
+				if stop {
+					continue
+				}
+				err := ctxErr(ctx)
+				if err == nil {
+					err = fn(i)
+				}
+				if err != nil {
+					mu.Lock()
+					if ferr == nil {
+						ferr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	return ferr
 }
 
 // ensureTarget makes sure a single-object kind's target trajectory is in

@@ -169,6 +169,14 @@ type Explain struct {
 	// (JSON-encoded in nanoseconds).
 	Wall time.Duration `json:"wall_ns"`
 
+	// Refined is the size of the restricted candidate domain a shard-local
+	// refine evaluated (DoRestricted's own-survivor list); zero on
+	// unrestricted paths.
+	Refined int `json:"refined,omitempty"`
+	// RefineWall is the shard-side refine evaluation time when a cluster
+	// router pushed refinement down to this shard; zero otherwise.
+	RefineWall time.Duration `json:"refine_wall_ns,omitempty"`
+
 	// Shards is the number of shards a cluster router scattered this
 	// request across; zero on single-engine paths.
 	Shards int `json:"shards,omitempty"`
@@ -323,10 +331,25 @@ func (e *Engine) DoBatch(ctx context.Context, store *mod.Store, reqs []Request) 
 // Whole-MOD kinds fan per-OID tasks across the worker pool with ctx
 // checked between tasks; single-object kinds are O(N) and run inline.
 func (e *Engine) execRequest(ctx context.Context, p *queries.Processor, req Request) Item {
+	return e.execRequestRestricted(ctx, p, req, nil)
+}
+
+// execRequestRestricted is execRequest with an optional restriction of the
+// whole-MOD filter domain: when own is non-nil, the filter kinds iterate
+// only the candidates that also appear in own (a sorted OID list), which is
+// how a shard evaluates its share of a distributed refine. own == nil means
+// the full domain; the single-object kinds ignore it entirely.
+func (e *Engine) execRequestRestricted(ctx context.Context, p *queries.Processor, req Request, own []int64) Item {
 	boolItem := func(b bool, err error) Item { return Item{IsBool: true, Bool: b, Err: err} }
 	listItem := func(ids []int64, err error) Item { return Item{OIDs: ids, Err: err} }
+	domain := func(base []int64) []int64 {
+		if own == nil {
+			return base
+		}
+		return queries.IntersectSorted(base, own)
+	}
 	filter := func(pred func(oid int64) (bool, error)) Item {
-		return listItem(e.filterOIDs(ctx, p.CandidateOIDs(), pred))
+		return listItem(e.filterOIDs(ctx, domain(p.CandidateOIDs()), pred))
 	}
 	switch req.Kind {
 	case KindUQ11:
@@ -366,7 +389,7 @@ func (e *Engine) execRequest(ctx context.Context, p *queries.Processor, req Requ
 	case KindAllThreshold:
 		// The filter domain is the UQ31 survivor set, exactly like the
 		// serial ThresholdNNAll: pruned objects have P^NN identically zero.
-		return listItem(e.filterOIDs(ctx, p.UQ31(), func(oid int64) (bool, error) {
+		return listItem(e.filterOIDs(ctx, domain(p.UQ31()), func(oid int64) (bool, error) {
 			return p.ThresholdNN(oid, req.P, req.X, queries.ThresholdConfig{})
 		}))
 	default:

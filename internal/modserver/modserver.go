@@ -24,14 +24,36 @@
 //	{"op":"trip","oid":9,"waypoints":[[x,y],...],
 //	 "start":0,"speed":0.5}                        → {"ok":true,"oid":9,"verts":[...]} (plans and inserts)
 //
-// Shard-serving phases of the query op (the cluster bound-exchange
-// protocol; +Inf bounds travel as -1 since JSON has no Inf literal):
+// Shard-serving phases of the query op (the cluster bound-exchange and
+// distributed-refine protocol; +Inf bounds travel as -1 since JSON has no
+// Inf literal):
 //
 //	{"op":"query","phase":"bounds","oid":1,
 //	 "verts":[[x,y,t],...],"tb":0,"te":60,"k":1}   → {"ok":true,"bounds":[...]}
 //	{"op":"query","phase":"survivors","oid":1,
-//	 "verts":[...],"tb":0,"te":60,"bounds":[...]}  → {"ok":true,"trajs":[{"oid":7,"verts":[...]},...],"stats":{...}}
-//	{"op":"query","phase":"all"}                   → {"ok":true,"trajs":[...]}
+//	 "verts":[...],"tb":0,"te":60,"bounds":[...]}  → {"ok":true,"more":true,"trajs":[chunk]}*
+//	                                                 {"ok":true,"trajs":[last chunk],"stats":{...}}
+//	{"op":"query","phase":"all"}                   → same streamed framing, no stats
+//	{"op":"query","phase":"oids"}                  → {"ok":true,"oids":[...]}
+//	{"op":"query","phase":"refine","gather_id":"g",
+//	 "oids":[own...],"request":{...}}              → {"ok":true,"answer":{...}} or
+//	                                                 {"error":"...","code":"unknown_gather"}
+//	{"op":"query","phase":"gather","gather_id":"g",
+//	 "more":true,"trajs":[chunk]}                  → (no response; accumulates)
+//	{"op":"query","phase":"gather","gather_id":"g",
+//	 "trajs":[last chunk],"oids":[own...],
+//	 "request":{...}}                              → {"ok":true,"answer":{...}} (caches + refines)
+//
+// The survivors and all phases stream their trajectory sets as incremental
+// frames — each line stays within the server's request-line cap (advertised
+// as max_line on the spec reply), so one giant gather can no longer demand
+// an unbounded write buffer; intermediate frames carry "more":true and the
+// final frame carries the stats. The gather/refine pair is the distributed
+// refine: a router uploads the union survivor store once per connection
+// under a gather ID (chunked client→server the same way), the server caches
+// a few unions per connection, and each refine evaluates a whole-MOD filter
+// over the cached union with the candidate domain restricted to the
+// shard's own survivors (engine.DoRestricted).
 //
 // The query op is the unified route: it carries engine.Request descriptors
 // verbatim on the wire, evaluates them through Engine.DoBatch, and returns
@@ -73,12 +95,15 @@ const MaxLine = 1 << 20
 // scanner buffer) for at most this long.
 const DefaultReadTimeout = 2 * time.Minute
 
-// DefaultWriteTimeout bounds one asynchronous subscription-event write.
-// The ingest op fans events out to other connections while holding the
-// emission lock, so a subscriber that stops reading must fail fast (and
-// be disconnected) instead of wedging every ingest behind its full TCP
-// buffer — the write-side twin of the read-deadline hardening. Request
-// replies are exempt: large gathers on slow links are legitimate.
+// DefaultWriteTimeout bounds one asynchronous subscription-event write
+// and one frame of a streamed reply. The ingest op fans events out to
+// other connections while holding the emission lock, so a subscriber that
+// stops reading must fail fast (and be disconnected) instead of wedging
+// every ingest behind its full TCP buffer — the write-side twin of the
+// read-deadline hardening. Streamed survivors/all frames get the same
+// per-frame deadline: a reader that stalls mid-stream is severed instead
+// of pinning the connection goroutine. Single-line request replies stay
+// exempt: modest replies on slow links are legitimate.
 const DefaultWriteTimeout = 10 * time.Second
 
 // ErrServerClosed is returned by Serve after Close.
@@ -122,12 +147,24 @@ type Request struct {
 	// evaluates Requests; "bounds" and "survivors" are the two-phase NN
 	// bound exchange (OID/Verts carry the query trajectory, Tb/Te the
 	// window, K the rank; Bounds the imposed global bounds for the
-	// survivors phase); "all" returns every stored trajectory.
+	// survivors phase); "oids" lists the stored OIDs; "all" returns every
+	// stored trajectory; "gather" uploads a union survivor store in
+	// incremental frames and "refine" evaluates a restricted whole-MOD
+	// filter against it (the distributed-refine protocol).
 	Phase  string    `json:"phase,omitempty"`
 	Tb     float64   `json:"tb,omitempty"`
 	Te     float64   `json:"te,omitempty"`
 	K      int       `json:"k,omitempty"`
 	Bounds []float64 `json:"bounds,omitempty"`
+
+	// GatherID names a gathered union survivor store for the "gather" and
+	// "refine" phases; the server caches a few per connection.
+	GatherID string `json:"gather_id,omitempty"`
+	// More marks a non-final "gather" upload frame: the server accumulates
+	// Trajs and sends no response until the final (More=false) frame.
+	More bool `json:"more,omitempty"`
+	// Trajs carries one chunk of the union store on "gather" frames.
+	Trajs []WireTraj `json:"trajs,omitempty"`
 
 	// Updates carries the "ingest" op's live update batch (the
 	// mod.ApplyUpdate contract: revision, extension, or insert per item).
@@ -188,15 +225,22 @@ type Response struct {
 	Results []BatchEntry `json:"results,omitempty"`
 	Answers []Answer     `json:"answers,omitempty"`
 
-	// Code structures selected failures (codeNotFound) so clients can
-	// rebuild sentinel error identities.
+	// Code structures selected failures (codeNotFound, codeUnknownGather)
+	// so clients can rebuild error identities and retry paths.
 	Code string `json:"code,omitempty"`
 	// Bounds answers the "bounds" phase (+Inf encoded as -1).
 	Bounds []float64 `json:"bounds,omitempty"`
-	// Trajs answers the "survivors" and "all" phases.
+	// Trajs answers the "survivors" and "all" phases, one chunk per frame.
 	Trajs []WireTraj `json:"trajs,omitempty"`
-	// Stats reports the survivors-phase sweep statistics.
+	// More marks a non-final frame of a streamed reply: Trajs carries one
+	// chunk and the final frame (More absent) carries the last chunk plus
+	// Stats.
+	More bool `json:"more,omitempty"`
+	// Stats reports the survivors-phase sweep statistics (final frame only).
 	Stats *prune.Stats `json:"stats,omitempty"`
+	// MaxLine advertises the server's request-line cap on the "spec" reply
+	// so clients can size their upload frames to fit.
+	MaxLine int `json:"max_line,omitempty"`
 
 	// Applied answers the "ingest" op, one outcome per update in order.
 	Applied []WireApplied `json:"applied,omitempty"`
@@ -229,6 +273,11 @@ type Options struct {
 	// oversized request gets one error response, then the connection is
 	// closed (the line cannot be resynchronized).
 	MaxLineBytes int
+	// MaxGatherBytes caps the estimated wire size a connection may
+	// accumulate across the frames of one gather upload before the server
+	// discards it — the multi-frame analogue of MaxLineBytes. Zero means
+	// DefaultMaxGatherBytes; negative disables the cap.
+	MaxGatherBytes int
 }
 
 // Server serves a store over a listener. Batch queries run through one
@@ -242,6 +291,7 @@ type Server struct {
 	readTimeout  time.Duration
 	writeTimeout time.Duration
 	maxLine      int
+	maxGather    int
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -259,13 +309,22 @@ type Server struct {
 
 // connState is one connection's locked writer plus the subscriptions it
 // owns. The lock serializes the handler's replies with asynchronous event
-// pushes triggered by other connections' ingests.
+// pushes triggered by other connections' ingests. The gather fields are
+// touched only by the connection's own handler goroutine (the protocol is
+// synchronous per connection), so they need no lock.
 type connState struct {
 	conn         net.Conn
 	writeTimeout time.Duration
 	wmu          sync.Mutex
 	enc          *json.Encoder
 	subs         map[int64]struct{}
+
+	// pending accumulates in-flight gather uploads frame by frame;
+	// gathers/gatherOrder hold the few completed union stores this
+	// connection may refine against (LRU, gatherCacheCap).
+	pending     map[string]*gatherAccum
+	gathers     map[string]*mod.Store
+	gatherOrder []string
 }
 
 // send writes a request reply with no write deadline: replies can be
@@ -322,10 +381,14 @@ func NewServerWith(store *mod.Store, eng *engine.Engine, o Options) *Server {
 	if o.MaxLineBytes <= 0 {
 		o.MaxLineBytes = MaxLine
 	}
+	if o.MaxGatherBytes == 0 {
+		o.MaxGatherBytes = DefaultMaxGatherBytes
+	}
 	return &Server{
 		store: store, engine: eng,
 		hub:         continuous.NewEngineHub(store, eng),
 		readTimeout: o.ReadTimeout, writeTimeout: o.WriteTimeout, maxLine: o.MaxLineBytes,
+		maxGather:   o.MaxGatherBytes,
 		conns:       make(map[net.Conn]struct{}),
 		subscribers: make(map[int64]*connState),
 	}
@@ -429,6 +492,19 @@ func (s *Server) handle(conn net.Conn) {
 		resp := Response{OK: true}
 		if err := json.Unmarshal(line, &req); err != nil {
 			resp = Response{Error: fmt.Sprintf("bad request: %v", err)}
+		} else if req.Op == "query" && req.Phase == "gather" && req.More {
+			// A non-final gather upload frame: accumulate silently — the
+			// protocol answers only the final (more=false) frame, so the
+			// uploader can stream chunks without a round trip each.
+			s.accumGather(req, cs)
+			continue
+		} else if req.Op == "query" && (req.Phase == "survivors" || req.Phase == "all") {
+			// Streamed replies write their own frames; a mid-stream write
+			// failure closes the connection (the stream cannot resync).
+			if !s.streamPhase(req, cs) {
+				return
+			}
+			continue
 		} else {
 			resp = s.dispatch(req, cs)
 		}
@@ -483,7 +559,8 @@ func (s *Server) dispatch(req Request, cs *connState) Response {
 		return Response{OK: true, Count: s.store.Len()}
 	case "spec":
 		spec := s.store.Spec()
-		return Response{OK: true, Spec: &spec}
+		// max_line rides along so clients can size gather upload frames.
+		return Response{OK: true, Spec: &spec, MaxLine: s.maxLine}
 	case "insert":
 		verts := make([]trajectory.Vertex, len(req.Verts))
 		for i, v := range req.Verts {
@@ -559,11 +636,17 @@ func (s *Server) dispatch(req Request, cs *connState) Response {
 			return s.doQuery(req)
 		case "bounds":
 			return s.doBounds(req)
-		case "survivors":
-			return s.doSurvivors(req)
-		case "all":
-			return s.doAll()
+		case "oids":
+			return Response{OK: true, OIDs: s.store.OIDs()}
+		case "gather":
+			// Only final (more=false) frames reach dispatch; the handler
+			// loop accumulates the rest without replying.
+			return s.doGather(req, cs)
+		case "refine":
+			return s.doRefine(req, cs)
 		default:
+			// "survivors" and "all" stream from the handler loop and never
+			// reach dispatch.
 			return Response{Error: fmt.Sprintf("unknown query phase %q", req.Phase)}
 		}
 	case "batch":
@@ -664,28 +747,6 @@ func (s *Server) doBounds(req Request) Response {
 		return Response{Error: err.Error()}
 	}
 	return Response{OK: true, Bounds: encodeBounds(bounds)}
-}
-
-// doSurvivors answers phase 2: the store's objects that can enter the 4r
-// zone of the imposed global bounds, shipped as full trajectories.
-func (s *Server) doSurvivors(req Request) Response {
-	q, err := wireQuery(req)
-	if err != nil {
-		return Response{Error: err.Error()}
-	}
-	ctx, cancel := phaseCtx(req)
-	defer cancel()
-	trs, stats, err := prune.SurvivorsWithBounds(ctx, s.store, q, req.Tb, req.Te, decodeBounds(req.Bounds))
-	if err != nil {
-		return Response{Error: err.Error()}
-	}
-	return Response{OK: true, Trajs: encodeTrajs(trs), Stats: &stats}
-}
-
-// doAll ships every stored trajectory (the gather path of the all-pairs
-// and reverse kinds).
-func (s *Server) doAll() Response {
-	return Response{OK: true, Trajs: encodeTrajs(s.store.All())}
 }
 
 // doIngest applies a live update batch through the hub and pushes the
@@ -867,6 +928,9 @@ type Client struct {
 	sc      *bufio.Scanner
 	enc     *json.Encoder
 	pending []continuous.Event
+	// frameBytes remembers the server's advertised request-line cap (the
+	// spec reply's max_line) for sizing gather upload frames.
+	frameBytes int
 }
 
 // Dial connects to a server at addr.
@@ -919,6 +983,9 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 			continue
 		}
 		break
+	}
+	if resp.MaxLine > 0 {
+		c.frameBytes = resp.MaxLine
 	}
 	if !resp.OK {
 		// Structured codes rebuild sentinel identities across the wire,
@@ -1093,13 +1160,15 @@ func (c *Client) ShardBounds(q *trajectory.Trajectory, tb, te float64, k int, de
 
 // ShardSurvivors runs phase 2 remotely: the server store's objects that
 // can enter the 4r zone of the imposed global bounds, as trajectories,
-// plus the sweep statistics. deadline <= 0 means none.
+// plus the sweep statistics. The reply arrives as a frame stream; a
+// single non-more response is the degenerate one-frame case. deadline
+// <= 0 means none.
 func (c *Client) ShardSurvivors(q *trajectory.Trajectory, tb, te float64, bounds []float64, deadline time.Duration) ([]*trajectory.Trajectory, prune.Stats, error) {
 	verts := make([][3]float64, len(q.Verts))
 	for i, v := range q.Verts {
 		verts[i] = [3]float64{v.X, v.Y, v.T}
 	}
-	resp, err := c.roundTrip(Request{
+	resp, err := c.roundTripStream(Request{
 		Op: "query", Phase: "survivors",
 		OID: q.OID, Verts: verts, Tb: tb, Te: te,
 		Bounds: encodeBounds(bounds), DeadlineMS: deadlineMS(deadline),
@@ -1119,9 +1188,10 @@ func (c *Client) ShardSurvivors(q *trajectory.Trajectory, tb, te float64, bounds
 }
 
 // AllTrajectories downloads every stored trajectory (the cluster gather
-// path for all-pairs and reverse kinds).
+// path for all-pairs and reverse kinds), reassembled from the server's
+// frame stream.
 func (c *Client) AllTrajectories() ([]*trajectory.Trajectory, error) {
-	resp, err := c.roundTrip(Request{Op: "query", Phase: "all"})
+	resp, err := c.roundTripStream(Request{Op: "query", Phase: "all"})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,301 @@
+package modserver
+
+// Streaming-protocol tests: chunked frame reassembly, mid-stream
+// disconnects, the slow-reader write deadline, the gather upload cap, and
+// the distributed-refine round trip (probe → chunked upload → cached
+// reuse). net.Pipe stands in for TCP where the test needs writes to block
+// deterministically.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"slices"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/mod"
+	"repro/internal/trajectory"
+)
+
+// TestStreamedAllChunked: under a tiny line cap the all phase splits into
+// many frames; the client reassembles the full trajectory set.
+func TestStreamedAllChunked(t *testing.T) {
+	store := testStore(t, 60)
+	addr := startTCPServer(t, store, Options{MaxLineBytes: 4096})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	trs, err := c.AllTrajectories()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	for _, tr := range trs {
+		got = append(got, tr.OID)
+	}
+	slices.Sort(got)
+	if want := store.OIDs(); !slices.Equal(got, want) {
+		t.Fatalf("reassembled %d OIDs, want %d", len(got), len(want))
+	}
+}
+
+// TestStreamFraming: on the raw wire, the same request yields more than
+// one frame, every line respects the cap, intermediate frames carry
+// more=true, and only the last frame drops it.
+func TestStreamFraming(t *testing.T) {
+	const cap = 4096
+	store := testStore(t, 60)
+	addr := startTCPServer(t, store, Options{MaxLineBytes: cap})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "{\"op\":\"query\",\"phase\":\"all\"}\n"); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), ClientMaxLine)
+	frames, moreFrames := 0, 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) > cap {
+			t.Fatalf("frame %d is %d bytes, cap %d", frames, len(line), cap)
+		}
+		var resp Response
+		if err := json.Unmarshal(line, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if !resp.OK {
+			t.Fatalf("frame %d: %s", frames, resp.Error)
+		}
+		frames++
+		if !resp.More {
+			break
+		}
+		moreFrames++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if moreFrames == 0 {
+		t.Fatalf("expected a multi-frame stream, got %d frames", frames)
+	}
+}
+
+// pipeServer runs one handler over a net.Pipe so writes block until the
+// test reads — the deterministic stand-in for a slow TCP peer.
+func pipeServer(t *testing.T, store *mod.Store, o Options) (net.Conn, chan struct{}) {
+	t.Helper()
+	srv := NewServerWith(store, engine.New(1), o)
+	cli, ours := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.handle(ours)
+	}()
+	t.Cleanup(func() { cli.Close(); srv.Close() })
+	return cli, done
+}
+
+// TestStreamMidDisconnect: a client that vanishes mid-stream unwinds the
+// handler promptly instead of leaking it.
+func TestStreamMidDisconnect(t *testing.T) {
+	cli, done := pipeServer(t, testStore(t, 60), Options{MaxLineBytes: 2048, WriteTimeout: 200 * time.Millisecond})
+	if _, err := cli.Write([]byte("{\"op\":\"query\",\"phase\":\"all\"}\n")); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(cli)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler did not unwind after a mid-stream disconnect")
+	}
+}
+
+// TestStreamSlowReaderSevered: a reader that accepts the first frame and
+// then stalls is severed by the per-frame write deadline — a streamed
+// reply cannot pin the connection goroutine behind a full buffer.
+func TestStreamSlowReaderSevered(t *testing.T) {
+	cli, done := pipeServer(t, testStore(t, 60), Options{MaxLineBytes: 2048, WriteTimeout: 150 * time.Millisecond})
+	if _, err := cli.Write([]byte("{\"op\":\"query\",\"phase\":\"all\"}\n")); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(cli)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	// Stop reading. The server's next frame write must hit the deadline.
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server kept a stalled mid-stream reader past the write deadline")
+	}
+}
+
+// TestGatherUploadCapped: an upload whose accumulated frames exceed the
+// gather cap fails on the final frame, and the connection stays usable.
+func TestGatherUploadCapped(t *testing.T) {
+	store := testStore(t, 30)
+	addr := startTCPServer(t, store, Options{MaxGatherBytes: 2048})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	wts := encodeTrajs(store.All())
+	var est int
+	for i, wt := range wts {
+		est += trajWireBytes(wt)
+		if err := enc.Encode(Request{Op: "query", Phase: "gather", GatherID: "big", More: i < len(wts)-1, Trajs: []WireTraj{wt}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if est <= 2048 {
+		t.Fatalf("test store too small to exceed the cap (estimated %d bytes)", est)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), ClientMaxLine)
+	if !sc.Scan() {
+		t.Fatal(sc.Err())
+	}
+	var resp Response
+	if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || resp.Error == "" {
+		t.Fatalf("oversized gather was accepted: %+v", resp)
+	}
+	// The failure is per-gather, not per-connection.
+	if err := enc.Encode(Request{Op: "ping"}); err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Scan() {
+		t.Fatal(sc.Err())
+	}
+	resp = Response{}
+	if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK {
+		t.Fatalf("connection unusable after a capped gather: %s", resp.Error)
+	}
+}
+
+// TestShardRefineUploadAndReuse: a refine probe against an unknown gather
+// falls back to a chunked upload and matches the local restricted
+// evaluation; a second refine with a nil union must hit the server-side
+// cache (an uploaded nil union would lose the query object and fail).
+func TestShardRefineUploadAndReuse(t *testing.T) {
+	store := testStore(t, 30)
+	addr := startTCPServer(t, store, Options{MaxLineBytes: 4096})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	union := store.All()
+	qOID := union[0].OID
+	var rest []int64
+	for _, tr := range union[1:] {
+		rest = append(rest, tr.OID)
+	}
+	slices.Sort(rest)
+	ownA, ownB := rest[:len(rest)/2], rest[len(rest)/2:]
+	reqA := engine.Request{Kind: engine.KindUQ31, QueryOID: qOID, Tb: 0, Te: 30}
+	reqB := engine.Request{Kind: engine.KindUQ41, QueryOID: qOID, Tb: 0, Te: 30, K: 2}
+
+	ustore, err := mod.NewStore(store.Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range union {
+		if err := ustore.Insert(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	eng := engine.New(1)
+
+	gotA, err := c.ShardRefine("g1", union, ownA, reqA, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA, err := eng.DoRestricted(ctx, ustore, reqA, ownA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(gotA.OIDs, wantA.OIDs) {
+		t.Fatalf("refine OIDs %v, want %v", gotA.OIDs, wantA.OIDs)
+	}
+	if gotA.Explain.Refined != len(ownA) {
+		t.Fatalf("refined %d, want %d", gotA.Explain.Refined, len(ownA))
+	}
+
+	var nilUnion []*trajectory.Trajectory
+	gotB, err := c.ShardRefine("g1", nilUnion, ownB, reqB, 0)
+	if err != nil {
+		t.Fatalf("cached refine failed (server must not have required an upload): %v", err)
+	}
+	wantB, err := eng.DoRestricted(ctx, ustore, reqB, ownB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(gotB.OIDs, wantB.OIDs) {
+		t.Fatalf("cached refine OIDs %v, want %v", gotB.OIDs, wantB.OIDs)
+	}
+}
+
+// FuzzStreamAccum: the incremental frame decoder must never panic, must
+// fold every accumulated chunk into the final response, and must reject
+// input after the stream completes.
+func FuzzStreamAccum(f *testing.F) {
+	f.Add([]byte("{\"ok\":true,\"more\":true,\"trajs\":[{\"oid\":1,\"verts\":[[0,0,0],[1,1,1]]}]}\n{\"ok\":true}"))
+	f.Add([]byte("{\"ok\":false,\"error\":\"boom\"}"))
+	f.Add([]byte("{\"ok\":true,\"event\":{\"sub_id\":3}}\n{\"ok\":true,\"trajs\":[]}"))
+	f.Add([]byte("not json at all"))
+	f.Add([]byte("{\"ok\":true,\"more\":true}\n{\"ok\":true,\"more\":true}\n{\"ok\":true,\"stats\":{}}"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var acc StreamAccum
+		accumulated := 0
+		for _, line := range bytes.Split(data, []byte("\n")) {
+			if len(line) == 0 {
+				continue
+			}
+			final, ev, err := acc.AddLine(line)
+			if err != nil {
+				continue
+			}
+			if ev != nil {
+				continue
+			}
+			if final == nil {
+				var r Response
+				if json.Unmarshal(line, &r) == nil {
+					accumulated += len(r.Trajs)
+				}
+				continue
+			}
+			if final.OK && len(final.Trajs) < accumulated {
+				t.Fatalf("final frame folded %d trajs, accumulated %d", len(final.Trajs), accumulated)
+			}
+			if _, _, err := acc.AddLine([]byte("{\"ok\":true}")); err == nil {
+				t.Fatal("AddLine accepted input after the final frame")
+			}
+			break
+		}
+	})
+}

@@ -278,27 +278,11 @@ func SliceCuts(q *trajectory.Trajectory, tb, te float64) []float64 {
 // lets a cluster router take the elementwise minimum of per-shard bounds
 // as a bound on the global envelope.
 func SliceBounds(ctx context.Context, store *mod.Store, q *trajectory.Trajectory, tb, te float64, k int) ([]float64, error) {
-	if !(te > tb) {
-		return nil, fmt.Errorf("prune: bad slice window [%g, %g]", tb, te)
+	s, err := NewSweep(store, q, tb, te)
+	if err != nil {
+		return nil, err
 	}
-	if k < 1 {
-		k = 1
-	}
-	v0 := store.Version()
-	trs := store.All()
-	idx, _ := indexFor(store, tb, te)
-	if store.Version() != v0 {
-		// A mutation slipped between the snapshot and the index build;
-		// +Inf everywhere bounds nothing, which is always sound.
-		cuts := sliceTimes(q, tb, te, targetSlices)
-		bounds := make([]float64, len(cuts)-1)
-		for i := range bounds {
-			bounds[i] = math.Inf(1)
-		}
-		return bounds, nil
-	}
-	bounds, _, err := sliceBounds(ctx, newSweepState(trs, q, tb, te), idx, q, k)
-	return bounds, err
+	return s.Bounds(ctx, k)
 }
 
 // SurvivorsWithBounds runs the candidate sweep under imposed per-slice
@@ -314,20 +298,11 @@ func SliceBounds(ctx context.Context, store *mod.Store, q *trajectory.Trajectory
 // trajectories (sorted by OID) so a shard can ship them to the router
 // without a re-lookup race against concurrent mutations.
 func SurvivorsWithBounds(ctx context.Context, store *mod.Store, q *trajectory.Trajectory, tb, te float64, bounds []float64) ([]*trajectory.Trajectory, Stats, error) {
-	if !(te > tb) {
-		return nil, Stats{}, fmt.Errorf("prune: bad slice window [%g, %g]", tb, te)
+	s, err := NewSweep(store, q, tb, te)
+	if err != nil {
+		return nil, Stats{}, err
 	}
-	v0 := store.Version()
-	trs := store.All()
-	idx, predictive := indexFor(store, tb, te)
-	if store.Version() != v0 {
-		// Concurrent mutation: keep everything, which is always sound.
-		out := allTrajectories(trs, q.OID)
-		return out, statsAll(trs, q.OID), nil
-	}
-	out, st, err := sweepBounds(ctx, newSweepState(trs, q, tb, te), trs, idx, store.Radius(), q, bounds)
-	st.Predictive = predictive
-	return out, st, err
+	return s.Survivors(ctx, bounds)
 }
 
 // candidates runs the slice sweep over one consistent snapshot, bounding

@@ -1,0 +1,163 @@
+// The reusable sweep session behind the cluster bound exchange. The two
+// phases of the shard protocol — SliceBounds (probe) and
+// SurvivorsWithBounds (sweep against the broadcast global bound) — arrive
+// as separate calls per shard per query, and each used to rebuild the
+// same O(N) snapshot lookup table and slice cuts. A Sweep captures that
+// per-(store-version, query, window) state once; a SweepCache keys live
+// sessions by store version so a mutation naturally invalidates them.
+package prune
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/mod"
+	"repro/internal/trajectory"
+)
+
+// sweepCacheCap bounds a SweepCache: entries are evicted least-recently
+// used. A shard serving a batch touches one session per (query, window)
+// group, so a small cap covers the working set.
+const sweepCacheCap = 16
+
+// Sweep is one candidate pre-pass session: a consistent store snapshot,
+// its pre-pass index, and the shared sweepState for a fixed (query,
+// window). Both protocol phases run against the same snapshot, which is
+// exactly the consistency the single-store path gets from running them
+// back to back inside one candidates() call. A Sweep is safe for
+// concurrent use — both phases only read the captured state.
+type Sweep struct {
+	trs        []*trajectory.Trajectory
+	idx        corridorIndex
+	predictive bool
+	r          float64
+	q          *trajectory.Trajectory
+	tb, te     float64
+	// stale records that a mutation slipped between the snapshot and the
+	// index build; every phase then degrades to its trivially sound answer
+	// (+Inf bounds, keep-all survivors), exactly like the one-shot paths.
+	stale bool
+	state sweepState
+}
+
+// NewSweep opens a sweep session for q over [tb, te] against the store's
+// current contents. The window must be increasing (the same check the
+// one-shot SliceBounds / SurvivorsWithBounds perform).
+func NewSweep(store *mod.Store, q *trajectory.Trajectory, tb, te float64) (*Sweep, error) {
+	if !(te > tb) {
+		return nil, fmt.Errorf("prune: bad slice window [%g, %g]", tb, te)
+	}
+	v0 := store.Version()
+	s := &Sweep{trs: store.All(), r: store.Radius(), q: q, tb: tb, te: te}
+	s.idx, s.predictive = indexFor(store, tb, te)
+	if store.Version() != v0 {
+		s.stale = true
+		return s, nil
+	}
+	s.state = newSweepState(s.trs, q, tb, te)
+	return s, nil
+}
+
+// Bounds is the probe phase: per SliceCuts(q, tb, te) slice, an upper
+// bound on the Level-k lower envelope of this session's snapshot (see
+// SliceBounds for the soundness argument). A stale session reports +Inf
+// everywhere, which bounds nothing and is always sound.
+func (s *Sweep) Bounds(ctx context.Context, k int) ([]float64, error) {
+	if k < 1 {
+		k = 1
+	}
+	if s.stale {
+		cuts := sliceTimes(s.q, s.tb, s.te, targetSlices)
+		bounds := make([]float64, len(cuts)-1)
+		for i := range bounds {
+			bounds[i] = math.Inf(1)
+		}
+		return bounds, nil
+	}
+	bounds, _, err := sliceBounds(ctx, s.state, s.idx, s.q, k)
+	return bounds, err
+}
+
+// Survivors is the sweep phase under imposed per-slice bounds (see
+// SurvivorsWithBounds for the protocol contract). A stale session keeps
+// everything from its snapshot.
+func (s *Sweep) Survivors(ctx context.Context, bounds []float64) ([]*trajectory.Trajectory, Stats, error) {
+	if s.stale {
+		out := allTrajectories(s.trs, s.q.OID)
+		return out, statsAll(s.trs, s.q.OID), nil
+	}
+	out, st, err := sweepBounds(ctx, s.state, s.trs, s.idx, s.r, s.q, bounds)
+	st.Predictive = s.predictive
+	return out, st, err
+}
+
+// sweepKey identifies a live session: the store version pins the snapshot
+// (one SweepCache serves one store), the rest the (query, window). The
+// query is keyed by pointer, not OID: trajectories are immutable (every
+// store update allocates a replacement), so a pointer pins the exact
+// geometry — crucial when the query object lives on a *different* shard
+// and its revision does not bump this store's version.
+type sweepKey struct {
+	version uint64
+	q       *trajectory.Trajectory
+	tb, te  float64
+}
+
+// SweepCache memoizes Sweep sessions per (store-version, query, window)
+// so the two protocol phases — and repeated queries in a batch — share
+// one snapshot table and index handle. Safe for concurrent use. The zero
+// value is ready; one cache serves exactly one store.
+type SweepCache struct {
+	mu    sync.Mutex
+	m     map[sweepKey]*Sweep
+	order []sweepKey // recency order, oldest first
+}
+
+// For returns the cached session for (q, tb, te) at the store's current
+// version, opening one on miss. Version-bumped entries become
+// unreachable and are evicted as the LRU order churns.
+func (c *SweepCache) For(store *mod.Store, q *trajectory.Trajectory, tb, te float64) (*Sweep, error) {
+	key := sweepKey{version: store.Version(), q: q, tb: tb, te: te}
+	c.mu.Lock()
+	if s, ok := c.m[key]; ok {
+		c.touchLocked(key)
+		c.mu.Unlock()
+		return s, nil
+	}
+	c.mu.Unlock()
+	// Build outside the lock: sessions cost O(N) and concurrent misses on
+	// distinct keys must not serialize. A racing duplicate build for the
+	// same key is harmless — last insert wins, both sessions are valid.
+	s, err := NewSweep(store, q, tb, te)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[sweepKey]*Sweep)
+	}
+	if _, ok := c.m[key]; !ok {
+		c.order = append(c.order, key)
+	}
+	c.m[key] = s
+	c.touchLocked(key)
+	for len(c.order) > sweepCacheCap {
+		delete(c.m, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.mu.Unlock()
+	return s, nil
+}
+
+// touchLocked moves key to the most-recently-used end. Caller holds c.mu.
+func (c *SweepCache) touchLocked(key sweepKey) {
+	for i, k := range c.order {
+		if k == key {
+			copy(c.order[i:], c.order[i+1:])
+			c.order[len(c.order)-1] = key
+			return
+		}
+	}
+}

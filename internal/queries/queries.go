@@ -439,6 +439,28 @@ func (p *Processor) CandidateOIDs() []int64 {
 // copying the OID list (Explain accounting on the query hot path).
 func (p *Processor) CandidateCount() int { return len(p.oids) }
 
+// IntersectSorted returns the elements common to two ascending-sorted OID
+// lists, in ascending order. It is the domain-restriction primitive of
+// shard-local refinement: intersecting the processor's (sorted) candidate
+// domain with a shard's own sorted survivor list yields that shard's share
+// of a whole-MOD filter without disturbing the deterministic OID order the
+// answers are emitted in.
+func IntersectSorted(a, b []int64) []int64 {
+	var out []int64
+	for len(a) > 0 && len(b) > 0 {
+		switch {
+		case a[0] < b[0]:
+			a = a[1:]
+		case a[0] > b[0]:
+			b = b[1:]
+		default:
+			out = append(out, a[0])
+			a, b = a[1:], b[1:]
+		}
+	}
+	return out
+}
+
 // SurvivorOIDs returns the sorted OIDs of the current survivor basis —
 // every candidate the index pre-pass could not rule out of the (rank-k,
 // if the basis was grown) 4r zone, which in full-scan mode is every
