@@ -15,7 +15,7 @@ GO ?= go
 # committed BENCH_shard.json baseline minus a tolerance.
 MIN_SHARD_SPEEDUP ?= 0
 
-.PHONY: all build test race bench bench-smoke bench-prune bench-api bench-shard bench-shard-large bench-live cover fmt vet staticcheck clean
+.PHONY: all build test race bench bench-smoke bench-prune bench-api bench-shard bench-shard-large bench-live cover fmt vet staticcheck chaos chaos-soak clean
 
 all: fmt vet staticcheck build test
 
@@ -25,8 +25,11 @@ build:
 test:
 	$(GO) test ./...
 
+# The cluster suite includes deliberate fault-injection sleeps and the
+# race detector runs 3-4x slower on small runners, so give the suite
+# explicit headroom over go test's default 10m per-package timeout.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 20m ./...
 
 # Full benchmark run (minutes on a laptop), plus the pruning, shard, and
 # live-serving artifacts.
@@ -87,6 +90,25 @@ cover:
 		echo "$$pkg $$pct%" | tee -a COVERAGE.txt; \
 		awk -v p="$$pct" 'BEGIN { exit (p+0 >= 80) ? 0 : 1 }' || { echo "coverage $$pct% < 80% in $$pkg"; rm -f cover.out.tmp; exit 1; }; \
 	done; rm -f cover.out.tmp
+
+# Chaos gate (the CI `chaos` job): the seeded fault-injection matrix on
+# the cluster serving layer (drop/delay/dial-error/partition on one shard
+# of four — every query must succeed exactly via retry or answer degraded
+# with missing-shard provenance), the kill-at-every-step WAL crash/restart
+# simtest (recovery byte-identical to the mirror on every topology), and
+# the wal/faultinject unit suites. All under the race detector.
+chaos:
+	$(GO) test -race -run 'TestFaultMatrixRetryOrDegraded|TestPartitionedShardDegradedAnswer|TestStrictRouterShardUnavailable|TestDialRefusedTyped|TestRetryRecoversFlakyDial|TestCancelMidRetry|TestDegradedAllShardsDownFails' ./internal/cluster
+	$(GO) test -race -run 'TestCrashRecoveryByteIdentity' ./internal/simtest
+	$(GO) test -race ./internal/wal ./internal/faultinject
+
+# Nightly chaos soak: longer seeded worlds with fsync-per-append
+# journaling and recovery at every step, plus a multi-seed fault-plan
+# sweep on the degraded cluster. Reports and the final WAL directories
+# land in CHAOS_DIR (uploaded as the nightly chaos artifact).
+CHAOS_DIR ?= chaos-artifacts
+chaos-soak:
+	CHAOS_SOAK=1 CHAOS_DIR=$(abspath $(CHAOS_DIR)) $(GO) test -race -timeout 45m -run 'TestChaosSoak' -v ./internal/simtest ./internal/cluster
 
 # Static analysis. SA1019 flags in-repo uses of the deprecated pre-Request
 # surface (NewQueryProcessor, Exec/ExecBatch, RunUQL, ...) so migrations

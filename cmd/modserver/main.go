@@ -19,6 +19,16 @@
 // -read-timeout and -max-line harden the serving layer: a stalled client
 // is disconnected at the read deadline, an oversized request line is
 // rejected with a diagnostic.
+//
+// Durability: -wal-dir journals every applied ingest batch to a
+// write-ahead log with periodic snapshots, so a crash loses nothing that
+// was acknowledged (-wal-sync extends that through power loss). A fresh
+// -wal-dir seeds the journal from the store built above; restarting with
+// -resume recovers the store from the journal instead — byte-identical
+// to the pre-crash store — and continues appending:
+//
+//	modserver -store fleet.mod -wal-dir /var/lib/mod/wal     # first boot
+//	modserver -wal-dir /var/lib/mod/wal -resume              # every restart
 package main
 
 import (
@@ -31,33 +41,59 @@ import (
 	"repro/internal/engine"
 	"repro/internal/mod"
 	"repro/internal/modserver"
+	"repro/internal/wal"
 )
 
 func main() {
 	var (
-		addr        = flag.String("addr", "127.0.0.1:7700", "listen address")
-		storePath   = flag.String("store", "", "optional store file to preload (binary format)")
-		r           = flag.Float64("r", 0.5, "uncertainty radius when starting empty")
-		workers     = flag.Int("workers", 0, "query engine worker count (0 = one per CPU)")
-		readTimeout = flag.Duration("read-timeout", modserver.DefaultReadTimeout, "per-connection read deadline (negative disables)")
-		maxLine     = flag.Int("max-line", modserver.MaxLine, "max request line size in bytes")
-		shardOf     = flag.Int("shard-of", 0, "serve one hash partition of the store: total shard count (0 = whole store)")
-		shardIndex  = flag.Int("shard-index", 0, "which partition to serve when -shard-of is set")
+		addr         = flag.String("addr", "127.0.0.1:7700", "listen address")
+		storePath    = flag.String("store", "", "optional store file to preload (binary format)")
+		r            = flag.Float64("r", 0.5, "uncertainty radius when starting empty")
+		workers      = flag.Int("workers", 0, "query engine worker count (0 = one per CPU)")
+		readTimeout  = flag.Duration("read-timeout", modserver.DefaultReadTimeout, "per-connection read deadline (negative disables)")
+		maxLine      = flag.Int("max-line", modserver.MaxLine, "max request line size in bytes")
+		shardOf      = flag.Int("shard-of", 0, "serve one hash partition of the store: total shard count (0 = whole store)")
+		shardIndex   = flag.Int("shard-index", 0, "which partition to serve when -shard-of is set")
+		walDir       = flag.String("wal-dir", "", "journal ingest batches to a write-ahead log in this directory")
+		walSync      = flag.Bool("wal-sync", false, "fsync the WAL after every appended batch")
+		walSnapEvery = flag.Int("wal-snapshot-every", 64, "rotate the WAL into a fresh snapshot after this many batches (0 disables)")
+		resume       = flag.Bool("resume", false, "recover the store from -wal-dir instead of -store/-r, then continue the journal")
 	)
 	flag.Parse()
 
+	walOpts := wal.Options{Sync: *walSync, SnapshotEvery: *walSnapEvery}
 	var (
 		store *mod.Store
+		log   *wal.Log
 		err   error
 	)
-	if *storePath != "" {
+	switch {
+	case *resume:
+		if *walDir == "" {
+			fatal(fmt.Errorf("-resume requires -wal-dir"))
+		}
+		if *storePath != "" || *shardOf > 0 {
+			fatal(fmt.Errorf("-resume recovers the journaled store; -store and -shard-of must not be set"))
+		}
+		var info wal.RecoverInfo
+		log, store, info, err = wal.Open(*walDir, walOpts)
+		if err != nil {
+			fatal(err)
+		}
+		torn := ""
+		if info.Torn {
+			torn = ", torn tail truncated"
+		}
+		fmt.Printf("modserver: recovered %s at batch %d (snapshot %d + %d replayed%s)\n",
+			*walDir, info.Seq(), info.SnapshotSeq, info.Replayed, torn)
+	case *storePath != "":
 		f, ferr := os.Open(*storePath)
 		if ferr != nil {
 			fatal(ferr)
 		}
 		store, err = mod.LoadBinary(f)
 		f.Close()
-	} else {
+	default:
 		store, err = mod.NewUniformStore(*r)
 	}
 	if err != nil {
@@ -74,6 +110,18 @@ func main() {
 		store = parts[*shardIndex]
 		fmt.Printf("modserver: serving hash shard %d/%d\n", *shardIndex, *shardOf)
 	}
+	if *walDir != "" && !*resume {
+		// Fresh journal: the store built above (post-split, so each shard
+		// journals exactly what it serves) becomes the recovery base.
+		if log, err = wal.Create(*walDir, store, walOpts); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("modserver: journaling to %s (sync %v, snapshot every %d)\n",
+			*walDir, *walSync, *walSnapEvery)
+	}
+	if log != nil {
+		defer log.Close()
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -81,10 +129,14 @@ func main() {
 	}
 	fmt.Printf("modserver: %d trajectories, listening on %s (read timeout %v)\n",
 		store.Len(), l.Addr(), *readTimeout)
-	srv := modserver.NewServerWith(store, engine.New(*workers), modserver.Options{
+	opts := modserver.Options{
 		ReadTimeout:  *readTimeout,
 		MaxLineBytes: *maxLine,
-	})
+	}
+	if log != nil {
+		opts.Journal = log
+	}
+	srv := modserver.NewServerWith(store, engine.New(*workers), opts)
 	if err := srv.Serve(l); err != nil && err != modserver.ErrServerClosed {
 		fatal(err)
 	}

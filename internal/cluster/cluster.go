@@ -80,7 +80,36 @@ var (
 	// ErrProtocol reports a shard reply that violates the bound-exchange
 	// contract (e.g. a bounds vector of the wrong length).
 	ErrProtocol = errors.New("cluster: shard protocol error")
+	// ErrShardUnavailable is the errors.Is sentinel of
+	// ShardUnavailableError: a shard could not be reached at all (dial
+	// refused, partitioned) as opposed to failing mid-conversation.
+	ErrShardUnavailable = errors.New("cluster: shard unavailable")
 )
+
+// ShardUnavailableError reports a shard the router could not reach,
+// carrying which shard so callers (and the degraded merge's provenance)
+// can name it. It satisfies errors.Is(err, ErrShardUnavailable).
+type ShardUnavailableError struct {
+	// Shard is the shard's index in the router's shard slice, or -1 when
+	// the shard is not (yet) routed.
+	Shard int
+	// Name is the shard's configured name.
+	Name string
+	// Err is the underlying dial failure.
+	Err error
+}
+
+func (e *ShardUnavailableError) Error() string {
+	if e.Shard >= 0 {
+		return fmt.Sprintf("cluster: shard %d (%s) unavailable: %v", e.Shard, e.Name, e.Err)
+	}
+	return fmt.Sprintf("cluster: shard %s unavailable: %v", e.Name, e.Err)
+}
+
+func (e *ShardUnavailableError) Unwrap() error { return e.Err }
+
+// Is matches the ErrShardUnavailable sentinel.
+func (e *ShardUnavailableError) Is(target error) bool { return target == ErrShardUnavailable }
 
 // Shard is one partition of the MOD as the router sees it: point lookups
 // plus the two bound-exchange phases. Implementations must be safe for the

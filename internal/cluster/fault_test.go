@@ -1,0 +1,344 @@
+package cluster_test
+
+// Chaos tests for the fault-tolerant serving path: a seeded fault
+// injector sits under one shard's transport and the router must either
+// absorb the fault through the RemoteShard retry layer (exact answer) or
+// — when built Degraded — merge the shards it can reach and name the
+// missing one in Explain. A scatter must never hang and a cancel must
+// unwind promptly without leaking the retry machinery.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/faultinject"
+	"repro/internal/mod"
+	"repro/internal/modserver"
+)
+
+// faultCluster serves store from n modserver shards over TCP, routing
+// shard faultIdx's connections through a fault injector (initially
+// fault-free). Every shard retries with the given policy. Returns the
+// router, the injector, the per-shard stores, and the shard addresses.
+func faultCluster(t *testing.T, store *mod.Store, n, faultIdx int, retry cluster.RetryPolicy, degraded bool) (*cluster.Router, *faultinject.Injector, []*mod.Store, []string) {
+	t.Helper()
+	stores, err := cluster.SplitStore(store, n, cluster.Hash{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := faultinject.New(7, faultinject.Plan{})
+	shards := make([]cluster.Shard, n)
+	addrs := make([]string, n)
+	for i, st := range stores {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := modserver.NewServer(st)
+		go srv.Serve(l)
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = l.Addr().String()
+		opts := cluster.RemoteOptions{Retry: retry}
+		if i == faultIdx {
+			opts.Dialer = in.Dial
+		}
+		remote := cluster.NewRemoteShardWith(fmt.Sprintf("s%d", i), addrs[i], opts)
+		t.Cleanup(func() { remote.Close() })
+		shards[i] = remote
+	}
+	router, err := cluster.NewRouter(context.Background(), shards, cluster.Options{Degraded: degraded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return router, in, stores, addrs
+}
+
+// pickQuery returns a query OID homed on a healthy shard, so the query
+// trajectory itself stays reachable while shard faultIdx misbehaves.
+func pickQuery(t *testing.T, stores []*mod.Store, faultIdx int) int64 {
+	t.Helper()
+	for i, st := range stores {
+		if i == faultIdx {
+			continue
+		}
+		if oids := st.OIDs(); len(oids) > 0 {
+			return oids[0]
+		}
+	}
+	t.Fatal("no healthy shard holds any object")
+	return 0
+}
+
+// testRetry keeps chaos runs fast and deterministic.
+var testRetry = cluster.RetryPolicy{
+	Attempts:       3,
+	BaseBackoff:    5 * time.Millisecond,
+	MaxBackoff:     20 * time.Millisecond,
+	AttemptTimeout: 250 * time.Millisecond,
+	Seed:           99,
+}
+
+// TestFaultMatrixRetryOrDegraded drives the acceptance matrix: with
+// drop, delay, or dial-error faults on one shard of four, every query
+// either succeeds exactly (retry absorbed the fault) or returns a
+// partial result whose Explain names the missing shard — never a hung
+// scatter, never a bare error.
+func TestFaultMatrixRetryOrDegraded(t *testing.T) {
+	store, _ := buildStore(t, 160, 0.5, 11)
+	cases := []struct {
+		name string
+		plan faultinject.Plan
+	}{
+		{"drop-always", faultinject.Plan{DropRate: 1}},
+		{"drop-flaky", faultinject.Plan{DropRate: 0.4}},
+		// Dial faults pair with a drop so the connection cached at router
+		// construction dies and reconnects actually hit the dial path.
+		{"dial-error", faultinject.Plan{DialErrorRate: 1, DropRate: 1}},
+		{"dial-flaky", faultinject.Plan{DialErrorRate: 0.5, DropRate: 0.3}},
+		// Keep the delay well past AttemptTimeout but small in absolute
+		// terms: an attempt in a delayed read can't be abandoned until the
+		// injector's sleep elapses, so the plan's Delay bounds wall time.
+		{"delay-past-timeout", faultinject.Plan{Delay: 100 * time.Millisecond}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			retry := testRetry
+			if tc.plan.Delay > 0 {
+				retry.AttemptTimeout = 30 * time.Millisecond
+			}
+			const faultIdx = 2
+			router, in, stores, _ := faultCluster(t, store, 4, faultIdx, retry, true)
+			qOID := pickQuery(t, stores, faultIdx)
+			req := engine.Request{Kind: engine.KindUQ31, QueryOID: qOID, Tb: 0, Te: 30}
+			exact, err := engine.New(0).Do(context.Background(), store, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			in.SetPlan(tc.plan)
+			for i := 0; i < 4; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				res, err := router.Do(ctx, req)
+				cancel()
+				if err != nil {
+					t.Fatalf("query %d under %s: %v (neither retry success nor degraded)", i, tc.name, err)
+				}
+				if res.Explain.Degraded {
+					if !reflect.DeepEqual(res.Explain.MissingShards, []string{"s2"}) {
+						t.Fatalf("query %d degraded with MissingShards = %v, want [s2]", i, res.Explain.MissingShards)
+					}
+					continue
+				}
+				if !reflect.DeepEqual(res.OIDs, exact.OIDs) {
+					t.Fatalf("query %d non-degraded answer %v != exact %v", i, res.OIDs, exact.OIDs)
+				}
+			}
+			t.Logf("%s: injector stats %+v", tc.name, in.Stats())
+		})
+	}
+}
+
+// TestPartitionedShardDegradedAnswer pins the degraded merge rule: with
+// one shard of four fully partitioned, the answer equals a single-store
+// run over the union of the three reachable partitions, and the Explain
+// names the lost shard. Healing the partition restores exact answers.
+func TestPartitionedShardDegradedAnswer(t *testing.T) {
+	store, _ := buildStore(t, 160, 0.5, 11)
+	const faultIdx = 1
+	router, in, stores, addrs := faultCluster(t, store, 4, faultIdx, testRetry, true)
+	qOID := pickQuery(t, stores, faultIdx)
+	req := engine.Request{Kind: engine.KindUQ31, QueryOID: qOID, Tb: 0, Te: 30}
+
+	exact, err := engine.New(0).Do(context.Background(), store, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The expected degraded answer: a single store holding only the
+	// reachable shards' objects.
+	healthy, err := mod.NewStore(store.Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range stores {
+		if i == faultIdx {
+			continue
+		}
+		if err := healthy.InsertAll(st.All()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantDegraded, err := engine.New(0).Do(context.Background(), healthy, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in.Partition(addrs[faultIdx])
+	res, err := router.Do(context.Background(), req)
+	if err != nil {
+		t.Fatalf("partitioned query: %v", err)
+	}
+	if !res.Explain.Degraded || !reflect.DeepEqual(res.Explain.MissingShards, []string{"s1"}) {
+		t.Fatalf("explain = degraded=%v missing=%v, want degraded missing [s1]",
+			res.Explain.Degraded, res.Explain.MissingShards)
+	}
+	if !reflect.DeepEqual(res.OIDs, wantDegraded.OIDs) {
+		t.Fatalf("degraded answer %v != healthy-union answer %v", res.OIDs, wantDegraded.OIDs)
+	}
+
+	in.Heal(addrs[faultIdx])
+	res, err = router.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Explain.Degraded {
+		t.Fatalf("healed query still degraded: missing=%v", res.Explain.MissingShards)
+	}
+	if !reflect.DeepEqual(res.OIDs, exact.OIDs) {
+		t.Fatalf("healed answer %v != exact %v", res.OIDs, exact.OIDs)
+	}
+}
+
+// TestStrictRouterShardUnavailable: without Degraded, a lost shard fails
+// the call — promptly, with the typed unavailability error carrying the
+// shard's identity (the satellite fix for the raw net.OpError leak).
+func TestStrictRouterShardUnavailable(t *testing.T) {
+	store, _ := buildStore(t, 120, 0.5, 11)
+	const faultIdx = 0
+	router, in, stores, addrs := faultCluster(t, store, 4, faultIdx, testRetry, false)
+	qOID := pickQuery(t, stores, faultIdx)
+	// Partition: existing connections reset and new dials refuse, so the
+	// next call fails through the typed dial path after its retries.
+	in.Partition(addrs[faultIdx])
+
+	_, err := router.Do(context.Background(), engine.Request{Kind: engine.KindUQ31, QueryOID: qOID, Tb: 0, Te: 30})
+	if err == nil {
+		t.Fatal("strict router answered with a dead shard")
+	}
+	if !errors.Is(err, cluster.ErrShardUnavailable) {
+		t.Fatalf("strict failure = %v, want ErrShardUnavailable", err)
+	}
+	var se *cluster.ShardUnavailableError
+	if !errors.As(err, &se) || se.Shard != faultIdx || se.Name != "s0" {
+		t.Fatalf("unavailable detail = %+v", se)
+	}
+}
+
+// TestDialRefusedTyped pins the satellite directly on the shard: a
+// refused lazy dial surfaces as ShardUnavailableError, not a raw
+// net.OpError.
+func TestDialRefusedTyped(t *testing.T) {
+	// A listener we immediately close: the port is real but refuses.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	shard := cluster.NewRemoteShardWith("dead", addr, cluster.RemoteOptions{
+		Retry: cluster.RetryPolicy{Attempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond, Seed: 5},
+	})
+	defer shard.Close()
+	_, err = shard.Len(context.Background())
+	if !errors.Is(err, cluster.ErrShardUnavailable) {
+		t.Fatalf("dead-port Len = %v, want ErrShardUnavailable", err)
+	}
+	var se *cluster.ShardUnavailableError
+	if !errors.As(err, &se) || se.Name != "dead" {
+		t.Fatalf("unavailable detail = %+v", se)
+	}
+}
+
+// TestRetryRecoversFlakyDial: a dial plan that refuses half the time is
+// absorbed by a three-attempt retry budget — the call still succeeds.
+func TestRetryRecoversFlakyDial(t *testing.T) {
+	store, _ := buildStore(t, 40, 0.5, 11)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := modserver.NewServer(store)
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+
+	in := faultinject.New(3, faultinject.Plan{DialErrorRate: 0.5})
+	shard := cluster.NewRemoteShardWith("flaky", l.Addr().String(), cluster.RemoteOptions{
+		Dialer: in.Dial,
+		Retry:  cluster.RetryPolicy{Attempts: 4, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond, Seed: 5},
+	})
+	defer shard.Close()
+	for i := 0; i < 8; i++ {
+		n, err := shard.Len(context.Background())
+		if err != nil {
+			t.Fatalf("flaky Len %d = %v (stats %+v)", i, err, in.Stats())
+		}
+		if n != 40 {
+			t.Fatalf("Len = %d, want 40", n)
+		}
+		// Poison the cached connection so every iteration redials.
+		shard.Close()
+	}
+	if s := in.Stats(); s.DialsFailed == 0 {
+		t.Fatalf("fault plan never fired: %+v", s)
+	}
+}
+
+// TestCancelMidRetry: canceling the caller's context during the backoff
+// of a doomed retry loop returns promptly with the context error and
+// leaks no goroutines.
+func TestCancelMidRetry(t *testing.T) {
+	in := faultinject.New(1, faultinject.Plan{DialErrorRate: 1})
+	shard := cluster.NewRemoteShardWith("doomed", "127.0.0.1:1", cluster.RemoteOptions{
+		Dialer: in.Dial,
+		Retry:  cluster.RetryPolicy{Attempts: 50, BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second, Seed: 7},
+	})
+	defer shard.Close()
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := shard.Len(ctx)
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond) // let the loop reach a backoff sleep
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled retry returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled retry did not return promptly")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked across cancel: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDegradedAllShardsDownFails: degraded serving is not "answer from
+// nothing" — losing every shard is still an error.
+func TestDegradedAllShardsDownFails(t *testing.T) {
+	store, _ := buildStore(t, 40, 0.5, 11)
+	router, in, stores, addrs := faultCluster(t, store, 1, 0, testRetry, true)
+	qOID := stores[0].OIDs()[0]
+	in.Partition(addrs[0])
+	_, err := router.Do(context.Background(), engine.Request{Kind: engine.KindUQ31, QueryOID: qOID, Tb: 0, Te: 30})
+	if err == nil {
+		t.Fatal("degraded router answered with zero reachable shards")
+	}
+	if !errors.Is(err, cluster.ErrShardUnavailable) {
+		t.Fatalf("total loss = %v, want ErrShardUnavailable", err)
+	}
+}

@@ -173,7 +173,7 @@ func (r *Router) ZoneProfile(ctx context.Context, qOID int64, tb, te float64, k 
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
-	bounds, phase2, err := r.exchange(ctx, q, tb, te, k)
+	bounds, phase2, _, err := r.exchange(ctx, q, tb, te, k)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
@@ -217,6 +217,12 @@ func (b routerBackend) Evaluate(ctx context.Context, req engine.Request) (engine
 	}
 	if g == nil || g.q == nil || g.bounds == nil || !needsProcessor(req.Kind) {
 		return res, nil, nil // unbounded fingerprint: always dirty, never wrong
+	}
+	if len(g.missing) > 0 {
+		// A degraded round's survivor superset is missing whole shards;
+		// fingerprinting it would let updates to their objects slip past
+		// the dirty test after the shard heals. Unbounded instead.
+		return res, nil, nil
 	}
 	set := make(map[int64]struct{}, g.store.Len())
 	for _, id := range g.store.OIDs() {

@@ -2,7 +2,12 @@ package cluster
 
 import (
 	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/engine"
@@ -12,10 +17,80 @@ import (
 	"repro/internal/trajectory"
 )
 
+// Dialer opens the wire connection a RemoteShard speaks over. The
+// default dials TCP; tests inject fault-wrapped dialers here.
+type Dialer func(addr string) (net.Conn, error)
+
+// Retry defaults; see RetryPolicy.
+const (
+	DefaultRetryAttempts = 3
+	DefaultRetryBackoff  = 10 * time.Millisecond
+	DefaultRetryMax      = 250 * time.Millisecond
+)
+
+// RetryPolicy bounds how a RemoteShard retries idempotent calls (every
+// Shard op except Ingest, which may have applied server-side before the
+// reply was lost) after a transient wire failure: a refused or reset
+// connection, a broken stream, or a per-attempt timeout. Backoff doubles
+// from BaseBackoff up to MaxBackoff with uniform jitter in [d/2, d], and
+// every sleep aborts promptly when the caller's context fires.
+type RetryPolicy struct {
+	// Attempts is the total tries per call. Zero means
+	// DefaultRetryAttempts; negative (or 1) disables retries.
+	Attempts int
+	// BaseBackoff is the first retry's backoff ceiling (zero means
+	// DefaultRetryBackoff); MaxBackoff caps the doubling (zero means
+	// DefaultRetryMax).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// AttemptTimeout bounds each attempt individually, so one black-holed
+	// connection costs one timeout, not the caller's whole deadline. Zero
+	// means no per-attempt bound (the caller's ctx still governs).
+	AttemptTimeout time.Duration
+	// Seed fixes the jitter sequence for deterministic tests; zero seeds
+	// from the wall clock.
+	Seed int64
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.Attempts == 0 {
+		return DefaultRetryAttempts
+	}
+	if p.Attempts < 1 {
+		return 1
+	}
+	return p.Attempts
+}
+
+func (p RetryPolicy) base() time.Duration {
+	if p.BaseBackoff <= 0 {
+		return DefaultRetryBackoff
+	}
+	return p.BaseBackoff
+}
+
+func (p RetryPolicy) max() time.Duration {
+	if p.MaxBackoff <= 0 {
+		return DefaultRetryMax
+	}
+	return p.MaxBackoff
+}
+
+// RemoteOptions tunes a RemoteShard's transport.
+type RemoteOptions struct {
+	// Dialer opens connections; nil means plain TCP.
+	Dialer Dialer
+	// Retry governs idempotent-call retries; the zero value retries
+	// DefaultRetryAttempts times with default backoff.
+	Retry RetryPolicy
+}
+
 // RemoteShard speaks the modserver query op (bounds/survivors/all phases)
 // to a shard-serving modserver over TCP. The connection is dialed lazily,
 // serialized by a mutex (the wire client is synchronous), and redialed
-// after a failure or a context cancellation poisons it.
+// after a failure or a context cancellation poisons it. Idempotent calls
+// retry transient wire failures per the shard's RetryPolicy; Ingest never
+// retries (the lost reply may have applied).
 //
 // Cancellation: the wire protocol has no cancel frame, so a canceled call
 // closes the connection — the blocked read returns immediately, the
@@ -26,14 +101,42 @@ type RemoteShard struct {
 	name string
 	addr string
 
-	mu  sync.Mutex
-	cli *modserver.Client
+	mu    sync.Mutex
+	cli   *modserver.Client
+	index int // position in the owning router's shard slice; -1 unrouted
+	dial  Dialer
+	retry RetryPolicy
+	rng   *rand.Rand
 }
 
-// NewRemoteShard names a shard served by a modserver at addr. No I/O
-// happens until the first call.
+// NewRemoteShard names a shard served by a modserver at addr with default
+// transport options. No I/O happens until the first call.
 func NewRemoteShard(name, addr string) *RemoteShard {
-	return &RemoteShard{name: name, addr: addr}
+	return NewRemoteShardWith(name, addr, RemoteOptions{})
+}
+
+// NewRemoteShardWith is NewRemoteShard with transport options.
+func NewRemoteShardWith(name, addr string, opts RemoteOptions) *RemoteShard {
+	seed := opts.Retry.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	d := opts.Dialer
+	if d == nil {
+		d = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	return &RemoteShard{
+		name: name, addr: addr, index: -1,
+		dial: d, retry: opts.Retry, rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// setIndex records the shard's position in a router's shard slice so
+// ShardUnavailableError can name it by index as well as by name.
+func (s *RemoteShard) setIndex(i int) {
+	s.mu.Lock()
+	s.index = i
+	s.mu.Unlock()
 }
 
 // Name implements Shard.
@@ -54,23 +157,89 @@ func (s *RemoteShard) Close() error {
 	return err
 }
 
-// call runs f against the shard's client under the mutex with a
-// cancellation watchdog: if ctx fires while f blocks on the wire, the
-// connection is closed (unblocking f promptly) and the context error is
-// reported instead of the resulting read error. The watchdog is always
-// reaped before call returns, so a canceled scatter leaks nothing.
+// call runs f against the shard once, without retries — the Ingest path,
+// where a lost reply may mean an applied batch.
 func (s *RemoteShard) call(ctx context.Context, f func(c *modserver.Client) error) error {
+	return s.callRetry(ctx, false, f)
+}
+
+// callIdempotent runs f with transient-failure retries per the policy.
+func (s *RemoteShard) callIdempotent(ctx context.Context, f func(c *modserver.Client) error) error {
+	return s.callRetry(ctx, true, f)
+}
+
+// callRetry serializes calls under the mutex and loops attempts: each
+// transient failure of a retryable call backs off (exponential, jittered,
+// ctx-aware) and redials. The caller's context always wins — its error is
+// returned in preference to wire noise, and no attempt or backoff
+// outlives it.
+func (s *RemoteShard) callRetry(ctx context.Context, retryable bool, f func(c *modserver.Client) error) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := ctxErr(ctx); err != nil {
-		return err
+	attempts := 1
+	if retryable {
+		attempts = s.retry.attempts()
 	}
-	if s.cli == nil {
-		cli, err := modserver.Dial(s.addr)
-		if err != nil {
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := ctxErr(ctx); err != nil {
 			return err
 		}
-		s.cli = cli
+		if attempt > 0 {
+			if err := s.backoffLocked(ctx, attempt); err != nil {
+				return err
+			}
+		}
+		err := s.attemptLocked(ctx, f)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable || !transientErr(err) {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// backoffLocked sleeps the attempt's jittered backoff or returns the
+// context error as soon as ctx fires.
+func (s *RemoteShard) backoffLocked(ctx context.Context, attempt int) error {
+	d := s.retry.base() << (attempt - 1)
+	if m := s.retry.max(); d > m || d <= 0 {
+		d = m
+	}
+	d = d/2 + time.Duration(s.rng.Int63n(int64(d/2)+1))
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// attemptLocked is one wire attempt under the mutex, with a cancellation
+// watchdog: if the attempt's context fires while f blocks on the wire,
+// the connection is closed (unblocking f promptly) and the context error
+// is reported instead of the resulting read error. The watchdog is always
+// reaped before returning, so a canceled scatter leaks nothing. A
+// configured AttemptTimeout bounds just this attempt; the parent context
+// error takes precedence when both fire.
+func (s *RemoteShard) attemptLocked(ctx context.Context, f func(c *modserver.Client) error) error {
+	actx := ctx
+	cancel := func() {}
+	if s.retry.AttemptTimeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, s.retry.AttemptTimeout)
+	}
+	defer cancel()
+	if s.cli == nil {
+		conn, err := s.dial(s.addr)
+		if err != nil {
+			return &ShardUnavailableError{Shard: s.index, Name: s.name, Err: err}
+		}
+		s.cli = modserver.NewClient(conn)
 	}
 	cli := s.cli
 	done := make(chan struct{})
@@ -78,7 +247,7 @@ func (s *RemoteShard) call(ctx context.Context, f func(c *modserver.Client) erro
 	go func() {
 		defer close(reaped)
 		select {
-		case <-ctx.Done():
+		case <-actx.Done():
 			_ = cli.Close()
 		case <-done:
 		}
@@ -86,12 +255,16 @@ func (s *RemoteShard) call(ctx context.Context, f func(c *modserver.Client) erro
 	err := f(cli)
 	close(done)
 	<-reaped
-	if cerr := ctxErr(ctx); cerr != nil {
+	if cerr := ctxErr(actx); cerr != nil {
 		// The watchdog (or the deadline) poisoned the connection; force a
 		// redial next call and surface the cancellation, not the wire
-		// noise it caused.
+		// noise it caused. The parent context outranks the per-attempt
+		// timeout (an expired attempt is retryable; a dead caller is not).
 		_ = cli.Close()
 		s.cli = nil
+		if perr := ctxErr(ctx); perr != nil {
+			return perr
+		}
 		return cerr
 	}
 	if err != nil {
@@ -100,6 +273,26 @@ func (s *RemoteShard) call(ctx context.Context, f func(c *modserver.Client) erro
 		s.cli = nil
 	}
 	return err
+}
+
+// transientErr classifies wire failures worth a retry: the connection
+// never opened, died mid-flight, or the attempt timed out — anything
+// where a fresh dial plausibly succeeds. (A parent-context expiry never
+// reaches this check; attemptLocked returns it as such.)
+func transientErr(err error) bool {
+	switch {
+	case errors.Is(err, ErrShardUnavailable),
+		errors.Is(err, syscall.ECONNREFUSED),
+		errors.Is(err, syscall.ECONNRESET),
+		errors.Is(err, syscall.EPIPE),
+		errors.Is(err, io.EOF),
+		errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, modserver.ErrConnClosed),
+		errors.Is(err, context.DeadlineExceeded):
+		return true
+	}
+	var nerr net.Error
+	return errors.As(err, &nerr)
 }
 
 // deadlineOf converts the ctx deadline to a server-side budget (0 = none).
@@ -116,7 +309,7 @@ func deadlineOf(ctx context.Context) time.Duration {
 // Spec implements Shard.
 func (s *RemoteShard) Spec(ctx context.Context) (mod.PDFSpec, error) {
 	var spec mod.PDFSpec
-	err := s.call(ctx, func(c *modserver.Client) error {
+	err := s.callIdempotent(ctx, func(c *modserver.Client) error {
 		var err error
 		spec, err = c.Spec()
 		return err
@@ -127,7 +320,7 @@ func (s *RemoteShard) Spec(ctx context.Context) (mod.PDFSpec, error) {
 // Len implements Shard.
 func (s *RemoteShard) Len(ctx context.Context) (int, error) {
 	var n int
-	err := s.call(ctx, func(c *modserver.Client) error {
+	err := s.callIdempotent(ctx, func(c *modserver.Client) error {
 		var err error
 		n, err = c.Count()
 		return err
@@ -139,7 +332,7 @@ func (s *RemoteShard) Len(ctx context.Context) (int, error) {
 // mod.ErrNotFound) across the wire (the server codes the failure).
 func (s *RemoteShard) Get(ctx context.Context, oid int64) (*trajectory.Trajectory, error) {
 	var tr *trajectory.Trajectory
-	err := s.call(ctx, func(c *modserver.Client) error {
+	err := s.callIdempotent(ctx, func(c *modserver.Client) error {
 		var err error
 		tr, err = c.Get(oid)
 		return err
@@ -150,7 +343,7 @@ func (s *RemoteShard) Get(ctx context.Context, oid int64) (*trajectory.Trajector
 // Bounds implements Shard (phase 1 on the wire).
 func (s *RemoteShard) Bounds(ctx context.Context, q *trajectory.Trajectory, tb, te float64, k int) ([]float64, error) {
 	var bounds []float64
-	err := s.call(ctx, func(c *modserver.Client) error {
+	err := s.callIdempotent(ctx, func(c *modserver.Client) error {
 		var err error
 		bounds, err = c.ShardBounds(q, tb, te, k, deadlineOf(ctx))
 		return err
@@ -164,7 +357,7 @@ func (s *RemoteShard) Survivors(ctx context.Context, q *trajectory.Trajectory, t
 		trs   []*trajectory.Trajectory
 		stats prune.Stats
 	)
-	err := s.call(ctx, func(c *modserver.Client) error {
+	err := s.callIdempotent(ctx, func(c *modserver.Client) error {
 		var err error
 		trs, stats, err = c.ShardSurvivors(q, tb, te, bounds, deadlineOf(ctx))
 		return err
@@ -179,7 +372,7 @@ func (s *RemoteShard) Survivors(ctx context.Context, q *trajectory.Trajectory, t
 // against one gather pays the transfer once.
 func (s *RemoteShard) Refine(ctx context.Context, gatherID string, union *mod.Store, own []int64, req engine.Request) (engine.Result, error) {
 	var res engine.Result
-	err := s.call(ctx, func(c *modserver.Client) error {
+	err := s.callIdempotent(ctx, func(c *modserver.Client) error {
 		var cerr error
 		res, cerr = c.ShardRefine(gatherID, union.All(), own, req, deadlineOf(ctx))
 		return cerr
@@ -193,7 +386,7 @@ func (s *RemoteShard) Refine(ctx context.Context, gatherID string, union *mod.St
 // OIDs implements Shard (the oids phase on the wire).
 func (s *RemoteShard) OIDs(ctx context.Context) ([]int64, error) {
 	var oids []int64
-	err := s.call(ctx, func(c *modserver.Client) error {
+	err := s.callIdempotent(ctx, func(c *modserver.Client) error {
 		var cerr error
 		oids, cerr = c.ShardOIDs()
 		return cerr
@@ -204,7 +397,7 @@ func (s *RemoteShard) OIDs(ctx context.Context) ([]int64, error) {
 // All implements Shard.
 func (s *RemoteShard) All(ctx context.Context) ([]*trajectory.Trajectory, error) {
 	var trs []*trajectory.Trajectory
-	err := s.call(ctx, func(c *modserver.Client) error {
+	err := s.callIdempotent(ctx, func(c *modserver.Client) error {
 		var err error
 		trs, err = c.AllTrajectories()
 		return err
@@ -227,7 +420,7 @@ func (s *RemoteShard) Ingest(ctx context.Context, updates []mod.Update) ([]mod.A
 // trip for the whole batch).
 func (s *RemoteShard) Owns(ctx context.Context, oids []int64) ([]bool, error) {
 	var owned []bool
-	err := s.call(ctx, func(c *modserver.Client) error {
+	err := s.callIdempotent(ctx, func(c *modserver.Client) error {
 		var err error
 		owned, err = c.Owns(oids)
 		return err

@@ -26,6 +26,14 @@ type Options struct {
 	// engine with one worker per CPU. Routers sharing an engine share its
 	// processor memo.
 	Engine *engine.Engine
+	// Degraded switches shard failures from call-fatal to partial: a
+	// scatter that loses shards (past the shards' own retry budgets)
+	// merges the replies it has and marks the result
+	// Explain.Degraded/MissingShards instead of failing. An answer that
+	// loses every shard, or the query trajectory's only copy, still
+	// fails. Off by default: exact cluster-wide answers are the router's
+	// headline contract.
+	Degraded bool
 }
 
 // Router implements the exact Engine.Do/DoBatch contract over K shards:
@@ -34,10 +42,11 @@ type Options struct {
 // only; the inner engine is itself concurrent-safe) and meant to be
 // long-lived.
 type Router struct {
-	shards []Shard
-	part   Partitioner
-	inner  *engine.Engine
-	spec   mod.PDFSpec
+	shards   []Shard
+	part     Partitioner
+	inner    *engine.Engine
+	spec     mod.PDFSpec
+	degraded bool
 
 	// idPrefix and gatherSeq mint process-unique gather IDs: the handle a
 	// remote shard caches the shipped union store under for the duration
@@ -65,6 +74,13 @@ func NewRouter(ctx context.Context, shards []Shard, opts Options) (*Router, erro
 	if inner == nil {
 		inner = engine.New(0)
 	}
+	// Remote shards learn their slot so ShardUnavailableError can report
+	// which shard of the cluster went dark.
+	for i, s := range shards {
+		if rs, ok := s.(*RemoteShard); ok {
+			rs.setIndex(i)
+		}
+	}
 	spec, err := shards[0].Spec(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: shard %s: %w", shards[0].Name(), err)
@@ -90,7 +106,7 @@ func NewRouter(ctx context.Context, shards []Shard, opts Options) (*Router, erro
 	var seed [8]byte
 	_, _ = cryptorand.Read(seed[:]) // best-effort; routerSeq alone is process-unique
 	prefix := fmt.Sprintf("%x-%d", seed, routerSeq.Add(1))
-	return &Router{shards: shards, part: part, inner: inner, spec: spec, idPrefix: prefix}, nil
+	return &Router{shards: shards, part: part, inner: inner, spec: spec, degraded: opts.Degraded, idPrefix: prefix}, nil
 }
 
 // routerSeq distinguishes routers within one process even if the random
@@ -136,6 +152,10 @@ type gathered struct {
 	targets map[int64]bool // target OIDs already resolved (found or not)
 	q       *trajectory.Trajectory
 	bounds  []float64
+	// missing lists, sorted, the shard indexes this round went without
+	// (degraded routers only; always nil on strict routers, where a lost
+	// shard fails the round instead).
+	missing []int
 }
 
 // Do evaluates one request across the shards. The contract matches
@@ -242,6 +262,7 @@ func (r *Router) dispatch(ctx context.Context, req engine.Request, caches map[ga
 		// count once the union is built; they stay central.
 		inner, err = r.inner.Do(ctx, g.store, req)
 		inner.Explain.ShardExplains = g.shardEx
+		r.applyDegraded(&inner.Explain, g.missing)
 	}
 	inner.Explain.Shards = len(r.shards)
 	inner.Explain.Wall = time.Since(start)
@@ -255,7 +276,7 @@ func (r *Router) dispatch(ctx context.Context, req engine.Request, caches map[ga
 // single-object targets — answer false on every filter kind, so
 // restricting the domain to the union of survivor shares drops nothing).
 func (r *Router) refineDistributed(ctx context.Context, g *gathered, req engine.Request) (engine.Result, error) {
-	partials, err := scatter(ctx, r.shards, func(ctx context.Context, i int, s Shard) (engine.Result, error) {
+	partials, ok, err := scatterMode(r, ctx, func(ctx context.Context, i int, s Shard) (engine.Result, error) {
 		return s.Refine(ctx, g.id, g.store, g.own[i], req)
 	})
 	res := engine.Result{Kind: req.Kind}
@@ -264,23 +285,49 @@ func (r *Router) refineDistributed(ctx context.Context, g *gathered, req engine.
 		res.Err = err
 		return res, err
 	}
-	lists := make([][]int64, len(partials))
+	// A shard that answered the gather but lost its refine leaves its
+	// own-share survivors unanswered; under degraded serving the central
+	// engine picks the orphaned shares up (the union store is local), so
+	// the merged answer only narrows by what the gather itself missed.
+	lists := make([][]int64, 0, len(partials)+1)
 	shardEx := make([]engine.Explain, len(g.shardEx))
 	copy(shardEx, g.shardEx)
+	first := -1
+	var orphaned []int64
 	for i, p := range partials {
-		lists[i] = p.OIDs
+		if !ok[i] {
+			orphaned = append(orphaned, g.own[i]...)
+			continue
+		}
+		if first < 0 {
+			first = i
+		}
+		lists = append(lists, p.OIDs)
 		if i < len(shardEx) {
 			shardEx[i].Refined = p.Explain.Refined
 			shardEx[i].RefineWall = p.Explain.RefineWall
 		}
 	}
+	if len(orphaned) > 0 {
+		slices.Sort(orphaned)
+		central, cerr := r.inner.DoRestricted(ctx, g.store, req, orphaned)
+		if cerr != nil {
+			res.Err = cerr
+			return res, cerr
+		}
+		lists = append(lists, central.OIDs)
+	}
 	res.OIDs = mergeSorted(lists)
 	// Every shard preprocesses the same union store, so the union-global
-	// candidate/survivor counts agree across partials; report shard 0's.
-	res.Explain.Candidates = partials[0].Explain.Candidates
-	res.Explain.Survivors = partials[0].Explain.Survivors
-	res.Explain.MemoHit = partials[0].Explain.MemoHit
+	// candidate/survivor counts agree across partials; report the first
+	// replying shard's.
+	if first >= 0 {
+		res.Explain.Candidates = partials[first].Explain.Candidates
+		res.Explain.Survivors = partials[first].Explain.Survivors
+		res.Explain.MemoHit = partials[first].Explain.MemoHit
+	}
 	res.Explain.ShardExplains = shardEx
+	r.applyDegraded(&res.Explain, mergeMissing(g.missing, missingOf(ok)))
 	return res, nil
 }
 
@@ -326,7 +373,7 @@ func (r *Router) gather(ctx context.Context, key gatherKey, k int, caches map[ga
 		}
 		return nil, err
 	}
-	bounds, phase2, err := r.exchange(ctx, q, key.tb, key.te, k)
+	bounds, phase2, missing, err := r.exchange(ctx, q, key.tb, key.te, k)
 	if err != nil {
 		return nil, err
 	}
@@ -366,7 +413,7 @@ func (r *Router) gather(ctx context.Context, key gatherKey, k int, caches map[ga
 			own[si] = append(own[si], tr.OID)
 		}
 	}
-	g := &gathered{id: r.nextGatherID(), store: store, shardEx: shardEx, own: own, k: k, targets: make(map[int64]bool), q: q, bounds: bounds}
+	g := &gathered{id: r.nextGatherID(), store: store, shardEx: shardEx, own: own, k: k, targets: make(map[int64]bool), q: q, bounds: bounds, missing: missing}
 	caches[key] = g
 	return g, nil
 }
@@ -385,7 +432,14 @@ type survReply struct {
 // shard's global-zone survivors. Both gather() (which refines the
 // survivors through an engine) and the continuous layer's zone profiles
 // (which only need the bounds and survivor IDs) build on it.
-func (r *Router) exchange(ctx context.Context, q *trajectory.Trajectory, tb, te float64, k int) ([]float64, []survReply, error) {
+//
+// On a degraded router, shards lost in either phase are masked out and
+// reported in missing: a phase-1 absence only loosens the global bound
+// (the min over the replying shards still upper-bounds the global
+// envelope, so pruning stays sound — the zone just keeps more
+// survivors), and a phase-2 absence drops that shard's objects from the
+// round entirely, which is the documented degraded-answer semantics.
+func (r *Router) exchange(ctx context.Context, q *trajectory.Trajectory, tb, te float64, k int) ([]float64, []survReply, []int, error) {
 	cuts := prune.SliceCuts(q, tb, te)
 	nSlices := len(cuts) - 1
 
@@ -393,21 +447,24 @@ func (r *Router) exchange(ctx context.Context, q *trajectory.Trajectory, tb, te 
 		bounds []float64
 		wall   time.Duration
 	}
-	phase1, err := scatter(ctx, r.shards, func(ctx context.Context, _ int, s Shard) (boundsReply, error) {
+	phase1, ok1, err := scatterMode(r, ctx, func(ctx context.Context, _ int, s Shard) (boundsReply, error) {
 		t0 := time.Now()
 		bs, err := s.Bounds(ctx, q, tb, te, k)
 		return boundsReply{bounds: bs, wall: time.Since(t0)}, err
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	global := make([]float64, nSlices)
 	for i := range global {
 		global[i] = math.Inf(1)
 	}
 	for si, reply := range phase1 {
+		if !ok1[si] {
+			continue
+		}
 		if len(reply.bounds) != nSlices {
-			return nil, nil, fmt.Errorf("%w: shard %s returned %d bounds for %d slices",
+			return nil, nil, nil, fmt.Errorf("%w: shard %s returned %d bounds for %d slices",
 				ErrProtocol, r.shards[si].Name(), len(reply.bounds), nSlices)
 		}
 		for i, b := range reply.bounds {
@@ -417,15 +474,25 @@ func (r *Router) exchange(ctx context.Context, q *trajectory.Trajectory, tb, te 
 		}
 	}
 
-	phase2, err := scatter(ctx, r.shards, func(ctx context.Context, i int, s Shard) (survReply, error) {
+	phase2, ok2, err := scatterMode(r, ctx, func(ctx context.Context, i int, s Shard) (survReply, error) {
 		t0 := time.Now()
 		trs, stats, err := s.Survivors(ctx, q, tb, te, global)
 		return survReply{trs: trs, stats: stats, wall: phase1[i].wall + time.Since(t0)}, err
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return global, phase2, nil
+	missing := mergeMissing(missingOf(ok1), missingOf(ok2))
+	if len(missing) > 0 {
+		// A shard lost in phase 2 contributes no survivors; make sure a
+		// stale phase-2 zero value cannot masquerade as an empty reply.
+		for _, si := range missing {
+			if !ok2[si] {
+				phase2[si] = survReply{}
+			}
+		}
+	}
+	return global, phase2, missing, nil
 }
 
 // perQueryObject answers the all-pairs and reverse kinds without the old
@@ -445,7 +512,7 @@ func (r *Router) perQueryObject(ctx context.Context, req engine.Request) (engine
 		oids []int64
 		wall time.Duration
 	}
-	replies, err := scatter(ctx, r.shards, func(ctx context.Context, _ int, s Shard) (oidsReply, error) {
+	replies, okOIDs, err := scatterMode(r, ctx, func(ctx context.Context, _ int, s Shard) (oidsReply, error) {
 		t0 := time.Now()
 		ids, err := s.OIDs(ctx)
 		return oidsReply{oids: ids, wall: time.Since(t0)}, err
@@ -453,9 +520,17 @@ func (r *Router) perQueryObject(ctx context.Context, req engine.Request) (engine
 	if err != nil {
 		return fail(err)
 	}
+	// missing accumulates every shard any round of this request went
+	// without: the OID union scatter here, plus the per-object gathers
+	// below (guarded by missingMu — they run on the worker pool).
+	missing := missingOf(okOIDs)
+	var missingMu sync.Mutex
 	lists := make([][]int64, len(replies))
 	shardEx := make([]engine.Explain, len(replies))
 	for i, reply := range replies {
+		if !okOIDs[i] {
+			continue
+		}
 		lists[i] = reply.oids
 		n := len(reply.oids)
 		shardEx[i] = engine.Explain{Candidates: n, Survivors: n, Wall: reply.wall}
@@ -494,6 +569,11 @@ func (r *Router) perQueryObject(ctx context.Context, req engine.Request) (engine
 		if err != nil {
 			return fmt.Errorf("query %d: %w", qOID, err)
 		}
+		if len(g.missing) > 0 {
+			missingMu.Lock()
+			missing = mergeMissing(missing, g.missing)
+			missingMu.Unlock()
+		}
 		if target != nil {
 			if _, err := g.store.Get(target.OID); err != nil {
 				if err := g.store.Insert(target); err != nil {
@@ -527,6 +607,7 @@ func (r *Router) perQueryObject(ctx context.Context, req engine.Request) (engine
 		}
 		res.Explain.Candidates = len(union) - 1
 		res.Explain.Survivors = res.Explain.Candidates
+		r.applyDegraded(&res.Explain, missing)
 		return res, nil
 	}
 	res.Pairs = make(map[int64][]int64, len(union))
@@ -535,6 +616,7 @@ func (r *Router) perQueryObject(ctx context.Context, req engine.Request) (engine
 	}
 	res.Explain.Candidates = len(union)
 	res.Explain.Survivors = len(union)
+	r.applyDegraded(&res.Explain, missing)
 	return res, nil
 }
 
@@ -643,22 +725,47 @@ func (r *Router) getTrajectory(ctx context.Context, oid int64) (*trajectory.Traj
 			return tr, nil
 		}
 		if !errors.Is(err, mod.ErrNotFound) {
-			return nil, fmt.Errorf("cluster: shard %s: %w", r.shards[loc].Name(), err)
+			if !r.degraded {
+				return nil, fmt.Errorf("cluster: shard %s: %w", r.shards[loc].Name(), err)
+			}
+			// Degraded: the located copy is unreachable, but a replica may
+			// exist elsewhere — fall through to the broadcast.
 		}
 	}
-	found, err := scatter(ctx, r.shards, func(ctx context.Context, _ int, s Shard) (*trajectory.Trajectory, error) {
+	var failMu sync.Mutex
+	var firstFail error
+	found, ok, err := scatterMode(r, ctx, func(ctx context.Context, i int, s Shard) (*trajectory.Trajectory, error) {
 		tr, err := s.Get(ctx, oid)
 		if err != nil && errors.Is(err, mod.ErrNotFound) {
 			return nil, nil
+		}
+		if err != nil && r.degraded {
+			failMu.Lock()
+			if firstFail == nil {
+				firstFail = fmt.Errorf("cluster: shard %s: %w", s.Name(), err)
+			}
+			failMu.Unlock()
 		}
 		return tr, err
 	})
 	if err != nil {
 		return nil, err
 	}
-	for _, tr := range found {
-		if tr != nil {
+	for i, tr := range found {
+		if ok[i] && tr != nil {
 			return tr, nil
+		}
+	}
+	// Found nowhere. If any shard was unreachable, absence is unproven:
+	// surface the shard failure, never a wrong ErrNotFound.
+	for i := range ok {
+		if !ok[i] {
+			failMu.Lock()
+			defer failMu.Unlock()
+			if firstFail != nil {
+				return nil, firstFail
+			}
+			return nil, &ShardUnavailableError{Shard: i, Name: r.shards[i].Name(), Err: errors.New("no reply")}
 		}
 	}
 	return nil, fmt.Errorf("%w: %d", mod.ErrNotFound, oid)

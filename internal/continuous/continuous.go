@@ -54,7 +54,37 @@ var (
 	ErrNoSub = errors.New("continuous: unknown subscription")
 	// ErrHubClosed is returned after Close.
 	ErrHubClosed = errors.New("continuous: hub closed")
+	// ErrEventGap reports a Replay whose starting sequence has been
+	// truncated out of the bounded backlog: the missed events are gone,
+	// and the caller must fall back to the current full answer instead of
+	// patching diffs onto a stale one.
+	ErrEventGap = errors.New("continuous: replay gap: backlog truncated")
 )
+
+// DefaultBacklog is the per-subscription event backlog bound when
+// HubOptions does not set one: deep enough to ride out a reconnect
+// window at ingest-batch granularity, shallow enough that a thousand
+// subscriptions hold at most a few MB of diffs.
+const DefaultBacklog = 256
+
+// HubOptions tunes a hub.
+type HubOptions struct {
+	// BacklogCap bounds each subscription's retained event backlog (for
+	// Replay). 0 selects DefaultBacklog; negative disables retention —
+	// every non-trivial Replay then reports ErrEventGap.
+	BacklogCap int
+}
+
+func (o HubOptions) backlogCap() int {
+	switch {
+	case o.BacklogCap == 0:
+		return DefaultBacklog
+	case o.BacklogCap < 0:
+		return 0
+	default:
+		return o.BacklogCap
+	}
+}
 
 // Backend abstracts where the standing queries are evaluated: a
 // single-store engine (NewEngineHub) or a sharded cluster router
@@ -152,6 +182,21 @@ type sub struct {
 	last engine.Result
 	prof *Profile
 	seq  uint64
+	// backlog retains the most recent emitted events (contiguous Seqs,
+	// oldest first, at most the hub's backlogCap) for Replay.
+	backlog []Event
+}
+
+// remember appends ev to the bounded backlog.
+func (s *sub) remember(ev Event, cap int) {
+	if cap <= 0 {
+		return
+	}
+	if len(s.backlog) >= cap {
+		n := copy(s.backlog, s.backlog[len(s.backlog)-cap+1:])
+		s.backlog = s.backlog[:n]
+	}
+	s.backlog = append(s.backlog, ev)
 }
 
 // Hub owns the standing subscriptions over one backend. All methods are
@@ -160,7 +205,8 @@ type sub struct {
 // must flow through Ingest (or be followed by Invalidate) — the dirty
 // test's profiles describe the data as of the last evaluation.
 type Hub struct {
-	be Backend
+	be         Backend
+	backlogCap int
 
 	mu     sync.Mutex
 	subs   map[int64]*sub
@@ -169,19 +215,29 @@ type Hub struct {
 	closed bool
 }
 
-// New creates a hub over a backend.
+// New creates a hub over a backend with default options.
 func New(be Backend) *Hub {
-	return &Hub{be: be, subs: make(map[int64]*sub)}
+	return NewWith(be, HubOptions{})
+}
+
+// NewWith creates a hub over a backend.
+func NewWith(be Backend, opts HubOptions) *Hub {
+	return &Hub{be: be, backlogCap: opts.backlogCap(), subs: make(map[int64]*sub)}
 }
 
 // NewEngineHub is the single-store hub: updates apply to store, standing
 // queries evaluate through eng (nil means a fresh engine with one worker
 // per CPU).
 func NewEngineHub(store *mod.Store, eng *engine.Engine) *Hub {
+	return NewEngineHubWith(store, eng, HubOptions{})
+}
+
+// NewEngineHubWith is NewEngineHub with explicit options.
+func NewEngineHubWith(store *mod.Store, eng *engine.Engine, opts HubOptions) *Hub {
 	if eng == nil {
 		eng = engine.New(0)
 	}
-	return New(&engineBackend{store: store, eng: eng})
+	return NewWith(&engineBackend{store: store, eng: eng}, opts)
 }
 
 // Subscribe registers a standing request and returns its ID and initial
@@ -255,6 +311,32 @@ func (h *Hub) Stats() Stats {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.stats
+}
+
+// Replay returns the subscription's retained events with Seq > fromSeq,
+// oldest first — the exact diffs a consumer at fromSeq missed. A
+// consumer that is already current gets an empty slice. When the bounded
+// backlog no longer reaches back to fromSeq+1 the diffs are
+// unrecoverable and Replay reports ErrEventGap; the caller should take
+// the current Answer as a fresh baseline instead.
+func (h *Hub) Replay(id int64, fromSeq uint64) ([]Event, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.subs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoSub, id)
+	}
+	if fromSeq >= s.seq {
+		return nil, nil
+	}
+	if len(s.backlog) == 0 || s.backlog[0].Seq > fromSeq+1 {
+		return nil, fmt.Errorf("%w: subscription %d at seq %d, replay from %d", ErrEventGap, id, s.seq, fromSeq)
+	}
+	i := 0
+	for i < len(s.backlog) && s.backlog[i].Seq <= fromSeq {
+		i++
+	}
+	return slices.Clone(s.backlog[i:]), nil
 }
 
 // Invalidate drops every subscription's zone profile, forcing the next
@@ -349,6 +431,7 @@ func (h *Hub) Ingest(ctx context.Context, updates []mod.Update) ([]mod.Applied, 
 			ev.Kind = res.Kind
 			ev.Explain = res.Explain
 			events = append(events, ev)
+			s.remember(ev, h.backlogCap)
 		}
 	}
 	return applied, events, nil

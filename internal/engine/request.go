@@ -186,6 +186,18 @@ type Explain struct {
 	// on single-engine paths. Entries never nest further: a shard reports
 	// leaf statistics only.
 	ShardExplains []Explain `json:"shard_explains,omitempty"`
+
+	// Degraded reports that a cluster router answered this request without
+	// every shard: some scatters failed past their retry budget and the
+	// router (configured for degraded serving) merged the shards that did
+	// reply. A degraded answer is a sound answer over the reachable
+	// partitions only — objects homed on the missing shards are absent, so
+	// NN-family answers may over-answer relative to the full cluster (the
+	// global envelope min skips the missing shards' objects).
+	Degraded bool `json:"degraded,omitempty"`
+	// MissingShards names the shards whose replies the degraded merge went
+	// without, in shard order; nil when Degraded is false.
+	MissingShards []string `json:"missing_shards,omitempty"`
 }
 
 // Result is the unified answer envelope. Exactly one of Bool / OIDs /

@@ -1,0 +1,171 @@
+// Package faultinject wraps network connections with deterministic,
+// seeded fault injection — refused dials, dropped connections, injected
+// latency, and named partitions — so the cluster serving layer's retry
+// and degraded-mode paths can be exercised in ordinary tests without
+// real network failures or timing flakiness.
+//
+// All randomness flows from one seeded generator guarded by the
+// injector's mutex: the same seed and the same sequence of operations
+// reproduce the same faults. Injected errors wrap the syscall errno a
+// real failure would carry (ECONNREFUSED for dials, ECONNRESET for
+// in-flight drops), so error-classification code paths see exactly what
+// production would hand them.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Plan declares the fault mix an Injector applies. Zero values inject
+// nothing; rates are probabilities in [0, 1] rolled per operation.
+type Plan struct {
+	// DialErrorRate is the probability one Dial fails with a (wrapped)
+	// ECONNREFUSED before any I/O happens.
+	DialErrorRate float64
+	// DropRate is the probability one Read or Write fails with a
+	// (wrapped) ECONNRESET; the underlying connection is closed, so the
+	// peer observes the drop too.
+	DropRate float64
+	// Delay is added before every Read and Write on injected
+	// connections; Jitter adds a uniform random extra on top.
+	Delay  time.Duration
+	Jitter time.Duration
+}
+
+// Stats counts what the injector actually did.
+type Stats struct {
+	Dials       int // dial attempts seen
+	DialsFailed int // dials refused (rate or partition)
+	Drops       int // reads/writes reset (rate or partition)
+	Delays      int // operations delayed
+}
+
+// Injector dials and wraps connections per a Plan. It is safe for
+// concurrent use.
+type Injector struct {
+	mu          sync.Mutex
+	rng         *rand.Rand
+	plan        Plan
+	partitioned map[string]bool
+	stats       Stats
+}
+
+// New returns an injector rolling faults from seed per plan.
+func New(seed int64, plan Plan) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed)), plan: plan, partitioned: make(map[string]bool)}
+}
+
+// SetPlan swaps the fault plan. Typical chaos tests build the cluster
+// over a zero (fault-free) plan, then arm the faults: construction-time
+// validation stays deterministic and the faults hit steady-state
+// serving, which is what the tests are about.
+func (in *Injector) SetPlan(plan Plan) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.plan = plan
+}
+
+// Partition makes addr unreachable: dials are refused and in-flight
+// operations on its existing connections are reset.
+func (in *Injector) Partition(addr string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.partitioned[addr] = true
+}
+
+// Heal reconnects a partitioned addr.
+func (in *Injector) Heal(addr string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.partitioned, addr)
+}
+
+// Stats snapshots the fault counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// Dial opens a TCP connection to addr through the fault plan: a
+// partition or a DialErrorRate roll refuses it with a wrapped
+// ECONNREFUSED; otherwise the returned connection applies the plan to
+// every Read and Write.
+func (in *Injector) Dial(addr string) (net.Conn, error) {
+	in.mu.Lock()
+	in.stats.Dials++
+	refuse := in.partitioned[addr] || roll(in.rng, in.plan.DialErrorRate)
+	if refuse {
+		in.stats.DialsFailed++
+	}
+	in.mu.Unlock()
+	if refuse {
+		return nil, fmt.Errorf("faultinject: dial %s: %w", addr, syscall.ECONNREFUSED)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &conn{Conn: c, in: in, addr: addr}, nil
+}
+
+// roll returns true with probability rate.
+func roll(rng *rand.Rand, rate float64) bool {
+	return rate > 0 && rng.Float64() < rate
+}
+
+// conn applies the injector's plan to each Read/Write.
+type conn struct {
+	net.Conn
+	in   *Injector
+	addr string
+}
+
+// disrupt rolls the per-operation faults: a sleep for Delay/Jitter, and
+// for a partition or a DropRate hit, a wrapped ECONNRESET after closing
+// the underlying connection (so the peer sees the drop too).
+func (c *conn) disrupt() error {
+	c.in.mu.Lock()
+	drop := c.in.partitioned[c.addr] || roll(c.in.rng, c.in.plan.DropRate)
+	var sleep time.Duration
+	if !drop && c.in.plan.Delay+c.in.plan.Jitter > 0 {
+		sleep = c.in.plan.Delay
+		if c.in.plan.Jitter > 0 {
+			sleep += time.Duration(c.in.rng.Int63n(int64(c.in.plan.Jitter) + 1))
+		}
+		if sleep > 0 {
+			c.in.stats.Delays++
+		}
+	}
+	if drop {
+		c.in.stats.Drops++
+	}
+	c.in.mu.Unlock()
+	if drop {
+		_ = c.Conn.Close()
+		return fmt.Errorf("faultinject: %s: %w", c.addr, syscall.ECONNRESET)
+	}
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	return nil
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	if err := c.disrupt(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	if err := c.disrupt(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}

@@ -1,0 +1,143 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes bytes until closed.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				_, _ = io.Copy(c, c)
+			}()
+		}
+	}()
+	return l.Addr().String()
+}
+
+func TestDialRefusedIsTyped(t *testing.T) {
+	addr := echoServer(t)
+	in := New(1, Plan{DialErrorRate: 1})
+	if _, err := in.Dial(addr); !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("forced dial failure = %v, want ECONNREFUSED", err)
+	}
+	if s := in.Stats(); s.Dials != 1 || s.DialsFailed != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDropResetsBothEnds(t *testing.T) {
+	addr := echoServer(t)
+	in := New(1, Plan{DropRate: 1})
+	c, err := in.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("x")); !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("dropped write = %v, want ECONNRESET", err)
+	}
+	// The underlying connection was closed with the drop.
+	if _, err := c.(*conn).Conn.Write([]byte("x")); err == nil {
+		t.Fatal("underlying connection survived the drop")
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	addr := echoServer(t)
+	in := New(1, Plan{})
+	c, err := in.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	in.Partition(addr)
+	if _, err := c.Write([]byte("x")); !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("partitioned write = %v, want ECONNRESET", err)
+	}
+	if _, err := in.Dial(addr); !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("partitioned dial = %v, want ECONNREFUSED", err)
+	}
+	in.Heal(addr)
+	c2, err := in.Dial(addr)
+	if err != nil {
+		t.Fatalf("healed dial: %v", err)
+	}
+	defer c2.Close()
+	if _, err := c2.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c2, buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("echo through healed link = %q, %v", buf, err)
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	addr := echoServer(t)
+	outcomes := func(seed int64) []bool {
+		in := New(seed, Plan{DialErrorRate: 0.5})
+		var out []bool
+		for i := 0; i < 32; i++ {
+			c, err := in.Dial(addr)
+			out = append(out, err == nil)
+			if c != nil {
+				c.Close()
+			}
+		}
+		return out
+	}
+	a, b := outcomes(42), outcomes(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at dial %d", i)
+		}
+	}
+	diff := outcomes(43)
+	same := true
+	for i := range a {
+		if a[i] != diff[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault sequences (suspicious)")
+	}
+}
+
+func TestDelayInjected(t *testing.T) {
+	addr := echoServer(t)
+	in := New(1, Plan{Delay: 30 * time.Millisecond})
+	c, err := in.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	t0 := time.Now()
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 25*time.Millisecond {
+		t.Fatalf("write took %v, want >= ~30ms of injected delay", d)
+	}
+	if s := in.Stats(); s.Delays == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

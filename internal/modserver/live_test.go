@@ -181,8 +181,10 @@ func TestSubscribeSameConnIngest(t *testing.T) {
 }
 
 // TestSubscriberDisconnectCleansUp pins the teardown path: a subscriber
-// that drops its connection is unregistered from the hub, so ingests keep
-// flowing for everyone else.
+// that drops its connection is detached — retained in the hub for a
+// later Resume — and ingests keep flowing for everyone else. With
+// detached retention disabled (MaxDetached < 0) the subscription is
+// reaped outright, restoring the old fire-and-forget teardown.
 func TestSubscriberDisconnectCleansUp(t *testing.T) {
 	st := liveStore(t)
 	srv, addr := startServer(t, st)
@@ -191,20 +193,23 @@ func TestSubscriberDisconnectCleansUp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := subCli.Subscribe(engine.Request{Kind: engine.KindUQ31, QueryOID: 1, Tb: 0, Te: 10}); err != nil {
+	subID, _, err := subCli.Subscribe(engine.Request{Kind: engine.KindUQ31, QueryOID: 1, Tb: 0, Te: 10})
+	if err != nil {
 		t.Fatal(err)
 	}
 	subCli.Close()
 
-	// The server notices the closed connection on its next write — or,
-	// absent events, on its read loop. Poll the hub until the
-	// subscription disappears.
+	// The server notices the closed connection on its read loop and moves
+	// the subscription to the detached set. Poll until it lands there.
 	deadline := time.Now().Add(5 * time.Second)
-	for len(srv.Hub().Subscriptions()) != 0 {
+	for !srv.isDetached(subID) {
 		if time.Now().After(deadline) {
-			t.Fatalf("subscription still live after disconnect: %v", srv.Hub().Subscriptions())
+			t.Fatalf("subscription %d not detached after disconnect", subID)
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+	if got := srv.Hub().Subscriptions(); len(got) != 1 {
+		t.Fatalf("detached subscription should stay registered, hub has %v", got)
 	}
 
 	ingCli, err := Dial(addr)
@@ -216,6 +221,30 @@ func TestSubscriberDisconnectCleansUp(t *testing.T) {
 		{X: 6, Y: 1, T: 6}, {X: 10, Y: 0.5, T: 10},
 	}}}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSubscriberDisconnectReapedWithoutRetention covers the MaxDetached<0
+// configuration: disconnect unregisters the subscription from the hub.
+func TestSubscriberDisconnectReapedWithoutRetention(t *testing.T) {
+	st := liveStore(t)
+	srv, addr := startServerWith(t, st, Options{MaxDetached: -1})
+
+	subCli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := subCli.Subscribe(engine.Request{Kind: engine.KindUQ31, QueryOID: 1, Tb: 0, Te: 10}); err != nil {
+		t.Fatal(err)
+	}
+	subCli.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for len(srv.Hub().Subscriptions()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscription still live after disconnect: %v", srv.Hub().Subscriptions())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

@@ -109,10 +109,32 @@ const DefaultWriteTimeout = 10 * time.Second
 // ErrServerClosed is returned by Serve after Close.
 var ErrServerClosed = errors.New("modserver: server closed")
 
+// ErrConnClosed reports a client call whose connection closed mid-read —
+// the transport died cleanly rather than delivering a reply. Retry layers
+// (the cluster RemoteShard) match on it to classify the failure as
+// transient.
+var ErrConnClosed = errors.New("modserver: connection closed")
+
+// ErrEventStalled reports the server-side severance of a subscription
+// stream: an event write missed the per-event deadline, so the server
+// closed the connection after a best-effort coded notice. Distinguishes
+// "you read too slowly" from a server crash.
+var ErrEventStalled = errors.New("modserver: subscription severed: event write stalled")
+
 // codeNotFound marks a structured not-found failure on the wire so clients
 // can rebuild the mod.ErrNotFound identity across the network boundary
 // (the cluster router routes on it when resolving point lookups).
 const codeNotFound = "not_found"
+
+// codeEventGap marks a subscribe-resume whose from_seq has been truncated
+// out of the hub's bounded backlog (continuous.ErrEventGap across the
+// wire).
+const codeEventGap = "event_gap"
+
+// codeEventStalled marks the parting line the server writes before
+// severing a subscriber whose event stream stalled (ErrEventStalled
+// across the wire).
+const codeEventStalled = "event_stalled"
 
 // wireError carries a server-reported error message while preserving a
 // sentinel identity for errors.Is across the wire.
@@ -173,8 +195,14 @@ type Request struct {
 	OIDs []int64 `json:"oids,omitempty"`
 	// Request carries the "subscribe" op's standing query.
 	Request *engine.Request `json:"request,omitempty"`
-	// SubID identifies the subscription for the "unsubscribe" op.
+	// SubID identifies the subscription for the "unsubscribe" op — and,
+	// on a "subscribe" op, selects the resume path: re-attach to the
+	// detached subscription SubID instead of registering a new one.
 	SubID int64 `json:"sub_id,omitempty"`
+	// FromSeq is the last event sequence the resuming client saw; the
+	// server replays the retained events after it (continuous.Hub.Replay)
+	// before resuming the live stream. Used only with a resume subscribe.
+	FromSeq uint64 `json:"from_seq,omitempty"`
 }
 
 // WireApplied is one applied live update on the wire. ChangedFrom is
@@ -278,6 +306,37 @@ type Options struct {
 	// discards it — the multi-frame analogue of MaxLineBytes. Zero means
 	// DefaultMaxGatherBytes; negative disables the cap.
 	MaxGatherBytes int
+	// Journal, when set, makes the mutation path write-ahead durable:
+	// every ingest batch is appended to it before the hub applies it, and
+	// AfterApply runs after a successful apply (where a wal.Log decides
+	// whether to snapshot). Insert and trip ops route through the same
+	// journaled ingest; delete is rejected (it has no journal record and
+	// would silently diverge recovery).
+	Journal Journal
+	// MaxDetached bounds how many subscriptions closed connections may
+	// leave detached awaiting a from_seq resume; past it the oldest is
+	// dropped for real. Zero means DefaultMaxDetached; negative disables
+	// detaching (a closed connection's subscriptions die immediately, the
+	// pre-durability behavior).
+	MaxDetached int
+	// EventBacklog is the per-subscription replay backlog bound, passed
+	// through to the hub (continuous.HubOptions.BacklogCap): zero selects
+	// continuous.DefaultBacklog, negative disables retention.
+	EventBacklog int
+}
+
+// DefaultMaxDetached bounds detached (resumable) subscriptions per
+// server.
+const DefaultMaxDetached = 64
+
+// Journal is the write-ahead hook the ingest path drives (implemented by
+// wal.Log). Append must make the batch durable before it returns; it runs
+// before the batch is applied, under the server's ingest serialization
+// lock. AfterApply runs after a successful apply with the post-batch
+// store — the snapshot opportunity.
+type Journal interface {
+	Append(updates []mod.Update) error
+	AfterApply(store *mod.Store) error
 }
 
 // Server serves a store over a listener. Batch queries run through one
@@ -288,23 +347,32 @@ type Server struct {
 	store        *mod.Store
 	engine       *engine.Engine
 	hub          *continuous.Hub
+	journal      Journal
 	readTimeout  time.Duration
 	writeTimeout time.Duration
 	maxLine      int
 	maxGather    int
+	maxDetached  int
 
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
 
-	// emitMu serializes ingest + event fan-out, so subscribers observe
+	// emitMu serializes every journaled mutation + event fan-out, so the
+	// journal's append order is the apply order and subscribers observe
 	// event batches in ingest order (per-subscription Seq is monotone on
 	// the wire, not just in the hub).
 	emitMu sync.Mutex
-	// subsMu guards the subscription → connection routing table.
+	// subsMu guards the subscription → connection routing table and the
+	// detached set.
 	subsMu      sync.Mutex
 	subscribers map[int64]*connState
+	// detached holds subscriptions whose connection closed but which stay
+	// live in the hub awaiting a from_seq resume; detachedOrder is their
+	// LRU eviction order (oldest first, bounded by maxDetached).
+	detached      map[int64]struct{}
+	detachedOrder []int64
 }
 
 // connState is one connection's locked writer plus the subscriptions it
@@ -384,13 +452,21 @@ func NewServerWith(store *mod.Store, eng *engine.Engine, o Options) *Server {
 	if o.MaxGatherBytes == 0 {
 		o.MaxGatherBytes = DefaultMaxGatherBytes
 	}
+	switch {
+	case o.MaxDetached == 0:
+		o.MaxDetached = DefaultMaxDetached
+	case o.MaxDetached < 0:
+		o.MaxDetached = 0
+	}
 	return &Server{
 		store: store, engine: eng,
-		hub:         continuous.NewEngineHub(store, eng),
+		hub:         continuous.NewEngineHubWith(store, eng, continuous.HubOptions{BacklogCap: o.EventBacklog}),
+		journal:     o.Journal,
 		readTimeout: o.ReadTimeout, writeTimeout: o.WriteTimeout, maxLine: o.MaxLineBytes,
-		maxGather:   o.MaxGatherBytes,
+		maxGather: o.MaxGatherBytes, maxDetached: o.MaxDetached,
 		conns:       make(map[net.Conn]struct{}),
 		subscribers: make(map[int64]*connState),
+		detached:    make(map[int64]struct{}),
 	}
 }
 
@@ -505,6 +581,13 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 			continue
+		} else if req.Op == "subscribe" && req.SubID != 0 {
+			// A resume writes its reply and the replayed backlog itself
+			// (the two must be adjacent under the emission lock).
+			if !s.resumeSubscribe(req, cs) {
+				return
+			}
+			continue
 		} else {
 			resp = s.dispatch(req, cs)
 		}
@@ -522,19 +605,108 @@ func (s *Server) isSubscriber(cs *connState) bool {
 	return len(cs.subs) > 0
 }
 
-// dropSubscriber unregisters every subscription a closing connection
-// owned.
+// dropSubscriber detaches every subscription a closing connection owned:
+// the subscription stays live in the hub (its events keep accumulating in
+// the bounded backlog) so a reconnecting client can resume with from_seq.
+// The detached set is LRU-bounded; evicted subscriptions — and all of
+// them when detaching is disabled — are unsubscribed for real.
 func (s *Server) dropSubscriber(cs *connState) {
 	s.subsMu.Lock()
-	ids := make([]int64, 0, len(cs.subs))
+	var evicted []int64
 	for id := range cs.subs {
-		ids = append(ids, id)
 		delete(s.subscribers, id)
+		delete(cs.subs, id)
+		if s.maxDetached <= 0 {
+			evicted = append(evicted, id)
+			continue
+		}
+		s.detached[id] = struct{}{}
+		s.detachedOrder = append(s.detachedOrder, id)
+	}
+	for len(s.detached) > s.maxDetached {
+		oldest := s.detachedOrder[0]
+		s.detachedOrder = s.detachedOrder[1:]
+		if _, ok := s.detached[oldest]; ok {
+			delete(s.detached, oldest)
+			evicted = append(evicted, oldest)
+		}
+	}
+	// Resume deletes from the set but leaves its order entry; compact the
+	// stale entries once they dominate so the slice stays bounded.
+	if len(s.detachedOrder) > 2*len(s.detached)+16 {
+		kept := s.detachedOrder[:0]
+		seen := make(map[int64]struct{}, len(s.detached))
+		for _, id := range s.detachedOrder {
+			if _, live := s.detached[id]; !live {
+				continue
+			}
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			kept = append(kept, id)
+		}
+		s.detachedOrder = kept
 	}
 	s.subsMu.Unlock()
-	for _, id := range ids {
+	for _, id := range evicted {
 		s.hub.Unsubscribe(id)
 	}
+}
+
+// resumeSubscribe re-attaches a detached subscription to this connection
+// and replays the events its client missed since from_seq. Everything —
+// gap check, attachment, the OK reply, and the replayed backlog — happens
+// under the emission lock, so no live event can interleave: the client
+// sees exactly the missed diffs in order, then the live stream. The
+// return value reports whether the connection is still usable.
+func (s *Server) resumeSubscribe(req Request, cs *connState) bool {
+	s.emitMu.Lock()
+	fail := func(resp Response) bool {
+		s.emitMu.Unlock()
+		return cs.send(resp) == nil
+	}
+	s.subsMu.Lock()
+	owner, attached := s.subscribers[req.SubID]
+	_, isDetached := s.detached[req.SubID]
+	s.subsMu.Unlock()
+	if attached && owner != cs {
+		return fail(Response{Error: fmt.Sprintf("subscribe: subscription %d is owned by a live connection", req.SubID)})
+	}
+	if !attached && !isDetached {
+		return fail(Response{Error: fmt.Sprintf("subscribe: unknown or expired subscription %d", req.SubID)})
+	}
+	events, err := s.hub.Replay(req.SubID, req.FromSeq)
+	if err != nil {
+		if errors.Is(err, continuous.ErrEventGap) {
+			// The backlog was truncated past from_seq: the missed diffs are
+			// unrecoverable. The subscription stays detached — the client
+			// decides whether to resume from the present or re-subscribe.
+			return fail(Response{Error: err.Error(), Code: codeEventGap})
+		}
+		return fail(Response{Error: err.Error()})
+	}
+	res, err := s.hub.Answer(req.SubID)
+	if err != nil {
+		return fail(Response{Error: err.Error()})
+	}
+	s.subsMu.Lock()
+	delete(s.detached, req.SubID)
+	s.subscribers[req.SubID] = cs
+	cs.subs[req.SubID] = struct{}{}
+	s.subsMu.Unlock()
+	defer s.emitMu.Unlock()
+	ans := encodeAnswer(res)
+	if cs.send(Response{OK: true, SubID: req.SubID, Answer: &ans}) != nil {
+		return false
+	}
+	for _, ev := range events {
+		ev := ev
+		if cs.sendEvent(Response{OK: true, Event: &ev}) != nil {
+			return false
+		}
+	}
+	return true
 }
 
 func (s *Server) dispatch(req Request, cs *connState) Response {
@@ -570,6 +742,12 @@ func (s *Server) dispatch(req Request, cs *connState) Response {
 		if err != nil {
 			return fail(err)
 		}
+		if s.journal != nil {
+			if resp := s.insertJournaled(tr); resp.Error != "" {
+				return resp
+			}
+			return Response{OK: true}
+		}
 		if err := s.store.Insert(tr); err != nil {
 			return fail(err)
 		}
@@ -588,6 +766,11 @@ func (s *Server) dispatch(req Request, cs *connState) Response {
 		}
 		return Response{OK: true, OID: tr.OID, Verts: out}
 	case "delete":
+		if s.journal != nil {
+			// The journal has no delete record: a non-journaled delete
+			// would make recovery silently resurrect the object.
+			return Response{Error: "modserver: delete is not durable with a journal enabled"}
+		}
 		if err := s.store.Delete(req.OID); err != nil {
 			if errors.Is(err, mod.ErrNotFound) {
 				return Response{Error: err.Error(), Code: codeNotFound}
@@ -604,7 +787,11 @@ func (s *Server) dispatch(req Request, cs *connState) Response {
 		if err != nil {
 			return fail(err)
 		}
-		if err := s.store.Insert(tr); err != nil {
+		if s.journal != nil {
+			if resp := s.insertJournaled(tr); resp.Error != "" {
+				return resp
+			}
+		} else if err := s.store.Insert(tr); err != nil {
 			return fail(err)
 		}
 		out := make([][3]float64, len(tr.Verts))
@@ -764,12 +951,32 @@ func (s *Server) doIngest(req Request) Response {
 	}
 	s.emitMu.Lock()
 	defer s.emitMu.Unlock()
+	return s.ingestLocked(updates)
+}
+
+// ingestLocked journals, applies, and fans out one update batch. Caller
+// holds emitMu — the lock under which journal order equals apply order.
+func (s *Server) ingestLocked(updates []mod.Update) Response {
+	if s.journal != nil {
+		// Write-ahead: the batch must be durable before it is applied. A
+		// batch the journal rejected is not applied at all.
+		if err := s.journal.Append(updates); err != nil {
+			return Response{Error: fmt.Sprintf("modserver: journal append: %v", err)}
+		}
+	}
 	applied, events, err := s.hub.Ingest(context.Background(), updates)
 	if err != nil {
 		// A mid-batch failure still committed a prefix: report it with the
 		// error (the mod.ApplyUpdates contract), so callers — the cluster
-		// router above all — know exactly which updates landed.
+		// router above all — know exactly which updates landed. The journal
+		// holds the full batch; replay reproduces the same prefix.
 		return Response{Error: err.Error(), Applied: encodeApplied(applied)}
+	}
+	if s.journal != nil {
+		// A failed snapshot does not lose data — the appended log still
+		// reaches the current state — it only defers log truncation to a
+		// later, hopefully healthier, snapshot attempt.
+		_ = s.journal.AfterApply(s.store)
 	}
 	for _, ev := range events {
 		s.subsMu.Lock()
@@ -781,9 +988,15 @@ func (s *Server) doIngest(req Request) Response {
 		ev := ev
 		if err := cs.sendEvent(Response{OK: true, Event: &ev}); err != nil {
 			// The subscriber stalled past the write deadline or is gone:
-			// close its connection so the handler unwinds and unregisters
-			// every subscription it owned, instead of dropping events into
-			// a wedged stream forever.
+			// tell it why (best effort — the parting line often fits the
+			// little buffer room a huge stuck event could not) and close
+			// its connection so the handler unwinds and detaches every
+			// subscription it owned, instead of dropping events into a
+			// wedged stream forever.
+			_ = cs.sendEvent(Response{
+				Error: fmt.Sprintf("%v: %v", ErrEventStalled, err),
+				Code:  codeEventStalled,
+			})
 			_ = cs.conn.Close()
 			continue
 		}
@@ -810,9 +1023,42 @@ func encodeApplied(applied []mod.Applied) []WireApplied {
 	return out
 }
 
+// insertJournaled routes an insert-shaped mutation (insert/trip op with a
+// journal active) through the journaled ingest path, so it is durable and
+// ordered with the update stream. The duplicate-OID check happens under
+// emitMu — the lock every journaled mutation holds — so it cannot race
+// another insert into a plan revision.
+func (s *Server) insertJournaled(tr *trajectory.Trajectory) Response {
+	s.emitMu.Lock()
+	defer s.emitMu.Unlock()
+	if _, err := s.store.Get(tr.OID); err == nil {
+		return Response{Error: fmt.Sprintf("%v: %d", mod.ErrDuplicateOID, tr.OID)}
+	}
+	return s.ingestLocked([]mod.Update{{OID: tr.OID, Verts: tr.Verts}})
+}
+
+// encodeAnswer flattens a result onto the wire Answer shape.
+func encodeAnswer(res engine.Result) Answer {
+	ans := Answer{OK: true}
+	ex := res.Explain
+	ans.Explain = &ex
+	switch {
+	case res.IsBool:
+		b := res.Bool
+		ans.IsBool, ans.Bool = true, &b
+	case res.Pairs != nil:
+		ans.Pairs = res.Pairs
+	default:
+		ans.OIDs = res.OIDs
+	}
+	return ans
+}
+
 // doSubscribe registers a standing request owned by this connection and
 // returns its ID with the initial answer. Events stream asynchronously on
-// the same connection as {"ok":true,"event":{...}} lines.
+// the same connection as {"ok":true,"event":{...}} lines. (The resume
+// path — SubID set — never reaches here; the handler routes it to
+// resumeSubscribe.)
 func (s *Server) doSubscribe(req Request, cs *connState) Response {
 	if req.Request == nil {
 		return Response{Error: "subscribe: missing request"}
@@ -831,29 +1077,22 @@ func (s *Server) doSubscribe(req Request, cs *connState) Response {
 	s.subscribers[id] = cs
 	cs.subs[id] = struct{}{}
 	s.subsMu.Unlock()
-	ans := Answer{OK: true}
-	ex := res.Explain
-	ans.Explain = &ex
-	switch {
-	case res.IsBool:
-		b := res.Bool
-		ans.IsBool, ans.Bool = true, &b
-	case res.Pairs != nil:
-		ans.Pairs = res.Pairs
-	default:
-		ans.OIDs = res.OIDs
-	}
+	ans := encodeAnswer(res)
 	return Response{OK: true, SubID: id, Answer: &ans}
 }
 
-// doUnsubscribe drops a subscription by ID — only one this connection
-// owns, so a client cannot cancel someone else's stream.
+// doUnsubscribe drops a subscription by ID — one this connection owns, or
+// a detached one (its previous owner is gone, and canceling beats leaving
+// it to LRU eviction); never another live connection's stream.
 func (s *Server) doUnsubscribe(req Request, cs *connState) Response {
 	s.subsMu.Lock()
 	_, owned := cs.subs[req.SubID]
 	if owned {
 		delete(s.subscribers, req.SubID)
 		delete(cs.subs, req.SubID)
+	} else if _, detached := s.detached[req.SubID]; detached {
+		delete(s.detached, req.SubID)
+		owned = true
 	}
 	s.subsMu.Unlock()
 	if !owned || !s.hub.Unsubscribe(req.SubID) {
@@ -970,7 +1209,7 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 			if err := c.sc.Err(); err != nil {
 				return Response{}, err
 			}
-			return Response{}, errors.New("modserver: connection closed")
+			return Response{}, ErrConnClosed
 		}
 		resp = Response{}
 		if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
@@ -990,8 +1229,13 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 	if !resp.OK {
 		// Structured codes rebuild sentinel identities across the wire,
 		// with the server's message preserved verbatim.
-		if resp.Code == codeNotFound {
+		switch resp.Code {
+		case codeNotFound:
 			return resp, wireError{msg: resp.Error, is: mod.ErrNotFound}
+		case codeEventGap:
+			return resp, wireError{msg: resp.Error, is: continuous.ErrEventGap}
+		case codeEventStalled:
+			return resp, wireError{msg: resp.Error, is: ErrEventStalled}
 		}
 		return resp, errors.New(resp.Error)
 	}
@@ -1276,24 +1520,49 @@ func (c *Client) Subscribe(req engine.Request) (int64, engine.Result, error) {
 	if err != nil {
 		return 0, engine.Result{Kind: req.Kind, Err: err}, err
 	}
-	res := engine.Result{Kind: req.Kind}
-	if a := resp.Answer; a != nil {
-		if a.Explain != nil {
-			res.Explain = *a.Explain
-		}
-		switch {
-		case a.IsBool:
-			res.IsBool = true
-			if a.Bool != nil {
-				res.Bool = *a.Bool
-			}
-		case a.Pairs != nil:
-			res.Pairs = a.Pairs
-		default:
-			res.OIDs = a.OIDs
-		}
-	}
+	res := decodeAnswerResult(resp.Answer)
+	res.Kind = req.Kind
 	return resp.SubID, res, nil
+}
+
+// Resume re-attaches this connection to a subscription a previous
+// connection owned, replaying every event after fromSeq (the last
+// sequence this client saw; 0 replays the whole retained backlog). The
+// returned result is the subscription's current answer; the missed diff
+// events follow on the event stream (NextEvent) in order, with their
+// original sequence numbers, before any live events. A backlog truncated
+// past fromSeq fails with continuous.ErrEventGap — take a fresh Subscribe
+// (or a Resume at the current seq) and treat its answer as the new
+// baseline.
+func (c *Client) Resume(subID int64, fromSeq uint64) (engine.Result, error) {
+	resp, err := c.roundTrip(Request{Op: "subscribe", SubID: subID, FromSeq: fromSeq})
+	if err != nil {
+		return engine.Result{Err: err}, err
+	}
+	return decodeAnswerResult(resp.Answer), nil
+}
+
+// decodeAnswerResult rebuilds a subscription answer from the wire.
+func decodeAnswerResult(a *Answer) engine.Result {
+	var res engine.Result
+	if a == nil {
+		return res
+	}
+	if a.Explain != nil {
+		res.Explain = *a.Explain
+	}
+	switch {
+	case a.IsBool:
+		res.IsBool = true
+		if a.Bool != nil {
+			res.Bool = *a.Bool
+		}
+	case a.Pairs != nil:
+		res.Pairs = a.Pairs
+	default:
+		res.OIDs = a.OIDs
+	}
+	return res
 }
 
 // Unsubscribe drops a subscription by ID.
@@ -1304,7 +1573,10 @@ func (c *Client) Unsubscribe(id int64) error {
 
 // NextEvent returns the next subscription diff event, blocking until one
 // arrives (or the connection closes). Events buffered while waiting for
-// request replies drain first.
+// request replies drain first. A server that severed this stream because
+// the client read too slowly is reported as ErrEventStalled (from the
+// server's parting event_stalled line), distinct from the bare
+// ErrConnClosed of a died transport.
 func (c *Client) NextEvent() (continuous.Event, error) {
 	if len(c.pending) > 0 {
 		ev := c.pending[0]
@@ -1316,7 +1588,7 @@ func (c *Client) NextEvent() (continuous.Event, error) {
 			if err := c.sc.Err(); err != nil {
 				return continuous.Event{}, err
 			}
-			return continuous.Event{}, errors.New("modserver: connection closed")
+			return continuous.Event{}, ErrConnClosed
 		}
 		var resp Response
 		if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
@@ -1324,6 +1596,9 @@ func (c *Client) NextEvent() (continuous.Event, error) {
 		}
 		if resp.Event != nil {
 			return *resp.Event, nil
+		}
+		if resp.Code == codeEventStalled {
+			return continuous.Event{}, wireError{msg: resp.Error, is: ErrEventStalled}
 		}
 		// A non-event line here means the caller mixed request/reply
 		// traffic with event draining out of order; skip it.

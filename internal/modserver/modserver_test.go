@@ -32,6 +32,34 @@ func startServer(t *testing.T, store *mod.Store) (*Server, string) {
 	return srv, l.Addr().String()
 }
 
+// startServerWith is startServer with explicit server options.
+func startServerWith(t *testing.T, store *mod.Store, o Options) (*Server, string) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServerWith(store, nil, o)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(l)
+	}()
+	t.Cleanup(func() {
+		srv.Close()
+		<-done
+	})
+	return srv, l.Addr().String()
+}
+
+// isDetached reports whether sub id sits in the detached (resumable) set.
+func (s *Server) isDetached(id int64) bool {
+	s.subsMu.Lock()
+	defer s.subsMu.Unlock()
+	_, ok := s.detached[id]
+	return ok
+}
+
 func seededStore(t *testing.T, n int) *mod.Store {
 	t.Helper()
 	st, err := mod.NewUniformStore(0.5)

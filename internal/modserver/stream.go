@@ -266,7 +266,7 @@ func (c *Client) roundTripStream(req Request) (Response, error) {
 			if err := c.sc.Err(); err != nil {
 				return Response{}, err
 			}
-			return Response{}, errors.New("modserver: connection closed")
+			return Response{}, ErrConnClosed
 		}
 		final, ev, err := acc.AddLine(c.sc.Bytes())
 		if err != nil {

@@ -1,0 +1,119 @@
+package simtest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+// TestChaosSoakRecovery is the nightly durability soak: longer seeded
+// worlds than the PR gate, fsync-per-append journaling, and a recovery
+// at every step that must stay byte-identical to the mirror. The WAL
+// directories and a machine-readable recovery report survive the run
+// under $CHAOS_DIR so a failure ships the exact on-disk state that
+// produced it. Skipped unless CHAOS_SOAK is set.
+func TestChaosSoakRecovery(t *testing.T) {
+	if os.Getenv("CHAOS_SOAK") == "" {
+		t.Skip("set CHAOS_SOAK=1 (make chaos-soak) to run the durability soak")
+	}
+	artifacts := os.Getenv("CHAOS_DIR")
+	if artifacts == "" {
+		artifacts = t.TempDir()
+	}
+	if err := os.MkdirAll(artifacts, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	type report struct {
+		Seed        int64  `json:"seed"`
+		Steps       int    `json:"steps"`
+		FinalSeq    uint64 `json:"final_seq"`
+		SnapshotSeq uint64 `json:"snapshot_seq"`
+		Replayed    uint64 `json:"replayed"`
+		StoreBytes  int    `json:"store_bytes"`
+		WALDir      string `json:"wal_dir"`
+	}
+	var reports []report
+
+	for _, seed := range []int64{31, 32, 33} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			cfg := Config{Seed: seed, N: 80, Held: 6, R: 0.5, Steps: 20, PerStep: 8}
+			w, err := NewWorld(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			init, err := w.InitialStore()
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := filepath.Join(artifacts, fmt.Sprintf("wal-seed%d", seed))
+			if err := os.RemoveAll(dir); err != nil {
+				t.Fatal(err)
+			}
+			log, err := wal.Create(dir, init, wal.Options{Sync: true, SnapshotEvery: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer log.Close()
+
+			var last wal.RecoverInfo
+			var lastBytes int
+			for step := 0; step < cfg.Steps; step++ {
+				batch, err := w.Step()
+				if err != nil {
+					t.Fatal(err)
+				}
+				truth, err := w.SnapshotStore()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := log.Append(batch); err != nil {
+					t.Fatalf("step %d: append: %v", step, err)
+				}
+				if err := log.AfterApply(truth); err != nil {
+					t.Fatalf("step %d: after-apply: %v", step, err)
+				}
+				rec, info, err := wal.Recover(dir)
+				if err != nil {
+					t.Fatalf("step %d: recover: %v", step, err)
+				}
+				if info.Torn || info.Seq() != uint64(step+1) {
+					t.Fatalf("step %d: recovery info %+v", step, info)
+				}
+				var got, want bytes.Buffer
+				if err := rec.SaveBinary(&got); err != nil {
+					t.Fatal(err)
+				}
+				if err := truth.SaveBinary(&want); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got.Bytes(), want.Bytes()) {
+					t.Fatalf("step %d: recovered store diverges from mirror (%d vs %d bytes); WAL kept at %s",
+						step, got.Len(), want.Len(), dir)
+				}
+				last, lastBytes = info, got.Len()
+			}
+			reports = append(reports, report{
+				Seed: seed, Steps: cfg.Steps, FinalSeq: last.Seq(),
+				SnapshotSeq: last.SnapshotSeq, Replayed: last.Replayed,
+				StoreBytes: lastBytes, WALDir: dir,
+			})
+		})
+	}
+
+	b, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(artifacts, "recovery-report.json")
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("recovery report: %s", out)
+}

@@ -22,6 +22,13 @@
 //     keeps standing Request subscriptions fresh across ingest batches,
 //     emitting diff events and re-evaluating only what an update can
 //     actually affect,
+//   - durability and fault tolerance: a write-ahead log with periodic
+//     snapshots and byte-identical crash recovery (CreateWAL / OpenWAL /
+//     RecoverWAL, wired into cmd/modserver via -wal-dir / -resume),
+//     per-subscription event replay behind LiveHub.Replay, and a cluster
+//     serving layer that retries transient shard failures
+//     (RetryPolicy) or, with ClusterOptions.Degraded, answers from the
+//     reachable shards with Explain.Degraded provenance,
 //   - the UQL query language (the SQL sketch of Section 4), and
 //   - the probabilistic machinery for instantaneous NN queries
 //     (Sections 2.2, 3.1).
@@ -67,6 +74,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/envelope"
+	"repro/internal/faultinject"
 	"repro/internal/mod"
 	"repro/internal/prune"
 	"repro/internal/queries"
@@ -74,6 +82,7 @@ import (
 	"repro/internal/uncertain"
 	"repro/internal/updf"
 	"repro/internal/uql"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -512,6 +521,95 @@ func NewLiveHub(store *Store, eng *Engine) *LiveHub {
 // the union of the shards.
 func NewClusterHub(router *Router) *LiveHub {
 	return cluster.NewRouterHub(router)
+}
+
+// LiveHubOptions tunes a hub's durability-adjacent knobs — today the
+// per-subscription event backlog bound behind LiveHub.Replay.
+type LiveHubOptions = continuous.HubOptions
+
+// NewLiveHubWith mounts a single-store hub with explicit options.
+func NewLiveHubWith(store *Store, eng *Engine, o LiveHubOptions) *LiveHub {
+	return continuous.NewEngineHubWith(store, eng, o)
+}
+
+// ErrEventGap reports a replay request behind a truncated event backlog:
+// the missed events are gone, so the subscriber must re-read its full
+// answer instead of patching diffs.
+var ErrEventGap = continuous.ErrEventGap
+
+// --- durability (write-ahead log + crash recovery) ---
+
+// WAL is an open write-ahead log: Append journals each applied ingest
+// batch, AfterApply drives the periodic-snapshot policy, and the
+// directory recovers byte-identically after a crash. It satisfies the
+// modserver journal contract, so a serving process persists every
+// acknowledged mutation (see cmd/modserver's -wal-dir / -resume).
+type WAL = wal.Log
+
+// WALOptions tunes durability (fsync per append) and the snapshot
+// rotation cadence.
+type WALOptions = wal.Options
+
+// WALRecoverInfo describes what a recovery found: the snapshot
+// generation, batches replayed on top, and whether a torn tail was
+// truncated away.
+type WALRecoverInfo = wal.RecoverInfo
+
+// CreateWAL initializes dir with a snapshot of store and an empty log.
+func CreateWAL(dir string, store *Store, o WALOptions) (*WAL, error) {
+	return wal.Create(dir, store, o)
+}
+
+// OpenWAL recovers dir and returns the log positioned to continue,
+// alongside the recovered store.
+func OpenWAL(dir string, o WALOptions) (*WAL, *Store, WALRecoverInfo, error) {
+	return wal.Open(dir, o)
+}
+
+// RecoverWAL rebuilds the store from dir without opening the log for
+// writing — the read-only restart path.
+func RecoverWAL(dir string) (*Store, WALRecoverInfo, error) {
+	return wal.Recover(dir)
+}
+
+// --- fault-tolerant cluster serving ---
+
+// RemoteShardOptions tunes a remote shard's transport: a custom dialer
+// (fault injection, proxies) and the retry policy for idempotent calls.
+type RemoteShardOptions = cluster.RemoteOptions
+
+// RetryPolicy bounds a remote shard's retries: attempts, exponential
+// backoff with jitter, and a per-attempt timeout.
+type RetryPolicy = cluster.RetryPolicy
+
+// NewRemoteShardWith names a shard served by a modserver at addr with
+// explicit transport options.
+func NewRemoteShardWith(name, addr string, o RemoteShardOptions) ClusterShard {
+	return cluster.NewRemoteShardWith(name, addr, o)
+}
+
+// ErrShardUnavailable matches (errors.Is) any shard transport failure —
+// refused dials, lost connections — after the shard's retry budget is
+// spent. ShardUnavailableError carries the shard's identity.
+var ErrShardUnavailable = cluster.ErrShardUnavailable
+
+// ShardUnavailableError is the typed unavailability failure: which shard
+// (index and name) and the underlying transport error.
+type ShardUnavailableError = cluster.ShardUnavailableError
+
+// FaultPlan declares a deterministic fault mix for chaos testing:
+// refused dials, dropped connections, injected latency.
+type FaultPlan = faultinject.Plan
+
+// FaultInjector dials connections through a FaultPlan — wire its Dial
+// into RemoteShardOptions to chaos-test a cluster without real network
+// failures.
+type FaultInjector = faultinject.Injector
+
+// NewFaultInjector seeds an injector; the same seed and operation
+// sequence reproduce the same faults.
+func NewFaultInjector(seed int64, plan FaultPlan) *FaultInjector {
+	return faultinject.New(seed, plan)
 }
 
 // --- UQL (Section 4's SQL sketch) ---
