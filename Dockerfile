@@ -1,0 +1,12 @@
+# Static modserver image: one binary serves both roles — the TCP shard
+# protocol (default) and the HTTP gateway (`serve`). docker-compose.yml
+# wires two shards behind one gateway, all TLS.
+FROM golang:1.24 AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -o /out/modserver ./cmd/modserver
+
+FROM gcr.io/distroless/static-debian12:nonroot
+COPY --from=build /out/modserver /usr/local/bin/modserver
+ENTRYPOINT ["/usr/local/bin/modserver"]

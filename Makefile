@@ -1,9 +1,10 @@
-# CI and humans invoke the same targets. The ci.yml workflow runs three
+# CI and humans invoke the same targets. The ci.yml workflow runs
 # parallel jobs — lint (`make fmt vet staticcheck`), test (`make build
-# race cover`), and bench (`make bench-smoke bench-api bench-prune
-# bench-shard bench-live` plus a `figures -fig summary` step table) — and
-# the nightly workflow adds `make bench-shard-large bench` with the
-# MIN_SHARD_SPEEDUP=2.0 gate.
+# race cover`), chaos (`make chaos`), serve (`make serve-smoke`, the
+# Docker compose cluster), and bench (`make bench-smoke bench-api
+# bench-prune bench-shard bench-live` plus a `figures -fig summary` step
+# table) — and the nightly workflow adds `make bench-shard-large bench`
+# with the MIN_SHARD_SPEEDUP=2.0 gate.
 
 GO ?= go
 
@@ -15,7 +16,7 @@ GO ?= go
 # committed BENCH_shard.json baseline minus a tolerance.
 MIN_SHARD_SPEEDUP ?= 0
 
-.PHONY: all build test race bench bench-smoke bench-prune bench-api bench-shard bench-shard-large bench-live cover fmt vet staticcheck chaos chaos-soak clean
+.PHONY: all build test race bench bench-smoke bench-prune bench-api bench-shard bench-shard-large bench-live cover fmt vet staticcheck chaos chaos-soak serve-smoke clean
 
 all: fmt vet staticcheck build test
 
@@ -79,9 +80,10 @@ bench-live:
 
 # Per-package coverage floors for the subsystems whose correctness
 # arguments live in their tests (dirty-set soundness, prune
-# conservativeness, the distributed bound exchange). Writes COVERAGE.txt
-# and fails below 80%.
-COVER_PKGS = ./internal/continuous ./internal/prune ./internal/cluster
+# conservativeness, the distributed bound exchange, the gateway's
+# protocol/auth/SSE surface and its metric exposition). Writes
+# COVERAGE.txt and fails below 80%.
+COVER_PKGS = ./internal/continuous ./internal/prune ./internal/cluster ./internal/gateway ./internal/metrics
 cover:
 	@set -e; rm -f COVERAGE.txt; \
 	for pkg in $(COVER_PKGS); do \
@@ -109,6 +111,14 @@ chaos:
 CHAOS_DIR ?= chaos-artifacts
 chaos-soak:
 	CHAOS_SOAK=1 CHAOS_DIR=$(abspath $(CHAOS_DIR)) $(GO) test -race -timeout 45m -run 'TestChaosSoak' -v ./internal/simtest ./internal/cluster
+
+# Production-serving smoke (the CI `serve` job): build the Docker image,
+# stand up the 2-shard TLS compose cluster behind the gateway, and drive
+# the full loop from outside — authenticated TLS query, SSE subscribe,
+# live ingest producing a diff event, 401 without a token, non-zero
+# /metrics. Needs docker compose.
+serve-smoke:
+	./scripts/compose-smoke.sh
 
 # Static analysis. SA1019 flags in-repo uses of the deprecated pre-Request
 # surface (NewQueryProcessor, Exec/ExecBatch, RunUQL, ...) so migrations

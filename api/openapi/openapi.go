@@ -1,0 +1,11 @@
+// Package openapi carries the gateway's committed OpenAPI 3 description.
+// The YAML is hand-written and versioned with the code; the gateway
+// serves it verbatim at GET /openapi.yaml.
+package openapi
+
+import _ "embed"
+
+// Spec is the OpenAPI 3 document for the HTTP gateway.
+//
+//go:embed gateway.yaml
+var Spec []byte

@@ -1,0 +1,183 @@
+package main
+
+// The serve subcommand: mount the HTTP+JSON gateway (internal/gateway)
+// over either a local engine or a cluster of modserver shard processes.
+//
+//	modserver serve -http :8080 -r 0.5
+//	modserver serve -http :8443 -tls-cert gw.pem -tls-key gw.key -token t \
+//	    -shards shard0:7701,shard1:7702 -shard-ca ca.pem -shard-token s
+//
+// Local mode evaluates in-process and supports the full durability story
+// (-wal-dir/-resume, final fsync on drain). Cluster mode scatters to the
+// named shards — TLS when -shard-ca or -shard-insecure is given — and
+// keeps retrying the initial probe for -shard-wait so the gateway can
+// start before its shards (container orchestration ordering).
+
+import (
+	"context"
+	"crypto/tls"
+	"crypto/x509"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/continuous"
+	"repro/internal/engine"
+	"repro/internal/gateway"
+	"repro/internal/wal"
+)
+
+func runServe(args []string) {
+	fs := flag.NewFlagSet("modserver serve", flag.ExitOnError)
+	var (
+		httpAddr      = fs.String("http", "127.0.0.1:8080", "gateway listen address")
+		tlsCert       = fs.String("tls-cert", "", "serve HTTPS with this PEM certificate (requires -tls-key)")
+		tlsKey        = fs.String("tls-key", "", "PEM private key for -tls-cert")
+		token         = fs.String("token", "", "require `Authorization: Bearer <token>` on every /v1 route")
+		shardList     = fs.String("shards", "", "comma-separated shard addresses; empty serves a local engine")
+		shardToken    = fs.String("shard-token", "", "bearer token presented to each shard")
+		shardCA       = fs.String("shard-ca", "", "PEM CA bundle verifying shard TLS (enables TLS dialing)")
+		shardInsecure = fs.Bool("shard-insecure", false, "dial shards over TLS without verifying certificates")
+		shardWait     = fs.Duration("shard-wait", 30*time.Second, "keep retrying the initial shard probe this long")
+		degraded      = fs.Bool("degraded", false, "serve partial answers when shards are unreachable")
+		storePath     = fs.String("store", "", "optional store file to preload (binary format, local mode)")
+		r             = fs.Float64("r", 0.5, "uncertainty radius when starting empty (local mode)")
+		workers       = fs.Int("workers", 0, "query engine worker count (0 = one per CPU)")
+		walDir        = fs.String("wal-dir", "", "journal ingest batches to a write-ahead log (local mode)")
+		walSync       = fs.Bool("wal-sync", false, "fsync the WAL after every appended batch")
+		walSnapEvery  = fs.Int("wal-snapshot-every", 64, "rotate the WAL into a fresh snapshot after this many batches (0 disables)")
+		resume        = fs.Bool("resume", false, "recover the store from -wal-dir, then continue the journal")
+		reqTimeout    = fs.Duration("request-timeout", 30*time.Second, "server-side ceiling on per-request deadlines (0 = none)")
+		maxBody       = fs.Int64("max-body", gateway.DefaultMaxBodyBytes, "max request body size in bytes")
+		drain         = fs.Duration("drain", 15*time.Second, "graceful-shutdown budget on SIGINT/SIGTERM")
+	)
+	fs.Parse(args)
+
+	m := gateway.NewMetrics(nil)
+	opts := gateway.Options{
+		Token:          *token,
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *reqTimeout,
+		Metrics:        m,
+	}
+	var log *wal.Log
+	if *shardList != "" {
+		if *storePath != "" || *walDir != "" || *resume {
+			fatal(fmt.Errorf("-store/-wal-dir/-resume are local-mode flags; shards own their stores and journals"))
+		}
+		router, err := dialShards(*shardList, *shardToken, *shardCA, *shardInsecure,
+			*shardWait, cluster.Options{Engine: engine.New(*workers), Degraded: *degraded}, m)
+		if err != nil {
+			fatal(err)
+		}
+		hub := cluster.NewRouterHub(router)
+		opts.Backend, opts.Hub = router, hub
+		m.ObserveHub(hub.Stats)
+		fmt.Printf("modserver serve: routing %d shards (degraded %v)\n", router.Shards(), *degraded)
+	} else {
+		walOpts := wal.Options{Sync: *walSync, SnapshotEvery: *walSnapEvery}
+		store, walLog, err := openStore(*storePath, *r, *resume, *walDir, walOpts)
+		if err != nil {
+			fatal(err)
+		}
+		log = walLog
+		if *walDir != "" && !*resume {
+			if log, err = wal.Create(*walDir, store, walOpts); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("modserver serve: journaling to %s (sync %v, snapshot every %d)\n",
+				*walDir, *walSync, *walSnapEvery)
+		}
+		eng := engine.New(*workers)
+		hub := continuous.NewEngineHub(store, eng)
+		opts.Backend = gateway.EngineBackend{Eng: eng, Store: store}
+		opts.Hub = hub
+		m.ObserveHub(hub.Stats)
+		if log != nil {
+			opts.Journal, opts.Store = log, store
+			m.ObserveWAL(log.Stats)
+		}
+		fmt.Printf("modserver serve: local engine, %d trajectories\n", store.Len())
+	}
+
+	gw, err := gateway.New(opts)
+	if err != nil {
+		fatal(err)
+	}
+	l, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		fatal(err)
+	}
+	l, scheme, err := maybeTLS(l, *tlsCert, *tlsKey)
+	if err != nil {
+		fatal(err)
+	}
+	auth := "open"
+	if *token != "" {
+		auth = "bearer-token"
+	}
+	fmt.Printf("modserver serve: gateway on %s (%s, auth %s)\n", l.Addr(), scheme, auth)
+	onSignal(func(ctx context.Context) error { return gw.Shutdown(ctx) }, *drain)
+	err = gw.Serve(l)
+	closeWAL(log)
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// dialShards builds TLS/token remote shards for every listed address and
+// probes them through router construction, retrying transient failures
+// until the wait budget runs out.
+func dialShards(list, token, caFile string, insecure bool, wait time.Duration,
+	copts cluster.Options, m *gateway.Metrics) (*cluster.Router, error) {
+	var addrs []string
+	for _, a := range strings.Split(list, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("-shards lists no addresses")
+	}
+	var tlsConf *tls.Config
+	switch {
+	case caFile != "":
+		pem, err := os.ReadFile(caFile)
+		if err != nil {
+			return nil, err
+		}
+		pool := x509.NewCertPool()
+		if !pool.AppendCertsFromPEM(pem) {
+			return nil, fmt.Errorf("no certificates in -shard-ca %s", caFile)
+		}
+		tlsConf = &tls.Config{RootCAs: pool, MinVersion: tls.VersionTLS12}
+	case insecure:
+		tlsConf = &tls.Config{InsecureSkipVerify: true, MinVersion: tls.VersionTLS12}
+	}
+	shards := make([]cluster.Shard, len(addrs))
+	for i, a := range addrs {
+		shards[i] = cluster.NewRemoteShardWith(a, a, cluster.RemoteOptions{
+			TLS:     tlsConf,
+			Token:   token,
+			OnRetry: m.ShardRetryHook(),
+		})
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		router, err := cluster.NewRouter(ctx, shards, copts)
+		cancel()
+		if err == nil {
+			return router, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("shards unreachable after %v: %w", wait, err)
+		}
+		fmt.Fprintf(os.Stderr, "modserver serve: waiting for shards: %v\n", err)
+		time.Sleep(time.Second)
+	}
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"crypto/tls"
 	"errors"
 	"io"
 	"math/rand"
@@ -83,6 +84,19 @@ type RemoteOptions struct {
 	// Retry governs idempotent-call retries; the zero value retries
 	// DefaultRetryAttempts times with default backoff.
 	Retry RetryPolicy
+	// TLS, when set, wraps every dialed connection in a TLS client
+	// handshake (ServerName defaults from the shard address). A plaintext
+	// dial against a TLS shard — the inverse misconfiguration — fails
+	// with modserver.ErrTLSRequired, which is permanent, not retried.
+	TLS *tls.Config
+	// Token, when non-empty, authenticates each fresh connection before
+	// any shard op rides it. A rejected token surfaces as
+	// modserver.ErrUnauthorized (permanent).
+	Token string
+	// OnRetry, when set, observes each transient-failure retry (the
+	// metrics hook): attempt counts from 1 and err is the failure being
+	// retried. Called with the shard's mutex held — keep it cheap.
+	OnRetry func(name string, attempt int, err error)
 }
 
 // RemoteShard speaks the modserver query op (bounds/survivors/all phases)
@@ -101,12 +115,15 @@ type RemoteShard struct {
 	name string
 	addr string
 
-	mu    sync.Mutex
-	cli   *modserver.Client
-	index int // position in the owning router's shard slice; -1 unrouted
-	dial  Dialer
-	retry RetryPolicy
-	rng   *rand.Rand
+	mu      sync.Mutex
+	cli     *modserver.Client
+	index   int // position in the owning router's shard slice; -1 unrouted
+	dial    Dialer
+	retry   RetryPolicy
+	tlsCfg  *tls.Config
+	token   string
+	onRetry func(name string, attempt int, err error)
+	rng     *rand.Rand
 }
 
 // NewRemoteShard names a shard served by a modserver at addr with default
@@ -127,7 +144,9 @@ func NewRemoteShardWith(name, addr string, opts RemoteOptions) *RemoteShard {
 	}
 	return &RemoteShard{
 		name: name, addr: addr, index: -1,
-		dial: d, retry: opts.Retry, rng: rand.New(rand.NewSource(seed)),
+		dial: d, retry: opts.Retry,
+		tlsCfg: opts.TLS, token: opts.Token, onRetry: opts.OnRetry,
+		rng: rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -198,6 +217,9 @@ func (s *RemoteShard) callRetry(ctx context.Context, retryable bool, f func(c *m
 		if !retryable || !transientErr(err) {
 			return err
 		}
+		if s.onRetry != nil && attempt+1 < attempts {
+			s.onRetry(s.name, attempt+1, err)
+		}
 	}
 	return lastErr
 }
@@ -239,7 +261,23 @@ func (s *RemoteShard) attemptLocked(ctx context.Context, f func(c *modserver.Cli
 		if err != nil {
 			return &ShardUnavailableError{Shard: s.index, Name: s.name, Err: err}
 		}
-		s.cli = modserver.NewClient(conn)
+		if s.tlsCfg != nil {
+			// A handshake failure is returned raw: a cert mismatch is
+			// permanent (not a ShardUnavailableError), while a connection
+			// that died mid-handshake is a net.Error and retries anyway.
+			conn, err = modserver.TLSClient(conn, s.tlsCfg, s.addr)
+			if err != nil {
+				return err
+			}
+		}
+		cli := modserver.NewClient(conn)
+		if s.token != "" {
+			if err := cli.Auth(s.token); err != nil {
+				_ = cli.Close()
+				return err
+			}
+		}
+		s.cli = cli
 	}
 	cli := s.cli
 	done := make(chan struct{})

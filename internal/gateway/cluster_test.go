@@ -1,0 +1,84 @@
+package gateway
+
+// The gateway-over-cluster equivalence gate: the full request suite via
+// POST /v1/query against a 4-shard TLS+token cluster must answer
+// byte-identically (modulo walls) to an identically-constructed router
+// driven directly. Two separate shard-server sets serve the same split
+// stores so both routers see identical engine-memo evolution.
+
+import (
+	"context"
+	"crypto/tls"
+	"fmt"
+	"net"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/mod"
+	"repro/internal/modserver"
+	"repro/internal/testcert"
+)
+
+const shardToken = "shard-secret"
+
+// startTLSShards serves the split stores over TLS+token modservers and
+// returns remote shards configured to reach them.
+func startTLSShards(t testing.TB, stores []*mod.Store, pair testcert.Pair, m *Metrics) []cluster.Shard {
+	t.Helper()
+	shards := make([]cluster.Shard, len(stores))
+	for i, st := range stores {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := modserver.NewServerWith(st, nil, modserver.Options{Token: shardToken})
+		go srv.Serve(tls.NewListener(l, pair.ServerConfig()))
+		t.Cleanup(func() { srv.Close() })
+		remote := cluster.NewRemoteShardWith(fmt.Sprintf("shard-%d", i), l.Addr().String(),
+			cluster.RemoteOptions{
+				TLS:     pair.ClientConfig(),
+				Token:   shardToken,
+				OnRetry: m.ShardRetryHook(),
+			})
+		t.Cleanup(func() { remote.Close() })
+		shards[i] = remote
+	}
+	return shards
+}
+
+func TestQueryEquivalenceTLSCluster(t *testing.T) {
+	pair, err := testcert.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, trs := buildStore(t, 200, equivSeed)
+	reqs := equivRequests(trs)
+	stores, err := cluster.SplitStore(store, 4, cluster.Hash{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Oracle: a TLS router driven directly, one request at a time.
+	oracle, err := cluster.NewRouter(context.Background(),
+		startTLSShards(t, stores, pair, nil), cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]engine.Result, len(reqs))
+	for i, req := range reqs {
+		want[i], _ = oracle.Do(context.Background(), req)
+	}
+
+	// Gateway: a second identical shard set behind HTTPS + token.
+	gwRouter, err := cluster.NewRouter(context.Background(),
+		startTLSShards(t, stores, pair, nil), cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, base, client := startGateway(t, Options{
+		Backend: gwRouter,
+		Token:   "gw-secret",
+	}, &pair)
+	checkHTTPAnswers(t, client, base, "gw-secret", reqs, want)
+}

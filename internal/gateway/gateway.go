@@ -1,0 +1,610 @@
+// Package gateway is the production HTTP front door for the repro
+// engine: a JSON API over net/http with bearer-token auth, per-request
+// deadlines, a typed error taxonomy mapped onto status codes, an SSE
+// continuous-query stream riding continuous.Hub with from_seq resume,
+// and a Prometheus metrics surface.
+//
+// Routes:
+//
+//	POST /v1/query      one engine.Request -> engine.Result
+//	POST /v1/batch      many requests -> per-request result-or-error
+//	POST /v1/ingest     live trajectory updates (journaled when configured)
+//	GET  /v1/subscribe  SSE diff stream for a standing query
+//	GET  /healthz       liveness
+//	GET  /readyz        readiness (503 while draining)
+//	GET  /metrics       Prometheus text exposition (when configured)
+//	GET  /openapi.yaml  the committed OpenAPI 3 description
+//
+// The /v1 routes require `Authorization: Bearer <token>` when a token is
+// configured; the operational routes stay open. The same engine.Request
+// and engine.Result JSON shapes cross this seam as cross the TCP
+// modserver protocol, so an HTTP client and a TCP client see identical
+// answers.
+package gateway
+
+import (
+	"context"
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/api/openapi"
+	"repro/internal/cluster"
+	"repro/internal/continuous"
+	"repro/internal/engine"
+	"repro/internal/mod"
+	"repro/internal/trajectory"
+)
+
+// ErrUnauthorized is the typed refusal for a missing or wrong bearer
+// token.
+var ErrUnauthorized = errors.New("gateway: unauthorized")
+
+// errDraining answers requests that arrive while Shutdown drains.
+var errDraining = errors.New("gateway: draining")
+
+// StatusClientClosed is the non-standard 499 (client closed request)
+// reported when the client went away before the evaluation finished.
+const StatusClientClosed = 499
+
+// DefaultMaxBodyBytes caps request bodies (8 MiB holds a ~40k-update
+// ingest batch with room to spare).
+const DefaultMaxBodyBytes = 8 << 20
+
+// DefaultMaxDetached bounds detached (resumable) SSE subscriptions, LRU
+// evicted — mirroring the modserver's default.
+const DefaultMaxDetached = 64
+
+// DefaultEventBuffer is the per-stream event channel depth; a consumer
+// that falls this many events behind is severed (and left resumable).
+const DefaultEventBuffer = 256
+
+// Backend evaluates engine requests. *cluster.Router satisfies it
+// directly; EngineBackend adapts a local engine+store pair.
+type Backend interface {
+	Do(ctx context.Context, req engine.Request) (engine.Result, error)
+	DoBatch(ctx context.Context, reqs []engine.Request) ([]engine.Result, error)
+}
+
+// EngineBackend adapts a local engine over one store to Backend.
+type EngineBackend struct {
+	Eng   *engine.Engine
+	Store *mod.Store
+}
+
+// Do evaluates one request on the local engine.
+func (b EngineBackend) Do(ctx context.Context, req engine.Request) (engine.Result, error) {
+	return b.Eng.Do(ctx, b.Store, req)
+}
+
+// DoBatch evaluates a batch on the local engine.
+func (b EngineBackend) DoBatch(ctx context.Context, reqs []engine.Request) ([]engine.Result, error) {
+	return b.Eng.DoBatch(ctx, b.Store, reqs)
+}
+
+// Journal is the write-ahead hook the ingest path drives (wal.Log
+// satisfies it). Same contract as the modserver's: Append runs before
+// the batch is applied, under the ingest serialization lock.
+type Journal interface {
+	Append(updates []mod.Update) error
+	AfterApply(store *mod.Store) error
+}
+
+// Options configures a Server. Backend is required; everything else is
+// optional.
+type Options struct {
+	// Backend answers /v1/query and /v1/batch.
+	Backend Backend
+	// Hub powers /v1/ingest and /v1/subscribe; nil disables both
+	// (they answer 501).
+	Hub *continuous.Hub
+	// Journal, when set with Hub, makes ingest write-ahead durable.
+	// Store is the AfterApply snapshot target (required with Journal).
+	Journal Journal
+	Store   *mod.Store
+	// Token, when non-empty, gates every /v1 route behind
+	// `Authorization: Bearer <token>`.
+	Token string
+	// MaxBodyBytes caps request bodies (DefaultMaxBodyBytes when 0).
+	MaxBodyBytes int64
+	// RequestTimeout is the server-side ceiling on per-request
+	// deadlines; client deadline_ms values are clamped to it. 0 means
+	// no ceiling.
+	RequestTimeout time.Duration
+	// MaxDetached bounds resumable detached subscriptions
+	// (DefaultMaxDetached when 0; negative disables resume retention).
+	MaxDetached int
+	// EventBuffer is the per-SSE-stream channel depth
+	// (DefaultEventBuffer when 0).
+	EventBuffer int
+	// Metrics, when set, records traffic and serves GET /metrics.
+	Metrics *Metrics
+}
+
+// Server is the HTTP gateway. Create with New, serve with Serve (wrap
+// the listener with tls.NewListener for TLS), stop with Shutdown.
+type Server struct {
+	opts     Options
+	handler  http.Handler
+	hs       *http.Server
+	draining atomic.Bool
+
+	// emitMu serializes ingest apply+fan-out with subscribe/resume
+	// registration, so a stream observes every event after its answer
+	// exactly once — the same discipline as the modserver's emit lock.
+	emitMu sync.Mutex
+	// subsMu guards the routing tables below (readers on the fan-out
+	// path take it briefly per event).
+	subsMu      sync.Mutex
+	subscribers map[int64]*sseStream
+	// detached holds subscriptions whose stream ended but which stay
+	// live in the hub awaiting a from_seq resume; detachedOrder is
+	// their LRU eviction order.
+	detached      map[int64]struct{}
+	detachedOrder []int64
+}
+
+// New builds a Server from opts.
+func New(opts Options) (*Server, error) {
+	if opts.Backend == nil {
+		return nil, errors.New("gateway: Options.Backend is required")
+	}
+	if opts.Journal != nil && opts.Store == nil {
+		return nil, errors.New("gateway: Options.Journal requires Options.Store")
+	}
+	if opts.MaxBodyBytes == 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if opts.MaxDetached == 0 {
+		opts.MaxDetached = DefaultMaxDetached
+	}
+	if opts.EventBuffer == 0 {
+		opts.EventBuffer = DefaultEventBuffer
+	}
+	s := &Server{
+		opts:        opts,
+		subscribers: make(map[int64]*sseStream),
+		detached:    make(map[int64]struct{}),
+	}
+	s.handler = s.buildHandler()
+	s.hs = &http.Server{Handler: s.handler, ReadHeaderTimeout: 10 * time.Second}
+	return s, nil
+}
+
+// Handler returns the gateway's full handler (middleware included) for
+// mounting under a custom http.Server, e.g. in tests.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Serve accepts connections on l until Shutdown (or Close on the
+// listener). A clean shutdown returns nil.
+func (s *Server) Serve(l net.Listener) error {
+	err := s.hs.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains the gateway: readiness flips to 503, live SSE streams
+// are severed (their subscriptions stay resumable in-process), and
+// in-flight requests get until ctx expires to finish.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	// Sever streams under the emit lock so no fan-out races the close;
+	// each handler unwinds and parks its subscription as detached.
+	s.emitMu.Lock()
+	s.subsMu.Lock()
+	for id, st := range s.subscribers {
+		delete(s.subscribers, id)
+		close(st.ch)
+	}
+	s.subsMu.Unlock()
+	s.emitMu.Unlock()
+	return s.hs.Shutdown(ctx)
+}
+
+func (s *Server) buildHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.v1(s.handleQuery))
+	mux.HandleFunc("POST /v1/batch", s.v1(s.handleBatch))
+	mux.HandleFunc("POST /v1/ingest", s.v1(s.handleIngest))
+	mux.HandleFunc("GET /v1/subscribe", s.v1(s.handleSubscribe))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /openapi.yaml", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/yaml")
+		_, _ = w.Write(openapi.Spec)
+	})
+	if reg := s.opts.Metrics.Registry(); reg != nil {
+		mux.Handle("GET /metrics", reg.Handler())
+	}
+	// Outermost: body cap, then request accounting keyed on the route
+	// pattern the mux resolves.
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+		}
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		mux.ServeHTTP(rec, r)
+		s.opts.Metrics.recordHTTP(r.Pattern, rec.status(), time.Since(start))
+	})
+}
+
+// v1 wraps an API handler with the bearer-token gate.
+func (s *Server) v1(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if tok := s.opts.Token; tok != "" {
+			bearer, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+			if !ok || subtle.ConstantTimeCompare([]byte(bearer), []byte(tok)) != 1 {
+				w.Header().Set("WWW-Authenticate", `Bearer realm="repro-gateway"`)
+				writeError(w, ErrUnauthorized)
+				return
+			}
+		}
+		h(w, r)
+	}
+}
+
+// statusRecorder captures the status code for metrics and forwards
+// Flush so SSE streaming survives the wrapper.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.code == 0 {
+		sr.code = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.code == 0 {
+		sr.code = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer's
+// deadline and flush support.
+func (sr *statusRecorder) Unwrap() http.ResponseWriter { return sr.ResponseWriter }
+
+func (sr *statusRecorder) status() int {
+	if sr.code == 0 {
+		return http.StatusOK
+	}
+	return sr.code
+}
+
+// ---- wire shapes -------------------------------------------------------
+
+// queryRequest is the /v1/query body: an engine.Request plus transport
+// controls.
+type queryRequest struct {
+	engine.Request
+	// DeadlineMS bounds the evaluation; clamped to the server's
+	// RequestTimeout ceiling when one is configured.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+type batchRequest struct {
+	Requests   []engine.Request `json:"requests"`
+	DeadlineMS int64            `json:"deadline_ms,omitempty"`
+}
+
+type batchEntry struct {
+	OK     bool           `json:"ok"`
+	Result *engine.Result `json:"result,omitempty"`
+	Error  *apiError      `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Results []batchEntry `json:"results"`
+}
+
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorBody struct {
+	Error apiError `json:"error"`
+}
+
+// wireUpdate / wireApplied mirror the modserver's ingest shapes, so the
+// HTTP and TCP live layers speak the same vertices.
+type wireUpdate struct {
+	OID   int64        `json:"oid"`
+	Verts [][3]float64 `json:"verts"`
+}
+
+type wireApplied struct {
+	OID         int64        `json:"oid"`
+	Inserted    bool         `json:"inserted,omitempty"`
+	ChangedFrom float64      `json:"changed_from,omitempty"`
+	Verts       [][3]float64 `json:"verts,omitempty"`
+	PrevVerts   [][3]float64 `json:"prev_verts,omitempty"`
+}
+
+type ingestRequest struct {
+	Updates []wireUpdate `json:"updates"`
+}
+
+type ingestResponse struct {
+	Applied []wireApplied `json:"applied"`
+}
+
+// ---- error taxonomy ----------------------------------------------------
+
+// errStatus maps a typed error onto (HTTP status, machine-readable
+// code). The code set is closed — it doubles as a metrics label.
+func errStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, engine.ErrBadKind):
+		return http.StatusBadRequest, "bad_kind"
+	case errors.Is(err, engine.ErrBadWindow):
+		return http.StatusBadRequest, "bad_window"
+	case errors.Is(err, engine.ErrBadRank):
+		return http.StatusBadRequest, "bad_rank"
+	case errors.Is(err, engine.ErrBadFrac):
+		return http.StatusBadRequest, "bad_frac"
+	case errors.Is(err, engine.ErrUnknownOID):
+		return http.StatusNotFound, "unknown_oid"
+	case errors.Is(err, mod.ErrNotFound):
+		return http.StatusNotFound, "not_found"
+	case errors.Is(err, ErrUnauthorized):
+		return http.StatusUnauthorized, "unauthorized"
+	case errors.Is(err, continuous.ErrEventGap):
+		return http.StatusGone, "event_gap"
+	case errors.Is(err, cluster.ErrShardUnavailable):
+		return http.StatusServiceUnavailable, "shard_unavailable"
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline_exceeded"
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosed, "canceled"
+	case isMaxBytes(err):
+		return http.StatusRequestEntityTooLarge, "body_too_large"
+	case isUnsupported(err):
+		return http.StatusNotImplemented, "unsupported"
+	case isBadRequest(err):
+		return http.StatusBadRequest, "bad_request"
+	}
+	return http.StatusInternalServerError, "internal"
+}
+
+// errUnsupported marks a route whose subsystem is not configured.
+var errUnsupported = errors.New("gateway: not configured on this server")
+
+func isUnsupported(err error) bool { return errors.Is(err, errUnsupported) }
+
+func isMaxBytes(err error) bool {
+	var mbe *http.MaxBytesError
+	return errors.As(err, &mbe)
+}
+
+// badRequestError wraps client-side decode failures (malformed JSON,
+// bad query params) distinctly from engine validation errors.
+type badRequestError struct{ err error }
+
+func (e badRequestError) Error() string { return e.err.Error() }
+func (e badRequestError) Unwrap() error { return e.err }
+
+func isBadRequest(err error) bool {
+	var bre badRequestError
+	return errors.As(err, &bre)
+}
+
+func badReq(err error) error { return badRequestError{err} }
+
+func writeError(w http.ResponseWriter, err error) {
+	status, code := errStatus(err)
+	writeJSON(w, status, errorBody{apiError{Code: code, Message: err.Error()}})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":{"code":"internal","message":"encode failure"}}`,
+			http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	b = append(b, '\n')
+	_, _ = w.Write(b)
+}
+
+// ---- query/batch handlers ----------------------------------------------
+
+// reqCtx derives the evaluation context: the client's deadline_ms,
+// clamped by the server's RequestTimeout ceiling, over the request's
+// own cancellation.
+func (s *Server) reqCtx(r *http.Request, deadlineMS int64) (context.Context, context.CancelFunc) {
+	d := time.Duration(deadlineMS) * time.Millisecond
+	if max := s.opts.RequestTimeout; max > 0 && (d <= 0 || d > max) {
+		d = max
+	}
+	if d > 0 {
+		return context.WithTimeout(r.Context(), d)
+	}
+	return context.WithCancel(r.Context())
+}
+
+func decodeBody(r *http.Request, v any) error {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		if isMaxBytes(err) {
+			return err
+		}
+		return badReq(fmt.Errorf("gateway: bad request body: %w", err))
+	}
+	return nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var qr queryRequest
+	if err := decodeBody(r, &qr); err != nil {
+		writeError(w, err)
+		return
+	}
+	ctx, cancel := s.reqCtx(r, qr.DeadlineMS)
+	defer cancel()
+	res, err := s.opts.Backend.Do(ctx, qr.Request)
+	s.opts.Metrics.recordQuery(res)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var br batchRequest
+	if err := decodeBody(r, &br); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(br.Requests) == 0 {
+		writeError(w, badReq(errors.New("gateway: empty batch")))
+		return
+	}
+	ctx, cancel := s.reqCtx(r, br.DeadlineMS)
+	defer cancel()
+	results, err := s.opts.Backend.DoBatch(ctx, br.Requests)
+	if err != nil && len(results) != len(br.Requests) {
+		// A transport-level failure (deadline, shard loss) with no
+		// per-request results to report.
+		writeError(w, err)
+		return
+	}
+	out := batchResponse{Results: make([]batchEntry, len(results))}
+	for i := range results {
+		res := results[i]
+		s.opts.Metrics.recordQuery(res)
+		if res.Err != nil {
+			_, code := errStatus(res.Err)
+			out.Results[i] = batchEntry{Error: &apiError{Code: code, Message: res.Err.Error()}}
+			continue
+		}
+		out.Results[i] = batchEntry{OK: true, Result: &res}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ---- ingest ------------------------------------------------------------
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Hub == nil {
+		writeError(w, fmt.Errorf("%w: no live hub", errUnsupported))
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, errDraining)
+		return
+	}
+	var ir ingestRequest
+	if err := decodeBody(r, &ir); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(ir.Updates) == 0 {
+		writeError(w, badReq(errors.New("gateway: empty ingest batch")))
+		return
+	}
+	updates := make([]mod.Update, len(ir.Updates))
+	for i, wu := range ir.Updates {
+		verts := make([]trajectory.Vertex, len(wu.Verts))
+		for j, v := range wu.Verts {
+			verts[j] = trajectory.Vertex{X: v[0], Y: v[1], T: v[2]}
+		}
+		updates[i] = mod.Update{OID: wu.OID, Verts: verts}
+	}
+
+	ctx, cancel := s.reqCtx(r, 0)
+	defer cancel()
+
+	// The emit lock serializes journal append, hub apply, and event
+	// fan-out — journal order equals apply order equals stream order.
+	s.emitMu.Lock()
+	defer s.emitMu.Unlock()
+	if s.opts.Journal != nil {
+		if err := s.opts.Journal.Append(updates); err != nil {
+			err = fmt.Errorf("gateway: journal append: %w", err)
+			s.opts.Metrics.recordIngest(0, err)
+			writeError(w, err)
+			return
+		}
+	}
+	applied, events, err := s.opts.Hub.Ingest(ctx, updates)
+	s.opts.Metrics.recordIngest(len(updates), err)
+	if err != nil {
+		// A mid-batch failure still applied a prefix; report both, as
+		// the TCP path does.
+		status, code := errStatus(err)
+		writeJSON(w, status, struct {
+			Error   apiError      `json:"error"`
+			Applied []wireApplied `json:"applied,omitempty"`
+		}{apiError{Code: code, Message: err.Error()}, encodeApplied(applied)})
+		return
+	}
+	if s.opts.Journal != nil {
+		// A failed snapshot only defers log truncation; the appended
+		// log still reaches the current state.
+		_ = s.opts.Journal.AfterApply(s.opts.Store)
+	}
+	s.fanOut(events)
+	writeJSON(w, http.StatusOK, ingestResponse{Applied: encodeApplied(applied)})
+}
+
+func encodeApplied(applied []mod.Applied) []wireApplied {
+	out := make([]wireApplied, len(applied))
+	for i, a := range applied {
+		wa := wireApplied{OID: a.OID, Inserted: a.Inserted}
+		if !a.Inserted {
+			wa.ChangedFrom = a.ChangedFrom
+		}
+		if a.Traj != nil {
+			wa.Verts = encodeVerts(a.Traj.Verts)
+		}
+		if a.Prev != nil {
+			wa.PrevVerts = encodeVerts(a.Prev.Verts)
+		}
+		out[i] = wa
+	}
+	return out
+}
+
+func encodeVerts(verts []trajectory.Vertex) [][3]float64 {
+	out := make([][3]float64, len(verts))
+	for i, v := range verts {
+		out[i] = [3]float64{v.X, v.Y, v.T}
+	}
+	return out
+}

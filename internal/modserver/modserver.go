@@ -68,6 +68,8 @@ package modserver
 import (
 	"bufio"
 	"context"
+	"crypto/subtle"
+	"crypto/tls"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -121,6 +123,18 @@ var ErrConnClosed = errors.New("modserver: connection closed")
 // "you read too slowly" from a server crash.
 var ErrEventStalled = errors.New("modserver: subscription severed: event write stalled")
 
+// ErrUnauthorized reports a token-protected server rejecting a request:
+// the connection never authenticated (or presented the wrong token), so
+// the server refused the op and closed the connection. Matches across
+// the wire via the coded error.
+var ErrUnauthorized = errors.New("modserver: unauthorized")
+
+// ErrTLSRequired reports a plaintext client talking to a TLS server: the
+// reply bytes are a TLS record (a handshake-failure alert), not protocol
+// JSON. Redialing with a tls.Config is the fix; retrying plaintext never
+// succeeds, so the cluster retry layer treats it as permanent.
+var ErrTLSRequired = errors.New("modserver: server requires TLS")
+
 // codeNotFound marks a structured not-found failure on the wire so clients
 // can rebuild the mod.ErrNotFound identity across the network boundary
 // (the cluster router routes on it when resolving point lookups).
@@ -136,6 +150,41 @@ const codeEventGap = "event_gap"
 // across the wire).
 const codeEventStalled = "event_stalled"
 
+// codeUnauthorized marks an auth rejection (ErrUnauthorized across the
+// wire).
+const codeUnauthorized = "unauthorized"
+
+// codeTLSRequired marks the plaintext parting line a TLS server writes to
+// a client whose first bytes were not a TLS handshake (ErrTLSRequired
+// across the wire). The server detects the mismatch via
+// tls.RecordHeaderError and answers in plaintext — the one protocol the
+// confused client can actually read.
+const codeTLSRequired = "tls_required"
+
+// codeDeadline and codeCanceled structure context failures on the wire,
+// so a server-side deadline expiry keeps its context.DeadlineExceeded
+// identity at the client (and up through the HTTP gateway's 504 mapping)
+// instead of degrading to a generic string.
+const (
+	codeDeadline = "deadline_exceeded"
+	codeCanceled = "canceled"
+)
+
+// codedFail builds an error response, attaching the machine-readable
+// code for failures whose identity must survive the wire.
+func codedFail(err error) Response {
+	resp := Response{Error: err.Error()}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		resp.Code = codeDeadline
+	case errors.Is(err, context.Canceled):
+		resp.Code = codeCanceled
+	case errors.Is(err, mod.ErrNotFound):
+		resp.Code = codeNotFound
+	}
+	return resp
+}
+
 // wireError carries a server-reported error message while preserving a
 // sentinel identity for errors.Is across the wire.
 type wireError struct {
@@ -148,7 +197,10 @@ func (e wireError) Unwrap() error { return e.is }
 
 // Request is the wire format of a client request.
 type Request struct {
-	Op        string       `json:"op"`
+	Op string `json:"op"`
+	// Token authenticates the connection on the "auth" op (required first
+	// when the server has Options.Token configured).
+	Token     string       `json:"token,omitempty"`
 	OID       int64        `json:"oid,omitempty"`
 	Verts     [][3]float64 `json:"verts,omitempty"`
 	Query     string       `json:"query,omitempty"`
@@ -323,6 +375,11 @@ type Options struct {
 	// through to the hub (continuous.HubOptions.BacklogCap): zero selects
 	// continuous.DefaultBacklog, negative disables retention.
 	EventBacklog int
+	// Token, when non-empty, requires every connection to authenticate
+	// with {"op":"auth","token":...} before any other op. A wrong token
+	// (or an op before auth) gets one coded unauthorized reply and the
+	// connection is closed. Comparison is constant-time.
+	Token string
 }
 
 // DefaultMaxDetached bounds detached (resumable) subscriptions per
@@ -353,6 +410,7 @@ type Server struct {
 	maxLine      int
 	maxGather    int
 	maxDetached  int
+	token        string
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -386,6 +444,9 @@ type connState struct {
 	wmu          sync.Mutex
 	enc          *json.Encoder
 	subs         map[int64]struct{}
+	// authed records a successful auth op; touched only by the handler
+	// goroutine (the protocol is synchronous per connection).
+	authed bool
 
 	// pending accumulates in-flight gather uploads frame by frame;
 	// gathers/gatherOrder hold the few completed union stores this
@@ -463,7 +524,7 @@ func NewServerWith(store *mod.Store, eng *engine.Engine, o Options) *Server {
 		hub:         continuous.NewEngineHubWith(store, eng, continuous.HubOptions{BacklogCap: o.EventBacklog}),
 		journal:     o.Journal,
 		readTimeout: o.ReadTimeout, writeTimeout: o.WriteTimeout, maxLine: o.MaxLineBytes,
-		maxGather: o.MaxGatherBytes, maxDetached: o.MaxDetached,
+		maxGather: o.MaxGatherBytes, maxDetached: o.MaxDetached, token: o.Token,
 		conns:       make(map[net.Conn]struct{}),
 		subscribers: make(map[int64]*connState),
 		detached:    make(map[int64]struct{}),
@@ -520,6 +581,52 @@ func (s *Server) Close() error {
 	return err
 }
 
+// Shutdown drains the server gracefully: it stops accepting, lets every
+// in-flight request finish, then disconnects the idle connections (which
+// detaches their subscriptions for a later from_seq resume, exactly like
+// a client-side drop). Connections still alive when ctx expires are
+// force-closed and ctx's error returned. Safe to call concurrently with
+// Serve; after it returns, Serve has ErrServerClosed.
+//
+// Mechanism: a handler blocked in Scan is kicked by an immediate read
+// deadline. One kick is not enough — a handler that was mid-request
+// re-arms its own deadline when it loops back — so the kick repeats on a
+// short ticker until the connection set empties. The in-flight request
+// itself is never interrupted: the deadline only fires on the next read.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	alreadyClosed := s.closed
+	s.closed = true
+	var err error
+	if !alreadyClosed && s.listener != nil {
+		err = s.listener.Close()
+	}
+	s.mu.Unlock()
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		s.mu.Lock()
+		n := len(s.conns)
+		for c := range s.conns {
+			_ = c.SetReadDeadline(time.Now())
+		}
+		s.mu.Unlock()
+		if n == 0 {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			s.mu.Lock()
+			for c := range s.conns {
+				c.Close()
+			}
+			s.mu.Unlock()
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
 func (s *Server) handle(conn net.Conn) {
 	cs := &connState{conn: conn, writeTimeout: s.writeTimeout, enc: json.NewEncoder(conn), subs: make(map[int64]struct{})}
 	defer func() {
@@ -529,6 +636,23 @@ func (s *Server) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	if tc, ok := conn.(*tls.Conn); ok {
+		// Handshake eagerly (instead of inside the first Read) so a
+		// plaintext client is answered, not just dropped: Go flags "first
+		// bytes are not TLS" with a RecordHeaderError carrying the raw
+		// connection, and a plaintext JSON parting line is the one reply
+		// that client can parse (codeTLSRequired → ErrTLSRequired).
+		if s.readTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.readTimeout))
+		}
+		if err := tc.Handshake(); err != nil {
+			var rhe tls.RecordHeaderError
+			if errors.As(err, &rhe) && rhe.Conn != nil {
+				_ = json.NewEncoder(rhe.Conn).Encode(Response{Error: ErrTLSRequired.Error(), Code: codeTLSRequired})
+			}
+			return
+		}
+	}
 	sc := bufio.NewScanner(conn)
 	// The scanner's token cap is max(limit, cap(buf)), so the initial
 	// buffer must not exceed the configured line limit.
@@ -568,6 +692,18 @@ func (s *Server) handle(conn net.Conn) {
 		resp := Response{OK: true}
 		if err := json.Unmarshal(line, &req); err != nil {
 			resp = Response{Error: fmt.Sprintf("bad request: %v", err)}
+		} else if req.Op == "auth" {
+			// Auth gates everything below it in this chain. A wrong token
+			// closes the connection after one coded reply — no retries on
+			// an established connection, the client redials.
+			if s.token != "" && subtle.ConstantTimeCompare([]byte(req.Token), []byte(s.token)) != 1 {
+				_ = cs.send(Response{Error: ErrUnauthorized.Error() + ": bad token", Code: codeUnauthorized})
+				return
+			}
+			cs.authed = true
+		} else if s.token != "" && !cs.authed {
+			_ = cs.send(Response{Error: ErrUnauthorized.Error() + ": authenticate first", Code: codeUnauthorized})
+			return
 		} else if req.Op == "query" && req.Phase == "gather" && req.More {
 			// A non-final gather upload frame: accumulate silently — the
 			// protocol answers only the final (more=false) frame, so the
@@ -873,7 +1009,7 @@ func (s *Server) doQuery(req Request) Response {
 	}
 	results, err := s.engine.DoBatch(ctx, s.store, req.Requests)
 	if err != nil {
-		return Response{Error: err.Error()}
+		return codedFail(err)
 	}
 	answers := make([]Answer, len(results))
 	for i, r := range results {
@@ -931,7 +1067,7 @@ func (s *Server) doBounds(req Request) Response {
 	defer cancel()
 	bounds, err := prune.SliceBounds(ctx, s.store, q, req.Tb, req.Te, req.K)
 	if err != nil {
-		return Response{Error: err.Error()}
+		return codedFail(err)
 	}
 	return Response{OK: true, Bounds: encodeBounds(bounds)}
 }
@@ -1172,13 +1308,74 @@ type Client struct {
 	frameBytes int
 }
 
-// Dial connects to a server at addr.
+// Dial connects to a server at addr (plaintext, no auth).
 func Dial(addr string) (*Client, error) {
+	return DialWith(addr, DialOptions{})
+}
+
+// DialOptions configures transport security for DialWith.
+type DialOptions struct {
+	// TLS, when set, wraps the connection in a TLS client handshake
+	// before any protocol byte moves.
+	TLS *tls.Config
+	// Token, when non-empty, authenticates the connection immediately
+	// after dialing (the auth op); every subsequent op rides the
+	// authenticated connection.
+	Token string
+}
+
+// DialWith connects to a server at addr with transport security: an
+// optional TLS handshake, then an optional token auth op. A server that
+// rejects the token fails the dial with ErrUnauthorized.
+func DialWith(addr string, opts DialOptions) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn), nil
+	if opts.TLS != nil {
+		conn, err = TLSClient(conn, opts.TLS, addr)
+		if err != nil {
+			return nil, err
+		}
+	}
+	c := NewClient(conn)
+	if opts.Token != "" {
+		if err := c.Auth(opts.Token); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// TLSClient wraps an established connection in a TLS client handshake,
+// defaulting the verification ServerName from addr when the config names
+// none (tls.Client, unlike tls.Dial, cannot infer one). On handshake
+// failure the connection is closed. Shared by DialWith and the cluster
+// RemoteShard (which dials through an injectable Dialer).
+func TLSClient(conn net.Conn, cfg *tls.Config, addr string) (net.Conn, error) {
+	if cfg.ServerName == "" && !cfg.InsecureSkipVerify {
+		host, _, err := net.SplitHostPort(addr)
+		if err != nil {
+			host = addr
+		}
+		cfg = cfg.Clone()
+		cfg.ServerName = host
+	}
+	tc := tls.Client(conn, cfg)
+	if err := tc.Handshake(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return tc, nil
+}
+
+// Auth authenticates this connection with the server's static bearer
+// token. A server with no token configured accepts any auth; a
+// token-protected server rejects every other op until this succeeds.
+func (c *Client) Auth(token string) error {
+	_, err := c.roundTrip(Request{Op: "auth", Token: token})
+	return err
 }
 
 // ClientMaxLine bounds a single response line on the client side (1 GiB).
@@ -1213,7 +1410,7 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 		}
 		resp = Response{}
 		if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
-			return Response{}, err
+			return Response{}, lineError(c.sc.Bytes(), err)
 		}
 		if resp.Event != nil {
 			// An asynchronous subscription event raced our reply; queue it
@@ -1227,19 +1424,43 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 		c.frameBytes = resp.MaxLine
 	}
 	if !resp.OK {
-		// Structured codes rebuild sentinel identities across the wire,
-		// with the server's message preserved verbatim.
-		switch resp.Code {
-		case codeNotFound:
-			return resp, wireError{msg: resp.Error, is: mod.ErrNotFound}
-		case codeEventGap:
-			return resp, wireError{msg: resp.Error, is: continuous.ErrEventGap}
-		case codeEventStalled:
-			return resp, wireError{msg: resp.Error, is: ErrEventStalled}
-		}
-		return resp, errors.New(resp.Error)
+		return resp, respError(resp)
 	}
 	return resp, nil
+}
+
+// respError rebuilds the sentinel identity of a failed reply from its
+// structured code, with the server's message preserved verbatim.
+func respError(resp Response) error {
+	switch resp.Code {
+	case codeNotFound:
+		return wireError{msg: resp.Error, is: mod.ErrNotFound}
+	case codeEventGap:
+		return wireError{msg: resp.Error, is: continuous.ErrEventGap}
+	case codeEventStalled:
+		return wireError{msg: resp.Error, is: ErrEventStalled}
+	case codeUnauthorized:
+		return wireError{msg: resp.Error, is: ErrUnauthorized}
+	case codeTLSRequired:
+		return wireError{msg: resp.Error, is: ErrTLSRequired}
+	case codeDeadline:
+		return wireError{msg: resp.Error, is: context.DeadlineExceeded}
+	case codeCanceled:
+		return wireError{msg: resp.Error, is: context.Canceled}
+	}
+	return errors.New(resp.Error)
+}
+
+// lineError classifies an unparseable reply line: TLS record bytes (a
+// handshake or alert record) mean this plaintext client dialed a TLS
+// server that never got to send the friendly plaintext parting line —
+// surface the same ErrTLSRequired identity instead of a JSON syntax
+// error.
+func lineError(line []byte, err error) error {
+	if len(line) >= 3 && (line[0] == 0x15 || line[0] == 0x16) && line[1] == 0x03 {
+		return wireError{msg: fmt.Sprintf("%v (reply is a TLS record)", ErrTLSRequired), is: ErrTLSRequired}
+	}
+	return err
 }
 
 // Ping checks liveness.
@@ -1592,7 +1813,7 @@ func (c *Client) NextEvent() (continuous.Event, error) {
 		}
 		var resp Response
 		if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
-			return continuous.Event{}, err
+			return continuous.Event{}, lineError(c.sc.Bytes(), err)
 		}
 		if resp.Event != nil {
 			return *resp.Event, nil

@@ -82,7 +82,7 @@ func (s *Server) streamPhase(req Request, cs *connState) bool {
 		trs, st, serr := prune.SurvivorsWithBounds(ctx, s.store, q, req.Tb, req.Te, decodeBounds(req.Bounds))
 		cancel()
 		if serr != nil {
-			return cs.send(Response{Error: serr.Error()}) == nil
+			return cs.send(codedFail(serr)) == nil
 		}
 		trajs, stats = encodeTrajs(trs), &st
 	case "all":
@@ -212,7 +212,7 @@ func (s *Server) doRefine(req Request, cs *connState) Response {
 	defer cancel()
 	res, err := s.engine.DoRestricted(ctx, union, *req.Request, req.OIDs)
 	if err != nil {
-		return Response{Error: err.Error()}
+		return codedFail(err)
 	}
 	ex := res.Explain
 	return Response{OK: true, Answer: &Answer{OK: true, OIDs: res.OIDs, Explain: &ex}}
@@ -270,7 +270,7 @@ func (c *Client) roundTripStream(req Request) (Response, error) {
 		}
 		final, ev, err := acc.AddLine(c.sc.Bytes())
 		if err != nil {
-			return Response{}, err
+			return Response{}, lineError(c.sc.Bytes(), err)
 		}
 		if ev != nil {
 			c.pending = append(c.pending, *ev)
@@ -280,10 +280,7 @@ func (c *Client) roundTripStream(req Request) (Response, error) {
 			continue
 		}
 		if !final.OK {
-			if final.Code == codeNotFound {
-				return *final, wireError{msg: final.Error, is: mod.ErrNotFound}
-			}
-			return *final, errors.New(final.Error)
+			return *final, respError(*final)
 		}
 		return *final, nil
 	}

@@ -1,0 +1,83 @@
+// Package testcert mints throwaway self-signed TLS certificates for the
+// serving-layer test suites (modserver, cluster, gateway). Nothing here
+// is production key management: the point is a certificate the test
+// process both presents and trusts, so TLS handshakes in tests exercise
+// the real crypto/tls stack without touching the system trust store.
+package testcert
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"math/big"
+	"net"
+	"time"
+)
+
+// Pair is a freshly minted self-signed server certificate plus the pool
+// that trusts it (for client-side verification).
+type Pair struct {
+	Cert tls.Certificate
+	Pool *x509.CertPool
+}
+
+// New mints a self-signed certificate valid for the given hosts (DNS
+// names or IP literals). With no hosts it covers localhost and the
+// loopback addresses — the shape every in-process test listener needs.
+func New(hosts ...string) (Pair, error) {
+	if len(hosts) == 0 {
+		hosts = []string{"localhost", "127.0.0.1", "::1"}
+	}
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return Pair{}, err
+	}
+	serial, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 128))
+	if err != nil {
+		return Pair{}, err
+	}
+	tmpl := x509.Certificate{
+		SerialNumber:          serial,
+		Subject:               pkix.Name{CommonName: "repro-test"},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(24 * time.Hour),
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+	}
+	for _, h := range hosts {
+		if ip := net.ParseIP(h); ip != nil {
+			tmpl.IPAddresses = append(tmpl.IPAddresses, ip)
+		} else {
+			tmpl.DNSNames = append(tmpl.DNSNames, h)
+		}
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		return Pair{}, err
+	}
+	leaf, err := x509.ParseCertificate(der)
+	if err != nil {
+		return Pair{}, err
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(leaf)
+	return Pair{
+		Cert: tls.Certificate{Certificate: [][]byte{der}, PrivateKey: key, Leaf: leaf},
+		Pool: pool,
+	}, nil
+}
+
+// ServerConfig returns a TLS config presenting the certificate.
+func (p Pair) ServerConfig() *tls.Config {
+	return &tls.Config{Certificates: []tls.Certificate{p.Cert}}
+}
+
+// ClientConfig returns a TLS config trusting (only) the certificate.
+func (p Pair) ClientConfig() *tls.Config {
+	return &tls.Config{RootCAs: p.Pool}
+}

@@ -65,6 +65,25 @@ type Log struct {
 	appended uint64 // batches appended to f
 	buf      []byte // reusable record encode buffer
 	closed   bool
+	stats    Stats
+}
+
+// Stats are the log's cumulative operation counters since Open/Create
+// (metrics exposition; they do not survive a restart).
+type Stats struct {
+	// Appends counts successful Append calls; AppendedBytes their total
+	// record bytes on disk.
+	Appends       uint64
+	AppendedBytes uint64
+	// Snapshots counts snapshot rotations (explicit and automatic).
+	Snapshots uint64
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
 }
 
 // RecoverInfo describes what a recovery found.
@@ -241,6 +260,8 @@ func (l *Log) Append(batch []mod.Update) error {
 		}
 	}
 	l.appended++
+	l.stats.Appends++
+	l.stats.AppendedBytes += uint64(len(l.buf))
 	return nil
 }
 
@@ -298,6 +319,7 @@ func (l *Log) snapshotLocked(store *mod.Store) error {
 	}
 	old, oldSeq := l.f, l.snapSeq
 	l.f, l.snapSeq, l.appended = f, seq, 0
+	l.stats.Snapshots++
 	_ = old.Close()
 	// GC the superseded generation. Failure is cosmetic: Recover prefers
 	// the newest loadable snapshot regardless.

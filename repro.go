@@ -29,6 +29,14 @@
 //     serving layer that retries transient shard failures
 //     (RetryPolicy) or, with ClusterOptions.Degraded, answers from the
 //     reachable shards with Explain.Degraded provenance,
+//   - production serving: the line-protocol server and client
+//     (NewModServer / DialModServer, TLS and bearer-token capable) and
+//     the HTTP+JSON gateway (NewGateway) — typed-error JSON responses,
+//     SSE subscriptions with replay-backed resume, a committed OpenAPI
+//     spec (OpenAPISpec), and a Prometheus text exposition
+//     (NewGatewayMetrics); cmd/modserver serves both, and
+//     docker-compose.yml stands up a 2-shard TLS cluster behind the
+//     gateway,
 //   - the UQL query language (the SQL sketch of Section 4), and
 //   - the probabilistic machinery for instantaneous NN queries
 //     (Sections 2.2, 3.1).
@@ -59,6 +67,19 @@
 //	tree, _ := repro.BuildIPACNN(store.All(), q, 0, 60, store.Radius(), nil, repro.TreeConfig{MaxLevels: 3})
 //	fmt.Println(tree.AnswerAt(30))                          // highest-probability NN at t=30
 //
+// Served over HTTP, the same Request rides curl — `modserver serve`
+// mounts the gateway on a local engine or a shard cluster (see
+// docker-compose.yml for the 2-shard TLS deployment and
+// EXPERIMENTS.md "Production serving" for the full walkthrough):
+//
+//	modserver serve -http :8080 -r 0.5 &
+//	curl -X POST localhost:8080/v1/ingest \
+//	    -d '{"updates":[{"oid":1,"verts":[[0,0,0],[10,10,60]]}]}'
+//	curl -X POST localhost:8080/v1/query \
+//	    -d '{"kind":"UQ31","query_oid":1,"tb":0,"te":60}'
+//	curl -N "localhost:8080/v1/subscribe?kind=UQ31&query_oid=1&tb=0&te=60"
+//	curl localhost:8080/metrics
+//
 // See examples/ for runnable programs, EXPERIMENTS.md for the benchmark
 // harness (including the old-call → Request migration table), and CI
 // (.github/workflows/ci.yml) gates every push through the Makefile:
@@ -69,13 +90,17 @@ package repro
 import (
 	"context"
 
+	"repro/api/openapi"
 	"repro/internal/cluster"
 	"repro/internal/continuous"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/envelope"
 	"repro/internal/faultinject"
+	"repro/internal/gateway"
+	"repro/internal/metrics"
 	"repro/internal/mod"
+	"repro/internal/modserver"
 	"repro/internal/prune"
 	"repro/internal/queries"
 	"repro/internal/trajectory"
@@ -611,6 +636,89 @@ type FaultInjector = faultinject.Injector
 func NewFaultInjector(seed int64, plan FaultPlan) *FaultInjector {
 	return faultinject.New(seed, plan)
 }
+
+// --- production serving (line protocol + HTTP gateway + metrics) ---
+
+// ModServer serves a store over a TCP listener with the line-delimited
+// JSON protocol (insert/get/query/subscribe/ingest; see
+// internal/modserver's package doc). Wrap the listener with
+// tls.NewListener for TLS; Options.Token requires every connection to
+// authenticate before its first operation.
+type ModServer = modserver.Server
+
+// ModServerOptions hardens a serving process: read/write deadlines,
+// request-line caps, the WAL journal hook, and the bearer token.
+type ModServerOptions = modserver.Options
+
+// NewModServer builds a line-protocol server over a store and engine
+// (nil engine: one worker per CPU).
+func NewModServer(store *Store, eng *Engine, o ModServerOptions) *ModServer {
+	return modserver.NewServerWith(store, eng, o)
+}
+
+// ModClient is the synchronous line-protocol client; open one per
+// goroutine.
+type ModClient = modserver.Client
+
+// ModDialOptions carries the client-side transport security: a TLS
+// config and the bearer token.
+type ModDialOptions = modserver.DialOptions
+
+// DialModServer connects to a modserver, completing the TLS handshake
+// and token authentication before returning.
+func DialModServer(addr string, o ModDialOptions) (*ModClient, error) {
+	return modserver.DialWith(addr, o)
+}
+
+// Gateway is the production HTTP+JSON serving layer: POST /v1/query and
+// /v1/batch carry Request/Result verbatim with the typed error taxonomy
+// mapped to status codes, POST /v1/ingest applies live updates through
+// the hub (write-ahead durable when a journal is wired), GET
+// /v1/subscribe streams subscription diffs as Server-Sent Events with
+// Last-Event-ID/from_seq resume, and /metrics, /healthz, /readyz and
+// /openapi.yaml serve operations. See internal/gateway and the
+// committed api/openapi/gateway.yaml.
+type Gateway = gateway.Server
+
+// GatewayOptions configures a Gateway: the backend (EngineGatewayBackend
+// or a cluster Router), the live hub, TLS-agnostic token auth, body and
+// deadline caps, and the metrics surface.
+type GatewayOptions = gateway.Options
+
+// GatewayBackend answers /v1/query and /v1/batch: a local engine
+// (EngineGatewayBackend) or a sharded Router.
+type GatewayBackend = gateway.Backend
+
+// EngineGatewayBackend adapts a local engine over one store to the
+// gateway's backend contract.
+type EngineGatewayBackend = gateway.EngineBackend
+
+// NewGateway builds the HTTP gateway; serve it with Gateway.Serve (wrap
+// the listener with tls.NewListener for HTTPS) and stop it with
+// Gateway.Shutdown, which drains in-flight requests and severs SSE
+// streams (their subscriptions stay resumable).
+func NewGateway(o GatewayOptions) (*Gateway, error) { return gateway.New(o) }
+
+// GatewayMetrics aggregates the serving metric families — HTTP traffic,
+// query outcomes and Explain provenance, SSE stream churn, ingest and
+// hub/WAL counters — on one registry, exposed at GET /metrics in
+// Prometheus text format.
+type GatewayMetrics = gateway.Metrics
+
+// NewGatewayMetrics registers the gateway families on reg (a fresh
+// registry when nil).
+func NewGatewayMetrics(reg *MetricsRegistry) *GatewayMetrics { return gateway.NewMetrics(reg) }
+
+// MetricsRegistry is the dependency-free Prometheus registry
+// (text exposition format 0.0.4) behind the gateway's /metrics.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.New() }
+
+// OpenAPISpec is the committed OpenAPI 3.0 document describing the
+// gateway's HTTP surface; the gateway serves it at GET /openapi.yaml.
+var OpenAPISpec = openapi.Spec
 
 // --- UQL (Section 4's SQL sketch) ---
 

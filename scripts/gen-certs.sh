@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Generate a throwaway development CA plus one node certificate whose
+# SANs cover the compose service names and localhost. Every node (both
+# shards and the gateway) shares the certificate; clients verify against
+# ca.pem. Nothing here is production PKI — it exists so the compose
+# cluster and the quickstart run with TLS verification actually on.
+set -euo pipefail
+
+dir="${1:-certs}"
+mkdir -p "$dir"
+
+if [ -f "$dir/ca.pem" ] && [ -f "$dir/node.pem" ] && [ -f "$dir/node.key" ]; then
+	echo "gen-certs: $dir already populated; delete it to regenerate"
+	exit 0
+fi
+
+openssl req -x509 -newkey ec -pkeyopt ec_paramgen_curve:P-256 -nodes \
+	-keyout "$dir/ca.key" -out "$dir/ca.pem" -days 30 \
+	-subj "/CN=repro-dev-ca" >/dev/null 2>&1
+
+openssl req -newkey ec -pkeyopt ec_paramgen_curve:P-256 -nodes \
+	-keyout "$dir/node.key" -out "$dir/node.csr" \
+	-subj "/CN=repro-node" >/dev/null 2>&1
+
+extfile="$dir/san.ext"
+printf 'subjectAltName=DNS:shard0,DNS:shard1,DNS:gateway,DNS:localhost,IP:127.0.0.1\n' > "$extfile"
+openssl x509 -req -in "$dir/node.csr" -CA "$dir/ca.pem" -CAkey "$dir/ca.key" \
+	-CAcreateserial -out "$dir/node.pem" -days 30 -extfile "$extfile" >/dev/null 2>&1
+rm -f "$dir/node.csr" "$extfile" "$dir/ca.srl"
+
+# The distroless containers run as nonroot; the key must be readable.
+chmod 644 "$dir"/*.key "$dir"/*.pem
+echo "gen-certs: wrote $dir/ca.pem and $dir/node.pem (+keys)"
