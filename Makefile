@@ -2,9 +2,9 @@
 # parallel jobs — lint (`make fmt vet staticcheck`), test (`make build
 # race cover`), chaos (`make chaos`), serve (`make serve-smoke`, the
 # Docker compose cluster), and bench (`make bench-smoke bench-api
-# bench-prune bench-shard bench-live` plus a `figures -fig summary` step
-# table) — and the nightly workflow adds `make bench-shard-large bench`
-# with the MIN_SHARD_SPEEDUP=2.0 gate.
+# bench-prune bench-text bench-shard bench-live` plus a `figures -fig
+# summary` step table) — and the nightly workflow adds `make
+# bench-shard-large bench` with the MIN_SHARD_SPEEDUP=2.0 gate.
 
 GO ?= go
 
@@ -16,7 +16,7 @@ GO ?= go
 # committed BENCH_shard.json baseline minus a tolerance.
 MIN_SHARD_SPEEDUP ?= 0
 
-.PHONY: all build test race bench bench-smoke bench-prune bench-api bench-shard bench-shard-large bench-live cover fmt vet staticcheck chaos chaos-soak serve-smoke clean
+.PHONY: all build test race bench bench-smoke bench-prune bench-text bench-api bench-shard bench-shard-large bench-live cover fmt vet staticcheck chaos chaos-soak serve-smoke clean
 
 all: fmt vet staticcheck build test
 
@@ -32,9 +32,9 @@ test:
 race:
 	$(GO) test -race -timeout 20m ./...
 
-# Full benchmark run (minutes on a laptop), plus the pruning, shard, and
-# live-serving artifacts.
-bench: bench-prune bench-shard bench-live
+# Full benchmark run (minutes on a laptop), plus the pruning, text,
+# shard, and live-serving artifacts.
+bench: bench-prune bench-text bench-shard bench-live
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
 
 # Index-accelerated pruning experiment: indexed vs full-scan UQ31 latency
@@ -42,6 +42,14 @@ bench: bench-prune bench-shard bench-live
 # (uploaded by CI on every push).
 bench-prune:
 	$(GO) run ./cmd/figures -fig prune -prune-json BENCH_prune.json
+
+# Spatio-textual experiment: filtered UQ31 through the hybrid
+# keyword/R-tree index vs the naive filter-then-refine baseline, emitted
+# as BENCH_text.json. Fails unless every row is equal=true (the sub-MOD
+# correctness gate) and the hybrid path wins at the largest N
+# (-text-min-speedup defaults to 1).
+bench-text:
+	$(GO) run ./cmd/figures -fig text -text-json BENCH_text.json
 
 # One-iteration smoke: every benchmark compiles and executes.
 bench-smoke:
@@ -81,9 +89,10 @@ bench-live:
 # Per-package coverage floors for the subsystems whose correctness
 # arguments live in their tests (dirty-set soundness, prune
 # conservativeness, the distributed bound exchange, the gateway's
-# protocol/auth/SSE surface and its metric exposition). Writes
-# COVERAGE.txt and fails below 80%.
-COVER_PKGS = ./internal/continuous ./internal/prune ./internal/cluster ./internal/gateway ./internal/metrics
+# protocol/auth/SSE surface and its metric exposition, and the hybrid
+# keyword index's predicate/posting algebra). Writes COVERAGE.txt and
+# fails below 80%.
+COVER_PKGS = ./internal/continuous ./internal/prune ./internal/cluster ./internal/gateway ./internal/metrics ./internal/textidx
 cover:
 	@set -e; rm -f COVERAGE.txt; \
 	for pkg in $(COVER_PKGS); do \

@@ -6,6 +6,7 @@
 //	figures -fig 13                 # pruning power vs uncertainty radius
 //	figures -fig par                # parallel batch engine vs serial loops
 //	figures -fig prune              # index-accelerated pruning vs full scan
+//	figures -fig text               # spatio-textual hybrid index vs filter-then-refine (make bench-text)
 //	figures -fig api                # Engine.Do overhead gate (make bench-api)
 //	figures -fig shard              # sharded router vs single engine (make bench-shard)
 //	figures -fig shard -large       # the same sweep at the large population (make bench-shard-large)
@@ -46,6 +47,10 @@ func main() {
 		pruneNs     = flag.String("prune-n", "500,1000,2000,4000", "population sizes for the index-pruning experiment")
 		pruneRep    = flag.Int("prune-reps", 3, "query trajectories averaged per size in the index-pruning experiment")
 		pruneOut    = flag.String("prune-json", "", "path to write the BENCH_prune.json artifact (optional)")
+		textNs      = flag.String("text-n", "500,1000,2000,4000", "population sizes for the spatio-textual experiment")
+		textReps    = flag.Int("text-reps", 3, "query trajectories averaged per size in the spatio-textual experiment")
+		textOut     = flag.String("text-json", "", "path to write the BENCH_text.json artifact (optional)")
+		textMin     = flag.Float64("text-min-speedup", 1, "fail when the hybrid-index speedup at the largest N falls below this (0 disables)")
 		shardN      = flag.Int("shard-n", 500, "population size for the shard-scaling experiment")
 		shardReps   = flag.Int("shard-reps", 3, "query trajectories per shard-scaling rep")
 		shardPasses = flag.Int("shard-passes", 3, "interleaved single/router measurement passes per shard row")
@@ -138,10 +143,11 @@ func main() {
 	runE4 := *fig == "e4" || *fig == "all"
 	runPar := *fig == "par" || *fig == "all"
 	runPrune := *fig == "prune" || *fig == "all"
+	runText := *fig == "text" || *fig == "all"
 	runAPI := *fig == "api" || *fig == "all"
 	runShard := *fig == "shard" || *fig == "all"
 	runLive := *fig == "live" || *fig == "all"
-	if !run11 && !run12 && !run13 && !runE4 && !runPar && !runPrune && !runAPI && !runShard && !runLive {
+	if !run11 && !run12 && !run13 && !runE4 && !runPar && !runPrune && !runText && !runAPI && !runShard && !runLive {
 		fatal(fmt.Errorf("unknown -fig %q", *fig))
 	}
 
@@ -230,6 +236,48 @@ func main() {
 			last := rows[len(rows)-1]
 			if last.Speedup < *pruneMin {
 				fatal(fmt.Errorf("index-pruning speedup %.2fx at N=%d is below the %.2fx gate", last.Speedup, last.N, *pruneMin))
+			}
+		}
+	}
+	if runText {
+		fmt.Println("== Spatio-textual: hybrid keyword/R-tree index vs filter-then-refine (filtered UQ31) ==")
+		const textRadius = 0.5
+		sizesText, err := parseInts(*textNs)
+		if err != nil {
+			fatal(err)
+		}
+		rows, err := bench.TextSweep(sizesText, *textReps, textRadius, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(bench.FormatText(rows))
+		writeCSV("text.csv", bench.CSVText(rows))
+		if *textOut != "" {
+			f, err := os.Create(*textOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := bench.WriteTextJSON(f, rows, textRadius, *textReps, *seed); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *textOut)
+		}
+		// Correctness first: a divergence between the hybrid path and the
+		// filter-then-refine baseline fails the run after the evidence is
+		// on disk. Then the pruning must actually pay at the largest N.
+		for _, r := range rows {
+			if !r.Equal {
+				fatal(fmt.Errorf("hybrid filtered UQ31 diverged from filter-then-refine at N=%d", r.N))
+			}
+		}
+		if *textMin > 0 && len(rows) > 0 {
+			last := rows[len(rows)-1]
+			if last.Speedup < *textMin {
+				fatal(fmt.Errorf("hybrid-index speedup %.2fx at N=%d is below the %.2fx gate", last.Speedup, last.N, *textMin))
 			}
 		}
 	}

@@ -7,7 +7,8 @@
 //
 // With -shards N the same dashboard refresh also runs through a sharded
 // cluster router (N in-process hash-partitioned shards): answers must be
-// identical to the single engine — the two-phase NN bound exchange keeps
+// identical to the single engine — the tag-filtered row included, since
+// shard splits carry tag sets — the two-phase NN bound exchange keeps
 // the global envelope semantics — and the merged Explain shows which
 // shard contributed which survivors.
 package main
@@ -81,20 +82,35 @@ func main() {
 		fmt.Printf("\nvans that can never be the closest backup: %v\n", tree.PrunedOIDs)
 	}
 
+	// Vans carry attribute tags: 2, 3 and 5 are certified to take over a
+	// priority route; van 3 alone is refrigerated. The dashboard's
+	// spatio-textual row answers over the certified sub-fleet only.
+	for oid, tags := range map[int64][]string{
+		2: {"certified"}, 3: {"certified", "refrigerated"}, 5: {"certified"},
+	} {
+		if err := store.SetTags(oid, tags); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	// Dispatch's dashboard refreshes several views of the same window at
 	// once — which vans could ever be closest (UQ31), which at least a
-	// quarter of the shift (UQ33), and which can rank top-2 throughout
-	// (UQ42). Run them as one batch through the unified API: the envelope
+	// quarter of the shift (UQ33), which can rank top-2 throughout
+	// (UQ42), and which *certified* vans could ever be closest (the
+	// spatio-textual row). Run them as one batch through the unified API: the envelope
 	// preprocessing is paid once, the per-van checks run in parallel, and
 	// the dashboard's refresh deadline rides in on the context.
 	eng := repro.NewEngine(0)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	results, err := eng.DoBatch(ctx, store, []repro.Request{
+	certified := &repro.Predicate{All: []string{"certified"}}
+	dashboard := []repro.Request{
 		{Kind: repro.KindUQ31, QueryOID: q.OID, Tb: tb, Te: te},
 		{Kind: repro.KindUQ33, QueryOID: q.OID, Tb: tb, Te: te, X: 0.25},
 		{Kind: repro.KindUQ42, QueryOID: q.OID, Tb: tb, Te: te, K: 2},
-	})
+		{Kind: repro.KindUQ31, QueryOID: q.OID, Tb: tb, Te: te, Where: certified},
+	}
+	results, err := eng.DoBatch(ctx, store, dashboard)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -102,6 +118,7 @@ func main() {
 		"vans ever possibly-closest",
 		"vans possibly-closest >= 25% of the shift",
 		"vans possibly top-2 for the whole shift",
+		"certified vans ever possibly-closest",
 	}
 	for i, label := range labels {
 		if results[i].Err != nil {
@@ -120,11 +137,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		routed, err := router.DoBatch(ctx, []repro.Request{
-			{Kind: repro.KindUQ31, QueryOID: q.OID, Tb: tb, Te: te},
-			{Kind: repro.KindUQ33, QueryOID: q.OID, Tb: tb, Te: te, X: 0.25},
-			{Kind: repro.KindUQ42, QueryOID: q.OID, Tb: tb, Te: te, K: 2},
-		})
+		routed, err := router.DoBatch(ctx, dashboard)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -3,7 +3,9 @@
 // queries ("which drivers are >= 40% likely to be closest at least a third
 // of the window?"), guaranteed-NN intervals, reverse NN ("which riders
 // might driver 2 be closest to?"), mutual pairs, heterogeneous uncertainty
-// radii (downtown GPS is worse), and top-k membership probabilities.
+// radii (downtown GPS is worse), top-k membership probabilities, and
+// spatio-textual dispatch (tag predicates restricting a query to the
+// available non-pool sub-fleet, with live duty-status flips).
 package main
 
 import (
@@ -79,6 +81,50 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\ndriver 2 could be the closest option for riders: %v\n", rev.OIDs)
+
+	// Spatio-textual dispatch: drivers carry attribute tags (duty status,
+	// vehicle class), and a tag predicate on the Request restricts the
+	// answer to the matching sub-fleet — byte-identical to querying a
+	// store holding only those drivers. Here: who can be closest among
+	// available drivers that are not pool vehicles?
+	for _, tr := range trs {
+		var tags []string
+		if tr.OID%2 == 0 {
+			tags = append(tags, "available")
+		}
+		if tr.OID%5 == 0 {
+			tags = append(tags, "pool")
+		}
+		if tags != nil {
+			if err := store.SetTags(tr.OID, tags); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	where := &repro.Predicate{All: []string{"available"}, Not: []string{"pool"}}
+	avail, err := eng.Do(context.Background(), store, repro.Request{
+		Kind: repro.KindUQ31, QueryOID: rider.OID, Tb: 0, Te: 60, Where: where,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\navailable non-pool drivers who can be closest: %v\n", avail.OIDs)
+	fmt.Printf("  (keyword index narrowed %d spatial candidates to %d tagged ones)\n",
+		avail.Explain.SpatialCandidates, avail.Explain.TextualCandidates)
+
+	// Driver 3 comes on duty: a pure tag flip — no motion change — and the
+	// filtered view updates on the next evaluation.
+	onDuty := []string{"available"}
+	if _, err := store.ApplyUpdates([]repro.Update{{OID: 3, Tags: &onDuty}}); err != nil {
+		log.Fatal(err)
+	}
+	after, err := eng.Do(context.Background(), store, repro.Request{
+		Kind: repro.KindUQ31, QueryOID: rider.OID, Tb: 0, Te: 60, Where: where,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after driver 3 comes on duty: %v\n", after.OIDs)
 
 	// Heterogeneous uncertainty: downtown units (odd OIDs) have 3x worse
 	// GPS. Who can be closest to the rider now?

@@ -64,6 +64,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/mod"
 	"repro/internal/prune"
+	"repro/internal/textidx"
 	"repro/internal/trajectory"
 )
 
@@ -123,17 +124,22 @@ type Shard interface {
 	Spec(ctx context.Context) (mod.PDFSpec, error)
 	// Len reports how many trajectories the shard holds.
 	Len(ctx context.Context) (int, error)
-	// Get returns the trajectory stored under oid, or an error satisfying
-	// errors.Is(err, mod.ErrNotFound) when the shard does not hold it.
-	Get(ctx context.Context, oid int64) (*trajectory.Trajectory, error)
+	// Get returns the trajectory stored under oid and its tag set (nil
+	// when untagged), or an error satisfying errors.Is(err,
+	// mod.ErrNotFound) when the shard does not hold it.
+	Get(ctx context.Context, oid int64) (*trajectory.Trajectory, []string, error)
 	// Bounds is phase 1 of the NN bound exchange: per slice of
 	// prune.SliceCuts(q, tb, te), an upper bound on the shard's local
 	// Level-k envelope against q (+Inf where the shard cannot bound it).
-	Bounds(ctx context.Context, q *trajectory.Trajectory, tb, te float64, k int) ([]float64, error)
+	// A non-nil where restricts the shard's object universe to the
+	// matching sub-MOD (the query itself stays exempt) — the sub-MOD
+	// envelope is a different curve, not a filtered view of the full one.
+	Bounds(ctx context.Context, q *trajectory.Trajectory, tb, te float64, k int, where *textidx.Predicate) ([]float64, error)
 	// Survivors is phase 2: the shard's objects that can enter the 4r
 	// zone of the globally merged bounds, as full trajectories, plus the
-	// sweep statistics.
-	Survivors(ctx context.Context, q *trajectory.Trajectory, tb, te float64, bounds []float64) ([]*trajectory.Trajectory, prune.Stats, error)
+	// sweep statistics. where must match the Bounds call of the same
+	// exchange.
+	Survivors(ctx context.Context, q *trajectory.Trajectory, tb, te float64, bounds []float64, where *textidx.Predicate) ([]*trajectory.Trajectory, prune.Stats, error)
 	// Refine is the distributed-refine phase: evaluate a whole-MOD filter
 	// request over the gathered union survivor store with the candidate
 	// domain restricted to own — the (sorted) survivors this shard itself
@@ -142,10 +148,11 @@ type Shard interface {
 	// reads the union in place and ignores it. The per-shard answer lists
 	// are disjoint and their union is byte-identical to a central refine.
 	Refine(ctx context.Context, gatherID string, union *mod.Store, own []int64, req engine.Request) (engine.Result, error)
-	// OIDs returns the sorted OIDs of every trajectory the shard holds —
-	// the iteration domain the all-pairs and reverse kinds union across
-	// shards before running one bound exchange per query object.
-	OIDs(ctx context.Context) ([]int64, error)
+	// OIDs returns the sorted OIDs of every trajectory the shard holds
+	// whose tags satisfy where (nil means all) — the iteration domain the
+	// all-pairs and reverse kinds union across shards before running one
+	// bound exchange per query object.
+	OIDs(ctx context.Context, where *textidx.Predicate) ([]int64, error)
 	// All returns every trajectory the shard holds — the gather path of
 	// the all-pairs and reverse kinds.
 	All(ctx context.Context) ([]*trajectory.Trajectory, error)
@@ -192,14 +199,18 @@ func (s *LocalShard) Spec(context.Context) (mod.PDFSpec, error) { return s.store
 func (s *LocalShard) Len(context.Context) (int, error) { return s.store.Len(), nil }
 
 // Get implements Shard.
-func (s *LocalShard) Get(_ context.Context, oid int64) (*trajectory.Trajectory, error) {
-	return s.store.Get(oid)
+func (s *LocalShard) Get(_ context.Context, oid int64) (*trajectory.Trajectory, []string, error) {
+	tr, err := s.store.Get(oid)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr, s.store.Tags(oid), nil
 }
 
 // Bounds implements Shard via the store's index pre-pass probe phase,
 // through the shard's sweep cache so phase 2 reuses the same session.
-func (s *LocalShard) Bounds(ctx context.Context, q *trajectory.Trajectory, tb, te float64, k int) ([]float64, error) {
-	sw, err := s.sweeps.For(s.store, q, tb, te)
+func (s *LocalShard) Bounds(ctx context.Context, q *trajectory.Trajectory, tb, te float64, k int, where *textidx.Predicate) ([]float64, error) {
+	sw, err := s.sweeps.ForWhere(s.store, q, tb, te, where)
 	if err != nil {
 		return nil, err
 	}
@@ -207,8 +218,8 @@ func (s *LocalShard) Bounds(ctx context.Context, q *trajectory.Trajectory, tb, t
 }
 
 // Survivors implements Shard via the store's bound-driven sweep.
-func (s *LocalShard) Survivors(ctx context.Context, q *trajectory.Trajectory, tb, te float64, bounds []float64) ([]*trajectory.Trajectory, prune.Stats, error) {
-	sw, err := s.sweeps.For(s.store, q, tb, te)
+func (s *LocalShard) Survivors(ctx context.Context, q *trajectory.Trajectory, tb, te float64, bounds []float64, where *textidx.Predicate) ([]*trajectory.Trajectory, prune.Stats, error) {
+	sw, err := s.sweeps.ForWhere(s.store, q, tb, te, where)
 	if err != nil {
 		return nil, prune.Stats{}, err
 	}
@@ -250,8 +261,8 @@ func (s *LocalShard) adoptRefineEngine(e *engine.Engine) {
 }
 
 // OIDs implements Shard.
-func (s *LocalShard) OIDs(context.Context) ([]int64, error) {
-	return s.store.OIDs(), nil
+func (s *LocalShard) OIDs(_ context.Context, where *textidx.Predicate) ([]int64, error) {
+	return s.store.MatchingOIDs(where), nil
 }
 
 // All implements Shard.
@@ -293,13 +304,19 @@ func SplitStore(store *mod.Store, n int, part Partitioner) ([]*mod.Store, error)
 		}
 		out[i] = s
 	}
-	for _, tr := range store.All() {
+	trs, tags, _ := store.AllWithTags()
+	for _, tr := range trs {
 		i := part.Place(tr, n)
 		if i < 0 || i >= n {
 			return nil, fmt.Errorf("cluster: partitioner %s placed OID %d on shard %d of %d", part.Name(), tr.OID, i, n)
 		}
 		if err := out[i].Insert(tr); err != nil {
 			return nil, err
+		}
+		if ts := tags[tr.OID]; len(ts) > 0 {
+			if err := out[i].SetTags(tr.OID, ts); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return out, nil

@@ -169,11 +169,11 @@ func (r *Router) ZoneProfile(ctx context.Context, qOID int64, tb, te float64, k 
 	if k < 1 {
 		k = 1
 	}
-	q, err := r.getTrajectory(ctx, qOID)
+	q, _, err := r.getTrajectory(ctx, qOID)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
-	bounds, phase2, _, err := r.exchange(ctx, q, tb, te, k)
+	bounds, phase2, _, err := r.exchange(ctx, q, tb, te, k, nil)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}

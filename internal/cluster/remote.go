@@ -15,6 +15,7 @@ import (
 	"repro/internal/mod"
 	"repro/internal/modserver"
 	"repro/internal/prune"
+	"repro/internal/textidx"
 	"repro/internal/trajectory"
 )
 
@@ -368,36 +369,39 @@ func (s *RemoteShard) Len(ctx context.Context) (int, error) {
 
 // Get implements Shard. A missing OID satisfies errors.Is(err,
 // mod.ErrNotFound) across the wire (the server codes the failure).
-func (s *RemoteShard) Get(ctx context.Context, oid int64) (*trajectory.Trajectory, error) {
-	var tr *trajectory.Trajectory
+func (s *RemoteShard) Get(ctx context.Context, oid int64) (*trajectory.Trajectory, []string, error) {
+	var (
+		tr   *trajectory.Trajectory
+		tags []string
+	)
 	err := s.callIdempotent(ctx, func(c *modserver.Client) error {
 		var err error
-		tr, err = c.Get(oid)
+		tr, tags, err = c.GetTagged(oid)
 		return err
 	})
-	return tr, err
+	return tr, tags, err
 }
 
 // Bounds implements Shard (phase 1 on the wire).
-func (s *RemoteShard) Bounds(ctx context.Context, q *trajectory.Trajectory, tb, te float64, k int) ([]float64, error) {
+func (s *RemoteShard) Bounds(ctx context.Context, q *trajectory.Trajectory, tb, te float64, k int, where *textidx.Predicate) ([]float64, error) {
 	var bounds []float64
 	err := s.callIdempotent(ctx, func(c *modserver.Client) error {
 		var err error
-		bounds, err = c.ShardBounds(q, tb, te, k, deadlineOf(ctx))
+		bounds, err = c.ShardBounds(q, tb, te, k, where, deadlineOf(ctx))
 		return err
 	})
 	return bounds, err
 }
 
 // Survivors implements Shard (phase 2 on the wire).
-func (s *RemoteShard) Survivors(ctx context.Context, q *trajectory.Trajectory, tb, te float64, bounds []float64) ([]*trajectory.Trajectory, prune.Stats, error) {
+func (s *RemoteShard) Survivors(ctx context.Context, q *trajectory.Trajectory, tb, te float64, bounds []float64, where *textidx.Predicate) ([]*trajectory.Trajectory, prune.Stats, error) {
 	var (
 		trs   []*trajectory.Trajectory
 		stats prune.Stats
 	)
 	err := s.callIdempotent(ctx, func(c *modserver.Client) error {
 		var err error
-		trs, stats, err = c.ShardSurvivors(q, tb, te, bounds, deadlineOf(ctx))
+		trs, stats, err = c.ShardSurvivors(q, tb, te, bounds, where, deadlineOf(ctx))
 		return err
 	})
 	return trs, stats, err
@@ -422,11 +426,11 @@ func (s *RemoteShard) Refine(ctx context.Context, gatherID string, union *mod.St
 }
 
 // OIDs implements Shard (the oids phase on the wire).
-func (s *RemoteShard) OIDs(ctx context.Context) ([]int64, error) {
+func (s *RemoteShard) OIDs(ctx context.Context, where *textidx.Predicate) ([]int64, error) {
 	var oids []int64
 	err := s.callIdempotent(ctx, func(c *modserver.Client) error {
 		var cerr error
-		oids, cerr = c.ShardOIDs()
+		oids, cerr = c.ShardOIDs(where)
 		return cerr
 	})
 	return oids, err

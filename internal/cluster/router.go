@@ -14,6 +14,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/mod"
 	"repro/internal/prune"
+	"repro/internal/textidx"
 	"repro/internal/trajectory"
 )
 
@@ -124,12 +125,16 @@ func (r *Router) Shards() int { return len(r.shards) }
 // Partitioner reports the placement scheme.
 func (r *Router) Partitioner() Partitioner { return r.part }
 
-// gatherKey identifies one bound-exchange gather: a query trajectory and
-// a window. Rank rides separately so a batch's deepest rank widens one
-// shared gather instead of repeating it per level.
+// gatherKey identifies one bound-exchange gather: a query trajectory, a
+// window, and the canonical predicate key (empty when unfiltered) — a
+// filtered exchange runs over a different sub-MOD, so its union store is
+// not interchangeable with the unfiltered one. Rank rides separately so a
+// batch's deepest rank widens one shared gather instead of repeating it
+// per level.
 type gatherKey struct {
 	qOID   int64
 	tb, te float64
+	where  string
 }
 
 // gathered is the outcome of one scatter/gather round: the transient
@@ -150,8 +155,14 @@ type gathered struct {
 	own     [][]int64
 	k       int
 	targets map[int64]bool // target OIDs already resolved (found or not)
-	q       *trajectory.Trajectory
-	bounds  []float64
+	// nonMatch marks resolved targets that exist in the cluster but fail
+	// the gather's predicate: they are NOT inserted into the union store
+	// (sub-MOD semantics), and the dispatcher answers false for them
+	// without consulting the inner engine — the same short-circuit the
+	// single-store engine draws before building a processor.
+	nonMatch map[int64]bool
+	q        *trajectory.Trajectory
+	bounds   []float64
 	// missing lists, sorted, the shard indexes this round went without
 	// (degraded routers only; always nil on strict routers, where a lost
 	// shard fails the round instead).
@@ -191,7 +202,7 @@ func (r *Router) DoBatch(ctx context.Context, reqs []engine.Request) ([]engine.R
 		if req.Validate() != nil || !needsProcessor(req.Kind) {
 			continue
 		}
-		key := gatherKey{req.QueryOID, req.Tb, req.Te}
+		key := gatherKey{req.QueryOID, req.Tb, req.Te, req.Where.Canon().Key()}
 		if k := req.Rank(); k > maxK[key] {
 			maxK[key] = k
 		}
@@ -233,6 +244,7 @@ func (r *Router) dispatch(ctx context.Context, req engine.Request, caches map[ga
 	if err := ctxErr(ctx); err != nil {
 		return fail(err)
 	}
+	req.Where = req.Where.Canon()
 	if !needsProcessor(req.Kind) {
 		inner, err := r.perQueryObject(ctx, req)
 		inner.Explain.Shards = len(r.shards)
@@ -240,27 +252,42 @@ func (r *Router) dispatch(ctx context.Context, req engine.Request, caches map[ga
 		inner.Explain.Wall = time.Since(start)
 		return inner, nil, err
 	}
-	key := gatherKey{req.QueryOID, req.Tb, req.Te}
+	key := gatherKey{req.QueryOID, req.Tb, req.Te, req.Where.Key()}
 	k := req.Rank()
 	if mk := maxK[key]; mk > k {
 		k = mk
 	}
-	g, err := r.gather(ctx, key, k, caches)
+	g, err := r.gather(ctx, key, k, caches, req.Where)
 	if err != nil {
 		return fail(err)
 	}
 	if oid, ok := targetOID(req); ok {
-		if err := r.ensureTarget(ctx, g, oid); err != nil {
+		if err := r.ensureTarget(ctx, g, oid, req.Where); err != nil {
 			return fail(err)
 		}
+		if g.nonMatch[oid] {
+			// The target exists but fails the predicate: under sub-MOD
+			// semantics it is simply not in the query's universe, so every
+			// single-object kind answers false — before any refinement.
+			res.IsBool = true
+			res.Explain.ShardExplains = g.shardEx
+			r.applyDegraded(&res.Explain, g.missing)
+			res.Explain.Wall = time.Since(start)
+			return res, g, nil
+		}
 	}
+	// The union store is already the predicate's sub-MOD (the exchange
+	// filtered at the shards) but carries no tags, so the predicate must
+	// not travel further: refinement runs unfiltered over the union.
+	creq := req
+	creq.Where = nil
 	var inner engine.Result
 	if req.Kind.IsWholeMODFilter() {
-		inner, err = r.refineDistributed(ctx, g, req)
+		inner, err = r.refineDistributed(ctx, g, creq)
 	} else {
 		// Single-object and predicate kinds are O(1) in the survivor
 		// count once the union is built; they stay central.
-		inner, err = r.inner.Do(ctx, g.store, req)
+		inner, err = r.inner.Do(ctx, g.store, creq)
 		inner.Explain.ShardExplains = g.shardEx
 		r.applyDegraded(&inner.Explain, g.missing)
 	}
@@ -355,12 +382,14 @@ func mergeSorted(lists [][]int64) []int64 {
 
 // gather runs the two-phase bound exchange for one (query, window) at
 // rank k, building the transient refinement store, or returns the cached
-// round when a batch already paid for it at sufficient rank.
-func (r *Router) gather(ctx context.Context, key gatherKey, k int, caches map[gatherKey]*gathered) (*gathered, error) {
+// round when a batch already paid for it at sufficient rank. where must
+// be canonical and agree with key.where — it restricts the exchange to
+// the predicate's sub-MOD (the query itself stays exempt at the shards).
+func (r *Router) gather(ctx context.Context, key gatherKey, k int, caches map[gatherKey]*gathered, where *textidx.Predicate) (*gathered, error) {
 	if g, ok := caches[key]; ok && g.k >= k {
 		return g, nil
 	}
-	q, err := r.getTrajectory(ctx, key.qOID)
+	q, _, err := r.getTrajectory(ctx, key.qOID)
 	if err != nil {
 		if errors.Is(err, mod.ErrNotFound) {
 			// Same typed error as the single-store engine, whose
@@ -373,7 +402,7 @@ func (r *Router) gather(ctx context.Context, key gatherKey, k int, caches map[ga
 		}
 		return nil, err
 	}
-	bounds, phase2, missing, err := r.exchange(ctx, q, key.tb, key.te, k)
+	bounds, phase2, missing, err := r.exchange(ctx, q, key.tb, key.te, k, where)
 	if err != nil {
 		return nil, err
 	}
@@ -413,7 +442,7 @@ func (r *Router) gather(ctx context.Context, key gatherKey, k int, caches map[ga
 			own[si] = append(own[si], tr.OID)
 		}
 	}
-	g := &gathered{id: r.nextGatherID(), store: store, shardEx: shardEx, own: own, k: k, targets: make(map[int64]bool), q: q, bounds: bounds, missing: missing}
+	g := &gathered{id: r.nextGatherID(), store: store, shardEx: shardEx, own: own, k: k, targets: make(map[int64]bool), nonMatch: make(map[int64]bool), q: q, bounds: bounds, missing: missing}
 	caches[key] = g
 	return g, nil
 }
@@ -439,7 +468,7 @@ type survReply struct {
 // envelope, so pruning stays sound — the zone just keeps more
 // survivors), and a phase-2 absence drops that shard's objects from the
 // round entirely, which is the documented degraded-answer semantics.
-func (r *Router) exchange(ctx context.Context, q *trajectory.Trajectory, tb, te float64, k int) ([]float64, []survReply, []int, error) {
+func (r *Router) exchange(ctx context.Context, q *trajectory.Trajectory, tb, te float64, k int, where *textidx.Predicate) ([]float64, []survReply, []int, error) {
 	cuts := prune.SliceCuts(q, tb, te)
 	nSlices := len(cuts) - 1
 
@@ -449,7 +478,7 @@ func (r *Router) exchange(ctx context.Context, q *trajectory.Trajectory, tb, te 
 	}
 	phase1, ok1, err := scatterMode(r, ctx, func(ctx context.Context, _ int, s Shard) (boundsReply, error) {
 		t0 := time.Now()
-		bs, err := s.Bounds(ctx, q, tb, te, k)
+		bs, err := s.Bounds(ctx, q, tb, te, k, where)
 		return boundsReply{bounds: bs, wall: time.Since(t0)}, err
 	})
 	if err != nil {
@@ -476,7 +505,7 @@ func (r *Router) exchange(ctx context.Context, q *trajectory.Trajectory, tb, te 
 
 	phase2, ok2, err := scatterMode(r, ctx, func(ctx context.Context, i int, s Shard) (survReply, error) {
 		t0 := time.Now()
-		trs, stats, err := s.Survivors(ctx, q, tb, te, global)
+		trs, stats, err := s.Survivors(ctx, q, tb, te, global, where)
 		return survReply{trs: trs, stats: stats, wall: phase1[i].wall + time.Since(t0)}, err
 	})
 	if err != nil {
@@ -514,7 +543,7 @@ func (r *Router) perQueryObject(ctx context.Context, req engine.Request) (engine
 	}
 	replies, okOIDs, err := scatterMode(r, ctx, func(ctx context.Context, _ int, s Shard) (oidsReply, error) {
 		t0 := time.Now()
-		ids, err := s.OIDs(ctx)
+		ids, err := s.OIDs(ctx, req.Where)
 		return oidsReply{oids: ids, wall: time.Since(t0)}, err
 	})
 	if err != nil {
@@ -545,12 +574,21 @@ func (r *Router) perQueryObject(ctx context.Context, req engine.Request) (engine
 	// in every per-object union store so UQ11 never reports it unknown.
 	var target *trajectory.Trajectory
 	if req.Kind == engine.KindReverse {
-		tr, err := r.getTrajectory(ctx, req.OID)
+		tr, tags, err := r.getTrajectory(ctx, req.OID)
 		if err != nil {
 			if errors.Is(err, mod.ErrNotFound) {
 				return fail(fmt.Errorf("%w: %d", engine.ErrUnknownOID, req.OID))
 			}
 			return fail(err)
+		}
+		if req.Where != nil && !req.Where.Matches(tags) {
+			// Sub-MOD semantics: an existing target outside the predicate's
+			// universe has no possible reverse neighbors there — empty, not
+			// an error, exactly like the single-store engine.
+			res.Explain.Candidates = len(union)
+			res.Explain.Survivors = res.Explain.Candidates
+			r.applyDegraded(&res.Explain, missing)
+			return res, nil
 		}
 		target = tr
 	}
@@ -565,7 +603,7 @@ func (r *Router) perQueryObject(ctx context.Context, req engine.Request) (engine
 		// One fresh per-object exchange: the shared batch cache is keyed
 		// per (query, window) and guarded by the sequential dispatch loop,
 		// so the concurrent per-object gathers use private cache maps.
-		g, err := r.gather(ctx, gatherKey{qOID, req.Tb, req.Te}, 1, make(map[gatherKey]*gathered))
+		g, err := r.gather(ctx, gatherKey{qOID, req.Tb, req.Te, req.Where.Key()}, 1, make(map[gatherKey]*gathered), req.Where)
 		if err != nil {
 			return fmt.Errorf("query %d: %w", qOID, err)
 		}
@@ -686,12 +724,16 @@ func (r *Router) forEachIndex(ctx context.Context, n int, fn func(i int) error) 
 }
 
 // ensureTarget makes sure a single-object kind's target trajectory is in
-// the refinement store when it exists anywhere in the cluster: a target
-// outside the survivor set must still answer false (it exists but cannot
-// be the NN), not ErrUnknownOID — the distinction the single-store pruned
-// processor draws. A target absent from every shard is left absent so the
-// inner engine reports the same ErrUnknownOID a single store would.
-func (r *Router) ensureTarget(ctx context.Context, g *gathered, oid int64) error {
+// the refinement store when it exists anywhere in the cluster AND matches
+// the gather's predicate: a matching target outside the survivor set must
+// still answer false (it exists but cannot be the NN), not ErrUnknownOID
+// — the distinction the single-store pruned processor draws. A target
+// absent from every shard is left absent so the inner engine reports the
+// same ErrUnknownOID a single store would; an existing target that fails
+// the predicate is recorded in g.nonMatch and kept OUT of the union store
+// (it is not part of the sub-MOD), and the dispatcher answers false for
+// it directly.
+func (r *Router) ensureTarget(ctx context.Context, g *gathered, oid int64, where *textidx.Predicate) error {
 	if g.targets[oid] {
 		return nil
 	}
@@ -699,7 +741,7 @@ func (r *Router) ensureTarget(ctx context.Context, g *gathered, oid int64) error
 		g.targets[oid] = true
 		return nil
 	}
-	tr, err := r.getTrajectory(ctx, oid)
+	tr, tags, err := r.getTrajectory(ctx, oid)
 	if err != nil {
 		if errors.Is(err, mod.ErrNotFound) {
 			g.targets[oid] = true // globally unknown: inner engine reports it
@@ -707,37 +749,42 @@ func (r *Router) ensureTarget(ctx context.Context, g *gathered, oid int64) error
 		}
 		return err
 	}
-	if err := g.store.Insert(tr); err != nil {
-		return err
-	}
 	g.targets[oid] = true
-	return nil
+	if where != nil && !where.Matches(tags) {
+		g.nonMatch[oid] = true
+		return nil
+	}
+	return g.store.Insert(tr)
 }
 
-// getTrajectory resolves an OID to its trajectory: one shard call when
-// the partitioner can locate it, a broadcast otherwise (or when the
-// located shard surprisingly misses — shard contents are data, not an
+// getTrajectory resolves an OID to its trajectory and tag set: one shard
+// call when the partitioner can locate it, a broadcast otherwise (or when
+// the located shard surprisingly misses — shard contents are data, not an
 // invariant the router gets to assume).
-func (r *Router) getTrajectory(ctx context.Context, oid int64) (*trajectory.Trajectory, error) {
+func (r *Router) getTrajectory(ctx context.Context, oid int64) (*trajectory.Trajectory, []string, error) {
 	if loc := r.part.Locate(oid, len(r.shards)); loc >= 0 && loc < len(r.shards) {
-		tr, err := r.shards[loc].Get(ctx, oid)
+		tr, tags, err := r.shards[loc].Get(ctx, oid)
 		if err == nil {
-			return tr, nil
+			return tr, tags, nil
 		}
 		if !errors.Is(err, mod.ErrNotFound) {
 			if !r.degraded {
-				return nil, fmt.Errorf("cluster: shard %s: %w", r.shards[loc].Name(), err)
+				return nil, nil, fmt.Errorf("cluster: shard %s: %w", r.shards[loc].Name(), err)
 			}
 			// Degraded: the located copy is unreachable, but a replica may
 			// exist elsewhere — fall through to the broadcast.
 		}
 	}
+	type hit struct {
+		tr   *trajectory.Trajectory
+		tags []string
+	}
 	var failMu sync.Mutex
 	var firstFail error
-	found, ok, err := scatterMode(r, ctx, func(ctx context.Context, i int, s Shard) (*trajectory.Trajectory, error) {
-		tr, err := s.Get(ctx, oid)
+	found, ok, err := scatterMode(r, ctx, func(ctx context.Context, i int, s Shard) (hit, error) {
+		tr, tags, err := s.Get(ctx, oid)
 		if err != nil && errors.Is(err, mod.ErrNotFound) {
-			return nil, nil
+			return hit{}, nil
 		}
 		if err != nil && r.degraded {
 			failMu.Lock()
@@ -746,14 +793,14 @@ func (r *Router) getTrajectory(ctx context.Context, oid int64) (*trajectory.Traj
 			}
 			failMu.Unlock()
 		}
-		return tr, err
+		return hit{tr: tr, tags: tags}, err
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	for i, tr := range found {
-		if ok[i] && tr != nil {
-			return tr, nil
+	for i, h := range found {
+		if ok[i] && h.tr != nil {
+			return h.tr, h.tags, nil
 		}
 	}
 	// Found nowhere. If any shard was unreachable, absence is unproven:
@@ -763,12 +810,12 @@ func (r *Router) getTrajectory(ctx context.Context, oid int64) (*trajectory.Traj
 			failMu.Lock()
 			defer failMu.Unlock()
 			if firstFail != nil {
-				return nil, firstFail
+				return nil, nil, firstFail
 			}
-			return nil, &ShardUnavailableError{Shard: i, Name: r.shards[i].Name(), Err: errors.New("no reply")}
+			return nil, nil, &ShardUnavailableError{Shard: i, Name: r.shards[i].Name(), Err: errors.New("no reply")}
 		}
 	}
-	return nil, fmt.Errorf("%w: %d", mod.ErrNotFound, oid)
+	return nil, nil, fmt.Errorf("%w: %d", mod.ErrNotFound, oid)
 }
 
 // scatter fans f across every shard concurrently and waits for all of

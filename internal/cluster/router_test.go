@@ -18,6 +18,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/mod"
 	"repro/internal/prune"
+	"repro/internal/textidx"
 	"repro/internal/trajectory"
 	"repro/internal/workload"
 )
@@ -29,7 +30,7 @@ type blockingShard struct {
 	entered chan struct{}
 }
 
-func (s *blockingShard) Bounds(ctx context.Context, q *trajectory.Trajectory, tb, te float64, k int) ([]float64, error) {
+func (s *blockingShard) Bounds(ctx context.Context, q *trajectory.Trajectory, tb, te float64, k int, where *textidx.Predicate) ([]float64, error) {
 	select {
 	case s.entered <- struct{}{}:
 	default:
@@ -280,7 +281,7 @@ type failingShard struct{ cluster.Shard }
 
 var errShardDown = errors.New("shard down")
 
-func (s failingShard) Bounds(context.Context, *trajectory.Trajectory, float64, float64, int) ([]float64, error) {
+func (s failingShard) Bounds(context.Context, *trajectory.Trajectory, float64, float64, int, *textidx.Predicate) ([]float64, error) {
 	return nil, errShardDown
 }
 
@@ -314,7 +315,7 @@ func TestScatterFailsFast(t *testing.T) {
 // badBoundsShard returns a bounds vector of the wrong length.
 type badBoundsShard struct{ cluster.Shard }
 
-func (s badBoundsShard) Bounds(context.Context, *trajectory.Trajectory, float64, float64, int) ([]float64, error) {
+func (s badBoundsShard) Bounds(context.Context, *trajectory.Trajectory, float64, float64, int, *textidx.Predicate) ([]float64, error) {
 	return []float64{1}, nil
 }
 

@@ -452,6 +452,33 @@ func dirty(s *sub, applied []mod.Applied, boxes []geom.AABB, r float64) bool {
 	target, hasTarget := targetOID(s.req)
 	width := influenceWidth(r)
 	for i, a := range applied {
+		if a.TagsChanged && s.req.Where != nil &&
+			s.req.Where.Matches(a.Tags) != s.req.Where.Matches(a.PrevTags) {
+			// The flip moved a.OID across the predicate boundary, so it
+			// joined or left the subscription's sub-MOD. This must run
+			// before the ChangedFrom skip: a pure retag carries +Inf.
+			if a.OID == s.req.QueryOID || (hasTarget && a.OID == target) {
+				return true
+			}
+			if _, ok := prof.Superset[a.OID]; ok {
+				return true
+			}
+			if s.req.Where.Matches(a.Tags) {
+				// Joined: the object's whole plan is new to the sub-MOD,
+				// not just motion from ChangedFrom. An object that left
+				// from outside the superset was spatially pruned from the
+				// old sub-MOD, so its removal cannot move the envelope.
+				full := motionBox(a.Traj, math.Inf(-1))
+				if math.IsInf(prof.maxBound, 1) || boxGap(full, prof.qbox) <= prof.maxBound+width {
+					af := a
+					af.ChangedFrom = math.Inf(-1)
+					af.Prev = nil
+					if motionEntersZone(prof, af, width) {
+						return true
+					}
+				}
+			}
+		}
 		if a.ChangedFrom >= s.req.Te {
 			// Positions inside the window are untouched by this update —
 			// irrelevant no matter whose plan it is.
@@ -646,7 +673,7 @@ func (b *engineBackend) profile(ctx context.Context, req engine.Request) (*Profi
 	if err != nil {
 		return nil, err
 	}
-	proc, err := b.eng.ProcessorCtx(ctx, b.store, req.QueryOID, req.Tb, req.Te)
+	proc, err := b.eng.ProcessorWhereCtx(ctx, b.store, req.QueryOID, req.Tb, req.Te, req.Where)
 	if err != nil {
 		return nil, err
 	}
@@ -655,7 +682,10 @@ func (b *engineBackend) profile(ctx context.Context, req engine.Request) (*Profi
 			return nil, err
 		}
 	}
-	bounds, err := prune.SliceBounds(ctx, b.store, q, req.Tb, req.Te, req.Rank())
+	// The bounds must come from the same universe the answer did: the
+	// unfiltered envelope sits below the sub-MOD's, and a too-low bound
+	// shrinks the influence zone into wrong skips.
+	bounds, err := prune.SliceBoundsWhere(ctx, b.store, q, req.Tb, req.Te, req.Rank(), req.Where)
 	if err != nil {
 		return nil, err
 	}

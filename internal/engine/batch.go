@@ -100,7 +100,7 @@ func (e *Engine) ExecBatch(store *mod.Store, req BatchRequest) (BatchResult, err
 	}
 	// Preserve the historic batch-level error contract: an unusable
 	// (query, window) preprocessing fails the whole batch up front.
-	if _, _, err := e.processor(context.Background(), store, req.QueryOID, req.Tb, req.Te); err != nil {
+	if _, _, err := e.processor(context.Background(), store, req.QueryOID, req.Tb, req.Te, nil); err != nil {
 		return BatchResult{}, err
 	}
 	reqs := make([]Request, len(req.Queries))

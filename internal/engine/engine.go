@@ -35,6 +35,7 @@ import (
 	"repro/internal/mod"
 	"repro/internal/prune"
 	"repro/internal/queries"
+	"repro/internal/textidx"
 )
 
 // Package errors.
@@ -68,6 +69,7 @@ type procKey struct {
 	version  uint64
 	queryOID int64
 	tb, te   float64
+	where    string // canonical predicate key ("" = unfiltered)
 }
 
 // procSlot builds its processor at most once even under concurrent lookups.
@@ -113,14 +115,22 @@ func (e *Engine) Workers() int { return e.workers }
 // since the memo key includes the store version, they also share one pruned
 // candidate set per (store-version, query, window).
 func (e *Engine) Processor(store *mod.Store, qOID int64, tb, te float64) (*queries.Processor, error) {
-	proc, _, err := e.processor(context.Background(), store, qOID, tb, te)
+	proc, _, err := e.processor(context.Background(), store, qOID, tb, te, nil)
 	return proc, err
 }
 
 // ProcessorCtx is Processor under a context: a canceled context stops the
 // candidate pre-pass and the envelope construction inside the build.
 func (e *Engine) ProcessorCtx(ctx context.Context, store *mod.Store, qOID int64, tb, te float64) (*queries.Processor, error) {
-	proc, _, err := e.processor(ctx, store, qOID, tb, te)
+	proc, _, err := e.processor(ctx, store, qOID, tb, te, nil)
+	return proc, err
+}
+
+// ProcessorWhereCtx is ProcessorCtx restricted to the predicate's sub-MOD
+// (plus the exempt query trajectory). The memo key includes the canonical
+// predicate, so a lookup right after a Do with the same clause is a hit.
+func (e *Engine) ProcessorWhereCtx(ctx context.Context, store *mod.Store, qOID int64, tb, te float64, where *textidx.Predicate) (*queries.Processor, error) {
+	proc, _, err := e.processor(ctx, store, qOID, tb, te, where)
 	return proc, err
 }
 
@@ -132,9 +142,10 @@ func (e *Engine) ProcessorCtx(ctx context.Context, store *mod.Store, qOID int64,
 // and since that context belongs to whichever caller ran the build, a
 // waiter whose own context is still live retries the build under its own
 // rather than inheriting a stranger's cancellation.
-func (e *Engine) processor(ctx context.Context, store *mod.Store, qOID int64, tb, te float64) (proc *queries.Processor, memoHit bool, err error) {
+func (e *Engine) processor(ctx context.Context, store *mod.Store, qOID int64, tb, te float64, where *textidx.Predicate) (proc *queries.Processor, memoHit bool, err error) {
+	where = where.Canon()
 	for {
-		key := procKey{store: store, version: store.Version(), queryOID: qOID, tb: tb, te: te}
+		key := procKey{store: store, version: store.Version(), queryOID: qOID, tb: tb, te: te, where: where.Key()}
 		e.mu.Lock()
 		slot, ok := e.procs[key]
 		if !ok {
@@ -155,9 +166,17 @@ func (e *Engine) processor(ctx context.Context, store *mod.Store, qOID int64, tb
 				return
 			}
 			if e.fullScan {
-				slot.proc, slot.err = queries.NewProcessor(store.All(), q, tb, te, store.Radius())
+				// FullScan skips the index pre-pass, never the predicate:
+				// the filter is semantics, so the scan runs over the
+				// sub-MOD (plus the exempt query) just like the pruned
+				// path.
+				trs := matchingTrajectories(store, where)
+				if where != nil && !containsOID(trs, q.OID) {
+					trs = append(trs, q)
+				}
+				slot.proc, slot.err = queries.NewProcessor(trs, q, tb, te, store.Radius())
 			} else {
-				slot.proc, slot.err = prune.ForQueryCtx(ctx, store, q, tb, te)
+				slot.proc, slot.err = prune.ForQueryWhereCtx(ctx, store, q, tb, te, where)
 			}
 		})
 		if slot.err != nil {

@@ -67,13 +67,18 @@ func (e *Engine) DoRestricted(ctx context.Context, store *mod.Store, req Request
 	if err := ctxErr(ctx); err != nil {
 		return fail(err)
 	}
-	proc, hit, err := e.processor(ctx, store, req.QueryOID, req.Tb, req.Te)
+	req.Where = req.Where.Canon()
+	proc, hit, err := e.processor(ctx, store, req.QueryOID, req.Tb, req.Te, req.Where)
 	if err != nil {
 		return fail(err)
 	}
 	res.Explain.MemoHit = hit
 	res.Explain.Candidates = proc.CandidateCount()
 	res.Explain.Survivors = res.Explain.Candidates - proc.PrunedCount()
+	if req.Where != nil {
+		res.Explain.TextualCandidates = res.Explain.Candidates
+		res.Explain.SpatialCandidates = store.Len() - 1
+	}
 	if k := req.Rank(); k > 1 {
 		if err := proc.EnsureLevelsCtx(ctx, k); err != nil {
 			return fail(err)

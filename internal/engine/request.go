@@ -21,6 +21,8 @@ import (
 	"repro/internal/mod"
 	"repro/internal/prune"
 	"repro/internal/queries"
+	"repro/internal/textidx"
+	"repro/internal/trajectory"
 )
 
 // Additional query kinds of the unified API, beyond the UQ11..UQ43 and
@@ -58,6 +60,10 @@ var (
 	ErrBadRank = queries.ErrBadRank
 	// ErrBadFrac reports a fraction or probability outside [0, 1].
 	ErrBadFrac = queries.ErrBadFrac
+	// ErrBadPredicate aliases the textidx sentinel so a malformed WHERE
+	// clause (empty predicate, bad tag) matches one identity whether it is
+	// rejected by the UQL parser, the gateway decoder, or Validate here.
+	ErrBadPredicate = textidx.ErrBadPredicate
 )
 
 // Request is the declarative descriptor of one query: every variant the
@@ -82,6 +88,15 @@ type Request struct {
 	X        float64 `json:"x,omitempty"`
 	T        float64 `json:"t,omitempty"`
 	P        float64 `json:"p,omitempty"`
+
+	// Where restricts the query to the sub-MOD of objects whose tag sets
+	// satisfy the predicate (see textidx.Predicate). Filtered-out objects
+	// do not block, do not shape the envelope, and cannot answer: the
+	// result is byte-identical to running the same request against a store
+	// holding only the matching trajectories (plus the query trajectory,
+	// which is exempt — a query *about* a non-matching object over the
+	// matching fleet is well-formed). nil means unfiltered.
+	Where *textidx.Predicate `json:"where,omitempty"`
 }
 
 // Rank returns the request's effective envelope level: K for the ranked
@@ -133,7 +148,22 @@ func (r Request) Validate() error {
 			return fmt.Errorf("%w: p=%g", ErrBadFrac, r.P)
 		}
 	}
+	if err := r.Where.Validate(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// hasTargetOID reports whether the kind interrogates a single target
+// object named by Request.OID — the kinds whose answer under a predicate
+// short-circuits to false when the target exists but does not match.
+func (k Kind) hasTargetOID() bool {
+	switch k {
+	case KindUQ11, KindUQ12, KindUQ13, KindUQ21, KindUQ22, KindUQ23,
+		KindNNAt, KindRankAt, KindThreshold:
+		return true
+	}
+	return false
 }
 
 // ctxErr reports whether the context is done, checking the wall clock
@@ -168,6 +198,17 @@ type Explain struct {
 	// Wall is the end-to-end evaluation time of this request
 	// (JSON-encoded in nanoseconds).
 	Wall time.Duration `json:"wall_ns"`
+
+	// TextualCandidates is the size of the predicate-matching candidate
+	// set — the universe the query actually ran over; zero (omitted) on
+	// unfiltered requests. Comparing it against SpatialCandidates shows
+	// how much the textual intersection shaved off before any envelope
+	// was built.
+	TextualCandidates int `json:"textual_candidates,omitempty"`
+	// SpatialCandidates is the unfiltered candidate population (every
+	// non-query object in the store) on a predicate request; zero
+	// (omitted) on unfiltered requests.
+	SpatialCandidates int `json:"spatial_candidates,omitempty"`
 
 	// Refined is the size of the restricted candidate domain a shard-local
 	// refine evaluated (DoRestricted's own-survivor list); zero on
@@ -241,6 +282,7 @@ func (e *Engine) Do(ctx context.Context, store *mod.Store, req Request) (Result,
 	if err := req.Validate(); err != nil {
 		return fail(err)
 	}
+	req.Where = req.Where.Canon()
 	if err := ctxErr(ctx); err != nil {
 		return fail(err)
 	}
@@ -253,6 +295,10 @@ func (e *Engine) Do(ctx context.Context, store *mod.Store, req Request) (Result,
 		res.Pairs = pairs
 		res.Explain.Candidates = cands
 		res.Explain.Survivors = cands
+		if req.Where != nil {
+			res.Explain.TextualCandidates = cands
+			res.Explain.SpatialCandidates = store.Len()
+		}
 	case KindReverse:
 		oids, cands, err := e.reverse(ctx, store, req)
 		if err != nil {
@@ -261,14 +307,40 @@ func (e *Engine) Do(ctx context.Context, store *mod.Store, req Request) (Result,
 		res.OIDs = oids
 		res.Explain.Candidates = cands
 		res.Explain.Survivors = cands
+		if req.Where != nil {
+			res.Explain.TextualCandidates = cands
+			res.Explain.SpatialCandidates = store.Len() - 1
+		}
 	default:
-		proc, hit, err := e.processor(ctx, store, req.QueryOID, req.Tb, req.Te)
+		// A predicate makes the single-target kinds decidable without any
+		// envelope work when the target itself fails the filter: a
+		// non-matching object is outside the answer universe, so every
+		// "can OID be the (rank-k) NN" variant is false. An absent target
+		// is still the usual error — "no" and "no such object" must not
+		// blur. The query OID is exempt, matching the sub-store ground
+		// truth (the query is always present there).
+		if req.Where != nil && req.Kind.hasTargetOID() && req.OID != req.QueryOID {
+			if _, err := store.Get(req.OID); err != nil {
+				return fail(fmt.Errorf("%w: %d", ErrUnknownOID, req.OID))
+			}
+			if !req.Where.Matches(store.Tags(req.OID)) {
+				res.IsBool = true
+				res.Explain.SpatialCandidates = store.Len() - 1
+				res.Explain.Wall = time.Since(start)
+				return res, nil
+			}
+		}
+		proc, hit, err := e.processor(ctx, store, req.QueryOID, req.Tb, req.Te, req.Where)
 		if err != nil {
 			return fail(err)
 		}
 		res.Explain.MemoHit = hit
 		res.Explain.Candidates = proc.CandidateCount()
 		res.Explain.Survivors = res.Explain.Candidates - proc.PrunedCount()
+		if req.Where != nil {
+			res.Explain.TextualCandidates = res.Explain.Candidates
+			res.Explain.SpatialCandidates = store.Len() - 1
+		}
 		if k := req.Rank(); k > 1 {
 			if err := proc.EnsureLevelsCtx(ctx, k); err != nil {
 				return fail(err)
@@ -303,13 +375,17 @@ func (e *Engine) DoBatch(ctx context.Context, store *mod.Store, reqs []Request) 
 	type group struct {
 		qOID   int64
 		tb, te float64
+		where  string // canonical predicate key ("" = unfiltered)
 	}
 	maxK := make(map[group]int)
+	preds := make(map[group]*textidx.Predicate)
 	for _, r := range reqs {
 		if r.Validate() != nil || !r.Kind.needsProcessor() {
 			continue
 		}
-		g := group{r.QueryOID, r.Tb, r.Te}
+		w := r.Where.Canon()
+		g := group{r.QueryOID, r.Tb, r.Te, w.Key()}
+		preds[g] = w
 		if k := r.Rank(); k > maxK[g] {
 			maxK[g] = k
 		}
@@ -321,7 +397,7 @@ func (e *Engine) DoBatch(ctx context.Context, store *mod.Store, reqs []Request) 
 		if err := ctxErr(ctx); err != nil {
 			return nil, err
 		}
-		if proc, _, err := e.processor(ctx, store, g.qOID, g.tb, g.te); err == nil {
+		if proc, _, err := e.processor(ctx, store, g.qOID, g.tb, g.te, preds[g]); err == nil {
 			_ = proc.EnsureLevelsCtx(ctx, k)
 		}
 	}
@@ -409,13 +485,44 @@ func (e *Engine) execRequestRestricted(ctx context.Context, p *queries.Processor
 	}
 }
 
+// matchingTrajectories returns the store's trajectories restricted to
+// the predicate's sub-MOD (all of them when where is nil), in store
+// iteration order. Under a predicate the whole-MOD iteration kinds
+// (KindAllPairs, KindReverse) both answer and iterate over this set: a
+// non-matching object neither asks nor answers.
+func matchingTrajectories(store *mod.Store, where *textidx.Predicate) []*trajectory.Trajectory {
+	if where == nil {
+		return store.All()
+	}
+	all, tags, _ := store.AllWithTags()
+	out := make([]*trajectory.Trajectory, 0, len(all))
+	for _, tr := range all {
+		if where.Matches(tags[tr.OID]) {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// containsOID reports whether trs holds a trajectory with the given OID.
+func containsOID(trs []*trajectory.Trajectory, oid int64) bool {
+	for _, tr := range trs {
+		if tr.OID == oid {
+			return true
+		}
+	}
+	return false
+}
+
 // allPairs computes every object's possible-NN set, fanning the per-query
 // envelope preprocessings (the dominant cost) across the worker pool.
+// Under a predicate both the query set and each answer universe are the
+// matching sub-MOD.
 func (e *Engine) allPairs(ctx context.Context, store *mod.Store, req Request) (map[int64][]int64, int, error) {
-	trs := store.All()
+	trs := matchingTrajectories(store, req.Where)
 	sets := make([][]int64, len(trs))
 	err := e.forEachIndex(ctx, len(trs), func(i int) error {
-		p, err := prune.ForQueryCtx(ctx, store, trs[i], req.Tb, req.Te)
+		p, err := prune.ForQueryWhereCtx(ctx, store, trs[i], req.Tb, req.Te, req.Where)
 		if err != nil {
 			return fmt.Errorf("query %d: %w", trs[i].OID, err)
 		}
@@ -434,18 +541,32 @@ func (e *Engine) allPairs(ctx context.Context, store *mod.Store, req Request) (m
 
 // reverse retrieves the objects for which req.OID can be the nearest
 // neighbor, one pruned preprocessing per candidate query trajectory.
+// Under a predicate only matching objects ask (iterate as queries), and a
+// non-matching target short-circuits to the empty answer — it is outside
+// every matching query's universe — while an absent target stays an
+// error.
 func (e *Engine) reverse(ctx context.Context, store *mod.Store, req Request) ([]int64, int, error) {
 	if _, err := store.Get(req.OID); err != nil {
 		return nil, 0, fmt.Errorf("%w: %d", ErrUnknownOID, req.OID)
 	}
-	trs := store.All()
+	trs := matchingTrajectories(store, req.Where)
+	cands := len(trs)
+	for _, tr := range trs {
+		if tr.OID == req.OID {
+			cands--
+			break
+		}
+	}
+	if req.Where != nil && !req.Where.Matches(store.Tags(req.OID)) {
+		return nil, cands, nil
+	}
 	keep := make([]bool, len(trs))
 	err := e.forEachIndex(ctx, len(trs), func(i int) error {
 		q := trs[i]
 		if q.OID == req.OID {
 			return nil
 		}
-		p, err := prune.ForQueryCtx(ctx, store, q, req.Tb, req.Te)
+		p, err := prune.ForQueryWhereCtx(ctx, store, q, req.Tb, req.Te, req.Where)
 		if err != nil {
 			return fmt.Errorf("query %d: %w", q.OID, err)
 		}
@@ -457,7 +578,7 @@ func (e *Engine) reverse(ctx context.Context, store *mod.Store, req Request) ([]
 		return nil
 	})
 	if err != nil {
-		return nil, len(trs) - 1, err
+		return nil, cands, err
 	}
 	var out []int64
 	for i, tr := range trs {
@@ -465,7 +586,7 @@ func (e *Engine) reverse(ctx context.Context, store *mod.Store, req Request) ([]
 			out = append(out, tr.OID)
 		}
 	}
-	return out, len(trs) - 1, nil
+	return out, cands, nil
 }
 
 // forEachIndex runs fn(0..n-1) on the worker pool, checking ctx between

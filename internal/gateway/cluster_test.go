@@ -53,7 +53,7 @@ func TestQueryEquivalenceTLSCluster(t *testing.T) {
 		t.Fatal(err)
 	}
 	store, trs := buildStore(t, 200, equivSeed)
-	reqs := equivRequests(trs)
+	reqs := append(equivRequests(trs), predicateRequests(trs)...)
 	stores, err := cluster.SplitStore(store, 4, cluster.Hash{})
 	if err != nil {
 		t.Fatal(err)

@@ -20,6 +20,16 @@
 // and engine.Result JSON shapes cross this seam as cross the TCP
 // modserver protocol, so an HTTP client and a TCP client see identical
 // answers.
+//
+// A spatio-textual query restricts the answer universe to the tagged
+// sub-MOD via the request's `where` predicate ({all, any, not} tag
+// lists), and ingest updates may carry a `tags` list (null = unchanged,
+// [] = clear):
+//
+//	curl -sk https://localhost:8443/v1/query \
+//	  -H "Authorization: Bearer $TOKEN" \
+//	  -d '{"kind":"UQ31","query_oid":7,"tb":0,"te":60,
+//	       "where":{"all":["available"],"not":["pool"]}}'
 package gateway
 
 import (
@@ -28,6 +38,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"strings"
@@ -40,6 +51,7 @@ import (
 	"repro/internal/continuous"
 	"repro/internal/engine"
 	"repro/internal/mod"
+	"repro/internal/textidx"
 	"repro/internal/trajectory"
 )
 
@@ -338,18 +350,28 @@ type errorBody struct {
 }
 
 // wireUpdate / wireApplied mirror the modserver's ingest shapes, so the
-// HTTP and TCP live layers speak the same vertices.
+// HTTP and TCP live layers speak the same vertices and tag sets. Tags is
+// a tri-state like mod.Update's: absent/null leaves the object's tags
+// untouched, [] clears them, a non-empty list replaces them.
 type wireUpdate struct {
 	OID   int64        `json:"oid"`
-	Verts [][3]float64 `json:"verts"`
+	Verts [][3]float64 `json:"verts,omitempty"`
+	Tags  *[]string    `json:"tags,omitempty"`
 }
 
+// wireApplied carries one applied outcome. ChangedFrom is omitted for
+// inserts (-Inf in memory) and for pure tag flips, which set TagsOnly
+// instead (+Inf in memory: no motion changed; JSON has no Inf literal).
 type wireApplied struct {
 	OID         int64        `json:"oid"`
 	Inserted    bool         `json:"inserted,omitempty"`
 	ChangedFrom float64      `json:"changed_from,omitempty"`
+	TagsOnly    bool         `json:"tags_only,omitempty"`
 	Verts       [][3]float64 `json:"verts,omitempty"`
 	PrevVerts   [][3]float64 `json:"prev_verts,omitempty"`
+	TagsChanged bool         `json:"tags_changed,omitempty"`
+	Tags        []string     `json:"tags,omitempty"`
+	PrevTags    []string     `json:"prev_tags,omitempty"`
 }
 
 type ingestRequest struct {
@@ -374,6 +396,10 @@ func errStatus(err error) (int, string) {
 		return http.StatusBadRequest, "bad_rank"
 	case errors.Is(err, engine.ErrBadFrac):
 		return http.StatusBadRequest, "bad_frac"
+	case errors.Is(err, engine.ErrBadPredicate):
+		return http.StatusBadRequest, "bad_predicate"
+	case errors.Is(err, textidx.ErrBadTag):
+		return http.StatusBadRequest, "bad_tag"
 	case errors.Is(err, engine.ErrUnknownOID):
 		return http.StatusNotFound, "unknown_oid"
 	case errors.Is(err, mod.ErrNotFound):
@@ -477,7 +503,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.reqCtx(r, qr.DeadlineMS)
 	defer cancel()
 	res, err := s.opts.Backend.Do(ctx, qr.Request)
-	s.opts.Metrics.recordQuery(res)
+	s.opts.Metrics.recordQuery(res, qr.Where != nil)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -507,7 +533,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	out := batchResponse{Results: make([]batchEntry, len(results))}
 	for i := range results {
 		res := results[i]
-		s.opts.Metrics.recordQuery(res)
+		s.opts.Metrics.recordQuery(res, br.Requests[i].Where != nil)
 		if res.Err != nil {
 			_, code := errStatus(res.Err)
 			out.Results[i] = batchEntry{Error: &apiError{Code: code, Message: res.Err.Error()}}
@@ -544,7 +570,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		for j, v := range wu.Verts {
 			verts[j] = trajectory.Vertex{X: v[0], Y: v[1], T: v[2]}
 		}
-		updates[i] = mod.Update{OID: wu.OID, Verts: verts}
+		if len(wu.Verts) == 0 {
+			verts = nil // pure tag flip: no motion change
+		}
+		updates[i] = mod.Update{OID: wu.OID, Verts: verts, Tags: wu.Tags}
 	}
 
 	ctx, cancel := s.reqCtx(r, 0)
@@ -588,7 +617,11 @@ func encodeApplied(applied []mod.Applied) []wireApplied {
 	for i, a := range applied {
 		wa := wireApplied{OID: a.OID, Inserted: a.Inserted}
 		if !a.Inserted {
-			wa.ChangedFrom = a.ChangedFrom
+			if math.IsInf(a.ChangedFrom, 1) {
+				wa.TagsOnly = true
+			} else {
+				wa.ChangedFrom = a.ChangedFrom
+			}
 		}
 		if a.Traj != nil {
 			wa.Verts = encodeVerts(a.Traj.Verts)
@@ -596,6 +629,9 @@ func encodeApplied(applied []mod.Applied) []wireApplied {
 		if a.Prev != nil {
 			wa.PrevVerts = encodeVerts(a.Prev.Verts)
 		}
+		wa.TagsChanged = a.TagsChanged
+		wa.Tags = a.Tags
+		wa.PrevTags = a.PrevTags
 		out[i] = wa
 	}
 	return out

@@ -22,6 +22,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/mod"
 	"repro/internal/testcert"
+	"repro/internal/textidx"
 	"repro/internal/trajectory"
 	"repro/internal/workload"
 )
@@ -45,6 +46,24 @@ func buildStore(t testing.TB, n int, seed int64) (*mod.Store, []*trajectory.Traj
 	}
 	if err := store.InsertAll(trs); err != nil {
 		t.Fatal(err)
+	}
+	// Deterministic tag assignment (by OID, so equivRequests can pick
+	// matching/non-matching targets): tags never change an unfiltered
+	// answer, and the predicate rows of the equivalence suite need a
+	// tagged population.
+	for _, tr := range trs {
+		var tags []string
+		if tr.OID%2 == 0 {
+			tags = append(tags, "available")
+		}
+		if tr.OID%3 == 0 {
+			tags = append(tags, "ev")
+		}
+		if tags != nil {
+			if err := store.SetTags(tr.OID, tags); err != nil {
+				t.Fatal(err)
+			}
+		}
 	}
 	return store, trs
 }
@@ -84,6 +103,50 @@ func equivRequests(trs []*trajectory.Trajectory) []engine.Request {
 		{Kind: engine.KindReverse, Tb: equivTb, Te: equivTe, OID: 987654321},
 		{Kind: "NOPE", Tb: equivTb, Te: equivTe},
 		{Kind: engine.KindUQ31, QueryOID: q, Tb: 10, Te: 10},
+	}
+}
+
+// predicateRequests is the spatio-textual matrix the equivalence gates
+// append to equivRequests: the kinds under tag predicates, with both
+// matching and non-matching targets (buildStore tags oid%2==0
+// "available", oid%3==0 "ev"), plus the predicate error paths.
+func predicateRequests(trs []*trajectory.Trajectory) []engine.Request {
+	q := trs[0].OID
+	pick := func(even bool) int64 {
+		for _, tr := range trs[1:] {
+			if (tr.OID%2 == 0) == even {
+				return tr.OID
+			}
+		}
+		return -1
+	}
+	tagged, untagged := pick(true), pick(false)
+	avail := &textidx.Predicate{All: []string{"available"}}
+	anyOf := &textidx.Predicate{Any: []string{"available", "ev"}}
+	notEV := &textidx.Predicate{All: []string{"available"}, Not: []string{"ev"}}
+	return []engine.Request{
+		{Kind: engine.KindUQ11, QueryOID: q, Tb: equivTb, Te: equivTe, OID: tagged, Where: avail},
+		{Kind: engine.KindUQ11, QueryOID: q, Tb: equivTb, Te: equivTe, OID: untagged, Where: avail},
+		{Kind: engine.KindUQ21, QueryOID: q, Tb: equivTb, Te: equivTe, OID: tagged, K: 2, Where: avail},
+		{Kind: engine.KindUQ31, QueryOID: q, Tb: equivTb, Te: equivTe, Where: avail},
+		{Kind: engine.KindUQ31, QueryOID: q, Tb: equivTb, Te: equivTe, Where: anyOf},
+		{Kind: engine.KindUQ31, QueryOID: q, Tb: equivTb, Te: equivTe, Where: notEV},
+		{Kind: engine.KindUQ32, QueryOID: q, Tb: equivTb, Te: equivTe, Where: avail},
+		{Kind: engine.KindUQ33, QueryOID: q, Tb: equivTb, Te: equivTe, X: 0.25, Where: avail},
+		{Kind: engine.KindUQ41, QueryOID: q, Tb: equivTb, Te: equivTe, K: 2, Where: avail},
+		{Kind: engine.KindUQ43, QueryOID: q, Tb: equivTb, Te: equivTe, K: 2, X: 0.5, Where: anyOf},
+		{Kind: engine.KindNNAt, QueryOID: q, Tb: equivTb, Te: equivTe, OID: tagged, T: 15, Where: avail},
+		{Kind: engine.KindRankAt, QueryOID: q, Tb: equivTb, Te: equivTe, OID: tagged, T: 15, K: 2, Where: avail},
+		{Kind: engine.KindAllNNAt, QueryOID: q, Tb: equivTb, Te: equivTe, T: 15, Where: avail},
+		{Kind: engine.KindAllRankAt, QueryOID: q, Tb: equivTb, Te: equivTe, T: 15, K: 2, Where: anyOf},
+		{Kind: engine.KindThreshold, QueryOID: q, Tb: equivTb, Te: equivTe, OID: tagged, P: 0.2, X: 0.3, Where: avail},
+		{Kind: engine.KindAllThreshold, QueryOID: q, Tb: equivTb, Te: equivTe, P: 0.2, X: 0.3, Where: avail},
+		{Kind: engine.KindAllPairs, Tb: equivTb, Te: equivTe, Where: avail},
+		{Kind: engine.KindReverse, Tb: equivTb, Te: equivTe, OID: tagged, Where: avail},
+		{Kind: engine.KindReverse, Tb: equivTb, Te: equivTe, OID: untagged, Where: avail},
+		// Predicate error paths: unknown filtered target; empty predicate.
+		{Kind: engine.KindUQ11, QueryOID: q, Tb: equivTb, Te: equivTe, OID: 987654321, Where: avail},
+		{Kind: engine.KindUQ31, QueryOID: q, Tb: equivTb, Te: equivTe, Where: &textidx.Predicate{}},
 	}
 }
 
@@ -233,7 +296,7 @@ func oracleAnswers(store *mod.Store, reqs []engine.Request) []engine.Result {
 // identical engine driven directly, and /v1/batch matches DoBatch.
 func TestQueryEquivalenceLocal(t *testing.T) {
 	store, trs := buildStore(t, 200, equivSeed)
-	reqs := equivRequests(trs)
+	reqs := append(equivRequests(trs), predicateRequests(trs)...)
 	want := oracleAnswers(store, reqs)
 
 	_, base, client := startGateway(t, Options{
@@ -244,7 +307,7 @@ func TestQueryEquivalenceLocal(t *testing.T) {
 
 func TestBatchEquivalenceLocal(t *testing.T) {
 	store, trs := buildStore(t, 200, equivSeed)
-	reqs := equivRequests(trs)
+	reqs := append(equivRequests(trs), predicateRequests(trs)...)
 	wantBatch, err := engine.New(0).DoBatch(context.Background(), store, reqs)
 	if err != nil {
 		t.Fatal(err)

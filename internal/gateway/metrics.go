@@ -45,7 +45,7 @@ type Metrics struct {
 
 	requests     *metrics.CounterVec   // gateway_requests_total{route,code}
 	latency      *metrics.HistogramVec // gateway_request_seconds{route}
-	queries      *metrics.CounterVec   // gateway_query_requests_total{kind,outcome}
+	queries      *metrics.CounterVec   // gateway_query_requests_total{kind,outcome,filtered}
 	queryLatency *metrics.HistogramVec // gateway_query_seconds{kind}
 
 	pruneCandidates *metrics.Counter
@@ -77,7 +77,8 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 	m.latency = reg.HistogramVec("gateway_request_seconds",
 		"End-to-end HTTP request latency by route pattern.", metrics.DefBuckets, "route")
 	m.queries = reg.CounterVec("gateway_query_requests_total",
-		"Engine requests evaluated via /v1/query and /v1/batch, by kind and outcome.", "kind", "outcome")
+		"Engine requests evaluated via /v1/query and /v1/batch, by kind, outcome, and whether a tag predicate filtered the request.",
+		"kind", "outcome", "filtered")
 	m.queryLatency = reg.HistogramVec("gateway_query_seconds",
 		"Engine evaluation wall time (Explain.Wall) by kind.", metrics.DefBuckets, "kind")
 	m.pruneCandidates = reg.Counter("engine_prune_candidates_total",
@@ -173,8 +174,10 @@ func (m *Metrics) recordHTTP(route string, code int, dur time.Duration) {
 }
 
 // recordQuery folds one evaluated request's Explain into the engine- and
-// cluster-level families. outcome is "ok" or the typed error code.
-func (m *Metrics) recordQuery(res engine.Result) {
+// cluster-level families. outcome is "ok" or the typed error code;
+// filtered reports whether the request carried a tag predicate (a closed
+// two-value label — the predicate's content never reaches a label).
+func (m *Metrics) recordQuery(res engine.Result, filtered bool) {
 	if m == nil {
 		return
 	}
@@ -183,7 +186,7 @@ func (m *Metrics) recordQuery(res engine.Result) {
 		_, outcome = errStatus(res.Err)
 	}
 	kind := kindLabel(res.Kind)
-	m.queries.With(kind, outcome).Inc()
+	m.queries.With(kind, outcome, strconv.FormatBool(filtered)).Inc()
 	m.queryLatency.With(kind).Observe(res.Explain.Wall.Seconds())
 	ex := res.Explain
 	m.pruneCandidates.Add(float64(ex.Candidates))

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/continuous"
 	"repro/internal/engine"
+	"repro/internal/textidx"
 	"repro/internal/wal"
 )
 
@@ -42,12 +43,19 @@ func TestMetricsGolden(t *testing.T) {
 			},
 			Degraded: true, MissingShards: []string{"shard-1"},
 		},
-	})
-	m.recordQuery(engine.Result{Kind: "NOPE", Err: engine.ErrBadKind})
+	}, false)
+	m.recordQuery(engine.Result{
+		Kind: engine.KindUQ31,
+		Explain: engine.Explain{
+			Candidates: 4, Survivors: 2, Wall: time.Millisecond,
+			TextualCandidates: 4, SpatialCandidates: 40,
+		},
+	}, true)
+	m.recordQuery(engine.Result{Kind: "NOPE", Err: engine.ErrBadKind}, false)
 	m.recordQuery(engine.Result{
 		Kind: engine.KindUQ11, Err: engine.ErrUnknownOID,
 		Explain: engine.Explain{Wall: 500 * time.Microsecond},
-	})
+	}, false)
 
 	m.recordIngest(3, nil)
 	m.recordIngest(0, badReq(fmt.Errorf("empty")))
@@ -98,7 +106,7 @@ func TestMetricsLabelCardinality(t *testing.T) {
 	m.ObserveWAL(func() wal.Stats { return wal.Stats{} })
 	allowed := map[string]bool{
 		"route": true, "code": true, "kind": true,
-		"outcome": true, "shard": true, "le": true,
+		"outcome": true, "shard": true, "le": true, "filtered": true,
 	}
 	fams := m.Registry().Families()
 	if len(fams) < 15 {
@@ -124,11 +132,20 @@ func TestMetricsLabelCardinality(t *testing.T) {
 		return 0
 	}
 	before := seriesCount("gateway_query_requests_total")
-	m.recordQuery(engine.Result{Kind: "oid-4242-probe"})
-	m.recordQuery(engine.Result{Kind: "oid-9999-probe"})
-	m.recordQuery(engine.Result{Kind: "oid-1234-probe"})
+	m.recordQuery(engine.Result{Kind: "oid-4242-probe"}, false)
+	m.recordQuery(engine.Result{Kind: "oid-9999-probe"}, false)
+	m.recordQuery(engine.Result{Kind: "oid-1234-probe"}, false)
 	if after := seriesCount("gateway_query_requests_total"); after != before+1 {
 		t.Fatalf("3 hostile kinds minted %d new series, want 1 (invalid)", after-before)
+	}
+
+	// The filtered label is derived from a bool — hostile predicates of any
+	// content fan onto exactly the two closed values, one extra series here.
+	before = seriesCount("gateway_query_requests_total")
+	m.recordQuery(engine.Result{Kind: "oid-4242-probe"}, true)
+	m.recordQuery(engine.Result{Kind: "oid-5555-probe"}, true)
+	if after := seriesCount("gateway_query_requests_total"); after != before+1 {
+		t.Fatalf("filtered probes minted %d new series, want 1 (invalid/true)", after-before)
 	}
 }
 
@@ -137,6 +154,13 @@ func TestMetricsLabelCardinality(t *testing.T) {
 // WAL counters — and /metrics stays a valid text/plain 0.0.4 surface.
 func TestMetricsEndToEnd(t *testing.T) {
 	store, trs := buildStore(t, 20, equivSeed)
+	// Tag a couple of objects so the filtered query below has a non-empty
+	// sub-MOD to run over.
+	for _, tr := range trs[1:3] {
+		if err := store.SetTags(tr.OID, []string{"available"}); err != nil {
+			t.Fatal(err)
+		}
+	}
 	hub := newTestHub(t, store)
 	m := NewMetrics(nil)
 	log, err := wal.Create(t.TempDir()+"/wal", store, wal.Options{})
@@ -165,7 +189,13 @@ func TestMetricsEndToEnd(t *testing.T) {
 	if status, _ := postJSON(t, client, base+"/v1/query", "", missingReq); status != http.StatusNotFound {
 		t.Fatal("expected 404 for unknown query OID")
 	}
-	ingest := ingestRequest{Updates: []wireUpdate{{OID: 9001, Verts: hugVerts(trs[0], 35)}}}
+	filteredReq := okReq
+	filteredReq.Where = &textidx.Predicate{All: []string{"available"}}
+	if status, body := postJSON(t, client, base+"/v1/query", "", filteredReq); status != http.StatusOK {
+		t.Fatalf("filtered query: status %d (body %.200s)", status, body)
+	}
+	tags := []string{"available"}
+	ingest := ingestRequest{Updates: []wireUpdate{{OID: 9001, Verts: hugVerts(trs[0], 35), Tags: &tags}}}
 	if status, body := postJSON(t, client, base+"/v1/ingest", "", ingest); status != http.StatusOK {
 		t.Fatalf("ingest: status %d (body %.200s)", status, body)
 	}
@@ -187,10 +217,11 @@ func TestMetricsEndToEnd(t *testing.T) {
 	}
 	text := buf.String()
 	for _, needle := range []string{
-		`gateway_requests_total{route="POST /v1/query",code="200"} 1`,
+		`gateway_requests_total{route="POST /v1/query",code="200"} 2`,
 		`gateway_requests_total{route="POST /v1/query",code="404"} 1`,
-		`gateway_query_requests_total{kind="UQ31",outcome="ok"} 1`,
-		`gateway_query_requests_total{kind="UQ31",outcome="not_found"} 1`,
+		`gateway_query_requests_total{kind="UQ31",outcome="ok",filtered="false"} 1`,
+		`gateway_query_requests_total{kind="UQ31",outcome="ok",filtered="true"} 1`,
+		`gateway_query_requests_total{kind="UQ31",outcome="not_found",filtered="false"} 1`,
 		`gateway_ingest_updates_total 1`,
 		`hub_ingested_updates_total 1`,
 		`wal_appends_total 1`,

@@ -21,6 +21,7 @@ import (
 	"repro/internal/continuous"
 	"repro/internal/engine"
 	"repro/internal/mod"
+	"repro/internal/textidx"
 )
 
 // sseWriteTimeout bounds each event write so a stalled consumer cannot
@@ -336,6 +337,19 @@ func requestFromQuery(q url.Values) (engine.Request, error) {
 			return req, badReq(fmt.Errorf("gateway: bad k: %w", err))
 		}
 		req.K = k
+	}
+	if v := q.Get("where"); v != "" {
+		// The predicate rides as a JSON object ({all, any, not} tag lists),
+		// URL-encoded. Canonicalized here so the standing subscription's
+		// stored request matches what the evaluation paths run with.
+		var p textidx.Predicate
+		if err := json.Unmarshal([]byte(v), &p); err != nil {
+			return req, badReq(fmt.Errorf("gateway: bad where: %w", err))
+		}
+		if err := p.Validate(); err != nil {
+			return req, badReq(fmt.Errorf("gateway: bad where: %w", err))
+		}
+		req.Where = p.Canon()
 	}
 	return req, nil
 }

@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 
 	"repro/internal/geom"
 	"repro/internal/sindex"
+	"repro/internal/textidx"
 	"repro/internal/trajectory"
 )
 
@@ -41,6 +43,11 @@ var (
 type Update struct {
 	OID   int64               `json:"oid"`
 	Verts []trajectory.Vertex `json:"verts"`
+	// Tags, when non-nil, replaces the object's tag set (empty clears
+	// it); nil leaves tags untouched. An update with Tags and no Verts
+	// is a pure tag flip: valid only for existing objects, geometry
+	// unchanged (Applied.ChangedFrom = +Inf).
+	Tags *[]string `json:"tags,omitempty"`
 }
 
 // Applied describes one applied update: whether it inserted a new object,
@@ -57,6 +64,14 @@ type Applied struct {
 	ChangedFrom float64
 	Prev        *trajectory.Trajectory
 	Traj        *trajectory.Trajectory
+	// TagsChanged reports that the update changed the object's tag set;
+	// Tags and PrevTags are the canonical post- and pre-update sets. A
+	// pure tag flip carries ChangedFrom = +Inf (no motion changed), so
+	// continuous-query dirty tests must consider tag flips before any
+	// ChangedFrom-based time cutoff.
+	TagsChanged bool
+	Tags        []string
+	PrevTags    []string
 }
 
 // AppendVertex appends one vertex to an existing trajectory. The vertex
@@ -144,7 +159,7 @@ func (s *Store) ExtendTrajectory(oid int64, verts []trajectory.Vertex) (changedF
 	version := s.version
 	s.mu.Unlock()
 
-	s.maintainIndexes(nt, changedFrom, version)
+	s.maintainIndexes(nt, changedFrom, version, false, nil)
 	return changedFrom, nil
 }
 
@@ -174,7 +189,7 @@ func (s *Store) RevisePlan(oid int64, verts []trajectory.Vertex) (changedFrom fl
 	version := s.version
 	s.mu.Unlock()
 
-	s.maintainIndexes(nt, changedFrom, version)
+	s.maintainIndexes(nt, changedFrom, version, false, nil)
 	return changedFrom, old, nil
 }
 
@@ -185,6 +200,17 @@ func (s *Store) RevisePlan(oid int64, verts []trajectory.Vertex) (changedFrom fl
 // plan — no lost updates, no spurious stale/duplicate errors, and Prev
 // is always the plan this update actually superseded).
 func (s *Store) ApplyUpdate(u Update) (Applied, error) {
+	var canon []string
+	if u.Tags != nil {
+		var err error
+		canon, err = textidx.CanonTags(*u.Tags)
+		if err != nil {
+			return Applied{}, err
+		}
+	}
+	if len(u.Verts) == 0 && u.Tags != nil {
+		return s.applyTagFlip(u.OID, canon)
+	}
 	if err := checkVerts(u.OID, u.Verts); err != nil {
 		return Applied{}, err
 	}
@@ -201,13 +227,20 @@ func (s *Store) ApplyUpdate(u Update) (Applied, error) {
 			return Applied{}, err
 		}
 		s.trajs[u.OID] = tr
+		if u.Tags != nil {
+			s.setTagsLocked(u.OID, canon)
+		}
 		s.version++
 		s.segLive += tr.NumSegments()
 		version := s.version
 		s.mu.Unlock()
-		s.maintainIndexes(tr, math.Inf(-1), version)
-		return Applied{OID: u.OID, Inserted: true, ChangedFrom: math.Inf(-1), Traj: tr}, nil
+		s.maintainIndexes(tr, math.Inf(-1), version, u.Tags != nil, canon)
+		return Applied{
+			OID: u.OID, Inserted: true, ChangedFrom: math.Inf(-1), Traj: tr,
+			TagsChanged: len(canon) > 0, Tags: canon,
+		}, nil
 	}
+	prevTags := s.tags[u.OID]
 	var (
 		nt          *trajectory.Trajectory
 		changedFrom float64
@@ -224,10 +257,41 @@ func (s *Store) ApplyUpdate(u Update) (Applied, error) {
 			return Applied{}, err
 		}
 	}
+	if u.Tags != nil {
+		// Same critical section, same version bump as the geometry: one
+		// Applied, one cache invalidation.
+		s.setTagsLocked(u.OID, canon)
+	}
 	version := s.version
 	s.mu.Unlock()
-	s.maintainIndexes(nt, changedFrom, version)
-	return Applied{OID: u.OID, ChangedFrom: changedFrom, Prev: old, Traj: nt}, nil
+	s.maintainIndexes(nt, changedFrom, version, u.Tags != nil, canon)
+	a := Applied{OID: u.OID, ChangedFrom: changedFrom, Prev: old, Traj: nt}
+	if u.Tags != nil && !slices.Equal(prevTags, canon) {
+		a.TagsChanged, a.Tags, a.PrevTags = true, canon, prevTags
+	}
+	return a, nil
+}
+
+// applyTagFlip is the vertex-less ApplyUpdate path: replace an existing
+// object's tag set without touching its motion.
+func (s *Store) applyTagFlip(oid int64, canon []string) (Applied, error) {
+	s.mu.Lock()
+	tr, ok := s.trajs[oid]
+	if !ok {
+		s.mu.Unlock()
+		return Applied{}, fmt.Errorf("%w: %d", ErrNotFound, oid)
+	}
+	prev := s.tags[oid]
+	s.setTagsLocked(oid, canon)
+	s.version++
+	version := s.version
+	s.mu.Unlock()
+	s.maintainTextTags(oid, canon, version)
+	a := Applied{OID: oid, ChangedFrom: math.Inf(1), Traj: tr}
+	if !slices.Equal(prev, canon) {
+		a.TagsChanged, a.Tags, a.PrevTags = true, canon, prev
+	}
+	return a, nil
 }
 
 // ApplyUpdates applies the batch in order, stopping at the first error and
@@ -262,7 +326,7 @@ func (s *Store) InsertLive(tr *trajectory.Trajectory) error {
 	version := s.version
 	s.mu.Unlock()
 
-	s.maintainIndexes(tr, math.Inf(-1), version)
+	s.maintainIndexes(tr, math.Inf(-1), version, false, nil)
 	return nil
 }
 
@@ -288,7 +352,7 @@ const (
 // the live segment count is cut the same way, which is what keeps index
 // size (and probe cost) proportional to the live fleet under a sustained
 // revision workload.
-func (s *Store) maintainIndexes(tr *trajectory.Trajectory, changedFrom float64, version uint64) {
+func (s *Store) maintainIndexes(tr *trajectory.Trajectory, changedFrom float64, version uint64, tagged bool, canonTags []string) {
 	s.mu.RLock()
 	live := s.segLive
 	s.mu.RUnlock()
@@ -323,16 +387,25 @@ func (s *Store) maintainIndexes(tr *trajectory.Trajectory, changedFrom float64, 
 		s.predVersion = version
 		s.stats.TPRIncremental++
 	}
+	s.chainTextLocked(version, func(x *textidx.Index) *textidx.Index {
+		nx := x.WithGeometry(tr.OID)
+		if tagged {
+			nx = nx.WithTags(tr.OID, canonTags)
+		}
+		return nx
+	})
 }
 
 // IndexStats counts index maintenance work — how often each cached tree
 // was rebuilt from scratch versus chained forward incrementally. The
 // predictive no-rebuild gate asserts on it.
 type IndexStats struct {
-	SegBuilds      uint64 `json:"seg_builds"`
-	SegIncremental uint64 `json:"seg_incremental"`
-	TPRBuilds      uint64 `json:"tpr_builds"`
-	TPRIncremental uint64 `json:"tpr_incremental"`
+	SegBuilds       uint64 `json:"seg_builds"`
+	SegIncremental  uint64 `json:"seg_incremental"`
+	TPRBuilds       uint64 `json:"tpr_builds"`
+	TPRIncremental  uint64 `json:"tpr_incremental"`
+	TextBuilds      uint64 `json:"text_builds,omitempty"`
+	TextIncremental uint64 `json:"text_incremental,omitempty"`
 }
 
 // IndexStats reports the maintenance counters.

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/sindex"
+	"repro/internal/textidx"
 	"repro/internal/trajectory"
 	"repro/internal/updf"
 )
@@ -39,8 +40,14 @@ var (
 	ErrBadSpeed     = errors.New("mod: trip speed must be positive")
 )
 
-// magic identifies the binary store format ("UTMOD1").
-var magic = [6]byte{'U', 'T', 'M', 'O', 'D', '1'}
+// magic identifies the binary store format: "UTMOD2" since the
+// spatio-textual extension (a mandatory tags section follows the
+// trajectories — mandatory so every truncation is detected). "UTMOD1"
+// files, written before tags existed, still load (no tags section).
+var (
+	magic   = [6]byte{'U', 'T', 'M', 'O', 'D', '2'}
+	magicV1 = [6]byte{'U', 'T', 'M', 'O', 'D', '1'}
+)
 
 // PDFKind enumerates the serializable location-pdf families.
 type PDFKind string
@@ -85,6 +92,7 @@ func (s PDFSpec) ToPDF() (updf.RadialPDF, error) {
 type Store struct {
 	mu      sync.RWMutex
 	trajs   map[int64]*trajectory.Trajectory
+	tags    map[int64][]string // canonical tag sets (tags.go); absent = untagged
 	spec    PDFSpec
 	pdf     updf.RadialPDF
 	version uint64 // bumped on every successful mutation
@@ -98,6 +106,12 @@ type Store struct {
 	idx        *sindex.RTree
 	idxVersion uint64
 	idxFanout  int
+
+	// Cached hybrid text index (tags.go), maintained like idx: chained
+	// copy-on-write by live mutations, rebuilt lazily from the segment
+	// R-tree's leaves otherwise.
+	tidx        *textidx.Index
+	tidxVersion uint64
 
 	// Predictive TPR-tree state (live.go): pinned coverage [predRef,
 	// predRef+predHorizon], maintained incrementally on appends and
@@ -209,6 +223,7 @@ func (s *Store) Delete(oid int64) error {
 		return fmt.Errorf("%w: %d", ErrNotFound, oid)
 	}
 	delete(s.trajs, oid)
+	delete(s.tags, oid)
 	s.version++
 	s.segLive -= old.NumSegments()
 	return nil
@@ -373,6 +388,7 @@ type storeJSON struct {
 type trajJSON struct {
 	OID   int64        `json:"oid"`
 	Verts [][3]float64 `json:"verts"`
+	Tags  []string     `json:"tags,omitempty"`
 }
 
 // SaveJSON writes the store as a single JSON document.
@@ -380,7 +396,7 @@ func (s *Store) SaveJSON(w io.Writer) error {
 	s.mu.RLock()
 	doc := storeJSON{Spec: s.spec}
 	for _, tr := range s.All() {
-		tj := trajJSON{OID: tr.OID, Verts: make([][3]float64, len(tr.Verts))}
+		tj := trajJSON{OID: tr.OID, Verts: make([][3]float64, len(tr.Verts)), Tags: s.tags[tr.OID]}
 		for i, v := range tr.Verts {
 			tj.Verts[i] = [3]float64{v.X, v.Y, v.T}
 		}
@@ -413,16 +429,30 @@ func LoadJSON(r io.Reader) (*Store, error) {
 		if err := st.Insert(tr); err != nil {
 			return nil, err
 		}
+		if len(tj.Tags) > 0 {
+			if err := st.SetTags(tj.OID, tj.Tags); err != nil {
+				return nil, fmt.Errorf("mod: trajectory %d tags: %w", tj.OID, err)
+			}
+		}
 	}
 	return st, nil
 }
 
 // SaveBinary writes the compact binary format: magic, pdf spec, count,
-// then each trajectory via trajectory.WriteBinary.
+// then each trajectory via trajectory.WriteBinary, then (since the
+// spatio-textual extension) an optional tags section: uint32 tagged-OID
+// count followed by per OID an int64 OID, uint16 tag count, and
+// uint16-length-prefixed tag bytes. Files written before the extension
+// simply end after the trajectories; LoadBinary treats that EOF as "no
+// tags", so old snapshots stay loadable.
 func (s *Store) SaveBinary(w io.Writer) error {
 	s.mu.RLock()
 	trs := s.All()
 	spec := s.spec
+	tags := make(map[int64][]string, len(s.tags))
+	for oid, ts := range s.tags {
+		tags[oid] = ts
+	}
 	s.mu.RUnlock()
 	if _, err := w.Write(magic[:]); err != nil {
 		return err
@@ -445,6 +475,37 @@ func (s *Store) SaveBinary(w io.Writer) error {
 			return err
 		}
 	}
+	return writeTagsSection(w, tags)
+}
+
+// writeTagsSection appends the optional tags section, tagged OIDs in
+// ascending order for deterministic bytes.
+func writeTagsSection(w io.Writer, tags map[int64][]string) error {
+	oids := make([]int64, 0, len(tags))
+	for oid := range tags {
+		oids = append(oids, oid)
+	}
+	slices.Sort(oids)
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(oids))); err != nil {
+		return err
+	}
+	for _, oid := range oids {
+		if err := binary.Write(w, binary.LittleEndian, oid); err != nil {
+			return err
+		}
+		ts := tags[oid]
+		if err := binary.Write(w, binary.LittleEndian, uint16(len(ts))); err != nil {
+			return err
+		}
+		for _, tag := range ts {
+			if err := binary.Write(w, binary.LittleEndian, uint16(len(tag))); err != nil {
+				return err
+			}
+			if _, err := io.WriteString(w, tag); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 
@@ -454,9 +515,10 @@ func LoadBinary(r io.Reader) (*Store, error) {
 	if _, err := io.ReadFull(r, m[:]); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadHeader, err)
 	}
-	if m != magic {
+	if m != magic && m != magicV1 {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrBadHeader, m)
 	}
+	hasTags := m == magic
 	var kl uint8
 	if err := binary.Read(r, binary.LittleEndian, &kl); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadHeader, err)
@@ -486,5 +548,45 @@ func LoadBinary(r io.Reader) (*Store, error) {
 			return nil, err
 		}
 	}
+	if hasTags {
+		if err := readTagsSection(r, st); err != nil {
+			return nil, err
+		}
+	}
 	return st, nil
+}
+
+// readTagsSection reads the mandatory (in "UTMOD2" files) trailing tags
+// section.
+func readTagsSection(r io.Reader, st *Store) error {
+	var tagged uint32
+	if err := binary.Read(r, binary.LittleEndian, &tagged); err != nil {
+		return fmt.Errorf("%w: tags section: %v", ErrBadHeader, err)
+	}
+	for i := uint32(0); i < tagged; i++ {
+		var oid int64
+		if err := binary.Read(r, binary.LittleEndian, &oid); err != nil {
+			return fmt.Errorf("%w: tags section: %v", ErrBadHeader, err)
+		}
+		var n uint16
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return fmt.Errorf("%w: tags section: %v", ErrBadHeader, err)
+		}
+		ts := make([]string, n)
+		for j := range ts {
+			var tl uint16
+			if err := binary.Read(r, binary.LittleEndian, &tl); err != nil {
+				return fmt.Errorf("%w: tags section: %v", ErrBadHeader, err)
+			}
+			buf := make([]byte, tl)
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return fmt.Errorf("%w: tags section: %v", ErrBadHeader, err)
+			}
+			ts[j] = string(buf)
+		}
+		if err := st.SetTags(oid, ts); err != nil {
+			return fmt.Errorf("mod: tags for %d: %w", oid, err)
+		}
+	}
+	return nil
 }

@@ -1,0 +1,254 @@
+package mod
+
+import (
+	"bytes"
+	"math"
+	"slices"
+	"testing"
+
+	"repro/internal/textidx"
+	"repro/internal/trajectory"
+)
+
+func tagTraj(t *testing.T, oid int64) *trajectory.Trajectory {
+	t.Helper()
+	tr, err := trajectory.New(oid, []trajectory.Vertex{
+		{X: float64(oid), Y: 0, T: 0}, {X: float64(oid) + 1, Y: 1, T: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSetTagsCanonicalAndVersion(t *testing.T) {
+	st, err := NewUniformStore(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Insert(tagTraj(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	v0 := st.Version()
+	if err := st.SetTags(1, []string{"EV", "Available", "ev"}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Version() != v0+1 {
+		t.Fatalf("version %d, want %d", st.Version(), v0+1)
+	}
+	if got := st.Tags(1); !slices.Equal(got, []string{"available", "ev"}) {
+		t.Fatalf("Tags = %v", got)
+	}
+	if err := st.SetTags(99, []string{"x"}); err == nil {
+		t.Fatal("SetTags on unknown OID accepted")
+	}
+	if err := st.SetTags(1, []string{"bad tag"}); err == nil {
+		t.Fatal("bad tag accepted")
+	}
+	if err := st.SetTags(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st.Tags(1) != nil {
+		t.Fatal("tags not cleared")
+	}
+	if err := st.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if st.Tags(1) != nil {
+		t.Fatal("tags survive delete")
+	}
+}
+
+func TestApplyUpdateTagFlip(t *testing.T) {
+	st, err := NewUniformStore(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Insert(tagTraj(t, 7)); err != nil {
+		t.Fatal(err)
+	}
+	// Pure flip on an existing object.
+	tags := []string{"Available"}
+	a, err := st.ApplyUpdate(Update{OID: 7, Tags: &tags})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.TagsChanged || !slices.Equal(a.Tags, []string{"available"}) || a.PrevTags != nil {
+		t.Fatalf("Applied = %+v", a)
+	}
+	if !math.IsInf(a.ChangedFrom, 1) || a.Traj == nil {
+		t.Fatalf("pure flip ChangedFrom = %g, Traj = %v", a.ChangedFrom, a.Traj)
+	}
+	// Identical flip: no TagsChanged.
+	a, err = st.ApplyUpdate(Update{OID: 7, Tags: &tags})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TagsChanged {
+		t.Fatal("no-op flip reported TagsChanged")
+	}
+	// Pure flip on unknown OID fails.
+	if _, err := st.ApplyUpdate(Update{OID: 99, Tags: &tags}); err == nil {
+		t.Fatal("flip on unknown OID accepted")
+	}
+	// Vertex-less, tag-less update still fails like before.
+	if _, err := st.ApplyUpdate(Update{OID: 7}); err == nil {
+		t.Fatal("empty update accepted")
+	}
+	// Combined geometry + tags: one Applied with both effects.
+	newTags := []string{"available", "wheelchair"}
+	a, err = st.ApplyUpdate(Update{
+		OID:   7,
+		Verts: []trajectory.Vertex{{X: 9, Y: 9, T: 20}},
+		Tags:  &newTags,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.TagsChanged || !slices.Equal(a.Tags, []string{"available", "wheelchair"}) ||
+		!slices.Equal(a.PrevTags, []string{"available"}) {
+		t.Fatalf("combined Applied = %+v", a)
+	}
+	if math.IsInf(a.ChangedFrom, 1) {
+		t.Fatal("combined update lost geometry change")
+	}
+	// Insert-with-tags.
+	ins := []string{"pool"}
+	a, err = st.ApplyUpdate(Update{
+		OID:   8,
+		Verts: []trajectory.Vertex{{X: 0, Y: 0, T: 0}, {X: 1, Y: 1, T: 5}},
+		Tags:  &ins,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Inserted || !a.TagsChanged || !slices.Equal(st.Tags(8), []string{"pool"}) {
+		t.Fatalf("insert Applied = %+v, tags %v", a, st.Tags(8))
+	}
+	// Clearing via empty non-nil Tags.
+	empty := []string{}
+	a, err = st.ApplyUpdate(Update{OID: 8, Tags: &empty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.TagsChanged || a.Tags != nil || !slices.Equal(a.PrevTags, []string{"pool"}) {
+		t.Fatalf("clear Applied = %+v", a)
+	}
+}
+
+func TestTagsPersistence(t *testing.T) {
+	st, err := NewStore(PDFSpec{Kind: PDFBoundedGaussian, R: 1, Sigma: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for oid := int64(1); oid <= 3; oid++ {
+		if err := st.Insert(tagTraj(t, oid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.SetTags(1, []string{"ev", "available"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetTags(3, []string{"night"}); err != nil {
+		t.Fatal(err)
+	}
+	var bin, js bytes.Buffer
+	if err := st.SaveBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	for name, load := range map[string]func() (*Store, error){
+		"binary": func() (*Store, error) { return LoadBinary(bytes.NewReader(bin.Bytes())) },
+		"json":   func() (*Store, error) { return LoadJSON(bytes.NewReader(js.Bytes())) },
+	} {
+		got, err := load()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !slices.Equal(got.Tags(1), []string{"available", "ev"}) ||
+			got.Tags(2) != nil || !slices.Equal(got.Tags(3), []string{"night"}) {
+			t.Fatalf("%s: tags %v %v %v", name, got.Tags(1), got.Tags(2), got.Tags(3))
+		}
+	}
+}
+
+func TestTextIndexCacheAndChain(t *testing.T) {
+	st, err := NewUniformStore(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for oid := int64(1); oid <= 8; oid++ {
+		if err := st.Insert(tagTraj(t, oid)); err != nil {
+			t.Fatal(err)
+		}
+		if oid%2 == 0 {
+			if err := st.SetTags(oid, []string{"even"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	x, v := st.TextIndex()
+	if v != st.Version() {
+		t.Fatalf("index version %d, store %d", v, st.Version())
+	}
+	p := &textidx.Predicate{All: []string{"even"}}
+	if got := x.Matching(p); !slices.Equal(got, []int64{2, 4, 6, 8}) {
+		t.Fatalf("Matching = %v", got)
+	}
+	x2, v2 := st.TextIndex()
+	if x2 != x || v2 != v {
+		t.Fatal("cache miss on unchanged store")
+	}
+	// A live tag flip chains the cached index (no rebuild) and keeps the
+	// spatial chain alive.
+	before := st.IndexStats()
+	tags := []string{"even", "fresh"}
+	if _, err := st.ApplyUpdate(Update{OID: 3, Tags: &tags}); err != nil {
+		t.Fatal(err)
+	}
+	x3, v3 := st.TextIndex()
+	if v3 != st.Version() {
+		t.Fatalf("chained version %d, store %d", v3, st.Version())
+	}
+	if got := x3.Matching(p); !slices.Equal(got, []int64{2, 3, 4, 6, 8}) {
+		t.Fatalf("post-flip Matching = %v", got)
+	}
+	after := st.IndexStats()
+	if after.TextIncremental != before.TextIncremental+1 {
+		t.Fatalf("TextIncremental %d -> %d", before.TextIncremental, after.TextIncremental)
+	}
+	if after.TextBuilds != before.TextBuilds {
+		t.Fatalf("tag flip forced text rebuild")
+	}
+	// A live geometry update chains too (overflow covers the new motion).
+	if _, err := st.ApplyUpdate(Update{OID: 3,
+		Verts: []trajectory.Vertex{{X: 50, Y: 50, T: 20}}}); err != nil {
+		t.Fatal(err)
+	}
+	x4, v4 := st.TextIndex()
+	if v4 != st.Version() {
+		t.Fatalf("geometry chain version %d, store %d", v4, st.Version())
+	}
+	if x4.Overflow() == 0 {
+		t.Fatal("geometry update not in overflow")
+	}
+	// A non-live mutation (Delete) cuts the chain; next TextIndex rebuilds.
+	if err := st.Delete(8); err != nil {
+		t.Fatal(err)
+	}
+	x5, v5 := st.TextIndex()
+	if v5 != st.Version() {
+		t.Fatalf("rebuild version %d, store %d", v5, st.Version())
+	}
+	if got := x5.Matching(p); !slices.Equal(got, []int64{2, 3, 4, 6}) {
+		t.Fatalf("post-delete Matching = %v", got)
+	}
+	if st.IndexStats().TextBuilds != after.TextBuilds+1 {
+		t.Fatal("delete did not trigger rebuild")
+	}
+	if st.TextIndexVersion() != st.Version() {
+		t.Fatal("TextIndexVersion stale")
+	}
+}

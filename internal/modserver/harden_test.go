@@ -142,7 +142,7 @@ func TestShardPhasesRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotBounds, err := cli.ShardBounds(q, 0, 30, 2, 0)
+	gotBounds, err := cli.ShardBounds(q, 0, 30, 2, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestShardPhasesRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotSurv, gotStats, err := cli.ShardSurvivors(q, 0, 30, imposed, 0)
+	gotSurv, gotStats, err := cli.ShardSurvivors(q, 0, 30, imposed, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

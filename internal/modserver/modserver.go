@@ -83,6 +83,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/mod"
 	"repro/internal/prune"
+	"repro/internal/textidx"
 	"repro/internal/trajectory"
 	"repro/internal/uql"
 )
@@ -230,6 +231,10 @@ type Request struct {
 	Te     float64   `json:"te,omitempty"`
 	K      int       `json:"k,omitempty"`
 	Bounds []float64 `json:"bounds,omitempty"`
+	// Where restricts the "bounds", "survivors", and "oids" phases to the
+	// predicate's matching sub-MOD (the carried query trajectory stays
+	// exempt) — the shard half of the cluster's spatio-textual pruning.
+	Where *textidx.Predicate `json:"where,omitempty"`
 
 	// GatherID names a gathered union survivor store for the "gather" and
 	// "refine" phases; the server caches a few per connection.
@@ -258,19 +263,28 @@ type Request struct {
 }
 
 // WireApplied is one applied live update on the wire. ChangedFrom is
-// omitted for inserts (it is -Inf in memory; JSON has no Inf literal).
+// omitted for inserts (it is -Inf in memory; JSON has no Inf literal) and
+// for pure tag flips, which carry TagsOnly instead (ChangedFrom is +Inf
+// in memory: no motion changed).
 type WireApplied struct {
 	OID         int64        `json:"oid"`
 	Inserted    bool         `json:"inserted,omitempty"`
 	ChangedFrom float64      `json:"changed_from,omitempty"`
+	TagsOnly    bool         `json:"tags_only,omitempty"`
 	Verts       [][3]float64 `json:"verts,omitempty"`
 	PrevVerts   [][3]float64 `json:"prev_verts,omitempty"`
+	TagsChanged bool         `json:"tags_changed,omitempty"`
+	Tags        []string     `json:"tags,omitempty"`
+	PrevTags    []string     `json:"prev_tags,omitempty"`
 }
 
-// WireTraj is one trajectory on the wire (the survivors/all phases).
+// WireTraj is one trajectory on the wire (the survivors/all phases and
+// the ingest op). Tags follows the mod.Update contract: nil leaves the
+// OID's tags alone, empty clears them, non-empty replaces them.
 type WireTraj struct {
 	OID   int64        `json:"oid"`
 	Verts [][3]float64 `json:"verts"`
+	Tags  *[]string    `json:"tags,omitempty"`
 }
 
 // Answer is one engine.Request's outcome inside a "query" response.
@@ -294,12 +308,15 @@ type BatchEntry struct {
 
 // Response is the wire format of a server reply.
 type Response struct {
-	OK      bool         `json:"ok"`
-	Error   string       `json:"error,omitempty"`
-	Count   int          `json:"count,omitempty"`
-	Spec    *mod.PDFSpec `json:"spec,omitempty"`
-	OID     int64        `json:"oid,omitempty"`
-	Verts   [][3]float64 `json:"verts,omitempty"`
+	OK    bool         `json:"ok"`
+	Error string       `json:"error,omitempty"`
+	Count int          `json:"count,omitempty"`
+	Spec  *mod.PDFSpec `json:"spec,omitempty"`
+	OID   int64        `json:"oid,omitempty"`
+	Verts [][3]float64 `json:"verts,omitempty"`
+	// Tags carries the OID's tag set on the "get" reply (absent when
+	// untagged).
+	Tags    []string     `json:"tags,omitempty"`
 	Bool    *bool        `json:"bool,omitempty"`
 	OIDs    []int64      `json:"oids,omitempty"`
 	Results []BatchEntry `json:"results,omitempty"`
@@ -900,7 +917,7 @@ func (s *Server) dispatch(req Request, cs *connState) Response {
 		for i, v := range tr.Verts {
 			out[i] = [3]float64{v.X, v.Y, v.T}
 		}
-		return Response{OK: true, OID: tr.OID, Verts: out}
+		return Response{OK: true, OID: tr.OID, Verts: out, Tags: s.store.Tags(tr.OID)}
 	case "delete":
 		if s.journal != nil {
 			// The journal has no delete record: a non-journaled delete
@@ -960,7 +977,10 @@ func (s *Server) dispatch(req Request, cs *connState) Response {
 		case "bounds":
 			return s.doBounds(req)
 		case "oids":
-			return Response{OK: true, OIDs: s.store.OIDs()}
+			if err := req.Where.Validate(); err != nil {
+				return Response{Error: err.Error()}
+			}
+			return Response{OK: true, OIDs: s.store.MatchingOIDs(req.Where)}
 		case "gather":
 			// Only final (more=false) frames reach dispatch; the handler
 			// loop accumulates the rest without replying.
@@ -1063,9 +1083,12 @@ func (s *Server) doBounds(req Request) Response {
 	if err != nil {
 		return Response{Error: err.Error()}
 	}
+	if err := req.Where.Validate(); err != nil {
+		return Response{Error: err.Error()}
+	}
 	ctx, cancel := phaseCtx(req)
 	defer cancel()
-	bounds, err := prune.SliceBounds(ctx, s.store, q, req.Tb, req.Te, req.K)
+	bounds, err := prune.SliceBoundsWhere(ctx, s.store, q, req.Tb, req.Te, req.K, req.Where)
 	if err != nil {
 		return codedFail(err)
 	}
@@ -1083,7 +1106,7 @@ func (s *Server) doIngest(req Request) Response {
 		for j, v := range wu.Verts {
 			verts[j] = trajectory.Vertex{X: v[0], Y: v[1], T: v[2]}
 		}
-		updates[i] = mod.Update{OID: wu.OID, Verts: verts}
+		updates[i] = mod.Update{OID: wu.OID, Verts: verts, Tags: wu.Tags}
 	}
 	s.emitMu.Lock()
 	defer s.emitMu.Unlock()
@@ -1140,13 +1163,19 @@ func (s *Server) ingestLocked(updates []mod.Update) Response {
 	return Response{OK: true, Applied: encodeApplied(applied)}
 }
 
-// encodeApplied flattens applied outcomes onto the wire.
+// encodeApplied flattens applied outcomes onto the wire. A pure tag
+// flip's ChangedFrom is +Inf (no motion changed), which JSON cannot
+// carry — it travels as the TagsOnly marker instead.
 func encodeApplied(applied []mod.Applied) []WireApplied {
 	out := make([]WireApplied, len(applied))
 	for i, a := range applied {
 		wa := WireApplied{OID: a.OID, Inserted: a.Inserted}
 		if !a.Inserted {
-			wa.ChangedFrom = a.ChangedFrom
+			if math.IsInf(a.ChangedFrom, 1) {
+				wa.TagsOnly = true
+			} else {
+				wa.ChangedFrom = a.ChangedFrom
+			}
 		}
 		if a.Traj != nil {
 			wa.Verts = encodeTrajs([]*trajectory.Trajectory{a.Traj})[0].Verts
@@ -1154,6 +1183,9 @@ func encodeApplied(applied []mod.Applied) []WireApplied {
 		if a.Prev != nil {
 			wa.PrevVerts = encodeTrajs([]*trajectory.Trajectory{a.Prev})[0].Verts
 		}
+		wa.TagsChanged = a.TagsChanged
+		wa.Tags = a.Tags
+		wa.PrevTags = a.PrevTags
 		out[i] = wa
 	}
 	return out
@@ -1496,15 +1528,26 @@ func (c *Client) Insert(tr *trajectory.Trajectory) error {
 
 // Get downloads a trajectory.
 func (c *Client) Get(oid int64) (*trajectory.Trajectory, error) {
+	tr, _, err := c.GetTagged(oid)
+	return tr, err
+}
+
+// GetTagged downloads a trajectory together with its tag set (nil when
+// untagged) — the cluster's point-lookup path under predicates.
+func (c *Client) GetTagged(oid int64) (*trajectory.Trajectory, []string, error) {
 	resp, err := c.roundTrip(Request{Op: "get", OID: oid})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	verts := make([]trajectory.Vertex, len(resp.Verts))
 	for i, v := range resp.Verts {
 		verts[i] = trajectory.Vertex{X: v[0], Y: v[1], T: v[2]}
 	}
-	return trajectory.New(resp.OID, verts)
+	tr, err := trajectory.New(resp.OID, verts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr, resp.Tags, nil
 }
 
 // Delete removes a trajectory.
@@ -1607,14 +1650,14 @@ func deadlineMS(d time.Duration) int64 {
 // ShardBounds runs phase 1 of the cluster bound exchange remotely:
 // per-slice upper bounds on the server store's local Level-k envelope
 // against query trajectory q over [tb, te]. deadline <= 0 means none.
-func (c *Client) ShardBounds(q *trajectory.Trajectory, tb, te float64, k int, deadline time.Duration) ([]float64, error) {
+func (c *Client) ShardBounds(q *trajectory.Trajectory, tb, te float64, k int, where *textidx.Predicate, deadline time.Duration) ([]float64, error) {
 	verts := make([][3]float64, len(q.Verts))
 	for i, v := range q.Verts {
 		verts[i] = [3]float64{v.X, v.Y, v.T}
 	}
 	resp, err := c.roundTrip(Request{
 		Op: "query", Phase: "bounds",
-		OID: q.OID, Verts: verts, Tb: tb, Te: te, K: k,
+		OID: q.OID, Verts: verts, Tb: tb, Te: te, K: k, Where: where,
 		DeadlineMS: deadlineMS(deadline),
 	})
 	if err != nil {
@@ -1628,14 +1671,14 @@ func (c *Client) ShardBounds(q *trajectory.Trajectory, tb, te float64, k int, de
 // plus the sweep statistics. The reply arrives as a frame stream; a
 // single non-more response is the degenerate one-frame case. deadline
 // <= 0 means none.
-func (c *Client) ShardSurvivors(q *trajectory.Trajectory, tb, te float64, bounds []float64, deadline time.Duration) ([]*trajectory.Trajectory, prune.Stats, error) {
+func (c *Client) ShardSurvivors(q *trajectory.Trajectory, tb, te float64, bounds []float64, where *textidx.Predicate, deadline time.Duration) ([]*trajectory.Trajectory, prune.Stats, error) {
 	verts := make([][3]float64, len(q.Verts))
 	for i, v := range q.Verts {
 		verts[i] = [3]float64{v.X, v.Y, v.T}
 	}
 	resp, err := c.roundTripStream(Request{
 		Op: "query", Phase: "survivors",
-		OID: q.OID, Verts: verts, Tb: tb, Te: te,
+		OID: q.OID, Verts: verts, Tb: tb, Te: te, Where: where,
 		Bounds: encodeBounds(bounds), DeadlineMS: deadlineMS(deadline),
 	})
 	if err != nil {
@@ -1675,7 +1718,7 @@ func (c *Client) Ingest(updates []mod.Update) ([]mod.Applied, error) {
 		for j, v := range u.Verts {
 			verts[j] = [3]float64{v.X, v.Y, v.T}
 		}
-		wire.Updates[i] = WireTraj{OID: u.OID, Verts: verts}
+		wire.Updates[i] = WireTraj{OID: u.OID, Verts: verts, Tags: u.Tags}
 	}
 	resp, err := c.roundTrip(wire)
 	if err != nil {
@@ -1696,9 +1739,12 @@ func (c *Client) Ingest(updates []mod.Update) ([]mod.Applied, error) {
 func decodeApplied(was []WireApplied) ([]mod.Applied, error) {
 	out := make([]mod.Applied, len(was))
 	for i, wa := range was {
-		a := mod.Applied{OID: wa.OID, Inserted: wa.Inserted, ChangedFrom: wa.ChangedFrom}
+		a := mod.Applied{OID: wa.OID, Inserted: wa.Inserted, ChangedFrom: wa.ChangedFrom,
+			TagsChanged: wa.TagsChanged, Tags: wa.Tags, PrevTags: wa.PrevTags}
 		if wa.Inserted {
 			a.ChangedFrom = math.Inf(-1)
+		} else if wa.TagsOnly {
+			a.ChangedFrom = math.Inf(1)
 		}
 		if len(wa.Verts) > 0 {
 			trs, err := decodeTrajs([]WireTraj{{OID: wa.OID, Verts: wa.Verts}})

@@ -14,6 +14,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/mod"
 	"repro/internal/prune"
+	"repro/internal/textidx"
 	"repro/internal/trajectory"
 )
 
@@ -78,8 +79,11 @@ func (s *Server) streamPhase(req Request, cs *connState) bool {
 		if err != nil {
 			return cs.send(Response{Error: err.Error()}) == nil
 		}
+		if err := req.Where.Validate(); err != nil {
+			return cs.send(Response{Error: err.Error()}) == nil
+		}
 		ctx, cancel := phaseCtx(req)
-		trs, st, serr := prune.SurvivorsWithBounds(ctx, s.store, q, req.Tb, req.Te, decodeBounds(req.Bounds))
+		trs, st, serr := prune.SurvivorsWithBoundsWhere(ctx, s.store, q, req.Tb, req.Te, decodeBounds(req.Bounds), req.Where)
 		cancel()
 		if serr != nil {
 			return cs.send(codedFail(serr)) == nil
@@ -286,10 +290,11 @@ func (c *Client) roundTripStream(req Request) (Response, error) {
 	}
 }
 
-// ShardOIDs lists the server store's OIDs (sorted) — the union step of
-// the per-query-object all-pairs/reverse exchange.
-func (c *Client) ShardOIDs() ([]int64, error) {
-	resp, err := c.roundTrip(Request{Op: "query", Phase: "oids"})
+// ShardOIDs lists the server store's OIDs (sorted) whose tags satisfy
+// where (nil means all) — the union step of the per-query-object
+// all-pairs/reverse exchange.
+func (c *Client) ShardOIDs(where *textidx.Predicate) ([]int64, error) {
+	resp, err := c.roundTrip(Request{Op: "query", Phase: "oids", Where: where})
 	if err != nil {
 		return nil, err
 	}

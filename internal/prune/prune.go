@@ -173,34 +173,7 @@ func CandidatesRankCtx(ctx context.Context, store *mod.Store, q *trajectory.Traj
 // bound exchange.) Bounds of a degenerate window (or empty store) are
 // nil with every object kept, which callers must treat as always-dirty.
 func ZoneCtx(ctx context.Context, store *mod.Store, q *trajectory.Trajectory, tb, te float64, k int) (ids []int64, cuts, bounds []float64, st Stats, err error) {
-	v0 := store.Version()
-	trs := store.All()
-	idx, predictive := indexFor(store, tb, te)
-	if store.Version() != v0 {
-		return allOIDs(trs, q.OID), nil, nil, statsAll(trs, q.OID), nil
-	}
-	st = Stats{Candidates: candidateCount(trs, q.OID), Predictive: predictive}
-	if te-tb <= 0 || st.Candidates == 0 {
-		out := allOIDs(trs, q.OID)
-		st.Survivors = len(out)
-		return out, nil, nil, st, nil
-	}
-	state := newSweepState(trs, q, tb, te)
-	bounds, probeStats, err := sliceBounds(ctx, state, idx, q, k)
-	if err != nil {
-		return nil, nil, nil, st, err
-	}
-	kept, _, err := sweepBounds(ctx, state, trs, idx, store.Radius(), q, bounds)
-	if err != nil {
-		return nil, nil, nil, st, err
-	}
-	st.Slices, st.Probes = probeStats.Slices, probeStats.Probes
-	ids = make([]int64, len(kept))
-	for i, tr := range kept {
-		ids[i] = tr.OID
-	}
-	st.Survivors = len(ids)
-	return ids, state.cuts, bounds, st, nil
+	return ZoneWhereCtx(ctx, store, q, tb, te, k, nil)
 }
 
 // ForQuery builds an index-pruned queries.Processor for q over [tb, te]
@@ -219,28 +192,7 @@ func ForQuery(store *mod.Store, q *trajectory.Trajectory, tb, te float64) (*quer
 // (k >= 2) grow the survivor basis by re-probing the index at rank k
 // instead of falling back to the lazy full function build.
 func ForQueryCtx(ctx context.Context, store *mod.Store, q *trajectory.Trajectory, tb, te float64) (*queries.Processor, error) {
-	v0 := store.Version()
-	trs := store.All()
-	idx, _ := indexFor(store, tb, te)
-	r := store.Radius()
-	if store.Version() != v0 {
-		// A mutation slipped between the snapshot and the index build;
-		// the full-scan construction over this snapshot is always sound.
-		return queries.NewProcessor(trs, q, tb, te, r)
-	}
-	survivors, _, err := candidates(ctx, trs, idx, r, q, tb, te, 1)
-	if err != nil {
-		return nil, err
-	}
-	proc, err := queries.NewProcessorPrunedCtx(ctx, trs, q, tb, te, r, survivors)
-	if err != nil {
-		return nil, err
-	}
-	proc.SetRankExpander(func(ctx context.Context, k int) ([]int64, error) {
-		ids, _, err := candidates(ctx, trs, idx, r, q, tb, te, k)
-		return ids, err
-	})
-	return proc, nil
+	return ForQueryWhereCtx(ctx, store, q, tb, te, nil)
 }
 
 // NewProcessor is ForQuery with the query trajectory looked up by OID.
@@ -308,7 +260,7 @@ func SurvivorsWithBounds(ctx context.Context, store *mod.Store, q *trajectory.Tr
 // candidates runs the slice sweep over one consistent snapshot, bounding
 // the Level-k envelope per slice (k == 1 is the classic pass): the probe
 // phase (sliceBounds) followed by the sweep against those bounds.
-func candidates(ctx context.Context, trs []*trajectory.Trajectory, idx corridorIndex, r float64, q *trajectory.Trajectory, tb, te float64, k int) ([]int64, Stats, error) {
+func candidates(ctx context.Context, trs []*trajectory.Trajectory, idx corridorIndex, r float64, q *trajectory.Trajectory, tb, te float64, k, boost int) ([]int64, Stats, error) {
 	st := Stats{Candidates: candidateCount(trs, q.OID)}
 	if te-tb <= 0 || st.Candidates == 0 {
 		// Degenerate window or nothing to prune: keep everything and let
@@ -318,6 +270,7 @@ func candidates(ctx context.Context, trs []*trajectory.Trajectory, idx corridorI
 		return out, st, nil
 	}
 	state := newSweepState(trs, q, tb, te)
+	state.boost = boost
 	bounds, probeStats, err := sliceBounds(ctx, state, idx, q, k)
 	if err != nil {
 		return nil, st, err
@@ -343,14 +296,22 @@ func candidates(ctx context.Context, trs []*trajectory.Trajectory, idx corridorI
 type sweepState struct {
 	byID map[int64]*trajectory.Trajectory
 	cuts []float64
+	// boost widens the probe phase's KNN k (capped at maxProbes): under
+	// a predicate the snapshot holds matching objects only, but the
+	// spatial index surfaces nearest entries of any tag, so a wider
+	// probe keeps the envelope bound usable when matches are sparse.
+	boost int
 }
+
+// maxProbes caps the boosted per-slice probe width.
+const maxProbes = 64
 
 func newSweepState(trs []*trajectory.Trajectory, q *trajectory.Trajectory, tb, te float64) sweepState {
 	byID := make(map[int64]*trajectory.Trajectory, len(trs))
 	for _, tr := range trs {
 		byID[tr.OID] = tr
 	}
-	return sweepState{byID: byID, cuts: sliceTimes(q, tb, te, targetSlices)}
+	return sweepState{byID: byID, cuts: sliceTimes(q, tb, te, targetSlices), boost: 1}
 }
 
 // sliceBounds is the probe phase: per slice, the k-th smallest exact
@@ -367,6 +328,12 @@ func sliceBounds(ctx context.Context, state sweepState, idx corridorIndex, q *tr
 	probes := kProbe
 	if k+4 > probes {
 		probes = k + 4
+	}
+	if state.boost > 1 {
+		probes *= state.boost
+		if probes > maxProbes {
+			probes = maxProbes
+		}
 	}
 	bounds := make([]float64, len(cuts)-1)
 	dists := make([]float64, 0, probes)

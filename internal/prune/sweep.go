@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"repro/internal/mod"
+	"repro/internal/textidx"
 	"repro/internal/trajectory"
 )
 
@@ -46,17 +47,23 @@ type Sweep struct {
 // current contents. The window must be increasing (the same check the
 // one-shot SliceBounds / SurvivorsWithBounds perform).
 func NewSweep(store *mod.Store, q *trajectory.Trajectory, tb, te float64) (*Sweep, error) {
+	return NewSweepWhere(store, q, tb, te, nil)
+}
+
+// NewSweepWhere is NewSweep restricted to the predicate's sub-MOD (see
+// where.go): the session's snapshot holds q plus matching objects only,
+// so both protocol phases — and hence the cluster bound exchange —
+// speak exclusively about the matching universe.
+func NewSweepWhere(store *mod.Store, q *trajectory.Trajectory, tb, te float64, where *textidx.Predicate) (*Sweep, error) {
 	if !(te > tb) {
 		return nil, fmt.Errorf("prune: bad slice window [%g, %g]", tb, te)
 	}
-	v0 := store.Version()
-	s := &Sweep{trs: store.All(), r: store.Radius(), q: q, tb: tb, te: te}
-	s.idx, s.predictive = indexFor(store, tb, te)
-	if store.Version() != v0 {
-		s.stale = true
-		return s, nil
+	sn := takeSnapshot(store, q, tb, te, where)
+	s := &Sweep{trs: sn.trs, idx: sn.idx, predictive: sn.predictive, r: store.Radius(), q: q, tb: tb, te: te, stale: sn.stale}
+	if !s.stale {
+		s.state = newSweepState(s.trs, q, tb, te)
+		s.state.boost = sn.boost
 	}
-	s.state = newSweepState(s.trs, q, tb, te)
 	return s, nil
 }
 
@@ -103,6 +110,7 @@ type sweepKey struct {
 	version uint64
 	q       *trajectory.Trajectory
 	tb, te  float64
+	where   string // canonical predicate key ("" = unfiltered)
 }
 
 // SweepCache memoizes Sweep sessions per (store-version, query, window)
@@ -119,7 +127,14 @@ type SweepCache struct {
 // version, opening one on miss. Version-bumped entries become
 // unreachable and are evicted as the LRU order churns.
 func (c *SweepCache) For(store *mod.Store, q *trajectory.Trajectory, tb, te float64) (*Sweep, error) {
-	key := sweepKey{version: store.Version(), q: q, tb: tb, te: te}
+	return c.ForWhere(store, q, tb, te, nil)
+}
+
+// ForWhere is For with a predicate: sessions are keyed by the
+// predicate's canonical key, so filtered and unfiltered phases of the
+// same (query, window) never share a snapshot.
+func (c *SweepCache) ForWhere(store *mod.Store, q *trajectory.Trajectory, tb, te float64, where *textidx.Predicate) (*Sweep, error) {
+	key := sweepKey{version: store.Version(), q: q, tb: tb, te: te, where: where.Key()}
 	c.mu.Lock()
 	if s, ok := c.m[key]; ok {
 		c.touchLocked(key)
@@ -130,7 +145,7 @@ func (c *SweepCache) For(store *mod.Store, q *trajectory.Trajectory, tb, te floa
 	// Build outside the lock: sessions cost O(N) and concurrent misses on
 	// distinct keys must not serialize. A racing duplicate build for the
 	// same key is harmless — last insert wins, both sessions are valid.
-	s, err := NewSweep(store, q, tb, te)
+	s, err := NewSweepWhere(store, q, tb, te, where)
 	if err != nil {
 		return nil, err
 	}

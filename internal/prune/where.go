@@ -1,0 +1,189 @@
+package prune
+
+import (
+	"context"
+
+	"repro/internal/geom"
+	"repro/internal/mod"
+	"repro/internal/queries"
+	"repro/internal/textidx"
+	"repro/internal/trajectory"
+)
+
+// This file is the spatio-textual half of the candidate pre-pass. A
+// predicate query runs over the sub-MOD of matching objects — filtered
+// objects do not block, do not shape the envelope, and cannot answer —
+// so the pre-pass restricts its snapshot to the query trajectory plus
+// the objects whose tag sets satisfy the predicate *before* any
+// envelope bound is probed or any distance function built. The answer
+// is byte-identical to rebuilding a store from only the matching
+// trajectories and running the unfiltered pipeline.
+//
+// Two index paths serve the filtered sweep:
+//
+//   - The hybrid text index (mod.Store.TextIndex) answers corridor hits
+//     from inverted tag lists hung off the segment R-tree's leaf cells:
+//     a cell whose tag union cannot satisfy the predicate is skipped
+//     wholesale, and per-entry hits are intersected with the matching
+//     set. Used when the cached index is fresh at the snapshot version.
+//   - Otherwise the plain spatial index runs and non-matching hits die
+//     at the snapshot lookup table, which only holds matching objects.
+//
+// Either way the per-slice envelope bounds are probed against matching
+// objects only (a non-matching probe would bound the wrong universe's
+// envelope — unsound for the sub-MOD). Because the spatial KNN probe
+// surfaces nearest objects of *any* tag, the filtered probe widens its
+// k to keep a usable bound when matching objects are sparse.
+
+// predProbeBoost multiplies the per-slice KNN probe width under a
+// predicate: the spatial index knows nothing about tags, so of the k
+// nearest entries only a fraction may match. Capped in sliceBounds.
+const predProbeBoost = 4
+
+// snapshot is one consistent pre-pass view: the (possibly filtered)
+// trajectory set, the corridor index serving it, and degrade state.
+type snapshot struct {
+	trs        []*trajectory.Trajectory
+	idx        corridorIndex
+	predictive bool
+	stale      bool
+	boost      int
+}
+
+// takeSnapshot captures the pre-pass snapshot, restricted to q plus the
+// predicate-matching objects when where is non-nil (which must have
+// passed Validate). stale degrade keeps every *matching* object — the
+// filter is semantics, never dropped; only the index acceleration is.
+func takeSnapshot(store *mod.Store, q *trajectory.Trajectory, tb, te float64, where *textidx.Predicate) snapshot {
+	if where == nil {
+		v0 := store.Version()
+		trs := store.All()
+		idx, predictive := indexFor(store, tb, te)
+		return snapshot{trs: trs, idx: idx, predictive: predictive, stale: store.Version() != v0, boost: 1}
+	}
+	where = where.Canon()
+	trs, tags, v0 := store.AllWithTags()
+	match := make(map[int64]struct{}, len(trs))
+	filtered := make([]*trajectory.Trajectory, 0, len(trs))
+	for _, tr := range trs {
+		if tr.OID == q.OID || where.Matches(tags[tr.OID]) {
+			filtered = append(filtered, tr)
+			match[tr.OID] = struct{}{}
+		}
+	}
+	idx, predictive := indexFor(store, tb, te)
+	if !predictive {
+		// The hybrid cells mirror the segment R-tree's leaves; the TPR
+		// tree's moving entries (and its clamp entries) have no cell
+		// counterpart, so predictive windows keep the plain index.
+		if tx, txv := store.TextIndex(); tx != nil && txv == v0 {
+			if rt, ok := idx.(rtreeIndex); ok {
+				idx = hybridIndex{rtreeIndex: rt, tx: tx, where: where, match: match}
+			}
+		}
+	}
+	return snapshot{trs: filtered, idx: idx, predictive: predictive, stale: store.Version() != v0, boost: predProbeBoost}
+}
+
+// hybridIndex serves corridor hits from the text index's cell postings
+// (probes stay on the spatial R-tree).
+type hybridIndex struct {
+	rtreeIndex
+	tx    *textidx.Index
+	where *textidx.Predicate
+	match map[int64]struct{}
+}
+
+func (x hybridIndex) corridorHits(box geom.AABB, t0, t1 float64) []int64 {
+	return x.tx.CorridorHits(box, t0, t1, x.where, x.match)
+}
+
+// ZoneWhereCtx is ZoneCtx restricted to the predicate's sub-MOD: the
+// superset, cuts, and bounds all speak about matching objects only.
+func ZoneWhereCtx(ctx context.Context, store *mod.Store, q *trajectory.Trajectory, tb, te float64, k int, where *textidx.Predicate) (ids []int64, cuts, bounds []float64, st Stats, err error) {
+	sn := takeSnapshot(store, q, tb, te, where)
+	if sn.stale {
+		return allOIDs(sn.trs, q.OID), nil, nil, statsAll(sn.trs, q.OID), nil
+	}
+	st = Stats{Candidates: candidateCount(sn.trs, q.OID), Predictive: sn.predictive}
+	if te-tb <= 0 || st.Candidates == 0 {
+		out := allOIDs(sn.trs, q.OID)
+		st.Survivors = len(out)
+		return out, nil, nil, st, nil
+	}
+	state := newSweepState(sn.trs, q, tb, te)
+	state.boost = sn.boost
+	bounds, probeStats, err := sliceBounds(ctx, state, sn.idx, q, k)
+	if err != nil {
+		return nil, nil, nil, st, err
+	}
+	kept, _, err := sweepBounds(ctx, state, sn.trs, sn.idx, store.Radius(), q, bounds)
+	if err != nil {
+		return nil, nil, nil, st, err
+	}
+	st.Slices, st.Probes = probeStats.Slices, probeStats.Probes
+	ids = make([]int64, len(kept))
+	for i, tr := range kept {
+		ids[i] = tr.OID
+	}
+	st.Survivors = len(ids)
+	return ids, state.cuts, bounds, st, nil
+}
+
+// ForQueryWhereCtx is ForQueryCtx over the predicate's sub-MOD: the
+// returned processor holds only q and the matching objects, so every UQ
+// variant, instant predicate, and certain/threshold extension answers
+// exactly as if the non-matching objects did not exist.
+func ForQueryWhereCtx(ctx context.Context, store *mod.Store, q *trajectory.Trajectory, tb, te float64, where *textidx.Predicate) (*queries.Processor, error) {
+	sn := takeSnapshot(store, q, tb, te, where)
+	r := store.Radius()
+	if sn.stale {
+		return queries.NewProcessor(sn.trs, q, tb, te, r)
+	}
+	survivors, _, err := candidates(ctx, sn.trs, sn.idx, r, q, tb, te, 1, sn.boost)
+	if err != nil {
+		return nil, err
+	}
+	proc, err := queries.NewProcessorPrunedCtx(ctx, sn.trs, q, tb, te, r, survivors)
+	if err != nil {
+		return nil, err
+	}
+	proc.SetRankExpander(func(ctx context.Context, k int) ([]int64, error) {
+		ids, _, err := candidates(ctx, sn.trs, sn.idx, r, q, tb, te, k, sn.boost)
+		return ids, err
+	})
+	return proc, nil
+}
+
+// NewProcessorWhereCtx is ForQueryWhereCtx with the query looked up by
+// OID. The query object is exempt from the predicate: a query *about* a
+// non-matching object over the matching fleet is well-formed.
+func NewProcessorWhereCtx(ctx context.Context, store *mod.Store, qOID int64, tb, te float64, where *textidx.Predicate) (*queries.Processor, error) {
+	q, err := store.Get(qOID)
+	if err != nil {
+		return nil, err
+	}
+	return ForQueryWhereCtx(ctx, store, q, tb, te, where)
+}
+
+// SliceBoundsWhere is SliceBounds over the predicate's sub-MOD: every
+// finite bound is the slice maximum of a *matching* object's distance,
+// which is what lets a cluster router min per-shard bounds into a bound
+// on the matching universe's global envelope.
+func SliceBoundsWhere(ctx context.Context, store *mod.Store, q *trajectory.Trajectory, tb, te float64, k int, where *textidx.Predicate) ([]float64, error) {
+	s, err := NewSweepWhere(store, q, tb, te, where)
+	if err != nil {
+		return nil, err
+	}
+	return s.Bounds(ctx, k)
+}
+
+// SurvivorsWithBoundsWhere is SurvivorsWithBounds over the predicate's
+// sub-MOD: survivors are matching objects only.
+func SurvivorsWithBoundsWhere(ctx context.Context, store *mod.Store, q *trajectory.Trajectory, tb, te float64, bounds []float64, where *textidx.Predicate) ([]*trajectory.Trajectory, Stats, error) {
+	s, err := NewSweepWhere(store, q, tb, te, where)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return s.Survivors(ctx, bounds)
+}

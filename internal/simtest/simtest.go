@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/mod"
+	"repro/internal/textidx"
 	"repro/internal/trajectory"
 	"repro/internal/workload"
 )
@@ -73,6 +74,13 @@ func NewWorld(cfg Config) (*World, error) {
 	if err := mirror.InsertAll(trs[:cfg.N]); err != nil {
 		return nil, err
 	}
+	for _, tr := range trs[:cfg.N] {
+		if tags := initialTags(tr.OID); tags != nil {
+			if err := mirror.SetTags(tr.OID, tags); err != nil {
+				return nil, err
+			}
+		}
+	}
 	return &World{
 		cfg: cfg,
 		rng: rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
@@ -87,8 +95,22 @@ func NewWorld(cfg Config) (*World, error) {
 	}, nil
 }
 
-// InitialStore returns a fresh store holding the initial fleet —
-// trajectory values are shared (they are immutable), stores are not.
+// initialTags is the deterministic starting tag assignment (by OID, so
+// Requests can pick matching and non-matching targets up front).
+func initialTags(oid int64) []string {
+	var tags []string
+	if oid%2 == 0 {
+		tags = append(tags, "available")
+	}
+	if oid%3 == 0 {
+		tags = append(tags, "ev")
+	}
+	return tags
+}
+
+// InitialStore returns a fresh store holding the initial fleet with its
+// starting tags — trajectory values are shared (they are immutable),
+// stores are not.
 func (w *World) InitialStore() (*mod.Store, error) {
 	st, err := mod.NewUniformStore(w.cfg.R)
 	if err != nil {
@@ -97,17 +119,33 @@ func (w *World) InitialStore() (*mod.Store, error) {
 	if err := st.InsertAll(w.initial); err != nil {
 		return nil, err
 	}
+	for _, tr := range w.initial {
+		if tags := initialTags(tr.OID); tags != nil {
+			if err := st.SetTags(tr.OID, tags); err != nil {
+				return nil, err
+			}
+		}
+	}
 	return st, nil
 }
 
-// SnapshotStore returns a fresh store with the world's current truth.
+// SnapshotStore returns a fresh store with the world's current truth,
+// tag sets included.
 func (w *World) SnapshotStore() (*mod.Store, error) {
 	st, err := mod.NewUniformStore(w.cfg.R)
 	if err != nil {
 		return nil, err
 	}
-	if err := st.InsertAll(w.mirror.All()); err != nil {
+	trs, tags, _ := w.mirror.AllWithTags()
+	if err := st.InsertAll(trs); err != nil {
 		return nil, err
+	}
+	for _, tr := range trs {
+		if ts := tags[tr.OID]; len(ts) > 0 {
+			if err := st.SetTags(tr.OID, ts); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return st, nil
 }
@@ -150,10 +188,23 @@ func (w *World) Step() ([]mod.Update, error) {
 			{X: pos.X, Y: pos.Y, T: w.now}, mid, end,
 		}})
 	}
+	// Pure tag flips: a couple of objects per step change their tag set
+	// with no motion change, driving the continuous layer's predicate
+	// dirty rule (ChangedFrom = +Inf on the applied outcome) and, on the
+	// snapshot side, the sub-MOD membership the filtered subscriptions
+	// answer over.
+	tagSets := [][]string{{}, {"available"}, {"ev"}, {"available", "ev"}}
+	for i := 0; i < 2 && len(oids) > 0; i++ {
+		oid := oids[w.rng.Intn(len(oids))]
+		tags := append([]string(nil), tagSets[w.rng.Intn(len(tagSets))]...)
+		batch = append(batch, mod.Update{OID: oid, Tags: &tags})
+	}
 	if len(w.held) > 0 && (w.step == w.cfg.Steps/3 || w.step == 2*w.cfg.Steps/3) {
 		tr := w.held[0]
 		w.held = w.held[1:]
-		batch = append(batch, mod.Update{OID: tr.OID, Verts: tr.Verts})
+		// Held-out inserts arrive already tagged: insert+tags in one update.
+		tags := []string{"available"}
+		batch = append(batch, mod.Update{OID: tr.OID, Verts: tr.Verts, Tags: &tags})
 	}
 	if _, err := w.mirror.ApplyUpdates(batch); err != nil {
 		return nil, err
@@ -164,10 +215,16 @@ func (w *World) Step() ([]mod.Update, error) {
 // Requests returns the standing subscription mix the simulation suite
 // registers: whole-MOD retrievals at ranks 1 and 2, fraction variants,
 // single-object predicates (including a fixed-time instant and a
-// threshold query), and one window that ends before the first revision —
-// the permanently-clean subscription the dirty set must never touch.
+// threshold query), one window that ends before the first revision —
+// the permanently-clean subscription the dirty set must never touch —
+// and a spatio-textual block whose tag predicates track the scripted
+// flips (a short filtered window too: tags are atemporal, so a flip must
+// dirty it even though its window precedes every motion revision).
 func (w *World) Requests() []engine.Request {
 	o := func(i int) int64 { return w.initial[i%len(w.initial)].OID }
+	avail := &textidx.Predicate{All: []string{"available"}}
+	anyOf := &textidx.Predicate{Any: []string{"available", "ev"}}
+	notEV := &textidx.Predicate{All: []string{"available"}, Not: []string{"ev"}}
 	return []engine.Request{
 		{Kind: engine.KindUQ31, QueryOID: o(0), Tb: 0, Te: Span},
 		{Kind: engine.KindUQ41, QueryOID: o(1), Tb: 5, Te: 55, K: 2},
@@ -179,6 +236,13 @@ func (w *World) Requests() []engine.Request {
 		{Kind: engine.KindNNAt, QueryOID: o(3), Tb: 0, Te: Span, OID: o(7), T: 20},
 		{Kind: engine.KindThreshold, QueryOID: o(5), Tb: 0, Te: 20, OID: o(8), P: 0.4, X: 0.3},
 		{Kind: engine.KindUQ31, QueryOID: o(4), Tb: 0, Te: 7}, // ends before any revision
+		// Spatio-textual rows.
+		{Kind: engine.KindUQ31, QueryOID: o(0), Tb: 0, Te: Span, Where: avail},
+		{Kind: engine.KindUQ41, QueryOID: o(1), Tb: 5, Te: 55, K: 2, Where: anyOf},
+		{Kind: engine.KindUQ32, QueryOID: o(2), Tb: 0, Te: Span, Where: notEV},
+		{Kind: engine.KindUQ11, QueryOID: o(0), Tb: 0, Te: Span, OID: o(4), Where: avail},
+		{Kind: engine.KindThreshold, QueryOID: o(5), Tb: 0, Te: 20, OID: o(8), P: 0.4, X: 0.3, Where: anyOf},
+		{Kind: engine.KindUQ31, QueryOID: o(4), Tb: 0, Te: 7, Where: avail}, // flips still dirty it
 	}
 }
 

@@ -1,0 +1,36 @@
+package sindex
+
+import "repro/internal/geom"
+
+// Leaf exposes one leaf cell of a packed R-tree: the cell's merged
+// bounding box and time span plus the entries packed into it. The entries
+// slice aliases the tree's own storage — trees are immutable once built,
+// so callers may hold it but must not modify it.
+type Leaf struct {
+	Box     geom.AABB
+	T0, T1  float64
+	Entries []Entry
+}
+
+// Leaves returns the tree's leaf cells in packing order. Secondary
+// structures keyed to the tree's cells (such as per-cell inverted tag
+// lists) are built from this view; it is a linear walk, O(n/fanout)
+// cells for n entries.
+func (t *RTree) Leaves() []Leaf {
+	if t == nil || t.root == nil {
+		return nil
+	}
+	out := make([]Leaf, 0, (t.count+t.fanout-1)/t.fanout)
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if nd.children == nil {
+			out = append(out, Leaf{Box: nd.box, T0: nd.t0, T1: nd.t1, Entries: nd.entries})
+			return
+		}
+		for _, c := range nd.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}

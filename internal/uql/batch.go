@@ -71,7 +71,15 @@ func evalWithEngine(ctx context.Context, st *Stmt, store *mod.Store, eng *engine
 		}
 		return BatchItem{Result: Result{OIDs: res.OIDs}}
 	}
-	proc, err := eng.ProcessorCtx(ctx, store, st.QueryOID, st.Tb, st.Te)
+	if st.Where != nil && !st.AllObjects {
+		// Sub-MOD target semantics, mirrored from the engine: an existing
+		// target that fails the predicate answers false; an absent one
+		// still errors through the processor path below.
+		if _, gerr := store.Get(st.TargetOID); gerr == nil && !st.Where.Matches(store.Tags(st.TargetOID)) {
+			return BatchItem{Result: Result{IsBool: true, Bool: false}}
+		}
+	}
+	proc, err := eng.ProcessorWhereCtx(ctx, store, st.QueryOID, st.Tb, st.Te, st.Where)
 	if err != nil {
 		return fail(err)
 	}
@@ -94,6 +102,7 @@ func Compile(st *Stmt) (engine.Request, bool) {
 	req := engine.Request{
 		QueryOID: st.QueryOID, Tb: st.Tb, Te: st.Te,
 		OID: st.TargetOID, K: st.Rank, X: st.Percent, T: st.FixedT,
+		Where: st.Where,
 	}
 	ranked := st.Rank > 0
 	switch {

@@ -23,6 +23,18 @@
 // trajectory's OID (the paper's TrQ); the last argument of ProbabilityKNN
 // is the rank k. The `sel` inside the probability predicate must match the
 // SELECT target.
+//
+// The probability predicate may be followed by attribute clauses that
+// restrict the statement to the matching sub-MOD (the spatio-textual
+// extension; tags are single-quoted string literals, canonicalized by
+// textidx.CanonTag):
+//
+//	tags  := AND TAGS CONTAINS mode '(' STR (',' STR)* ')'
+//	mode  := ALL | ANY | NONE
+//
+// ALL and NONE clauses may repeat (their tag sets union); at most one ANY
+// clause is allowed, because two would AND their disjunctions — a shape
+// the predicate cannot hold.
 package uql
 
 import (
@@ -38,7 +50,8 @@ const (
 	tokEOF tokKind = iota
 	tokIdent
 	tokNumber
-	tokPunct // single-rune punctuation: ( ) [ ] , % > =
+	tokPunct  // single-rune punctuation: ( ) [ ] , % > =
+	tokString // single-quoted tag literal; text is the unquoted contents
 )
 
 type token struct {
@@ -60,6 +73,13 @@ func lex(src string) ([]token, error) {
 		case c == '(' || c == ')' || c == '[' || c == ']' || c == ',' || c == '%' || c == '>' || c == '=':
 			toks = append(toks, token{kind: tokPunct, text: string(c), pos: i})
 			i++
+		case c == '\'':
+			j := strings.IndexByte(src[i+1:], '\'')
+			if j < 0 {
+				return nil, fmt.Errorf("uql: unterminated string literal at offset %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: src[i+1 : i+1+j], pos: i})
+			i += j + 2
 		case unicode.IsDigit(c) || c == '-' || c == '+' || c == '.':
 			j := i
 			if c == '-' || c == '+' {

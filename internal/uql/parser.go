@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
+
+	"repro/internal/textidx"
 )
 
 // Quantifier is the temporal quantifier of a UQL statement.
@@ -56,6 +59,11 @@ type Stmt struct {
 	// to be the nearest neighbor (its farthest possible distance below
 	// everyone's nearest possible distance).
 	Certain bool
+
+	// Where restricts the statement to the matching sub-MOD (nil = no
+	// filter). Parsed from TAGS CONTAINS clauses; tag sets are canonical
+	// (lowercased, sorted, deduplicated) by construction.
+	Where *textidx.Predicate
 }
 
 // ErrParse wraps all syntax errors.
@@ -217,6 +225,12 @@ func Parse(src string) (*Stmt, error) {
 	if err := p.prob(st); err != nil {
 		return nil, err
 	}
+	for p.peek().kind == tokIdent && p.peek().text == "AND" {
+		p.next()
+		if err := p.tagClause(st); err != nil {
+			return nil, err
+		}
+	}
 	if t := p.next(); t.kind != tokEOF {
 		return nil, fmt.Errorf("%w: trailing input %q (offset %d)", ErrParse, t.text, t.pos)
 	}
@@ -331,6 +345,76 @@ func (p *parser) prob(st *Stmt) error {
 	return nil
 }
 
+// tagClause parses one `TAGS CONTAINS mode ( 'a', 'b', ... )` clause into
+// st.Where. ALL and NONE clauses union; a second ANY clause is an error.
+func (p *parser) tagClause(st *Stmt) error {
+	if err := p.expectIdent("TAGS"); err != nil {
+		return err
+	}
+	if err := p.expectIdent("CONTAINS"); err != nil {
+		return err
+	}
+	mode := p.next()
+	if mode.kind != tokIdent || (mode.text != "ALL" && mode.text != "ANY" && mode.text != "NONE") {
+		return fmt.Errorf("%w: expected ALL/ANY/NONE, got %q (offset %d)", ErrParse, mode.text, mode.pos)
+	}
+	raw, err := p.tagList()
+	if err != nil {
+		return err
+	}
+	tags, err := textidx.CanonTags(raw)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrParse, err)
+	}
+	if st.Where == nil {
+		st.Where = &textidx.Predicate{}
+	}
+	switch mode.text {
+	case "ALL":
+		st.Where.All, err = unionTags(st.Where.All, tags)
+	case "NONE":
+		st.Where.Not, err = unionTags(st.Where.Not, tags)
+	default:
+		if st.Where.Any != nil {
+			return fmt.Errorf("%w: at most one TAGS CONTAINS ANY clause", ErrParse)
+		}
+		st.Where.Any = tags
+	}
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrParse, err)
+	}
+	return nil
+}
+
+// tagList parses `( 'a', 'b', ... )` — at least one literal.
+func (p *parser) tagList() ([]string, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var out []string
+	for {
+		t := p.next()
+		if t.kind != tokString {
+			return nil, fmt.Errorf("%w: expected quoted tag, got %q (offset %d)", ErrParse, t.text, t.pos)
+		}
+		out = append(out, t.text)
+		sep := p.next()
+		if sep.kind == tokPunct && sep.text == ")" {
+			return out, nil
+		}
+		if sep.kind != tokPunct || sep.text != "," {
+			return nil, fmt.Errorf("%w: expected ',' or ')', got %q (offset %d)", ErrParse, sep.text, sep.pos)
+		}
+	}
+}
+
+// unionTags merges two canonical tag sets, keeping the result canonical.
+// Both inputs already canonicalized, so the only possible failure is the
+// merged set overflowing the MaxTags cap.
+func unionTags(a, b []string) ([]string, error) {
+	return textidx.CanonTags(append(append([]string(nil), a...), b...))
+}
+
 // String renders the statement back to canonical UQL (parse ∘ String is
 // the identity on the AST).
 func (st *Stmt) String() string {
@@ -358,5 +442,17 @@ func (st *Stmt) String() string {
 	default:
 		pred = fmt.Sprintf("ProbabilityNN(%s, %d, Time) > %g", sel, st.QueryOID, st.Threshold)
 	}
-	return fmt.Sprintf("SELECT %s FROM MOD WHERE %s AND %s", sel, quant, pred)
+	out := fmt.Sprintf("SELECT %s FROM MOD WHERE %s AND %s", sel, quant, pred)
+	if st.Where != nil {
+		for _, clause := range []struct {
+			mode string
+			tags []string
+		}{{"ALL", st.Where.All}, {"ANY", st.Where.Any}, {"NONE", st.Where.Not}} {
+			if len(clause.tags) == 0 {
+				continue
+			}
+			out += fmt.Sprintf(" AND TAGS CONTAINS %s ('%s')", clause.mode, strings.Join(clause.tags, "', '"))
+		}
+	}
+	return out
 }

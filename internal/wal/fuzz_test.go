@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"hash/crc32"
 	"math"
+	"slices"
 	"testing"
 
 	"repro/internal/mod"
@@ -35,6 +36,11 @@ func FuzzWALRecord(f *testing.F) {
 		{
 			{OID: -7, Verts: []trajectory.Vertex{{X: 0.5, Y: -1.25, T: 0}, {X: 2, Y: 2, T: 1}}},
 			{OID: 1 << 40, Verts: []trajectory.Vertex{{X: -3, Y: 8, T: 2.5}}},
+		},
+		{
+			{OID: 4, Tags: &[]string{"ev", "wheelchair"}},
+			{OID: 5, Tags: &[]string{}},
+			{OID: 6, Verts: []trajectory.Vertex{{X: 1, Y: 1, T: 0}}, Tags: &[]string{"night"}},
 		},
 	}
 	for _, batch := range seed {
@@ -88,6 +94,10 @@ func FuzzWALRecord(f *testing.F) {
 		for i := range again {
 			if again[i].OID != batch[i].OID || !bytes.Equal(vertBits(again[i].Verts), vertBits(batch[i].Verts)) {
 				t.Fatalf("round trip changed update %d", i)
+			}
+			a, b := again[i].Tags, batch[i].Tags
+			if (a == nil) != (b == nil) || (a != nil && !slices.Equal(*a, *b)) {
+				t.Fatalf("round trip changed update %d tags", i)
 			}
 		}
 	})

@@ -60,15 +60,20 @@ const recordHeaderSize = 8
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // AppendRecord appends the framed, checksummed encoding of one update
-// batch to dst and returns the extended slice. The payload layout is
+// batch to dst and returns the extended slice. The payload layout (v2,
+// logs headed by UTWAL2) is
 //
 //	uvarint  #updates
 //	per update:
 //	  varint   OID
 //	  uvarint  #vertices
 //	  per vertex: 3 × uint64 LE (IEEE-754 bits of X, Y, T)
+//	  uvarint  tag mode — 0: no tag change (Tags nil); 1: tag set follows
+//	  if mode 1: uvarint #tags, per tag uvarint length + raw bytes
 //
-// Raw float bits (not decimal text) are what makes replay byte-identical.
+// Raw float bits (not decimal text) are what makes replay byte-identical,
+// and the explicit tag mode preserves the Update.Tags tri-state (nil = no
+// change, empty = clear) across a crash.
 func AppendRecord(dst []byte, batch []mod.Update) ([]byte, error) {
 	head := len(dst)
 	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // frame placeholder
@@ -80,6 +85,16 @@ func AppendRecord(dst []byte, batch []mod.Update) ([]byte, error) {
 			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.X))
 			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.Y))
 			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.T))
+		}
+		if u.Tags == nil {
+			dst = append(dst, 0)
+		} else {
+			dst = append(dst, 1)
+			dst = binary.AppendUvarint(dst, uint64(len(*u.Tags)))
+			for _, tag := range *u.Tags {
+				dst = binary.AppendUvarint(dst, uint64(len(tag)))
+				dst = append(dst, tag...)
+			}
 		}
 	}
 	payload := dst[head+recordHeaderSize:]
@@ -98,6 +113,13 @@ func AppendRecord(dst []byte, batch []mod.Update) ([]byte, error) {
 // complete but wrong (checksum mismatch, trailing garbage, implausible
 // counts). An empty b returns (nil, 0, nil): the clean end of a log.
 func DecodeRecord(b []byte) (batch []mod.Update, n int, err error) {
+	return decodeRecord(b, true)
+}
+
+// decodeRecord is DecodeRecord with the payload version made explicit:
+// hasTags selects the v2 layout; false decodes records from legacy UTWAL1
+// logs, which carry no tag section.
+func decodeRecord(b []byte, hasTags bool) (batch []mod.Update, n int, err error) {
 	if len(b) == 0 {
 		return nil, 0, nil
 	}
@@ -116,7 +138,7 @@ func DecodeRecord(b []byte) (batch []mod.Update, n int, err error) {
 	if got := crc32.Checksum(payload, crcTable); got != want {
 		return nil, 0, fmt.Errorf("%w: checksum %08x, frame declares %08x", ErrCorruptRecord, got, want)
 	}
-	batch, err = decodePayload(payload)
+	batch, err = decodePayload(payload, hasTags)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -126,7 +148,7 @@ func DecodeRecord(b []byte) (batch []mod.Update, n int, err error) {
 // decodePayload decodes a checksum-verified payload. Every structural
 // violation is ErrCorruptRecord: the checksum already passed, so a bad
 // count or short buffer means the record was written wrong, not damaged.
-func decodePayload(p []byte) ([]mod.Update, error) {
+func decodePayload(p []byte, hasTags bool) ([]mod.Update, error) {
 	count, n := binary.Uvarint(p)
 	if n <= 0 {
 		return nil, fmt.Errorf("%w: unreadable batch count", ErrCorruptRecord)
@@ -161,7 +183,37 @@ func decodePayload(p []byte) ([]mod.Update, error) {
 			}
 			p = p[24:]
 		}
-		batch = append(batch, mod.Update{OID: oid, Verts: verts})
+		u := mod.Update{OID: oid, Verts: verts}
+		if hasTags {
+			mode, n := binary.Uvarint(p)
+			if n <= 0 || mode > 1 {
+				return nil, fmt.Errorf("%w: update %d: bad tag mode", ErrCorruptRecord, i)
+			}
+			p = p[n:]
+			if mode == 1 {
+				nt, n := binary.Uvarint(p)
+				if n <= 0 {
+					return nil, fmt.Errorf("%w: update %d: unreadable tag count", ErrCorruptRecord, i)
+				}
+				p = p[n:]
+				// A tag is ≥ 1 byte of length prefix.
+				if nt > uint64(len(p))+1 {
+					return nil, fmt.Errorf("%w: update %d: implausible tag count %d", ErrCorruptRecord, i, nt)
+				}
+				tags := make([]string, 0, nt)
+				for j := uint64(0); j < nt; j++ {
+					tl, n := binary.Uvarint(p)
+					if n <= 0 || tl > uint64(len(p)-n) {
+						return nil, fmt.Errorf("%w: update %d: tag %d exceeds payload", ErrCorruptRecord, i, j)
+					}
+					p = p[n:]
+					tags = append(tags, string(p[:tl]))
+					p = p[tl:]
+				}
+				u.Tags = &tags
+			}
+		}
+		batch = append(batch, u)
 	}
 	if len(p) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrCorruptRecord, len(p))

@@ -30,7 +30,13 @@ var (
 
 // walMagic heads every log file so Recover can tell an empty-but-created
 // log from a file torn during creation or belonging to something else.
-var walMagic = [8]byte{'U', 'T', 'W', 'A', 'L', '1', 0, 0}
+// UTWAL2 records carry a per-update tag section; UTWAL1 logs (pre-tags)
+// replay with the legacy record layout and Open rotates them away before
+// appending, so no file ever mixes layouts.
+var (
+	walMagic   = [8]byte{'U', 'T', 'W', 'A', 'L', '2', 0, 0}
+	walMagicV1 = [8]byte{'U', 'T', 'W', 'A', 'L', '1', 0, 0}
+)
 
 // Options tunes a log.
 type Options struct {
@@ -99,6 +105,10 @@ type RecoverInfo struct {
 	// walBytes is the byte length of the valid log prefix (header
 	// included); Open truncates the file here before resuming appends.
 	walBytes int64
+	// legacy reports a UTWAL1 log: readable, but Open must rotate to a
+	// fresh snapshot + v2 log instead of appending v2 records under a v1
+	// header.
+	legacy bool
 }
 
 // Seq returns the total batch count the recovered store reflects.
@@ -156,6 +166,14 @@ func Open(dir string, opts Options) (*Log, *mod.Store, RecoverInfo, error) {
 		}
 	}
 	l := &Log{dir: dir, opts: opts, f: f, snapSeq: info.SnapshotSeq, appended: info.Replayed}
+	if info.legacy {
+		// A v1 log cannot take v2 records: fold its replayed batches into
+		// a fresh snapshot and rotate to a v2 log before any append.
+		if err := l.snapshotLocked(st); err != nil {
+			_ = l.f.Close()
+			return nil, nil, info, err
+		}
+	}
 	return l, st, info, nil
 }
 
@@ -202,7 +220,13 @@ func replayLog(dir string, seq uint64, st *mod.Store, info *RecoverInfo) error {
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	if len(b) < len(walMagic) || [8]byte(b[:8]) != walMagic {
+	hasTags := true
+	switch {
+	case len(b) >= len(walMagic) && [8]byte(b[:8]) == walMagic:
+	case len(b) >= len(walMagicV1) && [8]byte(b[:8]) == walMagicV1:
+		hasTags = false
+		info.legacy = true
+	default:
 		// Torn during creation (or foreign): no records to trust.
 		info.Torn = true
 		info.walBytes = int64(len(walMagic))
@@ -210,7 +234,7 @@ func replayLog(dir string, seq uint64, st *mod.Store, info *RecoverInfo) error {
 	}
 	off := len(walMagic)
 	for {
-		batch, n, err := DecodeRecord(b[off:])
+		batch, n, err := decodeRecord(b[off:], hasTags)
 		if err != nil {
 			info.Torn = true
 			break

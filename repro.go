@@ -15,6 +15,12 @@
 //     Router that answers the same Request contract over K shards (local
 //     or remote), byte-identically to a single engine via a two-phase NN
 //     bound exchange,
+//   - spatio-textual queries: trajectories carry attribute tag sets
+//     (Store.SetTags, Update.Tags), a hybrid keyword index hangs inverted
+//     tag postings off the spatial index, and any Request restricted by a
+//     tag Predicate (Request.Where) answers byte-identically to running
+//     the plain request over the matching sub-MOD — in UQL, `WHERE tags
+//     CONTAINS ...`,
 //   - live ingestion + continuous queries: stores accept plan revisions
 //     and extensions (Update / Store.ApplyUpdates) with incremental index
 //     maintenance and an optional predictive TPR index
@@ -103,6 +109,7 @@ import (
 	"repro/internal/modserver"
 	"repro/internal/prune"
 	"repro/internal/queries"
+	"repro/internal/textidx"
 	"repro/internal/trajectory"
 	"repro/internal/uncertain"
 	"repro/internal/updf"
@@ -361,18 +368,36 @@ type Request = engine.Request
 type Result = engine.Result
 
 // Explain is the per-query execution provenance: candidate and prune
-// survivor counts, envelope (memo) reuse, worker count, wall time.
+// survivor counts, envelope (memo) reuse, worker count, wall time — and,
+// on predicate-restricted requests, the textual-vs-spatial candidate
+// split (TextualCandidates, SpatialCandidates).
 type Explain = engine.Explain
+
+// Predicate restricts a Request to the sub-MOD of objects whose tag
+// sets satisfy it (Request.Where): an object matches when it carries
+// every All tag, at least one Any tag (when that list is non-empty),
+// and none of the Not tags. The answer is byte-identical to running the
+// plain request against a store holding only the matching trajectories
+// (the query trajectory itself is exempt). At least one list must be
+// non-empty; a nil *Predicate means unfiltered.
+type Predicate = textidx.Predicate
+
+// CanonTags canonicalizes a tag set the way stores and predicates do:
+// lowercased, sorted, deduplicated. It rejects empty, over-long, or
+// whitespace-bearing tags with ErrBadTag.
+func CanonTags(tags []string) ([]string, error) { return textidx.CanonTags(tags) }
 
 // Typed error taxonomy of the unified API: one identity per failure,
 // matchable with errors.Is across every entry point.
 var (
-	ErrBadKind    = engine.ErrBadKind
-	ErrBadWindow  = engine.ErrBadWindow
-	ErrUnknownOID = engine.ErrUnknownOID
-	ErrBadRank    = engine.ErrBadRank
-	ErrBadFrac    = engine.ErrBadFrac
-	ErrNoEngine   = engine.ErrNoEngine
+	ErrBadKind      = engine.ErrBadKind
+	ErrBadWindow    = engine.ErrBadWindow
+	ErrUnknownOID   = engine.ErrUnknownOID
+	ErrBadRank      = engine.ErrBadRank
+	ErrBadFrac      = engine.ErrBadFrac
+	ErrNoEngine     = engine.ErrNoEngine
+	ErrBadPredicate = engine.ErrBadPredicate
+	ErrBadTag       = textidx.ErrBadTag
 )
 
 // BatchRequest is a batch of query variants sharing one query trajectory
