@@ -4,7 +4,9 @@
 # Docker compose cluster), and bench (`make bench-smoke bench-api
 # bench-prune bench-text bench-shard bench-live` plus a `figures -fig
 # summary` step table) — and the nightly workflow adds `make
-# bench-shard-large bench` with the MIN_SHARD_SPEEDUP=2.0 gate.
+# bench-shard-large bench` with the MIN_SHARD_SPEEDUP=2.0 gate plus
+# `make bench-city` (the N=100000 churn harness) gated against the
+# committed BENCH_city.json baseline.
 
 GO ?= go
 
@@ -16,7 +18,7 @@ GO ?= go
 # committed BENCH_shard.json baseline minus a tolerance.
 MIN_SHARD_SPEEDUP ?= 0
 
-.PHONY: all build test race bench bench-smoke bench-prune bench-text bench-api bench-shard bench-shard-large bench-live cover fmt vet staticcheck chaos chaos-soak serve-smoke clean
+.PHONY: all build test race bench bench-smoke bench-prune bench-text bench-api bench-shard bench-shard-large bench-live bench-city cover fmt vet staticcheck chaos chaos-soak serve-smoke clean
 
 all: fmt vet staticcheck build test
 
@@ -85,6 +87,18 @@ bench-shard-large:
 # is equal=true AND the hub beats the naive baseline.
 bench-live:
 	$(GO) run ./cmd/figures -fig live -live-json BENCH_live.json
+
+# City-scale churn harness (nightly CI): Poisson arrivals of updates,
+# queries, and subscribe/unsubscribe churn with TTL-style retirement at
+# N=100000 over the single hub and a 4-shard router, emitted as
+# BENCH_city.json. Fails unless every spot check is byte-identical to a
+# fresh snapshot re-query. CITY_BASELINE (the committed BENCH_city.json)
+# arms the regression gates — a sustained-updates/s floor and a query-p99
+# ceiling read before the fresh run overwrites the artifact. Nightly CI
+# passes CITY_BASELINE=BENCH_city.json.
+CITY_BASELINE ?=
+bench-city:
+	$(GO) run ./cmd/figures -fig city -city-json BENCH_city.json $(if $(CITY_BASELINE),-city-baseline $(CITY_BASELINE))
 
 # Per-package coverage floors for the subsystems whose correctness
 # arguments live in their tests (dirty-set soundness, prune

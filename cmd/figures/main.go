@@ -10,6 +10,7 @@
 //	figures -fig api                # Engine.Do overhead gate (make bench-api)
 //	figures -fig shard              # sharded router vs single engine (make bench-shard)
 //	figures -fig shard -large       # the same sweep at the large population (make bench-shard-large)
+//	figures -fig city               # city-scale Poisson churn harness (make bench-city, nightly)
 //	figures -fig summary            # markdown table over BENCH_*.json artifacts (CI step summary)
 //	figures -fig all -csv out/      # everything, with CSVs
 //
@@ -29,8 +30,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cityload"
 )
 
 func main() {
@@ -68,6 +71,15 @@ func main() {
 		liveSteps   = flag.Int("live-steps", 12, "scripted ingest batches in the live-serving experiment")
 		livePer     = flag.Int("live-per-step", 6, "plan revisions per ingest batch in the live-serving experiment")
 		liveOut     = flag.String("live-json", "", "path to write the BENCH_live.json artifact (optional)")
+		cityN       = flag.Int("city-n", 100000, "fleet size for the city-scale churn harness")
+		citySubs    = flag.Int("city-subs", 1200, "standing subscriptions in the city-scale churn harness")
+		cityTicks   = flag.Int("city-ticks", 8, "load ticks in the city-scale churn harness")
+		cityShapes  = flag.Int("city-shapes", 48, "distinct standing questions the subscription population spreads over")
+		cityWorkers = flag.Int("city-workers", 4, "concurrent one-shot query workers in the city harness")
+		cityShards  = flag.String("city-shards", "0,4", "comma-separated shard counts for the city harness (0 = single hub)")
+		cityOut     = flag.String("city-json", "", "path to write the BENCH_city.json artifact (optional)")
+		cityBase    = flag.String("city-baseline", "", "committed BENCH_city.json to gate the fresh run against (optional)")
+		cityTol     = flag.Float64("city-tolerance", 0.4, "relative tolerance for the -city-baseline gates (updates/s floor and p99 ceiling)")
 		apiN        = flag.Int("api-n", 1000, "population size for the Engine.Do overhead gate")
 		apiReps     = flag.Int("api-reps", 15, "timed repetitions for the Engine.Do overhead gate")
 		apiMax      = flag.Float64("api-max-overhead", 5, "fail when Engine.Do overhead exceeds this percentage (0 disables)")
@@ -147,7 +159,8 @@ func main() {
 	runAPI := *fig == "api" || *fig == "all"
 	runShard := *fig == "shard" || *fig == "all"
 	runLive := *fig == "live" || *fig == "all"
-	if !run11 && !run12 && !run13 && !runE4 && !runPar && !runPrune && !runText && !runAPI && !runShard && !runLive {
+	runCity := *fig == "city" // nightly-scale; never part of "all"
+	if !run11 && !run12 && !run13 && !runE4 && !runPar && !runPrune && !runText && !runAPI && !runShard && !runLive && !runCity {
 		fatal(fmt.Errorf("unknown -fig %q", *fig))
 	}
 
@@ -401,6 +414,93 @@ func main() {
 			}
 			if *liveMin > 0 && r.Speedup <= *liveMin {
 				fatal(fmt.Errorf("live hub (%.2fx) did not clear the %.2fx gate over the naive full re-query at n=%d", r.Speedup, *liveMin, r.N))
+			}
+		}
+	}
+	if runCity {
+		fmt.Println("== City-scale churn: Poisson update/query/subscription arrivals with retirement ==")
+		shardCounts, err := parseInts(*cityShards)
+		if err != nil {
+			fatal(err)
+		}
+		// Read the committed baseline BEFORE the fresh run overwrites the
+		// artifact path (the shard gate's read-before-overwrite pattern).
+		var baseline cityload.Baseline
+		haveBaseline := false
+		if *cityBase != "" {
+			f, err := os.Open(*cityBase)
+			if err != nil {
+				fatal(err)
+			}
+			baseline, err = cityload.ReadBaseline(f)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+			haveBaseline = true
+		}
+		var rows []cityload.Row
+		for _, shards := range shardCounts {
+			cfg := cityload.Config{
+				Seed: *seed, N: *cityN, Subs: *citySubs, Ticks: *cityTicks,
+				Workers: *cityWorkers, Shards: shards, R: 0.5,
+				Shapes: *cityShapes,
+				// Arrival means per tick: sized so the default 8-tick run
+				// pushes ~3.6k updates and ~400 timed queries through the
+				// hub. Per-eval cost at N=1e5 is seconds (the window
+				// queries barely prune at city density), so wall time is
+				// bounded by distinct dirty shapes per tick, not by these
+				// rates.
+				UpdateRate: 400, FlipRate: 40, RetireRate: 12,
+				QueryRate: 50, ChurnRate: 6, SpotChecks: 12,
+			}
+			row, err := cityload.Run(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			rows = append(rows, row)
+			fmt.Print(cityload.Format(rows[len(rows)-1:]))
+		}
+		if *cityOut != "" {
+			f, err := os.Create(*cityOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := cityload.WriteJSON(f, rows, 0.5, *seed); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *cityOut)
+		}
+		// Correctness gate first: every spot check byte-identical under
+		// churn. Then the baseline gates: sustained updates/s must hold a
+		// floor and query p99 a ceiling relative to the committed artifact.
+		for _, r := range rows {
+			if !r.Equal {
+				fatal(fmt.Errorf("city %s: spot checks diverged from the fresh snapshot re-query", r.Topology))
+			}
+		}
+		if haveBaseline {
+			for _, r := range rows {
+				if base, ok := baseline.UpdatesPerSec[r.Topology]; ok && base > 0 {
+					floor := base * (1 - *cityTol)
+					if r.UpdatesPerSec < floor {
+						fatal(fmt.Errorf("city %s: sustained %.0f updates/s fell below the baseline floor %.0f (baseline %.0f - %.0f%%)",
+							r.Topology, r.UpdatesPerSec, floor, base, *cityTol*100))
+					}
+					fmt.Printf("city %s: updates/s gate ok (%.0f vs floor %.0f)\n", r.Topology, r.UpdatesPerSec, floor)
+				}
+				if base, ok := baseline.QueryP99NS[r.Topology]; ok && base > 0 {
+					ceiling := float64(base) * (1 + *cityTol)
+					if float64(r.QueryP99) > ceiling {
+						fatal(fmt.Errorf("city %s: query p99 %v exceeded the baseline ceiling %v (baseline %v + %.0f%%)",
+							r.Topology, r.QueryP99, time.Duration(ceiling), time.Duration(base), *cityTol*100))
+					}
+					fmt.Printf("city %s: p99 gate ok (%v vs ceiling %v)\n", r.Topology, r.QueryP99, time.Duration(ceiling))
+				}
 			}
 		}
 	}

@@ -1,0 +1,95 @@
+package cityload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Format renders rows as an aligned text table.
+func Format(rows []Row) string {
+	s := fmt.Sprintf("%-8s %-8s %-5s %-8s %-8s %-7s %-8s %-11s %-10s %-10s %-7s %-7s %-7s %s\n",
+		"topo", "n", "subs", "updates", "retires", "churn", "queries", "updates/s", "p50", "p99", "evals", "skips", "shared", "equal")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-8s %-8d %-5d %-8d %-8d %-7d %-8d %-11.0f %-10s %-10s %-7d %-7d %-7d %v\n",
+			r.Topology, r.N, r.Subs, r.Updates, r.Retires, r.SubChurn, r.Queries,
+			r.UpdatesPerSec, r.QueryP50, r.QueryP99, r.Evals, r.Skips, r.Shared, r.Equal)
+	}
+	return s
+}
+
+// cityDoc is the BENCH_city.json artifact schema; it follows the shared
+// {experiment, rows} shape figures -fig summary renders.
+type cityDoc struct {
+	Experiment string        `json:"experiment"`
+	Workload   string        `json:"workload"`
+	Seed       int64         `json:"seed"`
+	Radius     float64       `json:"radius"`
+	Rows       []cityRowJSON `json:"rows"`
+}
+
+type cityRowJSON struct {
+	Topology      string  `json:"topology"`
+	N             int     `json:"n"`
+	Subs          int     `json:"subs"`
+	Ticks         int     `json:"ticks"`
+	Updates       int     `json:"updates"`
+	Retires       int     `json:"retires"`
+	SubChurn      int     `json:"sub_churn"`
+	Queries       int     `json:"queries"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	QueryP50NS    int64   `json:"query_p50_ns"`
+	QueryP99NS    int64   `json:"query_p99_ns"`
+	Evals         uint64  `json:"evals"`
+	Skips         uint64  `json:"skips"`
+	Shared        uint64  `json:"shared"`
+	Equal         bool    `json:"equal"`
+	SpotChecks    int     `json:"spot_checks"`
+}
+
+// WriteJSON emits the BENCH_city.json artifact consumed by CI: uploaded
+// nightly, gated on every row reporting equal=true, and read back as the
+// committed baseline for the sustained-updates/s floor and p99 ceiling.
+func WriteJSON(w io.Writer, rows []Row, r float64, seed int64) error {
+	doc := cityDoc{
+		Experiment: "city-scale churn: Poisson update/query/subscription arrivals with TTL-style retirement against live serving topologies",
+		Workload: "simtest fleet; per-tick Poisson batches of plan revisions + tag flips + retirements (same-OID re-entry two ticks later); " +
+			"standing UQ31/UQ33/UQ11/UQ41 subscriptions (subscribers spread over a bounded pool of distinct questions, incl. tag-filtered " +
+			"and whole-horizon rows) with subscribe/unsubscribe churn; one-shot queries timed across seeded per-worker streams",
+		Seed: seed, Radius: r,
+	}
+	for _, row := range rows {
+		doc.Rows = append(doc.Rows, cityRowJSON{
+			Topology: row.Topology, N: row.N, Subs: row.Subs, Ticks: row.Ticks,
+			Updates: row.Updates, Retires: row.Retires, SubChurn: row.SubChurn, Queries: row.Queries,
+			UpdatesPerSec: row.UpdatesPerSec,
+			QueryP50NS:    int64(row.QueryP50), QueryP99NS: int64(row.QueryP99),
+			Evals: row.Evals, Skips: row.Skips, Shared: row.Shared,
+			Equal: row.Equal, SpotChecks: row.SpotChecks,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Baseline is the committed-artifact view the nightly gate reads before
+// overwriting BENCH_city.json: per-topology sustained updates/s and p99.
+type Baseline struct {
+	UpdatesPerSec map[string]float64
+	QueryP99NS    map[string]int64
+}
+
+// ReadBaseline parses a committed BENCH_city.json.
+func ReadBaseline(r io.Reader) (Baseline, error) {
+	var doc cityDoc
+	b := Baseline{UpdatesPerSec: map[string]float64{}, QueryP99NS: map[string]int64{}}
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return b, err
+	}
+	for _, row := range doc.Rows {
+		b.UpdatesPerSec[row.Topology] = row.UpdatesPerSec
+		b.QueryP99NS[row.Topology] = row.QueryP99NS
+	}
+	return b, nil
+}

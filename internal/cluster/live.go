@@ -135,6 +135,13 @@ func (r *Router) placeUpdate(u mod.Update, owners map[int64]int, placedNew map[i
 	if si, ok := owners[u.OID]; ok {
 		return si, nil
 	}
+	// A retire of an OID no shard owns: surface the single-store error
+	// identity (mod.ErrNotFound), not a placement failure — retiring an
+	// unknown object is a data error, and the router hub maps it exactly
+	// like a single engine would.
+	if u.Retire {
+		return 0, fmt.Errorf("%w: %d", mod.ErrNotFound, u.OID)
+	}
 	// A brand-new object: place by the update's own plan.
 	if len(u.Verts) < 2 {
 		return 0, fmt.Errorf("%w: oid %d unknown and update has %d vertices", ErrUnplaceable, u.OID, len(u.Verts))

@@ -168,23 +168,65 @@ type Event struct {
 	Explain engine.Explain    `json:"explain"`
 }
 
-// Stats counts the hub's dirty-set effectiveness: how many subscription
-// re-evaluations ingests triggered, and how many the dirty test skipped.
+// Stats counts the hub's dirty-set effectiveness: how many backend
+// evaluations ingests triggered, how many subscription refreshes were
+// served from a group-mate's evaluation instead of their own, and how
+// many re-evaluations the dirty test skipped outright.
 type Stats struct {
 	Ingested uint64 `json:"ingested"` // updates applied
-	Evals    uint64 `json:"evals"`    // subscription re-evaluations
-	Skips    uint64 `json:"skips"`    // re-evaluations proven unnecessary
+	Evals    uint64 `json:"evals"`    // backend evaluations run
+	Skips    uint64 `json:"skips"`    // subscription refreshes proven unnecessary
+	// Shared counts subscription refreshes (and initial Subscribe
+	// answers) satisfied by another subscription's evaluation of the same
+	// request — the dirty-set-sharing dividend.
+	Shared uint64 `json:"shared,omitempty"`
 }
 
 type sub struct {
 	id   int64
 	req  engine.Request
+	key  string // groupKey(req), computed once
 	last engine.Result
 	prof *Profile
 	seq  uint64
 	// backlog retains the most recent emitted events (contiguous Seqs,
 	// oldest first, at most the hub's backlogCap) for Replay.
 	backlog []Event
+}
+
+// group is the set of live subscriptions sharing one request identity.
+// Two subscriptions with equal keys have byte-identical answers at every
+// data version (the engine is deterministic), so one evaluation per
+// ingest batch serves them all, and any member's zone profile can prove
+// the whole group clean.
+type group struct {
+	members map[int64]*sub
+}
+
+// anyProfiled returns a member holding a zone profile, or nil. Members'
+// profiles are interchangeable for the dirty test: each was valid when
+// derived, and every batch since was proven irrelevant against a member
+// profile — which pins the shared answer, hence every member's answer.
+func (g *group) anyProfiled() *sub {
+	for _, s := range g.members {
+		if s.prof != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+// groupKey canonicalizes a request for dirty-set sharing. Floats are
+// formatted with %b (exact mantissa/exponent), so two keys are equal iff
+// the requests are bit-identical; the predicate contributes its
+// canonical Key.
+func groupKey(req engine.Request) string {
+	wk := ""
+	if req.Where != nil {
+		wk = req.Where.Canon().Key()
+	}
+	return fmt.Sprintf("%s|%d|%d|%b|%b|%d|%b|%b|%b|%s",
+		req.Kind, req.QueryOID, req.OID, req.Tb, req.Te, req.K, req.X, req.T, req.P, wk)
 }
 
 // remember appends ev to the bounded backlog.
@@ -210,6 +252,7 @@ type Hub struct {
 
 	mu     sync.Mutex
 	subs   map[int64]*sub
+	groups map[string]*group
 	nextID int64
 	stats  Stats
 	closed bool
@@ -222,7 +265,7 @@ func New(be Backend) *Hub {
 
 // NewWith creates a hub over a backend.
 func NewWith(be Backend, opts HubOptions) *Hub {
-	return &Hub{be: be, backlogCap: opts.backlogCap(), subs: make(map[int64]*sub)}
+	return &Hub{be: be, backlogCap: opts.backlogCap(), subs: make(map[int64]*sub), groups: make(map[string]*group)}
 }
 
 // NewEngineHub is the single-store hub: updates apply to store, standing
@@ -243,7 +286,10 @@ func NewEngineHubWith(store *mod.Store, eng *engine.Engine, opts HubOptions) *Hu
 // Subscribe registers a standing request and returns its ID and initial
 // answer. A request whose initial evaluation fails (unknown query OID,
 // bad window, ...) is rejected outright — there is nothing coherent to
-// keep fresh.
+// keep fresh. When a live subscription already stands on the identical
+// request with a valid zone profile and a clean answer, its answer and
+// profile are reused instead of re-evaluating — the subscribe-time half
+// of dirty-set sharing.
 func (h *Hub) Subscribe(ctx context.Context, req engine.Request) (int64, engine.Result, error) {
 	if err := req.Validate(); err != nil {
 		return 0, engine.Result{Kind: req.Kind, Err: err}, err
@@ -253,22 +299,50 @@ func (h *Hub) Subscribe(ctx context.Context, req engine.Request) (int64, engine.
 	if h.closed {
 		return 0, engine.Result{Kind: req.Kind, Err: ErrHubClosed}, ErrHubClosed
 	}
+	key := groupKey(req)
+	if g := h.groups[key]; g != nil {
+		if m := g.anyProfiled(); m != nil && m.last.Err == nil {
+			h.stats.Shared++
+			return h.registerLocked(req, key, m.last, m.prof), m.last, nil
+		}
+	}
 	res, prof, err := h.be.Evaluate(ctx, req)
 	if err != nil {
 		return 0, res, err
 	}
+	return h.registerLocked(req, key, res, prof.finish()), res, nil
+}
+
+// registerLocked installs a new subscription in the ID and group tables.
+// Caller holds h.mu.
+func (h *Hub) registerLocked(req engine.Request, key string, res engine.Result, prof *Profile) int64 {
 	h.nextID++
 	id := h.nextID
-	h.subs[id] = &sub{id: id, req: req, last: res, prof: prof.finish()}
-	return id, res, nil
+	s := &sub{id: id, req: req, key: key, last: res, prof: prof}
+	h.subs[id] = s
+	g := h.groups[key]
+	if g == nil {
+		g = &group{members: make(map[int64]*sub)}
+		h.groups[key] = g
+	}
+	g.members[id] = s
+	return id
 }
 
 // Unsubscribe drops a subscription. It reports whether the ID was live.
 func (h *Hub) Unsubscribe(id int64) bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	_, ok := h.subs[id]
+	s, ok := h.subs[id]
 	delete(h.subs, id)
+	if ok {
+		if g := h.groups[s.key]; g != nil {
+			delete(g.members, id)
+			if len(g.members) == 0 {
+				delete(h.groups, s.key)
+			}
+		}
+	}
 	return ok
 }
 
@@ -357,14 +431,30 @@ func (h *Hub) Close() {
 	h.closed = true
 }
 
+// groupOutcome is one request group's verdict for one ingest batch: the
+// shared dirty decision and, when dirty, the single evaluation every
+// member's refresh is served from.
+type groupOutcome struct {
+	dirty bool
+	res   engine.Result
+	prof  *Profile
+	err   error
+}
+
 // Ingest applies one update batch and re-evaluates the affected
 // subscriptions in ID order, returning the per-update outcomes and the
-// diff events (empty when no answer changed). On an apply error the
-// updates applied so far stand, every profile is invalidated (the data
-// moved under the profiles), and the error is returned with no events.
-// On a context error mid re-evaluation the events emitted so far are
-// returned with the error; affected subscriptions keep stale answers but
-// lose their profiles, so the next ingest re-evaluates them.
+// diff events (empty when no answer changed). Subscriptions standing on
+// the identical request share one dirty test and one evaluation per
+// batch (their answers are byte-identical at every data version), so a
+// thousand subscribers to the same query cost one engine pass. On an
+// apply error the updates applied so far stand, every profile is
+// invalidated (the data moved under the profiles), and the error is
+// returned with no events. On a context error mid re-evaluation the
+// events emitted so far are returned with the error; affected
+// subscriptions keep stale answers but lose their profiles, so the next
+// ingest re-evaluates them. A subscription whose query or target object
+// was retired flips its standing answer to the ErrUnknownOID result — the
+// same answer a fresh query for the OID would get.
 func (h *Hub) Ingest(ctx context.Context, updates []mod.Update) ([]mod.Applied, []Event, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -395,17 +485,34 @@ func (h *Hub) Ingest(ctx context.Context, updates []mod.Update) ([]mod.Applied, 
 		boxes[i] = changedBox(a)
 	}
 	var events []Event
+	outcomes := make(map[string]*groupOutcome)
 	for i, id := range ids {
 		s := h.subs[id]
-		if !dirty(s, applied, boxes, r) {
+		out, seen := outcomes[s.key]
+		if !seen {
+			out = &groupOutcome{}
+			outcomes[s.key] = out
+			// Any member holding a zone profile can prove the whole group
+			// clean: the profile pinned the shared answer through every
+			// batch since it was derived. A group with no profiled member
+			// must evaluate.
+			if rep := h.groups[s.key].anyProfiled(); rep == nil || dirty(rep, applied, boxes, r) {
+				out.dirty = true
+				h.stats.Evals++
+				out.res, out.prof, out.err = h.be.Evaluate(ctx, s.req)
+				out.prof = out.prof.finish()
+			}
+		}
+		if !out.dirty {
 			h.stats.Skips++
 			continue
 		}
-		h.stats.Evals++
-		res, prof, derr := h.be.Evaluate(ctx, s.req)
-		if derr != nil {
+		if seen {
+			h.stats.Shared++
+		}
+		if out.err != nil {
 			s.prof = nil
-			if errors.Is(derr, context.Canceled) || errors.Is(derr, context.DeadlineExceeded) {
+			if errors.Is(out.err, context.Canceled) || errors.Is(out.err, context.DeadlineExceeded) {
 				// The batch is already applied but the remaining
 				// subscriptions were never dirty-tested against it: their
 				// profiles describe pre-batch data, so drop them — the
@@ -414,22 +521,36 @@ func (h *Hub) Ingest(ctx context.Context, updates []mod.Update) ([]mod.Applied, 
 				for _, rest := range ids[i+1:] {
 					h.subs[rest].prof = nil
 				}
-				return applied, events, derr
+				return applied, events, out.err
 			}
-			// A per-subscription evaluation error (the query object was
-			// deleted out of band, say): keep the last good answer, stay
-			// profile-less so the next ingest retries.
+			if errors.Is(out.err, engine.ErrUnknownOID) || errors.Is(out.err, mod.ErrNotFound) {
+				// The query or target object was retired: the standing
+				// answer becomes the error a fresh query would get, until
+				// a re-insert of the OID revives the subscription. A
+				// single-store engine reports a missing query trajectory as
+				// mod.ErrNotFound while the cluster router maps it to
+				// engine.ErrUnknownOID; normalize so the standing answer
+				// carries the ErrUnknownOID identity on every topology.
+				werr := out.err
+				if !errors.Is(werr, engine.ErrUnknownOID) {
+					werr = fmt.Errorf("%w: %v", engine.ErrUnknownOID, out.err)
+				}
+				s.last = engine.Result{Kind: s.req.Kind, Err: werr}
+				continue
+			}
+			// A transient per-subscription evaluation error: keep the last
+			// good answer, stay profile-less so the next ingest retries.
 			continue
 		}
-		ev, changed := diffResults(s.last, res)
-		s.last = res
-		s.prof = prof.finish()
+		ev, changed := diffResults(s.last, out.res)
+		s.last = out.res
+		s.prof = out.prof
 		if changed {
 			s.seq++
 			ev.SubID = s.id
 			ev.Seq = s.seq
-			ev.Kind = res.Kind
-			ev.Explain = res.Explain
+			ev.Kind = out.res.Kind
+			ev.Explain = out.res.Explain
 			events = append(events, ev)
 			s.remember(ev, h.backlogCap)
 		}
@@ -452,6 +573,21 @@ func dirty(s *sub, applied []mod.Applied, boxes []geom.AABB, r float64) bool {
 	target, hasTarget := targetOID(s.req)
 	width := influenceWidth(r)
 	for i, a := range applied {
+		if a.Retired {
+			// A retirement only removes motion. The candidate superset
+			// provably contains every object that defines the envelope,
+			// enters a zone, or blocks a member — removing anything
+			// outside it leaves the envelope, the zones, and hence the
+			// answer untouched, whether or not a predicate is in play
+			// (the argument applies to the sub-MOD's superset verbatim).
+			if a.OID == s.req.QueryOID || (hasTarget && a.OID == target) {
+				return true
+			}
+			if _, ok := prof.Superset[a.OID]; ok {
+				return true
+			}
+			continue
+		}
 		if a.TagsChanged && s.req.Where != nil &&
 			s.req.Where.Matches(a.Tags) != s.req.Where.Matches(a.PrevTags) {
 			// The flip moved a.OID across the predicate boundary, so it

@@ -1,0 +1,163 @@
+package continuous
+
+// Dirty-set sharing and retirement through the hub: subscriptions
+// standing on the identical request share one dirty test and one
+// evaluation per ingest batch (and new subscribers reuse a standing
+// answer outright), retirements dirty exactly the subscriptions whose
+// superset, query, or target they touch, and a retired query/target OID
+// answers ErrUnknownOID until a re-insert revives the subscription.
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/mod"
+)
+
+func TestSharedGroupEvaluatesOnce(t *testing.T) {
+	st := liveScene(t)
+	h := NewEngineHub(st, engine.New(1))
+	ctx := context.Background()
+
+	uq31 := engine.Request{Kind: engine.KindUQ31, QueryOID: 1, Tb: 0, Te: 10}
+	idA, resA := mustSubscribe(t, h, uq31)
+	idB, resB := mustSubscribe(t, h, uq31)
+	idC, resC := mustSubscribe(t, h, uq31)
+	if !reflect.DeepEqual(resA.OIDs, []int64{2}) ||
+		!reflect.DeepEqual(resB.OIDs, resA.OIDs) || !reflect.DeepEqual(resC.OIDs, resA.OIDs) {
+		t.Fatalf("initial answers: %v %v %v", resA.OIDs, resB.OIDs, resC.OIDs)
+	}
+	// The second and third Subscribe reused the first's answer + profile.
+	if s := h.Stats(); s.Shared != 2 {
+		t.Fatalf("subscribe sharing: stats = %+v, want Shared=2", s)
+	}
+
+	// A dirtying revision: one evaluation serves all three members, each
+	// of which still gets its own diff event.
+	_, events, err := h.Ingest(ctx, []mod.Update{
+		revision(3, [3]float64{6, 1, 6}, [3]float64{8, 0.5, 8}, [3]float64{10, 0.5, 10}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("want one event per member, got %+v", events)
+	}
+	seen := map[int64]bool{}
+	for _, ev := range events {
+		seen[ev.SubID] = true
+		if !reflect.DeepEqual(ev.Added, []int64{3}) || !reflect.DeepEqual(ev.OIDs, []int64{2, 3}) {
+			t.Fatalf("member event = %+v", ev)
+		}
+	}
+	if !seen[idA] || !seen[idB] || !seen[idC] {
+		t.Fatalf("events missing a member: %v", seen)
+	}
+	s := h.Stats()
+	if s.Evals != 1 {
+		t.Fatalf("group of three cost %d evaluations", s.Evals)
+	}
+	if s.Shared != 4 { // 2 at subscribe + 2 ingest members beyond the rep
+		t.Fatalf("ingest sharing: stats = %+v, want Shared=4", s)
+	}
+
+	// A clean batch skips every member individually.
+	if _, _, err := h.Ingest(ctx, []mod.Update{
+		revision(4, [3]float64{8, 100, 8}, [3]float64{10, 100, 10}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s := h.Stats(); s.Evals != 1 || s.Skips != 3 {
+		t.Fatalf("clean batch: stats = %+v, want 1 eval / 3 skips", s)
+	}
+
+	// Unsubscribing the original rep must not strand the group: the
+	// remaining members still share one evaluation.
+	h.Unsubscribe(idA)
+	if _, events, err = h.Ingest(ctx, []mod.Update{
+		revision(3, [3]float64{6, 80, 5.5}, [3]float64{10, 80, 10}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("post-unsubscribe events = %+v", events)
+	}
+	if s := h.Stats(); s.Evals != 2 {
+		t.Fatalf("post-unsubscribe evals = %d", s.Evals)
+	}
+	checkFresh(t, h, st, idB, uq31)
+	checkFresh(t, h, st, idC, uq31)
+}
+
+func TestRetireThroughHub(t *testing.T) {
+	st := liveScene(t)
+	h := NewEngineHub(st, engine.New(1))
+	ctx := context.Background()
+
+	uq31 := engine.Request{Kind: engine.KindUQ31, QueryOID: 1, Tb: 0, Te: 10}
+	uq11 := engine.Request{Kind: engine.KindUQ11, QueryOID: 1, Tb: 0, Te: 10, OID: 3}
+	id31, _ := mustSubscribe(t, h, uq31)
+	id11, _ := mustSubscribe(t, h, uq11)
+
+	// Retiring a far outsider dirties nothing.
+	if _, events, err := h.Ingest(ctx, []mod.Update{{OID: 4, Retire: true}}); err != nil || len(events) != 0 {
+		t.Fatalf("outsider retire: events=%v err=%v", events, err)
+	}
+	if s := h.Stats(); s.Evals != 0 || s.Skips != 2 {
+		t.Fatalf("outsider retire: stats = %+v", s)
+	}
+
+	// Retiring the UQ11 target flips that subscription's standing answer
+	// to the error a fresh query would get — no event (there is no diff to
+	// describe), and the error carries the ErrUnknownOID identity.
+	if _, events, err := h.Ingest(ctx, []mod.Update{{OID: 3, Retire: true}}); err != nil || len(events) != 0 {
+		t.Fatalf("target retire: events=%v err=%v", events, err)
+	}
+	ans, err := h.Answer(id11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(ans.Err, engine.ErrUnknownOID) {
+		t.Fatalf("answer after target retire = %+v, want ErrUnknownOID", ans)
+	}
+
+	// Re-inserting the OID revives the subscription: next to the query it
+	// is now a possible NN, and the flip arrives as an ordinary event.
+	_, events, err := h.Ingest(ctx, []mod.Update{
+		revision(3, [3]float64{0, 0.5, 0}, [3]float64{10, 0.5, 10}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var saw11 bool
+	for _, ev := range events {
+		if ev.SubID == id11 {
+			saw11 = true
+			if !ev.IsBool || !ev.Bool {
+				t.Fatalf("revival event = %+v", ev)
+			}
+		}
+	}
+	if !saw11 {
+		t.Fatalf("no revival event for the re-inserted target: %+v", events)
+	}
+	checkFresh(t, h, st, id11, uq11)
+	checkFresh(t, h, st, id31, uq31)
+
+	// Retiring the query object errors every subscription standing on it.
+	if _, _, err := h.Ingest(ctx, []mod.Update{{OID: 1, Retire: true}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int64{id31, id11} {
+		ans, err := h.Answer(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !errors.Is(ans.Err, engine.ErrUnknownOID) {
+			t.Fatalf("sub %d after query retire = %+v, want ErrUnknownOID", id, ans)
+		}
+	}
+}

@@ -28,6 +28,9 @@ var (
 	// ErrShortInsert reports an ingest update that targets an unknown OID
 	// with fewer than the two vertices a valid trajectory needs.
 	ErrShortInsert = errors.New("mod: inserting via ingest needs at least two vertices")
+	// ErrRetireConflict reports a retire update that also carries vertices
+	// or tags — retirement is terminal, there is no state to install.
+	ErrRetireConflict = errors.New("mod: retire update must carry no vertices or tags")
 )
 
 // Update is one ingest item: new vertices for object OID, in time order.
@@ -48,6 +51,12 @@ type Update struct {
 	// is a pure tag flip: valid only for existing objects, geometry
 	// unchanged (Applied.ChangedFrom = +Inf).
 	Tags *[]string `json:"tags,omitempty"`
+	// Retire removes the object from the store: its trajectory and tags
+	// are dropped, the live indexes forget it, and subsequent queries
+	// naming the OID answer ErrUnknownOID. A retire update must carry no
+	// Verts and no Tags; retiring an unknown OID is ErrNotFound. The OID
+	// may later be re-inserted by an ordinary ≥2-vertex update.
+	Retire bool `json:"retire,omitempty"`
 }
 
 // Applied describes one applied update: whether it inserted a new object,
@@ -72,6 +81,12 @@ type Applied struct {
 	TagsChanged bool
 	Tags        []string
 	PrevTags    []string
+	// Retired reports that the update removed the object: Traj is nil,
+	// Prev is the plan it held at retirement, and ChangedFrom is -Inf
+	// (every instant the object used to occupy is now unoccupied, so any
+	// window Prev's motion touched may change its answer). A tagged
+	// object's retirement also sets TagsChanged with PrevTags (Tags nil).
+	Retired bool
 }
 
 // AppendVertex appends one vertex to an existing trajectory. The vertex
@@ -200,6 +215,12 @@ func (s *Store) RevisePlan(oid int64, verts []trajectory.Vertex) (changedFrom fl
 // plan — no lost updates, no spurious stale/duplicate errors, and Prev
 // is always the plan this update actually superseded).
 func (s *Store) ApplyUpdate(u Update) (Applied, error) {
+	if u.Retire {
+		if len(u.Verts) > 0 || u.Tags != nil {
+			return Applied{}, fmt.Errorf("%w: oid %d", ErrRetireConflict, u.OID)
+		}
+		return s.applyRetire(u.OID)
+	}
 	var canon []string
 	if u.Tags != nil {
 		var err error
@@ -292,6 +313,97 @@ func (s *Store) applyTagFlip(oid int64, canon []string) (Applied, error) {
 		a.TagsChanged, a.Tags, a.PrevTags = true, canon, prev
 	}
 	return a, nil
+}
+
+// applyRetire is the Update.Retire path: drop the object's trajectory
+// and tags and advance the live index chains without it. The spatial
+// trees keep the retired entries (they are conservative false positives
+// — every probe hit is refined against the live trajectory map, which no
+// longer holds the OID), but the shrinking live segment count pulls the
+// compactionSlack cut closer, so sustained retirement triggers
+// compacting rebuilds; the text index drops the OID's postings
+// immediately (it is authoritative for predicate matching, not merely
+// conservative).
+func (s *Store) applyRetire(oid int64) (Applied, error) {
+	s.mu.Lock()
+	old, ok := s.trajs[oid]
+	if !ok {
+		s.mu.Unlock()
+		return Applied{}, fmt.Errorf("%w: %d", ErrNotFound, oid)
+	}
+	prevTags := s.tags[oid]
+	delete(s.trajs, oid)
+	delete(s.tags, oid)
+	s.segLive -= old.NumSegments()
+	s.version++
+	version := s.version
+	s.mu.Unlock()
+	s.maintainRetire(oid, version)
+	a := Applied{OID: oid, Retired: true, ChangedFrom: math.Inf(-1), Prev: old}
+	if len(prevTags) > 0 {
+		a.TagsChanged, a.PrevTags = true, prevTags
+	}
+	return a, nil
+}
+
+// RetireObject retires oid outside a batch — the direct-call analogue of
+// ApplyUpdate with Retire set.
+func (s *Store) RetireObject(oid int64) (Applied, error) { return s.applyRetire(oid) }
+
+// maintainRetire advances the cached index chains across a retirement at
+// `version`: the segment R-tree and predictive TPR tree step with no new
+// entries (their stale entries are harmless; the bloat cut compacts them
+// as segLive shrinks), the text index drops the OID.
+func (s *Store) maintainRetire(oid int64, version uint64) {
+	s.mu.RLock()
+	live := s.segLive
+	s.mu.RUnlock()
+	bloated := func(treeLen int) bool {
+		return treeLen > compactionFloor && treeLen > compactionSlack*live
+	}
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	if s.idx != nil && s.idxVersion == version-1 {
+		if bloated(s.idx.Len()) {
+			s.idx = nil // cut the chain: next BuildIndex compacts
+		} else {
+			s.idxVersion = version
+			s.stats.SegIncremental++
+		}
+	}
+	if s.predOn && s.pred != nil && s.predVersion == version-1 {
+		if bloated(s.pred.Len()) {
+			s.pred = nil // cut the chain: the next Predictive call compacts
+		} else {
+			s.predVersion = version
+			s.stats.TPRIncremental++
+		}
+	}
+	s.chainTextLocked(version, func(x *textidx.Index) *textidx.Index {
+		return x.WithoutObject(oid)
+	})
+}
+
+// ExpiredOIDs returns the sorted OIDs whose plans ended more than ttl
+// before now — the candidates a TTL-driven retirement policy turns into
+// explicit Retire updates. Retirement stays an ordinary wire-visible
+// update (WAL-journaled, replayed on recovery), so TTL expiry is
+// deterministic for a given update stream rather than a store-side
+// side effect.
+func (s *Store) ExpiredOIDs(now, ttl float64) []int64 {
+	if ttl < 0 || math.IsNaN(ttl) {
+		return nil
+	}
+	s.mu.RLock()
+	var out []int64
+	for oid, tr := range s.trajs {
+		if _, te := tr.TimeSpan(); te+ttl < now {
+			out = append(out, oid)
+		}
+	}
+	s.mu.RUnlock()
+	slices.Sort(out)
+	return out
 }
 
 // ApplyUpdates applies the batch in order, stopping at the first error and
@@ -404,6 +516,7 @@ type IndexStats struct {
 	SegIncremental  uint64 `json:"seg_incremental"`
 	TPRBuilds       uint64 `json:"tpr_builds"`
 	TPRIncremental  uint64 `json:"tpr_incremental"`
+	TPRAdvances     uint64 `json:"tpr_advances,omitempty"`
 	TextBuilds      uint64 `json:"text_builds,omitempty"`
 	TextIncremental uint64 `json:"text_incremental,omitempty"`
 }
@@ -431,10 +544,27 @@ func (s *Store) EnablePredictive(refT, horizon float64) error {
 	}
 	s.idxMu.Lock()
 	defer s.idxMu.Unlock()
-	s.predOn = true
+	s.predOn, s.predAuto = true, false
 	s.predRef, s.predHorizon = refT, horizon
 	s.pred, s.predVersion = nil, 0
 	s.rebuildPredictiveLocked()
+	return nil
+}
+
+// EnablePredictiveAuto is EnablePredictive with the pin in auto-advance
+// mode: when a query window has moved past the pinned coverage (the
+// usual fate of a "now + horizon" serving loop as the clock runs),
+// PredictiveFor re-pins the window forward at the query's start and
+// rebuilds, instead of silently degrading every future predictive query
+// to the segment R-tree. Advances are monotone (forward only) and
+// counted in IndexStats.TPRAdvances.
+func (s *Store) EnablePredictiveAuto(refT, horizon float64) error {
+	if err := s.EnablePredictive(refT, horizon); err != nil {
+		return err
+	}
+	s.idxMu.Lock()
+	s.predAuto = true
+	s.idxMu.Unlock()
 	return nil
 }
 
@@ -442,7 +572,7 @@ func (s *Store) EnablePredictive(refT, horizon float64) error {
 func (s *Store) DisablePredictive() {
 	s.idxMu.Lock()
 	defer s.idxMu.Unlock()
-	s.predOn = false
+	s.predOn, s.predAuto = false, false
 	s.pred = nil
 }
 
@@ -456,6 +586,36 @@ func (s *Store) Predictive() (t *sindex.TPRTree, refT, horizon float64, ok bool)
 	defer s.idxMu.Unlock()
 	if !s.predOn {
 		return nil, 0, 0, false
+	}
+	s.mu.RLock()
+	version := s.version
+	s.mu.RUnlock()
+	if s.pred == nil || s.predVersion != version {
+		s.rebuildPredictiveLocked()
+	}
+	return s.pred, s.predRef, s.predHorizon, true
+}
+
+// PredictiveFor returns the predictive index positioned to serve window
+// [tb, te]. It is Predictive plus the auto-advance step: in auto mode,
+// when the window has escaped the pinned coverage forward (te past
+// refT+horizon) yet still fits the horizon, the pin advances to refT=tb
+// and the tree rebuilds — one full build buys coverage for the whole next
+// horizon of queries. Advances never move backward, so a stray historical
+// query cannot thrash the pin; it just takes the segment R-tree path.
+// The advance only repositions a prune-level index, so answers are
+// unchanged — shards advancing independently stay byte-identical.
+func (s *Store) PredictiveFor(tb, te float64) (t *sindex.TPRTree, refT, horizon float64, ok bool) {
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	if !s.predOn {
+		return nil, 0, 0, false
+	}
+	if s.predAuto && tb > s.predRef && te > s.predRef+s.predHorizon &&
+		te-tb <= s.predHorizon && !math.IsNaN(tb) && !math.IsInf(tb, 0) {
+		s.predRef = tb
+		s.pred = nil
+		s.stats.TPRAdvances++
 	}
 	s.mu.RLock()
 	version := s.version

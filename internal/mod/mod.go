@@ -119,6 +119,10 @@ type Store struct {
 	pred        *sindex.TPRTree
 	predVersion uint64
 	predOn      bool
+	// predAuto lets PredictiveFor advance the pin forward (refT = tb, full
+	// rebuild) when a query window has moved past the pinned coverage, so
+	// "now + horizon" serving never degrades permanently as the clock runs.
+	predAuto    bool
 	predRef     float64
 	predHorizon float64
 

@@ -19,12 +19,21 @@ import (
 
 // tidxOverflowFloor and tidxOverflowSlack bound how stale the chained
 // text index's cell view may grow (OIDs whose geometry or tags postdate
-// the cell build are swept unconditionally) before the chain is cut and
-// the next TextIndex call rebuilds — the same compaction policy the
-// segment R-tree chain uses.
+// the cell build are swept unconditionally on every corridor probe)
+// before the chain is cut and the next TextIndex call rebuilds — the
+// same compaction policy the segment R-tree chain uses. The cut fires
+// when slack × overflow exceeds the universe, i.e. when more than 1/slack
+// of the index has fallen out of the cell view. tidxChurnSlack bounds the
+// copy-on-write chain length the same way: a flip-heavy workload that
+// keeps re-deriving postings for the same few OIDs never grows the
+// overflow list (the OID is already listed), but each step re-clones the
+// touched posting rows — past churn > slack × universe the chain has
+// done more derivation work than a compacting rebuild would cost, so it
+// is cut.
 const (
 	tidxOverflowFloor = 64
 	tidxOverflowSlack = 2
+	tidxChurnSlack    = 2
 )
 
 // SetTags replaces the tag set of an existing object (nil or empty
@@ -201,7 +210,11 @@ func (s *Store) chainTextLocked(version uint64, step func(*textidx.Index) *texti
 		s.tidx = nil // stale: next TextIndex rebuilds
 		return
 	}
-	if ov := s.tidx.Overflow(); ov > tidxOverflowFloor && ov > tidxOverflowSlack*s.tidx.Len() {
+	if ov := s.tidx.Overflow(); ov > tidxOverflowFloor && tidxOverflowSlack*ov > s.tidx.Len() {
+		s.tidx = nil
+		return
+	}
+	if ch := s.tidx.Churn(); ch > tidxOverflowFloor && ch > tidxChurnSlack*s.tidx.Len() {
 		s.tidx = nil
 		return
 	}

@@ -1,0 +1,72 @@
+package mod
+
+// The flip-churn compaction gate: one tag flipped back and forth 10⁴
+// times through the live chain must keep the cached text index bounded.
+// The flips never grow the posting rows (re-inserts dedupe) but each
+// chain step re-derives the touched rows; past churn > slack × universe
+// the chain is cut and TextIndex compacts with a rebuild, so sustained
+// flip load alternates chain runs with cheap rebuilds instead of
+// deriving forever off one ever-older base.
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/textidx"
+)
+
+func TestTagFlipChurnCompacts(t *testing.T) {
+	st, err := NewUniformStore(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for oid := int64(1); oid <= 16; oid++ {
+		if err := st.Insert(tagTraj(t, oid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.TextIndex() // warm: flips chain from here
+
+	const flips = 10_000
+	flip := []string{"flip"}
+	for i := 0; i < flips; i++ {
+		tags := &flip
+		if i%2 == 1 {
+			tags = &[]string{}
+		}
+		if _, err := st.ApplyUpdate(Update{OID: 5, Tags: tags}); err != nil {
+			t.Fatal(err)
+		}
+		// Consume the index every round, the shape of a standing textual
+		// subscription re-evaluated per ingest.
+		x, v := st.TextIndex()
+		if v != st.Version() {
+			t.Fatalf("flip %d: index version %d, store %d", i, v, st.Version())
+		}
+		want := i%2 == 0
+		if got := slices.Contains(x.Matching(&textidx.Predicate{All: []string{"flip"}}), int64(5)); got != want {
+			t.Fatalf("flip %d: match = %v, want %v", i, got, want)
+		}
+		// The live index never carries more than the churn bound allows:
+		// a chain run is cut once churn passes slack × universe, so the
+		// observed churn stays a small constant independent of flip count.
+		if ch := x.Churn(); ch > 2*x.Len()+tidxOverflowFloor+1 {
+			t.Fatalf("flip %d: churn %d outran the cut (universe %d)", i, ch, x.Len())
+		}
+		if ov := x.Overflow(); ov > 1 {
+			t.Fatalf("flip %d: overflow %d from pure tag flips", i, ov)
+		}
+	}
+	stats := st.IndexStats()
+	if stats.TextBuilds < 2 {
+		t.Fatalf("churn cut never fired: %+v", stats)
+	}
+	// The cut stays amortized: ~one rebuild per churn-bound flips, not one
+	// per flip.
+	if stats.TextBuilds > flips/tidxOverflowFloor+2 {
+		t.Fatalf("rebuilding too eagerly under flip churn: %+v", stats)
+	}
+	if stats.TextIncremental == 0 {
+		t.Fatalf("no chaining at all: %+v", stats)
+	}
+}

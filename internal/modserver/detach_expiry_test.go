@@ -1,0 +1,140 @@
+// Detached-subscription deadline expiry: a subscription left detached
+// past DetachedTTL is expired for real (unsubscribed from the hub, so
+// churny subscribe/disconnect load cannot pin backlog memory or
+// per-ingest evaluation work), and a late resume gets the typed
+// sub_expired rejection — distinct from the generic unknown-subscription
+// error — mapped to ErrSubExpired by the client.
+package modserver
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mod"
+)
+
+// steppedClock is a manually-advanced time source for the detach
+// deadline.
+type steppedClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *steppedClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *steppedClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestDetachedSubscriptionExpires(t *testing.T) {
+	st := liveStore(t)
+	srv, addr := startServerWith(t, st, Options{DetachedTTL: time.Minute})
+	clock := &steppedClock{t: time.Unix(1_000_000, 0)}
+	srv.now = clock.now
+
+	ing, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing.Close()
+
+	subCli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subID, _, err := subCli.Subscribe(uq11Flip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subCli.Close()
+	waitDetached(t, srv, subID)
+
+	// Inside the deadline the subscription stays resumable.
+	clock.advance(30 * time.Second)
+	re1, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := re1.Resume(subID, 0); err != nil {
+		t.Fatalf("Resume inside the deadline: %v", err)
+	}
+	re1.Close()
+	waitDetached(t, srv, subID)
+
+	// Past the deadline, an ingest sweeps it out of the hub for real...
+	clock.advance(2 * time.Minute)
+	if _, err := ing.Ingest([]mod.Update{flipUpdate(true)}); err != nil {
+		t.Fatal(err)
+	}
+	if srv.isDetached(subID) {
+		t.Fatal("subscription survived the deadline sweep")
+	}
+	if _, err := srv.hub.Answer(subID); err == nil {
+		t.Fatal("hub still holds the expired subscription")
+	}
+
+	// ...and a late resume is rejected with the typed identity.
+	re2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if _, err := re2.Resume(subID, 0); !errors.Is(err, ErrSubExpired) {
+		t.Fatalf("Resume past the deadline = %v, want ErrSubExpired", err)
+	}
+	// A genuinely unknown ID still gets the untyped rejection.
+	if _, err := re2.Resume(subID+99, 0); err == nil || errors.Is(err, ErrSubExpired) {
+		t.Fatalf("Resume of unknown sub = %v, want a generic error", err)
+	}
+}
+
+// TestDetachedExpiryDisabled: a negative DetachedTTL keeps the
+// pre-deadline behavior — detached subscriptions only ever leave by LRU
+// eviction or explicit unsubscribe.
+func TestDetachedExpiryDisabled(t *testing.T) {
+	st := liveStore(t)
+	srv, addr := startServerWith(t, st, Options{DetachedTTL: -1})
+	clock := &steppedClock{t: time.Unix(1_000_000, 0)}
+	srv.now = clock.now
+
+	ing, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing.Close()
+
+	subCli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subID, _, err := subCli.Subscribe(uq11Flip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subCli.Close()
+	waitDetached(t, srv, subID)
+
+	clock.advance(24 * time.Hour)
+	if _, err := ing.Ingest([]mod.Update{flipUpdate(true)}); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.isDetached(subID) {
+		t.Fatal("subscription expired with the deadline disabled")
+	}
+	re, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, err := re.Resume(subID, 0); err != nil {
+		t.Fatalf("Resume with expiry disabled: %v", err)
+	}
+}

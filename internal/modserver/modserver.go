@@ -128,6 +128,12 @@ var ErrEventStalled = errors.New("modserver: subscription severed: event write s
 // the connection never authenticated (or presented the wrong token), so
 // the server refused the op and closed the connection. Matches across
 // the wire via the coded error.
+// ErrSubExpired is the client-side identity of the codeSubExpired
+// rejection: the subscription sat detached past the server's DetachedTTL
+// and was expired — its backlog is gone, so resume is impossible and the
+// client must take a fresh Subscribe.
+var ErrSubExpired = errors.New("modserver: detached subscription expired")
+
 var ErrUnauthorized = errors.New("modserver: unauthorized")
 
 // ErrTLSRequired reports a plaintext client talking to a TLS server: the
@@ -150,6 +156,12 @@ const codeEventGap = "event_gap"
 // severing a subscriber whose event stream stalled (ErrEventStalled
 // across the wire).
 const codeEventStalled = "event_stalled"
+
+// codeSubExpired marks a from_seq resume of a subscription that sat
+// detached past the DetachedTTL deadline and was expired server-side.
+// Unlike the generic unknown-subscription error, the typed code tells the
+// client its stream is definitively gone — re-subscribe, don't retry.
+const codeSubExpired = "sub_expired"
 
 // codeUnauthorized marks an auth rejection (ErrUnauthorized across the
 // wire).
@@ -269,6 +281,7 @@ type Request struct {
 type WireApplied struct {
 	OID         int64        `json:"oid"`
 	Inserted    bool         `json:"inserted,omitempty"`
+	Retired     bool         `json:"retired,omitempty"`
 	ChangedFrom float64      `json:"changed_from,omitempty"`
 	TagsOnly    bool         `json:"tags_only,omitempty"`
 	Verts       [][3]float64 `json:"verts,omitempty"`
@@ -285,6 +298,9 @@ type WireTraj struct {
 	OID   int64        `json:"oid"`
 	Verts [][3]float64 `json:"verts"`
 	Tags  *[]string    `json:"tags,omitempty"`
+	// Retire marks a retirement update (mod.Update.Retire): no vertices,
+	// no tags — the object leaves the store.
+	Retire bool `json:"retire,omitempty"`
 }
 
 // Answer is one engine.Request's outcome inside a "query" response.
@@ -388,6 +404,13 @@ type Options struct {
 	// detaching (a closed connection's subscriptions die immediately, the
 	// pre-durability behavior).
 	MaxDetached int
+	// DetachedTTL bounds how long a detached subscription stays resumable.
+	// Past the deadline it is expired for real — unsubscribed from the hub,
+	// so its backlog memory and per-ingest evaluation work stop — and a
+	// later from_seq resume gets the typed codeSubExpired rejection. Zero
+	// means DefaultDetachedTTL; negative disables the deadline (LRU bound
+	// only, the pre-deadline behavior).
+	DetachedTTL time.Duration
 	// EventBacklog is the per-subscription replay backlog bound, passed
 	// through to the hub (continuous.HubOptions.BacklogCap): zero selects
 	// continuous.DefaultBacklog, negative disables retention.
@@ -402,6 +425,13 @@ type Options struct {
 // DefaultMaxDetached bounds detached (resumable) subscriptions per
 // server.
 const DefaultMaxDetached = 64
+
+// DefaultDetachedTTL is how long a detached subscription stays resumable
+// before the server expires it. Long enough to ride out a reconnect
+// backoff; short enough that churny subscribe/disconnect load cannot pin
+// hub backlogs and per-ingest evaluation work behind readers that are
+// never coming back.
+const DefaultDetachedTTL = 2 * time.Minute
 
 // Journal is the write-ahead hook the ingest path drives (implemented by
 // wal.Log). Append must make the batch durable before it returns; it runs
@@ -427,7 +457,11 @@ type Server struct {
 	maxLine      int
 	maxGather    int
 	maxDetached  int
+	detachedTTL  time.Duration
 	token        string
+	// now is the detach-deadline clock (time.Now in production; tests
+	// substitute a stepped clock to exercise expiry deterministically).
+	now func() time.Time
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -444,10 +478,18 @@ type Server struct {
 	subsMu      sync.Mutex
 	subscribers map[int64]*connState
 	// detached holds subscriptions whose connection closed but which stay
-	// live in the hub awaiting a from_seq resume; detachedOrder is their
-	// LRU eviction order (oldest first, bounded by maxDetached).
-	detached      map[int64]struct{}
+	// live in the hub awaiting a from_seq resume, keyed to their detach
+	// time (the DetachedTTL deadline base); detachedOrder is their
+	// eviction order (oldest first — also deadline order, since detach
+	// times are appended monotonically), bounded by maxDetached.
+	detached      map[int64]time.Time
 	detachedOrder []int64
+	// expired remembers recently deadline-expired subscription IDs so a
+	// late resume gets the typed codeSubExpired rejection rather than the
+	// generic unknown-subscription error; expiredOrder bounds it FIFO at
+	// maxDetached.
+	expired      map[int64]struct{}
+	expiredOrder []int64
 }
 
 // connState is one connection's locked writer plus the subscriptions it
@@ -536,15 +578,24 @@ func NewServerWith(store *mod.Store, eng *engine.Engine, o Options) *Server {
 	case o.MaxDetached < 0:
 		o.MaxDetached = 0
 	}
+	switch {
+	case o.DetachedTTL == 0:
+		o.DetachedTTL = DefaultDetachedTTL
+	case o.DetachedTTL < 0:
+		o.DetachedTTL = 0
+	}
 	return &Server{
 		store: store, engine: eng,
 		hub:         continuous.NewEngineHubWith(store, eng, continuous.HubOptions{BacklogCap: o.EventBacklog}),
 		journal:     o.Journal,
 		readTimeout: o.ReadTimeout, writeTimeout: o.WriteTimeout, maxLine: o.MaxLineBytes,
-		maxGather: o.MaxGatherBytes, maxDetached: o.MaxDetached, token: o.Token,
+		maxGather: o.MaxGatherBytes, maxDetached: o.MaxDetached, detachedTTL: o.DetachedTTL,
+		token:       o.Token,
+		now:         time.Now,
 		conns:       make(map[net.Conn]struct{}),
 		subscribers: make(map[int64]*connState),
-		detached:    make(map[int64]struct{}),
+		detached:    make(map[int64]time.Time),
+		expired:     make(map[int64]struct{}),
 	}
 }
 
@@ -758,14 +809,54 @@ func (s *Server) isSubscriber(cs *connState) bool {
 	return len(cs.subs) > 0
 }
 
+// sweepDetachedLocked expires every detached subscription whose deadline
+// (detach time + detachedTTL) has passed, returning the expired IDs for
+// the caller to unsubscribe from the hub outside subsMu. detachedOrder is
+// append-ordered by detach time, so the sweep walks the front and stops
+// at the first survivor. Expired IDs are remembered (FIFO-bounded) so a
+// late resume can be rejected with the typed codeSubExpired.
+func (s *Server) sweepDetachedLocked(now time.Time) []int64 {
+	if s.detachedTTL <= 0 {
+		return nil
+	}
+	var dead []int64
+	for len(s.detachedOrder) > 0 {
+		oldest := s.detachedOrder[0]
+		at, live := s.detached[oldest]
+		if live && now.Sub(at) < s.detachedTTL {
+			break
+		}
+		s.detachedOrder = s.detachedOrder[1:]
+		if !live {
+			continue // resumed or unsubscribed; stale order entry
+		}
+		delete(s.detached, oldest)
+		dead = append(dead, oldest)
+		if _, dup := s.expired[oldest]; !dup {
+			s.expired[oldest] = struct{}{}
+			s.expiredOrder = append(s.expiredOrder, oldest)
+		}
+	}
+	bound := s.maxDetached
+	if bound < DefaultMaxDetached {
+		bound = DefaultMaxDetached
+	}
+	for len(s.expiredOrder) > bound {
+		delete(s.expired, s.expiredOrder[0])
+		s.expiredOrder = s.expiredOrder[1:]
+	}
+	return dead
+}
+
 // dropSubscriber detaches every subscription a closing connection owned:
 // the subscription stays live in the hub (its events keep accumulating in
 // the bounded backlog) so a reconnecting client can resume with from_seq.
-// The detached set is LRU-bounded; evicted subscriptions — and all of
-// them when detaching is disabled — are unsubscribed for real.
+// The detached set is LRU-bounded and deadline-swept; evicted or expired
+// subscriptions — and all of them when detaching is disabled — are
+// unsubscribed for real.
 func (s *Server) dropSubscriber(cs *connState) {
 	s.subsMu.Lock()
-	var evicted []int64
+	evicted := s.sweepDetachedLocked(s.now())
 	for id := range cs.subs {
 		delete(s.subscribers, id)
 		delete(cs.subs, id)
@@ -773,7 +864,7 @@ func (s *Server) dropSubscriber(cs *connState) {
 			evicted = append(evicted, id)
 			continue
 		}
-		s.detached[id] = struct{}{}
+		s.detached[id] = s.now()
 		s.detachedOrder = append(s.detachedOrder, id)
 	}
 	for len(s.detached) > s.maxDetached {
@@ -820,13 +911,24 @@ func (s *Server) resumeSubscribe(req Request, cs *connState) bool {
 		return cs.send(resp) == nil
 	}
 	s.subsMu.Lock()
+	dead := s.sweepDetachedLocked(s.now())
 	owner, attached := s.subscribers[req.SubID]
 	_, isDetached := s.detached[req.SubID]
+	_, wasExpired := s.expired[req.SubID]
 	s.subsMu.Unlock()
+	for _, id := range dead {
+		s.hub.Unsubscribe(id)
+	}
 	if attached && owner != cs {
 		return fail(Response{Error: fmt.Sprintf("subscribe: subscription %d is owned by a live connection", req.SubID)})
 	}
 	if !attached && !isDetached {
+		if wasExpired {
+			return fail(Response{
+				Error: fmt.Sprintf("subscribe: subscription %d expired after %v detached", req.SubID, s.detachedTTL),
+				Code:  codeSubExpired,
+			})
+		}
 		return fail(Response{Error: fmt.Sprintf("subscribe: unknown or expired subscription %d", req.SubID)})
 	}
 	events, err := s.hub.Replay(req.SubID, req.FromSeq)
@@ -1106,7 +1208,7 @@ func (s *Server) doIngest(req Request) Response {
 		for j, v := range wu.Verts {
 			verts[j] = trajectory.Vertex{X: v[0], Y: v[1], T: v[2]}
 		}
-		updates[i] = mod.Update{OID: wu.OID, Verts: verts, Tags: wu.Tags}
+		updates[i] = mod.Update{OID: wu.OID, Verts: verts, Tags: wu.Tags, Retire: wu.Retire}
 	}
 	s.emitMu.Lock()
 	defer s.emitMu.Unlock()
@@ -1136,6 +1238,15 @@ func (s *Server) ingestLocked(updates []mod.Update) Response {
 		// reaches the current state — it only defers log truncation to a
 		// later, hopefully healthier, snapshot attempt.
 		_ = s.journal.AfterApply(s.store)
+	}
+	// Sweep deadline-expired detached subscriptions on the ingest path too:
+	// without it, a quiet server (no connection churn) would keep paying
+	// their evaluation cost every batch and pinning their backlogs forever.
+	s.subsMu.Lock()
+	dead := s.sweepDetachedLocked(s.now())
+	s.subsMu.Unlock()
+	for _, id := range dead {
+		s.hub.Unsubscribe(id)
 	}
 	for _, ev := range events {
 		s.subsMu.Lock()
@@ -1169,8 +1280,8 @@ func (s *Server) ingestLocked(updates []mod.Update) Response {
 func encodeApplied(applied []mod.Applied) []WireApplied {
 	out := make([]WireApplied, len(applied))
 	for i, a := range applied {
-		wa := WireApplied{OID: a.OID, Inserted: a.Inserted}
-		if !a.Inserted {
+		wa := WireApplied{OID: a.OID, Inserted: a.Inserted, Retired: a.Retired}
+		if !a.Inserted && !a.Retired {
 			if math.IsInf(a.ChangedFrom, 1) {
 				wa.TagsOnly = true
 			} else {
@@ -1471,6 +1582,8 @@ func respError(resp Response) error {
 		return wireError{msg: resp.Error, is: continuous.ErrEventGap}
 	case codeEventStalled:
 		return wireError{msg: resp.Error, is: ErrEventStalled}
+	case codeSubExpired:
+		return wireError{msg: resp.Error, is: ErrSubExpired}
 	case codeUnauthorized:
 		return wireError{msg: resp.Error, is: ErrUnauthorized}
 	case codeTLSRequired:
@@ -1718,7 +1831,7 @@ func (c *Client) Ingest(updates []mod.Update) ([]mod.Applied, error) {
 		for j, v := range u.Verts {
 			verts[j] = [3]float64{v.X, v.Y, v.T}
 		}
-		wire.Updates[i] = WireTraj{OID: u.OID, Verts: verts, Tags: u.Tags}
+		wire.Updates[i] = WireTraj{OID: u.OID, Verts: verts, Tags: u.Tags, Retire: u.Retire}
 	}
 	resp, err := c.roundTrip(wire)
 	if err != nil {
@@ -1739,9 +1852,9 @@ func (c *Client) Ingest(updates []mod.Update) ([]mod.Applied, error) {
 func decodeApplied(was []WireApplied) ([]mod.Applied, error) {
 	out := make([]mod.Applied, len(was))
 	for i, wa := range was {
-		a := mod.Applied{OID: wa.OID, Inserted: wa.Inserted, ChangedFrom: wa.ChangedFrom,
+		a := mod.Applied{OID: wa.OID, Inserted: wa.Inserted, Retired: wa.Retired, ChangedFrom: wa.ChangedFrom,
 			TagsChanged: wa.TagsChanged, Tags: wa.Tags, PrevTags: wa.PrevTags}
-		if wa.Inserted {
+		if wa.Inserted || wa.Retired {
 			a.ChangedFrom = math.Inf(-1)
 		} else if wa.TagsOnly {
 			a.ChangedFrom = math.Inf(1)

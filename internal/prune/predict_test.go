@@ -148,6 +148,85 @@ func TestPredictivePathMatchesRebuildPath(t *testing.T) {
 	}
 }
 
+// TestPredictiveAutoAdvance: in auto mode the pin follows the clock — a
+// query window past the pinned coverage re-pins forward and serves
+// predictively (answers identical to the plain-store path), a historical
+// window never moves the pin backward, and fixed-pin stores keep the old
+// fall-back behavior.
+func TestPredictiveAutoAdvance(t *testing.T) {
+	const (
+		n       = 140
+		r       = 0.5
+		seed    = 517
+		horizon = 40.0
+	)
+	auto, _ := buildStore(t, n, r, seed)
+	flat, _ := buildStore(t, n, r, seed)
+	if err := auto.EnablePredictiveAuto(0, horizon); err != nil {
+		t.Fatal(err)
+	}
+	oids := auto.OIDs()
+	q, err := auto.Get(oids[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Covered window: served from the initial pin, no advance.
+	if _, st, err := prune.Candidates(auto, q, 5, 25); err != nil || !st.Predictive {
+		t.Fatalf("covered window: predictive=%v err=%v", st.Predictive, err)
+	}
+	if st := auto.IndexStats(); st.TPRAdvances != 0 {
+		t.Fatalf("covered window advanced the pin: %+v", st)
+	}
+
+	// The clock moved on: a window past the coverage re-pins forward and
+	// still takes the predictive path.
+	if _, st, err := prune.Candidates(auto, q, 50, 80); err != nil || !st.Predictive {
+		t.Fatalf("advanced window: predictive=%v err=%v", st.Predictive, err)
+	}
+	if st := auto.IndexStats(); st.TPRAdvances != 1 {
+		t.Fatalf("window past coverage did not advance once: %+v", st)
+	}
+
+	// A historical window after the advance falls back to the segment
+	// R-tree; the pin never moves backward.
+	if _, st, err := prune.Candidates(auto, q, 5, 25); err != nil || st.Predictive {
+		t.Fatalf("historical window after advance: predictive=%v err=%v", st.Predictive, err)
+	}
+	// A window wider than the horizon cannot be pinned at all.
+	if _, st, err := prune.Candidates(auto, q, 60, 60+horizon+5); err != nil || st.Predictive {
+		t.Fatalf("over-wide window: predictive=%v err=%v", st.Predictive, err)
+	}
+	if st := auto.IndexStats(); st.TPRAdvances != 1 {
+		t.Fatalf("fall-back windows moved the pin: %+v", st)
+	}
+
+	// Answers through the advanced pin are identical to the plain store.
+	reqs := predictRequests(oids, 52, 78)
+	got, err := engine.New(2).DoBatch(ctx, auto, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.New(2).DoBatch(ctx, flat, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSameResults(t, "advanced pin", got, want)
+
+	// A fixed pin (EnablePredictive) past its window still falls back.
+	fixed, _ := buildStore(t, n, r, seed)
+	if err := fixed.EnablePredictive(0, horizon); err != nil {
+		t.Fatal(err)
+	}
+	if _, st, err := prune.Candidates(fixed, q, 50, 80); err != nil || st.Predictive {
+		t.Fatalf("fixed pin advanced: predictive=%v err=%v", st.Predictive, err)
+	}
+	if st := fixed.IndexStats(); st.TPRAdvances != 0 {
+		t.Fatalf("fixed pin recorded an advance: %+v", st)
+	}
+}
+
 // TestPredictiveBoundsStaySound cross-checks the TPR-backed SliceBounds
 // against the store contents directly: every finite bound must dominate
 // the true Level-k envelope at sampled instants.

@@ -120,10 +120,11 @@ func (x tprIndex) corridorHits(box geom.AABB, t0, t1 float64) []int64 {
 }
 
 // indexFor picks the pre-pass index for a window: the pinned predictive
-// TPR tree when its coverage contains [tb, te], else the lazily maintained
+// TPR tree when its coverage contains [tb, te] (PredictiveFor may first
+// auto-advance the pin forward to cover it), else the lazily maintained
 // segment R-tree. predictive reports which path was taken (Stats).
 func indexFor(store *mod.Store, tb, te float64) (idx corridorIndex, predictive bool) {
-	if tpr, refT, horizon, ok := store.Predictive(); ok && tb >= refT && te <= refT+horizon {
+	if tpr, refT, horizon, ok := store.PredictiveFor(tb, te); ok && tb >= refT && te <= refT+horizon {
 		return tprIndex{t: tpr, r: store.Radius()}, true
 	}
 	return rtreeIndex{t: store.BuildIndex(0)}, false

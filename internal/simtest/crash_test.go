@@ -68,6 +68,10 @@ func TestCrashRecoveryByteIdentity(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			cfg := DefaultConfig(seed)
+			// Retirement churn rides the WAL too: every kill point now
+			// lands on logs whose tail mixes revisions, flips, inserts,
+			// retires, and same-OID re-entries.
+			cfg.Retire = 1
 			w, err := NewWorld(cfg)
 			if err != nil {
 				t.Fatal(err)

@@ -1,0 +1,72 @@
+package simtest
+
+// Per-worker randomness for goroutine-spawning harnesses. A sweep that
+// hands one shared *rand.Rand to N workers is both a data race (Rand is
+// not goroutine-safe) and non-reproducible: the interleaving decides who
+// draws what, so the schedule changes with GOMAXPROCS, worker count, and
+// machine load. Rands gives every worker its own generator seeded
+// deterministically from the sweep seed and the worker index, so worker
+// i replays the same stream no matter how many siblings run beside it.
+//
+// Poisson turns those uniform streams into arrival counts for open-loop
+// load generation (arrivals per tick at a target rate), using the
+// inverse-CDF walk for ordinary means and a normal approximation once
+// the CDF walk would underflow.
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Rands returns n independent generators, the i-th seeded seed+i. Give
+// one to each worker goroutine instead of sharing a single Rand: the
+// streams are race-free and worker i's schedule is a pure function of
+// (seed, i), reproducible at any worker count.
+func Rands(seed int64, n int) []*rand.Rand {
+	rngs := make([]*rand.Rand, n)
+	for i := range rngs {
+		rngs[i] = rand.New(rand.NewSource(seed + int64(i)))
+	}
+	return rngs
+}
+
+// Poisson draws a Poisson-distributed variate with the given mean from
+// rng. Means up to poissonExactMax use the exact inverse-CDF walk
+// (multiply-accumulate of e^-mean terms); larger means switch to the
+// normal approximation N(mean, mean), which is accurate to well under a
+// percent there and avoids the walk's e^-mean underflow.
+func Poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > poissonExactMax {
+		v := math.Round(mean + math.Sqrt(mean)*rng.NormFloat64())
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	// Inverse-CDF: walk k upward accumulating P(X<=k) until it passes a
+	// uniform draw.
+	u := rng.Float64()
+	p := math.Exp(-mean)
+	cdf := p
+	k := 0
+	for u > cdf {
+		k++
+		p *= mean / float64(k)
+		cdf += p
+		if k > poissonWalkCap {
+			break
+		}
+	}
+	return k
+}
+
+const (
+	poissonExactMax = 500
+	// poissonWalkCap bounds the CDF walk against float round-off pinning
+	// cdf just under u; at mean <= poissonExactMax the true variate
+	// exceeds this bound with negligible probability.
+	poissonWalkCap = 4 * poissonExactMax
+)

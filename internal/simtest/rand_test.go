@@ -1,0 +1,100 @@
+package simtest
+
+// Per-worker RNG discipline: worker i's stream depends only on (seed,
+// i) — never on how many workers run beside it or how the scheduler
+// interleaves them — and concurrent draws from sibling generators are
+// race-free (this test is part of the `-race` suite).
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestRandsReproducibleAtAnyWorkerCount(t *testing.T) {
+	const seed = 977
+	four := Rands(seed, 4)
+	eight := Rands(seed, 8)
+	if len(four) != 4 || len(eight) != 8 {
+		t.Fatalf("lengths: %d, %d", len(four), len(eight))
+	}
+	for i := range four {
+		for j := 0; j < 64; j++ {
+			a, b := four[i].Int63(), eight[i].Int63()
+			if a != b {
+				t.Fatalf("worker %d draw %d: %d with 4 workers, %d with 8", i, j, a, b)
+			}
+		}
+	}
+	// Sibling workers draw distinct streams.
+	fresh := Rands(seed, 2)
+	if fresh[0].Int63() == fresh[1].Int63() {
+		t.Fatal("workers 0 and 1 share a stream")
+	}
+}
+
+func TestRandsConcurrentDrawsRaceFree(t *testing.T) {
+	rngs := Rands(3, 8)
+	sequential := make([][]int64, len(rngs))
+	for i, r := range Rands(3, 8) {
+		for j := 0; j < 1000; j++ {
+			sequential[i] = append(sequential[i], r.Int63())
+		}
+	}
+	got := make([][]int64, len(rngs))
+	var wg sync.WaitGroup
+	for i, r := range rngs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				got[i] = append(got[i], r.Int63())
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range got {
+		for j := range got[i] {
+			if got[i][j] != sequential[i][j] {
+				t.Fatalf("worker %d diverged at draw %d under concurrency", i, j)
+			}
+		}
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	rng := Rands(41, 1)[0]
+	if got := Poisson(rng, 0); got != 0 {
+		t.Fatalf("Poisson(0) = %d", got)
+	}
+	if got := Poisson(rng, -3); got != 0 {
+		t.Fatalf("Poisson(-3) = %d", got)
+	}
+	// Both regimes: sample mean and variance track the parameter.
+	for _, mean := range []float64{0.5, 7, 120, 2000} {
+		const n = 20000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			v := float64(Poisson(rng, mean))
+			sum += v
+			sumSq += v * v
+		}
+		gotMean := sum / n
+		gotVar := sumSq/n - gotMean*gotMean
+		// Standard error of the sample mean is sqrt(mean/n); 6 sigma.
+		tol := 6 * math.Sqrt(mean/n)
+		if math.Abs(gotMean-mean) > tol {
+			t.Fatalf("mean %.1f: sample mean %.3f (tol %.3f)", mean, gotMean, tol)
+		}
+		if gotVar < mean/2 || gotVar > mean*2 {
+			t.Fatalf("mean %.1f: sample variance %.3f", mean, gotVar)
+		}
+	}
+	// Determinism: the same seed replays the same variates.
+	a, b := Rands(99, 1)[0], Rands(99, 1)[0]
+	for i := 0; i < 100; i++ {
+		if x, y := Poisson(a, 12), Poisson(b, 12); x != y {
+			t.Fatalf("draw %d: %d vs %d from equal seeds", i, x, y)
+		}
+	}
+}

@@ -38,6 +38,8 @@ type Config struct {
 	R       float64 // shared uncertainty radius
 	Steps   int     // scripted steps
 	PerStep int     // plan revisions per step
+	Retire  int     // scripted retirements per step (0 = no churn)
+	Protect int     // OID prefix the churn never retires (0 = the 9 Requests uses)
 }
 
 // DefaultConfig returns a small, fast world.
@@ -49,12 +51,28 @@ func DefaultConfig(seed int64) Config {
 type World struct {
 	cfg     Config
 	rng     *rand.Rand
+	churn   *rand.Rand // retirement picks: a derived stream, so Retire>0 leaves the motion script untouched
 	now     float64
 	delta   float64
 	step    int
 	initial []*trajectory.Trajectory
 	held    []*trajectory.Trajectory
 	mirror  *mod.Store // the truth: every emitted update applied in order
+
+	// Retirement churn state: OIDs the script retired, queued to re-enter
+	// two steps later with the plan and tags they left with, and the
+	// standing requests' query/target OIDs the script never retires (the
+	// identity gates retire those deliberately, via Inject).
+	pending   []reinsert
+	protected map[int64]bool
+}
+
+// reinsert is a retired object waiting out its gap before re-entering.
+type reinsert struct {
+	oid   int64
+	verts []trajectory.Vertex
+	tags  []string
+	due   int
 }
 
 // NewWorld builds a world: N+Held plans from the paper's workload
@@ -81,9 +99,19 @@ func NewWorld(cfg Config) (*World, error) {
 			}
 		}
 	}
+	guard := cfg.Protect
+	if guard < 9 { // at minimum the OIDs Requests() stands queries on
+		guard = 9
+	}
+	protected := make(map[int64]bool)
+	for i := 0; i < guard && i < cfg.N; i++ {
+		protected[trs[i].OID] = true
+	}
 	return &World{
-		cfg: cfg,
-		rng: rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		churn:     rand.New(rand.NewSource(cfg.Seed ^ 0x4e71)),
+		protected: protected,
 		// The clock starts late enough that every subscription window
 		// ending before the first revision exercises permanent skips, and
 		// steps never push revisions past the horizon.
@@ -153,6 +181,22 @@ func (w *World) SnapshotStore() (*mod.Store, error) {
 // Now returns the step clock.
 func (w *World) Now() float64 { return w.now }
 
+// ProtectedOIDs returns the churn-immune OID prefix in generation order
+// — the OIDs a harness can stand queries on without racing the scripted
+// retirements.
+func (w *World) ProtectedOIDs() []int64 {
+	out := make([]int64, 0, len(w.protected))
+	for _, tr := range w.initial {
+		if w.protected[tr.OID] {
+			out = append(out, tr.OID)
+		}
+		if len(out) == len(w.protected) {
+			break
+		}
+	}
+	return out
+}
+
 // Step advances the clock and returns the next scripted update batch,
 // already applied to the world's mirror. Batches contain PerStep plan
 // revisions anchored at each chosen object's current expected position
@@ -160,11 +204,29 @@ func (w *World) Now() float64 { return w.now }
 // scripted points of the run, the insertion of a held-out object's full
 // plan.
 func (w *World) Step() ([]mod.Update, error) {
+	return w.StepSized(w.cfg.PerStep, 2, w.cfg.Retire)
+}
+
+// StepSized is Step with caller-chosen batch sizing: revisions plan
+// rewrites, flips tag flips, and retires retirements this tick. It is
+// the hook an open-loop load generator uses to push Poisson-drawn
+// arrival counts through the same scripted world (the cityload harness
+// draws the three counts from its arrival streams each tick).
+func (w *World) StepSized(revisions, flips, retires int) ([]mod.Update, error) {
 	w.step++
 	w.now += w.delta
 	var batch []mod.Update
+	// Re-entries first: a retired object whose gap has elapsed comes back
+	// under its old OID with the exact plan and tags it left with — the
+	// same-OID second life that TTL-driven retirement produces.
+	for len(w.pending) > 0 && w.pending[0].due <= w.step {
+		p := w.pending[0]
+		w.pending = w.pending[1:]
+		tags := append([]string(nil), p.tags...)
+		batch = append(batch, mod.Update{OID: p.oid, Verts: p.verts, Tags: &tags})
+	}
 	oids := w.mirror.OIDs()
-	for i := 0; i < w.cfg.PerStep && len(oids) > 0; i++ {
+	for i := 0; i < revisions && len(oids) > 0; i++ {
 		oid := oids[w.rng.Intn(len(oids))]
 		tr, err := w.mirror.Get(oid)
 		if err != nil {
@@ -194,7 +256,7 @@ func (w *World) Step() ([]mod.Update, error) {
 	// snapshot side, the sub-MOD membership the filtered subscriptions
 	// answer over.
 	tagSets := [][]string{{}, {"available"}, {"ev"}, {"available", "ev"}}
-	for i := 0; i < 2 && len(oids) > 0; i++ {
+	for i := 0; i < flips && len(oids) > 0; i++ {
 		oid := oids[w.rng.Intn(len(oids))]
 		tags := append([]string(nil), tagSets[w.rng.Intn(len(tagSets))]...)
 		batch = append(batch, mod.Update{OID: oid, Tags: &tags})
@@ -206,10 +268,51 @@ func (w *World) Step() ([]mod.Update, error) {
 		tags := []string{"available"}
 		batch = append(batch, mod.Update{OID: tr.OID, Verts: tr.Verts, Tags: &tags})
 	}
+	// Retirements close the batch (so same-batch revisions and flips on a
+	// victim still hit a live object): Retire objects leave the fleet,
+	// chosen from a derived stream that never touches the standing
+	// requests' query/target OIDs, and queue for re-entry two steps out.
+	if retires > 0 {
+		victims := make(map[int64]bool)
+		for i := 0; i < retires && len(oids) > 0; i++ {
+			oid, ok := int64(0), false
+			for tries := 0; tries < 64; tries++ {
+				oid = oids[w.churn.Intn(len(oids))]
+				if !w.protected[oid] && !victims[oid] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+			victims[oid] = true
+			tr, err := w.mirror.Get(oid)
+			if err != nil {
+				return nil, err
+			}
+			w.pending = append(w.pending, reinsert{
+				oid:   oid,
+				verts: tr.Verts,
+				tags:  append([]string(nil), w.mirror.Tags(oid)...),
+				due:   w.step + 2,
+			})
+			batch = append(batch, mod.Update{OID: oid, Retire: true})
+		}
+	}
 	if _, err := w.mirror.ApplyUpdates(batch); err != nil {
 		return nil, err
 	}
 	return batch, nil
+}
+
+// Inject applies an out-of-script batch to the world's truth, so a
+// caller can drive targeted churn — retiring a standing query's own OID,
+// TTL sweeps — through the same mirror the identity gates compare
+// against. The caller feeds the identical batch to the hub under test.
+func (w *World) Inject(batch []mod.Update) error {
+	_, err := w.mirror.ApplyUpdates(batch)
+	return err
 }
 
 // Requests returns the standing subscription mix the simulation suite

@@ -43,7 +43,7 @@ func TestChaosSoakRecovery(t *testing.T) {
 	for _, seed := range []int64{31, 32, 33} {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			cfg := Config{Seed: seed, N: 80, Held: 6, R: 0.5, Steps: 20, PerStep: 8}
+			cfg := Config{Seed: seed, N: 80, Held: 6, R: 0.5, Steps: 20, PerStep: 8, Retire: 2}
 			w, err := NewWorld(cfg)
 			if err != nil {
 				t.Fatal(err)

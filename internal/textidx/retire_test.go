@@ -1,0 +1,72 @@
+package textidx
+
+// WithoutObject (the retirement step) and flip-churn bounds: removing an
+// object strips it from tags, postings, universe, and overflow without
+// touching the original; and a single tag flipped back and forth never
+// grows the posting rows or the overflow list — only the churn counter,
+// which the store layer's chain cut bounds.
+
+import (
+	"slices"
+	"testing"
+)
+
+func TestWithoutObject(t *testing.T) {
+	x, _, _ := buildFixture(t, 50)
+	victim := int64(7)
+	y := x.WithTags(victim, []string{"ev", "pool"})
+
+	z := y.WithoutObject(victim)
+	if z.Len() != 49 || y.Len() != 50 {
+		t.Fatalf("Len: derived %d original %d", z.Len(), y.Len())
+	}
+	if z.Tags(victim) != nil {
+		t.Fatalf("Tags(%d) = %v after removal", victim, z.Tags(victim))
+	}
+	for i, p := range fixturePreds() {
+		if slices.Contains(z.Matching(p), victim) {
+			t.Fatalf("pred %d still matches removed OID %d", i, victim)
+		}
+	}
+	if slices.Contains(z.Matching(nil), victim) {
+		t.Fatal("removed OID still in universe")
+	}
+	// The original derivation is untouched.
+	if !slices.Contains(y.Matching(&Predicate{All: []string{"ev", "pool"}}), victim) {
+		t.Fatal("original index lost the OID")
+	}
+	// Removing an absent OID is a harmless no-op derivation.
+	if z2 := z.WithoutObject(victim); z2.Len() != z.Len() {
+		t.Fatalf("double removal changed Len: %d vs %d", z2.Len(), z.Len())
+	}
+}
+
+// TestFlipChurnStaysBounded: 10⁴ flips of one tag on one object. The
+// posting rows dedupe on re-insert and the overflow list records the OID
+// once, so the index's memory footprint is flat — only the churn counter
+// (the store's chain-cut signal) advances.
+func TestFlipChurnStaysBounded(t *testing.T) {
+	x, _, _ := buildFixture(t, 100)
+	baseOverflow := x.Overflow()
+	cur := x
+	const flips = 10_000
+	for i := 0; i < flips; i++ {
+		if i%2 == 0 {
+			cur = cur.WithTags(42, []string{"flip"})
+		} else {
+			cur = cur.WithTags(42, nil)
+		}
+	}
+	if cur.Len() != 100 {
+		t.Fatalf("Len drifted to %d", cur.Len())
+	}
+	if ov := cur.Overflow(); ov > baseOverflow+1 {
+		t.Fatalf("Overflow grew to %d under flip churn (base %d)", ov, baseOverflow)
+	}
+	if got := cur.Matching(&Predicate{All: []string{"flip"}}); len(got) != 0 {
+		t.Fatalf("final (cleared) state still matches: %v", got)
+	}
+	if cur.Churn() != flips {
+		t.Fatalf("Churn = %d, want %d", cur.Churn(), flips)
+	}
+}

@@ -234,6 +234,7 @@ type Index struct {
 	postings map[string][]int64 // tag -> sorted OIDs carrying it
 	cells    []Cell
 	overflow []int64 // sorted OIDs whose geometry or tags postdate the cell build
+	churn    int     // copy-on-write derivations since Build
 }
 
 // Build constructs the index: universe lists every OID (sorted), tags
@@ -279,6 +280,14 @@ func (x *Index) Len() int { return len(x.universe) }
 // Overflow returns how many OIDs the cell view no longer covers — the
 // store's staleness signal for scheduling a rebuild.
 func (x *Index) Overflow() int { return len(x.overflow) }
+
+// Churn returns how many copy-on-write derivations separate this index
+// from its Build. Every WithTags/WithObject/WithoutObject step re-clones
+// the posting rows it touches, so a long chain keeps paying allocation
+// and lookup cost over postings that a fresh Build would have folded
+// away — the store cuts the chain once churn outgrows the live
+// population, exactly like the segment R-tree's compaction slack.
+func (x *Index) Churn() int { return x.churn }
 
 // Tags returns the canonical tag set of an OID (nil when untagged or
 // unknown). The returned slice aliases index storage; do not modify.
@@ -410,8 +419,41 @@ func (x *Index) WithGeometry(oid int64) *Index {
 	return x.WithObject(oid)
 }
 
+// WithoutObject derives an index from which oid has been retired: it
+// leaves the universe, its postings, and the overflow list. Cell entries
+// built over its old geometry stay behind — they can only produce false
+// positives, and CorridorHits intersects every hit with the caller's
+// match set, which no longer contains the OID.
+func (x *Index) WithoutObject(oid int64) *Index {
+	nx := x.cloneTop()
+	old := nx.tags[oid]
+	if len(old) > 0 {
+		tags := make(map[int64][]string, len(nx.tags))
+		for k, v := range nx.tags {
+			tags[k] = v
+		}
+		delete(tags, oid)
+		nx.tags = tags
+		postings := make(map[string][]int64, len(nx.postings))
+		for k, v := range nx.postings {
+			postings[k] = v
+		}
+		for _, tag := range old {
+			postings[tag] = removeSorted(postings[tag], oid)
+			if len(postings[tag]) == 0 {
+				delete(postings, tag)
+			}
+		}
+		nx.postings = postings
+	}
+	nx.universe = removeSorted(nx.universe, oid)
+	nx.overflow = removeSorted(nx.overflow, oid)
+	return nx
+}
+
 func (x *Index) cloneTop() *Index {
 	nx := *x
+	nx.churn++
 	return &nx
 }
 

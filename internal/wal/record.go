@@ -55,25 +55,34 @@ const MaxRecordBytes = 64 << 20
 // followed by uint32 LE CRC-32C (Castagnoli) of the payload.
 const recordHeaderSize = 8
 
+// Mode bitmask of the v3 per-update mode byte.
+const (
+	modeTags   = 1 // a tag section follows (Update.Tags non-nil)
+	modeRetire = 2 // the update retires the OID
+)
+
 // crcTable is the Castagnoli polynomial — hardware-accelerated on
 // amd64/arm64, and the conventional choice for storage checksums.
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // AppendRecord appends the framed, checksummed encoding of one update
-// batch to dst and returns the extended slice. The payload layout (v2,
-// logs headed by UTWAL2) is
+// batch to dst and returns the extended slice. The payload layout (v3,
+// logs headed by UTWAL3) is
 //
 //	uvarint  #updates
 //	per update:
 //	  varint   OID
 //	  uvarint  #vertices
 //	  per vertex: 3 × uint64 LE (IEEE-754 bits of X, Y, T)
-//	  uvarint  tag mode — 0: no tag change (Tags nil); 1: tag set follows
-//	  if mode 1: uvarint #tags, per tag uvarint length + raw bytes
+//	  uvarint  mode bitmask — bit 0: tag set follows (Tags non-nil);
+//	           bit 1: retire. 0 means neither (Tags nil).
+//	  if bit 0: uvarint #tags, per tag uvarint length + raw bytes
 //
 // Raw float bits (not decimal text) are what makes replay byte-identical,
-// and the explicit tag mode preserves the Update.Tags tri-state (nil = no
-// change, empty = clear) across a crash.
+// and the explicit tag bit preserves the Update.Tags tri-state (nil = no
+// change, empty = clear) across a crash. The v2 layout (UTWAL2) is
+// identical except the mode byte is 0/1 only — v2 logs replay but cannot
+// take retire records, so Open rotates them like v1.
 func AppendRecord(dst []byte, batch []mod.Update) ([]byte, error) {
 	head := len(dst)
 	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // frame placeholder
@@ -86,10 +95,15 @@ func AppendRecord(dst []byte, batch []mod.Update) ([]byte, error) {
 			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.Y))
 			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.T))
 		}
-		if u.Tags == nil {
-			dst = append(dst, 0)
-		} else {
-			dst = append(dst, 1)
+		var mode byte
+		if u.Tags != nil {
+			mode |= modeTags
+		}
+		if u.Retire {
+			mode |= modeRetire
+		}
+		dst = append(dst, mode)
+		if u.Tags != nil {
 			dst = binary.AppendUvarint(dst, uint64(len(*u.Tags)))
 			for _, tag := range *u.Tags {
 				dst = binary.AppendUvarint(dst, uint64(len(tag)))
@@ -113,13 +127,14 @@ func AppendRecord(dst []byte, batch []mod.Update) ([]byte, error) {
 // complete but wrong (checksum mismatch, trailing garbage, implausible
 // counts). An empty b returns (nil, 0, nil): the clean end of a log.
 func DecodeRecord(b []byte) (batch []mod.Update, n int, err error) {
-	return decodeRecord(b, true)
+	return decodeRecord(b, 3)
 }
 
 // decodeRecord is DecodeRecord with the payload version made explicit:
-// hasTags selects the v2 layout; false decodes records from legacy UTWAL1
-// logs, which carry no tag section.
-func decodeRecord(b []byte, hasTags bool) (batch []mod.Update, n int, err error) {
+// 3 decodes the current bitmask-mode layout, 2 the UTWAL2 layout whose
+// mode byte is 0/1 only, and 1 the legacy UTWAL1 layout with no tag
+// section at all.
+func decodeRecord(b []byte, ver int) (batch []mod.Update, n int, err error) {
 	if len(b) == 0 {
 		return nil, 0, nil
 	}
@@ -138,7 +153,7 @@ func decodeRecord(b []byte, hasTags bool) (batch []mod.Update, n int, err error)
 	if got := crc32.Checksum(payload, crcTable); got != want {
 		return nil, 0, fmt.Errorf("%w: checksum %08x, frame declares %08x", ErrCorruptRecord, got, want)
 	}
-	batch, err = decodePayload(payload, hasTags)
+	batch, err = decodePayload(payload, ver)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -148,7 +163,7 @@ func decodeRecord(b []byte, hasTags bool) (batch []mod.Update, n int, err error)
 // decodePayload decodes a checksum-verified payload. Every structural
 // violation is ErrCorruptRecord: the checksum already passed, so a bad
 // count or short buffer means the record was written wrong, not damaged.
-func decodePayload(p []byte, hasTags bool) ([]mod.Update, error) {
+func decodePayload(p []byte, ver int) ([]mod.Update, error) {
 	count, n := binary.Uvarint(p)
 	if n <= 0 {
 		return nil, fmt.Errorf("%w: unreadable batch count", ErrCorruptRecord)
@@ -184,13 +199,18 @@ func decodePayload(p []byte, hasTags bool) ([]mod.Update, error) {
 			p = p[24:]
 		}
 		u := mod.Update{OID: oid, Verts: verts}
-		if hasTags {
+		if ver >= 2 {
+			maxMode := uint64(1)
+			if ver >= 3 {
+				maxMode = modeTags | modeRetire
+			}
 			mode, n := binary.Uvarint(p)
-			if n <= 0 || mode > 1 {
+			if n <= 0 || mode > maxMode {
 				return nil, fmt.Errorf("%w: update %d: bad tag mode", ErrCorruptRecord, i)
 			}
 			p = p[n:]
-			if mode == 1 {
+			u.Retire = mode&modeRetire != 0
+			if mode&modeTags != 0 {
 				nt, n := binary.Uvarint(p)
 				if n <= 0 {
 					return nil, fmt.Errorf("%w: update %d: unreadable tag count", ErrCorruptRecord, i)

@@ -30,11 +30,13 @@ var (
 
 // walMagic heads every log file so Recover can tell an empty-but-created
 // log from a file torn during creation or belonging to something else.
-// UTWAL2 records carry a per-update tag section; UTWAL1 logs (pre-tags)
-// replay with the legacy record layout and Open rotates them away before
+// UTWAL3 records carry a per-update mode bitmask (tags, retire); UTWAL2
+// (pre-retire, 0/1 tag mode) and UTWAL1 (pre-tags) logs replay with
+// their legacy record layouts and Open rotates them away before
 // appending, so no file ever mixes layouts.
 var (
-	walMagic   = [8]byte{'U', 'T', 'W', 'A', 'L', '2', 0, 0}
+	walMagic   = [8]byte{'U', 'T', 'W', 'A', 'L', '3', 0, 0}
+	walMagicV2 = [8]byte{'U', 'T', 'W', 'A', 'L', '2', 0, 0}
 	walMagicV1 = [8]byte{'U', 'T', 'W', 'A', 'L', '1', 0, 0}
 )
 
@@ -105,9 +107,9 @@ type RecoverInfo struct {
 	// walBytes is the byte length of the valid log prefix (header
 	// included); Open truncates the file here before resuming appends.
 	walBytes int64
-	// legacy reports a UTWAL1 log: readable, but Open must rotate to a
-	// fresh snapshot + v2 log instead of appending v2 records under a v1
-	// header.
+	// legacy reports a UTWAL1/UTWAL2 log: readable, but Open must rotate
+	// to a fresh snapshot + v3 log instead of appending v3 records under
+	// an old header.
 	legacy bool
 }
 
@@ -167,8 +169,9 @@ func Open(dir string, opts Options) (*Log, *mod.Store, RecoverInfo, error) {
 	}
 	l := &Log{dir: dir, opts: opts, f: f, snapSeq: info.SnapshotSeq, appended: info.Replayed}
 	if info.legacy {
-		// A v1 log cannot take v2 records: fold its replayed batches into
-		// a fresh snapshot and rotate to a v2 log before any append.
+		// An old-layout log cannot take v3 records: fold its replayed
+		// batches into a fresh snapshot and rotate to a v3 log before any
+		// append.
 		if err := l.snapshotLocked(st); err != nil {
 			_ = l.f.Close()
 			return nil, nil, info, err
@@ -220,11 +223,14 @@ func replayLog(dir string, seq uint64, st *mod.Store, info *RecoverInfo) error {
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	hasTags := true
+	ver := 3
 	switch {
 	case len(b) >= len(walMagic) && [8]byte(b[:8]) == walMagic:
+	case len(b) >= len(walMagicV2) && [8]byte(b[:8]) == walMagicV2:
+		ver = 2
+		info.legacy = true
 	case len(b) >= len(walMagicV1) && [8]byte(b[:8]) == walMagicV1:
-		hasTags = false
+		ver = 1
 		info.legacy = true
 	default:
 		// Torn during creation (or foreign): no records to trust.
@@ -234,7 +240,7 @@ func replayLog(dir string, seq uint64, st *mod.Store, info *RecoverInfo) error {
 	}
 	off := len(walMagic)
 	for {
-		batch, n, err := decodeRecord(b[off:], hasTags)
+		batch, n, err := decodeRecord(b[off:], ver)
 		if err != nil {
 			info.Torn = true
 			break

@@ -109,7 +109,7 @@ func TestWALV1UpgradeOnOpen(t *testing.T) {
 	if !bytes.Equal(storeBytes(t, got), storeBytes(t, st)) {
 		t.Fatal("v1 replay diverged from direct apply")
 	}
-	// The legacy generation must be rotated away: snapshot + v2 log at
+	// The legacy generation must be rotated away: snapshot + current log at
 	// seq 1, v1 pair gone.
 	if _, err := os.Stat(logName(dir, 0)); !os.IsNotExist(err) {
 		t.Fatalf("v1 log survived the upgrade: %v", err)
@@ -119,10 +119,10 @@ func TestWALV1UpgradeOnOpen(t *testing.T) {
 		t.Fatal(err)
 	}
 	if len(head) < len(walMagic) || [8]byte(head[:8]) != walMagic {
-		t.Fatalf("rotated log header = %q, want UTWAL2", head[:min(len(head), 8)])
+		t.Fatalf("rotated log header = %q, want current magic", head[:min(len(head), 8)])
 	}
 
-	// Tagged appends now land in the v2 log and survive recovery.
+	// Tagged appends now land in the rotated log and survive recovery.
 	tagged := []mod.Update{{OID: 2, Tags: tagSet("ev")}}
 	if err := l.Append(tagged); err != nil {
 		t.Fatal(err)
